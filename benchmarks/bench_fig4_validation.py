@@ -1,0 +1,51 @@
+"""EXP-F4 — regenerate Fig. 4: Markov vs Monte Carlo validation.
+
+Paper series: availability (nines) versus disk failure rate for
+``hep = 0.001`` and ``hep = 0.01``; the Markov curve must track the Monte
+Carlo estimate.  The benchmark prints the table and times one full grid
+evaluation at reduced Monte Carlo depth.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig4_validation import (
+    agreement_fraction,
+    fig4_table,
+    run_fig4_validation,
+)
+
+#: Reduced failure-rate grid (the paper sweeps 0 ... 5.5e-6 with more points).
+BENCH_FAILURE_RATES = (1e-6, 2.5e-6, 4e-6, 5.5e-6)
+
+
+def _run(iterations: int, horizon: float, seed: int):
+    return run_fig4_validation(
+        failure_rates=BENCH_FAILURE_RATES,
+        hep_values=(0.001, 0.01),
+        mc_iterations=iterations,
+        mc_horizon_hours=horizon,
+        seed=seed,
+    )
+
+
+def test_fig4_validation_bench(benchmark, bench_mc_iterations, bench_mc_horizon, bench_seed):
+    """Time the Fig. 4 grid and print the reproduced series."""
+    points = benchmark.pedantic(
+        _run,
+        args=(bench_mc_iterations, bench_mc_horizon, bench_seed),
+        iterations=1,
+        rounds=1,
+    )
+    table = fig4_table(points)
+    table.add_note(
+        f"benchmark ran {bench_mc_iterations} MC iterations per point "
+        "(paper: 1e6; widen iterations to tighten the interval)"
+    )
+    print()
+    print(table.render(float_format="{:.4g}"))
+    print(f"Markov-inside-MC-interval fraction: {agreement_fraction(points):.2f}")
+    # Shape check: availability decreases as the failure rate grows, for both
+    # the analytical and the simulated series.
+    for hep in (0.001, 0.01):
+        markov = [p.markov_nines for p in points if p.hep == hep]
+        assert markov == sorted(markov, reverse=True)

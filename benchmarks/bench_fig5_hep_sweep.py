@@ -1,0 +1,45 @@
+"""EXP-F5 — regenerate Fig. 5: RAID5(3+1) availability versus hep.
+
+Paper series: one curve per field disk failure rate (with its Weibull
+shape), availability in nines against ``hep ∈ {0, 0.001, 0.01}``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig5_hep_sweep import availability_drops, fig5_table, run_fig5_sweep
+
+
+def test_fig5_hep_sweep_bench(benchmark):
+    """Time the analytical Fig. 5 sweep and print the reproduced series."""
+    series = benchmark(run_fig5_sweep)
+    print()
+    print(fig5_table(series).render(float_format="{:.3f}"))
+    drops = availability_drops(series)
+    print("nines lost from hep=0 to hep=0.01 per curve:")
+    for label, drop in drops.items():
+        print(f"  {label}: {drop:.2f}")
+    # Shape checks mirroring the paper's reading of the figure.
+    for entry in series:
+        assert entry.markov_nines[0] >= entry.markov_nines[1] >= entry.markov_nines[2]
+    ordered = sorted(series, key=lambda s: s.disk_failure_rate)
+    assert ordered[0].markov_nines[0] > ordered[-1].markov_nines[0]
+
+
+def test_fig5_with_weibull_monte_carlo_bench(benchmark, bench_mc_iterations, bench_seed):
+    """Time the Monte Carlo (Weibull) variant of Fig. 5 on a reduced grid."""
+    series = benchmark.pedantic(
+        run_fig5_sweep,
+        kwargs={
+            "hep_values": (0.0, 0.01),
+            "field_rates": ((2.00e-5, 1.48),),
+            "include_monte_carlo": True,
+            "mc_iterations": bench_mc_iterations,
+            "seed": bench_seed,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    entry = series[0]
+    print()
+    print(f"Weibull MC series for {entry.label}: nines by hep {entry.hep_values} = {entry.mc_nines}")
+    assert entry.mc_nines is not None and len(entry.mc_nines) == 2

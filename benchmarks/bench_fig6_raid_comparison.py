@@ -1,0 +1,34 @@
+"""EXP-F6 — regenerate Fig. 6: RAID configurations at equal usable capacity.
+
+Paper series: three subplots (disk failure rate 1e-5, 1e-6, 1e-7), each
+plotting availability (nines) of RAID1(1+1), RAID5(3+1) and RAID5(7+1)
+against ``hep ∈ {0, 0.001, 0.01}`` at equal usable capacity.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig6_raid_comparison import (
+    fig6_tables,
+    raid1_loses_lead,
+    rankings_by_point,
+    run_fig6_comparison,
+)
+
+
+def test_fig6_raid_comparison_bench(benchmark):
+    """Time the full Fig. 6 grid and print the three sub-tables."""
+    cells = benchmark(run_fig6_comparison)
+    print()
+    for table in fig6_tables(cells):
+        print(table.render(float_format="{:.3f}"))
+        print()
+    rankings = rankings_by_point(cells)
+    print("availability ranking per grid point:")
+    for point, order in rankings.items():
+        print(f"  {point}: {' > '.join(order)}")
+    # Paper's reading of the figure: the mirror leads without human error and
+    # loses its lead once human errors are modelled (at the lower rates).
+    assert not raid1_loses_lead(cells, 1e-5, 0.0)
+    assert not raid1_loses_lead(cells, 1e-6, 0.0)
+    assert raid1_loses_lead(cells, 1e-6, 0.01)
+    assert raid1_loses_lead(cells, 1e-7, 0.01)

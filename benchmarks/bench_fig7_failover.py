@@ -1,0 +1,31 @@
+"""EXP-F7 — regenerate Fig. 7: conventional versus automatic fail-over policy.
+
+Paper series: availability (nines) of the two replacement policies for
+``hep ∈ {0, 0.001, 0.01}`` on a RAID5(3+1) array; the delayed-replacement
+policy's advantage grows with hep.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig7_failover import (
+    fig7_table,
+    improvement_by_hep,
+    run_fig7_comparison,
+)
+
+
+def test_fig7_failover_bench(benchmark):
+    """Time the policy comparison and print the reproduced series."""
+    points = benchmark(run_fig7_comparison)
+    print()
+    print(fig7_table(points).render(float_format="{:.3f}"))
+    improvements = improvement_by_hep(points)
+    print("unavailability improvement (conventional / fail-over):")
+    for hep, factor in improvements.items():
+        print(f"  hep={hep:g}: {factor:.1f}x")
+    # Shape checks mirroring the paper's reading of the figure.
+    assert improvements[0.0] == 1.0 or abs(improvements[0.0] - 1.0) < 0.05
+    assert improvements[0.001] > 1.0
+    assert improvements[0.01] > improvements[0.001]
+    for point in points:
+        assert point.failover_nines >= point.conventional_nines - 1e-9

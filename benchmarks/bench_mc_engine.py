@@ -1,0 +1,68 @@
+"""EXP-F1 / engine benchmarks — Monte Carlo simulator and Markov solver throughput.
+
+These are not figures from the paper but the performance substrate behind
+them: how fast one simulated lifetime runs (which bounds how close to the
+paper's 1e6-iteration setting a given time budget allows) and how fast the
+Markov chains solve (which bounds the analytical sweeps).
+"""
+
+from __future__ import annotations
+
+from repro.core.models import ModelKind, solve_model
+from repro.core.montecarlo import MonteCarloConfig, run_monte_carlo
+from repro.core.montecarlo.trace import generate_example_trace, summarise_trace
+from repro.core.parameters import paper_parameters
+from repro.human.policy import PolicyKind
+
+
+def test_monte_carlo_conventional_throughput(benchmark, bench_seed):
+    """Time a 2000-lifetime conventional-policy Monte Carlo study."""
+    config = MonteCarloConfig(
+        params=paper_parameters(disk_failure_rate=2.5e-6, hep=0.01),
+        policy=PolicyKind.CONVENTIONAL,
+        n_iterations=2000,
+        horizon_hours=87_600.0,
+        seed=bench_seed,
+    )
+    result = benchmark.pedantic(run_monte_carlo, args=(config,), iterations=1, rounds=3)
+    print()
+    print(f"conventional MC: availability={result.availability:.10f} nines={result.nines:.2f}")
+    assert 0.0 < result.availability <= 1.0
+
+
+def test_monte_carlo_failover_throughput(benchmark, bench_seed):
+    """Time a 2000-lifetime automatic-fail-over Monte Carlo study."""
+    config = MonteCarloConfig(
+        params=paper_parameters(disk_failure_rate=2.5e-6, hep=0.01),
+        policy=PolicyKind.AUTOMATIC_FAILOVER,
+        n_iterations=2000,
+        horizon_hours=87_600.0,
+        seed=bench_seed,
+    )
+    result = benchmark.pedantic(run_monte_carlo, args=(config,), iterations=1, rounds=3)
+    print()
+    print(f"fail-over MC: availability={result.availability:.10f} nines={result.nines:.2f}")
+    assert 0.0 < result.availability <= 1.0
+
+
+def test_markov_solver_throughput(benchmark):
+    """Time solving both analytical models back to back (one sweep point)."""
+
+    def solve_both():
+        params = paper_parameters(disk_failure_rate=1e-6, hep=0.01)
+        return (
+            solve_model(params, ModelKind.CONVENTIONAL).availability,
+            solve_model(params, ModelKind.AUTOMATIC_FAILOVER).availability,
+        )
+
+    conventional, failover = benchmark(solve_both)
+    assert failover >= conventional
+
+
+def test_fig1_event_trace_generation(benchmark):
+    """Time generating the Fig. 1 style single-run event trace."""
+    trace = benchmark.pedantic(generate_example_trace, kwargs={"seed": 7}, iterations=1, rounds=3)
+    summary = summarise_trace(trace)
+    print()
+    print(f"example trace events: {summary}")
+    assert summary["disk_failures"] >= 1

@@ -1,0 +1,40 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one of the paper's evaluation artefacts
+(Figs. 4-7 plus the underestimation headline) and prints the same
+rows/series the paper reports, so ``pytest benchmarks/ --benchmark-only -s``
+doubles as the reproduction driver.  Monte Carlo iteration counts are kept
+small here so the whole suite finishes in minutes; the experiment modules
+accept the paper-scale counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Monte Carlo iterations used inside benchmarks (paper: 1e6).
+BENCH_MC_ITERATIONS = 4000
+
+#: Mission time per simulated lifetime in benchmarks.
+BENCH_MC_HORIZON_HOURS = 10 * 8760.0
+
+#: Seed shared by all benchmarks for reproducibility.
+BENCH_SEED = 2017
+
+
+@pytest.fixture(scope="session")
+def bench_mc_iterations() -> int:
+    """Return the Monte Carlo iteration count used by benchmarks."""
+    return BENCH_MC_ITERATIONS
+
+
+@pytest.fixture(scope="session")
+def bench_mc_horizon() -> float:
+    """Return the per-lifetime horizon used by benchmarks."""
+    return BENCH_MC_HORIZON_HOURS
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    """Return the master seed used by benchmarks."""
+    return BENCH_SEED

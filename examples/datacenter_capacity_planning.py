@@ -1,0 +1,85 @@
+"""Capacity-planning study: which RAID layout should a data centre buy?
+
+The scenario from the paper's Fig. 6: a storage administrator must provide a
+fixed usable capacity and chooses between mirroring (RAID1 1+1) and parity
+groups (RAID5 3+1 or 7+1).  Conventional wisdom says the mirror is the most
+available; this script shows how the ranking changes once wrong-disk
+replacements by operators are part of the model, and reports the fleet-level
+consequences (physical disks bought, expected disk failures per year,
+expected operator interventions and human errors per year).
+
+Run with::
+
+    python examples/datacenter_capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro import ModelKind, compare_equal_capacity, paper_parameters
+from repro.availability import Table
+from repro.human import expected_errors_per_year
+from repro.storage import DiskSubsystem, RaidGeometry
+
+#: Usable capacity to provision, in units of one disk (e.g. 840 x 4 TB disks
+#: of logical capacity).  Divisible by 1, 3 and 7 so the comparison is exact.
+USABLE_DISKS = 840
+
+#: Disk failure rate per hour (about 0.9% AFR).
+FAILURE_RATE = 1e-6
+
+
+def fleet_table(hep: float) -> Table:
+    """Return the comparison table for one human error probability."""
+    base = paper_parameters(disk_failure_rate=FAILURE_RATE, hep=hep)
+    model = ModelKind.BASELINE if hep == 0.0 else ModelKind.CONVENTIONAL
+    comparisons = compare_equal_capacity(
+        base,
+        geometries=[RaidGeometry.raid1(2), RaidGeometry.raid5(3), RaidGeometry.raid5(7)],
+        usable_disks=USABLE_DISKS,
+        model=model,
+    )
+    table = Table(
+        title=f"Usable capacity = {USABLE_DISKS} disks, lambda = {FAILURE_RATE:g}/h, hep = {hep:g}",
+        columns=[
+            "configuration",
+            "groups",
+            "physical_disks",
+            "ERF",
+            "subsystem_nines",
+            "downtime_h_per_year",
+            "disk_failures_per_year",
+            "human_errors_per_year",
+        ],
+    )
+    for entry in comparisons:
+        subsystem = DiskSubsystem.for_usable_capacity(
+            RaidGeometry.from_label(entry.geometry_label), USABLE_DISKS
+        )
+        failures_per_year = subsystem.expected_disk_failures_per_year(FAILURE_RATE)
+        table.add_row(
+            configuration=entry.geometry_label,
+            groups=entry.n_arrays,
+            physical_disks=entry.total_disks,
+            ERF=entry.erf,
+            subsystem_nines=entry.subsystem_nines,
+            downtime_h_per_year=entry.downtime_hours_per_year,
+            disk_failures_per_year=failures_per_year,
+            human_errors_per_year=expected_errors_per_year(hep, failures_per_year),
+        )
+    return table
+
+
+def main() -> None:
+    for hep in (0.0, 0.001, 0.01):
+        print(fleet_table(hep).render(float_format="{:.3f}"))
+        print()
+    print(
+        "Reading: at hep=0 the mirror (RAID1) is the most available layout; with\n"
+        "realistic human error probabilities its higher Effective Replication\n"
+        "Factor means ~75% more disks, more replacements, more wrong pulls — and\n"
+        "its availability advantage shrinks or inverts, as the paper reports."
+    )
+
+
+if __name__ == "__main__":
+    main()

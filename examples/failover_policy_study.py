@@ -1,0 +1,108 @@
+"""Policy study: is automatic fail-over worth a dedicated hot spare?
+
+Compares the conventional replacement policy (technician swaps the failed
+disk immediately, while the array is degraded) against the automatic
+fail-over / delayed replacement policy (rebuild to a hot spare first, swap
+hardware afterwards) across a range of human error probabilities, using both
+the analytical Markov models and a Monte Carlo cross-check at an exaggerated
+failure rate.
+
+Run with::
+
+    python examples/failover_policy_study.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ModelKind,
+    MonteCarloConfig,
+    PolicyKind,
+    paper_parameters,
+    run_monte_carlo,
+    solve_model,
+)
+from repro.availability import Table
+
+HEP_VALUES = (0.0, 0.0005, 0.001, 0.005, 0.01, 0.05)
+FAILURE_RATE = 1e-6
+
+#: Exaggerated failure rate for the Monte Carlo cross-check so that a small
+#: iteration count still observes downtime events.
+MC_FAILURE_RATE = 1e-4
+MC_ITERATIONS = 4000
+
+
+def analytical_study() -> Table:
+    """Return the Markov-model comparison across the hep sweep."""
+    table = Table(
+        title=f"Replacement policy comparison, RAID5(3+1), lambda={FAILURE_RATE:g}/h",
+        columns=["hep", "conventional_nines", "failover_nines", "unavailability_gain"],
+    )
+    for hep in HEP_VALUES:
+        params = paper_parameters(disk_failure_rate=FAILURE_RATE, hep=hep)
+        conventional_kind = ModelKind.BASELINE if hep == 0.0 else ModelKind.CONVENTIONAL
+        conventional = solve_model(params, conventional_kind)
+        failover = solve_model(params, ModelKind.AUTOMATIC_FAILOVER)
+        gain = (
+            conventional.unavailability / failover.unavailability
+            if failover.unavailability > 0
+            else float("inf")
+        )
+        table.add_row(
+            hep=hep,
+            conventional_nines=conventional.nines,
+            failover_nines=failover.nines,
+            unavailability_gain=gain,
+        )
+    table.add_note("unavailability_gain = conventional unavailability / fail-over unavailability")
+    return table
+
+
+def monte_carlo_cross_check() -> Table:
+    """Return a Monte Carlo confirmation of the policy gap at hep = 0.01."""
+    table = Table(
+        title=f"Monte Carlo cross-check, lambda={MC_FAILURE_RATE:g}/h, hep=0.01, "
+        f"{MC_ITERATIONS} lifetimes of 10 years",
+        columns=["policy", "mc_nines", "markov_nines", "du_events", "dl_events"],
+    )
+    params = paper_parameters(disk_failure_rate=MC_FAILURE_RATE, hep=0.01)
+    for policy, kind in (
+        (PolicyKind.CONVENTIONAL, ModelKind.CONVENTIONAL),
+        (PolicyKind.AUTOMATIC_FAILOVER, ModelKind.AUTOMATIC_FAILOVER),
+    ):
+        mc = run_monte_carlo(
+            MonteCarloConfig(
+                params=params,
+                policy=policy,
+                n_iterations=MC_ITERATIONS,
+                horizon_hours=87_600.0,
+                seed=2017,
+            )
+        )
+        markov = solve_model(params, kind)
+        table.add_row(
+            policy=policy.value,
+            mc_nines=mc.nines,
+            markov_nines=markov.nines,
+            du_events=int(mc.totals["du_events"]),
+            dl_events=int(mc.totals["dl_events"]),
+        )
+    return table
+
+
+def main() -> None:
+    print(analytical_study().render(float_format="{:.3f}"))
+    print()
+    print(monte_carlo_cross_check().render(float_format="{:.3f}"))
+    print()
+    print(
+        "Reading: the two policies are equivalent when operators never err; the\n"
+        "fail-over policy's advantage grows with hep because the operator only\n"
+        "touches a fully redundant array, so a wrong pull degrades instead of\n"
+        "interrupting service."
+    )
+
+
+if __name__ == "__main__":
+    main()

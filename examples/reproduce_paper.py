@@ -1,0 +1,58 @@
+"""Regenerate every figure and headline number of the paper in one run.
+
+Runs EXP-F4 ... EXP-F7 and the underestimation headline through
+:func:`repro.experiments.run_all_experiments` and prints the resulting
+tables.  The Monte Carlo iteration count is configurable; the default here
+(8000) keeps the run to a couple of minutes, while ``--full`` switches to a
+paper-scale setting (much slower).
+
+Run with::
+
+    python examples/reproduce_paper.py            # quick pass
+    python examples/reproduce_paper.py --full     # closer to the paper's 1e6
+    python examples/reproduce_paper.py --no-mc    # analytical figures only
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import run_all_experiments
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use a paper-scale Monte Carlo iteration count (slow)",
+    )
+    parser.add_argument(
+        "--no-mc",
+        action="store_true",
+        help="skip the Monte Carlo validation (Fig. 4) and print only analytical results",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="override the Monte Carlo iteration count explicitly",
+    )
+    args = parser.parse_args()
+
+    if args.iterations is not None:
+        iterations = args.iterations
+    elif args.full:
+        iterations = 200_000
+    else:
+        iterations = 8_000
+
+    report = run_all_experiments(
+        mc_iterations=iterations,
+        include_monte_carlo=not args.no_mc,
+    )
+    print(report.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""SLO planning: how good must operators and rebuilds be to hit a target?
+
+Uses the inverse analyses in :mod:`repro.analysis` to answer the questions a
+storage SRE team actually asks when adopting the paper's models:
+
+* what is the maximum tolerable human error probability for a 7-nines SLO?
+* if procedures cannot be improved, how fast must rebuilds become?
+* which parameter is worth investing in at all (sensitivity tornado)?
+* what does an exa-scale fleet's yearly error budget look like?
+
+Run with::
+
+    python examples/slo_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    dominant_parameter,
+    exascale_motivation,
+    maximum_tolerable_hep,
+    one_at_a_time,
+    required_repair_rate,
+)
+from repro.core.parameters import paper_parameters
+
+TARGET_NINES = 7.0
+FAILURE_RATE = 1e-6
+
+
+def main() -> None:
+    params = paper_parameters(disk_failure_rate=FAILURE_RATE, hep=0.01)
+
+    print(f"Target: {TARGET_NINES:.1f} nines for a RAID5(3+1) group at lambda={FAILURE_RATE:g}/h\n")
+
+    hep_limit = maximum_tolerable_hep(params, TARGET_NINES)
+    print(f"1. Maximum tolerable human error probability: hep <= {hep_limit:.4f}")
+    print("   (the paper's surveyed hep band for enterprise operations is 0.001-0.01)\n")
+
+    mu_df_needed = required_repair_rate(params, TARGET_NINES)
+    print(
+        f"2. Keeping hep = {params.hep:g}, the rebuild+replacement rate must reach "
+        f"mu_DF >= {mu_df_needed:.3f}/h (mean service time <= {1/mu_df_needed:.1f} h)\n"
+    )
+
+    entries = one_at_a_time(params)
+    print("3. Sensitivity tornado (x2 perturbation), largest swing first:")
+    for entry in entries:
+        print(f"   {entry.parameter:<24} swing in unavailability = {entry.swing:.3e}")
+    print(f"   dominant parameter: {dominant_parameter(entries)}\n")
+
+    fleet = exascale_motivation(disks=1_000_000, disk_failure_rate=FAILURE_RATE, hep=params.hep)
+    print("4. Exa-scale fleet error budget (1M disks):")
+    print(f"   disk failures per hour:  {fleet['failures_per_hour']:.2f}")
+    print(f"   replacements per year:   {fleet['failures_per_year']:.0f}")
+    print(f"   wrong pulls per year:    {fleet['human_errors_per_year']:.0f}")
+    print(f"   wrong pulls per day:     {fleet['human_errors_per_day']:.2f}")
+
+
+if __name__ == "__main__":
+    main()

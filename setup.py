@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that ``pip install -e .`` keeps working on environments whose setuptools
+predates PEP 660 editable-install support (no ``wheel`` package available,
+offline build isolation).
+"""
+
+from setuptools import setup
+
+setup()

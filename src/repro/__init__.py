@@ -1,0 +1,66 @@
+"""repro — availability of data storage systems under human errors.
+
+A from-scratch Python reproduction of *"Evaluating Impact of Human Errors on
+the Availability of Data Storage Systems"* (Kishani, Eftekhari, Asadi —
+DATE 2017).  The package provides:
+
+* :mod:`repro.core` — the paper's contribution: Markov availability models
+  of RAID groups with human errors (conventional replacement and automatic
+  fail-over policies) and the Monte Carlo reference simulator.
+* :mod:`repro.markov` — a general continuous-time Markov chain engine
+  (builder, steady-state and transient solvers, validation).
+* :mod:`repro.simulation` — a discrete-event simulation kernel with RNG
+  stream management and confidence intervals.
+* :mod:`repro.storage` — disks, RAID geometries, arrays, rebuild/backup
+  models and latent sector errors.
+* :mod:`repro.human` — human error probability data, operator models and
+  replacement policies.
+* :mod:`repro.availability` — nines/downtime arithmetic, MTTDL, ERF.
+* :mod:`repro.experiments` — regeneration of every figure and headline
+  number of the paper's evaluation section.
+
+Quickstart::
+
+    from repro import paper_parameters, ModelKind, solve_model
+
+    params = paper_parameters(disk_failure_rate=1e-6, hep=0.01)
+    print(solve_model(params, ModelKind.CONVENTIONAL).nines)
+"""
+
+from repro.core import (
+    AvailabilityParameters,
+    ModelKind,
+    MonteCarloConfig,
+    MonteCarloResult,
+    build_chain,
+    compare_equal_capacity,
+    estimate_availability,
+    paper_parameters,
+    run_monte_carlo,
+    solve_model,
+)
+from repro.exceptions import ReproError
+from repro.human.policy import PolicyKind
+from repro.markov import MarkovChain, steady_state_availability
+from repro.storage.raid import RaidGeometry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AvailabilityParameters",
+    "MarkovChain",
+    "ModelKind",
+    "MonteCarloConfig",
+    "MonteCarloResult",
+    "PolicyKind",
+    "RaidGeometry",
+    "ReproError",
+    "__version__",
+    "build_chain",
+    "compare_equal_capacity",
+    "estimate_availability",
+    "paper_parameters",
+    "run_monte_carlo",
+    "solve_model",
+    "steady_state_availability",
+]

@@ -1,0 +1,55 @@
+"""Design-space analyses built on top of the paper's models.
+
+These go beyond the paper's evaluation: parameter sensitivity (which service
+rate actually moves availability), inverse requirements (how good must the
+operator or the rebuild be to hit an SLO), fleet-level operator workload and
+error budgets, and the latent-sector-error extension study.
+"""
+
+from repro.analysis.lse_study import (
+    LseImpact,
+    availability_with_lse,
+    build_conventional_chain_with_lse,
+    lse_impact,
+    scrubbing_benefit,
+)
+from repro.analysis.requirements import (
+    maximum_tolerable_hep,
+    nines_gap_to_target,
+    required_repair_rate,
+)
+from repro.analysis.sensitivity import (
+    PERTURBABLE_PARAMETERS,
+    SensitivityEntry,
+    dominant_parameter,
+    one_at_a_time,
+    swing_table,
+)
+from repro.analysis.staffing import (
+    FleetWorkload,
+    downtime_saved_by_policy,
+    downtime_saved_by_training,
+    exascale_motivation,
+    fleet_workload,
+)
+
+__all__ = [
+    "FleetWorkload",
+    "LseImpact",
+    "PERTURBABLE_PARAMETERS",
+    "SensitivityEntry",
+    "availability_with_lse",
+    "build_conventional_chain_with_lse",
+    "dominant_parameter",
+    "downtime_saved_by_policy",
+    "downtime_saved_by_training",
+    "exascale_motivation",
+    "fleet_workload",
+    "lse_impact",
+    "maximum_tolerable_hep",
+    "nines_gap_to_target",
+    "one_at_a_time",
+    "required_repair_rate",
+    "scrubbing_benefit",
+    "swing_table",
+]

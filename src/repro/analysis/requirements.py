@@ -1,0 +1,124 @@
+"""Inverse analyses: what does it take to reach an availability target?
+
+The forward models answer "given hep, what availability do I get?".  System
+designers usually ask the inverse questions:
+
+* :func:`maximum_tolerable_hep` — how error-prone may the replacement
+  procedure be before an availability SLO (in nines) is violated?
+* :func:`required_repair_rate` — how fast must rebuilds be to meet the SLO
+  at a given hep?
+
+Both are monotone one-dimensional problems solved by bisection on the
+corresponding Markov model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from repro.availability.metrics import nines_to_availability
+from repro.core.models.generic import ModelKind, solve_model
+from repro.core.parameters import AvailabilityParameters
+from repro.exceptions import ConfigurationError
+
+#: Bisection tolerance on the searched parameter (relative).
+_REL_TOL = 1e-6
+
+
+def _bisect_decreasing(
+    evaluate: Callable[[float], float],
+    target: float,
+    low: float,
+    high: float,
+    iterations: int = 200,
+) -> float:
+    """Find x with evaluate(x) ~= target where evaluate is decreasing in x."""
+    for _ in range(iterations):
+        mid = 0.5 * (low + high)
+        if evaluate(mid) >= target:
+            low = mid
+        else:
+            high = mid
+        if high - low <= _REL_TOL * max(abs(high), 1e-300):
+            break
+    return low
+
+
+def maximum_tolerable_hep(
+    params: AvailabilityParameters,
+    target_nines: float,
+    model: ModelKind = ModelKind.CONVENTIONAL,
+    hep_upper_bound: float = 1.0,
+) -> float:
+    """Return the largest hep that still meets ``target_nines``.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` when the target is
+    unreachable even with a perfect operator (``hep = 0``), and returns
+    ``hep_upper_bound`` when even the worst allowed operator meets it.
+    """
+    if target_nines <= 0.0:
+        raise ConfigurationError(f"target nines must be positive, got {target_nines!r}")
+    target_availability = nines_to_availability(target_nines)
+
+    def availability_at(hep: float) -> float:
+        return solve_model(params.with_hep(hep), model).availability
+
+    if availability_at(0.0) < target_availability:
+        raise ConfigurationError(
+            f"target of {target_nines:g} nines is unreachable even with hep = 0 "
+            f"for {params.geometry.label} at lambda = {params.disk_failure_rate:g}"
+        )
+    if availability_at(hep_upper_bound) >= target_availability:
+        return float(hep_upper_bound)
+    return _bisect_decreasing(availability_at, target_availability, 0.0, float(hep_upper_bound))
+
+
+def required_repair_rate(
+    params: AvailabilityParameters,
+    target_nines: float,
+    model: ModelKind = ModelKind.CONVENTIONAL,
+    rate_bounds: tuple = (1e-4, 100.0),
+) -> float:
+    """Return the smallest ``mu_DF`` (per hour) that meets ``target_nines``.
+
+    A faster rebuild shortens the exposure window, so availability is
+    increasing in the repair rate; the smallest sufficient rate is found by
+    bisection.  Raises when even the upper bound cannot meet the target.
+    """
+    if target_nines <= 0.0:
+        raise ConfigurationError(f"target nines must be positive, got {target_nines!r}")
+    low, high = float(rate_bounds[0]), float(rate_bounds[1])
+    if low <= 0.0 or high <= low:
+        raise ConfigurationError(f"invalid repair-rate bounds {rate_bounds!r}")
+    target_availability = nines_to_availability(target_nines)
+
+    def availability_at(rate: float) -> float:
+        return solve_model(replace(params, disk_repair_rate=rate), model).availability
+
+    if availability_at(high) < target_availability:
+        raise ConfigurationError(
+            f"target of {target_nines:g} nines is unreachable even at mu_DF = {high:g}/h"
+        )
+    if availability_at(low) >= target_availability:
+        return low
+    # Availability is increasing in the rate; bisect on the complement.
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        if availability_at(mid) >= target_availability:
+            high = mid
+        else:
+            low = mid
+        if high - low <= _REL_TOL * high:
+            break
+    return high
+
+
+def nines_gap_to_target(
+    params: AvailabilityParameters,
+    target_nines: float,
+    model: ModelKind = ModelKind.CONVENTIONAL,
+) -> float:
+    """Return ``achieved nines - target nines`` (negative when failing)."""
+    result = solve_model(params, model)
+    return result.nines - float(target_nines)

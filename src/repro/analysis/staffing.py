@@ -1,0 +1,147 @@
+"""Fleet-level operator workload and error-budget analysis.
+
+The paper motivates its models with a data-centre argument: an exa-byte
+facility has so many disks that replacements happen hourly, so even tiny hep
+values translate into multiple human errors per day.  This module makes that
+argument quantitative for an arbitrary fleet: expected replacements per
+year, expected wrong pulls per year, expected downtime attributable to them,
+and the staffing-oriented question of how much an improvement in procedures
+(lower hep) or in automation (fail-over policy) buys across the fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.availability.metrics import HOURS_PER_YEAR
+from repro.core.models.generic import ModelKind, solve_model
+from repro.core.parameters import AvailabilityParameters
+from repro.exceptions import ConfigurationError
+from repro.storage.raid import RaidGeometry
+from repro.storage.subsystem import DiskSubsystem
+
+
+@dataclass(frozen=True)
+class FleetWorkload:
+    """Expected yearly operator workload and downtime for one fleet.
+
+    Attributes
+    ----------
+    total_disks:
+        Physical disks in the fleet (excluding spares).
+    disk_failures_per_year:
+        Expected hard failures per year across the fleet.
+    replacements_per_year:
+        Expected operator interventions per year (one per failure under the
+        conventional policy; the same count under fail-over, just performed
+        while the array is redundant).
+    wrong_pulls_per_year:
+        Expected wrong disk replacements per year (``hep`` times the
+        interventions).
+    subsystem_downtime_hours_per_year:
+        Expected downtime of the whole subsystem per year, from the Markov
+        model of one group aggregated in series.
+    """
+
+    total_disks: int
+    disk_failures_per_year: float
+    replacements_per_year: float
+    wrong_pulls_per_year: float
+    subsystem_downtime_hours_per_year: float
+
+
+def fleet_workload(
+    geometry: RaidGeometry,
+    params: AvailabilityParameters,
+    usable_disks: int,
+    model: ModelKind = ModelKind.CONVENTIONAL,
+) -> FleetWorkload:
+    """Return the expected yearly workload for a fleet of ``usable_disks`` capacity."""
+    if usable_disks < 1:
+        raise ConfigurationError(f"usable capacity must be positive, got {usable_disks!r}")
+    subsystem = DiskSubsystem.for_usable_capacity(geometry, usable_disks)
+    scenario = params.with_geometry(geometry)
+    failures = subsystem.expected_disk_failures_per_year(scenario.disk_failure_rate)
+    array_result = solve_model(scenario, model)
+    aggregated = subsystem.aggregate_availability(array_result.availability)
+    return FleetWorkload(
+        total_disks=subsystem.total_disks,
+        disk_failures_per_year=failures,
+        replacements_per_year=failures,
+        wrong_pulls_per_year=scenario.hep * failures,
+        subsystem_downtime_hours_per_year=(1.0 - aggregated.subsystem_availability)
+        * HOURS_PER_YEAR,
+    )
+
+
+def exascale_motivation(
+    disks: int = 1_000_000,
+    disk_failure_rate: float = 1e-6,
+    hep: float = 0.001,
+) -> Dict[str, float]:
+    """Reproduce the paper's introduction arithmetic for an exa-scale centre.
+
+    With a million disks at ``lambda = 1e-6``/h the fleet sees about one
+    failure per hour, i.e. ~8760 replacements a year; at ``hep`` between
+    0.001 and 0.01 that is multiple human errors per day to a few per week.
+    """
+    if disks < 1:
+        raise ConfigurationError(f"disk count must be positive, got {disks!r}")
+    if disk_failure_rate <= 0.0:
+        raise ConfigurationError(f"failure rate must be positive, got {disk_failure_rate!r}")
+    if not 0.0 <= hep <= 1.0:
+        raise ConfigurationError(f"hep must lie in [0, 1], got {hep!r}")
+    failures_per_hour = disks * disk_failure_rate
+    failures_per_year = failures_per_hour * HOURS_PER_YEAR
+    errors_per_year = hep * failures_per_year
+    return {
+        "disks": float(disks),
+        "failures_per_hour": failures_per_hour,
+        "failures_per_year": failures_per_year,
+        "human_errors_per_year": errors_per_year,
+        "human_errors_per_day": errors_per_year / 365.0,
+    }
+
+
+def downtime_saved_by_policy(
+    geometry: RaidGeometry,
+    params: AvailabilityParameters,
+    usable_disks: int,
+) -> Dict[str, float]:
+    """Return yearly downtime under each policy and the saving from fail-over."""
+    conventional = fleet_workload(geometry, params, usable_disks, ModelKind.CONVENTIONAL)
+    failover = fleet_workload(geometry, params, usable_disks, ModelKind.AUTOMATIC_FAILOVER)
+    return {
+        "conventional_downtime_hours_per_year": conventional.subsystem_downtime_hours_per_year,
+        "failover_downtime_hours_per_year": failover.subsystem_downtime_hours_per_year,
+        "downtime_saved_hours_per_year": (
+            conventional.subsystem_downtime_hours_per_year
+            - failover.subsystem_downtime_hours_per_year
+        ),
+    }
+
+
+def downtime_saved_by_training(
+    geometry: RaidGeometry,
+    params: AvailabilityParameters,
+    usable_disks: int,
+    improved_hep: float,
+    model: ModelKind = ModelKind.CONVENTIONAL,
+) -> Dict[str, float]:
+    """Return yearly downtime before/after a procedure improvement lowers hep."""
+    if improved_hep > params.hep:
+        raise ConfigurationError(
+            f"improved hep {improved_hep!r} must not exceed the current hep {params.hep!r}"
+        )
+    before = fleet_workload(geometry, params, usable_disks, model)
+    after = fleet_workload(geometry, params.with_hep(improved_hep), usable_disks, model)
+    return {
+        "downtime_before_hours_per_year": before.subsystem_downtime_hours_per_year,
+        "downtime_after_hours_per_year": after.subsystem_downtime_hours_per_year,
+        "downtime_saved_hours_per_year": (
+            before.subsystem_downtime_hours_per_year
+            - after.subsystem_downtime_hours_per_year
+        ),
+        "wrong_pulls_avoided_per_year": before.wrong_pulls_per_year - after.wrong_pulls_per_year,
+    }

@@ -1,0 +1,146 @@
+"""Effective Replication Factor (ERF) and equal-capacity sizing.
+
+The paper explains the RAID-ranking inversion through the Effective
+Replication Factor — the ratio of physical to usable (logical) capacity
+(the term comes from Facebook's f4 paper).  A RAID1 mirror has ERF 2, a
+RAID5 ``(k+1)`` group has ERF ``(k+1)/k``.  At equal usable capacity a
+higher ERF means more physical disks, hence more failures and more operator
+interventions, hence more opportunities for human error.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.exceptions import RaidConfigurationError
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Physical layout required to provide a given usable capacity.
+
+    Attributes
+    ----------
+    usable_disks:
+        Usable (logical) capacity expressed in units of one disk.
+    arrays:
+        Number of RAID groups required.
+    disks_per_array:
+        Physical disks per group.
+    total_disks:
+        Total physical disks (``arrays * disks_per_array``).
+    erf:
+        Effective replication factor of the layout.
+    """
+
+    usable_disks: int
+    arrays: int
+    disks_per_array: int
+    total_disks: int
+    erf: float
+
+
+def erf_raid1(mirrors: int = 2) -> float:
+    """Return the ERF of an ``mirrors``-way mirror (2.0 for RAID1 1+1)."""
+    mirrors = int(mirrors)
+    if mirrors < 2:
+        raise RaidConfigurationError(f"a mirror needs at least two copies, got {mirrors!r}")
+    return float(mirrors)
+
+
+def erf_raid5(data_disks: int) -> float:
+    """Return the ERF of a RAID5 group with ``data_disks`` data disks."""
+    data_disks = int(data_disks)
+    if data_disks < 2:
+        raise RaidConfigurationError(
+            f"RAID5 needs at least two data disks, got {data_disks!r}"
+        )
+    return (data_disks + 1) / data_disks
+
+
+def erf_raid6(data_disks: int) -> float:
+    """Return the ERF of a RAID6 group with ``data_disks`` data disks."""
+    data_disks = int(data_disks)
+    if data_disks < 2:
+        raise RaidConfigurationError(
+            f"RAID6 needs at least two data disks, got {data_disks!r}"
+        )
+    return (data_disks + 2) / data_disks
+
+
+def erf_for_geometry(data_disks: int, parity_disks: int, copies: int = 1) -> float:
+    """Return the ERF of a generic ``data + parity`` geometry with replication."""
+    data_disks = int(data_disks)
+    parity_disks = int(parity_disks)
+    copies = int(copies)
+    if data_disks < 1 or parity_disks < 0 or copies < 1:
+        raise RaidConfigurationError(
+            f"invalid geometry: data={data_disks}, parity={parity_disks}, copies={copies}"
+        )
+    return copies * (data_disks + parity_disks) / data_disks
+
+
+def plan_equal_usable_capacity(
+    usable_disks: int, data_disks_per_array: int, disks_per_array: int
+) -> CapacityPlan:
+    """Return the layout providing ``usable_disks`` of logical capacity.
+
+    Parameters
+    ----------
+    usable_disks:
+        Required logical capacity in disk units; must be divisible by
+        ``data_disks_per_array`` so the comparison is exact (the paper uses
+        capacities divisible by 1, 3 and 7 simultaneously, e.g. 21).
+    data_disks_per_array:
+        Data (non-redundant) disks per RAID group: 1 for RAID1(1+1), 3 for
+        RAID5(3+1), 7 for RAID5(7+1).
+    disks_per_array:
+        Physical disks per RAID group: 2, 4 and 8 respectively.
+    """
+    usable_disks = int(usable_disks)
+    data_disks_per_array = int(data_disks_per_array)
+    disks_per_array = int(disks_per_array)
+    if usable_disks < 1:
+        raise RaidConfigurationError(f"usable capacity must be positive, got {usable_disks!r}")
+    if data_disks_per_array < 1 or disks_per_array <= data_disks_per_array - 1:
+        raise RaidConfigurationError(
+            "disks_per_array must exceed or equal data_disks_per_array"
+        )
+    if usable_disks % data_disks_per_array != 0:
+        raise RaidConfigurationError(
+            f"usable capacity {usable_disks} is not divisible by "
+            f"{data_disks_per_array} data disks per array"
+        )
+    arrays = usable_disks // data_disks_per_array
+    total = arrays * disks_per_array
+    return CapacityPlan(
+        usable_disks=usable_disks,
+        arrays=arrays,
+        disks_per_array=disks_per_array,
+        total_disks=total,
+        erf=total / usable_disks,
+    )
+
+
+def smallest_common_usable_capacity(*data_disk_counts: int) -> int:
+    """Return the least usable capacity divisible by every group's data disks."""
+    if not data_disk_counts:
+        raise RaidConfigurationError("at least one data-disk count is required")
+    result = 1
+    for count in data_disk_counts:
+        count = int(count)
+        if count < 1:
+            raise RaidConfigurationError(f"data disk count must be positive, got {count!r}")
+        result = result * count // math.gcd(result, count)
+    return result
+
+
+def erf_table() -> Dict[str, float]:
+    """Return the ERF values quoted in the paper for its three configurations."""
+    return {
+        "RAID1(1+1)": erf_raid1(2),
+        "RAID5(3+1)": erf_raid5(3),
+        "RAID5(7+1)": erf_raid5(7),
+    }

@@ -1,0 +1,164 @@
+"""Availability arithmetic: nines, downtime, MTTF/MTTR identities.
+
+The paper reports availability as a "number of nines":
+``nines = -log10(1 - A)``.  This module centralises the conversions between
+availability, unavailability, nines, downtime-per-year and the classic
+``A = MTTF / (MTTF + MTTR)`` identity so that the Markov, Monte Carlo and
+comparison layers all agree on the arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.exceptions import ConfigurationError
+
+#: Hours in a (non-leap) year; the constant used by the storage industry when
+#: quoting downtime minutes per year.
+HOURS_PER_YEAR = 8760.0
+
+#: Cap applied when converting a perfect availability of 1.0 to nines, so
+#: that reports stay finite. 300 nines is far beyond any physical meaning.
+MAX_NINES = 300.0
+
+
+def validate_probability(value: float, label: str = "probability") -> float:
+    """Return ``value`` after checking it lies in ``[0, 1]``."""
+    value = float(value)
+    if not math.isfinite(value) or value < 0.0 or value > 1.0:
+        raise ConfigurationError(f"{label} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def availability_to_nines(availability: float) -> float:
+    """Convert an availability in ``[0, 1]`` to a number of nines.
+
+    ``0.999`` maps to ``3.0``; an availability of exactly one maps to
+    :data:`MAX_NINES` rather than infinity so tables stay printable.
+    """
+    availability = validate_probability(availability, "availability")
+    unavailability = 1.0 - availability
+    if unavailability <= 0.0:
+        return MAX_NINES
+    return -math.log10(unavailability)
+
+
+def nines_to_availability(nines: float) -> float:
+    """Convert a number of nines back to an availability."""
+    nines = float(nines)
+    if not math.isfinite(nines) or nines < 0.0:
+        raise ConfigurationError(f"nines must be a non-negative finite number, got {nines!r}")
+    return 1.0 - 10.0 ** (-nines)
+
+
+def unavailability_to_nines(unavailability: float) -> float:
+    """Convert an unavailability in ``[0, 1]`` to a number of nines."""
+    unavailability = validate_probability(unavailability, "unavailability")
+    if unavailability <= 0.0:
+        return MAX_NINES
+    return -math.log10(unavailability)
+
+
+def downtime_hours_per_year(availability: float) -> float:
+    """Return expected downtime hours accumulated per year of operation."""
+    availability = validate_probability(availability, "availability")
+    return (1.0 - availability) * HOURS_PER_YEAR
+
+
+def downtime_minutes_per_year(availability: float) -> float:
+    """Return expected downtime minutes accumulated per year of operation."""
+    return downtime_hours_per_year(availability) * 60.0
+
+
+def downtime_to_availability(downtime_hours: float, period_hours: float = HOURS_PER_YEAR) -> float:
+    """Return the availability implied by ``downtime_hours`` per ``period_hours``."""
+    downtime_hours = float(downtime_hours)
+    period_hours = float(period_hours)
+    if period_hours <= 0.0:
+        raise ConfigurationError(f"period must be positive, got {period_hours!r}")
+    if downtime_hours < 0.0 or downtime_hours > period_hours:
+        raise ConfigurationError(
+            f"downtime {downtime_hours!r} must lie in [0, {period_hours!r}]"
+        )
+    return 1.0 - downtime_hours / period_hours
+
+
+def availability_from_mttf_mttr(mttf_hours: float, mttr_hours: float) -> float:
+    """Return the classic two-state availability ``MTTF / (MTTF + MTTR)``."""
+    mttf_hours = float(mttf_hours)
+    mttr_hours = float(mttr_hours)
+    if mttf_hours <= 0.0:
+        raise ConfigurationError(f"MTTF must be positive, got {mttf_hours!r}")
+    if mttr_hours < 0.0:
+        raise ConfigurationError(f"MTTR must be non-negative, got {mttr_hours!r}")
+    return mttf_hours / (mttf_hours + mttr_hours)
+
+
+def unavailability_ratio(unavailability_a: float, unavailability_b: float) -> float:
+    """Return ``unavailability_a / unavailability_b`` with guard rails.
+
+    Used to express "model A predicts N times more downtime than model B" —
+    the form of the paper's 263X underestimation claim.  A zero denominator
+    yields ``inf``.
+    """
+    ua = validate_probability(unavailability_a, "unavailability_a")
+    ub = validate_probability(unavailability_b, "unavailability_b")
+    if ub <= 0.0:
+        return float("inf")
+    return ua / ub
+
+
+def series_availability(availabilities: Iterable[float]) -> float:
+    """Return the availability of components that must all be up (series).
+
+    A storage subsystem made of multiple independent RAID groups is modelled
+    as a series system: the subsystem is available only when every group is
+    available.  This is how the equal-usable-capacity comparison aggregates
+    per-array availabilities.
+    """
+    product = 1.0
+    count = 0
+    for value in availabilities:
+        product *= validate_probability(value, "availability")
+        count += 1
+    if count == 0:
+        raise ConfigurationError("series_availability requires at least one component")
+    return product
+
+
+def parallel_availability(availabilities: Iterable[float]) -> float:
+    """Return the availability of redundant components (any one suffices)."""
+    product = 1.0
+    count = 0
+    for value in availabilities:
+        product *= 1.0 - validate_probability(value, "availability")
+        count += 1
+    if count == 0:
+        raise ConfigurationError("parallel_availability requires at least one component")
+    return 1.0 - product
+
+
+def k_out_of_n_availability(component_availability: float, k: int, n: int) -> float:
+    """Return the availability of a k-out-of-n system of identical components.
+
+    A RAID5 group of ``n`` disks tolerates a single missing disk, i.e. it is
+    an ``(n-1)``-out-of-``n`` structure at the *instantaneous* level.  This
+    combinatorial form ignores repair dynamics and is provided for
+    back-of-envelope cross-checks of the Markov results.
+    """
+    p = validate_probability(component_availability, "component availability")
+    k = int(k)
+    n = int(n)
+    if n <= 0 or k <= 0 or k > n:
+        raise ConfigurationError(f"invalid k-out-of-n structure: k={k}, n={n}")
+    total = 0.0
+    for i in range(k, n + 1):
+        total += math.comb(n, i) * p ** i * (1.0 - p) ** (n - i)
+    return total
+
+
+def aggregate_nines(nines_values: Sequence[float]) -> float:
+    """Return the nines of a series system given per-component nines."""
+    availabilities = [nines_to_availability(v) for v in nines_values]
+    return availability_to_nines(series_availability(availabilities))

@@ -1,0 +1,129 @@
+"""Mean Time To Data Loss (MTTDL) estimators for RAID groups.
+
+MTTDL is the traditional reliability headline for disk arrays (Greenan et
+al., HotStorage'10 discuss its limitations, which the paper echoes).  These
+closed-form estimators serve two purposes here:
+
+* sanity bounds for the Markov chain MTTF computations (the classic
+  formulas are the ``hep = 0`` limit of the chain-based numbers), and
+* inputs to the documentation-style reports comparing "what the datasheet
+  math says" against "what the human-error-aware model says".
+
+All formulas assume exponential failure (rate ``lam`` per disk-hour) and
+repair (rate ``mu`` per hour), independent disks and a backed-up system so
+data loss means unavailability, not permanent loss.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.exceptions import ConfigurationError
+
+
+def _check_rates(lam: float, mu: float) -> None:
+    if lam <= 0.0 or not math.isfinite(lam):
+        raise ConfigurationError(f"disk failure rate must be positive, got {lam!r}")
+    if mu <= 0.0 or not math.isfinite(mu):
+        raise ConfigurationError(f"repair rate must be positive, got {mu!r}")
+
+
+def mttdl_raid0(n_disks: int, disk_failure_rate: float) -> float:
+    """Return the MTTDL (hours) of an unprotected stripe of ``n_disks``.
+
+    Any single failure loses data, so the MTTDL is ``1 / (n * lam)``.
+    """
+    n = int(n_disks)
+    if n < 1:
+        raise ConfigurationError(f"RAID0 requires at least one disk, got {n!r}")
+    _check_rates(disk_failure_rate, 1.0)
+    return 1.0 / (n * disk_failure_rate)
+
+
+def mttdl_raid5(n_disks: int, disk_failure_rate: float, repair_rate: float) -> float:
+    """Return the classic RAID5 MTTDL: ``mu / (n (n-1) lam^2)`` (approx).
+
+    The exact two-state birth-death result is
+    ``(2n - 1) lam + mu) / (n (n-1) lam^2)``; the approximation drops the
+    ``(2n-1) lam`` term which is negligible when repairs are much faster
+    than failures.  The exact value is returned.
+    """
+    n = int(n_disks)
+    if n < 2:
+        raise ConfigurationError(f"RAID5 requires at least two disks, got {n!r}")
+    lam = float(disk_failure_rate)
+    mu = float(repair_rate)
+    _check_rates(lam, mu)
+    return ((2 * n - 1) * lam + mu) / (n * (n - 1) * lam * lam)
+
+
+def mttdl_raid1(disk_failure_rate: float, repair_rate: float, mirrors: int = 2) -> float:
+    """Return the MTTDL of an ``mirrors``-way mirror (default two-way).
+
+    For a two-way mirror this coincides with :func:`mttdl_raid5` evaluated at
+    ``n = 2``.  Deeper mirrors use the standard birth-death recursion.
+    """
+    m = int(mirrors)
+    if m < 2:
+        raise ConfigurationError(f"a mirror requires at least two copies, got {m!r}")
+    lam = float(disk_failure_rate)
+    mu = float(repair_rate)
+    _check_rates(lam, mu)
+    if m == 2:
+        return mttdl_raid5(2, lam, mu)
+    # Birth-death chain with states = number of failed copies, absorbing at m.
+    # Mean absorption times h satisfy the tridiagonal system Q_TT h = -1.
+    import numpy as np
+
+    size = m  # transient states 0..m-1
+    a = np.zeros((size, size))
+    b = -np.ones(size)
+    for k in range(size):
+        fail_rate = (m - k) * lam
+        repair = mu if k > 0 else 0.0
+        a[k, k] = -(fail_rate + repair)
+        if k + 1 < size:
+            a[k, k + 1] = fail_rate
+        if k > 0:
+            a[k, k - 1] = repair
+    sol = np.linalg.solve(a, b)
+    return float(sol[0])
+
+
+def mttdl_raid6(n_disks: int, disk_failure_rate: float, repair_rate: float) -> float:
+    """Return the classic RAID6 (double-parity) MTTDL.
+
+    Exact mean absorption time of the three-up-states birth-death chain
+    (0, 1, 2 failed disks transient; 3 failed disks absorbing).
+    """
+    n = int(n_disks)
+    if n < 3:
+        raise ConfigurationError(f"RAID6 requires at least three disks, got {n!r}")
+    lam = float(disk_failure_rate)
+    mu = float(repair_rate)
+    _check_rates(lam, mu)
+    import numpy as np
+
+    a = np.array(
+        [
+            [-(n * lam), n * lam, 0.0],
+            [mu, -(mu + (n - 1) * lam), (n - 1) * lam],
+            [0.0, mu, -(mu + (n - 2) * lam)],
+        ]
+    )
+    b = -np.ones(3)
+    sol = np.linalg.solve(a, b)
+    return float(sol[0])
+
+
+def mttdl_summary(
+    n_disks: int, disk_failure_rate: float, repair_rate: float
+) -> Dict[str, float]:
+    """Return a dictionary of MTTDL values for the common RAID levels."""
+    return {
+        "raid0": mttdl_raid0(n_disks, disk_failure_rate),
+        "raid1": mttdl_raid1(disk_failure_rate, repair_rate),
+        "raid5": mttdl_raid5(n_disks, disk_failure_rate, repair_rate),
+        "raid6": mttdl_raid6(max(n_disks, 3), disk_failure_rate, repair_rate),
+    }

@@ -1,0 +1,134 @@
+"""Plain-text table rendering for availability results.
+
+The benchmark harness prints the same rows/series the paper's figures show.
+This module renders those series as aligned ASCII tables so the benches and
+examples read like the paper's tables without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+Number = Union[int, float]
+Cell = Union[str, Number]
+
+
+@dataclass
+class Table:
+    """A simple column-oriented table with a title and aligned rendering.
+
+    Attributes
+    ----------
+    title:
+        Heading printed above the table.
+    columns:
+        Ordered column names.
+    rows:
+        List of row mappings; missing cells render as ``"-"``.
+    notes:
+        Free-form footnotes printed below the table.
+    """
+
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Cell]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **cells: Cell) -> "Table":
+        """Append a row given as keyword arguments keyed by column name."""
+        unknown = set(cells) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)}; table has {self.columns}")
+        self.rows.append(dict(cells))
+        return self
+
+    def add_note(self, note: str) -> "Table":
+        """Append a footnote."""
+        self.notes.append(str(note))
+        return self
+
+    def column(self, name: str) -> List[Cell]:
+        """Return the values of one column in row order."""
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}")
+        return [row.get(name, "-") for row in self.rows]
+
+    def render(self, float_format: str = "{:.4g}") -> str:
+        """Return the table as aligned plain text."""
+        header = list(self.columns)
+        body: List[List[str]] = []
+        for row in self.rows:
+            rendered: List[str] = []
+            for col in header:
+                value = row.get(col, "-")
+                rendered.append(_format_cell(value, float_format))
+            body.append(rendered)
+        widths = [len(col) for col in header]
+        for rendered in body:
+            for i, cell in enumerate(rendered):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * max(len(self.title), 1)]
+        lines.append("  ".join(col.ljust(widths[i]) for i, col in enumerate(header)))
+        lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+        for rendered in body:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(rendered)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_dicts(self) -> List[Dict[str, Cell]]:
+        """Return a copy of the rows as plain dictionaries."""
+        return [dict(row) for row in self.rows]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def _format_cell(value: Cell, float_format: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, (int,)):
+        return str(value)
+    if isinstance(value, float):
+        return float_format.format(value)
+    return str(value)
+
+
+def table_from_series(
+    title: str,
+    x_name: str,
+    x_values: Sequence[Number],
+    series: Mapping[str, Sequence[Number]],
+    notes: Optional[Iterable[str]] = None,
+) -> Table:
+    """Build a table with one x column and one column per named series.
+
+    This is the shape of every figure in the paper: an x axis (failure rate
+    or human error probability) against several availability curves.
+    """
+    columns = [x_name] + list(series.keys())
+    table = Table(title=title, columns=columns)
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points but x has {len(x_values)}"
+            )
+    for i, x in enumerate(x_values):
+        row: Dict[str, Cell] = {x_name: x}
+        for name, values in series.items():
+            row[name] = values[i]
+        table.rows.append(row)
+    for note in notes or ():
+        table.add_note(note)
+    return table
+
+
+def format_nines(nines: float) -> str:
+    """Render a number of nines with two decimals, e.g. ``'7.23 nines'``."""
+    return f"{nines:.2f} nines"
+
+
+def format_availability(availability: float) -> str:
+    """Render an availability with enough digits to show the nines."""
+    return f"{availability:.12f}"

@@ -1,0 +1,119 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the common workflows without writing any code:
+
+``solve``
+    Solve one analytical model and print availability, nines and downtime.
+``compare``
+    Equal-usable-capacity comparison of the paper's three RAID layouts.
+``reproduce``
+    Regenerate the paper's figures (optionally including the Monte Carlo
+    validation) and print the tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.availability.metrics import downtime_minutes_per_year
+from repro.core.comparison import compare_equal_capacity, ranking
+from repro.core.models.generic import ModelKind, solve_model
+from repro.core.parameters import paper_parameters
+from repro.experiments.runner import run_all_experiments
+from repro.storage.raid import RaidGeometry
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Return the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Availability of data storage systems under human errors (DATE 2017 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    solve = subparsers.add_parser("solve", help="solve one analytical availability model")
+    solve.add_argument("--raid", default="RAID5(3+1)", help="RAID label, e.g. RAID5(7+1) or RAID1(1+1)")
+    solve.add_argument("--failure-rate", type=float, default=1e-6, help="disk failure rate per hour")
+    solve.add_argument("--hep", type=float, default=0.001, help="human error probability")
+    solve.add_argument(
+        "--model",
+        choices=[kind.value for kind in ModelKind],
+        default=ModelKind.CONVENTIONAL.value,
+        help="which analytical model to solve",
+    )
+
+    compare = subparsers.add_parser("compare", help="equal-capacity RAID comparison")
+    compare.add_argument("--failure-rate", type=float, default=1e-6)
+    compare.add_argument("--hep", type=float, default=0.01)
+    compare.add_argument("--usable-disks", type=int, default=21)
+
+    reproduce = subparsers.add_parser("reproduce", help="regenerate the paper's figures")
+    reproduce.add_argument("--mc-iterations", type=int, default=8000)
+    reproduce.add_argument("--no-mc", action="store_true", help="skip the Monte Carlo validation")
+
+    return parser
+
+
+def _run_solve(args: argparse.Namespace) -> str:
+    params = paper_parameters(
+        geometry=RaidGeometry.from_label(args.raid),
+        disk_failure_rate=args.failure_rate,
+        hep=args.hep,
+    )
+    kind = ModelKind(args.model)
+    result = solve_model(params, kind)
+    lines = [
+        f"model:              {kind.value}",
+        f"geometry:           {params.geometry.label}",
+        f"disk failure rate:  {params.disk_failure_rate:g} /h",
+        f"hep:                {params.hep:g}",
+        f"availability:       {result.availability:.12f}",
+        f"nines:              {result.nines:.3f}",
+        f"downtime per year:  {downtime_minutes_per_year(result.availability):.4f} minutes",
+    ]
+    return "\n".join(lines)
+
+
+def _run_compare(args: argparse.Namespace) -> str:
+    base = paper_parameters(disk_failure_rate=args.failure_rate, hep=args.hep)
+    model = ModelKind.BASELINE if args.hep == 0.0 else ModelKind.CONVENTIONAL
+    comparisons = compare_equal_capacity(base, usable_disks=args.usable_disks, model=model)
+    lines = [
+        f"usable capacity: {args.usable_disks} disks, lambda={args.failure_rate:g}/h, hep={args.hep:g}",
+        f"{'configuration':<14}{'disks':>7}{'ERF':>7}{'nines':>9}",
+    ]
+    for entry in comparisons:
+        lines.append(
+            f"{entry.geometry_label:<14}{entry.total_disks:>7}{entry.erf:>7.2f}"
+            f"{entry.subsystem_nines:>9.3f}"
+        )
+    lines.append("ranking (best first): " + " > ".join(ranking(comparisons)))
+    return "\n".join(lines)
+
+
+def _run_reproduce(args: argparse.Namespace) -> str:
+    report = run_all_experiments(
+        mc_iterations=args.mc_iterations,
+        include_monte_carlo=not args.no_mc,
+    )
+    return report.render()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "solve":
+        print(_run_solve(args))
+    elif args.command == "compare":
+        print(_run_compare(args))
+    elif args.command == "reproduce":
+        print(_run_reproduce(args))
+    else:  # pragma: no cover - argparse enforces the choices
+        parser.error(f"unknown command {args.command!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,78 @@
+"""Core contribution: the paper's availability models and analyses."""
+
+from repro.core.comparison import (
+    ConfigurationComparison,
+    compare_configuration,
+    compare_equal_capacity,
+    nines_by_configuration,
+    ranking,
+    ranking_inverted_by_human_error,
+)
+from repro.core.models import (
+    ModelDescriptor,
+    ModelKind,
+    baseline_availability,
+    build_baseline_chain,
+    build_chain,
+    build_conventional_chain,
+    build_failover_chain,
+    conventional_availability,
+    failover_availability,
+    solve_model,
+)
+from repro.core.montecarlo import (
+    MonteCarloConfig,
+    MonteCarloResult,
+    estimate_availability,
+    run_monte_carlo,
+    run_monte_carlo_with_trace,
+)
+from repro.core.parameters import AvailabilityParameters, paper_parameters
+from repro.core.sweep import (
+    SweepPoint,
+    sweep_failure_rate,
+    sweep_hep,
+    sweep_hep_for_failure_rates,
+    sweep_policies,
+)
+from repro.core.underestimation import (
+    UnderestimationPoint,
+    maximum_underestimation,
+    underestimation_factor,
+    underestimation_sweep,
+)
+
+__all__ = [
+    "AvailabilityParameters",
+    "ConfigurationComparison",
+    "ModelDescriptor",
+    "ModelKind",
+    "MonteCarloConfig",
+    "MonteCarloResult",
+    "SweepPoint",
+    "UnderestimationPoint",
+    "baseline_availability",
+    "build_baseline_chain",
+    "build_chain",
+    "build_conventional_chain",
+    "build_failover_chain",
+    "compare_configuration",
+    "compare_equal_capacity",
+    "conventional_availability",
+    "estimate_availability",
+    "failover_availability",
+    "maximum_underestimation",
+    "nines_by_configuration",
+    "paper_parameters",
+    "ranking",
+    "ranking_inverted_by_human_error",
+    "run_monte_carlo",
+    "run_monte_carlo_with_trace",
+    "solve_model",
+    "sweep_failure_rate",
+    "sweep_hep",
+    "sweep_hep_for_failure_rates",
+    "sweep_policies",
+    "underestimation_factor",
+    "underestimation_sweep",
+]

@@ -1,0 +1,157 @@
+"""Equal-usable-capacity comparison of RAID configurations.
+
+The paper's Fig. 6 compares RAID1(1+1), RAID5(3+1) and RAID5(7+1) *at the
+same usable capacity*: because their Effective Replication Factors differ
+(2, 1.33, 1.14), they need different numbers of physical disks and different
+numbers of RAID groups to store the same data.  The subsystem is a series
+system of its groups, so the comparison couples each geometry's per-group
+availability (from the Markov model) with the number of groups it needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.availability.erf import smallest_common_usable_capacity
+from repro.availability.metrics import availability_to_nines, downtime_hours_per_year
+from repro.core.models.generic import ModelKind, solve_model
+from repro.core.parameters import AvailabilityParameters
+from repro.exceptions import ConfigurationError
+from repro.storage.raid import RaidGeometry, paper_configurations
+from repro.storage.subsystem import DiskSubsystem
+
+
+@dataclass(frozen=True)
+class ConfigurationComparison:
+    """Availability of one RAID configuration at a fixed usable capacity."""
+
+    geometry_label: str
+    n_arrays: int
+    total_disks: int
+    erf: float
+    array_availability: float
+    array_nines: float
+    subsystem_availability: float
+    subsystem_nines: float
+    downtime_hours_per_year: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return a serialisable row for reports."""
+        return {
+            "configuration": self.geometry_label,
+            "arrays": self.n_arrays,
+            "total_disks": self.total_disks,
+            "erf": self.erf,
+            "array_availability": self.array_availability,
+            "array_nines": self.array_nines,
+            "subsystem_availability": self.subsystem_availability,
+            "subsystem_nines": self.subsystem_nines,
+            "downtime_hours_per_year": self.downtime_hours_per_year,
+        }
+
+
+def compare_configuration(
+    geometry: RaidGeometry,
+    base_params: AvailabilityParameters,
+    usable_disks: int,
+    model: ModelKind = ModelKind.CONVENTIONAL,
+    method: str = "dense",
+) -> ConfigurationComparison:
+    """Evaluate one geometry at the requested usable capacity."""
+    params = base_params.with_geometry(geometry)
+    subsystem = DiskSubsystem.for_usable_capacity(geometry, usable_disks)
+    array_result = solve_model(params, model, method=method)
+    aggregated = subsystem.aggregate_availability(
+        array_result.availability, params.disk_failure_rate
+    )
+    return ConfigurationComparison(
+        geometry_label=geometry.label,
+        n_arrays=subsystem.n_arrays,
+        total_disks=subsystem.total_disks,
+        erf=subsystem.effective_replication_factor,
+        array_availability=array_result.availability,
+        array_nines=array_result.nines,
+        subsystem_availability=aggregated.subsystem_availability,
+        subsystem_nines=aggregated.subsystem_nines,
+        downtime_hours_per_year=downtime_hours_per_year(aggregated.subsystem_availability),
+    )
+
+
+def compare_equal_capacity(
+    base_params: AvailabilityParameters,
+    geometries: Optional[Sequence[RaidGeometry]] = None,
+    usable_disks: Optional[int] = None,
+    model: ModelKind = ModelKind.CONVENTIONAL,
+    method: str = "dense",
+) -> List[ConfigurationComparison]:
+    """Compare several geometries at the same usable capacity.
+
+    Parameters
+    ----------
+    base_params:
+        Shared rates and hep; the geometry field is overridden per entry.
+    geometries:
+        Configurations to compare; defaults to the paper's three.
+    usable_disks:
+        Usable capacity in disk units; defaults to the smallest capacity
+        divisible by every geometry's data-disk count (21 for the paper's
+        trio), which keeps the comparison exact.
+    model:
+        Analytical model to use per array.
+    """
+    configs = list(geometries) if geometries is not None else paper_configurations()
+    if not configs:
+        raise ConfigurationError("at least one geometry is required")
+    if usable_disks is None:
+        usable_disks = smallest_common_usable_capacity(
+            *[geometry.data_disks for geometry in configs]
+        )
+    return [
+        compare_configuration(geometry, base_params, usable_disks, model=model, method=method)
+        for geometry in configs
+    ]
+
+
+def ranking(comparisons: Sequence[ConfigurationComparison]) -> List[str]:
+    """Return configuration labels ordered from most to least available."""
+    ordered = sorted(comparisons, key=lambda c: c.subsystem_availability, reverse=True)
+    return [entry.geometry_label for entry in ordered]
+
+
+def ranking_inverted_by_human_error(
+    base_params: AvailabilityParameters,
+    geometries: Optional[Sequence[RaidGeometry]] = None,
+    usable_disks: Optional[int] = None,
+    hep_with_error: float = 0.01,
+) -> Dict[str, List[str]]:
+    """Return the availability ranking with and without human error.
+
+    This is the paper's second headline observation: the ranking that holds
+    at ``hep = 0`` (mirroring wins) can invert once human errors are
+    accounted for, because the mirror's higher ERF means more disks and more
+    operator interventions.
+    """
+    without = compare_equal_capacity(
+        base_params.without_human_error(),
+        geometries=geometries,
+        usable_disks=usable_disks,
+        model=ModelKind.BASELINE,
+    )
+    with_error = compare_equal_capacity(
+        base_params.with_hep(hep_with_error),
+        geometries=geometries,
+        usable_disks=usable_disks,
+        model=ModelKind.CONVENTIONAL,
+    )
+    return {
+        "without_human_error": ranking(without),
+        "with_human_error": ranking(with_error),
+    }
+
+
+def nines_by_configuration(
+    comparisons: Sequence[ConfigurationComparison],
+) -> Dict[str, float]:
+    """Return ``{configuration label: subsystem nines}`` for plotting/tables."""
+    return {entry.geometry_label: entry.subsystem_nines for entry in comparisons}

@@ -1,0 +1,36 @@
+"""Analytical (Markov) availability models of the paper."""
+
+from repro.core.models.baseline import baseline_availability, build_baseline_chain
+from repro.core.models.generic import (
+    ModelDescriptor,
+    ModelKind,
+    available_models,
+    build_chain,
+    solve_model,
+)
+from repro.core.models.raid5_conventional import (
+    CONVENTIONAL_STATES,
+    build_conventional_chain,
+    conventional_availability,
+)
+from repro.core.models.raid5_failover import (
+    FAILOVER_STATES,
+    build_failover_chain,
+    failover_availability,
+)
+
+__all__ = [
+    "CONVENTIONAL_STATES",
+    "FAILOVER_STATES",
+    "ModelDescriptor",
+    "ModelKind",
+    "available_models",
+    "baseline_availability",
+    "build_baseline_chain",
+    "build_chain",
+    "build_conventional_chain",
+    "build_failover_chain",
+    "conventional_availability",
+    "failover_availability",
+    "solve_model",
+]

@@ -1,0 +1,112 @@
+"""Model dispatcher: build the right Markov chain for a (geometry, policy) pair.
+
+The experiments and examples rarely care which module implements a model;
+they ask for "RAID5(7+1), conventional policy, hep = 0.01" and want a chain
+plus its availability back.  This module provides that dispatch, covering:
+
+* the baseline (hep ignored) model,
+* the conventional-replacement human-error model (Fig. 2) for any
+  single-fault-tolerant geometry — RAID1 mirrors included, which is how the
+  paper evaluates RAID1(1+1), and
+* the automatic fail-over model (Fig. 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.core.models.baseline import baseline_availability, build_baseline_chain
+from repro.core.models.raid5_conventional import (
+    build_conventional_chain,
+    conventional_availability,
+)
+from repro.core.models.raid5_failover import build_failover_chain, failover_availability
+from repro.core.parameters import AvailabilityParameters
+from repro.exceptions import ConfigurationError
+from repro.human.policy import PolicyKind
+from repro.markov.chain import MarkovChain
+from repro.markov.metrics import AvailabilityResult
+
+
+class ModelKind(enum.Enum):
+    """Identifier of the analytical availability models."""
+
+    #: Classic model: human error ignored entirely (hep treated as 0).
+    BASELINE = "baseline"
+    #: Fig. 2: human error during conventional (immediate) replacement.
+    CONVENTIONAL = "conventional"
+    #: Fig. 3: human error under the automatic fail-over policy.
+    AUTOMATIC_FAILOVER = "automatic_failover"
+
+    @classmethod
+    def from_policy(cls, policy: PolicyKind) -> "ModelKind":
+        """Map a replacement policy onto the analytical model that captures it."""
+        if policy is PolicyKind.CONVENTIONAL:
+            return cls.CONVENTIONAL
+        if policy is PolicyKind.AUTOMATIC_FAILOVER:
+            return cls.AUTOMATIC_FAILOVER
+        raise ConfigurationError(f"unknown policy kind {policy!r}")
+
+
+@dataclass(frozen=True)
+class ModelDescriptor:
+    """A (parameters, model kind) pair ready to be built and solved."""
+
+    params: AvailabilityParameters
+    kind: ModelKind
+
+    def build(self) -> MarkovChain:
+        """Return the Markov chain of this model."""
+        return build_chain(self.params, self.kind)
+
+    def solve(self, method: str = "dense") -> AvailabilityResult:
+        """Return the steady-state availability of this model."""
+        return solve_model(self.params, self.kind, method=method)
+
+
+_BUILDERS: Dict[ModelKind, Callable[[AvailabilityParameters], MarkovChain]] = {
+    ModelKind.BASELINE: build_baseline_chain,
+    ModelKind.CONVENTIONAL: build_conventional_chain,
+    ModelKind.AUTOMATIC_FAILOVER: build_failover_chain,
+}
+
+_SOLVERS: Dict[ModelKind, Callable[..., AvailabilityResult]] = {
+    ModelKind.BASELINE: baseline_availability,
+    ModelKind.CONVENTIONAL: conventional_availability,
+    ModelKind.AUTOMATIC_FAILOVER: failover_availability,
+}
+
+
+def build_chain(params: AvailabilityParameters, kind: ModelKind) -> MarkovChain:
+    """Return the Markov chain for the requested model kind."""
+    try:
+        builder = _BUILDERS[kind]
+    except KeyError:
+        raise ConfigurationError(f"unknown model kind {kind!r}") from None
+    if kind is ModelKind.BASELINE:
+        return builder(params.without_human_error())
+    return builder(params)
+
+
+def solve_model(
+    params: AvailabilityParameters, kind: ModelKind, method: str = "dense"
+) -> AvailabilityResult:
+    """Return the steady-state availability for the requested model kind."""
+    try:
+        solver = _SOLVERS[kind]
+    except KeyError:
+        raise ConfigurationError(f"unknown model kind {kind!r}") from None
+    if kind is ModelKind.BASELINE:
+        return solver(params.without_human_error(), method=method)
+    return solver(params, method=method)
+
+
+def available_models() -> Dict[str, str]:
+    """Return a mapping of model-kind value to a one-line description."""
+    return {
+        ModelKind.BASELINE.value: "classic availability model, human error ignored",
+        ModelKind.CONVENTIONAL.value: "Fig. 2 — human error under conventional replacement",
+        ModelKind.AUTOMATIC_FAILOVER.value: "Fig. 3 — human error under automatic fail-over",
+    }

@@ -1,0 +1,121 @@
+"""Markov model of a RAID group with human errors, conventional replacement.
+
+This is the paper's Fig. 2 model.  Four states:
+
+``OP``
+    All disks operational.
+``EXP``
+    One disk failed; the array is degraded but serving data.  A technician
+    is working on the replacement.
+``DU``
+    The technician pulled a *working* disk instead of the failed one (wrong
+    disk replacement).  Two disks are now missing, so the data is
+    unavailable — but not lost: re-inserting the wrongly pulled disk fully
+    recovers the array.
+``DL``
+    Data loss: either a genuine double disk failure, or the wrongly pulled
+    disk crashed while it was out of the array.  The array is restored from
+    the backup (tape) at rate ``mu_DDF``.
+
+Transitions (rates per hour)::
+
+    OP  --n*lambda---------------> EXP
+    EXP --(n-1)*lambda-----------> DL      second failure during the window
+    EXP --hep * mu_DF------------> DU      replacement done, but wrong disk
+    EXP --(1-hep) * mu_DF--------> OP      replacement done correctly
+    DU  --(1-hep) * mu_he--------> OP      error detected and undone
+    DU  --lambda_crash-----------> DL      wrongly pulled disk crashes
+    DL  --mu_DDF-----------------> OP      restore from backup
+
+The ``hep * mu_he`` self-loop drawn in the paper's figure (another error
+during the recovery keeps the array in ``DU``) has no effect on a CTMC and
+is therefore omitted.  The same structure with ``n = 2`` is the paper's
+RAID1(1+1) model; any single-fault-tolerant geometry is accepted.
+"""
+
+from __future__ import annotations
+
+from repro.core.parameters import AvailabilityParameters
+from repro.exceptions import RaidConfigurationError
+from repro.markov.builder import ChainBuilder
+from repro.markov.chain import MarkovChain
+from repro.markov.metrics import AvailabilityResult, steady_state_availability
+
+#: State names of the conventional-replacement model, in declaration order.
+CONVENTIONAL_STATES = ("OP", "EXP", "DU", "DL")
+
+
+def build_conventional_chain(params: AvailabilityParameters) -> MarkovChain:
+    """Return the Fig. 2 chain for the given parameter set.
+
+    ``hep = 0`` is allowed and collapses the model to the baseline: the
+    ``DU`` state remains in the chain but becomes unreachable-by-rate only
+    when ``hep`` is exactly zero, in which case it is dropped to keep the
+    chain structurally clean.
+    """
+    geometry = params.geometry
+    if geometry.fault_tolerance != 1:
+        raise RaidConfigurationError(
+            "the conventional human-error model covers single-fault-tolerant "
+            f"geometries (RAID1 mirrors, RAID5); got {geometry.label}"
+        )
+    n = geometry.n_disks
+    lam = params.disk_failure_rate
+    mu_df = params.disk_repair_rate
+    mu_ddf = params.ddf_recovery_rate
+    mu_he = params.human_error_rate
+    lam_crash = params.crash_rate
+    hep = params.hep
+    # Guard against hep values so small that hep * mu underflows to zero,
+    # which would leave the DU state in the chain with no way to reach it.
+    if hep * mu_df <= 0.0 or hep * mu_he <= 0.0:
+        hep = 0.0
+
+    builder = ChainBuilder(name=f"conventional-{geometry.label}-hep={hep:g}")
+    builder.add_up_state("OP", description="all disks operational")
+    builder.add_up_state(
+        "EXP",
+        description="one disk failed; technician replacing it",
+        tags=("exposed",),
+    )
+    if hep > 0.0:
+        builder.add_down_state(
+            "DU",
+            description="working disk wrongly pulled; data unavailable",
+            tags=("human-error", "unavailable"),
+        )
+    builder.add_down_state(
+        "DL",
+        description="data lost (double failure or crashed wrong pull); restoring from backup",
+        tags=("data-loss",),
+    )
+
+    builder.add_transition("OP", "EXP", n * lam, label="n*lambda")
+    builder.add_transition("EXP", "DL", (n - 1) * lam, label="(n-1)*lambda")
+    builder.add_transition("EXP", "OP", (1.0 - hep) * mu_df, label="(1-hep)*mu_DF")
+    if hep > 0.0:
+        builder.add_transition("EXP", "DU", hep * mu_df, label="hep*mu_DF")
+        builder.add_transition("DU", "OP", (1.0 - hep) * mu_he, label="(1-hep)*mu_he")
+        builder.add_transition("DU", "DL", lam_crash, label="lambda_crash")
+    builder.add_transition("DL", "OP", mu_ddf, label="mu_DDF")
+    return builder.build()
+
+
+def conventional_availability(
+    params: AvailabilityParameters, method: str = "dense"
+) -> AvailabilityResult:
+    """Return the steady-state availability of the Fig. 2 model."""
+    return steady_state_availability(build_conventional_chain(params), method=method)
+
+
+def unavailability_breakdown(params: AvailabilityParameters, method: str = "dense") -> dict:
+    """Return the split of unavailability between human error and data loss.
+
+    The returned mapping has keys ``"du"`` (probability of sitting in the
+    wrong-replacement state), ``"dl"`` (probability of sitting in the
+    backup-restore state) and ``"total"``.
+    """
+    result = conventional_availability(params, method=method)
+    du = result.state_probabilities.get("DU", 0.0)
+    dl = result.state_probabilities.get("DL", 0.0)
+    return {"du": du, "dl": dl, "total": result.unavailability}

@@ -1,0 +1,221 @@
+"""Markov model of RAID5 with the automatic fail-over (delayed replacement) policy.
+
+This reproduces the paper's Fig. 3 model.  Under automatic fail-over the
+array keeps a hot spare; when a disk fails, its contents are first rebuilt
+onto the spare *without any human involvement*, and only after that on-line
+rebuild completes does a technician replace the dead hardware (restoring the
+spare).  Human hands therefore touch the array while it is fully redundant,
+so a wrong-disk error merely degrades the array instead of taking the data
+offline — this is the structural reason the policy wins roughly two orders
+of magnitude of availability at ``hep = 0.01``.
+
+State inventory (12 states, as in the paper's figure)
+------------------------------------------------------
+
+Up (data available):
+
+``OP``      all disks operational, hot spare present.
+``EXP1``    one disk failed, rebuild onto the hot spare in progress.
+``OPns``    all disks operational but no spare (the rebuild consumed it);
+            a technician is replacing the dead hardware.
+``EXPns1``  one disk failed and no spare available.
+``EXPns2``  a working disk was wrongly pulled during the hardware
+            replacement (array degraded), no spare.
+``EXP2``    as ``EXPns2`` but with a spare available.
+
+Down (data unavailable):
+
+``DUns1``   a failed disk plus a wrongly pulled disk, no spare.
+``DUns2``   two wrongly pulled disks outstanding, no spare.
+``DU1``     as ``DUns1`` with a spare available.
+``DU2``     as ``DUns2`` with a spare available.
+``DL``      double disk failure (data loss), spare available.
+``DLns``    double disk failure, no spare.
+
+Reconstruction notes
+--------------------
+
+The source text of the paper's Fig. 3 is partially garbled, so the
+transition set below is reconstructed from the prose of Section IV-B.  Two
+transitions are genuinely ambiguous in the prose and are resolved as
+follows (both are low-probability corners that do not affect the reported
+qualitative results; see DESIGN.md / EXPERIMENTS.md):
+
+* ``EXPns2 -> EXP2`` and ``DUns2 -> DU2`` at rate ``(1-hep)*mu_ch``: the
+  dead hardware whose replacement triggered the wrong pull is eventually
+  replaced, restoring the spare while the human error is still
+  outstanding.  This is the only way the "with spare" mirror states of the
+  paper's figure become reachable in the reconstruction.
+* ``EXPns1`` offers both recovery paths described in the prose: a
+  successful fail-over/rebuild (``(1-hep)*mu_DF`` to ``OPns``) and a
+  successful physical replacement (``(1-hep)*mu_ch`` to ``EXP1``); a human
+  error in either action leads to ``DUns1`` with the combined rate
+  ``hep*(mu_DF + mu_ch)``, exactly as labelled in the figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.parameters import AvailabilityParameters
+from repro.exceptions import RaidConfigurationError
+from repro.markov.builder import ChainBuilder
+from repro.markov.chain import MarkovChain
+from repro.markov.metrics import AvailabilityResult, steady_state_availability
+
+#: State names of the automatic fail-over model, in declaration order.
+FAILOVER_STATES = (
+    "OP",
+    "EXP1",
+    "OPns",
+    "EXPns1",
+    "EXPns2",
+    "EXP2",
+    "DUns1",
+    "DUns2",
+    "DU1",
+    "DU2",
+    "DL",
+    "DLns",
+)
+
+
+def build_failover_chain(params: AvailabilityParameters) -> MarkovChain:
+    """Return the Fig. 3 chain for the given parameter set.
+
+    With ``hep = 0`` every human-error state becomes unreachable; those
+    states are dropped so that validation still sees a clean chain, leaving
+    the five-state spare-aware baseline (OP, EXP1, OPns, EXPns1, DL, DLns).
+    """
+    geometry = params.geometry
+    if geometry.fault_tolerance != 1:
+        raise RaidConfigurationError(
+            "the automatic fail-over model covers single-fault-tolerant "
+            f"geometries (RAID1 mirrors, RAID5); got {geometry.label}"
+        )
+    n = geometry.n_disks
+    lam = params.disk_failure_rate
+    mu_df = params.disk_repair_rate
+    mu_ddf = params.ddf_recovery_rate
+    mu_he = params.human_error_rate
+    mu_ch = params.spare_replacement_rate
+    lam_crash = params.crash_rate
+    hep = params.hep
+    # Guard against hep values so small that hep * mu underflows to zero,
+    # which would leave human-error states in the chain with no inbound rate.
+    if min(hep * mu_df, hep * mu_ch, hep * mu_he) <= 0.0:
+        hep = 0.0
+    ok = 1.0 - hep
+
+    builder = ChainBuilder(name=f"failover-{geometry.label}-hep={hep:g}")
+
+    builder.add_up_state("OP", description="all disks operational, spare present")
+    builder.add_up_state("EXP1", description="one disk failed, rebuilding onto hot spare", tags=("exposed",))
+    builder.add_up_state("OPns", description="all disks operational, no spare; hardware replacement pending")
+    builder.add_up_state("EXPns1", description="one disk failed, no spare", tags=("exposed",))
+    if hep > 0.0:
+        builder.add_up_state(
+            "EXPns2",
+            description="working disk wrongly pulled during hardware replacement, no spare",
+            tags=("exposed", "human-error"),
+        )
+        builder.add_up_state(
+            "EXP2",
+            description="working disk wrongly pulled, spare available",
+            tags=("exposed", "human-error"),
+        )
+        builder.add_down_state(
+            "DUns1", description="failed disk + wrongly pulled disk, no spare", tags=("human-error",)
+        )
+        builder.add_down_state(
+            "DUns2", description="two wrongly pulled disks, no spare", tags=("human-error",)
+        )
+        builder.add_down_state(
+            "DU1", description="failed disk + wrongly pulled disk, spare available", tags=("human-error",)
+        )
+        builder.add_down_state(
+            "DU2", description="two wrongly pulled disks, spare available", tags=("human-error",)
+        )
+    builder.add_down_state("DL", description="double disk failure, spare available", tags=("data-loss",))
+    builder.add_down_state("DLns", description="double disk failure, no spare", tags=("data-loss",))
+
+    # --- fully redundant with spare -----------------------------------
+    builder.add_transition("OP", "EXP1", n * lam, label="n*lambda")
+
+    # --- rebuild onto the hot spare (no human involvement) -------------
+    builder.add_transition("EXP1", "OPns", mu_df, label="mu_DF")
+    builder.add_transition("EXP1", "DL", (n - 1) * lam, label="(n-1)*lambda")
+
+    # --- hardware replacement while fully redundant --------------------
+    builder.add_transition("OPns", "OP", ok * mu_ch, label="(1-hep)*mu_ch")
+    if hep > 0.0:
+        builder.add_transition("OPns", "EXPns2", hep * mu_ch, label="hep*mu_ch")
+    builder.add_transition("OPns", "EXPns1", n * lam, label="n*lambda")
+
+    # --- failed disk with no spare --------------------------------------
+    builder.add_transition("EXPns1", "OPns", ok * mu_df, label="(1-hep)*mu_DF")
+    builder.add_transition("EXPns1", "EXP1", ok * mu_ch, label="(1-hep)*mu_ch")
+    if hep > 0.0:
+        builder.add_transition(
+            "EXPns1", "DUns1", hep * (mu_df + mu_ch), label="hep*(mu_DF+mu_ch)"
+        )
+    builder.add_transition("EXPns1", "DLns", (n - 1) * lam, label="(n-1)*lambda")
+
+    if hep > 0.0:
+        # --- wrong pull while fully redundant, no spare -----------------
+        builder.add_transition("EXPns2", "OP", ok * mu_he, label="(1-hep)*mu_he")
+        builder.add_transition("EXPns2", "DUns2", hep * mu_he, label="hep*mu_he")
+        builder.add_transition("EXPns2", "EXPns1", lam_crash, label="lambda_crash")
+        builder.add_transition("EXPns2", "DUns1", (n - 1) * lam, label="(n-1)*lambda")
+        builder.add_transition("EXPns2", "EXP2", ok * mu_ch, label="(1-hep)*mu_ch")
+
+        # --- wrong pull while fully redundant, spare available ----------
+        builder.add_transition("EXP2", "OP", ok * mu_he, label="(1-hep)*mu_he")
+        builder.add_transition("EXP2", "DU2", hep * mu_he, label="hep*mu_he")
+        builder.add_transition("EXP2", "EXP1", lam_crash, label="lambda_crash")
+        builder.add_transition("EXP2", "DU1", (n - 1) * lam, label="(n-1)*lambda")
+
+        # --- data unavailable: failed disk + wrong pull, no spare -------
+        builder.add_transition("DUns1", "EXPns1", ok * mu_he, label="(1-hep)*mu_he")
+        builder.add_transition("DUns1", "DLns", lam_crash, label="lambda_crash")
+        builder.add_transition("DUns1", "OPns", mu_ddf, label="mu_DDF")
+        builder.add_transition("DUns1", "DU1", ok * mu_ch, label="(1-hep)*mu_ch")
+
+        # --- data unavailable: two wrong pulls, no spare -----------------
+        builder.add_transition("DUns2", "EXPns2", ok * mu_he, label="(1-hep)*mu_he")
+        builder.add_transition("DUns2", "DUns1", 2.0 * lam_crash, label="2*lambda_crash")
+        builder.add_transition("DUns2", "DU2", ok * mu_ch, label="(1-hep)*mu_ch")
+
+        # --- data unavailable: failed disk + wrong pull, spare available -
+        builder.add_transition("DU1", "EXP1", ok * mu_he, label="(1-hep)*mu_he")
+        builder.add_transition("DU1", "DL", lam_crash, label="lambda_crash")
+        builder.add_transition("DU1", "OP", mu_ddf, label="mu_DDF")
+
+        # --- data unavailable: two wrong pulls, spare available ----------
+        builder.add_transition("DU2", "EXP2", ok * mu_he, label="(1-hep)*mu_he")
+        builder.add_transition("DU2", "DU1", 2.0 * lam_crash, label="2*lambda_crash")
+
+    # --- data loss ------------------------------------------------------
+    builder.add_transition("DL", "OP", mu_ddf, label="mu_DDF")
+    builder.add_transition("DLns", "OPns", mu_ddf, label="mu_DDF")
+    builder.add_transition("DLns", "DL", ok * mu_ch, label="(1-hep)*mu_ch")
+
+    return builder.build()
+
+
+def failover_availability(
+    params: AvailabilityParameters, method: str = "dense"
+) -> AvailabilityResult:
+    """Return the steady-state availability of the Fig. 3 model."""
+    return steady_state_availability(build_failover_chain(params), method=method)
+
+
+def unavailability_breakdown(params: AvailabilityParameters, method: str = "dense") -> Dict[str, float]:
+    """Return unavailability split into human-error and data-loss states."""
+    result = failover_availability(params, method=method)
+    human = sum(
+        result.state_probabilities.get(name, 0.0)
+        for name in ("DUns1", "DUns2", "DU1", "DU2")
+    )
+    loss = sum(result.state_probabilities.get(name, 0.0) for name in ("DL", "DLns"))
+    return {"du": human, "dl": loss, "total": result.unavailability}

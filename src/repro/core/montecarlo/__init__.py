@@ -1,0 +1,46 @@
+"""Monte Carlo (simulation-based) availability model of the paper."""
+
+from repro.core.montecarlo.config import (
+    DEFAULT_HORIZON_HOURS,
+    DEFAULT_ITERATIONS,
+    MonteCarloConfig,
+)
+from repro.core.montecarlo.results import (
+    EpisodeTrace,
+    IterationResult,
+    MonteCarloResult,
+    merge_iteration_counters,
+)
+from repro.core.montecarlo.runner import (
+    estimate_availability,
+    run_iterations,
+    run_monte_carlo,
+    run_monte_carlo_with_trace,
+    summarise_iterations,
+)
+from repro.core.montecarlo.simulator import simulate_conventional, simulate_failover
+from repro.core.montecarlo.trace import (
+    generate_example_trace,
+    render_timeline,
+    summarise_trace,
+)
+
+__all__ = [
+    "DEFAULT_HORIZON_HOURS",
+    "DEFAULT_ITERATIONS",
+    "EpisodeTrace",
+    "IterationResult",
+    "MonteCarloConfig",
+    "MonteCarloResult",
+    "estimate_availability",
+    "generate_example_trace",
+    "merge_iteration_counters",
+    "render_timeline",
+    "run_iterations",
+    "run_monte_carlo",
+    "run_monte_carlo_with_trace",
+    "simulate_conventional",
+    "simulate_failover",
+    "summarise_iterations",
+    "summarise_trace",
+]

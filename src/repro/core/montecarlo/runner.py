@@ -1,0 +1,120 @@
+"""Multi-iteration Monte Carlo runner with confidence intervals.
+
+Runs many independent simulated lifetimes (as configured by
+:class:`~repro.core.montecarlo.config.MonteCarloConfig`), averages their
+availability and attaches a Student-t confidence interval — the estimator
+described in the paper's Section III, where the interval width shrinks with
+the square root of the iteration count.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.montecarlo.config import MonteCarloConfig
+from repro.core.montecarlo.results import (
+    EpisodeTrace,
+    IterationResult,
+    MonteCarloResult,
+    merge_iteration_counters,
+)
+from repro.core.montecarlo.simulator import simulate_conventional, simulate_failover
+from repro.core.parameters import AvailabilityParameters
+from repro.exceptions import ConfigurationError
+from repro.human.policy import PolicyKind
+from repro.simulation.confidence import confidence_interval
+from repro.simulation.rng import RandomStreams
+
+
+def _simulator_for(policy: PolicyKind) -> Callable:
+    if policy is PolicyKind.CONVENTIONAL:
+        return simulate_conventional
+    if policy is PolicyKind.AUTOMATIC_FAILOVER:
+        return simulate_failover
+    raise ConfigurationError(f"unknown policy kind {policy!r}")
+
+
+def run_iterations(
+    config: MonteCarloConfig,
+) -> Tuple[List[IterationResult], Optional[EpisodeTrace]]:
+    """Run all configured iterations and return their raw results.
+
+    The first iteration optionally records an event trace (Fig. 1 style).
+    """
+    simulator = _simulator_for(config.policy)
+    streams = RandomStreams(config.seed)
+    rng = streams.stream("montecarlo")
+    iterations: List[IterationResult] = []
+    trace: Optional[EpisodeTrace] = EpisodeTrace() if config.collect_trace else None
+    for index in range(config.n_iterations):
+        iteration_trace = trace if (index == 0 and trace is not None) else None
+        iterations.append(
+            simulator(config.params, config.horizon_hours, rng, trace=iteration_trace)
+        )
+    return iterations, trace
+
+
+def run_monte_carlo(config: MonteCarloConfig) -> MonteCarloResult:
+    """Run the configured study and return the aggregated result."""
+    iterations, _ = run_iterations(config)
+    return summarise_iterations(iterations, config)
+
+
+def run_monte_carlo_with_trace(
+    config: MonteCarloConfig,
+) -> Tuple[MonteCarloResult, EpisodeTrace]:
+    """Run the study and also return the first iteration's event trace."""
+    traced_config = (
+        config if config.collect_trace else MonteCarloConfig(
+            params=config.params,
+            policy=config.policy,
+            horizon_hours=config.horizon_hours,
+            n_iterations=config.n_iterations,
+            confidence=config.confidence,
+            seed=config.seed,
+            collect_trace=True,
+        )
+    )
+    iterations, trace = run_iterations(traced_config)
+    assert trace is not None  # collect_trace was forced on above
+    return summarise_iterations(iterations, traced_config), trace
+
+
+def summarise_iterations(
+    iterations: List[IterationResult], config: MonteCarloConfig
+) -> MonteCarloResult:
+    """Aggregate raw iteration results into a :class:`MonteCarloResult`."""
+    if len(iterations) < 2:
+        raise ConfigurationError("at least two iterations are required to summarise")
+    availabilities = np.array([it.availability for it in iterations], dtype=float)
+    interval = confidence_interval(availabilities, confidence=config.confidence)
+    return MonteCarloResult(
+        availability=float(availabilities.mean()),
+        interval=interval,
+        n_iterations=len(iterations),
+        horizon_hours=config.horizon_hours,
+        totals=merge_iteration_counters(iterations),
+        label=config.label(),
+    )
+
+
+def estimate_availability(
+    params: AvailabilityParameters,
+    policy: PolicyKind = PolicyKind.CONVENTIONAL,
+    n_iterations: int = 20_000,
+    horizon_hours: float = 10 * 8760.0,
+    seed: Optional[int] = 0,
+    confidence: float = 0.99,
+) -> MonteCarloResult:
+    """One-call convenience wrapper around :func:`run_monte_carlo`."""
+    config = MonteCarloConfig(
+        params=params,
+        policy=policy,
+        horizon_hours=horizon_hours,
+        n_iterations=n_iterations,
+        confidence=confidence,
+        seed=seed,
+    )
+    return run_monte_carlo(config)

@@ -1,0 +1,129 @@
+"""Parameter sweeps over the availability models.
+
+Every figure in the paper is a sweep: availability versus failure rate
+(Fig. 4), versus hep (Figs. 5-7), across RAID configurations (Fig. 6) and
+across policies (Fig. 7).  These helpers run such sweeps over the analytical
+models and return plain dictionaries of series, which the experiment modules
+and benchmarks turn into tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.models.generic import ModelKind, solve_model
+from repro.core.parameters import AvailabilityParameters
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated point of a parameter sweep."""
+
+    x: float
+    availability: float
+    unavailability: float
+    nines: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the point as a plain mapping."""
+        return {
+            "x": self.x,
+            "availability": self.availability,
+            "unavailability": self.unavailability,
+            "nines": self.nines,
+        }
+
+
+def _solve_point(params: AvailabilityParameters, model: ModelKind, x: float) -> SweepPoint:
+    result = solve_model(params, model)
+    return SweepPoint(
+        x=float(x),
+        availability=result.availability,
+        unavailability=result.unavailability,
+        nines=result.nines,
+    )
+
+
+def sweep_failure_rate(
+    base_params: AvailabilityParameters,
+    failure_rates: Sequence[float],
+    model: ModelKind = ModelKind.CONVENTIONAL,
+) -> List[SweepPoint]:
+    """Evaluate the model across a range of disk failure rates."""
+    if not failure_rates:
+        raise ConfigurationError("failure_rates must be non-empty")
+    return [
+        _solve_point(base_params.with_failure_rate(rate), model, rate)
+        for rate in failure_rates
+    ]
+
+
+def sweep_hep(
+    base_params: AvailabilityParameters,
+    hep_values: Sequence[float],
+    model: ModelKind = ModelKind.CONVENTIONAL,
+) -> List[SweepPoint]:
+    """Evaluate the model across a range of human error probabilities."""
+    if not hep_values:
+        raise ConfigurationError("hep_values must be non-empty")
+    points = []
+    for hep in hep_values:
+        params = base_params.with_hep(hep)
+        kind = ModelKind.BASELINE if hep == 0.0 and model is ModelKind.CONVENTIONAL else model
+        points.append(_solve_point(params, kind, hep))
+    return points
+
+
+def sweep_hep_for_failure_rates(
+    base_params: AvailabilityParameters,
+    hep_values: Sequence[float],
+    failure_rates: Sequence[float],
+    model: ModelKind = ModelKind.CONVENTIONAL,
+) -> Dict[float, List[SweepPoint]]:
+    """Return one hep sweep per failure rate (the shape of Fig. 5)."""
+    if not failure_rates:
+        raise ConfigurationError("failure_rates must be non-empty")
+    return {
+        float(rate): sweep_hep(base_params.with_failure_rate(rate), hep_values, model)
+        for rate in failure_rates
+    }
+
+
+def sweep_policies(
+    base_params: AvailabilityParameters,
+    hep_values: Sequence[float],
+    models: Optional[Sequence[ModelKind]] = None,
+) -> Dict[str, List[SweepPoint]]:
+    """Return one hep sweep per analytical model (the shape of Fig. 7)."""
+    chosen = list(models) if models is not None else [
+        ModelKind.CONVENTIONAL,
+        ModelKind.AUTOMATIC_FAILOVER,
+    ]
+    if not chosen:
+        raise ConfigurationError("at least one model kind is required")
+    series: Dict[str, List[SweepPoint]] = {}
+    for kind in chosen:
+        points = []
+        for hep in hep_values:
+            params = base_params.with_hep(hep)
+            effective = ModelKind.BASELINE if (hep == 0.0 and kind is ModelKind.CONVENTIONAL) else kind
+            points.append(_solve_point(params, effective, hep))
+        series[kind.value] = points
+    return series
+
+
+def nines_series(points: Sequence[SweepPoint]) -> List[float]:
+    """Return the nines column of a sweep."""
+    return [point.nines for point in points]
+
+
+def availability_series(points: Sequence[SweepPoint]) -> List[float]:
+    """Return the availability column of a sweep."""
+    return [point.availability for point in points]
+
+
+def x_series(points: Sequence[SweepPoint]) -> List[float]:
+    """Return the x column of a sweep."""
+    return [point.x for point in points]

@@ -1,0 +1,114 @@
+"""Downtime-underestimation analysis.
+
+The paper's headline number: ignoring incorrect repair service underestimates
+system downtime by **up to 263X** (abstract and Section I).  The
+underestimation factor at a given operating point is::
+
+    factor = unavailability(model with hep) / unavailability(model with hep = 0)
+
+The factor grows as the disk failure rate shrinks, because the traditional
+model's unavailability scales with ``lambda**2`` (two failures needed) while
+the human-error contribution scales with ``lambda`` (one failure plus one
+botched replacement).  "Up to" therefore refers to the smallest failure rate
+in the evaluated range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.availability.metrics import unavailability_ratio
+from repro.core.models.generic import ModelKind, solve_model
+from repro.core.parameters import AvailabilityParameters
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class UnderestimationPoint:
+    """Underestimation factor at one (failure rate, hep) operating point."""
+
+    disk_failure_rate: float
+    hep: float
+    unavailability_with_hep: float
+    unavailability_without_hep: float
+    factor: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the point as a plain mapping."""
+        return {
+            "disk_failure_rate": self.disk_failure_rate,
+            "hep": self.hep,
+            "unavailability_with_hep": self.unavailability_with_hep,
+            "unavailability_without_hep": self.unavailability_without_hep,
+            "factor": self.factor,
+        }
+
+
+def underestimation_factor(
+    params: AvailabilityParameters,
+    model: ModelKind = ModelKind.CONVENTIONAL,
+    method: str = "dense",
+) -> UnderestimationPoint:
+    """Return the underestimation factor at one operating point."""
+    if params.hep <= 0.0:
+        raise ConfigurationError(
+            "underestimation_factor requires hep > 0; the hep = 0 case is the baseline"
+        )
+    with_hep = solve_model(params, model, method=method)
+    without_hep = solve_model(params.without_human_error(), ModelKind.BASELINE, method=method)
+    return UnderestimationPoint(
+        disk_failure_rate=params.disk_failure_rate,
+        hep=params.hep,
+        unavailability_with_hep=with_hep.unavailability,
+        unavailability_without_hep=without_hep.unavailability,
+        factor=unavailability_ratio(with_hep.unavailability, without_hep.unavailability),
+    )
+
+
+def underestimation_sweep(
+    base_params: AvailabilityParameters,
+    failure_rates: Sequence[float],
+    hep: float = 0.01,
+    model: ModelKind = ModelKind.CONVENTIONAL,
+) -> List[UnderestimationPoint]:
+    """Return underestimation factors across a failure-rate sweep."""
+    if not failure_rates:
+        raise ConfigurationError("failure_rates must be non-empty")
+    points = []
+    for rate in failure_rates:
+        params = base_params.with_failure_rate(rate).with_hep(hep)
+        points.append(underestimation_factor(params, model=model))
+    return points
+
+
+def maximum_underestimation(
+    base_params: AvailabilityParameters,
+    failure_rates: Sequence[float],
+    hep_values: Sequence[float] = (0.001, 0.01),
+    model: ModelKind = ModelKind.CONVENTIONAL,
+) -> UnderestimationPoint:
+    """Return the worst-case (largest) underestimation across a grid.
+
+    This is how the paper's "up to 263X" number is obtained: the maximum of
+    the factor over the evaluated failure rates and hep values.
+    """
+    best: Optional[UnderestimationPoint] = None
+    for hep in hep_values:
+        if hep <= 0.0:
+            continue
+        for point in underestimation_sweep(base_params, failure_rates, hep=hep, model=model):
+            if best is None or point.factor > best.factor:
+                best = point
+    if best is None:
+        raise ConfigurationError("no positive hep values supplied")
+    return best
+
+
+def orders_of_magnitude(factor: float) -> float:
+    """Express an underestimation factor in orders of magnitude (log10)."""
+    import math
+
+    if factor <= 0.0:
+        raise ConfigurationError(f"factor must be positive, got {factor!r}")
+    return math.log10(factor)

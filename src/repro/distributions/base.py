@@ -1,0 +1,163 @@
+"""Abstract interface shared by all time-to-event distributions.
+
+The availability models in this package are driven by *time-to-event*
+distributions: time to disk failure, time to finish a rebuild, time for an
+operator to replace a disk, time to restore an array from backup.  The
+analytical (Markov) models require exponential distributions; the Monte Carlo
+simulator accepts any distribution implementing :class:`Distribution`.
+
+All times are expressed in **hours**, matching the paper's parameterisation
+(e.g. a disk failure rate of ``1e-6`` per hour).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import DistributionError
+
+ArrayLike = Union[float, Sequence[float], np.ndarray]
+
+
+class Distribution(abc.ABC):
+    """A non-negative continuous random variable describing a time-to-event.
+
+    Subclasses implement the probability density, cumulative distribution,
+    survival and hazard functions plus random sampling.  Convenience methods
+    (``rate``, ``percentile`` ...) are provided here in terms of those
+    primitives.
+    """
+
+    #: Human readable name used in reports and ``repr``.
+    name: str = "distribution"
+
+    # ------------------------------------------------------------------
+    # Primitive interface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Return the expected value of the distribution in hours."""
+
+    @abc.abstractmethod
+    def variance(self) -> float:
+        """Return the variance of the distribution in hours squared."""
+
+    @abc.abstractmethod
+    def pdf(self, t: ArrayLike) -> np.ndarray:
+        """Return the probability density function evaluated at ``t``."""
+
+    @abc.abstractmethod
+    def cdf(self, t: ArrayLike) -> np.ndarray:
+        """Return ``P(T <= t)`` evaluated element-wise at ``t``."""
+
+    @abc.abstractmethod
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` independent samples using ``rng``."""
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def std(self) -> float:
+        """Return the standard deviation in hours."""
+        return math.sqrt(self.variance())
+
+    def survival(self, t: ArrayLike) -> np.ndarray:
+        """Return the survival function ``P(T > t)``."""
+        return 1.0 - self.cdf(t)
+
+    def hazard(self, t: ArrayLike) -> np.ndarray:
+        """Return the hazard (instantaneous failure) rate at ``t``.
+
+        The hazard is ``pdf(t) / survival(t)``.  Points where the survival
+        function is zero yield ``inf``.
+        """
+        t = np.asarray(t, dtype=float)
+        surv = self.survival(t)
+        pdf = self.pdf(t)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.where(surv > 0.0, pdf / surv, np.inf)
+        return out
+
+    def rate(self) -> float:
+        """Return the equivalent constant rate ``1 / mean`` (per hour).
+
+        For the exponential distribution this is the true rate parameter.
+        For other distributions it is the rate of the exponential with the
+        same mean, which is how the paper maps Weibull field data onto its
+        Markov models.
+        """
+        mean = self.mean()
+        if mean <= 0.0:
+            raise DistributionError(f"{self.name} has non-positive mean {mean!r}")
+        return 1.0 / mean
+
+    def percentile(self, q: float, upper: float = 1e12, tol: float = 1e-9) -> float:
+        """Return the ``q``-quantile by bisection on the CDF.
+
+        Subclasses with a closed-form inverse CDF override this.  ``q`` must
+        lie strictly in ``(0, 1)``.
+        """
+        if not 0.0 < q < 1.0:
+            raise DistributionError(f"percentile requires 0 < q < 1, got {q!r}")
+        lo, hi = 0.0, float(upper)
+        if float(self.cdf(hi)) < q:
+            raise DistributionError(
+                f"percentile search bound {upper!r} too small for q={q!r}"
+            )
+        while hi - lo > tol * max(1.0, hi):
+            mid = 0.5 * (lo + hi)
+            if float(self.cdf(mid)) < q:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+    def median(self) -> float:
+        """Return the median (0.5 quantile) in hours."""
+        return self.percentile(0.5)
+
+    # ------------------------------------------------------------------
+    # Helpers for subclasses
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _as_array(t: ArrayLike) -> np.ndarray:
+        arr = np.asarray(t, dtype=float)
+        return arr
+
+    @staticmethod
+    def _require_positive(value: float, label: str) -> float:
+        value = float(value)
+        if not math.isfinite(value) or value <= 0.0:
+            raise DistributionError(f"{label} must be a positive finite number, got {value!r}")
+        return value
+
+    @staticmethod
+    def _require_non_negative(value: float, label: str) -> float:
+        value = float(value)
+        if not math.isfinite(value) or value < 0.0:
+            raise DistributionError(
+                f"{label} must be a non-negative finite number, got {value!r}"
+            )
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.__class__.__name__}(mean={self.mean():.6g})"
+
+
+def ensure_rng(rng: Optional[Union[int, np.random.Generator]]) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from ``rng``.
+
+    ``rng`` may be ``None`` (fresh default generator), an integer seed, or an
+    existing generator (returned unchanged).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise DistributionError(f"cannot interpret {rng!r} as a random generator or seed")

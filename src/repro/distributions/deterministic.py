@@ -1,0 +1,55 @@
+"""Deterministic (fixed-delay) pseudo-distribution.
+
+Fixed rebuild times appear in the paper's Fig. 1 example ("rebuild time =
+10 h").  A deterministic delay is represented here as a degenerate
+distribution so that the Monte Carlo simulator can mix fixed and random
+delays through one interface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.base import ArrayLike, Distribution
+from repro.exceptions import DistributionError
+
+
+class Deterministic(Distribution):
+    """Degenerate distribution concentrated on a single positive value."""
+
+    name = "deterministic"
+
+    def __init__(self, value_hours: float) -> None:
+        self._value = self._require_positive(value_hours, "value_hours")
+
+    @property
+    def value(self) -> float:
+        """Return the fixed delay in hours."""
+        return self._value
+
+    def mean(self) -> float:
+        return self._value
+
+    def variance(self) -> float:
+        return 0.0
+
+    def pdf(self, t: ArrayLike) -> np.ndarray:
+        # The density is a Dirac delta; return 0 everywhere except the atom,
+        # where we return +inf so that plots make the atom visible.
+        t = self._as_array(t)
+        return np.where(np.isclose(t, self._value), np.inf, 0.0)
+
+    def cdf(self, t: ArrayLike) -> np.ndarray:
+        t = self._as_array(t)
+        return np.where(t >= self._value, 1.0, 0.0)
+
+    def percentile(self, q: float, upper: float = 1e12, tol: float = 1e-9) -> float:
+        if not 0.0 < q < 1.0:
+            raise DistributionError(f"percentile requires 0 < q < 1, got {q!r}")
+        return self._value
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(size, self._value, dtype=float)
+
+    def __repr__(self) -> str:
+        return f"Deterministic(value_hours={self._value:.6g})"

@@ -1,0 +1,92 @@
+"""Empirical distribution built from observed samples.
+
+Field traces of time-between-replacements (e.g. the Schroeder & Gibson
+FAST'07 data) can be replayed by the Monte Carlo simulator through this
+class: it resamples from the observed values (bootstrap) or from the linearly
+interpolated empirical CDF.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.distributions.base import ArrayLike, Distribution
+from repro.exceptions import DistributionError
+
+
+class Empirical(Distribution):
+    """Distribution defined by a set of observed non-negative samples.
+
+    Parameters
+    ----------
+    samples:
+        Observed times in hours.  Must be non-empty and non-negative.
+    interpolate:
+        If ``True`` (default) sampling draws from the piecewise-linear
+        empirical CDF; if ``False`` sampling bootstraps the raw values.
+    """
+
+    name = "empirical"
+
+    def __init__(self, samples: Sequence[float], interpolate: bool = True) -> None:
+        data = np.asarray(list(samples), dtype=float)
+        if data.size == 0:
+            raise DistributionError("empirical distribution requires at least one sample")
+        if np.any(~np.isfinite(data)) or np.any(data < 0.0):
+            raise DistributionError("empirical samples must be finite and non-negative")
+        self._data = np.sort(data)
+        self._interpolate = bool(interpolate)
+
+    @property
+    def samples(self) -> np.ndarray:
+        """Return the sorted sample array (copy)."""
+        return self._data.copy()
+
+    @property
+    def n_samples(self) -> int:
+        """Return the number of underlying observations."""
+        return int(self._data.size)
+
+    def mean(self) -> float:
+        return float(np.mean(self._data))
+
+    def variance(self) -> float:
+        if self._data.size < 2:
+            return 0.0
+        return float(np.var(self._data, ddof=1))
+
+    def pdf(self, t: ArrayLike) -> np.ndarray:
+        # Approximate the density with a histogram-based estimate.
+        t = self._as_array(t)
+        if self._data.size < 2 or self._data[0] == self._data[-1]:
+            return np.where(np.isclose(t, self._data[0]), np.inf, 0.0)
+        n_bins = max(int(np.sqrt(self._data.size)), 1)
+        hist, edges = np.histogram(self._data, bins=n_bins, density=True)
+        idx = np.clip(np.searchsorted(edges, t, side="right") - 1, 0, n_bins - 1)
+        inside = (t >= edges[0]) & (t <= edges[-1])
+        return np.where(inside, hist[idx], 0.0)
+
+    def cdf(self, t: ArrayLike) -> np.ndarray:
+        t = self._as_array(t)
+        ranks = np.searchsorted(self._data, t, side="right")
+        return ranks / float(self._data.size)
+
+    def percentile(self, q: float, upper: float = 1e12, tol: float = 1e-9) -> float:
+        if not 0.0 < q < 1.0:
+            raise DistributionError(f"percentile requires 0 < q < 1, got {q!r}")
+        return float(np.quantile(self._data, q))
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        if not self._interpolate or self._data.size == 1:
+            return rng.choice(self._data, size=size, replace=True)
+        u = rng.uniform(0.0, 1.0, size=size)
+        probs = np.linspace(0.0, 1.0, self._data.size)
+        return np.interp(u, probs, self._data)
+
+    def __repr__(self) -> str:
+        return (
+            f"Empirical(n={self._data.size}, mean={self.mean():.6g}, "
+            f"interpolate={self._interpolate})"
+        )

@@ -1,0 +1,119 @@
+"""Exponential time-to-event distribution.
+
+The exponential distribution is the backbone of the Markov models: every
+transition rate in a continuous-time Markov chain corresponds to an
+exponentially distributed sojourn time.  The paper uses exponential failure
+and repair distributions for the Markov analysis and validates them against
+Monte Carlo runs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distributions.base import ArrayLike, Distribution
+from repro.exceptions import DistributionError
+
+
+class Exponential(Distribution):
+    """Exponential distribution parameterised by its rate (per hour).
+
+    Parameters
+    ----------
+    rate:
+        Event rate ``lambda`` in events per hour.  The mean time to event is
+        ``1 / rate`` hours.
+    """
+
+    name = "exponential"
+
+    def __init__(self, rate: float) -> None:
+        self._rate = self._require_positive(rate, "rate")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mean(cls, mean_hours: float) -> "Exponential":
+        """Build an exponential distribution with the given mean (hours)."""
+        mean_hours = float(mean_hours)
+        if mean_hours <= 0.0:
+            raise DistributionError(f"mean must be positive, got {mean_hours!r}")
+        return cls(1.0 / mean_hours)
+
+    @classmethod
+    def from_mttf(cls, mttf_hours: float) -> "Exponential":
+        """Alias of :meth:`from_mean` using reliability terminology."""
+        return cls.from_mean(mttf_hours)
+
+    @classmethod
+    def from_afr(cls, annual_failure_rate: float, hours_per_year: float = 8760.0) -> "Exponential":
+        """Build from an Annual Failure Rate (fraction of disks failing per year).
+
+        The AFR is converted to an hourly rate assuming failures are rare
+        within a year: ``rate = -ln(1 - AFR) / hours_per_year``, which reduces
+        to ``AFR / hours_per_year`` for small AFR.
+        """
+        afr = float(annual_failure_rate)
+        if not 0.0 < afr < 1.0:
+            raise DistributionError(f"AFR must lie in (0, 1), got {afr!r}")
+        rate = -math.log1p(-afr) / float(hours_per_year)
+        return cls(rate)
+
+    # ------------------------------------------------------------------
+    # Distribution interface
+    # ------------------------------------------------------------------
+    @property
+    def rate_parameter(self) -> float:
+        """Return the rate parameter ``lambda`` (per hour)."""
+        return self._rate
+
+    def rate(self) -> float:
+        return self._rate
+
+    def mean(self) -> float:
+        return 1.0 / self._rate
+
+    def variance(self) -> float:
+        return 1.0 / (self._rate * self._rate)
+
+    def pdf(self, t: ArrayLike) -> np.ndarray:
+        t = self._as_array(t)
+        out = np.where(t < 0.0, 0.0, self._rate * np.exp(-self._rate * np.maximum(t, 0.0)))
+        return out
+
+    def cdf(self, t: ArrayLike) -> np.ndarray:
+        t = self._as_array(t)
+        return np.where(t < 0.0, 0.0, 1.0 - np.exp(-self._rate * np.maximum(t, 0.0)))
+
+    def survival(self, t: ArrayLike) -> np.ndarray:
+        t = self._as_array(t)
+        return np.where(t < 0.0, 1.0, np.exp(-self._rate * np.maximum(t, 0.0)))
+
+    def hazard(self, t: ArrayLike) -> np.ndarray:
+        t = self._as_array(t)
+        return np.full_like(t, self._rate, dtype=float)
+
+    def percentile(self, q: float, upper: float = 1e12, tol: float = 1e-9) -> float:
+        if not 0.0 < q < 1.0:
+            raise DistributionError(f"percentile requires 0 < q < 1, got {q!r}")
+        return -math.log1p(-q) / self._rate
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.exponential(scale=1.0 / self._rate, size=size)
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Exponential):
+            return NotImplemented
+        return math.isclose(self._rate, other._rate, rel_tol=1e-12)
+
+    def __hash__(self) -> int:
+        return hash(("exponential", round(self._rate, 15)))
+
+    def __repr__(self) -> str:
+        return f"Exponential(rate={self._rate:.6g})"

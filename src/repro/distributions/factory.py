@@ -1,0 +1,145 @@
+"""Declarative construction of distributions from plain dictionaries.
+
+Experiment configurations (see :mod:`repro.experiments.config`) describe
+failure and repair behaviour as small dictionaries such as::
+
+    {"kind": "weibull", "rate": 1.25e-6, "shape": 1.09}
+
+so that parameter sweeps can be serialised, logged and compared.  The factory
+turns those dictionaries into :class:`~repro.distributions.base.Distribution`
+instances.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from repro.distributions.base import Distribution
+from repro.distributions.deterministic import Deterministic
+from repro.distributions.empirical import Empirical
+from repro.distributions.exponential import Exponential
+from repro.distributions.gamma import Gamma
+from repro.distributions.lognormal import LogNormal
+from repro.distributions.weibull import Weibull
+from repro.exceptions import DistributionError
+
+_KINDS = ("exponential", "weibull", "lognormal", "gamma", "deterministic", "empirical")
+
+
+def make_distribution(spec: Mapping[str, Any]) -> Distribution:
+    """Build a distribution from a specification mapping.
+
+    The mapping must contain a ``kind`` key naming one of the supported
+    distributions plus the keys required by that kind:
+
+    ``exponential``
+        ``rate`` (per hour) *or* ``mean`` (hours).
+    ``weibull``
+        ``shape`` plus either ``scale``, ``mean`` or ``rate``.
+    ``lognormal``
+        ``mu``/``sigma``, or ``median``/``error_factor``, or ``mean``/``cv``.
+    ``gamma``
+        ``shape`` plus either ``scale`` or ``mean``.
+    ``deterministic``
+        ``value`` (hours).
+    ``empirical``
+        ``samples`` (sequence of hours) and optional ``interpolate``.
+    """
+    if "kind" not in spec:
+        raise DistributionError(f"distribution spec {dict(spec)!r} is missing 'kind'")
+    kind = str(spec["kind"]).lower()
+    if kind not in _KINDS:
+        raise DistributionError(
+            f"unknown distribution kind {kind!r}; expected one of {_KINDS}"
+        )
+    builder = {
+        "exponential": _build_exponential,
+        "weibull": _build_weibull,
+        "lognormal": _build_lognormal,
+        "gamma": _build_gamma,
+        "deterministic": _build_deterministic,
+        "empirical": _build_empirical,
+    }[kind]
+    return builder(dict(spec))
+
+
+def describe_distribution(dist: Distribution) -> Dict[str, Any]:
+    """Return a serialisable description of ``dist`` (inverse of the factory).
+
+    The returned mapping can be fed back to :func:`make_distribution` to
+    reconstruct an equivalent distribution.
+    """
+    if isinstance(dist, Exponential):
+        return {"kind": "exponential", "rate": dist.rate_parameter}
+    if isinstance(dist, Weibull):
+        return {"kind": "weibull", "shape": dist.shape, "scale": dist.scale}
+    if isinstance(dist, LogNormal):
+        return {"kind": "lognormal", "mu": dist.mu, "sigma": dist.sigma}
+    if isinstance(dist, Gamma):
+        return {"kind": "gamma", "shape": dist.shape, "scale": dist.scale}
+    if isinstance(dist, Deterministic):
+        return {"kind": "deterministic", "value": dist.value}
+    if isinstance(dist, Empirical):
+        return {"kind": "empirical", "samples": dist.samples.tolist()}
+    raise DistributionError(f"cannot describe distribution of type {type(dist)!r}")
+
+
+# ----------------------------------------------------------------------
+# Individual builders
+# ----------------------------------------------------------------------
+def _build_exponential(spec: Dict[str, Any]) -> Exponential:
+    if "rate" in spec:
+        return Exponential(float(spec["rate"]))
+    if "mean" in spec:
+        return Exponential.from_mean(float(spec["mean"]))
+    raise DistributionError("exponential spec requires 'rate' or 'mean'")
+
+
+def _build_weibull(spec: Dict[str, Any]) -> Weibull:
+    if "shape" not in spec:
+        raise DistributionError("weibull spec requires 'shape'")
+    shape = float(spec["shape"])
+    if "scale" in spec:
+        return Weibull(shape=shape, scale=float(spec["scale"]))
+    if "mean" in spec:
+        return Weibull.from_mean_and_shape(float(spec["mean"]), shape)
+    if "rate" in spec:
+        return Weibull.from_rate_and_shape(float(spec["rate"]), shape)
+    raise DistributionError("weibull spec requires one of 'scale', 'mean' or 'rate'")
+
+
+def _build_lognormal(spec: Dict[str, Any]) -> LogNormal:
+    if "mu" in spec and "sigma" in spec:
+        return LogNormal(mu=float(spec["mu"]), sigma=float(spec["sigma"]))
+    if "median" in spec and "error_factor" in spec:
+        return LogNormal.from_mean_and_error_factor(
+            float(spec["median"]), float(spec["error_factor"])
+        )
+    if "mean" in spec and "cv" in spec:
+        return LogNormal.from_mean_and_cv(float(spec["mean"]), float(spec["cv"]))
+    raise DistributionError(
+        "lognormal spec requires ('mu','sigma'), ('median','error_factor') or ('mean','cv')"
+    )
+
+
+def _build_gamma(spec: Dict[str, Any]) -> Gamma:
+    if "shape" not in spec:
+        raise DistributionError("gamma spec requires 'shape'")
+    shape = float(spec["shape"])
+    if "scale" in spec:
+        return Gamma(shape=shape, scale=float(spec["scale"]))
+    if "mean" in spec:
+        return Gamma.from_mean_and_shape(float(spec["mean"]), shape)
+    raise DistributionError("gamma spec requires 'scale' or 'mean'")
+
+
+def _build_deterministic(spec: Dict[str, Any]) -> Deterministic:
+    if "value" not in spec:
+        raise DistributionError("deterministic spec requires 'value'")
+    return Deterministic(float(spec["value"]))
+
+
+def _build_empirical(spec: Dict[str, Any]) -> Empirical:
+    if "samples" not in spec:
+        raise DistributionError("empirical spec requires 'samples'")
+    return Empirical(spec["samples"], interpolate=bool(spec.get("interpolate", True)))

@@ -1,0 +1,122 @@
+"""Lognormal time-to-event distribution.
+
+Lognormal repair times are a common choice in human reliability analysis
+(THERP uses lognormal error factors) and in service-time modelling of manual
+operations: most replacements are quick, a minority take much longer.  The
+Monte Carlo simulator accepts lognormal repair and replacement times as an
+extension beyond the paper's exponential/Weibull baseline.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import special
+
+from repro.distributions.base import ArrayLike, Distribution
+from repro.exceptions import DistributionError
+
+
+class LogNormal(Distribution):
+    """Lognormal distribution with log-space parameters ``mu`` and ``sigma``.
+
+    If ``T`` is lognormal then ``ln(T)`` is normal with mean ``mu`` and
+    standard deviation ``sigma``.
+    """
+
+    name = "lognormal"
+
+    def __init__(self, mu: float, sigma: float) -> None:
+        self._mu = float(mu)
+        if not math.isfinite(self._mu):
+            raise DistributionError(f"mu must be finite, got {mu!r}")
+        self._sigma = self._require_positive(sigma, "sigma")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mean_and_error_factor(cls, median_hours: float, error_factor: float) -> "LogNormal":
+        """Build from a median and THERP-style error factor.
+
+        The error factor ``EF`` is the ratio of the 95th percentile to the
+        median; hence ``sigma = ln(EF) / 1.645``.
+        """
+        median_hours = float(median_hours)
+        error_factor = float(error_factor)
+        if median_hours <= 0.0:
+            raise DistributionError(f"median must be positive, got {median_hours!r}")
+        if error_factor <= 1.0:
+            raise DistributionError(f"error factor must exceed 1, got {error_factor!r}")
+        z95 = 1.6448536269514722
+        sigma = math.log(error_factor) / z95
+        return cls(mu=math.log(median_hours), sigma=sigma)
+
+    @classmethod
+    def from_mean_and_cv(cls, mean_hours: float, cv: float) -> "LogNormal":
+        """Build from a mean and coefficient of variation ``cv = std / mean``."""
+        mean_hours = float(mean_hours)
+        cv = float(cv)
+        if mean_hours <= 0.0:
+            raise DistributionError(f"mean must be positive, got {mean_hours!r}")
+        if cv <= 0.0:
+            raise DistributionError(f"cv must be positive, got {cv!r}")
+        sigma2 = math.log1p(cv * cv)
+        mu = math.log(mean_hours) - 0.5 * sigma2
+        return cls(mu=mu, sigma=math.sqrt(sigma2))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def mu(self) -> float:
+        """Return the log-space mean."""
+        return self._mu
+
+    @property
+    def sigma(self) -> float:
+        """Return the log-space standard deviation."""
+        return self._sigma
+
+    # ------------------------------------------------------------------
+    # Distribution interface
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        return math.exp(self._mu + 0.5 * self._sigma ** 2)
+
+    def variance(self) -> float:
+        s2 = self._sigma ** 2
+        return (math.exp(s2) - 1.0) * math.exp(2.0 * self._mu + s2)
+
+    def median(self) -> float:
+        return math.exp(self._mu)
+
+    def pdf(self, t: ArrayLike) -> np.ndarray:
+        t = self._as_array(t)
+        out = np.zeros_like(t, dtype=float)
+        pos = t > 0.0
+        tp = t[pos]
+        z = (np.log(tp) - self._mu) / self._sigma
+        out[pos] = np.exp(-0.5 * z * z) / (tp * self._sigma * math.sqrt(2.0 * math.pi))
+        return out
+
+    def cdf(self, t: ArrayLike) -> np.ndarray:
+        t = self._as_array(t)
+        out = np.zeros_like(t, dtype=float)
+        pos = t > 0.0
+        z = (np.log(t[pos]) - self._mu) / self._sigma
+        out[pos] = 0.5 * (1.0 + special.erf(z / math.sqrt(2.0)))
+        return out
+
+    def percentile(self, q: float, upper: float = 1e12, tol: float = 1e-9) -> float:
+        if not 0.0 < q < 1.0:
+            raise DistributionError(f"percentile requires 0 < q < 1, got {q!r}")
+        z = math.sqrt(2.0) * special.erfinv(2.0 * q - 1.0)
+        return math.exp(self._mu + self._sigma * z)
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.lognormal(mean=self._mu, sigma=self._sigma, size=size)
+
+    def __repr__(self) -> str:
+        return f"LogNormal(mu={self._mu:.6g}, sigma={self._sigma:.6g})"

@@ -1,0 +1,154 @@
+"""Weibull time-to-failure distribution.
+
+Field studies (Schroeder & Gibson, FAST'07; Elerath & Pecht, TC'09) show that
+real disk time-to-failure is better captured by a Weibull distribution with a
+shape parameter slightly above one (infant mortality burnt in, gradual wear
+out) than by the memoryless exponential.  The paper's Fig. 5 quotes four
+``(failure rate, beta)`` pairs taken from such field data; the Monte Carlo
+simulator uses them directly while the Markov model uses the rate of the
+exponential with the same mean.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distributions.base import ArrayLike, Distribution
+from repro.exceptions import DistributionError
+
+
+class Weibull(Distribution):
+    """Two-parameter Weibull distribution.
+
+    Parameters
+    ----------
+    shape:
+        Shape (``beta``).  ``beta == 1`` degenerates to the exponential,
+        ``beta > 1`` models wear-out, ``beta < 1`` models infant mortality.
+    scale:
+        Scale (``eta``) in hours; the characteristic life at which 63.2 % of
+        the population has failed.
+    """
+
+    name = "weibull"
+
+    def __init__(self, shape: float, scale: float) -> None:
+        self._shape = self._require_positive(shape, "shape")
+        self._scale = self._require_positive(scale, "scale")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mean_and_shape(cls, mean_hours: float, shape: float) -> "Weibull":
+        """Build a Weibull with the given mean and shape.
+
+        The scale is recovered from ``mean = scale * Gamma(1 + 1/shape)``.
+        """
+        mean_hours = float(mean_hours)
+        shape = float(shape)
+        if mean_hours <= 0.0:
+            raise DistributionError(f"mean must be positive, got {mean_hours!r}")
+        if shape <= 0.0:
+            raise DistributionError(f"shape must be positive, got {shape!r}")
+        scale = mean_hours / math.gamma(1.0 + 1.0 / shape)
+        return cls(shape=shape, scale=scale)
+
+    @classmethod
+    def from_rate_and_shape(cls, rate_per_hour: float, shape: float) -> "Weibull":
+        """Build a Weibull whose *mean* matches ``1 / rate_per_hour``.
+
+        This is the mapping used throughout the paper: a quoted "failure
+        rate" of ``1.25e-6`` with ``beta = 1.09`` means a Weibull whose mean
+        time to failure equals ``1 / 1.25e-6`` hours and whose shape is 1.09.
+        """
+        rate_per_hour = float(rate_per_hour)
+        if rate_per_hour <= 0.0:
+            raise DistributionError(f"rate must be positive, got {rate_per_hour!r}")
+        return cls.from_mean_and_shape(1.0 / rate_per_hour, shape)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> float:
+        """Return the shape parameter ``beta``."""
+        return self._shape
+
+    @property
+    def scale(self) -> float:
+        """Return the scale parameter ``eta`` in hours."""
+        return self._scale
+
+    # ------------------------------------------------------------------
+    # Distribution interface
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        return self._scale * math.gamma(1.0 + 1.0 / self._shape)
+
+    def variance(self) -> float:
+        g1 = math.gamma(1.0 + 1.0 / self._shape)
+        g2 = math.gamma(1.0 + 2.0 / self._shape)
+        return self._scale ** 2 * (g2 - g1 * g1)
+
+    def pdf(self, t: ArrayLike) -> np.ndarray:
+        t = self._as_array(t)
+        k, lam = self._shape, self._scale
+        safe_t = np.maximum(t, 0.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            z = safe_t / lam
+            out = (k / lam) * np.power(z, k - 1.0) * np.exp(-np.power(z, k))
+        out = np.where(t < 0.0, 0.0, out)
+        # At t == 0 the density is 0 for k > 1, k/lam for k == 1 and +inf for k < 1.
+        if np.any(t == 0.0):
+            if self._shape > 1.0:
+                at_zero = 0.0
+            elif self._shape == 1.0:
+                at_zero = k / lam
+            else:
+                at_zero = np.inf
+            out = np.where(t == 0.0, at_zero, out)
+        return out
+
+    def cdf(self, t: ArrayLike) -> np.ndarray:
+        t = self._as_array(t)
+        z = np.maximum(t, 0.0) / self._scale
+        return np.where(t < 0.0, 0.0, 1.0 - np.exp(-np.power(z, self._shape)))
+
+    def survival(self, t: ArrayLike) -> np.ndarray:
+        t = self._as_array(t)
+        z = np.maximum(t, 0.0) / self._scale
+        return np.where(t < 0.0, 1.0, np.exp(-np.power(z, self._shape)))
+
+    def hazard(self, t: ArrayLike) -> np.ndarray:
+        t = self._as_array(t)
+        k, lam = self._shape, self._scale
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = (k / lam) * np.power(np.maximum(t, 0.0) / lam, k - 1.0)
+        return np.where(t < 0.0, 0.0, out)
+
+    def percentile(self, q: float, upper: float = 1e12, tol: float = 1e-9) -> float:
+        if not 0.0 < q < 1.0:
+            raise DistributionError(f"percentile requires 0 < q < 1, got {q!r}")
+        return self._scale * (-math.log1p(-q)) ** (1.0 / self._shape)
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        return self._scale * rng.weibull(self._shape, size=size)
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Weibull):
+            return NotImplemented
+        return math.isclose(self._shape, other._shape, rel_tol=1e-12) and math.isclose(
+            self._scale, other._scale, rel_tol=1e-12
+        )
+
+    def __hash__(self) -> int:
+        return hash(("weibull", round(self._shape, 15), round(self._scale, 15)))
+
+    def __repr__(self) -> str:
+        return f"Weibull(shape={self._shape:.6g}, scale={self._scale:.6g})"

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every exception raised deliberately by the library derives from
+:class:`ReproError` so that callers can catch library errors without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class DistributionError(ReproError):
+    """Raised when a probability distribution is mis-parameterised or misused."""
+
+
+class MarkovChainError(ReproError):
+    """Raised when a Markov chain is structurally invalid or cannot be solved."""
+
+
+class StateError(MarkovChainError):
+    """Raised when a state name is unknown, duplicated or otherwise invalid."""
+
+
+class TransitionError(MarkovChainError):
+    """Raised when a transition is invalid (negative rate, self loop, ...)."""
+
+
+class SolverError(MarkovChainError):
+    """Raised when a steady-state or transient solver fails to converge."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulation engine is misused."""
+
+
+class StorageModelError(ReproError):
+    """Raised when a storage-subsystem model is mis-configured."""
+
+
+class RaidConfigurationError(StorageModelError):
+    """Raised when a RAID geometry is invalid (e.g. RAID5 with one disk)."""
+
+
+class HumanErrorModelError(ReproError):
+    """Raised when a human-error model is mis-configured."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment definition or its parameters are invalid."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when user-supplied configuration values are out of range."""

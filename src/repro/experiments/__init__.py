@@ -1,0 +1,44 @@
+"""Reproductions of the paper's evaluation figures and headline numbers."""
+
+from repro.experiments import (
+    fig4_validation,
+    fig5_hep_sweep,
+    fig6_raid_comparison,
+    fig7_failover,
+    underestimation,
+)
+from repro.experiments.config import (
+    DEFAULTS,
+    FIG4_HEP_VALUES,
+    FIG5_FIELD_RATES,
+    FIG6_FAILURE_RATES,
+    FIG6_USABLE_DISKS,
+    HEP_SWEEP,
+    ExperimentDefaults,
+    fig4_failure_rates,
+    fig5_parameter_sets,
+    fig6_configurations,
+    raid5_3_1_parameters,
+)
+from repro.experiments.runner import ExperimentReport, run_all_experiments
+
+__all__ = [
+    "DEFAULTS",
+    "ExperimentDefaults",
+    "ExperimentReport",
+    "FIG4_HEP_VALUES",
+    "FIG5_FIELD_RATES",
+    "FIG6_FAILURE_RATES",
+    "FIG6_USABLE_DISKS",
+    "HEP_SWEEP",
+    "fig4_failure_rates",
+    "fig4_validation",
+    "fig5_hep_sweep",
+    "fig5_parameter_sets",
+    "fig6_configurations",
+    "fig6_raid_comparison",
+    "fig7_failover",
+    "raid5_3_1_parameters",
+    "run_all_experiments",
+    "underestimation",
+]

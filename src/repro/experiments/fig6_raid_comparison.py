@@ -1,0 +1,118 @@
+"""Experiment EXP-F6 — Fig. 6: RAID configurations at equal usable capacity.
+
+Fig. 6 compares RAID1(1+1), RAID5(3+1) and RAID5(7+1) holding the usable
+capacity constant, for disk failure rates 1e-5 (a), 1e-6 (b) and 1e-7 (c) and
+``hep ∈ {0, 0.001, 0.01}``.  The paper's observation: without human error
+the mirror wins; with human error the ranking flattens and then inverts,
+because the mirror's ERF of 2 means more disks, more failures and more
+operator touch points per unit of stored data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.availability.report import Table
+from repro.core.comparison import compare_equal_capacity, ranking
+from repro.core.models.generic import ModelKind
+from repro.core.parameters import paper_parameters
+from repro.experiments.config import (
+    FIG6_FAILURE_RATES,
+    FIG6_USABLE_DISKS,
+    HEP_SWEEP,
+    fig6_configurations,
+)
+
+
+@dataclass(frozen=True)
+class ComparisonCell:
+    """Subsystem nines of one configuration at one (rate, hep) point."""
+
+    disk_failure_rate: float
+    hep: float
+    configuration: str
+    subsystem_nines: float
+    subsystem_availability: float
+    total_disks: int
+
+
+def run_fig6_comparison(
+    failure_rates: Sequence[float] = FIG6_FAILURE_RATES,
+    hep_values: Sequence[float] = HEP_SWEEP,
+    usable_disks: int = FIG6_USABLE_DISKS,
+) -> List[ComparisonCell]:
+    """Run the full Fig. 6 grid and return one cell per (rate, hep, config)."""
+    cells: List[ComparisonCell] = []
+    geometries = fig6_configurations()
+    for rate in failure_rates:
+        for hep in hep_values:
+            base = paper_parameters(disk_failure_rate=rate, hep=hep)
+            model = ModelKind.BASELINE if hep == 0.0 else ModelKind.CONVENTIONAL
+            comparisons = compare_equal_capacity(
+                base, geometries=geometries, usable_disks=usable_disks, model=model
+            )
+            for entry in comparisons:
+                cells.append(
+                    ComparisonCell(
+                        disk_failure_rate=float(rate),
+                        hep=float(hep),
+                        configuration=entry.geometry_label,
+                        subsystem_nines=entry.subsystem_nines,
+                        subsystem_availability=entry.subsystem_availability,
+                        total_disks=entry.total_disks,
+                    )
+                )
+    return cells
+
+
+def fig6_tables(cells: Sequence[ComparisonCell]) -> List[Table]:
+    """Render one table per failure rate (the paper's subplots a, b, c)."""
+    tables: List[Table] = []
+    rates = sorted({cell.disk_failure_rate for cell in cells}, reverse=True)
+    configurations = sorted({cell.configuration for cell in cells})
+    for rate in rates:
+        hep_values = sorted({c.hep for c in cells if c.disk_failure_rate == rate})
+        table = Table(
+            title=f"Fig. 6 — availability (nines) at equal usable capacity, lambda={rate:g}",
+            columns=["hep"] + configurations,
+        )
+        for hep in hep_values:
+            row: Dict[str, object] = {"hep": hep}
+            for config in configurations:
+                matches = [
+                    c.subsystem_nines
+                    for c in cells
+                    if c.disk_failure_rate == rate and c.hep == hep and c.configuration == config
+                ]
+                row[config] = matches[0] if matches else "-"
+            table.rows.append(row)
+        table.add_note(
+            "paper: RAID1(1+1) leads at hep=0 but loses its lead once human errors are modelled"
+        )
+        tables.append(table)
+    return tables
+
+
+def rankings_by_point(cells: Sequence[ComparisonCell]) -> Dict[str, List[str]]:
+    """Return the availability ranking at each (rate, hep) grid point.
+
+    Keys look like ``"lambda=1e-06 hep=0.01"``; values list configuration
+    labels from most to least available.
+    """
+    result: Dict[str, List[str]] = {}
+    points = sorted({(c.disk_failure_rate, c.hep) for c in cells})
+    for rate, hep in points:
+        subset = [c for c in cells if c.disk_failure_rate == rate and c.hep == hep]
+        ordered = sorted(subset, key=lambda c: c.subsystem_availability, reverse=True)
+        result[f"lambda={rate:g} hep={hep:g}"] = [c.configuration for c in ordered]
+    return result
+
+
+def raid1_loses_lead(cells: Sequence[ComparisonCell], failure_rate: float, hep: float) -> bool:
+    """Return whether RAID1(1+1) is no longer the single best option at a point."""
+    subset = [c for c in cells if c.disk_failure_rate == failure_rate and c.hep == hep]
+    if not subset:
+        raise ValueError(f"no cells at lambda={failure_rate!r}, hep={hep!r}")
+    best = max(subset, key=lambda c: c.subsystem_availability)
+    return best.configuration != "RAID1(1+1)"

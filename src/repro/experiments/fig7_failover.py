@@ -1,0 +1,94 @@
+"""Experiment EXP-F7 — Fig. 7: conventional versus automatic fail-over policy.
+
+Fig. 7 compares the availability of a RAID5(3+1) array under the
+conventional replacement policy against the automatic fail-over (delayed
+replacement) policy for ``hep ∈ {0, 0.001, 0.01}``.  The paper's findings,
+which this experiment reproduces:
+
+* at ``hep = 0`` the two policies are essentially equivalent;
+* the fail-over policy's advantage grows with hep, reaching roughly two
+  orders of magnitude of unavailability at ``hep = 0.01``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.availability.metrics import unavailability_ratio
+from repro.availability.report import Table, table_from_series
+from repro.core.models.generic import ModelKind, solve_model
+from repro.core.parameters import paper_parameters
+from repro.experiments.config import HEP_SWEEP
+from repro.storage.raid import RaidGeometry
+
+
+@dataclass(frozen=True)
+class PolicyComparisonPoint:
+    """Availability of both policies at one hep value."""
+
+    hep: float
+    conventional_availability: float
+    conventional_nines: float
+    failover_availability: float
+    failover_nines: float
+
+    @property
+    def improvement_factor(self) -> float:
+        """Return how many times lower the fail-over unavailability is."""
+        return unavailability_ratio(
+            1.0 - self.conventional_availability, 1.0 - self.failover_availability
+        )
+
+
+def run_fig7_comparison(
+    hep_values: Sequence[float] = HEP_SWEEP,
+    disk_failure_rate: float = 1e-6,
+    data_disks: int = 3,
+) -> List[PolicyComparisonPoint]:
+    """Run the policy comparison across the hep sweep."""
+    points: List[PolicyComparisonPoint] = []
+    for hep in hep_values:
+        params = paper_parameters(
+            geometry=RaidGeometry.raid5(data_disks),
+            disk_failure_rate=disk_failure_rate,
+            hep=hep,
+        )
+        conventional_kind = ModelKind.BASELINE if hep == 0.0 else ModelKind.CONVENTIONAL
+        conventional = solve_model(params, conventional_kind)
+        failover = solve_model(params, ModelKind.AUTOMATIC_FAILOVER)
+        points.append(
+            PolicyComparisonPoint(
+                hep=float(hep),
+                conventional_availability=conventional.availability,
+                conventional_nines=conventional.nines,
+                failover_availability=failover.availability,
+                failover_nines=failover.nines,
+            )
+        )
+    return points
+
+
+def fig7_table(points: Sequence[PolicyComparisonPoint]) -> Table:
+    """Render the policy comparison as the Fig. 7 series table."""
+    hep_values = [p.hep for p in points]
+    table = table_from_series(
+        title="Fig. 7 — availability (nines) of replacement policies, RAID5(3+1)",
+        x_name="hep",
+        x_values=hep_values,
+        series={
+            "Conventional-Disk-Replacement": [p.conventional_nines for p in points],
+            "Delayed-Disk-Replacement": [p.failover_nines for p in points],
+            "improvement_factor": [p.improvement_factor for p in points],
+        },
+        notes=[
+            "paper: automatic fail-over recovers roughly two orders of magnitude of "
+            "availability at hep=0.01 and its advantage grows with hep",
+        ],
+    )
+    return table
+
+
+def improvement_by_hep(points: Sequence[PolicyComparisonPoint]) -> Dict[float, float]:
+    """Return ``{hep: unavailability improvement factor}``."""
+    return {p.hep: p.improvement_factor for p in points}

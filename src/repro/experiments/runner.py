@@ -1,0 +1,82 @@
+"""Run every experiment of the paper and print its tables.
+
+This is the "regenerate the evaluation section" entry point used by
+``examples/reproduce_paper.py`` and by EXPERIMENTS.md.  Each experiment can
+also be run individually through its own module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.availability.report import Table
+from repro.experiments import fig4_validation, fig5_hep_sweep, fig6_raid_comparison
+from repro.experiments import fig7_failover, underestimation
+from repro.experiments.config import DEFAULTS
+
+
+@dataclass
+class ExperimentReport:
+    """Tables and headline numbers produced by a full reproduction run."""
+
+    tables: List[Table] = field(default_factory=list)
+    headline: Dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Return all tables and headlines as one text report."""
+        sections = [table.render() for table in self.tables]
+        if self.headline:
+            lines = ["Headline numbers", "================"]
+            for key in sorted(self.headline):
+                lines.append(f"{key}: {self.headline[key]:.6g}")
+            sections.append("\n".join(lines))
+        return "\n\n".join(sections)
+
+
+def run_all_experiments(
+    mc_iterations: Optional[int] = None,
+    include_monte_carlo: bool = True,
+    seed: int = DEFAULTS.seed,
+) -> ExperimentReport:
+    """Run EXP-F4 ... EXP-F7 and EXP-T1 and collect their tables.
+
+    Parameters
+    ----------
+    mc_iterations:
+        Monte Carlo iteration count for the validation experiment; ``None``
+        uses the experiment default.  Pass a smaller number for a quick
+        smoke run.
+    include_monte_carlo:
+        When ``False`` the Fig. 4 validation is skipped entirely (the other
+        experiments are purely analytical and fast).
+    seed:
+        Master seed forwarded to the Monte Carlo runs.
+    """
+    report = ExperimentReport()
+    iterations = mc_iterations if mc_iterations is not None else DEFAULTS.mc_iterations
+
+    if include_monte_carlo:
+        points = fig4_validation.run_fig4_validation(mc_iterations=iterations, seed=seed)
+        report.tables.append(fig4_validation.fig4_table(points))
+        report.headline["fig4_agreement_fraction"] = fig4_validation.agreement_fraction(points)
+
+    fig5_series = fig5_hep_sweep.run_fig5_sweep()
+    report.tables.append(fig5_hep_sweep.fig5_table(fig5_series))
+
+    fig6_cells = fig6_raid_comparison.run_fig6_comparison()
+    report.tables.extend(fig6_raid_comparison.fig6_tables(fig6_cells))
+
+    fig7_points = fig7_failover.run_fig7_comparison()
+    report.tables.append(fig7_failover.fig7_table(fig7_points))
+    report.headline["fig7_improvement_at_hep_0.01"] = fig7_failover.improvement_by_hep(
+        fig7_points
+    ).get(0.01, float("nan"))
+
+    study = underestimation.run_underestimation_study()
+    report.tables.append(underestimation.underestimation_table(study))
+    headline_point = underestimation.headline_factor()
+    report.headline["max_underestimation_factor"] = headline_point.factor
+    report.headline["max_underestimation_failure_rate"] = headline_point.disk_failure_rate
+
+    return report

@@ -1,0 +1,76 @@
+"""Experiment EXP-T1 — the downtime-underestimation headline (up to ~263X).
+
+The paper's abstract claims that overlooking incorrect disk replacement can
+underestimate unavailability by up to three orders of magnitude (263X in the
+introduction).  This experiment sweeps the disk failure rate and the hep
+values used in the paper and reports the underestimation factor
+``unavailability(hep) / unavailability(hep = 0)`` at every point plus its
+maximum over the grid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.availability.report import Table
+from repro.core.parameters import paper_parameters
+from repro.core.underestimation import (
+    UnderestimationPoint,
+    maximum_underestimation,
+    underestimation_sweep,
+)
+from repro.storage.raid import RaidGeometry
+
+#: Failure-rate grid of the headline sweep: the paper's Fig. 4 range extended
+#: down to the small rates where the underestimation factor peaks.
+HEADLINE_FAILURE_RATES: tuple = tuple(np.geomspace(5e-8, 5.5e-6, 12))
+
+#: hep values considered for the headline.
+HEADLINE_HEP_VALUES: tuple = (0.001, 0.01)
+
+
+def run_underestimation_study(
+    failure_rates: Optional[Sequence[float]] = None,
+    hep_values: Sequence[float] = HEADLINE_HEP_VALUES,
+    data_disks: int = 3,
+) -> Dict[float, List[UnderestimationPoint]]:
+    """Return one underestimation sweep per hep value."""
+    rates = list(failure_rates) if failure_rates is not None else list(HEADLINE_FAILURE_RATES)
+    base = paper_parameters(geometry=RaidGeometry.raid5(data_disks))
+    return {
+        float(hep): underestimation_sweep(base, rates, hep=hep)
+        for hep in hep_values
+        if hep > 0.0
+    }
+
+
+def headline_factor(
+    failure_rates: Optional[Sequence[float]] = None,
+    hep_values: Sequence[float] = HEADLINE_HEP_VALUES,
+    data_disks: int = 3,
+) -> UnderestimationPoint:
+    """Return the maximum underestimation over the grid (the "up to" number)."""
+    rates = list(failure_rates) if failure_rates is not None else list(HEADLINE_FAILURE_RATES)
+    base = paper_parameters(geometry=RaidGeometry.raid5(data_disks))
+    return maximum_underestimation(base, rates, hep_values=hep_values)
+
+
+def underestimation_table(study: Dict[float, List[UnderestimationPoint]]) -> Table:
+    """Render the underestimation study as a table."""
+    table = Table(
+        title="Downtime underestimation when human error is ignored (RAID5 3+1)",
+        columns=["failure_rate", "hep", "unavail_with_hep", "unavail_without_hep", "factor"],
+    )
+    for hep in sorted(study):
+        for point in study[hep]:
+            table.add_row(
+                failure_rate=point.disk_failure_rate,
+                hep=point.hep,
+                unavail_with_hep=point.unavailability_with_hep,
+                unavail_without_hep=point.unavailability_without_hep,
+                factor=point.factor,
+            )
+    table.add_note("paper: underestimation of up to 263X (2-3 orders of magnitude)")
+    return table

@@ -1,0 +1,133 @@
+"""Taxonomy of human errors in storage field service.
+
+The paper concentrates on one error — wrong disk replacement — but motivates
+it from a broader taxonomy (Haubert's CoRR 2004 case study, Oppenheimer's
+configuration-error studies).  Keeping the taxonomy explicit lets the Monte
+Carlo simulator attribute downtime to specific error classes and lets the
+examples explore "what if wrong-script errors were also modelled".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class HumanErrorType(enum.Enum):
+    """Classes of operator error relevant to disk-subsystem service."""
+
+    #: A healthy disk is pulled instead of the failed one (the paper's focus).
+    WRONG_DISK_REPLACEMENT = "wrong_disk_replacement"
+    #: A recovery script / command is executed with wrong arguments or at the
+    #: wrong time (e.g. before the rebuild completed).
+    WRONG_SCRIPT_EXECUTION = "wrong_script_execution"
+    #: Replacement performed on the wrong array or enclosure entirely.
+    WRONG_ARRAY_SELECTED = "wrong_array_selected"
+    #: Failure to act (missed alert, replacement postponed indefinitely).
+    OMISSION = "omission"
+    #: Mis-configuration of the RAID controller / volume manager.
+    MISCONFIGURATION = "misconfiguration"
+
+
+#: Whether an error class makes the array data immediately unavailable when
+#: it happens while the array is already degraded (one disk missing).
+MAKES_DEGRADED_ARRAY_UNAVAILABLE: Dict[HumanErrorType, bool] = {
+    HumanErrorType.WRONG_DISK_REPLACEMENT: True,
+    HumanErrorType.WRONG_SCRIPT_EXECUTION: True,
+    HumanErrorType.WRONG_ARRAY_SELECTED: False,
+    HumanErrorType.OMISSION: False,
+    HumanErrorType.MISCONFIGURATION: True,
+}
+
+
+@dataclass
+class HumanErrorEvent:
+    """A concrete human error occurrence inside a simulation run.
+
+    Attributes
+    ----------
+    time:
+        Simulation time (hours) at which the error happened.
+    error_type:
+        Error class from :class:`HumanErrorType`.
+    array_id:
+        Array on which the intervention was performed.
+    affected_disk_id:
+        Disk wrongly pulled / affected (when applicable).
+    recovered_at:
+        Time at which the error was detected and undone, or ``None`` while
+        outstanding.
+    caused_data_unavailability:
+        Whether the error made user data unavailable.
+    caused_data_loss:
+        Whether the wrongly handled disk subsequently crashed, converting the
+        unavailability into a data-loss (backup restore) event.
+    """
+
+    time: float
+    error_type: HumanErrorType
+    array_id: str
+    affected_disk_id: str = ""
+    recovered_at: Optional[float] = None
+    caused_data_unavailability: bool = False
+    caused_data_loss: bool = False
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def outstanding(self) -> bool:
+        """Return whether the error has not been recovered yet."""
+        return self.recovered_at is None
+
+    @property
+    def recovery_duration(self) -> Optional[float]:
+        """Return how long the error remained outstanding (hours)."""
+        if self.recovered_at is None:
+            return None
+        return self.recovered_at - self.time
+
+    def mark_recovered(self, time: float) -> None:
+        """Record that the error was detected and undone at ``time``."""
+        if time < self.time:
+            raise ValueError(
+                f"recovery time {time!r} precedes the error time {self.time!r}"
+            )
+        self.recovered_at = float(time)
+
+
+@dataclass
+class HumanErrorLog:
+    """Accumulates human error events across a simulation run."""
+
+    events: list = field(default_factory=list)
+
+    def record(self, event: HumanErrorEvent) -> HumanErrorEvent:
+        """Append an event and return it for further mutation."""
+        self.events.append(event)
+        return event
+
+    def count(self, error_type: Optional[HumanErrorType] = None) -> int:
+        """Return the number of recorded errors (optionally filtered by type)."""
+        if error_type is None:
+            return len(self.events)
+        return sum(1 for event in self.events if event.error_type is error_type)
+
+    def count_causing_unavailability(self) -> int:
+        """Return how many errors made data unavailable."""
+        return sum(1 for event in self.events if event.caused_data_unavailability)
+
+    def count_causing_data_loss(self) -> int:
+        """Return how many errors escalated into data loss."""
+        return sum(1 for event in self.events if event.caused_data_loss)
+
+    def outstanding(self) -> list:
+        """Return errors that have not been recovered yet."""
+        return [event for event in self.events if event.outstanding]
+
+    def by_type(self) -> Dict[str, int]:
+        """Return a histogram of error counts keyed by error type value."""
+        histogram: Dict[str, int] = {}
+        for event in self.events:
+            key = event.error_type.value
+            histogram[key] = histogram.get(key, 0) + 1
+        return histogram

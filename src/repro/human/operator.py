@@ -1,0 +1,148 @@
+"""Operator model: the human agent performing disk replacements.
+
+An :class:`Operator` encapsulates the stochastic behaviour of the technician
+in the paper's scenario: when asked to replace a failed disk they succeed
+with probability ``1 - hep``, pull a wrong (healthy) disk with probability
+``hep``, and take a random amount of time to perform either action.  The
+same machinery covers the *recovery* of a previous error (putting the
+wrongly pulled disk back), which in the paper's models can itself fail with
+the same hep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.distributions import Distribution, Exponential
+from repro.exceptions import HumanErrorModelError
+from repro.human.hep import HumanErrorProbability
+
+
+@dataclass(frozen=True)
+class ReplacementOutcome:
+    """Result of one attempted service action.
+
+    Attributes
+    ----------
+    success:
+        ``True`` when the intended disk was replaced / the error was undone.
+    human_error:
+        ``True`` when the action itself introduced a new wrong-disk error.
+    duration_hours:
+        Time the action took (the array stays in its previous state for this
+        long before the outcome applies).
+    """
+
+    success: bool
+    human_error: bool
+    duration_hours: float
+
+
+class Operator:
+    """A technician with a given error probability and service-time behaviour.
+
+    Parameters
+    ----------
+    hep:
+        Probability that a replacement (or error-recovery) action goes wrong.
+    replacement_time:
+        Distribution of the time to perform a disk replacement, in hours.
+        The paper's ``mu_DF = 0.1`` corresponds to an exponential with a
+        10 hour mean (detection + travel + swap + rebuild).
+    error_recovery_time:
+        Distribution of the time to detect and undo a wrong replacement
+        (``mu_he = 1`` in the paper, i.e. a one hour mean).
+    name:
+        Cosmetic identifier used in traces.
+    """
+
+    def __init__(
+        self,
+        hep: float,
+        replacement_time: Optional[Distribution] = None,
+        error_recovery_time: Optional[Distribution] = None,
+        name: str = "operator",
+    ) -> None:
+        self._hep = HumanErrorProbability(value=float(hep), source="operator model")
+        self._replacement_time = replacement_time or Exponential(0.1)
+        self._recovery_time = error_recovery_time or Exponential(1.0)
+        self._name = str(name)
+        self._actions = 0
+        self._errors = 0
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Return the operator's identifier."""
+        return self._name
+
+    @property
+    def hep(self) -> float:
+        """Return the configured human error probability."""
+        return self._hep.value
+
+    @property
+    def replacement_time(self) -> Distribution:
+        """Return the replacement-duration distribution."""
+        return self._replacement_time
+
+    @property
+    def error_recovery_time(self) -> Distribution:
+        """Return the error-recovery-duration distribution."""
+        return self._recovery_time
+
+    @property
+    def actions_performed(self) -> int:
+        """Return how many service actions this operator has attempted."""
+        return self._actions
+
+    @property
+    def errors_committed(self) -> int:
+        """Return how many of those actions were erroneous."""
+        return self._errors
+
+    def observed_error_rate(self) -> float:
+        """Return the empirical error fraction over the actions performed."""
+        if self._actions == 0:
+            return 0.0
+        return self._errors / self._actions
+
+    # ------------------------------------------------------------------
+    # Stochastic behaviour
+    # ------------------------------------------------------------------
+    def attempt_replacement(self, rng: np.random.Generator) -> ReplacementOutcome:
+        """Attempt to replace the failed disk of a degraded array."""
+        return self._attempt(rng, self._replacement_time)
+
+    def attempt_error_recovery(self, rng: np.random.Generator) -> ReplacementOutcome:
+        """Attempt to undo a previous wrong replacement."""
+        return self._attempt(rng, self._recovery_time)
+
+    def sample_replacement_hours(self, rng: np.random.Generator) -> float:
+        """Draw only the duration of a replacement action."""
+        return float(self._replacement_time.sample(1, rng)[0])
+
+    def sample_recovery_hours(self, rng: np.random.Generator) -> float:
+        """Draw only the duration of an error-recovery action."""
+        return float(self._recovery_time.sample(1, rng)[0])
+
+    def _attempt(self, rng: np.random.Generator, duration: Distribution) -> ReplacementOutcome:
+        if not isinstance(rng, np.random.Generator):
+            raise HumanErrorModelError("an numpy Generator is required for operator sampling")
+        self._actions += 1
+        erred = bool(rng.random() < self._hep.value)
+        if erred:
+            self._errors += 1
+        return ReplacementOutcome(
+            success=not erred,
+            human_error=erred,
+            duration_hours=float(duration.sample(1, rng)[0]),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Operator(name={self._name!r}, hep={self._hep.value:.4g})"

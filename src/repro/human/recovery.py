@@ -1,0 +1,167 @@
+"""Human-error recovery model.
+
+Once a wrong disk replacement happens, the error remains outstanding until
+someone notices that the array went offline (or that the wrong slot LED is
+lit) and puts the wrongly pulled disk back.  Two further things can happen
+while the error is outstanding:
+
+* the recovery attempt itself goes wrong (another human error), and
+* the wrongly pulled disk — which is being handled, carried around and
+  re-seated — suffers a mechanical crash, converting the unavailability into
+  a real data loss that only the backup can fix (rate ``lambda_crash``,
+  0.01/h in the paper).
+
+:class:`HumanErrorRecoveryModel` packages those three ingredients so both the
+Monte Carlo simulator and documentation examples use identical semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.distributions import Distribution, Exponential
+from repro.exceptions import HumanErrorModelError
+
+
+@dataclass(frozen=True)
+class RecoveryAttemptResult:
+    """Outcome of one attempt to undo a wrong disk replacement.
+
+    Attributes
+    ----------
+    recovered:
+        ``True`` when the wrongly pulled disk was re-inserted successfully.
+    repeated_error:
+        ``True`` when the recovery attempt itself was botched (the error
+        stays outstanding and a new attempt will follow).
+    disk_crashed:
+        ``True`` when the wrongly pulled disk crashed before the recovery
+        completed, escalating the event to data loss.
+    duration_hours:
+        Time consumed by this attempt (or until the crash).
+    """
+
+    recovered: bool
+    repeated_error: bool
+    disk_crashed: bool
+    duration_hours: float
+
+
+class HumanErrorRecoveryModel:
+    """Stochastic model of undoing a wrong disk replacement."""
+
+    def __init__(
+        self,
+        hep: float,
+        recovery_time: Optional[Distribution] = None,
+        crash_rate_per_hour: float = 0.01,
+    ) -> None:
+        if not 0.0 <= hep <= 1.0:
+            raise HumanErrorModelError(f"hep must lie in [0, 1], got {hep!r}")
+        if crash_rate_per_hour < 0.0:
+            raise HumanErrorModelError(
+                f"crash rate must be non-negative, got {crash_rate_per_hour!r}"
+            )
+        self._hep = float(hep)
+        self._recovery_time = recovery_time or Exponential(1.0)
+        self._crash_rate = float(crash_rate_per_hour)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def hep(self) -> float:
+        """Return the probability that a recovery attempt is itself erroneous."""
+        return self._hep
+
+    @property
+    def crash_rate_per_hour(self) -> float:
+        """Return the crash rate of the wrongly pulled disk (per hour)."""
+        return self._crash_rate
+
+    @property
+    def recovery_time(self) -> Distribution:
+        """Return the distribution of recovery-attempt durations."""
+        return self._recovery_time
+
+    def mean_recovery_hours(self) -> float:
+        """Return the mean duration of a single recovery attempt."""
+        return self._recovery_time.mean()
+
+    def expected_outstanding_hours(self) -> float:
+        """Return the expected total outstanding time of a wrong replacement.
+
+        With each attempt failing independently with probability ``hep`` the
+        number of attempts is geometric, so the expectation is
+        ``mean_attempt / (1 - hep)`` (infinite when ``hep == 1``).  The crash
+        path truncates this in simulation but is ignored here.
+        """
+        if self._hep >= 1.0:
+            return float("inf")
+        return self.mean_recovery_hours() / (1.0 - self._hep)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample_attempt(self, rng: np.random.Generator) -> RecoveryAttemptResult:
+        """Draw the outcome of one recovery attempt.
+
+        The attempt duration and the crash time race: if the crash happens
+        first the attempt is moot and the event escalates to data loss.
+        """
+        attempt_hours = float(self._recovery_time.sample(1, rng)[0])
+        crash_hours = self.sample_crash_time(rng)
+        if crash_hours is not None and crash_hours < attempt_hours:
+            return RecoveryAttemptResult(
+                recovered=False,
+                repeated_error=False,
+                disk_crashed=True,
+                duration_hours=crash_hours,
+            )
+        repeated = bool(rng.random() < self._hep)
+        return RecoveryAttemptResult(
+            recovered=not repeated,
+            repeated_error=repeated,
+            disk_crashed=False,
+            duration_hours=attempt_hours,
+        )
+
+    def sample_crash_time(self, rng: np.random.Generator) -> Optional[float]:
+        """Draw the time until the wrongly pulled disk crashes (``None`` if never)."""
+        if self._crash_rate <= 0.0:
+            return None
+        return float(rng.exponential(1.0 / self._crash_rate))
+
+    def sample_until_recovered(
+        self, rng: np.random.Generator, max_attempts: int = 1000
+    ) -> RecoveryAttemptResult:
+        """Repeat attempts until the error is recovered or the disk crashes.
+
+        Returns a single aggregated result whose duration is the sum of all
+        attempt durations.  ``max_attempts`` guards against hep = 1 loops.
+        """
+        total_hours = 0.0
+        for _ in range(int(max_attempts)):
+            attempt = self.sample_attempt(rng)
+            total_hours += attempt.duration_hours
+            if attempt.disk_crashed:
+                return RecoveryAttemptResult(
+                    recovered=False,
+                    repeated_error=False,
+                    disk_crashed=True,
+                    duration_hours=total_hours,
+                )
+            if attempt.recovered:
+                return RecoveryAttemptResult(
+                    recovered=True,
+                    repeated_error=False,
+                    disk_crashed=False,
+                    duration_hours=total_hours,
+                )
+        raise HumanErrorModelError(
+            f"error recovery did not terminate within {max_attempts} attempts "
+            f"(hep={self._hep!r})"
+        )

@@ -1,0 +1,87 @@
+"""Continuous-time Markov chain engine.
+
+Provides the chain representation, a fluent builder, steady-state and
+transient solvers, discrete-time helpers, structural validation and
+availability metrics used by the storage availability models.
+"""
+
+from repro.markov.builder import ChainBuilder, chain_from_rate_dict
+from repro.markov.chain import MarkovChain, State, Transition
+from repro.markov.dtmc import (
+    dtmc_stationary_distribution,
+    embedded_jump_matrix,
+    n_step_distribution,
+    occupancy_fraction,
+    steady_state_via_discretisation,
+    step_transition_matrix,
+)
+from repro.markov.metrics import (
+    AvailabilityResult,
+    compare_availability,
+    expected_visits_per_year,
+    mean_time_to_failure,
+    state_occupancy_report,
+    steady_state_availability,
+)
+from repro.markov.solver import (
+    mean_time_to_absorption,
+    solve_steady_state,
+    solve_steady_state_dense,
+    solve_steady_state_least_squares,
+    solve_steady_state_power,
+    solve_steady_state_sparse,
+    stationary_vector,
+)
+from repro.markov.transient import (
+    TransientResult,
+    interval_availability,
+    point_availability,
+    transient_distribution_expm,
+    transient_distribution_uniformization,
+)
+from repro.markov.validation import (
+    ValidationReport,
+    check_reachability,
+    find_absorbing_states,
+    is_irreducible,
+    to_networkx,
+    validate_chain,
+)
+
+__all__ = [
+    "AvailabilityResult",
+    "ChainBuilder",
+    "MarkovChain",
+    "State",
+    "Transition",
+    "TransientResult",
+    "ValidationReport",
+    "chain_from_rate_dict",
+    "check_reachability",
+    "compare_availability",
+    "dtmc_stationary_distribution",
+    "embedded_jump_matrix",
+    "expected_visits_per_year",
+    "find_absorbing_states",
+    "interval_availability",
+    "is_irreducible",
+    "mean_time_to_absorption",
+    "mean_time_to_failure",
+    "n_step_distribution",
+    "occupancy_fraction",
+    "point_availability",
+    "solve_steady_state",
+    "solve_steady_state_dense",
+    "solve_steady_state_least_squares",
+    "solve_steady_state_power",
+    "solve_steady_state_sparse",
+    "state_occupancy_report",
+    "stationary_vector",
+    "steady_state_availability",
+    "steady_state_via_discretisation",
+    "step_transition_matrix",
+    "to_networkx",
+    "transient_distribution_expm",
+    "transient_distribution_uniformization",
+    "validate_chain",
+]

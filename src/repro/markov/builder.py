@@ -1,0 +1,154 @@
+"""Fluent builder for continuous-time Markov chains.
+
+The availability models in :mod:`repro.core.models` assemble their chains
+through this builder: declare states with their up/down flag, then add rate
+transitions with symbolic labels, then call :meth:`ChainBuilder.build`.
+Duplicate transitions between the same pair of states are allowed and are
+summed by the chain, matching how competing events add rates in a CTMC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.exceptions import StateError, TransitionError
+from repro.markov.chain import MarkovChain, State, Transition
+
+
+class ChainBuilder:
+    """Incrementally construct a :class:`~repro.markov.chain.MarkovChain`."""
+
+    def __init__(self, name: str = "markov-chain") -> None:
+        self._name = str(name)
+        self._states: Dict[str, State] = {}
+        self._order: List[str] = []
+        self._transitions: List[Transition] = []
+
+    # ------------------------------------------------------------------
+    # States
+    # ------------------------------------------------------------------
+    def add_state(
+        self,
+        name: str,
+        up: bool = True,
+        description: str = "",
+        tags: Iterable[str] = (),
+    ) -> "ChainBuilder":
+        """Declare a state; raises if the name is already taken."""
+        if name in self._states:
+            raise StateError(f"state {name!r} declared twice")
+        self._states[name] = State(
+            name=name, up=up, description=description, tags=tuple(tags)
+        )
+        self._order.append(name)
+        return self
+
+    def add_up_state(self, name: str, description: str = "", tags: Iterable[str] = ()) -> "ChainBuilder":
+        """Declare a state in which the system is available."""
+        return self.add_state(name, up=True, description=description, tags=tags)
+
+    def add_down_state(self, name: str, description: str = "", tags: Iterable[str] = ()) -> "ChainBuilder":
+        """Declare a state in which the system is unavailable."""
+        return self.add_state(name, up=False, description=description, tags=tags)
+
+    def has_state(self, name: str) -> bool:
+        """Return whether a state has been declared."""
+        return name in self._states
+
+    @property
+    def state_names(self) -> List[str]:
+        """Return declared state names in declaration order."""
+        return list(self._order)
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def add_transition(
+        self,
+        source: str,
+        target: str,
+        rate: float,
+        label: str = "",
+    ) -> "ChainBuilder":
+        """Add a rate transition; zero rates are accepted and later dropped.
+
+        Zero-rate transitions are convenient when a model parameter (e.g.
+        ``hep``) is zero: the model structure stays identical and only the
+        numerical rate vanishes.
+        """
+        if source not in self._states:
+            raise StateError(f"transition source {source!r} has not been declared")
+        if target not in self._states:
+            raise StateError(f"transition target {target!r} has not been declared")
+        if rate < 0.0:
+            raise TransitionError(
+                f"transition {source!r}->{target!r} has negative rate {rate!r}"
+            )
+        if rate > 0.0:
+            self._transitions.append(
+                Transition(source=source, target=target, rate=float(rate), label=label)
+            )
+        return self
+
+    def add_bidirectional(
+        self,
+        first: str,
+        second: str,
+        forward_rate: float,
+        backward_rate: float,
+        forward_label: str = "",
+        backward_label: str = "",
+    ) -> "ChainBuilder":
+        """Add transitions in both directions between two states."""
+        self.add_transition(first, second, forward_rate, forward_label)
+        self.add_transition(second, first, backward_rate, backward_label)
+        return self
+
+    @property
+    def n_transitions(self) -> int:
+        """Return the number of non-zero transitions added so far."""
+        return len(self._transitions)
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+    def build(self, validate: bool = True) -> MarkovChain:
+        """Return the constructed chain.
+
+        When ``validate`` is true, basic structural checks are run through
+        :mod:`repro.markov.validation` (every state reachable from the first
+        declared state, no terminal absorbing set unless flagged).
+        """
+        chain = MarkovChain(
+            states=[self._states[name] for name in self._order],
+            transitions=self._transitions,
+            name=self._name,
+        )
+        if validate:
+            from repro.markov.validation import validate_chain
+
+            validate_chain(chain)
+        return chain
+
+
+def chain_from_rate_dict(
+    name: str,
+    up_states: Iterable[str],
+    down_states: Iterable[str],
+    rates: Dict[tuple, float],
+    labels: Optional[Dict[tuple, str]] = None,
+) -> MarkovChain:
+    """Build a chain from a ``{(source, target): rate}`` mapping.
+
+    A convenience wrapper used heavily in tests where writing out the
+    builder calls would be noisy.
+    """
+    labels = labels or {}
+    builder = ChainBuilder(name)
+    for state in up_states:
+        builder.add_up_state(state)
+    for state in down_states:
+        builder.add_down_state(state)
+    for (source, target), rate in rates.items():
+        builder.add_transition(source, target, rate, labels.get((source, target), ""))
+    return builder.build(validate=False)

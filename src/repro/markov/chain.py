@@ -1,0 +1,385 @@
+"""Continuous-time Markov chain (CTMC) representation.
+
+A :class:`MarkovChain` is a set of named states plus transition *rates*
+(per hour) between them.  The chain owns its infinitesimal generator matrix
+``Q`` where ``Q[i, j]`` is the rate from state ``i`` to state ``j`` for
+``i != j`` and ``Q[i, i] = -sum_j Q[i, j]``.
+
+States may carry arbitrary metadata; the availability models tag each state
+with ``up=True/False`` so that steady-state availability is simply the
+probability mass on up states (see :mod:`repro.markov.metrics`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import StateError, TransitionError
+
+
+@dataclass(frozen=True)
+class State:
+    """A named CTMC state.
+
+    Attributes
+    ----------
+    name:
+        Unique state identifier, e.g. ``"OP"`` or ``"EXPns1"``.
+    up:
+        ``True`` when the storage system is available (serving data) while
+        in this state.
+    description:
+        Optional human-readable explanation used in reports.
+    tags:
+        Optional free-form labels (``"exposed"``, ``"data-loss"`` ...).
+    """
+
+    name: str
+    up: bool = True
+    description: str = ""
+    tags: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise StateError(f"state name must be a non-empty string, got {self.name!r}")
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A directed transition between two CTMC states.
+
+    Attributes
+    ----------
+    source, target:
+        State names.  Self loops are rejected: they are meaningless in a
+        CTMC (they cancel inside the generator) and usually indicate a
+        modelling mistake when translating a discrete-time diagram.
+    rate:
+        Transition rate in events per hour; must be non-negative and finite.
+    label:
+        Optional symbolic label, e.g. ``"n*lambda"`` or ``"hep*mu_df"``,
+        carried through to reports and DOT export.
+    """
+
+    source: str
+    target: str
+    rate: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise TransitionError(
+                f"self loop on state {self.source!r} is not allowed in a CTMC"
+            )
+        if not math.isfinite(self.rate) or self.rate < 0.0:
+            raise TransitionError(
+                f"transition {self.source!r}->{self.target!r} has invalid rate {self.rate!r}"
+            )
+
+
+class MarkovChain:
+    """A continuous-time Markov chain over named states.
+
+    Parameters
+    ----------
+    states:
+        Iterable of :class:`State`.  Names must be unique.
+    transitions:
+        Iterable of :class:`Transition`.  Multiple transitions between the
+        same pair of states are summed into a single rate.
+    name:
+        Optional model name used in reports.
+    """
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        transitions: Iterable[Transition] = (),
+        name: str = "markov-chain",
+    ) -> None:
+        self._name = str(name)
+        self._states: List[State] = []
+        self._index: Dict[str, int] = {}
+        for state in states:
+            if state.name in self._index:
+                raise StateError(f"duplicate state name {state.name!r}")
+            self._index[state.name] = len(self._states)
+            self._states.append(state)
+        if not self._states:
+            raise StateError("a Markov chain requires at least one state")
+        self._transitions: List[Transition] = []
+        for transition in transitions:
+            self._check_transition(transition)
+            self._transitions.append(transition)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Return the model name."""
+        return self._name
+
+    @property
+    def states(self) -> Tuple[State, ...]:
+        """Return the states in index order."""
+        return tuple(self._states)
+
+    @property
+    def state_names(self) -> Tuple[str, ...]:
+        """Return the state names in index order."""
+        return tuple(state.name for state in self._states)
+
+    @property
+    def transitions(self) -> Tuple[Transition, ...]:
+        """Return all transitions (as declared, duplicates not merged)."""
+        return tuple(self._transitions)
+
+    @property
+    def n_states(self) -> int:
+        """Return the number of states."""
+        return len(self._states)
+
+    def state(self, name: str) -> State:
+        """Return the state with the given name."""
+        return self._states[self.index_of(name)]
+
+    def index_of(self, name: str) -> int:
+        """Return the matrix index of state ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise StateError(
+                f"unknown state {name!r}; known states: {sorted(self._index)}"
+            ) from None
+
+    def has_state(self, name: str) -> bool:
+        """Return whether a state with the given name exists."""
+        return name in self._index
+
+    def up_states(self) -> Tuple[str, ...]:
+        """Return the names of all states flagged as up (available)."""
+        return tuple(state.name for state in self._states if state.up)
+
+    def down_states(self) -> Tuple[str, ...]:
+        """Return the names of all states flagged as down (unavailable)."""
+        return tuple(state.name for state in self._states if not state.up)
+
+    def rate(self, source: str, target: str) -> float:
+        """Return the total rate from ``source`` to ``target`` (0 if absent)."""
+        i, j = self.index_of(source), self.index_of(target)
+        total = 0.0
+        for transition in self._transitions:
+            if self._index[transition.source] == i and self._index[transition.target] == j:
+                total += transition.rate
+        return total
+
+    def exit_rate(self, source: str) -> float:
+        """Return the total rate at which the chain leaves ``source``."""
+        i = self.index_of(source)
+        return float(sum(
+            t.rate for t in self._transitions if self._index[t.source] == i
+        ))
+
+    def successors(self, source: str) -> Dict[str, float]:
+        """Return a mapping of reachable states to total transition rates."""
+        i = self.index_of(source)
+        out: Dict[str, float] = {}
+        for transition in self._transitions:
+            if self._index[transition.source] == i and transition.rate > 0.0:
+                out[transition.target] = out.get(transition.target, 0.0) + transition.rate
+        return out
+
+    def predecessors(self, target: str) -> Dict[str, float]:
+        """Return a mapping of states with an edge into ``target`` to rates."""
+        j = self.index_of(target)
+        out: Dict[str, float] = {}
+        for transition in self._transitions:
+            if self._index[transition.target] == j and transition.rate > 0.0:
+                out[transition.source] = out.get(transition.source, 0.0) + transition.rate
+        return out
+
+    def __iter__(self) -> Iterator[State]:
+        return iter(self._states)
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MarkovChain(name={self._name!r}, states={self.n_states}, "
+            f"transitions={len(self._transitions)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Matrices
+    # ------------------------------------------------------------------
+    def generator_matrix(self) -> np.ndarray:
+        """Return the infinitesimal generator ``Q`` as a dense array.
+
+        ``Q[i, j]`` for ``i != j`` is the rate from ``i`` to ``j``; diagonal
+        entries are the negated row sums so every row sums to zero.
+        """
+        n = self.n_states
+        q = np.zeros((n, n), dtype=float)
+        for transition in self._transitions:
+            i = self._index[transition.source]
+            j = self._index[transition.target]
+            q[i, j] += transition.rate
+        np.fill_diagonal(q, 0.0)
+        q[np.diag_indices_from(q)] = -q.sum(axis=1)
+        return q
+
+    def rate_matrix(self) -> np.ndarray:
+        """Return the off-diagonal rate matrix (no negative diagonal)."""
+        q = self.generator_matrix()
+        np.fill_diagonal(q, 0.0)
+        return q
+
+    def uniformized_dtmc(self, uniformization_rate: Optional[float] = None) -> Tuple[np.ndarray, float]:
+        """Return ``(P, Lambda)`` for the uniformized discrete-time chain.
+
+        ``P = I + Q / Lambda`` where ``Lambda`` is at least the largest exit
+        rate.  The stationary distribution of ``P`` equals that of the CTMC.
+        """
+        q = self.generator_matrix()
+        max_exit = float(np.max(-np.diag(q))) if self.n_states > 0 else 0.0
+        lam = uniformization_rate if uniformization_rate is not None else max_exit * 1.02
+        if lam <= 0.0:
+            # Chain with no transitions at all: identity is a valid DTMC.
+            return np.eye(self.n_states), 1.0
+        if lam < max_exit:
+            raise TransitionError(
+                f"uniformization rate {lam!r} is below the maximum exit rate {max_exit!r}"
+            )
+        p = np.eye(self.n_states) + q / lam
+        return p, lam
+
+    def up_mask(self) -> np.ndarray:
+        """Return a boolean vector flagging up states in index order."""
+        return np.array([state.up for state in self._states], dtype=bool)
+
+    # ------------------------------------------------------------------
+    # Derived chains
+    # ------------------------------------------------------------------
+    def with_states_absorbing(self, names: Sequence[str]) -> "MarkovChain":
+        """Return a copy where all transitions out of ``names`` are removed.
+
+        Making down states absorbing converts an availability model into a
+        reliability model: the mean time to absorption from the operational
+        state is then the MTTDL / MTTF.
+        """
+        absorbing = set(names)
+        for name in absorbing:
+            self.index_of(name)  # validate
+        kept = [t for t in self._transitions if t.source not in absorbing]
+        return MarkovChain(self._states, kept, name=f"{self._name}-absorbing")
+
+    def relabelled(self, mapping: Mapping[str, str]) -> "MarkovChain":
+        """Return a copy with states renamed according to ``mapping``.
+
+        States not present in the mapping keep their names.  The mapping must
+        not merge two states into one.
+        """
+        new_names = [mapping.get(s.name, s.name) for s in self._states]
+        if len(set(new_names)) != len(new_names):
+            raise StateError(f"relabelling {dict(mapping)!r} merges states")
+        states = [
+            State(name=new, up=s.up, description=s.description, tags=s.tags)
+            for new, s in zip(new_names, self._states)
+        ]
+        transitions = [
+            Transition(
+                source=mapping.get(t.source, t.source),
+                target=mapping.get(t.target, t.target),
+                rate=t.rate,
+                label=t.label,
+            )
+            for t in self._transitions
+        ]
+        return MarkovChain(states, transitions, name=self._name)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_dot(self) -> str:
+        """Return a Graphviz DOT description of the chain.
+
+        Up states are drawn as ellipses, down states as shaded boxes.  This
+        mirrors the figures in the paper and is handy for eyeballing the
+        reconstructed automatic fail-over model.
+        """
+        lines = [f'digraph "{self._name}" {{', "  rankdir=LR;"]
+        for state in self._states:
+            shape = "ellipse" if state.up else "box"
+            style = "" if state.up else ', style=filled, fillcolor="#f2c9c9"'
+            lines.append(f'  "{state.name}" [shape={shape}{style}];')
+        for transition in self._transitions:
+            if transition.rate <= 0.0:
+                continue
+            label = transition.label or f"{transition.rate:.3g}"
+            lines.append(
+                f'  "{transition.source}" -> "{transition.target}" [label="{label}"];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-serialisable description of the chain."""
+        return {
+            "name": self._name,
+            "states": [
+                {
+                    "name": s.name,
+                    "up": s.up,
+                    "description": s.description,
+                    "tags": list(s.tags),
+                }
+                for s in self._states
+            ],
+            "transitions": [
+                {
+                    "source": t.source,
+                    "target": t.target,
+                    "rate": t.rate,
+                    "label": t.label,
+                }
+                for t in self._transitions
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "MarkovChain":
+        """Rebuild a chain from :meth:`to_dict` output."""
+        states = [
+            State(
+                name=str(s["name"]),
+                up=bool(s.get("up", True)),
+                description=str(s.get("description", "")),
+                tags=tuple(s.get("tags", ())),
+            )
+            for s in payload.get("states", [])  # type: ignore[union-attr]
+        ]
+        transitions = [
+            Transition(
+                source=str(t["source"]),
+                target=str(t["target"]),
+                rate=float(t["rate"]),
+                label=str(t.get("label", "")),
+            )
+            for t in payload.get("transitions", [])  # type: ignore[union-attr]
+        ]
+        return cls(states, transitions, name=str(payload.get("name", "markov-chain")))
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _check_transition(self, transition: Transition) -> None:
+        if transition.source not in self._index:
+            raise StateError(f"transition source {transition.source!r} is not a state")
+        if transition.target not in self._index:
+            raise StateError(f"transition target {transition.target!r} is not a state")

@@ -1,0 +1,35 @@
+"""Discrete-event simulation kernel: engine, RNG streams, monitors, CIs."""
+
+from repro.simulation.confidence import (
+    ConfidenceInterval,
+    batch_means,
+    confidence_interval,
+    required_samples,
+    t_critical,
+)
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import ScheduledEvent, TraceRecord, make_event
+from repro.simulation.monitor import (
+    CounterSet,
+    OutageRecord,
+    TimeWeightedValue,
+    UpDownMonitor,
+)
+from repro.simulation.rng import RandomStreams
+
+__all__ = [
+    "ConfidenceInterval",
+    "CounterSet",
+    "OutageRecord",
+    "RandomStreams",
+    "ScheduledEvent",
+    "SimulationEngine",
+    "TimeWeightedValue",
+    "TraceRecord",
+    "UpDownMonitor",
+    "batch_means",
+    "confidence_interval",
+    "make_event",
+    "required_samples",
+    "t_critical",
+]

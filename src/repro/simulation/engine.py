@@ -1,0 +1,153 @@
+"""Minimal discrete-event simulation engine.
+
+The engine owns a simulation clock and a future-event list (a binary heap).
+Model code schedules events with callbacks; the engine pops them in time
+order and invokes the callbacks until the horizon is reached, the event list
+drains, or a stop is requested.
+
+The Monte Carlo availability model in :mod:`repro.core.montecarlo` offers two
+execution styles: a fast vectorised path for the paper's large sweeps and an
+event-driven path built on this engine that produces the per-event traces
+shown in the paper's Fig. 1.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.exceptions import SimulationError
+from repro.simulation.events import ScheduledEvent, TraceRecord, make_event
+
+
+class SimulationEngine:
+    """Event-driven simulation core with a float clock measured in hours."""
+
+    def __init__(self, horizon_hours: Optional[float] = None) -> None:
+        if horizon_hours is not None and horizon_hours <= 0.0:
+            raise SimulationError(f"horizon must be positive, got {horizon_hours!r}")
+        self._horizon = float(horizon_hours) if horizon_hours is not None else None
+        self._now = 0.0
+        self._queue: List[ScheduledEvent] = []
+        self._stopped = False
+        self._processed = 0
+        self._trace: List[TraceRecord] = []
+        self._trace_enabled = False
+
+    # ------------------------------------------------------------------
+    # Clock and state
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Return the current simulation time in hours."""
+        return self._now
+
+    @property
+    def horizon(self) -> Optional[float]:
+        """Return the configured horizon in hours (or ``None``)."""
+        return self._horizon
+
+    @property
+    def events_processed(self) -> int:
+        """Return the number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Return the number of events still queued (including cancelled)."""
+        return len(self._queue)
+
+    def stop(self) -> None:
+        """Request the run loop to halt after the current event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self,
+        time: float,
+        name: str = "",
+        callback: Optional[Callable[[ScheduledEvent], None]] = None,
+        **payload: Any,
+    ) -> ScheduledEvent:
+        """Schedule an event at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event {name!r} at {time!r} before current time {self._now!r}"
+            )
+        event = make_event(time, name=name, callback=callback, **payload)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(
+        self,
+        delay: float,
+        name: str = "",
+        callback: Optional[Callable[[ScheduledEvent], None]] = None,
+        **payload: Any,
+    ) -> ScheduledEvent:
+        """Schedule an event ``delay`` hours after the current time."""
+        if delay < 0.0:
+            raise SimulationError(f"delay must be non-negative, got {delay!r}")
+        return self.schedule_at(self._now + delay, name=name, callback=callback, **payload)
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def enable_trace(self) -> None:
+        """Start recording :class:`TraceRecord` entries via :meth:`record`."""
+        self._trace_enabled = True
+
+    def record(self, kind: str, subject: str = "", **detail: Any) -> None:
+        """Append a trace record at the current time (no-op when disabled)."""
+        if self._trace_enabled:
+            self._trace.append(
+                TraceRecord(time=self._now, kind=kind, subject=subject, detail=dict(detail))
+            )
+
+    @property
+    def trace(self) -> List[TraceRecord]:
+        """Return the recorded trace (empty unless tracing was enabled)."""
+        return list(self._trace)
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events in time order and return the final clock value.
+
+        The loop ends when the event list is empty, the requested ``until``
+        (or the engine horizon) is reached, or :meth:`stop` is called.  When
+        a horizon terminates the run the clock is advanced to that horizon so
+        time-weighted statistics cover the full interval.
+        """
+        limit = self._effective_limit(until)
+        self._stopped = False
+        while self._queue and not self._stopped:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if limit is not None and event.time > limit:
+                # Put it back for a potential later run() call and stop here.
+                heapq.heappush(self._queue, event)
+                self._now = limit
+                return self._now
+            self._now = event.time
+            self._processed += 1
+            if event.callback is not None:
+                event.callback(event)
+        if limit is not None and self._now < limit and not self._stopped:
+            self._now = limit
+        return self._now
+
+    def _effective_limit(self, until: Optional[float]) -> Optional[float]:
+        if until is None:
+            return self._horizon
+        if until < self._now:
+            raise SimulationError(
+                f"run until {until!r} lies before the current time {self._now!r}"
+            )
+        if self._horizon is None:
+            return float(until)
+        return min(float(until), self._horizon)

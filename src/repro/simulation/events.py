@@ -1,0 +1,86 @@
+"""Event types for the discrete-event simulation kernel.
+
+The kernel is deliberately small: an event is a time plus a callback (or a
+named payload for trace-style consumption).  The storage Monte Carlo
+simulator in :mod:`repro.core.montecarlo` builds its disk failure / repair /
+human error semantics on top of these primitives.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.exceptions import SimulationError
+
+#: Monotonically increasing tie-breaker so simultaneous events preserve
+#: scheduling order (heapq is not stable on its own).
+_sequence = itertools.count()
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An event sitting in the simulator's future event list.
+
+    Ordering is by time, then by insertion sequence, which makes the event
+    list deterministic for equal timestamps.
+    """
+
+    time: float
+    sequence: int = field(compare=True)
+    name: str = field(compare=False, default="")
+    callback: Optional[Callable[["ScheduledEvent"], None]] = field(compare=False, default=None)
+    payload: Dict[str, Any] = field(compare=False, default_factory=dict)
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; the engine will skip it when popped."""
+        self.cancelled = True
+
+
+def make_event(
+    time: float,
+    name: str = "",
+    callback: Optional[Callable[[ScheduledEvent], None]] = None,
+    **payload: Any,
+) -> ScheduledEvent:
+    """Create a :class:`ScheduledEvent` with the next tie-break sequence number."""
+    if time < 0.0:
+        raise SimulationError(f"event time must be non-negative, got {time!r}")
+    return ScheduledEvent(
+        time=float(time),
+        sequence=next(_sequence),
+        name=name,
+        callback=callback,
+        payload=dict(payload),
+    )
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """A single entry of a simulation trace.
+
+    Attributes
+    ----------
+    time:
+        Simulation time in hours at which the event occurred.
+    kind:
+        Event kind, e.g. ``"disk_failure"``, ``"human_error"``.
+    subject:
+        Identifier of the entity concerned (disk id, array id, ...).
+    detail:
+        Free-form extra fields (previous state, duration, ...).
+    """
+
+    time: float
+    kind: str
+    subject: str = ""
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """Return a one-line human readable description."""
+        extra = ", ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        subject = f" {self.subject}" if self.subject else ""
+        suffix = f" ({extra})" if extra else ""
+        return f"[{self.time:12.2f} h] {self.kind}{subject}{suffix}"

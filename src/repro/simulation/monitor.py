@@ -1,0 +1,167 @@
+"""Time-weighted statistics collection for simulations.
+
+Availability is a time-weighted statistic: the fraction of simulated time a
+system spends in an up state.  :class:`TimeWeightedValue` accumulates such
+statistics incrementally as the model changes state;
+:class:`UpDownMonitor` specialises it for boolean up/down tracking and also
+counts outage episodes and their durations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.exceptions import SimulationError
+
+
+class TimeWeightedValue:
+    """Accumulate the time-weighted average of a piecewise-constant signal."""
+
+    def __init__(self, initial_value: float = 0.0, start_time: float = 0.0) -> None:
+        self._value = float(initial_value)
+        self._last_time = float(start_time)
+        self._start_time = float(start_time)
+        self._weighted_sum = 0.0
+
+    @property
+    def current_value(self) -> float:
+        """Return the value currently being integrated."""
+        return self._value
+
+    def update(self, time: float, value: float) -> None:
+        """Record that the signal changed to ``value`` at ``time``."""
+        time = float(time)
+        if time < self._last_time:
+            raise SimulationError(
+                f"monitor updated backwards in time ({time!r} < {self._last_time!r})"
+            )
+        self._weighted_sum += self._value * (time - self._last_time)
+        self._value = float(value)
+        self._last_time = time
+
+    def mean(self, until: Optional[float] = None) -> float:
+        """Return the time-weighted mean over ``[start, until]``."""
+        end = self._last_time if until is None else float(until)
+        if end < self._last_time:
+            raise SimulationError("mean requested before the last recorded update")
+        total = self._weighted_sum + self._value * (end - self._last_time)
+        duration = end - self._start_time
+        if duration <= 0.0:
+            return self._value
+        return total / duration
+
+
+@dataclass
+class OutageRecord:
+    """One contiguous interval of unavailability."""
+
+    start: float
+    end: float
+    cause: str = ""
+
+    @property
+    def duration(self) -> float:
+        """Return the outage length in hours."""
+        return self.end - self.start
+
+
+class UpDownMonitor:
+    """Track an up/down signal, its availability and its outage episodes."""
+
+    def __init__(self, start_time: float = 0.0, initially_up: bool = True) -> None:
+        self._weighted = TimeWeightedValue(1.0 if initially_up else 0.0, start_time)
+        self._up = bool(initially_up)
+        self._outages: List[OutageRecord] = []
+        self._current_outage_start: Optional[float] = None if initially_up else start_time
+        self._current_cause = ""
+
+    @property
+    def is_up(self) -> bool:
+        """Return whether the monitored system is currently up."""
+        return self._up
+
+    @property
+    def outages(self) -> List[OutageRecord]:
+        """Return completed outage records."""
+        return list(self._outages)
+
+    def mark_down(self, time: float, cause: str = "") -> None:
+        """Record a transition to the down state (idempotent while down)."""
+        if not self._up:
+            return
+        self._weighted.update(time, 0.0)
+        self._up = False
+        self._current_outage_start = float(time)
+        self._current_cause = cause
+
+    def mark_up(self, time: float) -> None:
+        """Record a transition back to the up state (idempotent while up)."""
+        if self._up:
+            return
+        self._weighted.update(time, 1.0)
+        self._up = True
+        if self._current_outage_start is not None:
+            self._outages.append(
+                OutageRecord(start=self._current_outage_start, end=float(time), cause=self._current_cause)
+            )
+        self._current_outage_start = None
+        self._current_cause = ""
+
+    def finalize(self, end_time: float) -> None:
+        """Close any open outage at the end of the simulation horizon."""
+        if not self._up and self._current_outage_start is not None:
+            self._outages.append(
+                OutageRecord(start=self._current_outage_start, end=float(end_time), cause=self._current_cause)
+            )
+            self._current_outage_start = float(end_time)
+
+    def availability(self, until: float) -> float:
+        """Return the fraction of ``[start, until]`` spent up."""
+        return self._weighted.mean(until)
+
+    def downtime_hours(self, until: float) -> float:
+        """Return total downtime accumulated up to ``until``."""
+        return (1.0 - self.availability(until)) * (until - self._weighted._start_time)
+
+    def outage_count(self) -> int:
+        """Return the number of completed outages."""
+        return len(self._outages)
+
+    def outage_durations(self) -> List[float]:
+        """Return the durations of completed outages in hours."""
+        return [outage.duration for outage in self._outages]
+
+    def outage_causes(self) -> Dict[str, int]:
+        """Return a histogram of outage causes."""
+        histogram: Dict[str, int] = {}
+        for outage in self._outages:
+            key = outage.cause or "unknown"
+            histogram[key] = histogram.get(key, 0) + 1
+        return histogram
+
+
+@dataclass
+class CounterSet:
+    """A bag of named event counters used by the Monte Carlo simulator."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def increment(self, name: str, by: int = 1) -> None:
+        """Increase counter ``name`` by ``by`` (creating it at zero)."""
+        self.counts[name] = self.counts.get(name, 0) + int(by)
+
+    def get(self, name: str) -> int:
+        """Return the current value of a counter (zero when absent)."""
+        return self.counts.get(name, 0)
+
+    def merge(self, other: "CounterSet") -> "CounterSet":
+        """Return a new counter set with both sets of counts summed."""
+        merged = CounterSet(dict(self.counts))
+        for name, value in other.counts.items():
+            merged.increment(name, value)
+        return merged
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return a copy of the counters."""
+        return dict(self.counts)

@@ -1,0 +1,251 @@
+"""Disk-array state machine.
+
+:class:`DiskArray` tracks the health of every slot in one RAID group plus an
+optional pool of hot spares.  It exposes exactly the predicates the Monte
+Carlo availability simulator needs:
+
+* is the user data currently accessible (``is_data_accessible``)?
+* how many slots are missing (failed, wrongly removed or still rebuilding)?
+* which disk should an operator replace next, and what happens when the
+  operator pulls the wrong one?
+
+The array itself is policy-free — replacement policies (conventional versus
+automatic fail-over) live in :mod:`repro.human.policy` and drive the array
+through these methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import StorageModelError
+from repro.storage.disk import Disk, DiskParameters, DiskState
+from repro.storage.raid import RaidGeometry
+
+
+@dataclass(frozen=True)
+class ArrayStatus:
+    """Snapshot of an array's health used by policies and reports."""
+
+    time: float
+    operational_disks: int
+    failed_disks: int
+    wrongly_removed_disks: int
+    rebuilding_disks: int
+    available_spares: int
+    data_accessible: bool
+
+
+class DiskArray:
+    """One RAID group made of :class:`~repro.storage.disk.Disk` slots."""
+
+    def __init__(
+        self,
+        array_id: str,
+        geometry: RaidGeometry,
+        disk_parameters: Optional[DiskParameters] = None,
+        hot_spares: int = 0,
+    ) -> None:
+        if not array_id:
+            raise StorageModelError("array id must be non-empty")
+        if hot_spares < 0:
+            raise StorageModelError(f"hot spare count must be >= 0, got {hot_spares!r}")
+        self._id = str(array_id)
+        self._geometry = geometry
+        self._parameters = disk_parameters or DiskParameters()
+        self._disks: List[Disk] = [
+            Disk(f"{array_id}-d{i}", self._parameters) for i in range(geometry.n_disks)
+        ]
+        self._spares: List[Disk] = [
+            Disk(f"{array_id}-s{i}", self._parameters, state=DiskState.SPARE)
+            for i in range(int(hot_spares))
+        ]
+        self._initial_spares = int(hot_spares)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def array_id(self) -> str:
+        """Return the array identifier."""
+        return self._id
+
+    @property
+    def geometry(self) -> RaidGeometry:
+        """Return the RAID geometry."""
+        return self._geometry
+
+    @property
+    def disks(self) -> List[Disk]:
+        """Return the data/parity disk slots (not the spares)."""
+        return list(self._disks)
+
+    @property
+    def spares(self) -> List[Disk]:
+        """Return the hot-spare slots."""
+        return list(self._spares)
+
+    @property
+    def disk_parameters(self) -> DiskParameters:
+        """Return the per-disk static parameters."""
+        return self._parameters
+
+    def disk(self, disk_id: str) -> Disk:
+        """Return the disk (data or spare) with the given id."""
+        for disk in self._disks + self._spares:
+            if disk.disk_id == disk_id:
+                return disk
+        raise StorageModelError(f"array {self._id}: unknown disk {disk_id!r}")
+
+    # ------------------------------------------------------------------
+    # Health predicates
+    # ------------------------------------------------------------------
+    def count_in_state(self, state: DiskState) -> int:
+        """Return how many data slots are in the given state."""
+        return sum(1 for disk in self._disks if disk.state is state)
+
+    def missing_disks(self) -> int:
+        """Return the number of data slots not currently serving data."""
+        return sum(1 for disk in self._disks if not disk.is_available)
+
+    def is_data_accessible(self) -> bool:
+        """Return whether the user data can still be served.
+
+        Data is accessible while the number of missing slots does not exceed
+        the geometry's fault tolerance.
+        """
+        return self._geometry.survives(self.missing_disks())
+
+    def available_spares(self) -> int:
+        """Return the number of idle hot spares."""
+        return sum(1 for disk in self._spares if disk.state is DiskState.SPARE)
+
+    def operational_disks(self) -> List[Disk]:
+        """Return the data slots currently serving data."""
+        return [disk for disk in self._disks if disk.is_available]
+
+    def failed_disks(self) -> List[Disk]:
+        """Return the data slots with a hard failure."""
+        return [disk for disk in self._disks if disk.state is DiskState.FAILED]
+
+    def wrongly_removed_disks(self) -> List[Disk]:
+        """Return healthy data slots that were pulled by mistake."""
+        return [disk for disk in self._disks if disk.state is DiskState.WRONGLY_REMOVED]
+
+    def rebuilding_disks(self) -> List[Disk]:
+        """Return the slots currently being reconstructed."""
+        return [disk for disk in self._disks if disk.state is DiskState.REBUILDING]
+
+    def status(self, time: float) -> ArrayStatus:
+        """Return a point-in-time health snapshot."""
+        return ArrayStatus(
+            time=float(time),
+            operational_disks=self.count_in_state(DiskState.OPERATIONAL),
+            failed_disks=self.count_in_state(DiskState.FAILED),
+            wrongly_removed_disks=self.count_in_state(DiskState.WRONGLY_REMOVED),
+            rebuilding_disks=self.count_in_state(DiskState.REBUILDING),
+            available_spares=self.available_spares(),
+            data_accessible=self.is_data_accessible(),
+        )
+
+    # ------------------------------------------------------------------
+    # Failure and repair transitions
+    # ------------------------------------------------------------------
+    def fail_disk(self, time: float, disk: Optional[Disk] = None,
+                  rng: Optional[np.random.Generator] = None) -> Disk:
+        """Fail the given operational disk (or a uniformly chosen one)."""
+        target = disk if disk is not None else self._pick_operational(rng)
+        if target.state not in (DiskState.OPERATIONAL, DiskState.REBUILDING):
+            raise StorageModelError(
+                f"array {self._id}: cannot fail disk {target.disk_id} in state "
+                f"{target.state.value!r}"
+            )
+        target.fail(time)
+        return target
+
+    def wrongly_remove_disk(
+        self, time: float, rng: Optional[np.random.Generator] = None
+    ) -> Disk:
+        """Pull a healthy disk by mistake (the paper's human error)."""
+        target = self._pick_operational(rng)
+        target.wrongly_remove(time)
+        return target
+
+    def reinsert_disk(self, time: float, disk: Disk) -> None:
+        """Undo a wrong removal; the disk returns with its data intact."""
+        disk.reinsert(time)
+
+    def start_rebuild(self, time: float, disk: Disk) -> None:
+        """Insert a replacement into a missing slot and begin reconstruction."""
+        disk.start_rebuild(time)
+
+    def complete_rebuild(self, time: float, disk: Disk) -> None:
+        """Finish reconstruction of a slot."""
+        disk.complete_rebuild(time)
+
+    def replace_disk(self, time: float, disk: Disk) -> None:
+        """Replace a missing disk with a new one, skipping an explicit rebuild phase."""
+        disk.replace(time)
+
+    def restore_all(self, time: float) -> None:
+        """Restore every slot to operational (used after a backup recovery)."""
+        for disk in self._disks:
+            if disk.state is DiskState.FAILED or disk.state is DiskState.WRONGLY_REMOVED:
+                disk.replace(time)
+            elif disk.state is DiskState.REBUILDING:
+                disk.complete_rebuild(time)
+        for spare in self._spares:
+            if spare.state is DiskState.FAILED:
+                spare.make_spare(time)
+
+    # ------------------------------------------------------------------
+    # Spare management
+    # ------------------------------------------------------------------
+    def allocate_spare(self, time: float) -> Optional[Disk]:
+        """Take an idle hot spare out of the pool (``None`` when exhausted)."""
+        for spare in self._spares:
+            if spare.state is DiskState.SPARE:
+                spare.start_rebuild(time)
+                return spare
+        return None
+
+    def add_spare(self, time: float) -> Disk:
+        """Add a brand-new hot spare to the pool (e.g. after replacement)."""
+        spare = Disk(
+            f"{self._id}-s{len(self._spares)}", self._parameters, state=DiskState.SPARE
+        )
+        self._spares.append(spare)
+        return spare
+
+    def release_spare(self, time: float, spare: Disk) -> None:
+        """Return a spare that was allocated but not consumed."""
+        if spare not in self._spares:
+            raise StorageModelError(f"array {self._id}: {spare.disk_id} is not a spare slot")
+        spare.make_spare(time)
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _pick_operational(self, rng: Optional[np.random.Generator]) -> Disk:
+        candidates = self.operational_disks()
+        if not candidates:
+            raise StorageModelError(f"array {self._id}: no operational disks left")
+        if rng is None:
+            return candidates[0]
+        return candidates[int(rng.integers(len(candidates)))]
+
+    def state_histogram(self) -> Dict[str, int]:
+        """Return a ``state name -> count`` histogram across data slots."""
+        histogram: Dict[str, int] = {}
+        for disk in self._disks:
+            histogram[disk.state.value] = histogram.get(disk.state.value, 0) + 1
+        return histogram
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DiskArray(id={self._id!r}, geometry={self._geometry.label!r}, "
+            f"missing={self.missing_disks()})"
+        )

@@ -1,0 +1,202 @@
+"""Disk drive model.
+
+A :class:`Disk` is a stateful object used by the event-driven Monte Carlo
+simulator: it can fail, be wrongly pulled by an operator, be rebuilt onto and
+be replaced.  Its time-to-failure behaviour is described by any
+:class:`~repro.distributions.base.Distribution` (exponential for the Markov
+cross-validation, Weibull for the field-calibrated runs).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.distributions import Distribution, Exponential
+from repro.exceptions import StorageModelError
+
+
+class DiskState(enum.Enum):
+    """Lifecycle states of a disk slot in an array."""
+
+    #: Disk is healthy and serving I/O.
+    OPERATIONAL = "operational"
+    #: Disk has suffered a hard failure and no longer serves I/O.
+    FAILED = "failed"
+    #: Disk is healthy but was pulled out of the array by mistake
+    #: (the paper's "wrong disk replacement" human error).
+    WRONGLY_REMOVED = "wrongly_removed"
+    #: A replacement disk is present and being rebuilt from redundancy.
+    REBUILDING = "rebuilding"
+    #: Slot holds a hot spare that is not yet part of the data layout.
+    SPARE = "spare"
+
+
+#: States in which the slot does not contribute data to the array.
+UNAVAILABLE_STATES = frozenset(
+    {DiskState.FAILED, DiskState.WRONGLY_REMOVED, DiskState.REBUILDING}
+)
+
+
+@dataclass
+class DiskParameters:
+    """Static description of a disk model.
+
+    Attributes
+    ----------
+    capacity_gb:
+        Usable capacity in gigabytes; only used by the rebuild-time model.
+    failure_distribution:
+        Time-to-failure distribution (hours).
+    lse_rate_per_hour:
+        Rate of latent sector errors per hour of operation (0 disables).
+    """
+
+    capacity_gb: float = 4000.0
+    failure_distribution: Distribution = field(default_factory=lambda: Exponential(1e-6))
+    lse_rate_per_hour: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_gb <= 0.0:
+            raise StorageModelError(f"capacity must be positive, got {self.capacity_gb!r}")
+        if self.lse_rate_per_hour < 0.0:
+            raise StorageModelError(
+                f"LSE rate must be non-negative, got {self.lse_rate_per_hour!r}"
+            )
+
+
+class Disk:
+    """A single disk slot with its health state and failure clock."""
+
+    def __init__(
+        self,
+        disk_id: str,
+        parameters: Optional[DiskParameters] = None,
+        state: DiskState = DiskState.OPERATIONAL,
+    ) -> None:
+        if not disk_id:
+            raise StorageModelError("disk id must be non-empty")
+        self._id = str(disk_id)
+        self._parameters = parameters or DiskParameters()
+        self._state = state
+        self._state_since = 0.0
+        self._failures = 0
+        self._wrong_removals = 0
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def disk_id(self) -> str:
+        """Return the disk identifier."""
+        return self._id
+
+    @property
+    def parameters(self) -> DiskParameters:
+        """Return the static disk parameters."""
+        return self._parameters
+
+    @property
+    def state(self) -> DiskState:
+        """Return the current lifecycle state."""
+        return self._state
+
+    @property
+    def state_since(self) -> float:
+        """Return the simulation time (hours) of the last state change."""
+        return self._state_since
+
+    @property
+    def failure_count(self) -> int:
+        """Return the number of hard failures this slot has seen."""
+        return self._failures
+
+    @property
+    def wrong_removal_count(self) -> int:
+        """Return the number of times this disk was pulled by mistake."""
+        return self._wrong_removals
+
+    @property
+    def is_available(self) -> bool:
+        """Return whether the slot currently contributes data to the array."""
+        return self._state == DiskState.OPERATIONAL
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample_time_to_failure(self, rng: np.random.Generator) -> float:
+        """Draw a fresh time-to-failure for this disk in hours."""
+        return float(self._parameters.failure_distribution.sample(1, rng)[0])
+
+    # ------------------------------------------------------------------
+    # State transitions
+    # ------------------------------------------------------------------
+    def fail(self, time: float) -> None:
+        """Record a hard failure of this disk."""
+        self._require_state_in(
+            {DiskState.OPERATIONAL, DiskState.REBUILDING, DiskState.SPARE}, "fail"
+        )
+        self._failures += 1
+        self._set_state(DiskState.FAILED, time)
+
+    def wrongly_remove(self, time: float) -> None:
+        """Record that a healthy disk was pulled by mistake."""
+        self._require_state_in({DiskState.OPERATIONAL}, "wrongly_remove")
+        self._wrong_removals += 1
+        self._set_state(DiskState.WRONGLY_REMOVED, time)
+
+    def reinsert(self, time: float) -> None:
+        """Undo a wrong removal: the disk is put back with its data intact."""
+        self._require_state_in({DiskState.WRONGLY_REMOVED}, "reinsert")
+        self._set_state(DiskState.OPERATIONAL, time)
+
+    def start_rebuild(self, time: float) -> None:
+        """A replacement disk is inserted and reconstruction begins."""
+        self._require_state_in({DiskState.FAILED, DiskState.WRONGLY_REMOVED, DiskState.SPARE}, "start_rebuild")
+        self._set_state(DiskState.REBUILDING, time)
+
+    def complete_rebuild(self, time: float) -> None:
+        """Reconstruction finished; the slot is fully redundant again."""
+        self._require_state_in({DiskState.REBUILDING}, "complete_rebuild")
+        self._set_state(DiskState.OPERATIONAL, time)
+
+    def replace(self, time: float) -> None:
+        """Swap in a brand-new disk without an explicit rebuild phase."""
+        self._require_state_in({DiskState.FAILED, DiskState.WRONGLY_REMOVED}, "replace")
+        self._set_state(DiskState.OPERATIONAL, time)
+
+    def make_spare(self, time: float) -> None:
+        """Designate the slot as holding an idle hot spare.
+
+        Allowed from the rebuilding state too, so that a spare allocated for
+        a rebuild that never started (or was aborted) can be returned to the
+        pool.
+        """
+        self._require_state_in(
+            {DiskState.OPERATIONAL, DiskState.FAILED, DiskState.REBUILDING}, "make_spare"
+        )
+        self._set_state(DiskState.SPARE, time)
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _set_state(self, state: DiskState, time: float) -> None:
+        if time < self._state_since:
+            raise StorageModelError(
+                f"disk {self._id}: state change at {time!r} precedes previous change "
+                f"at {self._state_since!r}"
+            )
+        self._state = state
+        self._state_since = float(time)
+
+    def _require_state_in(self, allowed: set, action: str) -> None:
+        if self._state not in allowed:
+            raise StorageModelError(
+                f"disk {self._id}: cannot {action} while in state {self._state.value!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Disk(id={self._id!r}, state={self._state.value!r})"

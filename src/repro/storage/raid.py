@@ -1,0 +1,185 @@
+"""RAID geometry descriptions.
+
+A :class:`RaidGeometry` captures the static layout of one RAID group: how
+many disks, how many of them hold data versus redundancy, how many disk
+losses the group tolerates, and the resulting usable capacity and Effective
+Replication Factor.  The availability models only need the counts; the
+richer helpers (stripe maps, rebuild read amounts) support the rebuild-time
+and example code.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.exceptions import RaidConfigurationError
+
+
+class RaidLevel(enum.Enum):
+    """Supported RAID organisations."""
+
+    RAID0 = "raid0"
+    RAID1 = "raid1"
+    RAID5 = "raid5"
+    RAID6 = "raid6"
+    RAID10 = "raid10"
+
+
+@dataclass(frozen=True)
+class RaidGeometry:
+    """Static geometry of one RAID group.
+
+    Attributes
+    ----------
+    level:
+        RAID organisation.
+    n_disks:
+        Total physical disks in the group (excluding hot spares).
+    data_disks:
+        Number of disks' worth of usable capacity.
+    fault_tolerance:
+        Number of simultaneous disk losses the group survives.
+    label:
+        Display label such as ``"RAID5(3+1)"``.
+    """
+
+    level: RaidLevel
+    n_disks: int
+    data_disks: int
+    fault_tolerance: int
+    label: str
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def raid0(cls, n_disks: int) -> "RaidGeometry":
+        """Return an unprotected stripe of ``n_disks``."""
+        n = _check_count(n_disks, minimum=1, label="RAID0 disks")
+        return cls(RaidLevel.RAID0, n, n, 0, f"RAID0({n})")
+
+    @classmethod
+    def raid1(cls, mirrors: int = 2) -> "RaidGeometry":
+        """Return an ``mirrors``-way mirror; ``RAID1(1+1)`` by default."""
+        m = _check_count(mirrors, minimum=2, label="RAID1 mirrors")
+        return cls(RaidLevel.RAID1, m, 1, m - 1, f"RAID1(1+{m - 1})")
+
+    @classmethod
+    def raid5(cls, data_disks: int) -> "RaidGeometry":
+        """Return a RAID5 group with ``data_disks`` data disks + 1 parity."""
+        k = _check_count(data_disks, minimum=2, label="RAID5 data disks")
+        return cls(RaidLevel.RAID5, k + 1, k, 1, f"RAID5({k}+1)")
+
+    @classmethod
+    def raid6(cls, data_disks: int) -> "RaidGeometry":
+        """Return a RAID6 group with ``data_disks`` data disks + 2 parity."""
+        k = _check_count(data_disks, minimum=2, label="RAID6 data disks")
+        return cls(RaidLevel.RAID6, k + 2, k, 2, f"RAID6({k}+2)")
+
+    @classmethod
+    def raid10(cls, mirrored_pairs: int) -> "RaidGeometry":
+        """Return a stripe of ``mirrored_pairs`` two-way mirrors.
+
+        The group tolerates one failure per mirror; as a conservative single
+        number the fault tolerance is reported as 1 (the worst case of two
+        failures landing in the same pair).
+        """
+        p = _check_count(mirrored_pairs, minimum=2, label="RAID10 mirrored pairs")
+        return cls(RaidLevel.RAID10, 2 * p, p, 1, f"RAID10({p}x2)")
+
+    @classmethod
+    def from_label(cls, label: str) -> "RaidGeometry":
+        """Parse labels like ``"RAID5(3+1)"``, ``"RAID1(1+1)"``, ``"RAID6(6+2)"``."""
+        text = label.strip().upper().replace(" ", "")
+        try:
+            level_text, rest = text.split("(", 1)
+            inner = rest.rstrip(")")
+            if "X" in inner:
+                first, _ = inner.split("X", 1)
+                parts = [int(first)]
+            else:
+                parts = [int(p) for p in inner.split("+")]
+        except (ValueError, IndexError):
+            raise RaidConfigurationError(f"cannot parse RAID label {label!r}") from None
+        if level_text == "RAID0":
+            return cls.raid0(parts[0])
+        if level_text == "RAID1":
+            return cls.raid1(sum(parts))
+        if level_text == "RAID5":
+            return cls.raid5(parts[0])
+        if level_text == "RAID6":
+            return cls.raid6(parts[0])
+        if level_text == "RAID10":
+            return cls.raid10(parts[0])
+        raise RaidConfigurationError(f"unknown RAID level in label {label!r}")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def parity_disks(self) -> int:
+        """Return the number of disks' worth of redundancy."""
+        return self.n_disks - self.data_disks
+
+    @property
+    def effective_replication_factor(self) -> float:
+        """Return physical/usable capacity ratio (the paper's ERF)."""
+        return self.n_disks / self.data_disks
+
+    def usable_capacity_gb(self, disk_capacity_gb: float) -> float:
+        """Return the usable capacity given one disk's capacity."""
+        if disk_capacity_gb <= 0.0:
+            raise RaidConfigurationError(
+                f"disk capacity must be positive, got {disk_capacity_gb!r}"
+            )
+        return self.data_disks * float(disk_capacity_gb)
+
+    def raw_capacity_gb(self, disk_capacity_gb: float) -> float:
+        """Return the raw (physical) capacity of the group."""
+        if disk_capacity_gb <= 0.0:
+            raise RaidConfigurationError(
+                f"disk capacity must be positive, got {disk_capacity_gb!r}"
+            )
+        return self.n_disks * float(disk_capacity_gb)
+
+    def survives(self, failed_disks: int) -> bool:
+        """Return whether data remains accessible with ``failed_disks`` missing."""
+        if failed_disks < 0:
+            raise RaidConfigurationError(f"failed disk count must be >= 0, got {failed_disks!r}")
+        return failed_disks <= self.fault_tolerance
+
+    def rebuild_read_gb(self, disk_capacity_gb: float) -> float:
+        """Return the data volume read to rebuild one failed disk.
+
+        Parity RAID must read every surviving disk; a mirror reads only the
+        surviving copy.  Used by the bandwidth-based rebuild-time model.
+        """
+        if self.level in (RaidLevel.RAID1, RaidLevel.RAID10):
+            return float(disk_capacity_gb)
+        return float(disk_capacity_gb) * (self.n_disks - 1)
+
+    def describe(self) -> Dict[str, object]:
+        """Return a serialisable summary of the geometry."""
+        return {
+            "label": self.label,
+            "level": self.level.value,
+            "n_disks": self.n_disks,
+            "data_disks": self.data_disks,
+            "parity_disks": self.parity_disks,
+            "fault_tolerance": self.fault_tolerance,
+            "erf": self.effective_replication_factor,
+        }
+
+
+def _check_count(value: int, minimum: int, label: str) -> int:
+    value = int(value)
+    if value < minimum:
+        raise RaidConfigurationError(f"{label} must be at least {minimum}, got {value!r}")
+    return value
+
+
+def paper_configurations() -> List[RaidGeometry]:
+    """Return the three configurations compared in the paper's Fig. 6."""
+    return [RaidGeometry.raid1(2), RaidGeometry.raid5(3), RaidGeometry.raid5(7)]

@@ -1,0 +1,155 @@
+"""Rebuild-time models.
+
+The time to reconstruct a failed disk determines how long a RAID group sits
+in its exposed state, which is the window in which a second failure or a
+human error is catastrophic.  Three interchangeable models are provided:
+
+* :class:`RateRebuildModel` — exponential rebuild with rate ``mu_DF``, the
+  form assumed by the paper's Markov models (``mu_DF = 0.1/h`` i.e. a 10 h
+  mean rebuild).
+* :class:`FixedRebuildModel` — deterministic duration, matching the paper's
+  Fig. 1 example ("rebuild time = 10 h").
+* :class:`BandwidthRebuildModel` — capacity / bandwidth with an optional
+  slowdown factor for arrays serving foreground I/O; useful for the example
+  scripts exploring modern high-capacity disks.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.distributions import Deterministic, Distribution, Exponential
+from repro.exceptions import StorageModelError
+from repro.storage.raid import RaidGeometry
+
+
+class RebuildModel(abc.ABC):
+    """Strategy interface producing rebuild durations in hours."""
+
+    @abc.abstractmethod
+    def mean_hours(self) -> float:
+        """Return the mean rebuild duration in hours."""
+
+    @abc.abstractmethod
+    def sample_hours(self, rng: np.random.Generator) -> float:
+        """Draw one rebuild duration in hours."""
+
+    def as_distribution(self) -> Distribution:
+        """Return an equivalent distribution (exponential with same mean)."""
+        return Exponential.from_mean(self.mean_hours())
+
+    def equivalent_rate(self) -> float:
+        """Return the rate of the exponential with the same mean (per hour)."""
+        return 1.0 / self.mean_hours()
+
+
+class RateRebuildModel(RebuildModel):
+    """Exponential rebuild time parameterised by its rate (per hour)."""
+
+    def __init__(self, rate_per_hour: float) -> None:
+        if rate_per_hour <= 0.0:
+            raise StorageModelError(f"rebuild rate must be positive, got {rate_per_hour!r}")
+        self._distribution = Exponential(rate_per_hour)
+
+    def mean_hours(self) -> float:
+        return self._distribution.mean()
+
+    def sample_hours(self, rng: np.random.Generator) -> float:
+        return float(self._distribution.sample(1, rng)[0])
+
+    def as_distribution(self) -> Distribution:
+        return self._distribution
+
+    def __repr__(self) -> str:
+        return f"RateRebuildModel(rate={self._distribution.rate_parameter:.4g}/h)"
+
+
+class FixedRebuildModel(RebuildModel):
+    """Deterministic rebuild duration in hours."""
+
+    def __init__(self, duration_hours: float) -> None:
+        if duration_hours <= 0.0:
+            raise StorageModelError(
+                f"rebuild duration must be positive, got {duration_hours!r}"
+            )
+        self._duration = float(duration_hours)
+
+    def mean_hours(self) -> float:
+        return self._duration
+
+    def sample_hours(self, rng: np.random.Generator) -> float:
+        return self._duration
+
+    def as_distribution(self) -> Distribution:
+        return Deterministic(self._duration)
+
+    def __repr__(self) -> str:
+        return f"FixedRebuildModel(duration={self._duration:.4g}h)"
+
+
+class BandwidthRebuildModel(RebuildModel):
+    """Rebuild time derived from disk capacity and reconstruction bandwidth.
+
+    Parameters
+    ----------
+    geometry:
+        RAID geometry; parity groups must read all surviving disks, but the
+        bottleneck is writing the replacement disk, so only the write side is
+        modelled.
+    disk_capacity_gb:
+        Capacity of the replacement disk in GB.
+    rebuild_bandwidth_mb_s:
+        Sustained reconstruction write bandwidth in MB/s.
+    foreground_load_factor:
+        Multiplier > 1 accounting for throttling while serving foreground
+        I/O; 1.0 means a dedicated rebuild.
+    jitter_cv:
+        Optional coefficient of variation; when positive, samples are drawn
+        from a lognormal with the computed mean.
+    """
+
+    def __init__(
+        self,
+        geometry: RaidGeometry,
+        disk_capacity_gb: float,
+        rebuild_bandwidth_mb_s: float,
+        foreground_load_factor: float = 1.0,
+        jitter_cv: float = 0.0,
+    ) -> None:
+        if disk_capacity_gb <= 0.0:
+            raise StorageModelError(f"capacity must be positive, got {disk_capacity_gb!r}")
+        if rebuild_bandwidth_mb_s <= 0.0:
+            raise StorageModelError(
+                f"rebuild bandwidth must be positive, got {rebuild_bandwidth_mb_s!r}"
+            )
+        if foreground_load_factor < 1.0:
+            raise StorageModelError(
+                f"foreground load factor must be >= 1, got {foreground_load_factor!r}"
+            )
+        if jitter_cv < 0.0:
+            raise StorageModelError(f"jitter cv must be >= 0, got {jitter_cv!r}")
+        self._geometry = geometry
+        self._capacity_gb = float(disk_capacity_gb)
+        self._bandwidth_mb_s = float(rebuild_bandwidth_mb_s)
+        self._load_factor = float(foreground_load_factor)
+        self._jitter_cv = float(jitter_cv)
+
+    def mean_hours(self) -> float:
+        seconds = (self._capacity_gb * 1024.0) / self._bandwidth_mb_s
+        return seconds * self._load_factor / 3600.0
+
+    def sample_hours(self, rng: np.random.Generator) -> float:
+        mean = self.mean_hours()
+        if self._jitter_cv == 0.0:
+            return mean
+        from repro.distributions import LogNormal
+
+        return float(LogNormal.from_mean_and_cv(mean, self._jitter_cv).sample(1, rng)[0])
+
+    def __repr__(self) -> str:
+        return (
+            f"BandwidthRebuildModel(capacity={self._capacity_gb:.0f}GB, "
+            f"bandwidth={self._bandwidth_mb_s:.0f}MB/s, mean={self.mean_hours():.2f}h)"
+        )

@@ -1,0 +1,204 @@
+"""Multi-array disk subsystem.
+
+A data-centre scale storage deployment consists of many RAID groups.  For
+availability purposes the subsystem is a *series* system: the stored data set
+is only fully available when every group holding part of it is available.
+This module sizes such subsystems (how many groups of each geometry are
+needed to reach a target usable capacity) and aggregates per-array
+availability results into subsystem-level numbers — the aggregation used in
+the paper's equal-usable-capacity comparison (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.availability.metrics import (
+    availability_to_nines,
+    downtime_hours_per_year,
+    series_availability,
+)
+from repro.exceptions import StorageModelError
+from repro.storage.array import DiskArray
+from repro.storage.disk import DiskParameters
+from repro.storage.raid import RaidGeometry
+
+
+@dataclass(frozen=True)
+class SubsystemAvailability:
+    """Aggregated availability of a multi-array subsystem."""
+
+    array_availability: float
+    n_arrays: int
+    subsystem_availability: float
+    subsystem_nines: float
+    downtime_hours_per_year: float
+    expected_disk_failures_per_year: float
+
+
+class DiskSubsystem:
+    """A collection of identical RAID groups providing one logical capacity."""
+
+    def __init__(
+        self,
+        geometry: RaidGeometry,
+        n_arrays: int,
+        disk_parameters: Optional[DiskParameters] = None,
+        hot_spares_per_array: int = 0,
+        subsystem_id: str = "subsystem",
+    ) -> None:
+        if n_arrays < 1:
+            raise StorageModelError(f"subsystem needs at least one array, got {n_arrays!r}")
+        self._id = str(subsystem_id)
+        self._geometry = geometry
+        self._n_arrays = int(n_arrays)
+        self._parameters = disk_parameters or DiskParameters()
+        self._hot_spares = int(hot_spares_per_array)
+        self._arrays: Optional[List[DiskArray]] = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_usable_capacity(
+        cls,
+        geometry: RaidGeometry,
+        usable_disks: int,
+        disk_parameters: Optional[DiskParameters] = None,
+        hot_spares_per_array: int = 0,
+        subsystem_id: str = "subsystem",
+    ) -> "DiskSubsystem":
+        """Size a subsystem that provides ``usable_disks`` of logical capacity.
+
+        ``usable_disks`` must be an exact multiple of the geometry's data
+        disks so that equal-capacity comparisons are exact.
+        """
+        usable_disks = int(usable_disks)
+        if usable_disks < 1:
+            raise StorageModelError(f"usable capacity must be positive, got {usable_disks!r}")
+        if usable_disks % geometry.data_disks != 0:
+            raise StorageModelError(
+                f"usable capacity {usable_disks} is not a multiple of "
+                f"{geometry.data_disks} data disks per {geometry.label} group"
+            )
+        return cls(
+            geometry=geometry,
+            n_arrays=usable_disks // geometry.data_disks,
+            disk_parameters=disk_parameters,
+            hot_spares_per_array=hot_spares_per_array,
+            subsystem_id=subsystem_id,
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def subsystem_id(self) -> str:
+        """Return the subsystem identifier."""
+        return self._id
+
+    @property
+    def geometry(self) -> RaidGeometry:
+        """Return the per-array geometry."""
+        return self._geometry
+
+    @property
+    def n_arrays(self) -> int:
+        """Return the number of RAID groups."""
+        return self._n_arrays
+
+    @property
+    def total_disks(self) -> int:
+        """Return the total number of physical disks (excluding spares)."""
+        return self._n_arrays * self._geometry.n_disks
+
+    @property
+    def total_spares(self) -> int:
+        """Return the total number of hot spares."""
+        return self._n_arrays * self._hot_spares
+
+    @property
+    def usable_disks(self) -> int:
+        """Return the logical capacity in disk units."""
+        return self._n_arrays * self._geometry.data_disks
+
+    @property
+    def effective_replication_factor(self) -> float:
+        """Return the subsystem ERF (physical / usable disks)."""
+        return self.total_disks / self.usable_disks
+
+    def arrays(self) -> List[DiskArray]:
+        """Return (lazily materialising) the concrete array objects."""
+        if self._arrays is None:
+            self._arrays = [
+                DiskArray(
+                    f"{self._id}-a{i}",
+                    self._geometry,
+                    disk_parameters=self._parameters,
+                    hot_spares=self._hot_spares,
+                )
+                for i in range(self._n_arrays)
+            ]
+        return list(self._arrays)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def expected_disk_failures_per_year(self, disk_failure_rate_per_hour: float) -> float:
+        """Return the expected number of disk failures per year across the fleet."""
+        if disk_failure_rate_per_hour < 0.0:
+            raise StorageModelError(
+                f"failure rate must be non-negative, got {disk_failure_rate_per_hour!r}"
+            )
+        return self.total_disks * disk_failure_rate_per_hour * 8760.0
+
+    def aggregate_availability(
+        self, array_availability: float, disk_failure_rate_per_hour: float = 0.0
+    ) -> SubsystemAvailability:
+        """Aggregate one array's availability across the whole subsystem.
+
+        Arrays are assumed independent and identically distributed, so the
+        subsystem availability is the per-array availability raised to the
+        number of arrays (series system).
+        """
+        subsystem_avail = series_availability([array_availability] * self._n_arrays)
+        return SubsystemAvailability(
+            array_availability=float(array_availability),
+            n_arrays=self._n_arrays,
+            subsystem_availability=subsystem_avail,
+            subsystem_nines=availability_to_nines(subsystem_avail),
+            downtime_hours_per_year=downtime_hours_per_year(subsystem_avail),
+            expected_disk_failures_per_year=self.expected_disk_failures_per_year(
+                disk_failure_rate_per_hour
+            ),
+        )
+
+    def aggregate_mixed_availability(
+        self, array_availabilities: Sequence[float]
+    ) -> float:
+        """Aggregate explicitly listed per-array availabilities (series)."""
+        if len(array_availabilities) != self._n_arrays:
+            raise StorageModelError(
+                f"expected {self._n_arrays} per-array availabilities, "
+                f"got {len(array_availabilities)}"
+            )
+        return series_availability(array_availabilities)
+
+    def describe(self) -> Dict[str, object]:
+        """Return a serialisable summary of the subsystem layout."""
+        return {
+            "subsystem_id": self._id,
+            "geometry": self._geometry.describe(),
+            "n_arrays": self._n_arrays,
+            "total_disks": self.total_disks,
+            "usable_disks": self.usable_disks,
+            "hot_spares_per_array": self._hot_spares,
+            "erf": self.effective_replication_factor,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DiskSubsystem(id={self._id!r}, geometry={self._geometry.label!r}, "
+            f"arrays={self._n_arrays})"
+        )

@@ -1,0 +1,122 @@
+"""Unit tests for the sensitivity and inverse-requirements analyses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    dominant_parameter,
+    maximum_tolerable_hep,
+    nines_gap_to_target,
+    one_at_a_time,
+    required_repair_rate,
+    swing_table,
+)
+from repro.core.models import ModelKind, solve_model
+from repro.core.parameters import paper_parameters
+from repro.exceptions import ConfigurationError
+
+
+class TestSensitivity:
+    def test_entries_sorted_by_swing(self):
+        entries = one_at_a_time(paper_parameters(hep=0.01))
+        swings = [entry.swing for entry in entries]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_every_nonzero_parameter_present(self):
+        entries = one_at_a_time(paper_parameters(hep=0.01))
+        names = {entry.parameter for entry in entries}
+        assert "disk_failure_rate" in names
+        assert "hep" in names
+        assert "human_error_rate" in names
+
+    def test_zero_valued_parameters_skipped(self):
+        entries = one_at_a_time(paper_parameters(hep=0.0))
+        names = {entry.parameter for entry in entries}
+        assert "hep" not in names
+
+    def test_failure_rate_or_hep_dominates_at_high_hep(self):
+        entries = one_at_a_time(paper_parameters(hep=0.01, disk_failure_rate=1e-6))
+        assert dominant_parameter(entries) in {"hep", "disk_failure_rate", "human_error_rate"}
+
+    def test_swing_values_positive(self):
+        for entry in one_at_a_time(paper_parameters(hep=0.01)):
+            assert entry.swing >= 0.0
+            assert entry.low_value < entry.high_value
+
+    def test_swing_table_keys(self):
+        entries = one_at_a_time(paper_parameters(hep=0.01))
+        table = swing_table(entries)
+        assert set(table) == {entry.parameter for entry in entries}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            one_at_a_time(paper_parameters(), factor=1.0)
+        with pytest.raises(ConfigurationError):
+            one_at_a_time(paper_parameters(), parameters=["unknown"])
+        with pytest.raises(ConfigurationError):
+            dominant_parameter([])
+
+
+class TestMaximumTolerableHep:
+    def test_result_meets_target(self):
+        params = paper_parameters(disk_failure_rate=1e-6)
+        target = 7.5
+        hep = maximum_tolerable_hep(params, target)
+        achieved = solve_model(params.with_hep(hep), ModelKind.CONVENTIONAL).nines
+        assert achieved == pytest.approx(target, abs=0.05)
+
+    def test_monotone_in_target(self):
+        params = paper_parameters(disk_failure_rate=1e-6)
+        lenient = maximum_tolerable_hep(params, 6.5)
+        strict = maximum_tolerable_hep(params, 7.9)
+        assert lenient > strict
+
+    def test_unreachable_target_rejected(self):
+        params = paper_parameters(disk_failure_rate=1e-5)
+        with pytest.raises(ConfigurationError):
+            maximum_tolerable_hep(params, 12.0)
+
+    def test_trivial_target_returns_upper_bound(self):
+        params = paper_parameters(disk_failure_rate=1e-7)
+        assert maximum_tolerable_hep(params, 0.5) == 1.0
+
+    def test_invalid_target(self):
+        with pytest.raises(ConfigurationError):
+            maximum_tolerable_hep(paper_parameters(), 0.0)
+
+
+class TestRequiredRepairRate:
+    def test_result_meets_target(self):
+        params = paper_parameters(disk_failure_rate=1e-5, hep=0.001)
+        target = 6.0
+        rate = required_repair_rate(params, target)
+        from dataclasses import replace
+
+        achieved = solve_model(
+            replace(params, disk_repair_rate=rate), ModelKind.CONVENTIONAL
+        ).nines
+        assert achieved >= target - 0.05
+
+    def test_stricter_target_needs_faster_repair(self):
+        params = paper_parameters(disk_failure_rate=1e-5, hep=0.0)
+        assert required_repair_rate(params, 6.5) > required_repair_rate(params, 5.5)
+
+    def test_unreachable_target_rejected(self):
+        params = paper_parameters(disk_failure_rate=1e-4, hep=0.01)
+        with pytest.raises(ConfigurationError):
+            required_repair_rate(params, 12.0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ConfigurationError):
+            required_repair_rate(paper_parameters(), 6.0, rate_bounds=(0.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            required_repair_rate(paper_parameters(), -1.0)
+
+
+class TestNinesGap:
+    def test_sign_of_gap(self):
+        params = paper_parameters(disk_failure_rate=1e-6, hep=0.01)
+        achieved = solve_model(params, ModelKind.CONVENTIONAL).nines
+        assert nines_gap_to_target(params, achieved - 1.0) > 0.0
+        assert nines_gap_to_target(params, achieved + 1.0) < 0.0

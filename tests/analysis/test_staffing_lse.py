@@ -1,0 +1,122 @@
+"""Unit tests for the fleet-workload and LSE extension analyses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    availability_with_lse,
+    downtime_saved_by_policy,
+    downtime_saved_by_training,
+    exascale_motivation,
+    fleet_workload,
+    lse_impact,
+    scrubbing_benefit,
+)
+from repro.core.models import ModelKind
+from repro.core.models.raid5_conventional import conventional_availability
+from repro.core.parameters import paper_parameters
+from repro.exceptions import ConfigurationError
+from repro.storage.lse import LseParameters
+from repro.storage.raid import RaidGeometry
+
+
+class TestFleetWorkload:
+    def test_exascale_motivation_matches_paper_arithmetic(self):
+        stats = exascale_motivation(disks=1_000_000, disk_failure_rate=1e-6, hep=0.001)
+        # The paper: "one should expect at least a disk failure per hour" and
+        # "multiple human errors a day" at the larger hep values.
+        assert stats["failures_per_hour"] == pytest.approx(1.0)
+        assert stats["failures_per_year"] == pytest.approx(8760.0)
+        assert stats["human_errors_per_year"] == pytest.approx(8.76)
+        higher = exascale_motivation(disks=1_000_000, disk_failure_rate=1e-6, hep=0.01)
+        assert higher["human_errors_per_day"] > stats["human_errors_per_day"]
+
+    def test_exascale_validation(self):
+        with pytest.raises(ConfigurationError):
+            exascale_motivation(disks=0)
+        with pytest.raises(ConfigurationError):
+            exascale_motivation(hep=2.0)
+
+    def test_fleet_workload_counts(self):
+        workload = fleet_workload(
+            RaidGeometry.raid5(3), paper_parameters(disk_failure_rate=1e-6, hep=0.01),
+            usable_disks=300,
+        )
+        assert workload.total_disks == 400
+        assert workload.disk_failures_per_year == pytest.approx(400 * 1e-6 * 8760)
+        assert workload.wrong_pulls_per_year == pytest.approx(0.01 * workload.replacements_per_year)
+        assert workload.subsystem_downtime_hours_per_year > 0.0
+
+    def test_fleet_workload_validation(self):
+        with pytest.raises(ConfigurationError):
+            fleet_workload(RaidGeometry.raid5(3), paper_parameters(), usable_disks=0)
+
+    def test_policy_saving_positive_with_human_error(self):
+        saving = downtime_saved_by_policy(
+            RaidGeometry.raid5(3), paper_parameters(hep=0.01), usable_disks=300
+        )
+        assert saving["downtime_saved_hours_per_year"] > 0.0
+        assert (
+            saving["failover_downtime_hours_per_year"]
+            < saving["conventional_downtime_hours_per_year"]
+        )
+
+    def test_training_saving(self):
+        saving = downtime_saved_by_training(
+            RaidGeometry.raid5(3), paper_parameters(hep=0.01), usable_disks=300,
+            improved_hep=0.001,
+        )
+        assert saving["downtime_saved_hours_per_year"] > 0.0
+        assert saving["wrong_pulls_avoided_per_year"] > 0.0
+
+    def test_training_saving_validation(self):
+        with pytest.raises(ConfigurationError):
+            downtime_saved_by_training(
+                RaidGeometry.raid5(3), paper_parameters(hep=0.001), usable_disks=300,
+                improved_hep=0.01,
+            )
+
+
+class TestLseExtension:
+    def test_lse_path_reduces_availability(self):
+        params = paper_parameters(disk_failure_rate=1e-6, hep=0.001)
+        baseline = conventional_availability(params)
+        extended = availability_with_lse(
+            params, LseParameters(errors_per_disk_year=2.0, scrub_interval_hours=0.0)
+        )
+        assert extended.availability < baseline.availability
+
+    def test_impact_summary(self):
+        impact = lse_impact(
+            paper_parameters(disk_failure_rate=1e-6, hep=0.001),
+            LseParameters(errors_per_disk_year=2.0, scrub_interval_hours=0.0),
+        )
+        assert impact.nines_lost > 0.0
+        assert 0.0 < impact.lse_blocked_rebuild_probability < 1.0
+
+    def test_scrubbing_recovers_availability(self):
+        params = paper_parameters(disk_failure_rate=1e-6, hep=0.001)
+        benefit = scrubbing_benefit(params, scrub_intervals_hours=(0.0, 336.0, 24.0))
+        assert benefit[24.0] > benefit[336.0] > benefit[0.0]
+
+    def test_zero_lse_rate_matches_baseline(self):
+        params = paper_parameters(disk_failure_rate=1e-6, hep=0.001)
+        baseline = conventional_availability(params)
+        extended = availability_with_lse(
+            params, LseParameters(errors_per_disk_year=0.0, scrub_interval_hours=0.0)
+        )
+        assert extended.availability == pytest.approx(baseline.availability, rel=1e-12)
+
+    def test_lse_model_keeps_hep_zero_supported(self):
+        params = paper_parameters(disk_failure_rate=1e-6, hep=0.0)
+        result = availability_with_lse(params)
+        assert 0.0 < result.availability < 1.0
+
+    def test_raid6_rejected(self):
+        with pytest.raises(ConfigurationError):
+            availability_with_lse(paper_parameters(geometry=RaidGeometry.raid6(6)))
+
+    def test_solver_unaffected_model_kind(self):
+        # sanity: ModelKind import used by other analyses still resolves
+        assert ModelKind.CONVENTIONAL.value == "conventional"

@@ -1,0 +1,138 @@
+"""Unit tests for availability arithmetic."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.availability import (
+    HOURS_PER_YEAR,
+    MAX_NINES,
+    aggregate_nines,
+    availability_from_mttf_mttr,
+    availability_to_nines,
+    downtime_hours_per_year,
+    downtime_minutes_per_year,
+    downtime_to_availability,
+    k_out_of_n_availability,
+    nines_to_availability,
+    parallel_availability,
+    series_availability,
+    unavailability_ratio,
+    unavailability_to_nines,
+    validate_probability,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestNines:
+    @pytest.mark.parametrize(
+        "availability,expected",
+        [(0.9, 1.0), (0.99, 2.0), (0.999, 3.0), (0.99999, 5.0)],
+    )
+    def test_known_values(self, availability, expected):
+        assert availability_to_nines(availability) == pytest.approx(expected, rel=1e-9)
+
+    def test_perfect_availability_capped(self):
+        assert availability_to_nines(1.0) == MAX_NINES
+
+    def test_round_trip(self):
+        for nines in (1.0, 3.5, 7.2):
+            assert availability_to_nines(nines_to_availability(nines)) == pytest.approx(nines, rel=1e-9)
+
+    def test_unavailability_to_nines(self):
+        assert unavailability_to_nines(1e-6) == pytest.approx(6.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            availability_to_nines(1.5)
+        with pytest.raises(ConfigurationError):
+            nines_to_availability(-1.0)
+        with pytest.raises(ConfigurationError):
+            validate_probability(float("nan"))
+
+
+class TestDowntime:
+    def test_three_nines_is_8_76_hours(self):
+        assert downtime_hours_per_year(0.999) == pytest.approx(8.76)
+        assert downtime_minutes_per_year(0.999) == pytest.approx(525.6)
+
+    def test_downtime_to_availability_round_trip(self):
+        availability = 0.9999
+        downtime = downtime_hours_per_year(availability)
+        assert downtime_to_availability(downtime) == pytest.approx(availability)
+
+    def test_downtime_validation(self):
+        with pytest.raises(ConfigurationError):
+            downtime_to_availability(-1.0)
+        with pytest.raises(ConfigurationError):
+            downtime_to_availability(10.0, period_hours=0.0)
+        with pytest.raises(ConfigurationError):
+            downtime_to_availability(HOURS_PER_YEAR + 1)
+
+
+class TestCompositions:
+    def test_mttf_mttr(self):
+        assert availability_from_mttf_mttr(999.0, 1.0) == pytest.approx(0.999)
+        with pytest.raises(ConfigurationError):
+            availability_from_mttf_mttr(0.0, 1.0)
+
+    def test_series_availability(self):
+        assert series_availability([0.99, 0.99]) == pytest.approx(0.9801)
+        with pytest.raises(ConfigurationError):
+            series_availability([])
+
+    def test_parallel_availability(self):
+        assert parallel_availability([0.9, 0.9]) == pytest.approx(0.99)
+        with pytest.raises(ConfigurationError):
+            parallel_availability([])
+
+    def test_k_out_of_n(self):
+        # 3-out-of-4 with perfect components is 1; with p=0.9 it is known.
+        assert k_out_of_n_availability(1.0, 3, 4) == pytest.approx(1.0)
+        expected = 4 * 0.9 ** 3 * 0.1 + 0.9 ** 4
+        assert k_out_of_n_availability(0.9, 3, 4) == pytest.approx(expected)
+        with pytest.raises(ConfigurationError):
+            k_out_of_n_availability(0.9, 5, 4)
+
+    def test_unavailability_ratio(self):
+        assert unavailability_ratio(1e-4, 1e-6) == pytest.approx(100.0)
+        assert unavailability_ratio(1e-4, 0.0) == float("inf")
+
+    def test_aggregate_nines(self):
+        assert aggregate_nines([3.0, 3.0]) == pytest.approx(
+            availability_to_nines(0.999 * 0.999)
+        )
+
+
+class TestProperties:
+    @given(st.floats(min_value=0.0, max_value=1.0 - 1e-12))
+    def test_nines_round_trip_property(self, availability):
+        nines = availability_to_nines(availability)
+        assert nines_to_availability(nines) == pytest.approx(availability, abs=1e-12)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=6))
+    def test_series_never_exceeds_weakest_component(self, availabilities):
+        combined = series_availability(availabilities)
+        assert combined <= min(availabilities) + 1e-12
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=6))
+    def test_parallel_never_below_best_component(self, availabilities):
+        combined = parallel_availability(availabilities)
+        assert combined >= max(availabilities) - 1e-12
+
+    @given(
+        st.floats(min_value=0.5, max_value=1.0),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_k_out_of_n_monotone_in_k(self, p, k, extra):
+        n = k + extra
+        assert k_out_of_n_availability(p, k, n) >= k_out_of_n_availability(p, k + 1, n) - 1e-12
+
+    def test_log_relation(self):
+        value = 0.9999
+        assert availability_to_nines(value) == pytest.approx(-math.log10(1 - value))

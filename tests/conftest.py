@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import AvailabilityParameters, paper_parameters
+from repro.storage.raid import RaidGeometry
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for stochastic tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def paper_params() -> AvailabilityParameters:
+    """The paper's default RAID5(3+1) parameter set (hep = 0.001)."""
+    return paper_parameters()
+
+
+@pytest.fixture
+def raid5_geometry() -> RaidGeometry:
+    """RAID5(3+1) geometry used throughout the paper."""
+    return RaidGeometry.raid5(3)
+
+
+@pytest.fixture
+def raid1_geometry() -> RaidGeometry:
+    """RAID1(1+1) geometry used in the Fig. 6 comparison."""
+    return RaidGeometry.raid1(2)
+
+
+@pytest.fixture
+def fast_failure_params() -> AvailabilityParameters:
+    """Exaggerated rates so Monte Carlo runs see events quickly."""
+    return paper_parameters(disk_failure_rate=1e-4, hep=0.05)

@@ -1,0 +1,178 @@
+"""Unit tests for the comparison, sweep and underestimation analyses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.comparison import (
+    compare_configuration,
+    compare_equal_capacity,
+    nines_by_configuration,
+    ranking,
+    ranking_inverted_by_human_error,
+)
+from repro.core.models import ModelKind
+from repro.core.parameters import paper_parameters
+from repro.core.sweep import (
+    availability_series,
+    nines_series,
+    sweep_failure_rate,
+    sweep_hep,
+    sweep_hep_for_failure_rates,
+    sweep_policies,
+    x_series,
+)
+from repro.core.underestimation import (
+    maximum_underestimation,
+    orders_of_magnitude,
+    underestimation_factor,
+    underestimation_sweep,
+)
+from repro.exceptions import ConfigurationError
+from repro.storage.raid import RaidGeometry
+
+
+class TestComparison:
+    def test_equal_capacity_defaults_to_paper_trio(self):
+        comparisons = compare_equal_capacity(paper_parameters(hep=0.001))
+        labels = [c.geometry_label for c in comparisons]
+        assert labels == ["RAID1(1+1)", "RAID5(3+1)", "RAID5(7+1)"]
+        disks = {c.geometry_label: c.total_disks for c in comparisons}
+        assert disks == {"RAID1(1+1)": 42, "RAID5(3+1)": 28, "RAID5(7+1)": 24}
+
+    def test_subsystem_availability_below_array_availability(self):
+        comparisons = compare_equal_capacity(paper_parameters(hep=0.001))
+        for entry in comparisons:
+            assert entry.subsystem_availability <= entry.array_availability
+
+    def test_raid1_wins_without_human_error(self):
+        comparisons = compare_equal_capacity(
+            paper_parameters(disk_failure_rate=1e-5, hep=0.0), model=ModelKind.BASELINE
+        )
+        assert ranking(comparisons)[0] == "RAID1(1+1)"
+
+    def test_raid1_loses_lead_with_human_error(self):
+        # The paper's qualitative claim at lambda = 1e-6 and hep = 0.01.
+        comparisons = compare_equal_capacity(
+            paper_parameters(disk_failure_rate=1e-6, hep=0.01), model=ModelKind.CONVENTIONAL
+        )
+        assert ranking(comparisons)[0] != "RAID1(1+1)"
+
+    def test_ranking_inversion_helper(self):
+        result = ranking_inverted_by_human_error(
+            paper_parameters(disk_failure_rate=1e-6), hep_with_error=0.01
+        )
+        assert result["without_human_error"][0] == "RAID1(1+1)"
+        assert result["with_human_error"][0] != "RAID1(1+1)"
+
+    def test_single_configuration(self):
+        entry = compare_configuration(
+            RaidGeometry.raid5(3), paper_parameters(hep=0.001), usable_disks=21
+        )
+        assert entry.n_arrays == 7
+        assert entry.erf == pytest.approx(4 / 3)
+        assert entry.as_dict()["configuration"] == "RAID5(3+1)"
+
+    def test_nines_by_configuration(self):
+        comparisons = compare_equal_capacity(paper_parameters(hep=0.001))
+        nines = nines_by_configuration(comparisons)
+        assert set(nines) == {"RAID1(1+1)", "RAID5(3+1)", "RAID5(7+1)"}
+
+    def test_empty_geometries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compare_equal_capacity(paper_parameters(), geometries=[])
+
+
+class TestSweeps:
+    def test_failure_rate_sweep_monotone(self):
+        points = sweep_failure_rate(paper_parameters(hep=0.001), [1e-7, 1e-6, 1e-5])
+        assert nines_series(points) == sorted(nines_series(points), reverse=True)
+        assert x_series(points) == [1e-7, 1e-6, 1e-5]
+
+    def test_hep_sweep_monotone(self):
+        points = sweep_hep(paper_parameters(), [0.0, 0.001, 0.01])
+        availability = availability_series(points)
+        assert availability == sorted(availability, reverse=True)
+
+    def test_hep_zero_point_uses_baseline(self):
+        points = sweep_hep(paper_parameters(), [0.0])
+        from repro.core.models import baseline_availability
+
+        expected = baseline_availability(paper_parameters(hep=0.0)).availability
+        assert points[0].availability == pytest.approx(expected)
+
+    def test_sweep_per_failure_rate(self):
+        grid = sweep_hep_for_failure_rates(
+            paper_parameters(), [0.0, 0.01], [1e-6, 1e-5]
+        )
+        assert set(grid) == {1e-6, 1e-5}
+        assert all(len(points) == 2 for points in grid.values())
+
+    def test_policy_sweep_contains_both_policies(self):
+        series = sweep_policies(paper_parameters(), [0.0, 0.001, 0.01])
+        assert set(series) == {"conventional", "automatic_failover"}
+        conventional = series["conventional"]
+        failover = series["automatic_failover"]
+        for c, f in zip(conventional[1:], failover[1:]):
+            assert f.availability >= c.availability
+
+    def test_sweep_point_as_dict(self):
+        point = sweep_hep(paper_parameters(), [0.01])[0]
+        assert set(point.as_dict()) == {"x", "availability", "unavailability", "nines"}
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_failure_rate(paper_parameters(), [])
+        with pytest.raises(ConfigurationError):
+            sweep_hep(paper_parameters(), [])
+        with pytest.raises(ConfigurationError):
+            sweep_hep_for_failure_rates(paper_parameters(), [0.01], [])
+        with pytest.raises(ConfigurationError):
+            sweep_policies(paper_parameters(), [0.01], models=[])
+
+
+class TestUnderestimation:
+    def test_factor_greater_than_one(self):
+        point = underestimation_factor(paper_parameters(hep=0.01))
+        assert point.factor > 1.0
+        assert point.unavailability_with_hep > point.unavailability_without_hep
+
+    def test_factor_grows_as_failure_rate_shrinks(self):
+        points = underestimation_sweep(
+            paper_parameters(), [1e-5, 1e-6, 1e-7], hep=0.01
+        )
+        factors = [p.factor for p in points]
+        assert factors[0] < factors[1] < factors[2]
+
+    def test_headline_reaches_two_orders_of_magnitude(self):
+        # The paper quotes "up to 263X"; with the paper's parameters the
+        # factor exceeds 100X for small failure rates.
+        best = maximum_underestimation(
+            paper_parameters(), [5e-8, 1e-7, 1e-6, 5e-6], hep_values=(0.001, 0.01)
+        )
+        assert best.factor > 100.0
+        assert orders_of_magnitude(best.factor) > 2.0
+
+    def test_larger_hep_underestimated_more(self):
+        small = underestimation_factor(paper_parameters(hep=0.001, disk_failure_rate=1e-6))
+        large = underestimation_factor(paper_parameters(hep=0.01, disk_failure_rate=1e-6))
+        assert large.factor > small.factor
+
+    def test_hep_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            underestimation_factor(paper_parameters(hep=0.0))
+
+    def test_point_as_dict(self):
+        payload = underestimation_factor(paper_parameters(hep=0.01)).as_dict()
+        assert set(payload) == {
+            "disk_failure_rate", "hep", "unavailability_with_hep",
+            "unavailability_without_hep", "factor",
+        }
+
+    def test_maximum_requires_positive_hep(self):
+        with pytest.raises(ConfigurationError):
+            maximum_underestimation(paper_parameters(), [1e-6], hep_values=(0.0,))
+
+    def test_orders_of_magnitude_validation(self):
+        with pytest.raises(ConfigurationError):
+            orders_of_magnitude(0.0)

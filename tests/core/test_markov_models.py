@@ -1,0 +1,218 @@
+"""Unit tests for the paper's Markov availability models (Figs. 2 and 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import (
+    ModelKind,
+    baseline_availability,
+    build_baseline_chain,
+    build_chain,
+    build_conventional_chain,
+    build_failover_chain,
+    conventional_availability,
+    failover_availability,
+    solve_model,
+)
+from repro.core.models.raid5_conventional import unavailability_breakdown as conventional_breakdown
+from repro.core.models.raid5_failover import unavailability_breakdown as failover_breakdown
+from repro.core.parameters import paper_parameters
+from repro.exceptions import ConfigurationError, RaidConfigurationError
+from repro.markov import validate_chain
+from repro.storage.raid import RaidGeometry
+
+
+class TestBaselineModel:
+    def test_structure(self):
+        chain = build_baseline_chain(paper_parameters(hep=0.0))
+        assert set(chain.state_names) == {"OP", "EXP", "DL"}
+        assert chain.rate("OP", "EXP") == pytest.approx(4e-6)
+        assert chain.rate("EXP", "DL") == pytest.approx(3e-6)
+        assert chain.rate("EXP", "OP") == pytest.approx(0.1)
+        assert chain.rate("DL", "OP") == pytest.approx(0.03)
+
+    def test_closed_form_unavailability(self):
+        params = paper_parameters(disk_failure_rate=1e-6, hep=0.0)
+        result = baseline_availability(params)
+        # pi_DL ~= (n*lam/mu_DF) * ((n-1)*lam/mu_DDF) for small rates.
+        approx = (4e-6 / 0.1) * (3e-6 / 0.03)
+        assert result.unavailability == pytest.approx(approx, rel=1e-2)
+
+    def test_raid6_baseline_has_two_exposed_states(self):
+        params = paper_parameters(geometry=RaidGeometry.raid6(6), hep=0.0)
+        chain = build_baseline_chain(params)
+        assert set(chain.state_names) == {"OP", "EXP1", "EXP2", "DL"}
+        result = baseline_availability(params)
+        assert result.availability > 0.999999
+
+    def test_raid0_rejected(self):
+        with pytest.raises(RaidConfigurationError):
+            build_baseline_chain(paper_parameters(geometry=RaidGeometry.raid0(4)))
+
+
+class TestConventionalModel:
+    def test_fig2_structure(self, paper_params):
+        chain = build_conventional_chain(paper_params)
+        assert set(chain.state_names) == {"OP", "EXP", "DU", "DL"}
+        n, lam = 4, paper_params.disk_failure_rate
+        hep = paper_params.hep
+        assert chain.rate("OP", "EXP") == pytest.approx(n * lam)
+        assert chain.rate("EXP", "DL") == pytest.approx((n - 1) * lam)
+        assert chain.rate("EXP", "DU") == pytest.approx(hep * 0.1)
+        assert chain.rate("EXP", "OP") == pytest.approx((1 - hep) * 0.1)
+        assert chain.rate("DU", "OP") == pytest.approx((1 - hep) * 1.0)
+        assert chain.rate("DU", "DL") == pytest.approx(0.01)
+        assert chain.rate("DL", "OP") == pytest.approx(0.03)
+        validate_chain(chain)
+
+    def test_up_down_partition(self, paper_params):
+        chain = build_conventional_chain(paper_params)
+        assert set(chain.up_states()) == {"OP", "EXP"}
+        assert set(chain.down_states()) == {"DU", "DL"}
+
+    def test_hep_zero_collapses_to_baseline(self):
+        params = paper_parameters(hep=0.0)
+        conventional = conventional_availability(params)
+        baseline = baseline_availability(params)
+        assert conventional.availability == pytest.approx(baseline.availability, rel=1e-12)
+        assert "DU" not in build_conventional_chain(params).state_names
+
+    def test_availability_decreases_with_hep(self):
+        values = [
+            conventional_availability(paper_parameters(hep=hep)).availability
+            for hep in (0.0, 0.001, 0.01, 0.1)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_availability_decreases_with_failure_rate(self):
+        values = [
+            conventional_availability(paper_parameters(disk_failure_rate=rate)).availability
+            for rate in (1e-7, 1e-6, 1e-5, 1e-4)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_du_probability_scales_linearly_with_hep(self):
+        small = conventional_breakdown(paper_parameters(hep=0.001))
+        large = conventional_breakdown(paper_parameters(hep=0.01))
+        assert large["du"] / small["du"] == pytest.approx(10.0, rel=0.05)
+
+    def test_breakdown_sums_to_total(self, paper_params):
+        breakdown = conventional_breakdown(paper_params)
+        assert breakdown["du"] + breakdown["dl"] == pytest.approx(breakdown["total"], rel=1e-9)
+
+    def test_raid1_uses_same_structure_with_two_disks(self):
+        params = paper_parameters(geometry=RaidGeometry.raid1(2), hep=0.01)
+        chain = build_conventional_chain(params)
+        assert chain.rate("OP", "EXP") == pytest.approx(2 * params.disk_failure_rate)
+        assert chain.rate("EXP", "DL") == pytest.approx(params.disk_failure_rate)
+
+    def test_raid6_rejected(self):
+        with pytest.raises(RaidConfigurationError):
+            build_conventional_chain(paper_parameters(geometry=RaidGeometry.raid6(6)))
+
+    def test_expected_magnitude_at_paper_point(self):
+        # Hand-computed steady state at lambda=1e-6, hep=0.01 (see DESIGN.md):
+        # unavailability is dominated by pi_DU ~ 4e-8 plus pi_DL ~ 1.7e-8.
+        result = conventional_availability(paper_parameters(hep=0.01, disk_failure_rate=1e-6))
+        assert result.unavailability == pytest.approx(5.7e-8, rel=0.1)
+
+
+class TestFailoverModel:
+    def test_fig3_states_present(self):
+        chain = build_failover_chain(paper_parameters(hep=0.01))
+        expected = {
+            "OP", "EXP1", "OPns", "EXPns1", "EXPns2", "EXP2",
+            "DUns1", "DUns2", "DU1", "DU2", "DL", "DLns",
+        }
+        assert set(chain.state_names) == expected
+        validate_chain(chain)
+
+    def test_up_down_partition(self):
+        chain = build_failover_chain(paper_parameters(hep=0.01))
+        assert set(chain.up_states()) == {"OP", "EXP1", "OPns", "EXPns1", "EXPns2", "EXP2"}
+        assert set(chain.down_states()) == {"DUns1", "DUns2", "DU1", "DU2", "DL", "DLns"}
+
+    def test_hep_zero_drops_human_error_states(self):
+        chain = build_failover_chain(paper_parameters(hep=0.0))
+        assert set(chain.state_names) == {"OP", "EXP1", "OPns", "EXPns1", "DL", "DLns"}
+        validate_chain(chain)
+
+    def test_no_human_error_possible_in_exp1(self):
+        # Automatic fail-over forbids replacement during the on-line rebuild,
+        # so EXP1 has no transition into any human-error state.
+        chain = build_failover_chain(paper_parameters(hep=0.01))
+        successors = set(chain.successors("EXP1"))
+        assert successors == {"OPns", "DL"}
+
+    def test_failover_beats_conventional_with_human_error(self):
+        for hep in (0.001, 0.01):
+            params = paper_parameters(hep=hep)
+            conventional = conventional_availability(params)
+            failover = failover_availability(params)
+            assert failover.availability > conventional.availability
+
+    def test_failover_advantage_grows_with_hep(self):
+        def ratio(hep):
+            params = paper_parameters(hep=hep)
+            c = conventional_availability(params).unavailability
+            f = failover_availability(params).unavailability
+            return c / f
+
+        assert ratio(0.01) > ratio(0.001) > 1.0
+
+    def test_equivalent_to_conventional_at_hep_zero_within_spare_benefit(self):
+        # With hep = 0 the fail-over model still benefits slightly from the
+        # hot spare; it must never be worse than the conventional baseline.
+        params = paper_parameters(hep=0.0)
+        assert failover_availability(params).availability >= baseline_availability(params).availability - 1e-15
+
+    def test_breakdown_sums_to_total(self):
+        breakdown = failover_breakdown(paper_parameters(hep=0.01))
+        assert breakdown["du"] + breakdown["dl"] == pytest.approx(breakdown["total"], rel=1e-9)
+
+    def test_human_error_down_probability_much_smaller_than_conventional(self):
+        params = paper_parameters(hep=0.01)
+        conventional_du = conventional_breakdown(params)["du"]
+        failover_du = failover_breakdown(params)["du"]
+        assert failover_du < conventional_du / 50.0
+
+    def test_raid6_rejected(self):
+        with pytest.raises(RaidConfigurationError):
+            build_failover_chain(paper_parameters(geometry=RaidGeometry.raid6(6)))
+
+
+class TestDispatcher:
+    def test_build_chain_dispatch(self, paper_params):
+        assert set(build_chain(paper_params, ModelKind.BASELINE).state_names) == {"OP", "EXP", "DL"}
+        assert "DU" in build_chain(paper_params, ModelKind.CONVENTIONAL).state_names
+        assert "OPns" in build_chain(paper_params, ModelKind.AUTOMATIC_FAILOVER).state_names
+
+    def test_solve_model_matches_direct_calls(self, paper_params):
+        assert solve_model(paper_params, ModelKind.CONVENTIONAL).availability == pytest.approx(
+            conventional_availability(paper_params).availability
+        )
+        assert solve_model(paper_params, ModelKind.BASELINE).availability == pytest.approx(
+            baseline_availability(paper_params.without_human_error()).availability
+        )
+
+    def test_baseline_dispatch_ignores_hep(self):
+        with_hep = solve_model(paper_parameters(hep=0.01), ModelKind.BASELINE)
+        without = solve_model(paper_parameters(hep=0.0), ModelKind.BASELINE)
+        assert with_hep.availability == pytest.approx(without.availability)
+
+    def test_unknown_kind_rejected(self, paper_params):
+        with pytest.raises(ConfigurationError):
+            solve_model(paper_params, "not-a-kind")  # type: ignore[arg-type]
+
+    def test_model_descriptor(self, paper_params):
+        from repro.core.models import ModelDescriptor
+
+        descriptor = ModelDescriptor(paper_params, ModelKind.CONVENTIONAL)
+        assert descriptor.build().has_state("DU")
+        assert 0.0 < descriptor.solve().availability < 1.0
+
+    def test_available_models_lists_three(self):
+        from repro.core.models import available_models
+
+        assert len(available_models()) == 3

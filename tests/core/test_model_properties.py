@@ -1,0 +1,103 @@
+"""Property-based tests over the paper's availability models (hypothesis).
+
+These encode the invariants that must hold for *any* admissible parameter
+set, not just the paper's operating points: probabilities stay in range,
+availability responds monotonically to hep and the failure rate, the
+fail-over policy never loses to the conventional one, and ignoring human
+error never predicts more downtime than modelling it.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.models import (
+    ModelKind,
+    build_conventional_chain,
+    build_failover_chain,
+    solve_model,
+)
+from repro.core.parameters import paper_parameters
+from repro.markov.validation import validate_chain
+from repro.storage.raid import RaidGeometry
+
+FAILURE_RATES = st.floats(min_value=1e-8, max_value=1e-4)
+HEPS = st.floats(min_value=0.0, max_value=0.2)
+POSITIVE_HEPS = st.floats(min_value=1e-4, max_value=0.2)
+DATA_DISKS = st.integers(min_value=2, max_value=15)
+
+_SETTINGS = settings(max_examples=40, deadline=None)
+
+
+@given(rate=FAILURE_RATES, hep=HEPS, data_disks=DATA_DISKS)
+@_SETTINGS
+def test_conventional_availability_is_probability(rate, hep, data_disks):
+    params = paper_parameters(
+        geometry=RaidGeometry.raid5(data_disks), disk_failure_rate=rate, hep=hep
+    )
+    result = solve_model(params, ModelKind.CONVENTIONAL)
+    assert 0.0 <= result.availability <= 1.0
+    assert sum(result.state_probabilities.values()) == pytest.approx(1.0, abs=1e-9)
+
+
+@given(rate=FAILURE_RATES, hep=POSITIVE_HEPS)
+@_SETTINGS
+def test_modelling_human_error_never_increases_availability(rate, hep):
+    params = paper_parameters(disk_failure_rate=rate, hep=hep)
+    baseline = solve_model(params, ModelKind.BASELINE)
+    with_error = solve_model(params, ModelKind.CONVENTIONAL)
+    assert with_error.availability <= baseline.availability + 1e-15
+
+
+@given(rate=FAILURE_RATES, hep=POSITIVE_HEPS)
+@_SETTINGS
+def test_failover_never_worse_than_conventional(rate, hep):
+    params = paper_parameters(disk_failure_rate=rate, hep=hep)
+    conventional = solve_model(params, ModelKind.CONVENTIONAL)
+    failover = solve_model(params, ModelKind.AUTOMATIC_FAILOVER)
+    assert failover.availability >= conventional.availability - 1e-12
+
+
+@given(rate=FAILURE_RATES, hep=HEPS)
+@_SETTINGS
+def test_availability_monotone_in_hep(rate, hep):
+    params = paper_parameters(disk_failure_rate=rate, hep=hep)
+    larger = params.with_hep(min(hep + 0.05, 1.0))
+    kind_small = ModelKind.BASELINE if hep == 0.0 else ModelKind.CONVENTIONAL
+    small_result = solve_model(params, kind_small)
+    large_result = solve_model(larger, ModelKind.CONVENTIONAL)
+    assert large_result.availability <= small_result.availability + 1e-15
+
+
+@given(rate=FAILURE_RATES, hep=POSITIVE_HEPS)
+@_SETTINGS
+def test_availability_monotone_in_failure_rate(rate, hep):
+    params = paper_parameters(disk_failure_rate=rate, hep=hep)
+    worse = params.with_failure_rate(rate * 3.0)
+    assert (
+        solve_model(worse, ModelKind.CONVENTIONAL).availability
+        <= solve_model(params, ModelKind.CONVENTIONAL).availability + 1e-15
+    )
+
+
+@given(rate=FAILURE_RATES, hep=POSITIVE_HEPS, data_disks=DATA_DISKS)
+@_SETTINGS
+def test_chains_always_structurally_valid(rate, hep, data_disks):
+    params = paper_parameters(
+        geometry=RaidGeometry.raid5(data_disks), disk_failure_rate=rate, hep=hep
+    )
+    assert validate_chain(build_conventional_chain(params)).ok
+    assert validate_chain(build_failover_chain(params)).ok
+
+
+@given(rate=FAILURE_RATES, hep=POSITIVE_HEPS)
+@_SETTINGS
+def test_more_disks_reduce_array_availability(rate, hep):
+    small = paper_parameters(geometry=RaidGeometry.raid5(3), disk_failure_rate=rate, hep=hep)
+    large = paper_parameters(geometry=RaidGeometry.raid5(7), disk_failure_rate=rate, hep=hep)
+    assert (
+        solve_model(large, ModelKind.CONVENTIONAL).availability
+        <= solve_model(small, ModelKind.CONVENTIONAL).availability + 1e-15
+    )

@@ -1,0 +1,98 @@
+"""Unit tests for the shared availability parameter set."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import AvailabilityParameters, paper_parameters
+from repro.distributions import Exponential, Weibull
+from repro.exceptions import ConfigurationError
+from repro.storage.raid import RaidGeometry
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        params = paper_parameters()
+        assert params.geometry.label == "RAID5(3+1)"
+        assert params.disk_repair_rate == pytest.approx(0.1)
+        assert params.ddf_recovery_rate == pytest.approx(0.03)
+        assert params.human_error_rate == pytest.approx(1.0)
+        assert params.spare_replacement_rate == pytest.approx(1.0)
+        assert params.crash_rate == pytest.approx(0.01)
+        assert params.hep == pytest.approx(0.001)
+
+    def test_n_disks_and_success_probability(self):
+        params = paper_parameters(hep=0.01)
+        assert params.n_disks == 4
+        assert params.success_probability == pytest.approx(0.99)
+
+    def test_mean_time_to_disk_failure(self):
+        assert paper_parameters(disk_failure_rate=1e-6).mean_time_to_disk_failure() == pytest.approx(1e6)
+
+
+class TestDistributions:
+    def test_exponential_failure_by_default(self):
+        assert isinstance(paper_parameters().failure_distribution(), Exponential)
+
+    def test_weibull_when_shape_not_one(self):
+        params = paper_parameters(failure_shape=1.12, disk_failure_rate=1e-6)
+        dist = params.failure_distribution()
+        assert isinstance(dist, Weibull)
+        assert dist.mean() == pytest.approx(1e6, rel=1e-9)
+
+    def test_service_distributions_mean(self):
+        params = paper_parameters()
+        assert params.repair_distribution().mean() == pytest.approx(10.0)
+        assert params.ddf_recovery_distribution().mean() == pytest.approx(1 / 0.03)
+        assert params.human_error_recovery_distribution().mean() == pytest.approx(1.0)
+        assert params.spare_replacement_distribution().mean() == pytest.approx(1.0)
+
+
+class TestDerivation:
+    def test_with_hep(self):
+        params = paper_parameters(hep=0.001)
+        changed = params.with_hep(0.01)
+        assert changed.hep == 0.01 and params.hep == 0.001
+
+    def test_with_failure_rate_and_shape(self):
+        changed = paper_parameters().with_failure_rate(2e-5, shape=1.48)
+        assert changed.disk_failure_rate == 2e-5
+        assert changed.failure_shape == 1.48
+
+    def test_with_geometry(self):
+        changed = paper_parameters().with_geometry(RaidGeometry.raid5(7))
+        assert changed.n_disks == 8
+
+    def test_without_human_error(self):
+        assert paper_parameters(hep=0.01).without_human_error().hep == 0.0
+
+    def test_as_dict(self):
+        payload = paper_parameters().as_dict()
+        assert payload["geometry"] == "RAID5(3+1)"
+        assert payload["hep"] == 0.001
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("disk_failure_rate", 0.0),
+            ("disk_repair_rate", -1.0),
+            ("ddf_recovery_rate", 0.0),
+            ("human_error_rate", 0.0),
+            ("spare_replacement_rate", 0.0),
+            ("crash_rate", -0.1),
+            ("failure_shape", 0.0),
+        ],
+    )
+    def test_invalid_rates_rejected(self, field, value):
+        kwargs = {field: value}
+        with pytest.raises(ConfigurationError):
+            AvailabilityParameters(**kwargs)
+
+    def test_invalid_hep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AvailabilityParameters(hep=1.5)
+
+    def test_zero_crash_rate_allowed(self):
+        assert AvailabilityParameters(crash_rate=0.0).crash_rate == 0.0

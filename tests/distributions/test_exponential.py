@@ -1,0 +1,107 @@
+"""Unit tests for the exponential distribution."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential
+from repro.exceptions import DistributionError
+
+
+class TestConstruction:
+    def test_rate_accessor(self):
+        dist = Exponential(0.5)
+        assert dist.rate_parameter == pytest.approx(0.5)
+        assert dist.rate() == pytest.approx(0.5)
+
+    def test_from_mean(self):
+        dist = Exponential.from_mean(20.0)
+        assert dist.mean() == pytest.approx(20.0)
+        assert dist.rate_parameter == pytest.approx(0.05)
+
+    def test_from_mttf_alias(self):
+        assert Exponential.from_mttf(100.0) == Exponential.from_mean(100.0)
+
+    def test_from_afr(self):
+        dist = Exponential.from_afr(0.02)
+        # 2% AFR over 8760 hours is roughly 2.3e-6 per hour.
+        assert dist.rate_parameter == pytest.approx(2.306e-6, rel=1e-3)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_invalid_rate_rejected(self, bad):
+        with pytest.raises(DistributionError):
+            Exponential(bad)
+
+    def test_invalid_afr_rejected(self):
+        with pytest.raises(DistributionError):
+            Exponential.from_afr(1.5)
+
+
+class TestMoments:
+    def test_mean_variance(self):
+        dist = Exponential(2.0)
+        assert dist.mean() == pytest.approx(0.5)
+        assert dist.variance() == pytest.approx(0.25)
+        assert dist.std() == pytest.approx(0.5)
+
+    def test_median_equals_log2_over_rate(self):
+        dist = Exponential(0.1)
+        assert dist.median() == pytest.approx(math.log(2) / 0.1, rel=1e-6)
+
+
+class TestFunctions:
+    def test_cdf_at_mean(self):
+        dist = Exponential(1.0)
+        assert float(dist.cdf(1.0)) == pytest.approx(1 - math.exp(-1))
+
+    def test_cdf_monotone_and_bounded(self):
+        dist = Exponential(0.3)
+        t = np.linspace(0, 50, 200)
+        cdf = dist.cdf(t)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[0] == pytest.approx(0.0)
+        assert cdf[-1] <= 1.0
+
+    def test_negative_times(self):
+        dist = Exponential(1.0)
+        assert float(dist.cdf(-5.0)) == 0.0
+        assert float(dist.pdf(-5.0)) == 0.0
+        assert float(dist.survival(-5.0)) == 1.0
+
+    def test_constant_hazard(self):
+        dist = Exponential(0.25)
+        hazard = dist.hazard([0.0, 1.0, 100.0])
+        assert np.allclose(hazard, 0.25)
+
+    def test_percentile_inverse_of_cdf(self):
+        dist = Exponential(0.05)
+        for q in (0.1, 0.5, 0.9, 0.999):
+            assert float(dist.cdf(dist.percentile(q))) == pytest.approx(q, rel=1e-9)
+
+    def test_percentile_requires_open_interval(self):
+        with pytest.raises(DistributionError):
+            Exponential(1.0).percentile(1.0)
+
+
+class TestSampling:
+    def test_sample_mean_close_to_theory(self, rng):
+        dist = Exponential(0.02)
+        samples = dist.sample(40_000, rng)
+        assert samples.mean() == pytest.approx(50.0, rel=0.05)
+        assert np.all(samples >= 0.0)
+
+    def test_sample_size(self, rng):
+        assert Exponential(1.0).sample(7, rng).shape == (7,)
+
+
+class TestEquality:
+    def test_equal_and_hash(self):
+        assert Exponential(0.1) == Exponential(0.1)
+        assert hash(Exponential(0.1)) == hash(Exponential(0.1))
+        assert Exponential(0.1) != Exponential(0.2)
+
+    def test_not_equal_to_other_types(self):
+        assert (Exponential(0.1) == 42) is False

@@ -1,0 +1,99 @@
+"""Unit tests for the distribution factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributions import (
+    Deterministic,
+    Empirical,
+    Exponential,
+    Gamma,
+    LogNormal,
+    Weibull,
+    describe_distribution,
+    make_distribution,
+)
+from repro.exceptions import DistributionError
+
+
+class TestMakeDistribution:
+    def test_exponential_from_rate(self):
+        dist = make_distribution({"kind": "exponential", "rate": 0.1})
+        assert isinstance(dist, Exponential)
+        assert dist.rate_parameter == pytest.approx(0.1)
+
+    def test_exponential_from_mean(self):
+        dist = make_distribution({"kind": "exponential", "mean": 10.0})
+        assert dist.mean() == pytest.approx(10.0)
+
+    def test_weibull_from_rate(self):
+        dist = make_distribution({"kind": "weibull", "rate": 1e-6, "shape": 1.12})
+        assert isinstance(dist, Weibull)
+        assert dist.mean() == pytest.approx(1e6, rel=1e-9)
+
+    def test_weibull_requires_shape(self):
+        with pytest.raises(DistributionError):
+            make_distribution({"kind": "weibull", "scale": 100.0})
+
+    def test_lognormal_variants(self):
+        assert isinstance(
+            make_distribution({"kind": "lognormal", "mu": 0.0, "sigma": 1.0}), LogNormal
+        )
+        assert isinstance(
+            make_distribution({"kind": "lognormal", "median": 2.0, "error_factor": 3.0}),
+            LogNormal,
+        )
+        assert isinstance(
+            make_distribution({"kind": "lognormal", "mean": 2.0, "cv": 0.5}), LogNormal
+        )
+
+    def test_gamma(self):
+        dist = make_distribution({"kind": "gamma", "shape": 2.0, "mean": 8.0})
+        assert isinstance(dist, Gamma)
+        assert dist.mean() == pytest.approx(8.0)
+
+    def test_deterministic(self):
+        dist = make_distribution({"kind": "deterministic", "value": 10.0})
+        assert isinstance(dist, Deterministic)
+
+    def test_empirical(self):
+        dist = make_distribution({"kind": "empirical", "samples": [1.0, 2.0]})
+        assert isinstance(dist, Empirical)
+
+    def test_unknown_kind(self):
+        with pytest.raises(DistributionError):
+            make_distribution({"kind": "pareto", "alpha": 2.0})
+
+    def test_missing_kind(self):
+        with pytest.raises(DistributionError):
+            make_distribution({"rate": 1.0})
+
+    def test_case_insensitive_kind(self):
+        dist = make_distribution({"kind": "EXPONENTIAL", "rate": 1.0})
+        assert isinstance(dist, Exponential)
+
+
+class TestDescribeDistribution:
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            Exponential(0.25),
+            Weibull(shape=1.3, scale=500.0),
+            LogNormal(mu=1.0, sigma=0.5),
+            Gamma(shape=2.0, scale=3.0),
+            Deterministic(7.5),
+            Empirical([1.0, 2.0, 3.0]),
+        ],
+    )
+    def test_round_trip(self, dist):
+        rebuilt = make_distribution(describe_distribution(dist))
+        assert type(rebuilt) is type(dist)
+        assert rebuilt.mean() == pytest.approx(dist.mean(), rel=1e-9)
+
+    def test_unknown_type_rejected(self):
+        class Fake:
+            pass
+
+        with pytest.raises(DistributionError):
+            describe_distribution(Fake())  # type: ignore[arg-type]

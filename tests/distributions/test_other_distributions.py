@@ -1,0 +1,139 @@
+"""Unit tests for lognormal, gamma, deterministic and empirical distributions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic, Empirical, Gamma, LogNormal
+from repro.exceptions import DistributionError
+
+
+class TestLogNormal:
+    def test_mean_and_median(self):
+        dist = LogNormal(mu=math.log(10.0), sigma=0.5)
+        assert dist.median() == pytest.approx(10.0)
+        assert dist.mean() == pytest.approx(10.0 * math.exp(0.125))
+
+    def test_from_error_factor(self):
+        dist = LogNormal.from_mean_and_error_factor(2.0, 3.0)
+        # 95th percentile over median equals the error factor.
+        assert dist.percentile(0.95) / dist.median() == pytest.approx(3.0, rel=1e-6)
+
+    def test_from_mean_and_cv(self):
+        dist = LogNormal.from_mean_and_cv(5.0, 0.8)
+        assert dist.mean() == pytest.approx(5.0, rel=1e-9)
+        assert dist.std() / dist.mean() == pytest.approx(0.8, rel=1e-9)
+
+    def test_cdf_pdf_support(self):
+        dist = LogNormal(mu=0.0, sigma=1.0)
+        assert float(dist.cdf(0.0)) == 0.0
+        assert float(dist.pdf(-1.0)) == 0.0
+        assert float(dist.cdf(1.0)) == pytest.approx(0.5)
+
+    def test_percentile_round_trip(self):
+        dist = LogNormal(mu=1.0, sigma=0.4)
+        assert float(dist.cdf(dist.percentile(0.8))) == pytest.approx(0.8, rel=1e-6)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DistributionError):
+            LogNormal(mu=0.0, sigma=0.0)
+        with pytest.raises(DistributionError):
+            LogNormal.from_mean_and_error_factor(1.0, 0.5)
+
+    def test_sampling_mean(self, rng):
+        dist = LogNormal.from_mean_and_cv(4.0, 0.5)
+        assert dist.sample(50_000, rng).mean() == pytest.approx(4.0, rel=0.05)
+
+
+class TestGamma:
+    def test_moments(self):
+        dist = Gamma(shape=3.0, scale=2.0)
+        assert dist.mean() == pytest.approx(6.0)
+        assert dist.variance() == pytest.approx(12.0)
+
+    def test_erlang_constructor(self):
+        dist = Gamma.erlang(stages=4, stage_rate=0.5)
+        assert dist.mean() == pytest.approx(8.0)
+        assert dist.shape == pytest.approx(4.0)
+
+    def test_from_mean_and_shape(self):
+        dist = Gamma.from_mean_and_shape(10.0, 2.5)
+        assert dist.mean() == pytest.approx(10.0)
+
+    def test_cdf_matches_exponential_for_shape_one(self):
+        gamma = Gamma(shape=1.0, scale=10.0)
+        t = np.linspace(0.0, 100.0, 30)
+        expected = 1.0 - np.exp(-t / 10.0)
+        assert np.allclose(gamma.cdf(t), expected)
+
+    def test_percentile_round_trip(self):
+        dist = Gamma(shape=2.0, scale=5.0)
+        assert float(dist.cdf(dist.percentile(0.3))) == pytest.approx(0.3, rel=1e-6)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DistributionError):
+            Gamma(shape=-1.0, scale=1.0)
+        with pytest.raises(DistributionError):
+            Gamma.erlang(stages=0, stage_rate=1.0)
+
+    def test_sampling(self, rng):
+        dist = Gamma(shape=2.0, scale=3.0)
+        assert dist.sample(50_000, rng).mean() == pytest.approx(6.0, rel=0.05)
+
+
+class TestDeterministic:
+    def test_fixed_value(self, rng):
+        dist = Deterministic(10.0)
+        assert dist.mean() == 10.0
+        assert dist.variance() == 0.0
+        assert np.all(dist.sample(5, rng) == 10.0)
+
+    def test_cdf_step(self):
+        dist = Deterministic(10.0)
+        assert float(dist.cdf(9.999)) == 0.0
+        assert float(dist.cdf(10.0)) == 1.0
+
+    def test_percentile_is_value(self):
+        assert Deterministic(3.5).percentile(0.99) == 3.5
+
+    def test_invalid(self):
+        with pytest.raises(DistributionError):
+            Deterministic(0.0)
+
+
+class TestEmpirical:
+    def test_moments_match_samples(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        dist = Empirical(data)
+        assert dist.mean() == pytest.approx(2.5)
+        assert dist.n_samples == 4
+
+    def test_cdf_is_ecdf(self):
+        dist = Empirical([1.0, 2.0, 3.0, 4.0])
+        assert float(dist.cdf(2.5)) == pytest.approx(0.5)
+        assert float(dist.cdf(0.5)) == 0.0
+        assert float(dist.cdf(10.0)) == 1.0
+
+    def test_bootstrap_sampling_stays_in_support(self, rng):
+        data = [5.0, 10.0, 20.0]
+        dist = Empirical(data, interpolate=False)
+        samples = dist.sample(100, rng)
+        assert set(np.unique(samples)).issubset(set(data))
+
+    def test_interpolated_sampling_within_range(self, rng):
+        dist = Empirical([5.0, 10.0, 20.0])
+        samples = dist.sample(500, rng)
+        assert samples.min() >= 5.0 and samples.max() <= 20.0
+
+    def test_percentile(self):
+        dist = Empirical(list(range(1, 101)))
+        assert dist.percentile(0.5) == pytest.approx(50.5, rel=0.02)
+
+    def test_invalid(self):
+        with pytest.raises(DistributionError):
+            Empirical([])
+        with pytest.raises(DistributionError):
+            Empirical([1.0, -2.0])

@@ -1,0 +1,75 @@
+"""Property-based tests for the distribution layer (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Exponential, Gamma, LogNormal, Weibull
+
+RATES = st.floats(min_value=1e-8, max_value=10.0, allow_nan=False, allow_infinity=False)
+SHAPES = st.floats(min_value=0.3, max_value=5.0, allow_nan=False, allow_infinity=False)
+SCALES = st.floats(min_value=1e-3, max_value=1e7, allow_nan=False, allow_infinity=False)
+TIMES = st.floats(min_value=0.0, max_value=1e8, allow_nan=False, allow_infinity=False)
+QUANTILES = st.floats(min_value=0.001, max_value=0.999)
+
+
+@given(rate=RATES, t=TIMES)
+def test_exponential_cdf_in_unit_interval(rate, t):
+    cdf = float(Exponential(rate).cdf(t))
+    assert 0.0 <= cdf <= 1.0
+
+
+@given(rate=RATES, q=QUANTILES)
+def test_exponential_percentile_cdf_round_trip(rate, q):
+    dist = Exponential(rate)
+    np.testing.assert_allclose(float(dist.cdf(dist.percentile(q))), q, rtol=1e-6)
+
+
+@given(shape=SHAPES, scale=SCALES, t=TIMES)
+def test_weibull_cdf_monotone_in_time(shape, scale, t):
+    dist = Weibull(shape=shape, scale=scale)
+    later = t * 1.5 + 1.0
+    assert float(dist.cdf(t)) <= float(dist.cdf(later)) + 1e-12
+
+
+@given(shape=SHAPES, scale=SCALES)
+def test_weibull_mean_positive_and_survival_complements_cdf(shape, scale):
+    dist = Weibull(shape=shape, scale=scale)
+    assert dist.mean() > 0.0
+    t = np.array([0.5 * scale, scale, 2.0 * scale])
+    np.testing.assert_allclose(dist.cdf(t) + dist.survival(t), 1.0, rtol=1e-9)
+
+
+@given(shape=SHAPES, scale=st.floats(min_value=1e-2, max_value=1e4), q=QUANTILES)
+@settings(max_examples=50)
+def test_gamma_percentile_round_trip(shape, scale, q):
+    dist = Gamma(shape=shape, scale=scale)
+    np.testing.assert_allclose(float(dist.cdf(dist.percentile(q))), q, rtol=1e-4, atol=1e-6)
+
+
+@given(
+    mu=st.floats(min_value=-3.0, max_value=8.0),
+    sigma=st.floats(min_value=0.05, max_value=2.5),
+)
+def test_lognormal_median_below_mean(mu, sigma):
+    dist = LogNormal(mu=mu, sigma=sigma)
+    # For a lognormal the mean always exceeds the median.
+    assert dist.mean() >= dist.median()
+
+
+@given(rate=RATES)
+@settings(max_examples=30)
+def test_exponential_sampling_non_negative(rate):
+    rng = np.random.default_rng(0)
+    samples = Exponential(rate).sample(100, rng)
+    assert np.all(samples >= 0.0)
+
+
+@given(shape=SHAPES, scale=SCALES)
+@settings(max_examples=30)
+def test_weibull_sampling_non_negative(shape, scale):
+    rng = np.random.default_rng(1)
+    samples = Weibull(shape=shape, scale=scale).sample(100, rng)
+    assert np.all(samples >= 0.0)

@@ -1,0 +1,103 @@
+"""Unit tests for the Weibull distribution."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, Weibull
+from repro.exceptions import DistributionError
+
+
+class TestConstruction:
+    def test_accessors(self):
+        dist = Weibull(shape=1.2, scale=1e6)
+        assert dist.shape == pytest.approx(1.2)
+        assert dist.scale == pytest.approx(1e6)
+
+    def test_from_mean_and_shape_round_trip(self):
+        dist = Weibull.from_mean_and_shape(1e6, 1.12)
+        assert dist.mean() == pytest.approx(1e6, rel=1e-9)
+
+    def test_from_rate_and_shape_matches_paper_convention(self):
+        # The paper quotes "failure rate 1.25e-6, beta 1.09": mean = 1/rate.
+        dist = Weibull.from_rate_and_shape(1.25e-6, 1.09)
+        assert dist.mean() == pytest.approx(1 / 1.25e-6, rel=1e-9)
+
+    @pytest.mark.parametrize("shape,scale", [(0.0, 1.0), (1.0, 0.0), (-1.0, 1.0)])
+    def test_invalid_parameters(self, shape, scale):
+        with pytest.raises(DistributionError):
+            Weibull(shape=shape, scale=scale)
+
+    def test_invalid_rate(self):
+        with pytest.raises(DistributionError):
+            Weibull.from_rate_and_shape(0.0, 1.1)
+
+
+class TestShapeOne:
+    """With shape = 1 the Weibull reduces to the exponential."""
+
+    def test_matches_exponential_cdf(self):
+        weibull = Weibull(shape=1.0, scale=100.0)
+        exponential = Exponential(0.01)
+        t = np.linspace(0, 500, 50)
+        assert np.allclose(weibull.cdf(t), exponential.cdf(t))
+
+    def test_matches_exponential_mean_variance(self):
+        weibull = Weibull(shape=1.0, scale=100.0)
+        assert weibull.mean() == pytest.approx(100.0)
+        assert weibull.variance() == pytest.approx(10_000.0)
+
+
+class TestHazard:
+    def test_increasing_hazard_for_shape_above_one(self):
+        dist = Weibull(shape=1.5, scale=1000.0)
+        hazard = dist.hazard([10.0, 100.0, 1000.0])
+        assert hazard[0] < hazard[1] < hazard[2]
+
+    def test_decreasing_hazard_for_shape_below_one(self):
+        dist = Weibull(shape=0.7, scale=1000.0)
+        hazard = dist.hazard([10.0, 100.0, 1000.0])
+        assert hazard[0] > hazard[1] > hazard[2]
+
+
+class TestFunctions:
+    def test_cdf_at_scale_is_63_percent(self):
+        dist = Weibull(shape=1.48, scale=500.0)
+        assert float(dist.cdf(500.0)) == pytest.approx(1 - math.exp(-1), rel=1e-9)
+
+    def test_percentile_inverse_of_cdf(self):
+        dist = Weibull(shape=1.21, scale=1e5)
+        for q in (0.05, 0.5, 0.95):
+            assert float(dist.cdf(dist.percentile(q))) == pytest.approx(q, rel=1e-9)
+
+    def test_pdf_zero_for_negative_times(self):
+        dist = Weibull(shape=2.0, scale=10.0)
+        assert float(dist.pdf(-1.0)) == 0.0
+        assert float(dist.cdf(-1.0)) == 0.0
+
+    def test_pdf_at_zero_special_cases(self):
+        assert float(Weibull(shape=2.0, scale=10.0).pdf(0.0)) == 0.0
+        assert float(Weibull(shape=1.0, scale=10.0).pdf(0.0)) == pytest.approx(0.1)
+        assert math.isinf(float(Weibull(shape=0.5, scale=10.0).pdf(0.0)))
+
+
+class TestSampling:
+    def test_sample_mean_close_to_theory(self, rng):
+        dist = Weibull.from_mean_and_shape(200.0, 1.48)
+        samples = dist.sample(40_000, rng)
+        assert samples.mean() == pytest.approx(200.0, rel=0.05)
+
+    def test_samples_non_negative(self, rng):
+        samples = Weibull(shape=1.09, scale=1e4).sample(1000, rng)
+        assert np.all(samples >= 0.0)
+
+
+class TestEquality:
+    def test_equality_and_hash(self):
+        a = Weibull(shape=1.2, scale=10.0)
+        b = Weibull(shape=1.2, scale=10.0)
+        assert a == b and hash(a) == hash(b)
+        assert a != Weibull(shape=1.3, scale=10.0)

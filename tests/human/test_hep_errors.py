@@ -1,0 +1,120 @@
+"""Unit tests for hep data and the human error taxonomy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import HumanErrorModelError
+from repro.human import (
+    HEP_REFERENCE_BANDS,
+    PAPER_HEP_VALUES,
+    HumanErrorEvent,
+    HumanErrorLog,
+    HumanErrorProbability,
+    HumanErrorType,
+    adjust_with_performance_shaping_factors,
+    expected_errors_per_year,
+    hep_from_observations,
+    paper_hep_probabilities,
+)
+
+
+class TestHumanErrorProbability:
+    def test_paper_values(self):
+        assert PAPER_HEP_VALUES == (0.0, 0.001, 0.01)
+        values = [h.value for h in paper_hep_probabilities()]
+        assert values == [0.0, 0.001, 0.01]
+
+    def test_complement(self):
+        assert HumanErrorProbability(0.01).complement() == pytest.approx(0.99)
+
+    def test_validation(self):
+        with pytest.raises(HumanErrorModelError):
+            HumanErrorProbability(1.5)
+        with pytest.raises(HumanErrorModelError):
+            HumanErrorProbability(-0.1)
+
+    def test_reference_bands(self):
+        hep = HumanErrorProbability(0.005)
+        assert hep.is_within_band("enterprise_with_procedures")
+        assert hep.is_within_band("general_manual_task")
+        assert not hep.is_within_band("skill_based_routine")
+        with pytest.raises(HumanErrorModelError):
+            hep.is_within_band("unknown_band")
+
+    def test_bands_are_consistent(self):
+        for low, high in HEP_REFERENCE_BANDS.values():
+            assert 0.0 < low < high <= 1.0
+
+    def test_paper_sweep_values_inside_paper_band(self):
+        low, high = HEP_REFERENCE_BANDS["general_manual_task"]
+        for value in PAPER_HEP_VALUES[1:]:
+            assert low <= value <= high
+
+
+class TestHraHelpers:
+    def test_performance_shaping_factors(self):
+        adjusted = adjust_with_performance_shaping_factors(0.001, {"stress": 5.0, "checklist": 0.5})
+        assert adjusted == pytest.approx(0.0025)
+
+    def test_psf_capped(self):
+        assert adjust_with_performance_shaping_factors(0.5, {"stress": 10.0}) == 1.0
+
+    def test_psf_validation(self):
+        with pytest.raises(HumanErrorModelError):
+            adjust_with_performance_shaping_factors(2.0, {})
+        with pytest.raises(HumanErrorModelError):
+            adjust_with_performance_shaping_factors(0.1, {"bad": 0.0})
+
+    def test_hep_from_observations(self):
+        hep = hep_from_observations(3, 1000)
+        assert hep.value == pytest.approx(0.003)
+        with pytest.raises(HumanErrorModelError):
+            hep_from_observations(5, 0)
+        with pytest.raises(HumanErrorModelError):
+            hep_from_observations(11, 10)
+
+    def test_expected_errors_per_year_exascale(self):
+        # The paper's motivation: an exa-scale centre sees >8760 replacements
+        # a year, so even hep = 0.001 means multiple errors per year.
+        errors = expected_errors_per_year(0.001, interventions_per_year=8760.0)
+        assert errors == pytest.approx(8.76)
+        with pytest.raises(HumanErrorModelError):
+            expected_errors_per_year(2.0, 100.0)
+
+
+class TestErrorTaxonomy:
+    def test_event_lifecycle(self):
+        event = HumanErrorEvent(
+            time=10.0,
+            error_type=HumanErrorType.WRONG_DISK_REPLACEMENT,
+            array_id="a0",
+            caused_data_unavailability=True,
+        )
+        assert event.outstanding
+        event.mark_recovered(12.5)
+        assert not event.outstanding
+        assert event.recovery_duration == pytest.approx(2.5)
+
+    def test_recovery_before_error_rejected(self):
+        event = HumanErrorEvent(time=10.0, error_type=HumanErrorType.OMISSION, array_id="a0")
+        with pytest.raises(ValueError):
+            event.mark_recovered(5.0)
+
+    def test_log_counting(self):
+        log = HumanErrorLog()
+        log.record(
+            HumanErrorEvent(1.0, HumanErrorType.WRONG_DISK_REPLACEMENT, "a0",
+                            caused_data_unavailability=True)
+        )
+        log.record(
+            HumanErrorEvent(2.0, HumanErrorType.WRONG_SCRIPT_EXECUTION, "a0",
+                            caused_data_unavailability=True, caused_data_loss=True)
+        )
+        log.record(HumanErrorEvent(3.0, HumanErrorType.OMISSION, "a1"))
+        assert log.count() == 3
+        assert log.count(HumanErrorType.WRONG_DISK_REPLACEMENT) == 1
+        assert log.count_causing_unavailability() == 2
+        assert log.count_causing_data_loss() == 1
+        assert len(log.outstanding()) == 3
+        assert log.by_type()["omission"] == 1

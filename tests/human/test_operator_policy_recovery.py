@@ -1,0 +1,125 @@
+"""Unit tests for the operator model, replacement policies and error recovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential
+from repro.exceptions import HumanErrorModelError
+from repro.human import (
+    AutomaticFailoverPolicy,
+    ConventionalReplacementPolicy,
+    HumanErrorRecoveryModel,
+    Operator,
+    PolicyKind,
+    make_policy,
+)
+
+
+class TestOperator:
+    def test_error_frequency_matches_hep(self, rng):
+        operator = Operator(hep=0.2)
+        outcomes = [operator.attempt_replacement(rng) for _ in range(5000)]
+        error_rate = sum(1 for o in outcomes if o.human_error) / len(outcomes)
+        assert error_rate == pytest.approx(0.2, abs=0.02)
+        assert operator.actions_performed == 5000
+        assert operator.observed_error_rate() == pytest.approx(error_rate)
+
+    def test_zero_hep_never_errs(self, rng):
+        operator = Operator(hep=0.0)
+        assert all(not operator.attempt_replacement(rng).human_error for _ in range(500))
+
+    def test_durations_follow_distribution(self, rng):
+        operator = Operator(hep=0.0, replacement_time=Exponential(0.1))
+        durations = [operator.attempt_replacement(rng).duration_hours for _ in range(3000)]
+        assert np.mean(durations) == pytest.approx(10.0, rel=0.1)
+
+    def test_recovery_attempt_uses_recovery_time(self, rng):
+        operator = Operator(hep=0.0, error_recovery_time=Exponential(1.0))
+        durations = [operator.attempt_error_recovery(rng).duration_hours for _ in range(3000)]
+        assert np.mean(durations) == pytest.approx(1.0, rel=0.1)
+
+    def test_paper_defaults(self):
+        operator = Operator(hep=0.001)
+        assert operator.replacement_time.mean() == pytest.approx(10.0)
+        assert operator.error_recovery_time.mean() == pytest.approx(1.0)
+
+    def test_invalid_hep(self):
+        with pytest.raises(HumanErrorModelError):
+            Operator(hep=1.5)
+
+    def test_requires_generator(self):
+        with pytest.raises(HumanErrorModelError):
+            Operator(hep=0.1).attempt_replacement("not-a-rng")  # type: ignore[arg-type]
+
+
+class TestPolicies:
+    def test_conventional_always_dispatches_human(self):
+        policy = ConventionalReplacementPolicy()
+        decision = policy.on_disk_failure(spares_available=3, rebuild_in_progress=False)
+        assert decision.start_human_replacement and not decision.start_spare_rebuild
+        assert policy.allows_replacement_during_rebuild()
+
+    def test_failover_prefers_spare(self):
+        policy = AutomaticFailoverPolicy()
+        decision = policy.on_disk_failure(spares_available=1, rebuild_in_progress=False)
+        assert decision.start_spare_rebuild and not decision.start_human_replacement
+        assert not policy.allows_replacement_during_rebuild()
+
+    def test_failover_falls_back_without_spare(self):
+        policy = AutomaticFailoverPolicy()
+        decision = policy.on_disk_failure(spares_available=0, rebuild_in_progress=False)
+        assert decision.start_human_replacement
+
+    def test_strict_failover_waits(self):
+        policy = AutomaticFailoverPolicy(require_spare=False)
+        decision = policy.on_disk_failure(spares_available=0, rebuild_in_progress=False)
+        assert not decision.start_human_replacement and not decision.start_spare_rebuild
+
+    def test_negative_spares_rejected(self):
+        with pytest.raises(HumanErrorModelError):
+            AutomaticFailoverPolicy().on_disk_failure(spares_available=-1, rebuild_in_progress=False)
+
+    def test_make_policy(self):
+        assert isinstance(make_policy(PolicyKind.CONVENTIONAL), ConventionalReplacementPolicy)
+        assert isinstance(make_policy(PolicyKind.AUTOMATIC_FAILOVER), AutomaticFailoverPolicy)
+
+    def test_labels(self):
+        assert "conventional" in ConventionalReplacementPolicy().label
+        assert "automatic" in AutomaticFailoverPolicy().label
+
+
+class TestRecoveryModel:
+    def test_mean_outstanding_time_geometric(self):
+        model = HumanErrorRecoveryModel(hep=0.5, recovery_time=Exponential(1.0), crash_rate_per_hour=0.0)
+        assert model.expected_outstanding_hours() == pytest.approx(2.0)
+        certain_failure = HumanErrorRecoveryModel(hep=1.0, crash_rate_per_hour=0.0)
+        assert certain_failure.expected_outstanding_hours() == float("inf")
+
+    def test_sample_until_recovered_duration(self, rng):
+        model = HumanErrorRecoveryModel(hep=0.0, recovery_time=Exponential(1.0), crash_rate_per_hour=0.0)
+        durations = [model.sample_until_recovered(rng).duration_hours for _ in range(3000)]
+        assert np.mean(durations) == pytest.approx(1.0, rel=0.1)
+
+    def test_crash_dominates_when_rate_high(self, rng):
+        model = HumanErrorRecoveryModel(hep=0.0, recovery_time=Exponential(0.001), crash_rate_per_hour=100.0)
+        results = [model.sample_until_recovered(rng) for _ in range(300)]
+        crash_fraction = sum(1 for r in results if r.disk_crashed) / len(results)
+        assert crash_fraction > 0.9
+
+    def test_no_crash_when_rate_zero(self, rng):
+        model = HumanErrorRecoveryModel(hep=0.1, crash_rate_per_hour=0.0)
+        assert model.sample_crash_time(rng) is None
+        assert all(not model.sample_until_recovered(rng).disk_crashed for _ in range(200))
+
+    def test_hep_one_raises_after_max_attempts(self, rng):
+        model = HumanErrorRecoveryModel(hep=1.0, crash_rate_per_hour=0.0)
+        with pytest.raises(HumanErrorModelError):
+            model.sample_until_recovered(rng, max_attempts=5)
+
+    def test_validation(self):
+        with pytest.raises(HumanErrorModelError):
+            HumanErrorRecoveryModel(hep=-0.1)
+        with pytest.raises(HumanErrorModelError):
+            HumanErrorRecoveryModel(hep=0.1, crash_rate_per_hour=-1.0)

@@ -1,0 +1,143 @@
+"""Integration tests asserting the paper's headline claims end to end.
+
+Each test corresponds to a claim made in the paper's abstract/introduction
+and exercised through the public API, so a regression in any layer
+(distributions, Markov engine, models, comparison) surfaces here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ModelKind,
+    MonteCarloConfig,
+    PolicyKind,
+    RaidGeometry,
+    compare_equal_capacity,
+    paper_parameters,
+    run_monte_carlo,
+    solve_model,
+)
+from repro.core.comparison import ranking
+from repro.core.underestimation import maximum_underestimation
+
+
+class TestClaimUnderestimation:
+    """Claim 1: ignoring human error underestimates downtime by 2-3 orders."""
+
+    def test_underestimation_exceeds_two_orders_of_magnitude(self):
+        best = maximum_underestimation(
+            paper_parameters(), failure_rates=[5e-8, 1e-7, 1e-6, 5e-6], hep_values=(0.001, 0.01)
+        )
+        assert best.factor > 100.0
+
+    def test_hep_0_001_costs_at_least_a_quarter_nine_at_paper_rates(self):
+        baseline = solve_model(paper_parameters(hep=0.0), ModelKind.BASELINE)
+        with_error = solve_model(paper_parameters(hep=0.001), ModelKind.CONVENTIONAL)
+        assert baseline.nines - with_error.nines > 0.25
+
+    def test_hep_0_01_costs_more_than_one_nine(self):
+        baseline = solve_model(paper_parameters(hep=0.0), ModelKind.BASELINE)
+        with_error = solve_model(paper_parameters(hep=0.01), ModelKind.CONVENTIONAL)
+        assert baseline.nines - with_error.nines > 1.0
+
+
+class TestClaimRaidRankingInversion:
+    """Claim 2: the conventional RAID availability ranking can invert."""
+
+    def test_raid1_best_without_human_error(self):
+        comparisons = compare_equal_capacity(
+            paper_parameters(disk_failure_rate=1e-6, hep=0.0), model=ModelKind.BASELINE
+        )
+        assert ranking(comparisons)[0] == "RAID1(1+1)"
+
+    def test_raid1_can_fall_below_raid5_with_human_error(self):
+        comparisons = compare_equal_capacity(
+            paper_parameters(disk_failure_rate=1e-6, hep=0.01), model=ModelKind.CONVENTIONAL
+        )
+        order = ranking(comparisons)
+        assert order.index("RAID1(1+1)") > 0
+
+    def test_inversion_strengthens_at_lower_failure_rates(self):
+        def raid1_rank(rate):
+            comparisons = compare_equal_capacity(
+                paper_parameters(disk_failure_rate=rate, hep=0.01),
+                model=ModelKind.CONVENTIONAL,
+            )
+            return ranking(comparisons).index("RAID1(1+1)")
+
+        assert raid1_rank(1e-7) >= raid1_rank(1e-5)
+
+
+class TestClaimAutomaticFailover:
+    """Claim 3: automatic fail-over recovers most of the lost availability."""
+
+    def test_failover_improves_availability_at_hep_0_01(self):
+        params = paper_parameters(hep=0.01)
+        conventional = solve_model(params, ModelKind.CONVENTIONAL)
+        failover = solve_model(params, ModelKind.AUTOMATIC_FAILOVER)
+        assert conventional.unavailability / failover.unavailability > 5.0
+
+    def test_failover_near_baseline_at_hep_0(self):
+        params = paper_parameters(hep=0.0)
+        baseline = solve_model(params, ModelKind.BASELINE)
+        failover = solve_model(params, ModelKind.AUTOMATIC_FAILOVER)
+        assert failover.nines == pytest.approx(baseline.nines, abs=0.1)
+
+    def test_failover_advantage_grows_with_hep(self):
+        def gain(hep):
+            params = paper_parameters(hep=hep)
+            c = solve_model(params, ModelKind.CONVENTIONAL)
+            f = solve_model(params, ModelKind.AUTOMATIC_FAILOVER)
+            return c.unavailability / f.unavailability
+
+        assert gain(0.01) > gain(0.001)
+
+
+class TestMonteCarloCrossValidation:
+    """Fig. 4 claim: the Markov model agrees with the Monte Carlo reference."""
+
+    @pytest.mark.parametrize("hep", [0.01, 0.05])
+    def test_markov_inside_or_near_mc_interval(self, hep):
+        # Exaggerated failure rate keeps the MC variance manageable in CI.
+        params = paper_parameters(disk_failure_rate=1e-4, hep=hep)
+        markov = solve_model(params, ModelKind.CONVENTIONAL)
+        mc = run_monte_carlo(
+            MonteCarloConfig(
+                params=params,
+                policy=PolicyKind.CONVENTIONAL,
+                n_iterations=5000,
+                horizon_hours=87_600.0,
+                seed=19,
+            )
+        )
+        assert mc.unavailability == pytest.approx(markov.unavailability, rel=0.2)
+
+    def test_failover_policy_cross_validation(self):
+        params = paper_parameters(disk_failure_rate=1e-4, hep=0.05)
+        markov = solve_model(params, ModelKind.AUTOMATIC_FAILOVER)
+        mc = run_monte_carlo(
+            MonteCarloConfig(
+                params=params,
+                policy=PolicyKind.AUTOMATIC_FAILOVER,
+                n_iterations=5000,
+                horizon_hours=87_600.0,
+                seed=23,
+            )
+        )
+        assert mc.unavailability == pytest.approx(markov.unavailability, rel=0.35)
+
+
+class TestEndToEndApi:
+    def test_public_api_round_trip(self):
+        params = paper_parameters(geometry=RaidGeometry.raid5(7), hep=0.01)
+        result = solve_model(params, ModelKind.CONVENTIONAL)
+        assert 0.0 < result.availability < 1.0
+        chain = __import__("repro").build_chain(params, ModelKind.CONVENTIONAL)
+        assert chain.has_state("DU")
+
+    def test_version_exposed(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

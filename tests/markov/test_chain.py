@@ -1,0 +1,177 @@
+"""Unit tests for the Markov chain representation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StateError, TransitionError
+from repro.markov import ChainBuilder, MarkovChain, State, Transition
+
+
+def two_state_chain(up_rate=1.0, down_rate=0.1) -> MarkovChain:
+    return MarkovChain(
+        states=[State("UP", up=True), State("DOWN", up=False)],
+        transitions=[
+            Transition("UP", "DOWN", down_rate),
+            Transition("DOWN", "UP", up_rate),
+        ],
+        name="two-state",
+    )
+
+
+class TestStates:
+    def test_duplicate_state_rejected(self):
+        with pytest.raises(StateError):
+            MarkovChain([State("A"), State("A")])
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(StateError):
+            MarkovChain([])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(StateError):
+            State("")
+
+    def test_up_and_down_partition(self):
+        chain = two_state_chain()
+        assert chain.up_states() == ("UP",)
+        assert chain.down_states() == ("DOWN",)
+        assert chain.up_mask().tolist() == [True, False]
+
+    def test_index_and_lookup(self):
+        chain = two_state_chain()
+        assert chain.index_of("DOWN") == 1
+        assert chain.state("UP").up is True
+        assert chain.has_state("UP") and not chain.has_state("MISSING")
+        with pytest.raises(StateError):
+            chain.index_of("MISSING")
+
+    def test_iteration_and_len(self):
+        chain = two_state_chain()
+        assert len(chain) == 2
+        assert [s.name for s in chain] == ["UP", "DOWN"]
+
+
+class TestTransitions:
+    def test_self_loop_rejected(self):
+        with pytest.raises(TransitionError):
+            Transition("A", "A", 1.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(TransitionError):
+            Transition("A", "B", -1.0)
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(StateError):
+            MarkovChain([State("A")], [Transition("A", "B", 1.0)])
+
+    def test_rate_aggregation(self):
+        chain = MarkovChain(
+            [State("A"), State("B", up=False)],
+            [Transition("A", "B", 0.5), Transition("A", "B", 0.25), Transition("B", "A", 1.0)],
+        )
+        assert chain.rate("A", "B") == pytest.approx(0.75)
+        assert chain.exit_rate("A") == pytest.approx(0.75)
+        assert chain.successors("A") == {"B": pytest.approx(0.75)}
+        assert chain.predecessors("B") == {"A": pytest.approx(0.75)}
+
+
+class TestGeneratorMatrix:
+    def test_rows_sum_to_zero(self):
+        chain = two_state_chain()
+        q = chain.generator_matrix()
+        assert np.allclose(q.sum(axis=1), 0.0)
+
+    def test_off_diagonal_values(self):
+        chain = two_state_chain(up_rate=2.0, down_rate=0.5)
+        q = chain.generator_matrix()
+        assert q[0, 1] == pytest.approx(0.5)
+        assert q[1, 0] == pytest.approx(2.0)
+        assert q[0, 0] == pytest.approx(-0.5)
+
+    def test_rate_matrix_has_zero_diagonal(self):
+        chain = two_state_chain()
+        r = chain.rate_matrix()
+        assert np.all(np.diag(r) == 0.0)
+
+    def test_uniformized_dtmc_is_stochastic(self):
+        chain = two_state_chain(up_rate=3.0, down_rate=0.2)
+        p, lam = chain.uniformized_dtmc()
+        assert lam >= 3.0
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert np.all(p >= 0.0)
+
+    def test_uniformization_rate_too_small_rejected(self):
+        chain = two_state_chain(up_rate=3.0, down_rate=0.2)
+        with pytest.raises(TransitionError):
+            chain.uniformized_dtmc(uniformization_rate=1.0)
+
+
+class TestDerivedChains:
+    def test_absorbing_copy_removes_outgoing(self):
+        chain = two_state_chain()
+        absorbing = chain.with_states_absorbing(["DOWN"])
+        assert absorbing.exit_rate("DOWN") == 0.0
+        assert absorbing.exit_rate("UP") > 0.0
+
+    def test_relabelled(self):
+        chain = two_state_chain()
+        renamed = chain.relabelled({"UP": "GOOD"})
+        assert renamed.has_state("GOOD")
+        assert renamed.rate("GOOD", "DOWN") == pytest.approx(0.1)
+
+    def test_relabelled_merge_rejected(self):
+        chain = two_state_chain()
+        with pytest.raises(StateError):
+            chain.relabelled({"UP": "DOWN"})
+
+
+class TestSerialisation:
+    def test_dict_round_trip(self):
+        chain = two_state_chain()
+        rebuilt = MarkovChain.from_dict(chain.to_dict())
+        assert rebuilt.state_names == chain.state_names
+        assert np.allclose(rebuilt.generator_matrix(), chain.generator_matrix())
+
+    def test_dot_export_mentions_all_states(self):
+        chain = two_state_chain()
+        dot = chain.to_dot()
+        assert '"UP"' in dot and '"DOWN"' in dot and "digraph" in dot
+
+
+class TestBuilderBasics:
+    def test_builder_builds_equivalent_chain(self):
+        builder = ChainBuilder("built")
+        builder.add_up_state("UP").add_down_state("DOWN")
+        builder.add_transition("UP", "DOWN", 0.1).add_transition("DOWN", "UP", 1.0)
+        chain = builder.build()
+        assert chain.rate("UP", "DOWN") == pytest.approx(0.1)
+
+    def test_builder_zero_rate_dropped(self):
+        builder = ChainBuilder()
+        builder.add_up_state("A").add_up_state("B")
+        builder.add_transition("A", "B", 0.0)
+        builder.add_transition("A", "B", 1.0)
+        builder.add_transition("B", "A", 1.0)
+        assert builder.n_transitions == 2
+
+    def test_builder_duplicate_state_rejected(self):
+        builder = ChainBuilder()
+        builder.add_up_state("A")
+        with pytest.raises(StateError):
+            builder.add_up_state("A")
+
+    def test_builder_undeclared_state_rejected(self):
+        builder = ChainBuilder()
+        builder.add_up_state("A")
+        with pytest.raises(StateError):
+            builder.add_transition("A", "B", 1.0)
+
+    def test_builder_bidirectional(self):
+        builder = ChainBuilder()
+        builder.add_up_state("A").add_down_state("B")
+        builder.add_bidirectional("A", "B", 0.5, 2.0)
+        chain = builder.build()
+        assert chain.rate("A", "B") == pytest.approx(0.5)
+        assert chain.rate("B", "A") == pytest.approx(2.0)

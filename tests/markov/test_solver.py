@@ -1,0 +1,131 @@
+"""Unit tests for the steady-state solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SolverError
+from repro.markov import (
+    MarkovChain,
+    State,
+    Transition,
+    mean_time_to_absorption,
+    solve_steady_state,
+    solve_steady_state_dense,
+    solve_steady_state_least_squares,
+    solve_steady_state_power,
+    solve_steady_state_sparse,
+    stationary_vector,
+)
+
+
+def two_state(failure=0.01, repair=1.0) -> MarkovChain:
+    return MarkovChain(
+        [State("UP"), State("DOWN", up=False)],
+        [Transition("UP", "DOWN", failure), Transition("DOWN", "UP", repair)],
+    )
+
+
+def cyclic_three_state() -> MarkovChain:
+    return MarkovChain(
+        [State("A"), State("B"), State("C", up=False)],
+        [
+            Transition("A", "B", 2.0),
+            Transition("B", "C", 1.0),
+            Transition("C", "A", 0.5),
+        ],
+    )
+
+
+class TestTwoStateAnalytic:
+    """The two-state chain has the textbook solution pi_down = f / (f + r)."""
+
+    @pytest.mark.parametrize(
+        "method",
+        ["dense", "lstsq", "power", "sparse"],
+    )
+    def test_matches_closed_form(self, method):
+        failure, repair = 0.01, 1.0
+        pi = solve_steady_state(two_state(failure, repair), method=method)
+        assert pi["DOWN"] == pytest.approx(failure / (failure + repair), rel=1e-6)
+        assert pi["UP"] + pi["DOWN"] == pytest.approx(1.0)
+
+    def test_unknown_method(self):
+        with pytest.raises(SolverError):
+            solve_steady_state(two_state(), method="magic")
+
+
+class TestSolverConsistency:
+    def test_all_methods_agree_on_cycle(self):
+        chain = cyclic_three_state()
+        dense = solve_steady_state_dense(chain)
+        lstsq = solve_steady_state_least_squares(chain)
+        sparse = solve_steady_state_sparse(chain)
+        power = solve_steady_state_power(chain)
+        for name in chain.state_names:
+            assert dense[name] == pytest.approx(lstsq[name], rel=1e-8)
+            assert dense[name] == pytest.approx(sparse[name], rel=1e-8)
+            assert dense[name] == pytest.approx(power[name], rel=1e-4)
+
+    def test_cycle_closed_form(self):
+        # Stationary probabilities of a cycle are proportional to 1/exit rate.
+        chain = cyclic_three_state()
+        pi = solve_steady_state_dense(chain)
+        weights = {"A": 1 / 2.0, "B": 1 / 1.0, "C": 1 / 0.5}
+        total = sum(weights.values())
+        for name, weight in weights.items():
+            assert pi[name] == pytest.approx(weight / total, rel=1e-9)
+
+    def test_stationary_vector_order(self):
+        chain = cyclic_three_state()
+        vec = stationary_vector(chain)
+        pi = solve_steady_state_dense(chain)
+        assert np.allclose(vec, [pi[name] for name in chain.state_names])
+
+    def test_wide_rate_range_remains_normalised(self):
+        # Rates spanning 8 orders of magnitude, as in the availability models.
+        chain = MarkovChain(
+            [State("OP"), State("EXP"), State("DL", up=False)],
+            [
+                Transition("OP", "EXP", 4e-6),
+                Transition("EXP", "OP", 0.1),
+                Transition("EXP", "DL", 3e-6),
+                Transition("DL", "OP", 0.03),
+            ],
+        )
+        pi = solve_steady_state_dense(chain)
+        assert sum(pi.values()) == pytest.approx(1.0)
+        assert pi["DL"] == pytest.approx(4e-6 / 0.1 * 3e-6 / 0.03, rel=1e-3)
+
+
+class TestMeanTimeToAbsorption:
+    def test_single_transient_state(self):
+        chain = MarkovChain(
+            [State("UP"), State("DOWN", up=False)],
+            [Transition("UP", "DOWN", 0.5)],
+        )
+        assert mean_time_to_absorption(chain, ["DOWN"], "UP") == pytest.approx(2.0)
+
+    def test_birth_death_mttdl(self):
+        # Classic RAID5 MTTDL check: OP -> EXP -> DL with repair back.
+        n, lam, mu = 4, 1e-5, 0.1
+        chain = MarkovChain(
+            [State("OP"), State("EXP"), State("DL", up=False)],
+            [
+                Transition("OP", "EXP", n * lam),
+                Transition("EXP", "OP", mu),
+                Transition("EXP", "DL", (n - 1) * lam),
+            ],
+        )
+        expected = ((2 * n - 1) * lam + mu) / (n * (n - 1) * lam ** 2)
+        assert mean_time_to_absorption(chain, ["DL"], "OP") == pytest.approx(expected, rel=1e-9)
+
+    def test_start_in_absorbing_state_is_zero(self):
+        chain = two_state()
+        absorbing = chain.with_states_absorbing(["DOWN"])
+        assert mean_time_to_absorption(absorbing, ["DOWN"], "DOWN") == 0.0
+
+    def test_requires_absorbing_set(self):
+        with pytest.raises(SolverError):
+            mean_time_to_absorption(two_state(), [])

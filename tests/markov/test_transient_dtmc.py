@@ -1,0 +1,148 @@
+"""Unit tests for transient analysis and DTMC helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SolverError
+from repro.markov import (
+    MarkovChain,
+    State,
+    Transition,
+    dtmc_stationary_distribution,
+    embedded_jump_matrix,
+    interval_availability,
+    n_step_distribution,
+    occupancy_fraction,
+    point_availability,
+    solve_steady_state_dense,
+    steady_state_via_discretisation,
+    step_transition_matrix,
+    transient_distribution_expm,
+    transient_distribution_uniformization,
+)
+
+
+def two_state(failure=0.2, repair=1.0) -> MarkovChain:
+    return MarkovChain(
+        [State("UP"), State("DOWN", up=False)],
+        [Transition("UP", "DOWN", failure), Transition("DOWN", "UP", repair)],
+    )
+
+
+class TestTransient:
+    def test_matches_closed_form_two_state(self):
+        failure, repair = 0.2, 1.0
+        chain = two_state(failure, repair)
+        times = [0.0, 0.5, 1.0, 5.0, 50.0]
+        result = transient_distribution_uniformization(chain, times)
+        total = failure + repair
+        for i, t in enumerate(times):
+            expected_up = repair / total + failure / total * math.exp(-total * t)
+            assert result.probabilities[i, 0] == pytest.approx(expected_up, rel=1e-8)
+
+    def test_expm_and_uniformization_agree(self):
+        chain = two_state()
+        times = np.linspace(0.0, 20.0, 11)
+        a = transient_distribution_expm(chain, times)
+        b = transient_distribution_uniformization(chain, times)
+        assert np.allclose(a.probabilities, b.probabilities, atol=1e-8)
+
+    def test_long_time_converges_to_steady_state(self):
+        chain = two_state()
+        pi = solve_steady_state_dense(chain)
+        result = transient_distribution_uniformization(chain, [1000.0])
+        assert result.probabilities[0, 0] == pytest.approx(pi["UP"], rel=1e-6)
+
+    def test_rows_are_distributions(self):
+        chain = two_state()
+        result = transient_distribution_uniformization(chain, np.linspace(0, 10, 5))
+        assert np.allclose(result.probabilities.sum(axis=1), 1.0)
+        assert np.all(result.probabilities >= 0.0)
+
+    def test_point_availability_starts_at_one(self):
+        chain = two_state()
+        out = point_availability(chain, [0.0, 1.0, 10.0])
+        assert out["availability"][0] == pytest.approx(1.0)
+        assert np.all(np.diff(out["availability"]) <= 1e-12)
+
+    def test_interval_availability_between_point_values(self):
+        chain = two_state()
+        interval = interval_availability(chain, horizon_hours=10.0)
+        steady = solve_steady_state_dense(chain)["UP"]
+        assert steady <= interval <= 1.0
+
+    def test_invalid_inputs(self):
+        chain = two_state()
+        with pytest.raises(SolverError):
+            transient_distribution_uniformization(chain, [])
+        with pytest.raises(SolverError):
+            transient_distribution_expm(chain, [-1.0])
+        with pytest.raises(SolverError):
+            point_availability(chain, [1.0], method="nope")
+        with pytest.raises(SolverError):
+            interval_availability(chain, horizon_hours=0.0)
+
+    def test_result_accessors(self):
+        chain = two_state()
+        result = transient_distribution_uniformization(chain, [1.0, 2.0])
+        assert result.probability_of("UP").shape == (2,)
+        with pytest.raises(SolverError):
+            result.probability_of("MISSING")
+        downtime = result.expected_downtime_hours([True, False])
+        assert downtime >= 0.0
+
+
+class TestDtmcHelpers:
+    def test_embedded_jump_matrix_rows_sum_to_one(self):
+        chain = two_state()
+        p = embedded_jump_matrix(chain)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert p[0, 1] == pytest.approx(1.0)
+
+    def test_embedded_jump_matrix_absorbing_self_loop(self):
+        chain = MarkovChain(
+            [State("A"), State("B", up=False)], [Transition("A", "B", 1.0)]
+        )
+        p = embedded_jump_matrix(chain)
+        assert p[1, 1] == pytest.approx(1.0)
+
+    def test_step_matrix_matches_paper_self_loops(self):
+        # The paper's Fig. 2 annotates R1 = 1 - n*lambda for a 1-hour step.
+        chain = two_state(failure=0.2, repair=0.5)
+        p = step_transition_matrix(chain, step_hours=1.0)
+        assert p[0, 0] == pytest.approx(0.8)
+        assert p[1, 1] == pytest.approx(0.5)
+
+    def test_step_matrix_too_coarse_rejected(self):
+        chain = two_state(failure=2.0, repair=1.0)
+        with pytest.raises(SolverError):
+            step_transition_matrix(chain, step_hours=1.0)
+
+    def test_discretised_steady_state_matches_ctmc(self):
+        chain = two_state(failure=0.01, repair=0.2)
+        ctmc = solve_steady_state_dense(chain)
+        dtmc = steady_state_via_discretisation(chain, step_hours=1.0)
+        for name in chain.state_names:
+            assert dtmc[name] == pytest.approx(ctmc[name], rel=1e-8)
+
+    def test_dtmc_stationary_validates_input(self):
+        with pytest.raises(SolverError):
+            dtmc_stationary_distribution(np.array([[0.5, 0.6], [0.5, 0.5]]))
+        with pytest.raises(SolverError):
+            dtmc_stationary_distribution(np.ones((2, 3)))
+
+    def test_n_step_distribution(self):
+        p = np.array([[0.9, 0.1], [0.5, 0.5]])
+        out = n_step_distribution(p, np.array([1.0, 0.0]), 3)
+        assert out.sum() == pytest.approx(1.0)
+        with pytest.raises(SolverError):
+            n_step_distribution(p, np.array([0.7, 0.7]), 1)
+
+    def test_occupancy_fraction_sums_to_one(self):
+        chain = two_state()
+        occ = occupancy_fraction(chain, step_hours=0.5, horizon_hours=100.0)
+        assert sum(occ.values()) == pytest.approx(1.0)

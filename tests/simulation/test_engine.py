@@ -1,0 +1,132 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation import SimulationEngine, make_event
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule_at(5.0, "b", lambda e: order.append("b"))
+        engine.schedule_at(1.0, "a", lambda e: order.append("a"))
+        engine.schedule_at(9.0, "c", lambda e: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+        assert engine.events_processed == 3
+        assert engine.now == pytest.approx(9.0)
+
+    def test_ties_preserve_insertion_order(self):
+        engine = SimulationEngine()
+        order = []
+        for name in ("first", "second", "third"):
+            engine.schedule_at(2.0, name, lambda e, n=name: order.append(n))
+        engine.run()
+        assert order == ["first", "second", "third"]
+
+    def test_schedule_after_uses_current_time(self):
+        engine = SimulationEngine()
+        times = []
+
+        def chain(event):
+            times.append(engine.now)
+            if len(times) < 3:
+                engine.schedule_after(1.5, "next", chain)
+
+        engine.schedule_after(1.0, "start", chain)
+        engine.run()
+        assert times == pytest.approx([1.0, 2.5, 4.0])
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = SimulationEngine()
+        engine.schedule_at(1.0, "x", lambda e: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(0.5, "late")
+        with pytest.raises(SimulationError):
+            engine.schedule_after(-1.0, "negative")
+
+    def test_cancelled_events_are_skipped(self):
+        engine = SimulationEngine()
+        fired = []
+        event = engine.schedule_at(1.0, "x", lambda e: fired.append("x"))
+        event.cancel()
+        engine.schedule_at(2.0, "y", lambda e: fired.append("y"))
+        engine.run()
+        assert fired == ["y"]
+
+
+class TestHorizon:
+    def test_horizon_stops_processing(self):
+        engine = SimulationEngine(horizon_hours=10.0)
+        fired = []
+        engine.schedule_at(5.0, "in", lambda e: fired.append("in"))
+        engine.schedule_at(15.0, "out", lambda e: fired.append("out"))
+        end = engine.run()
+        assert fired == ["in"]
+        assert end == pytest.approx(10.0)
+        assert engine.pending_events == 1
+
+    def test_run_until_argument(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(5.0, "a", lambda e: fired.append("a"))
+        engine.schedule_at(20.0, "b", lambda e: fired.append("b"))
+        engine.run(until=10.0)
+        assert fired == ["a"] and engine.now == pytest.approx(10.0)
+        engine.run(until=30.0)
+        assert fired == ["a", "b"]
+
+    def test_clock_advances_to_horizon_without_events(self):
+        engine = SimulationEngine(horizon_hours=100.0)
+        assert engine.run() == pytest.approx(100.0)
+
+    def test_invalid_horizon(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine(horizon_hours=0.0)
+
+    def test_run_until_before_now_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule_at(5.0, "a", lambda e: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.run(until=1.0)
+
+
+class TestStopAndTrace:
+    def test_stop_halts_loop(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def stopper(event):
+            fired.append(event.name)
+            engine.stop()
+
+        engine.schedule_at(1.0, "a", stopper)
+        engine.schedule_at(2.0, "b", lambda e: fired.append("b"))
+        engine.run()
+        assert fired == ["a"]
+
+    def test_trace_recording(self):
+        engine = SimulationEngine()
+        engine.enable_trace()
+        engine.schedule_at(3.0, "x", lambda e: engine.record("thing", subject="disk-1", detail=1))
+        engine.run()
+        assert len(engine.trace) == 1
+        record = engine.trace[0]
+        assert record.time == pytest.approx(3.0)
+        assert "thing" in record.describe()
+
+    def test_trace_disabled_by_default(self):
+        engine = SimulationEngine()
+        engine.schedule_at(1.0, "x", lambda e: engine.record("ignored"))
+        engine.run()
+        assert engine.trace == []
+
+    def test_make_event_validation(self):
+        with pytest.raises(SimulationError):
+            make_event(-1.0)

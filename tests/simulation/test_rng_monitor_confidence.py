@@ -1,0 +1,158 @@
+"""Unit tests for RNG streams, monitors and confidence intervals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation import (
+    CounterSet,
+    RandomStreams,
+    TimeWeightedValue,
+    UpDownMonitor,
+    batch_means,
+    confidence_interval,
+    required_samples,
+    t_critical,
+)
+
+
+class TestRandomStreams:
+    def test_same_seed_same_draws(self):
+        a = RandomStreams(42).stream("failures").random(5)
+        b = RandomStreams(42).stream("failures").random(5)
+        assert np.allclose(a, b)
+
+    def test_different_streams_differ(self):
+        streams = RandomStreams(42)
+        a = streams.stream("failures").random(5)
+        b = streams.stream("repairs").random(5)
+        assert not np.allclose(a, b)
+
+    def test_stream_independent_of_creation_order(self):
+        first = RandomStreams(7)
+        first.stream("a")
+        draw_after_other = first.stream("b").random(3)
+        second = RandomStreams(7)
+        draw_direct = second.stream("b").random(3)
+        assert np.allclose(draw_after_other, draw_direct)
+
+    def test_spawn_child_differs_from_parent(self):
+        parent = RandomStreams(3)
+        child = parent.spawn_child()
+        assert not np.allclose(parent.stream("x").random(4), child.stream("x").random(4))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SimulationError):
+            RandomStreams(0).stream("")
+
+    def test_known_streams_listing(self):
+        streams = RandomStreams(0)
+        streams.stream("b")
+        streams.stream("a")
+        assert streams.known_streams() == ["a", "b"]
+
+
+class TestTimeWeightedValue:
+    def test_piecewise_constant_mean(self):
+        monitor = TimeWeightedValue(initial_value=1.0)
+        monitor.update(10.0, 0.0)
+        monitor.update(15.0, 1.0)
+        # 10 hours at 1, 5 hours at 0, then 5 hours at 1 up to t=20.
+        assert monitor.mean(20.0) == pytest.approx(15.0 / 20.0)
+
+    def test_backwards_update_rejected(self):
+        monitor = TimeWeightedValue()
+        monitor.update(5.0, 1.0)
+        with pytest.raises(SimulationError):
+            monitor.update(4.0, 0.0)
+
+
+class TestUpDownMonitor:
+    def test_availability_accounting(self):
+        monitor = UpDownMonitor()
+        monitor.mark_down(10.0, cause="human_error")
+        monitor.mark_up(12.0)
+        monitor.mark_down(50.0, cause="ddf")
+        monitor.mark_up(55.0)
+        assert monitor.availability(100.0) == pytest.approx(93.0 / 100.0)
+        assert monitor.downtime_hours(100.0) == pytest.approx(7.0)
+        assert monitor.outage_count() == 2
+        assert monitor.outage_durations() == pytest.approx([2.0, 5.0])
+        assert monitor.outage_causes() == {"human_error": 1, "ddf": 1}
+
+    def test_idempotent_marks(self):
+        monitor = UpDownMonitor()
+        monitor.mark_up(5.0)
+        monitor.mark_down(10.0)
+        monitor.mark_down(11.0)
+        monitor.mark_up(12.0)
+        assert monitor.outage_count() == 1
+
+    def test_finalize_closes_open_outage(self):
+        monitor = UpDownMonitor()
+        monitor.mark_down(90.0)
+        monitor.finalize(100.0)
+        assert monitor.outage_count() == 1
+        assert monitor.outage_durations()[0] == pytest.approx(10.0)
+
+    def test_counter_set(self):
+        counters = CounterSet()
+        counters.increment("disk_failure")
+        counters.increment("disk_failure", 2)
+        other = CounterSet({"human_error": 1})
+        merged = counters.merge(other)
+        assert merged.get("disk_failure") == 3
+        assert merged.get("human_error") == 1
+        assert merged.get("missing") == 0
+
+
+class TestConfidence:
+    def test_interval_contains_true_mean_for_normal_samples(self, rng):
+        samples = rng.normal(10.0, 2.0, size=2000)
+        interval = confidence_interval(samples, confidence=0.99)
+        assert interval.contains(10.0)
+        assert interval.lower < interval.mean < interval.upper
+        assert interval.n_samples == 2000
+
+    def test_half_width_shrinks_with_samples(self, rng):
+        small = confidence_interval(rng.normal(0, 1, 100), 0.95)
+        large = confidence_interval(rng.normal(0, 1, 10_000), 0.95)
+        assert large.half_width < small.half_width
+
+    def test_t_critical_monotone_in_confidence(self):
+        assert t_critical(0.99, 30) > t_critical(0.95, 30)
+
+    def test_t_critical_validation(self):
+        with pytest.raises(SimulationError):
+            t_critical(1.5, 30)
+        with pytest.raises(SimulationError):
+            t_critical(0.95, 1)
+
+    def test_confidence_interval_needs_two_samples(self):
+        with pytest.raises(SimulationError):
+            confidence_interval([1.0])
+
+    def test_required_samples_scales_with_precision(self):
+        loose = required_samples(1.0, 0.1, confidence=0.95)
+        tight = required_samples(1.0, 0.01, confidence=0.95)
+        assert tight > loose
+        assert required_samples(0.0, 0.1) == 2
+
+    def test_required_samples_cap(self):
+        with pytest.raises(SimulationError):
+            required_samples(100.0, 1e-9, max_samples=1000)
+
+    def test_batch_means_shape(self):
+        batches = batch_means(list(range(100)), n_batches=10)
+        assert batches.shape == (10,)
+        assert batches.mean() == pytest.approx(np.mean(range(100)), rel=0.05)
+
+    def test_batch_means_validation(self):
+        with pytest.raises(SimulationError):
+            batch_means([1, 2, 3], n_batches=10)
+
+    def test_relative_half_width(self, rng):
+        interval = confidence_interval(rng.normal(5.0, 0.1, 500))
+        assert interval.relative_half_width() < 0.01

@@ -1,0 +1,158 @@
+"""Unit tests for the disk array state machine and multi-array subsystem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StorageModelError
+from repro.storage import DiskArray, DiskState, DiskSubsystem, RaidGeometry
+
+
+@pytest.fixture
+def raid5_array() -> DiskArray:
+    return DiskArray("a0", RaidGeometry.raid5(3), hot_spares=1)
+
+
+class TestArrayHealth:
+    def test_initially_accessible(self, raid5_array):
+        assert raid5_array.is_data_accessible()
+        assert raid5_array.missing_disks() == 0
+        assert raid5_array.available_spares() == 1
+
+    def test_single_failure_keeps_data_accessible(self, raid5_array, rng):
+        raid5_array.fail_disk(10.0, rng=rng)
+        assert raid5_array.missing_disks() == 1
+        assert raid5_array.is_data_accessible()
+
+    def test_double_failure_loses_access(self, raid5_array, rng):
+        raid5_array.fail_disk(10.0, rng=rng)
+        raid5_array.fail_disk(11.0, rng=rng)
+        assert raid5_array.missing_disks() == 2
+        assert not raid5_array.is_data_accessible()
+
+    def test_wrong_removal_counts_as_missing(self, raid5_array, rng):
+        raid5_array.fail_disk(10.0, rng=rng)
+        raid5_array.wrongly_remove_disk(11.0, rng=rng)
+        assert raid5_array.missing_disks() == 2
+        assert not raid5_array.is_data_accessible()
+        assert len(raid5_array.wrongly_removed_disks()) == 1
+
+    def test_reinsert_restores_access(self, raid5_array, rng):
+        raid5_array.fail_disk(10.0, rng=rng)
+        wrong = raid5_array.wrongly_remove_disk(11.0, rng=rng)
+        raid5_array.reinsert_disk(12.0, wrong)
+        assert raid5_array.is_data_accessible()
+
+    def test_rebuild_cycle(self, raid5_array, rng):
+        failed = raid5_array.fail_disk(10.0, rng=rng)
+        raid5_array.start_rebuild(11.0, failed)
+        assert raid5_array.count_in_state(DiskState.REBUILDING) == 1
+        raid5_array.complete_rebuild(21.0, failed)
+        assert raid5_array.missing_disks() == 0
+
+    def test_status_snapshot(self, raid5_array, rng):
+        raid5_array.fail_disk(10.0, rng=rng)
+        status = raid5_array.status(10.5)
+        assert status.failed_disks == 1
+        assert status.operational_disks == 3
+        assert status.data_accessible
+
+    def test_restore_all(self, raid5_array, rng):
+        raid5_array.fail_disk(10.0, rng=rng)
+        raid5_array.fail_disk(11.0, rng=rng)
+        raid5_array.restore_all(50.0)
+        assert raid5_array.missing_disks() == 0
+
+    def test_state_histogram(self, raid5_array, rng):
+        raid5_array.fail_disk(10.0, rng=rng)
+        histogram = raid5_array.state_histogram()
+        assert histogram["failed"] == 1
+        assert histogram["operational"] == 3
+
+    def test_fail_all_disks_then_error(self, raid5_array, rng):
+        for _ in range(4):
+            raid5_array.fail_disk(10.0, rng=rng)
+        with pytest.raises(StorageModelError):
+            raid5_array.fail_disk(11.0, rng=rng)
+
+    def test_disk_lookup(self, raid5_array):
+        disk = raid5_array.disks[0]
+        assert raid5_array.disk(disk.disk_id) is disk
+        with pytest.raises(StorageModelError):
+            raid5_array.disk("missing")
+
+    def test_invalid_construction(self):
+        with pytest.raises(StorageModelError):
+            DiskArray("", RaidGeometry.raid5(3))
+        with pytest.raises(StorageModelError):
+            DiskArray("a", RaidGeometry.raid5(3), hot_spares=-1)
+
+
+class TestSpares:
+    def test_allocate_and_exhaust(self, raid5_array):
+        spare = raid5_array.allocate_spare(5.0)
+        assert spare is not None
+        assert raid5_array.available_spares() == 0
+        assert raid5_array.allocate_spare(6.0) is None
+
+    def test_release_spare(self, raid5_array):
+        spare = raid5_array.allocate_spare(5.0)
+        raid5_array.release_spare(6.0, spare)
+        assert raid5_array.available_spares() == 1
+
+    def test_add_spare(self, raid5_array):
+        raid5_array.add_spare(5.0)
+        assert raid5_array.available_spares() == 2
+
+    def test_release_foreign_disk_rejected(self, raid5_array):
+        with pytest.raises(StorageModelError):
+            raid5_array.release_spare(1.0, raid5_array.disks[0])
+
+
+class TestSubsystem:
+    def test_for_usable_capacity(self):
+        subsystem = DiskSubsystem.for_usable_capacity(RaidGeometry.raid5(3), usable_disks=21)
+        assert subsystem.n_arrays == 7
+        assert subsystem.total_disks == 28
+        assert subsystem.usable_disks == 21
+        assert subsystem.effective_replication_factor == pytest.approx(4 / 3)
+
+    def test_capacity_must_divide(self):
+        with pytest.raises(StorageModelError):
+            DiskSubsystem.for_usable_capacity(RaidGeometry.raid5(3), usable_disks=20)
+
+    def test_raid1_needs_more_disks_for_same_capacity(self):
+        mirror = DiskSubsystem.for_usable_capacity(RaidGeometry.raid1(2), usable_disks=21)
+        parity = DiskSubsystem.for_usable_capacity(RaidGeometry.raid5(7), usable_disks=21)
+        assert mirror.total_disks == 42
+        assert parity.total_disks == 24
+        assert mirror.total_disks > parity.total_disks
+
+    def test_aggregate_availability_series(self):
+        subsystem = DiskSubsystem(RaidGeometry.raid5(3), n_arrays=7)
+        aggregated = subsystem.aggregate_availability(0.999, disk_failure_rate_per_hour=1e-6)
+        assert aggregated.subsystem_availability == pytest.approx(0.999 ** 7, rel=1e-9)
+        assert aggregated.expected_disk_failures_per_year == pytest.approx(28 * 1e-6 * 8760)
+
+    def test_aggregate_mixed(self):
+        subsystem = DiskSubsystem(RaidGeometry.raid5(3), n_arrays=3)
+        value = subsystem.aggregate_mixed_availability([0.9, 0.99, 0.999])
+        assert value == pytest.approx(0.9 * 0.99 * 0.999)
+        with pytest.raises(StorageModelError):
+            subsystem.aggregate_mixed_availability([0.9])
+
+    def test_arrays_materialised_lazily(self):
+        subsystem = DiskSubsystem(RaidGeometry.raid1(2), n_arrays=4, hot_spares_per_array=1)
+        arrays = subsystem.arrays()
+        assert len(arrays) == 4
+        assert all(a.available_spares() == 1 for a in arrays)
+        assert subsystem.total_spares == 4
+
+    def test_describe(self):
+        payload = DiskSubsystem(RaidGeometry.raid5(7), n_arrays=3).describe()
+        assert payload["n_arrays"] == 3
+        assert payload["total_disks"] == 24
+
+    def test_invalid_construction(self):
+        with pytest.raises(StorageModelError):
+            DiskSubsystem(RaidGeometry.raid5(3), n_arrays=0)

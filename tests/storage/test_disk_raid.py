@@ -1,0 +1,158 @@
+"""Unit tests for the disk model and RAID geometries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, Weibull
+from repro.exceptions import RaidConfigurationError, StorageModelError
+from repro.storage import Disk, DiskParameters, DiskState, RaidGeometry, RaidLevel
+from repro.storage.raid import paper_configurations
+
+
+class TestDiskLifecycle:
+    def test_initial_state(self):
+        disk = Disk("d0")
+        assert disk.state is DiskState.OPERATIONAL
+        assert disk.is_available
+        assert disk.failure_count == 0
+
+    def test_fail_and_replace(self):
+        disk = Disk("d0")
+        disk.fail(10.0)
+        assert disk.state is DiskState.FAILED and not disk.is_available
+        disk.replace(20.0)
+        assert disk.state is DiskState.OPERATIONAL
+        assert disk.failure_count == 1
+
+    def test_rebuild_path(self):
+        disk = Disk("d0")
+        disk.fail(5.0)
+        disk.start_rebuild(6.0)
+        assert disk.state is DiskState.REBUILDING and not disk.is_available
+        disk.complete_rebuild(16.0)
+        assert disk.is_available
+
+    def test_wrong_removal_and_reinsert(self):
+        disk = Disk("d0")
+        disk.wrongly_remove(3.0)
+        assert disk.state is DiskState.WRONGLY_REMOVED
+        assert disk.wrong_removal_count == 1
+        disk.reinsert(4.0)
+        assert disk.is_available
+
+    def test_invalid_transitions_rejected(self):
+        disk = Disk("d0")
+        with pytest.raises(StorageModelError):
+            disk.reinsert(1.0)
+        disk.fail(1.0)
+        with pytest.raises(StorageModelError):
+            disk.wrongly_remove(2.0)
+        with pytest.raises(StorageModelError):
+            disk.complete_rebuild(2.0)
+
+    def test_time_cannot_go_backwards(self):
+        disk = Disk("d0")
+        disk.fail(10.0)
+        with pytest.raises(StorageModelError):
+            disk.replace(5.0)
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(StorageModelError):
+            Disk("")
+
+    def test_sample_time_to_failure_uses_distribution(self, rng):
+        params = DiskParameters(failure_distribution=Exponential(1.0))
+        disk = Disk("d0", params)
+        samples = [disk.sample_time_to_failure(rng) for _ in range(2000)]
+        assert np.mean(samples) == pytest.approx(1.0, rel=0.1)
+
+    def test_disk_parameters_validation(self):
+        with pytest.raises(StorageModelError):
+            DiskParameters(capacity_gb=0.0)
+        with pytest.raises(StorageModelError):
+            DiskParameters(lse_rate_per_hour=-1.0)
+
+    def test_weibull_failure_distribution_accepted(self, rng):
+        params = DiskParameters(failure_distribution=Weibull(shape=1.2, scale=1e5))
+        disk = Disk("d0", params)
+        assert disk.sample_time_to_failure(rng) > 0.0
+
+
+class TestRaidGeometry:
+    def test_raid5_3_plus_1(self):
+        geometry = RaidGeometry.raid5(3)
+        assert geometry.n_disks == 4
+        assert geometry.data_disks == 3
+        assert geometry.parity_disks == 1
+        assert geometry.fault_tolerance == 1
+        assert geometry.label == "RAID5(3+1)"
+        assert geometry.effective_replication_factor == pytest.approx(4 / 3)
+
+    def test_raid1_mirror(self):
+        geometry = RaidGeometry.raid1(2)
+        assert geometry.n_disks == 2
+        assert geometry.data_disks == 1
+        assert geometry.effective_replication_factor == pytest.approx(2.0)
+        assert geometry.label == "RAID1(1+1)"
+
+    def test_raid6(self):
+        geometry = RaidGeometry.raid6(6)
+        assert geometry.n_disks == 8
+        assert geometry.fault_tolerance == 2
+        assert geometry.effective_replication_factor == pytest.approx(8 / 6)
+
+    def test_raid0_and_raid10(self):
+        assert RaidGeometry.raid0(4).fault_tolerance == 0
+        raid10 = RaidGeometry.raid10(3)
+        assert raid10.n_disks == 6 and raid10.data_disks == 3
+
+    def test_paper_erf_values(self):
+        labels = {g.label: g.effective_replication_factor for g in paper_configurations()}
+        assert labels["RAID1(1+1)"] == pytest.approx(2.0)
+        assert labels["RAID5(3+1)"] == pytest.approx(1.333, rel=1e-3)
+        assert labels["RAID5(7+1)"] == pytest.approx(1.143, rel=1e-3)
+
+    @pytest.mark.parametrize(
+        "label,expected_disks",
+        [("RAID5(3+1)", 4), ("RAID5(7+1)", 8), ("RAID1(1+1)", 2), ("RAID6(6+2)", 8), ("raid0(5)", 5)],
+    )
+    def test_from_label(self, label, expected_disks):
+        assert RaidGeometry.from_label(label).n_disks == expected_disks
+
+    def test_from_label_invalid(self):
+        with pytest.raises(RaidConfigurationError):
+            RaidGeometry.from_label("RAIDX(3+1)")
+        with pytest.raises(RaidConfigurationError):
+            RaidGeometry.from_label("RAID5")
+
+    def test_survives(self):
+        geometry = RaidGeometry.raid5(3)
+        assert geometry.survives(0) and geometry.survives(1)
+        assert not geometry.survives(2)
+        with pytest.raises(RaidConfigurationError):
+            geometry.survives(-1)
+
+    def test_capacity_helpers(self):
+        geometry = RaidGeometry.raid5(3)
+        assert geometry.usable_capacity_gb(4000) == pytest.approx(12_000)
+        assert geometry.raw_capacity_gb(4000) == pytest.approx(16_000)
+        assert geometry.rebuild_read_gb(4000) == pytest.approx(12_000)
+        assert RaidGeometry.raid1(2).rebuild_read_gb(4000) == pytest.approx(4000)
+
+    def test_capacity_validation(self):
+        with pytest.raises(RaidConfigurationError):
+            RaidGeometry.raid5(3).usable_capacity_gb(0.0)
+
+    def test_invalid_counts(self):
+        with pytest.raises(RaidConfigurationError):
+            RaidGeometry.raid5(1)
+        with pytest.raises(RaidConfigurationError):
+            RaidGeometry.raid1(1)
+
+    def test_describe(self):
+        payload = RaidGeometry.raid5(7).describe()
+        assert payload["label"] == "RAID5(7+1)"
+        assert payload["level"] == RaidLevel.RAID5.value
+        assert payload["erf"] == pytest.approx(8 / 7)

@@ -1,0 +1,123 @@
+"""Unit tests for rebuild models, backup system and latent sector errors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StorageModelError
+from repro.storage import (
+    BackupSystem,
+    BandwidthRebuildModel,
+    FixedRebuildModel,
+    LatentSectorErrorModel,
+    LseParameters,
+    RaidGeometry,
+    RateRebuildModel,
+)
+
+
+class TestRebuildModels:
+    def test_rate_rebuild_mean(self, rng):
+        model = RateRebuildModel(0.1)
+        assert model.mean_hours() == pytest.approx(10.0)
+        assert model.equivalent_rate() == pytest.approx(0.1)
+        samples = [model.sample_hours(rng) for _ in range(5000)]
+        assert np.mean(samples) == pytest.approx(10.0, rel=0.1)
+
+    def test_fixed_rebuild(self, rng):
+        model = FixedRebuildModel(10.0)
+        assert model.mean_hours() == 10.0
+        assert model.sample_hours(rng) == 10.0
+        assert model.as_distribution().mean() == pytest.approx(10.0)
+
+    def test_bandwidth_rebuild_mean(self):
+        model = BandwidthRebuildModel(
+            RaidGeometry.raid5(3), disk_capacity_gb=4000.0, rebuild_bandwidth_mb_s=100.0
+        )
+        expected_hours = 4000.0 * 1024.0 / 100.0 / 3600.0
+        assert model.mean_hours() == pytest.approx(expected_hours)
+
+    def test_bandwidth_rebuild_load_factor(self):
+        fast = BandwidthRebuildModel(RaidGeometry.raid5(3), 4000.0, 100.0)
+        slow = BandwidthRebuildModel(RaidGeometry.raid5(3), 4000.0, 100.0, foreground_load_factor=3.0)
+        assert slow.mean_hours() == pytest.approx(3.0 * fast.mean_hours())
+
+    def test_bandwidth_rebuild_jitter(self, rng):
+        model = BandwidthRebuildModel(RaidGeometry.raid5(3), 4000.0, 100.0, jitter_cv=0.3)
+        samples = [model.sample_hours(rng) for _ in range(2000)]
+        assert np.mean(samples) == pytest.approx(model.mean_hours(), rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(StorageModelError):
+            RateRebuildModel(0.0)
+        with pytest.raises(StorageModelError):
+            FixedRebuildModel(-1.0)
+        with pytest.raises(StorageModelError):
+            BandwidthRebuildModel(RaidGeometry.raid5(3), 0.0, 100.0)
+        with pytest.raises(StorageModelError):
+            BandwidthRebuildModel(RaidGeometry.raid5(3), 4000.0, 100.0, foreground_load_factor=0.5)
+
+
+class TestBackupSystem:
+    def test_from_rate_matches_paper_mu_ddf(self, rng):
+        backup = BackupSystem.from_rate(0.03)
+        assert backup.mean_recovery_hours() == pytest.approx(1 / 0.03)
+        assert backup.equivalent_rate() == pytest.approx(0.03)
+        samples = [backup.sample_recovery_hours(rng) for _ in range(3000)]
+        assert np.mean(samples) == pytest.approx(1 / 0.03, rel=0.1)
+        assert backup.restores_performed == 3000
+
+    def test_fixed_duration(self, rng):
+        backup = BackupSystem.from_fixed_duration(24.0)
+        assert backup.sample_recovery_hours(rng) == 24.0
+
+    def test_from_capacity(self):
+        backup = BackupSystem.from_capacity(12_000.0, restore_bandwidth_mb_s=200.0)
+        expected = 12_000.0 * 1024.0 / 200.0 / 3600.0
+        assert backup.mean_recovery_hours() == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(StorageModelError):
+            BackupSystem.from_rate(0.0)
+        with pytest.raises(StorageModelError):
+            BackupSystem.from_fixed_duration(-1.0)
+        with pytest.raises(StorageModelError):
+            BackupSystem.from_capacity(0.0, 100.0)
+
+
+class TestLatentSectorErrors:
+    def test_rate_conversion(self):
+        model = LatentSectorErrorModel(LseParameters(errors_per_disk_year=2.0))
+        assert model.rate_per_hour() == pytest.approx(2.0 / 8760.0)
+        assert model.expected_errors(8760.0) == pytest.approx(2.0)
+
+    def test_scrubbing_caps_exposure(self):
+        model = LatentSectorErrorModel(LseParameters(scrub_interval_hours=100.0))
+        assert model.effective_exposure_hours(10_000.0) == pytest.approx(50.0)
+        no_scrub = LatentSectorErrorModel(LseParameters(scrub_interval_hours=0.0))
+        assert no_scrub.effective_exposure_hours(10_000.0) == pytest.approx(10_000.0)
+
+    def test_probability_monotone_in_exposure(self):
+        model = LatentSectorErrorModel(LseParameters(scrub_interval_hours=0.0))
+        assert model.probability_of_lse(10.0) < model.probability_of_lse(1000.0)
+
+    def test_rebuild_block_probability_monotone_in_disks(self):
+        model = LatentSectorErrorModel()
+        few = model.probability_rebuild_blocked(3, rebuild_hours=10.0)
+        many = model.probability_rebuild_blocked(7, rebuild_hours=10.0)
+        assert 0.0 <= few <= many <= 1.0
+
+    def test_sample_error_count(self, rng):
+        model = LatentSectorErrorModel(LseParameters(errors_per_disk_year=5.0, scrub_interval_hours=0.0))
+        counts = [model.sample_error_count(8760.0, rng) for _ in range(2000)]
+        assert np.mean(counts) == pytest.approx(5.0, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(StorageModelError):
+            LseParameters(errors_per_disk_year=-1.0)
+        model = LatentSectorErrorModel()
+        with pytest.raises(StorageModelError):
+            model.expected_errors(-1.0)
+        with pytest.raises(StorageModelError):
+            model.probability_rebuild_blocked(0, 10.0)

@@ -1,0 +1,62 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestSolveCommand:
+    def test_default_solve(self, capsys):
+        assert main(["solve"]) == 0
+        out = capsys.readouterr().out
+        assert "nines:" in out and "RAID5(3+1)" in out
+
+    def test_solve_raid1_failover(self, capsys):
+        assert main([
+            "solve", "--raid", "RAID1(1+1)", "--hep", "0.01",
+            "--model", "automatic_failover", "--failure-rate", "1e-5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "automatic_failover" in out and "RAID1(1+1)" in out
+
+    def test_solve_baseline_matches_library(self, capsys):
+        from repro import ModelKind, paper_parameters, solve_model
+
+        main(["solve", "--model", "baseline", "--hep", "0"])
+        out = capsys.readouterr().out
+        expected = solve_model(paper_parameters(hep=0.0), ModelKind.BASELINE).nines
+        assert f"{expected:.3f}" in out
+
+
+class TestCompareCommand:
+    def test_compare_prints_ranking(self, capsys):
+        assert main(["compare", "--hep", "0.01", "--failure-rate", "1e-6"]) == 0
+        out = capsys.readouterr().out
+        assert "ranking (best first):" in out
+        assert "RAID5(7+1)" in out
+
+    def test_compare_hep_zero_prefers_raid1(self, capsys):
+        main(["compare", "--hep", "0", "--failure-rate", "1e-6"])
+        out = capsys.readouterr().out
+        ranking_line = [line for line in out.splitlines() if line.startswith("ranking")][0]
+        assert ranking_line.split(": ")[1].split(" > ")[0] == "RAID1(1+1)"
+
+
+class TestReproduceCommand:
+    def test_reproduce_without_monte_carlo(self, capsys):
+        assert main(["reproduce", "--no-mc"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out and "Fig. 7" in out
+        assert "max_underestimation_factor" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--model", "bogus"])
