@@ -1,12 +1,21 @@
-"""EXP-F1 / engine benchmarks — Monte Carlo simulator and Markov solver throughput.
+"""EXP-F1 / engine benchmarks — Monte Carlo executors and Markov solver throughput.
 
 These are not figures from the paper but the performance substrate behind
-them: how fast one simulated lifetime runs (which bounds how close to the
+them: how fast the Monte Carlo studies run (which bounds how close to the
 paper's 1e6-iteration setting a given time budget allows) and how fast the
 Markov chains solve (which bounds the analytical sweeps).
+
+Since the policy-registry refactor the Monte Carlo runner has two execution
+paths — the scalar per-lifetime event loop (the seed implementation, kept as
+the traced/debug path) and the vectorised struct-of-arrays batch executor.
+The ``*_scalar`` / ``*_batch`` pairs below time both at identical iteration
+counts; the 10k-lifetime comparison is the acceptance benchmark for the
+batch kernel.
 """
 
 from __future__ import annotations
+
+import time
 
 from repro.core.models import ModelKind, solve_model
 from repro.core.montecarlo import MonteCarloConfig, run_monte_carlo
@@ -15,34 +24,86 @@ from repro.core.parameters import paper_parameters
 from repro.human.policy import PolicyKind
 
 
-def test_monte_carlo_conventional_throughput(benchmark, bench_seed):
-    """Time a 2000-lifetime conventional-policy Monte Carlo study."""
-    config = MonteCarloConfig(
+def _bench_config(policy, n_iterations: int, seed: int) -> MonteCarloConfig:
+    return MonteCarloConfig(
         params=paper_parameters(disk_failure_rate=2.5e-6, hep=0.01),
-        policy=PolicyKind.CONVENTIONAL,
-        n_iterations=2000,
+        policy=policy,
+        n_iterations=n_iterations,
         horizon_hours=87_600.0,
-        seed=bench_seed,
+        seed=seed,
     )
+
+
+def test_monte_carlo_conventional_throughput(benchmark, bench_seed):
+    """Time a 2000-lifetime conventional-policy study (auto = batch path)."""
+    config = _bench_config(PolicyKind.CONVENTIONAL, 2000, bench_seed)
     result = benchmark.pedantic(run_monte_carlo, args=(config,), iterations=1, rounds=3)
     print()
     print(f"conventional MC: availability={result.availability:.10f} nines={result.nines:.2f}")
     assert 0.0 < result.availability <= 1.0
 
 
+def test_monte_carlo_conventional_scalar_throughput(benchmark, bench_seed):
+    """Time the same 2000-lifetime study on the scalar (seed) path."""
+    config = _bench_config(PolicyKind.CONVENTIONAL, 2000, bench_seed).with_executor("scalar")
+    result = benchmark.pedantic(run_monte_carlo, args=(config,), iterations=1, rounds=3)
+    print()
+    print(f"conventional MC (scalar): availability={result.availability:.10f}")
+    assert 0.0 < result.availability <= 1.0
+
+
 def test_monte_carlo_failover_throughput(benchmark, bench_seed):
-    """Time a 2000-lifetime automatic-fail-over Monte Carlo study."""
-    config = MonteCarloConfig(
-        params=paper_parameters(disk_failure_rate=2.5e-6, hep=0.01),
-        policy=PolicyKind.AUTOMATIC_FAILOVER,
-        n_iterations=2000,
-        horizon_hours=87_600.0,
-        seed=bench_seed,
-    )
+    """Time a 2000-lifetime automatic-fail-over study (auto = batch path)."""
+    config = _bench_config(PolicyKind.AUTOMATIC_FAILOVER, 2000, bench_seed)
     result = benchmark.pedantic(run_monte_carlo, args=(config,), iterations=1, rounds=3)
     print()
     print(f"fail-over MC: availability={result.availability:.10f} nines={result.nines:.2f}")
     assert 0.0 < result.availability <= 1.0
+
+
+def test_monte_carlo_failover_scalar_throughput(benchmark, bench_seed):
+    """Time the same 2000-lifetime fail-over study on the scalar path."""
+    config = _bench_config(PolicyKind.AUTOMATIC_FAILOVER, 2000, bench_seed).with_executor("scalar")
+    result = benchmark.pedantic(run_monte_carlo, args=(config,), iterations=1, rounds=3)
+    print()
+    print(f"fail-over MC (scalar): availability={result.availability:.10f}")
+    assert 0.0 < result.availability <= 1.0
+
+
+def test_monte_carlo_hot_spare_batch_throughput(benchmark, bench_seed):
+    """Time a 2000-lifetime hot-spare-pool study through the registry."""
+    config = _bench_config("hot_spare_pool", 2000, bench_seed)
+    result = benchmark.pedantic(run_monte_carlo, args=(config,), iterations=1, rounds=3)
+    print()
+    print(f"hot-spare MC: availability={result.availability:.10f} nines={result.nines:.2f}")
+    assert 0.0 < result.availability <= 1.0
+
+
+def test_batch_beats_scalar_at_10k_iterations(benchmark, bench_seed):
+    """Acceptance check: the batch kernel outruns the scalar loop at 10k lifetimes."""
+    config = _bench_config(PolicyKind.CONVENTIONAL, 10_000, bench_seed)
+
+    start = time.perf_counter()
+    scalar = run_monte_carlo(config.with_executor("scalar"))
+    scalar_seconds = time.perf_counter() - start
+
+    batch = benchmark.pedantic(
+        run_monte_carlo, args=(config.with_executor("batch"),), iterations=1, rounds=3
+    )
+    # Best-of-3 from the benchmark's own measurements; no extra run needed.
+    batch_seconds = benchmark.stats.stats.min
+
+    print()
+    print(
+        f"10k lifetimes: scalar {scalar_seconds:.2f}s vs batch {batch_seconds:.2f}s "
+        f"(speedup {scalar_seconds / max(batch_seconds, 1e-9):.1f}x)"
+    )
+    # Same estimator, overlapping 99% confidence intervals.
+    assert max(scalar.interval.lower, batch.interval.lower) <= min(
+        scalar.interval.upper, batch.interval.upper
+    )
+    assert batch_seconds < scalar_seconds
+    assert batch.n_iterations == 10_000
 
 
 def test_markov_solver_throughput(benchmark):

@@ -32,10 +32,14 @@ from repro.core import (
     ModelKind,
     MonteCarloConfig,
     MonteCarloResult,
+    SimulationPolicy,
+    available_policies,
     build_chain,
     compare_equal_capacity,
     estimate_availability,
+    hot_spare_policy,
     paper_parameters,
+    register_policy,
     run_monte_carlo,
     solve_model,
 )
@@ -55,11 +59,15 @@ __all__ = [
     "PolicyKind",
     "RaidGeometry",
     "ReproError",
+    "SimulationPolicy",
     "__version__",
+    "available_policies",
     "build_chain",
     "compare_equal_capacity",
     "estimate_availability",
+    "hot_spare_policy",
     "paper_parameters",
+    "register_policy",
     "run_monte_carlo",
     "solve_model",
     "steady_state_availability",

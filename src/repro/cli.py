@@ -1,11 +1,16 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the common workflows without writing any code:
+Five subcommands cover the common workflows without writing any code:
 
 ``solve``
     Solve one analytical model and print availability, nines and downtime.
 ``compare``
     Equal-usable-capacity comparison of the paper's three RAID layouts.
+``mc``
+    Run a Monte Carlo availability study for any registered replacement
+    policy (vectorised batch executor by default).
+``policies``
+    List the replacement policies available in the registry.
 ``reproduce``
     Regenerate the paper's figures (optionally including the Monte Carlo
     validation) and print the tables.
@@ -14,12 +19,16 @@ Three subcommands cover the common workflows without writing any code:
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import List, Optional
 
 from repro.availability.metrics import downtime_minutes_per_year
 from repro.core.comparison import compare_equal_capacity, ranking
 from repro.core.models.generic import ModelKind, solve_model
+from repro.core.montecarlo import EXECUTORS, MonteCarloConfig, run_monte_carlo
 from repro.core.parameters import paper_parameters
+from repro.core.policies import available_policies, get_policy, hot_spare_policy
+from repro.exceptions import ConfigurationError, ReproError
 from repro.experiments.runner import run_all_experiments
 from repro.storage.raid import RaidGeometry
 
@@ -47,6 +56,37 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--failure-rate", type=float, default=1e-6)
     compare.add_argument("--hep", type=float, default=0.01)
     compare.add_argument("--usable-disks", type=int, default=21)
+
+    mc = subparsers.add_parser(
+        "mc", help="Monte Carlo availability study for any registered policy"
+    )
+    mc.add_argument(
+        "--policy",
+        default=None,
+        help="registered policy name (see the 'policies' command); default: conventional",
+    )
+    mc.add_argument(
+        "--spares",
+        type=int,
+        default=None,
+        help="hot-spare pool size (builds a hot_spare_pool variant with k spares; "
+        "mutually exclusive with --policy)",
+    )
+    mc.add_argument("--raid", default="RAID5(3+1)", help="RAID label, e.g. RAID5(7+1)")
+    mc.add_argument("--failure-rate", type=float, default=1e-6, help="disk failure rate per hour")
+    mc.add_argument("--hep", type=float, default=0.001, help="human error probability")
+    mc.add_argument("--iterations", type=int, default=20_000, help="simulated lifetimes")
+    mc.add_argument("--horizon-years", type=float, default=10.0, help="mission time per lifetime")
+    mc.add_argument("--confidence", type=float, default=0.99, help="confidence level of the interval")
+    mc.add_argument("--seed", type=int, default=0, help="master seed")
+    mc.add_argument(
+        "--executor",
+        choices=list(EXECUTORS),
+        default="auto",
+        help="batch (vectorised), scalar (traced/debug path), or auto",
+    )
+
+    subparsers.add_parser("policies", help="list the registered replacement policies")
 
     reproduce = subparsers.add_parser("reproduce", help="regenerate the paper's figures")
     reproduce.add_argument("--mc-iterations", type=int, default=8000)
@@ -92,6 +132,64 @@ def _run_compare(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_mc(args: argparse.Namespace) -> str:
+    if args.spares is not None and args.policy is not None:
+        raise ConfigurationError(
+            "--policy and --spares are mutually exclusive: --spares builds a "
+            "hot_spare_pool variant and would override the named policy"
+        )
+    if args.spares is not None:
+        policy = hot_spare_policy(args.spares)
+    else:
+        policy = get_policy(args.policy or "conventional")
+    params = paper_parameters(
+        geometry=RaidGeometry.from_label(args.raid),
+        disk_failure_rate=args.failure_rate,
+        hep=args.hep,
+    )
+    config = MonteCarloConfig(
+        params=params,
+        policy=policy,
+        horizon_hours=args.horizon_years * 8760.0,
+        n_iterations=args.iterations,
+        confidence=args.confidence,
+        seed=args.seed,
+        executor=args.executor,
+    )
+    result = run_monte_carlo(config)
+    totals = result.totals
+    lines = [
+        f"policy:             {policy.name}",
+        f"geometry:           {params.geometry.label}",
+        f"disk failure rate:  {params.disk_failure_rate:g} /h",
+        f"hep:                {params.hep:g}",
+        f"iterations:         {result.n_iterations} x {args.horizon_years:g} years",
+        f"executor:           {args.executor}",
+        f"availability:       {result.availability:.12f}",
+        f"nines:              {result.nines:.3f}",
+        f"{result.interval.confidence * 100:g}% interval:       "
+        f"[{result.interval.lower:.12f}, {result.interval.upper:.12f}]",
+        f"downtime per year:  {downtime_minutes_per_year(result.availability):.4f} minutes",
+        f"events:             {int(totals.get('disk_failures', 0))} disk failures, "
+        f"{int(totals.get('human_errors', 0))} human errors, "
+        f"{int(totals.get('du_events', 0))} DU, {int(totals.get('dl_events', 0))} DL",
+    ]
+    return "\n".join(lines)
+
+
+def _run_policies(args: argparse.Namespace) -> str:
+    lines = ["registered replacement policies:"]
+    for name in available_policies():
+        policy = get_policy(name)
+        kernel = "batch+scalar" if policy.has_batch_kernel else "scalar"
+        lines.append(f"  {name:<22} [{kernel}] {policy.description}")
+    lines.append(
+        "use 'mc --policy <name>' to simulate one, or 'mc --spares K' for a "
+        "hot-spare pool with K spares"
+    )
+    return "\n".join(lines)
+
+
 def _run_reproduce(args: argparse.Namespace) -> str:
     report = run_all_experiments(
         mc_iterations=args.mc_iterations,
@@ -104,14 +202,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "solve":
-        print(_run_solve(args))
-    elif args.command == "compare":
-        print(_run_compare(args))
-    elif args.command == "reproduce":
-        print(_run_reproduce(args))
-    else:  # pragma: no cover - argparse enforces the choices
-        parser.error(f"unknown command {args.command!r}")
+    try:
+        if args.command == "solve":
+            print(_run_solve(args))
+        elif args.command == "compare":
+            print(_run_compare(args))
+        elif args.command == "mc":
+            print(_run_mc(args))
+        elif args.command == "policies":
+            print(_run_policies(args))
+        elif args.command == "reproduce":
+            print(_run_reproduce(args))
+        else:  # pragma: no cover - argparse enforces the choices
+            parser.error(f"unknown command {args.command!r}")
+    except ReproError as exc:
+        # Mis-parameterisations (unknown policy, bad rates, ...) are user
+        # errors at this boundary, not stack traces.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

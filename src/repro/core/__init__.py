@@ -28,6 +28,14 @@ from repro.core.montecarlo import (
     run_monte_carlo_with_trace,
 )
 from repro.core.parameters import AvailabilityParameters, paper_parameters
+from repro.core.policies import (
+    SimulationPolicy,
+    available_policies,
+    get_policy,
+    hot_spare_policy,
+    register_policy,
+    resolve_policy,
+)
 from repro.core.sweep import (
     SweepPoint,
     sweep_failure_rate,
@@ -49,8 +57,10 @@ __all__ = [
     "ModelKind",
     "MonteCarloConfig",
     "MonteCarloResult",
+    "SimulationPolicy",
     "SweepPoint",
     "UnderestimationPoint",
+    "available_policies",
     "baseline_availability",
     "build_baseline_chain",
     "build_chain",
@@ -61,11 +71,15 @@ __all__ = [
     "conventional_availability",
     "estimate_availability",
     "failover_availability",
+    "get_policy",
+    "hot_spare_policy",
     "maximum_underestimation",
     "nines_by_configuration",
     "paper_parameters",
     "ranking",
     "ranking_inverted_by_human_error",
+    "register_policy",
+    "resolve_policy",
     "run_monte_carlo",
     "run_monte_carlo_with_trace",
     "solve_model",

@@ -1,9 +1,24 @@
-"""Monte Carlo (simulation-based) availability model of the paper."""
+"""Monte Carlo (simulation-based) availability model of the paper.
 
+Policies are resolved by name through :mod:`repro.core.policies`; execution
+happens either on the vectorised batch path (:mod:`.batch`) or the scalar
+traced path (:mod:`.runner` / :mod:`.engine_bridge`).
+"""
+
+from repro.core.montecarlo.batch import (
+    run_batch,
+    run_batch_lifetimes,
+    summarise_batch,
+)
 from repro.core.montecarlo.config import (
     DEFAULT_HORIZON_HOURS,
     DEFAULT_ITERATIONS,
+    EXECUTORS,
     MonteCarloConfig,
+)
+from repro.core.montecarlo.engine_bridge import (
+    replay_trace_on_engine,
+    run_traced_on_engine,
 )
 from repro.core.montecarlo.results import (
     EpisodeTrace,
@@ -28,6 +43,7 @@ from repro.core.montecarlo.trace import (
 __all__ = [
     "DEFAULT_HORIZON_HOURS",
     "DEFAULT_ITERATIONS",
+    "EXECUTORS",
     "EpisodeTrace",
     "IterationResult",
     "MonteCarloConfig",
@@ -36,11 +52,16 @@ __all__ = [
     "generate_example_trace",
     "merge_iteration_counters",
     "render_timeline",
+    "replay_trace_on_engine",
+    "run_batch",
+    "run_batch_lifetimes",
     "run_iterations",
     "run_monte_carlo",
     "run_monte_carlo_with_trace",
+    "run_traced_on_engine",
     "simulate_conventional",
     "simulate_failover",
+    "summarise_batch",
     "summarise_iterations",
     "summarise_trace",
 ]

@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Union
 
 from repro.core.parameters import AvailabilityParameters
+from repro.core.policies.base import SimulationPolicy
 from repro.exceptions import ConfigurationError
 from repro.human.policy import PolicyKind
 
@@ -15,6 +16,14 @@ DEFAULT_HORIZON_HOURS = 10 * 8760.0
 #: Default number of simulated lifetimes.  The paper uses 1e6; the default
 #: here is sized for interactive use and can be raised per experiment.
 DEFAULT_ITERATIONS = 20_000
+
+#: Accepted execution styles: ``"auto"`` picks the vectorised batch path
+#: whenever the policy has a kernel and no trace was requested.
+EXECUTORS = ("auto", "batch", "scalar")
+
+#: How a policy may be specified: a registry name, a legacy enum member, or
+#: a ready :class:`~repro.core.policies.base.SimulationPolicy` instance.
+PolicyRef = Union[str, PolicyKind, SimulationPolicy]
 
 
 @dataclass(frozen=True)
@@ -26,7 +35,10 @@ class MonteCarloConfig:
     params:
         Rates, probabilities and RAID geometry of the simulated array.
     policy:
-        Replacement policy (conventional or automatic fail-over).
+        Replacement policy: a registry name (``"conventional"``,
+        ``"automatic_failover"``, ``"hot_spare_pool"``, ...), a legacy
+        :class:`~repro.human.policy.PolicyKind` member, or a
+        :class:`~repro.core.policies.base.SimulationPolicy` instance.
     horizon_hours:
         Mission time of each simulated lifetime.
     n_iterations:
@@ -36,16 +48,21 @@ class MonteCarloConfig:
     seed:
         Master seed for reproducibility; ``None`` draws a fresh seed.
     collect_trace:
-        When ``True`` the first iteration records a Fig. 1 style event trace.
+        When ``True`` the first iteration records a Fig. 1 style event trace
+        (this forces the scalar execution path).
+    executor:
+        ``"auto"`` (batch whenever the policy has a vectorised kernel and no
+        trace is collected), ``"batch"`` or ``"scalar"``.
     """
 
     params: AvailabilityParameters = field(default_factory=AvailabilityParameters)
-    policy: PolicyKind = PolicyKind.CONVENTIONAL
+    policy: PolicyRef = PolicyKind.CONVENTIONAL
     horizon_hours: float = DEFAULT_HORIZON_HOURS
     n_iterations: int = DEFAULT_ITERATIONS
     confidence: float = 0.99
     seed: Optional[int] = None
     collect_trace: bool = False
+    executor: str = "auto"
 
     def __post_init__(self) -> None:
         if self.horizon_hours <= 0.0:
@@ -58,14 +75,31 @@ class MonteCarloConfig:
             raise ConfigurationError(
                 f"confidence must lie in (0, 1), got {self.confidence!r}"
             )
+        if self.executor not in EXECUTORS:
+            raise ConfigurationError(
+                f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
+
+    @property
+    def policy_name(self) -> str:
+        """Return the registry name of the configured policy."""
+        if isinstance(self.policy, SimulationPolicy):
+            return self.policy.name
+        if isinstance(self.policy, PolicyKind):
+            return self.policy.value
+        return str(self.policy)
 
     def with_iterations(self, n_iterations: int) -> "MonteCarloConfig":
         """Return a copy with a different iteration count."""
         return replace(self, n_iterations=int(n_iterations))
 
-    def with_policy(self, policy: PolicyKind) -> "MonteCarloConfig":
+    def with_policy(self, policy: PolicyRef) -> "MonteCarloConfig":
         """Return a copy with a different replacement policy."""
         return replace(self, policy=policy)
+
+    def with_executor(self, executor: str) -> "MonteCarloConfig":
+        """Return a copy with a different execution style."""
+        return replace(self, executor=str(executor))
 
     def with_params(self, params: AvailabilityParameters) -> "MonteCarloConfig":
         """Return a copy with a different parameter set."""
@@ -78,6 +112,6 @@ class MonteCarloConfig:
     def label(self) -> str:
         """Return a short description used in result tables."""
         return (
-            f"{self.params.geometry.label} {self.policy.value} "
+            f"{self.params.geometry.label} {self.policy_name} "
             f"lambda={self.params.disk_failure_rate:g} hep={self.params.hep:g}"
         )

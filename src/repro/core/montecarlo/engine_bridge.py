@@ -1,0 +1,63 @@
+"""Bridge between scalar episode traces and the discrete-event engine.
+
+The scalar simulators emit :class:`EpisodeTrace` records as they walk a
+lifetime.  This module replays such a trace on a
+:class:`~repro.simulation.engine.SimulationEngine`: every record becomes a
+scheduled event, the engine pops them in time order (validating that the
+episode semantics never step backwards in time) and re-records them through
+its own tracing facility.  The result is an engine whose clock, event
+counters and :class:`~repro.simulation.events.TraceRecord` list describe the
+lifetime — the glue that makes the scalar path the *traced/debug* twin of
+the vectorised batch executor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.montecarlo.config import MonteCarloConfig
+from repro.core.montecarlo.results import EpisodeTrace, MonteCarloResult
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import ScheduledEvent
+
+
+def replay_trace_on_engine(
+    trace: EpisodeTrace, horizon_hours: Optional[float] = None
+) -> SimulationEngine:
+    """Replay ``trace`` on a fresh engine and return it after the run.
+
+    Each trace record is scheduled at its episode time with a callback that
+    re-records it through :meth:`SimulationEngine.record`, so the returned
+    engine carries the full trace in engine form (``engine.trace``) and an
+    event count equal to the number of records.  Scalar simulators record
+    episode *ends* at unclipped times, so the tail of the final episode may
+    lie past the horizon; those records are replayed too (the engine runs
+    unbounded), and the clock is only advanced to ``horizon_hours`` when the
+    trace ends short of it.
+    """
+    engine = SimulationEngine()
+    engine.enable_trace()
+    for record in trace:
+        def _replay(event: ScheduledEvent, _record=record) -> None:
+            engine.record(_record.kind, subject=_record.subject, **_record.detail)
+
+        engine.schedule_at(record.time, name=record.kind, callback=_replay)
+    engine.run()
+    if horizon_hours is not None and engine.now < horizon_hours:
+        engine.run(until=horizon_hours)
+    return engine
+
+
+def run_traced_on_engine(
+    config: MonteCarloConfig,
+) -> Tuple[MonteCarloResult, EpisodeTrace, SimulationEngine]:
+    """Run a scalar study, then replay its first lifetime on the engine.
+
+    Returns ``(result, trace, engine)`` — the debugging bundle: aggregate
+    numbers, the raw episode trace, and the engine replay of that trace.
+    """
+    from repro.core.montecarlo.runner import run_monte_carlo_with_trace
+
+    result, trace = run_monte_carlo_with_trace(config)
+    engine = replay_trace_on_engine(trace, horizon_hours=config.horizon_hours)
+    return result, trace, engine

@@ -1,49 +1,66 @@
-"""Multi-iteration Monte Carlo runner with confidence intervals.
+"""Monte Carlo runner: policy-registry dispatch over two execution paths.
 
 Runs many independent simulated lifetimes (as configured by
 :class:`~repro.core.montecarlo.config.MonteCarloConfig`), averages their
 availability and attaches a Student-t confidence interval — the estimator
 described in the paper's Section III, where the interval width shrinks with
 the square root of the iteration count.
+
+The replacement policy is resolved by name through
+:mod:`repro.core.policies.registry`; execution happens on one of two paths:
+
+* the **batch** path (default whenever the policy ships a vectorised kernel
+  and no event trace was requested) runs all lifetimes as struct-of-arrays
+  numpy batches via :mod:`repro.core.montecarlo.batch`, and
+* the **scalar** path walks one Python event loop per lifetime — slower,
+  but able to record the paper's Fig. 1 style episode traces, which can be
+  replayed on the discrete-event engine through
+  :mod:`repro.core.montecarlo.engine_bridge`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from dataclasses import replace
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.montecarlo.config import MonteCarloConfig
+from repro.core.montecarlo.batch import run_batch
+from repro.core.montecarlo.config import MonteCarloConfig, PolicyRef
 from repro.core.montecarlo.results import (
     EpisodeTrace,
     IterationResult,
     MonteCarloResult,
     merge_iteration_counters,
 )
-from repro.core.montecarlo.simulator import simulate_conventional, simulate_failover
 from repro.core.parameters import AvailabilityParameters
+from repro.core.policies.registry import resolve_policy
 from repro.exceptions import ConfigurationError
 from repro.human.policy import PolicyKind
 from repro.simulation.confidence import confidence_interval
 from repro.simulation.rng import RandomStreams
 
 
-def _simulator_for(policy: PolicyKind) -> Callable:
-    if policy is PolicyKind.CONVENTIONAL:
-        return simulate_conventional
-    if policy is PolicyKind.AUTOMATIC_FAILOVER:
-        return simulate_failover
-    raise ConfigurationError(f"unknown policy kind {policy!r}")
+def _use_batch_path(config: MonteCarloConfig) -> bool:
+    """Decide the execution path for ``config`` (see ``config.executor``)."""
+    if config.executor == "scalar":
+        return False
+    if config.executor == "batch":
+        return True
+    # "auto": vectorise when possible; traces only exist on the scalar path.
+    if config.collect_trace:
+        return False
+    return resolve_policy(config.policy).has_batch_kernel
 
 
 def run_iterations(
     config: MonteCarloConfig,
 ) -> Tuple[List[IterationResult], Optional[EpisodeTrace]]:
-    """Run all configured iterations and return their raw results.
+    """Run all configured iterations on the scalar path, raw results.
 
     The first iteration optionally records an event trace (Fig. 1 style).
     """
-    simulator = _simulator_for(config.policy)
+    policy = resolve_policy(config.policy)
     streams = RandomStreams(config.seed)
     rng = streams.stream("montecarlo")
     iterations: List[IterationResult] = []
@@ -51,13 +68,19 @@ def run_iterations(
     for index in range(config.n_iterations):
         iteration_trace = trace if (index == 0 and trace is not None) else None
         iterations.append(
-            simulator(config.params, config.horizon_hours, rng, trace=iteration_trace)
+            policy.simulate(config.params, config.horizon_hours, rng, trace=iteration_trace)
         )
     return iterations, trace
 
 
 def run_monte_carlo(config: MonteCarloConfig) -> MonteCarloResult:
-    """Run the configured study and return the aggregated result."""
+    """Run the configured study and return the aggregated result.
+
+    Dispatches to the vectorised batch executor or the scalar loop according
+    to ``config.executor`` (``"auto"`` prefers the batch path).
+    """
+    if _use_batch_path(config):
+        return run_batch(config)
     iterations, _ = run_iterations(config)
     return summarise_iterations(iterations, config)
 
@@ -65,18 +88,8 @@ def run_monte_carlo(config: MonteCarloConfig) -> MonteCarloResult:
 def run_monte_carlo_with_trace(
     config: MonteCarloConfig,
 ) -> Tuple[MonteCarloResult, EpisodeTrace]:
-    """Run the study and also return the first iteration's event trace."""
-    traced_config = (
-        config if config.collect_trace else MonteCarloConfig(
-            params=config.params,
-            policy=config.policy,
-            horizon_hours=config.horizon_hours,
-            n_iterations=config.n_iterations,
-            confidence=config.confidence,
-            seed=config.seed,
-            collect_trace=True,
-        )
-    )
+    """Run the study on the scalar path and also return the first trace."""
+    traced_config = config if config.collect_trace else replace(config, collect_trace=True)
     iterations, trace = run_iterations(traced_config)
     assert trace is not None  # collect_trace was forced on above
     return summarise_iterations(iterations, traced_config), trace
@@ -102,11 +115,12 @@ def summarise_iterations(
 
 def estimate_availability(
     params: AvailabilityParameters,
-    policy: PolicyKind = PolicyKind.CONVENTIONAL,
+    policy: PolicyRef = PolicyKind.CONVENTIONAL,
     n_iterations: int = 20_000,
     horizon_hours: float = 10 * 8760.0,
     seed: Optional[int] = 0,
     confidence: float = 0.99,
+    executor: str = "auto",
 ) -> MonteCarloResult:
     """One-call convenience wrapper around :func:`run_monte_carlo`."""
     config = MonteCarloConfig(
@@ -116,5 +130,6 @@ def estimate_availability(
         n_iterations=n_iterations,
         confidence=confidence,
         seed=seed,
+        executor=executor,
     )
     return run_monte_carlo(config)

@@ -12,11 +12,17 @@ simulator walks the events in time order and accumulates downtime from
   while out of the array) destroys the array contents, which are then
   restored from the backup.
 
-Two policies are provided.  ``simulate_conventional`` follows the paper's
-Fig. 2 semantics exactly.  ``simulate_failover`` mirrors the Fig. 3
+Two policies are provided here.  ``simulate_conventional`` follows the
+paper's Fig. 2 semantics exactly.  ``simulate_failover`` mirrors the Fig. 3
 automatic fail-over policy; its rare-corner handling (multiple concurrent
 human errors) is slightly simplified relative to the full Markov model, as
 documented in DESIGN.md — the dominant availability paths are identical.
+
+These scalar simulators are the readable reference semantics and the
+traced/debug path.  They are registered (together with further policies
+such as the hot-spare pool) in :mod:`repro.core.policies`, whose vectorised
+kernels in :mod:`repro.core.policies.vectorized` mirror them
+struct-of-arrays style for the fast batch execution path.
 """
 
 from __future__ import annotations

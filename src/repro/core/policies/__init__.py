@@ -1,0 +1,43 @@
+"""Replacement-policy registry and simulation kernels.
+
+The two paper policies (conventional, automatic fail-over) and the
+hot-spare-pool extension are registered here; the Monte Carlo runner, the
+experiments and the CLI all dispatch through :func:`resolve_policy`, so new
+policies plug in by calling :func:`register_policy` — no runner changes.
+"""
+
+from repro.core.policies.base import BatchLifetimes, SimulationPolicy
+from repro.core.policies.conventional import CONVENTIONAL_POLICY
+from repro.core.policies.failover import AUTOMATIC_FAILOVER_POLICY
+from repro.core.policies.hotspare import (
+    DEFAULT_POOL_SIZE,
+    HOT_SPARE_POLICY,
+    hot_spare_policy,
+    simulate_hot_spare,
+)
+from repro.core.policies.registry import (
+    available_policies,
+    get_policy,
+    register_policy,
+    resolve_policy,
+    unregister_policy,
+)
+from repro.core.policies.vectorized import batch_conventional, batch_spare_pool
+
+__all__ = [
+    "AUTOMATIC_FAILOVER_POLICY",
+    "BatchLifetimes",
+    "CONVENTIONAL_POLICY",
+    "DEFAULT_POOL_SIZE",
+    "HOT_SPARE_POLICY",
+    "SimulationPolicy",
+    "available_policies",
+    "batch_conventional",
+    "batch_spare_pool",
+    "get_policy",
+    "hot_spare_policy",
+    "register_policy",
+    "resolve_policy",
+    "simulate_hot_spare",
+    "unregister_policy",
+]

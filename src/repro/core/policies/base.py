@@ -1,0 +1,178 @@
+"""Policy protocol shared by the scalar and batch simulation kernels.
+
+A *simulation policy* packages the event semantics of one disk-replacement
+strategy (conventional, automatic fail-over, hot-spare pool, ...) behind two
+entry points:
+
+``scalar``
+    Simulate **one** array lifetime with a plain Python event loop.  This is
+    the traced/debug path: it can record an
+    :class:`~repro.core.montecarlo.results.EpisodeTrace` and its episodes can
+    be replayed on the discrete-event
+    :class:`~repro.simulation.engine.SimulationEngine`.
+``batch``
+    Simulate **many** independent lifetimes at once as struct-of-arrays
+    numpy batches — all disk-failure clocks, repair durations and
+    human-error Bernoulli draws are sampled per batch instead of one Python
+    loop iteration at a time.  This is the fast path used by the large
+    paper sweeps; it is optional, and policies without a vectorised kernel
+    transparently fall back to a scalar loop.
+
+Policies are looked up by name through :mod:`repro.core.policies.registry`,
+so new strategies plug into the Monte Carlo runner, the experiments and the
+CLI without touching any of them.
+
+This module deliberately imports nothing from :mod:`repro.core.montecarlo`
+at module scope; the two packages reference each other and the policy layer
+must stay importable from either direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.montecarlo.results import EpisodeTrace, IterationResult
+    from repro.core.parameters import AvailabilityParameters
+
+#: Signature of a scalar (one-lifetime) simulator.
+ScalarSimulator = Callable[..., "IterationResult"]
+
+#: Signature of a vectorised batch kernel: ``(params, horizon_hours,
+#: n_lifetimes, rng) -> BatchLifetimes``.
+BatchKernel = Callable[..., "BatchLifetimes"]
+
+
+@dataclass
+class BatchLifetimes:
+    """Struct-of-arrays outcome of a batch of simulated lifetimes.
+
+    Each attribute is a length-``n`` array holding one value per lifetime;
+    the layout mirrors the fields of
+    :class:`~repro.core.montecarlo.results.IterationResult`.
+    """
+
+    horizon_hours: float
+    downtime_hours: np.ndarray
+    du_events: np.ndarray
+    dl_events: np.ndarray
+    disk_failures: np.ndarray
+    human_errors: np.ndarray
+
+    @classmethod
+    def zeros(cls, n: int, horizon_hours: float) -> "BatchLifetimes":
+        """Return a zero-initialised batch of ``n`` lifetimes."""
+        return cls(
+            horizon_hours=float(horizon_hours),
+            downtime_hours=np.zeros(n, dtype=float),
+            du_events=np.zeros(n, dtype=np.int64),
+            dl_events=np.zeros(n, dtype=np.int64),
+            disk_failures=np.zeros(n, dtype=np.int64),
+            human_errors=np.zeros(n, dtype=np.int64),
+        )
+
+    def __len__(self) -> int:
+        return int(self.downtime_hours.size)
+
+    def availabilities(self) -> np.ndarray:
+        """Return the per-lifetime availability (downtime clipped to horizon)."""
+        downtime = np.minimum(self.downtime_hours, self.horizon_hours)
+        return 1.0 - downtime / self.horizon_hours
+
+    def totals(self) -> Dict[str, float]:
+        """Return summed counters in the ``MonteCarloResult.totals`` layout."""
+        return {
+            "downtime_hours": float(self.downtime_hours.sum()),
+            "du_events": float(self.du_events.sum()),
+            "dl_events": float(self.dl_events.sum()),
+            "disk_failures": float(self.disk_failures.sum()),
+            "human_errors": float(self.human_errors.sum()),
+        }
+
+    def to_iteration_results(self) -> List["IterationResult"]:
+        """Explode the batch into per-lifetime result objects."""
+        from repro.core.montecarlo.results import IterationResult
+
+        return [
+            IterationResult(
+                horizon_hours=self.horizon_hours,
+                downtime_hours=float(self.downtime_hours[i]),
+                du_events=int(self.du_events[i]),
+                dl_events=int(self.dl_events[i]),
+                disk_failures=int(self.disk_failures[i]),
+                human_errors=int(self.human_errors[i]),
+            )
+            for i in range(len(self))
+        ]
+
+
+@dataclass(frozen=True)
+class SimulationPolicy:
+    """One replacement policy as seen by the simulation kernel.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"conventional"`` or ``"hot_spare_pool"``.
+    description:
+        One-line human readable summary (shown by ``python -m repro policies``).
+    scalar:
+        One-lifetime simulator ``(params, horizon_hours, rng, trace=None)``.
+    batch:
+        Optional vectorised kernel ``(params, horizon_hours, n, rng)``.
+    n_spares:
+        Number of hot spares the policy assumes (0 for conventional).
+    """
+
+    name: str
+    description: str
+    scalar: ScalarSimulator = field(compare=False)
+    batch: Optional[BatchKernel] = field(compare=False, default=None)
+    n_spares: int = 0
+
+    @property
+    def label(self) -> str:
+        """Return a display label for reports."""
+        return self.name.replace("_", " ")
+
+    @property
+    def has_batch_kernel(self) -> bool:
+        """Return whether a vectorised batch kernel is available."""
+        return self.batch is not None
+
+    def simulate(
+        self,
+        params: "AvailabilityParameters",
+        horizon_hours: float,
+        rng: np.random.Generator,
+        trace: Optional["EpisodeTrace"] = None,
+    ) -> "IterationResult":
+        """Simulate one lifetime on the scalar (traced/debug) path."""
+        return self.scalar(params, horizon_hours, rng, trace=trace)
+
+    def simulate_batch(
+        self,
+        params: "AvailabilityParameters",
+        horizon_hours: float,
+        n_lifetimes: int,
+        rng: np.random.Generator,
+    ) -> BatchLifetimes:
+        """Simulate ``n_lifetimes`` lifetimes, vectorised when possible.
+
+        Policies without a batch kernel fall back to a scalar loop so every
+        registered policy supports both execution styles.
+        """
+        if self.batch is not None:
+            return self.batch(params, horizon_hours, int(n_lifetimes), rng)
+        batch = BatchLifetimes.zeros(int(n_lifetimes), horizon_hours)
+        for i in range(int(n_lifetimes)):
+            result = self.scalar(params, horizon_hours, rng, trace=None)
+            batch.downtime_hours[i] = result.downtime_hours
+            batch.du_events[i] = result.du_events
+            batch.dl_events[i] = result.dl_events
+            batch.disk_failures[i] = result.disk_failures
+            batch.human_errors[i] = result.human_errors
+        return batch

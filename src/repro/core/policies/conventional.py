@@ -1,0 +1,23 @@
+"""The paper's conventional replacement policy, as a registered policy."""
+
+from __future__ import annotations
+
+from repro.core.montecarlo.simulator import simulate_conventional
+from repro.core.policies.base import SimulationPolicy
+from repro.core.policies.registry import register_policy
+from repro.core.policies.vectorized import batch_conventional
+
+#: Fig. 2 semantics: a technician replaces the failed disk immediately, so a
+#: wrong pull hits a degraded array and takes the data offline.
+CONVENTIONAL_POLICY = register_policy(
+    SimulationPolicy(
+        name="conventional",
+        description=(
+            "technician replaces the failed disk immediately; a wrong pull "
+            "hits the degraded array and takes the data offline (paper Fig. 2)"
+        ),
+        scalar=simulate_conventional,
+        batch=batch_conventional,
+        n_spares=0,
+    )
+)

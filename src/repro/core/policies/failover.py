@@ -1,0 +1,27 @@
+"""The paper's automatic fail-over policy, as a registered policy."""
+
+from __future__ import annotations
+
+import functools
+
+from repro.core.montecarlo.simulator import simulate_failover
+from repro.core.policies.base import SimulationPolicy
+from repro.core.policies.registry import register_policy
+from repro.core.policies.vectorized import batch_spare_pool
+
+#: Fig. 3 semantics: one hot spare absorbs the failure via an on-line
+#: rebuild; the technician only touches the array afterwards, while it is
+#: fully redundant.  The batch kernel is the spare-pool state machine with a
+#: pool of exactly one.
+AUTOMATIC_FAILOVER_POLICY = register_policy(
+    SimulationPolicy(
+        name="automatic_failover",
+        description=(
+            "failed disk rebuilds onto a hot spare first; the technician only "
+            "touches the fully redundant array afterwards (paper Fig. 3)"
+        ),
+        scalar=simulate_failover,
+        batch=functools.partial(batch_spare_pool, n_spares=1),
+        n_spares=1,
+    )
+)

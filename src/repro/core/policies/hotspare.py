@@ -1,0 +1,220 @@
+"""Hot-spare-pool replacement policy (a new scenario beyond the paper).
+
+The paper stops at a single hot spare (automatic fail-over).  This policy
+generalises it to a pool of ``k`` spares: every disk failure that finds a
+spare is absorbed by an on-line rebuild with no human involvement, and a
+technician visit after each rebuild restocks the *whole* pool in one go
+(carrying the same wrong-pull risk as the fail-over policy's replacement
+phase, against a fully redundant array).  Only when the pool is empty does a
+failure expose the array to the combined human service of the paper's
+``EXPns1`` state.
+
+With ``k = 1`` the semantics coincide with the automatic fail-over policy —
+the only behavioural difference of larger pools is that failures arriving
+during a replacement visit consume further spares instead of exposing the
+array, which is exactly why operators provision spare pools.
+
+The scalar simulator below and the vectorised kernel in
+:mod:`repro.core.policies.vectorized` implement the same state machine; the
+registry test suite checks their availability estimates agree.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Optional
+
+import numpy as np
+
+from repro.core.montecarlo.results import EpisodeTrace, IterationResult
+from repro.core.montecarlo.simulator import (
+    _ArrayClocks,
+    _clip_downtime,
+    _exposed_without_spare,
+    _sample,
+)
+from repro.core.parameters import AvailabilityParameters
+from repro.core.policies.base import SimulationPolicy
+from repro.core.policies.registry import register_policy
+from repro.core.policies.vectorized import batch_spare_pool
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.human.recovery import HumanErrorRecoveryModel
+
+#: Pool size of the pre-registered ``hot_spare_pool`` policy.
+DEFAULT_POOL_SIZE = 2
+
+
+def simulate_hot_spare(
+    params: AvailabilityParameters,
+    horizon_hours: float,
+    rng: np.random.Generator,
+    trace: Optional[EpisodeTrace] = None,
+    n_spares: int = DEFAULT_POOL_SIZE,
+) -> IterationResult:
+    """Simulate one lifetime under the hot-spare-pool policy (scalar path)."""
+    if horizon_hours <= 0.0:
+        raise SimulationError(f"horizon must be positive, got {horizon_hours!r}")
+    if int(n_spares) < 1:
+        raise ConfigurationError(f"spare pool needs at least one spare, got {n_spares!r}")
+    n_spares = int(n_spares)
+    n = params.n_disks
+    failure_dist = params.failure_distribution()
+    rebuild_dist = params.repair_distribution()
+    replace_dist = params.spare_replacement_distribution()
+    ddf_dist = params.ddf_recovery_distribution()
+    recovery = HumanErrorRecoveryModel(
+        hep=params.hep,
+        recovery_time=params.human_error_recovery_distribution(),
+        crash_rate_per_hour=params.crash_rate,
+    )
+    clocks = _ArrayClocks(n, failure_dist, rng)
+    result = IterationResult(horizon_hours=float(horizon_hours))
+    now = 0.0
+    spares = n_spares
+
+    while True:
+        slot, fail_time = clocks.next_failure()
+        fail_time = max(fail_time, now)
+        if fail_time >= horizon_hours:
+            break
+        result.disk_failures += 1
+        if trace is not None:
+            trace.add(fail_time, "disk_failure", slot=slot, spares=spares)
+
+        if spares == 0:
+            now, restored = _exposed_without_spare(
+                params, clocks, result, recovery, ddf_dist,
+                slot, fail_time, horizon_hours, rng, trace,
+            )
+            spares = n_spares if restored else 0
+            continue
+
+        # On-line rebuild onto a spare; no human touches the array.
+        rebuild_done = fail_time + _sample(rebuild_dist, rng)
+        other_slot, second_fail = clocks.next_failure(exclude=slot)
+        second_fail = max(second_fail, fail_time)
+        if second_fail < rebuild_done:
+            result.disk_failures += 1
+            result.dl_events += 1
+            restore = _sample(ddf_dist, rng)
+            outage_end = second_fail + restore
+            result.downtime_hours += _clip_downtime(second_fail, outage_end, horizon_hours)
+            if trace is not None:
+                trace.add(second_fail, "data_loss", cause="double_disk_failure")
+                trace.add(outage_end, "backup_restore_complete", duration=restore)
+            clocks.renew_failed_before(outage_end)
+            spares = n_spares
+            now = outage_end
+            continue
+        clocks.renew(slot, rebuild_done)
+        spares -= 1
+        if trace is not None:
+            trace.add(rebuild_done, "spare_rebuild_complete", slot=slot, spares=spares)
+
+        # Technician visit restocking the whole pool.
+        replace_done = rebuild_done + _sample(replace_dist, rng)
+        _, next_fail = clocks.next_failure()
+        next_fail = max(next_fail, rebuild_done)
+        if next_fail < replace_done and next_fail < horizon_hours:
+            # Visit preempted by a new failure; it is handled from scratch
+            # (another spare when one is left, the exposed service otherwise).
+            now = next_fail
+            continue
+
+        if params.hep > 0.0 and rng.random() < params.hep:
+            # Wrong pull against the fully redundant array.
+            result.human_errors += 1
+            wrong_slot = int(rng.integers(n))
+            if trace is not None:
+                trace.add(replace_done, "human_error", error="wrong_disk_replacement",
+                          wrong_slot=wrong_slot, array_state="fully_redundant")
+            attempt = recovery.sample_until_recovered(rng)
+            recovery_end = replace_done + attempt.duration_hours
+            other_slot, second_fail = clocks.next_failure(exclude=wrong_slot)
+            second_fail = max(second_fail, replace_done)
+
+            if second_fail < recovery_end and second_fail < horizon_hours:
+                result.disk_failures += 1
+                result.du_events += 1
+                if attempt.disk_crashed:
+                    result.dl_events += 1
+                    restore = _sample(ddf_dist, rng)
+                    outage_end = recovery_end + restore
+                    result.downtime_hours += _clip_downtime(second_fail, outage_end, horizon_hours)
+                    if trace is not None:
+                        trace.add(second_fail, "data_unavailable", cause="failure_during_wrong_pull")
+                        trace.add(outage_end, "backup_restore_complete", duration=restore)
+                    clocks.renew_failed_before(outage_end)
+                    spares = n_spares
+                    now = outage_end
+                    continue
+                result.downtime_hours += _clip_downtime(second_fail, recovery_end, horizon_hours)
+                if trace is not None:
+                    trace.add(second_fail, "data_unavailable", cause="failure_during_wrong_pull")
+                    trace.add(recovery_end, "human_error_recovered")
+                now, restored = _exposed_without_spare(
+                    params, clocks, result, recovery, ddf_dist,
+                    other_slot, recovery_end, horizon_hours, rng, trace,
+                    already_counted=True,
+                )
+                spares = n_spares if restored else 0
+                continue
+            if attempt.disk_crashed:
+                if trace is not None:
+                    trace.add(recovery_end, "wrong_pull_crashed", slot=wrong_slot)
+                now, restored = _exposed_without_spare(
+                    params, clocks, result, recovery, ddf_dist,
+                    wrong_slot, recovery_end, horizon_hours, rng, trace,
+                    already_counted=True, crashed_slot=True,
+                )
+                spares = n_spares if restored else 0
+                continue
+            if trace is not None:
+                trace.add(recovery_end, "human_error_recovered")
+            spares = n_spares
+            now = recovery_end
+            continue
+
+        spares = n_spares
+        now = replace_done
+        if trace is not None:
+            trace.add(replace_done, "spare_pool_restocked", spares=spares)
+
+    return result
+
+
+def hot_spare_policy(n_spares: int = DEFAULT_POOL_SIZE) -> SimulationPolicy:
+    """Build a hot-spare-pool policy with a custom pool size.
+
+    The returned policy is *not* registered globally; pass it directly as
+    ``MonteCarloConfig(policy=hot_spare_policy(3), ...)`` or register it
+    under its own name.
+    """
+    if int(n_spares) < 1:
+        raise ConfigurationError(f"spare pool needs at least one spare, got {n_spares!r}")
+    n_spares = int(n_spares)
+    return SimulationPolicy(
+        name=f"hot_spare_pool_k{n_spares}",
+        description=(
+            f"pool of {n_spares} hot spares absorbs failures via on-line "
+            "rebuilds; technician visits restock the full pool"
+        ),
+        scalar=functools.partial(simulate_hot_spare, n_spares=n_spares),
+        batch=functools.partial(batch_spare_pool, n_spares=n_spares),
+        n_spares=n_spares,
+    )
+
+
+#: The registered default pool (k = 2): one spare more than fail-over.
+HOT_SPARE_POLICY = register_policy(
+    SimulationPolicy(
+        name="hot_spare_pool",
+        description=(
+            f"pool of {DEFAULT_POOL_SIZE} hot spares absorbs failures via "
+            "on-line rebuilds; technician visits restock the full pool"
+        ),
+        scalar=functools.partial(simulate_hot_spare, n_spares=DEFAULT_POOL_SIZE),
+        batch=functools.partial(batch_spare_pool, n_spares=DEFAULT_POOL_SIZE),
+        n_spares=DEFAULT_POOL_SIZE,
+    )
+)

@@ -1,0 +1,119 @@
+"""Name-based registry of simulation policies.
+
+The Monte Carlo runner, the experiments and the CLI all resolve policies
+through this registry, so adding a new replacement strategy is a matter of
+registering a :class:`~repro.core.policies.base.SimulationPolicy` — no
+dispatch code changes anywhere else.
+
+The registry accepts three spellings when resolving:
+
+* a plain string name (``"conventional"``),
+* a legacy :class:`~repro.human.policy.PolicyKind` enum member (its
+  ``value`` is the registry key), and
+* an already constructed :class:`SimulationPolicy` (returned unchanged),
+  which is how parameterised policies such as a hot-spare pool with a
+  custom spare count are passed around without polluting the global table.
+"""
+
+from __future__ import annotations
+
+import importlib
+import threading
+from typing import Dict, Tuple, Union
+
+from repro.core.policies.base import SimulationPolicy
+from repro.exceptions import ConfigurationError
+from repro.human.policy import PolicyKind
+
+PolicyRef = Union[str, PolicyKind, SimulationPolicy]
+
+_REGISTRY: Dict[str, SimulationPolicy] = {}
+_LOCK = threading.Lock()
+#: Separate lock for the lazy builtin load: the builtin modules call
+#: register_policy (which takes _LOCK) while being imported, so the load
+#: must not hold _LOCK itself.
+_LOAD_LOCK = threading.Lock()
+_BUILTINS_LOADED = False
+
+
+def register_policy(policy: SimulationPolicy, replace: bool = False) -> SimulationPolicy:
+    """Add ``policy`` to the registry (and return it, for decorator-ish use).
+
+    Registering a name twice is an error unless ``replace=True``; silent
+    shadowing of a built-in policy is almost always a bug in caller code.
+    """
+    if not isinstance(policy, SimulationPolicy):
+        raise ConfigurationError(
+            f"only SimulationPolicy instances can be registered, got {policy!r}"
+        )
+    if not policy.name:
+        raise ConfigurationError("policy name must be non-empty")
+    with _LOCK:
+        if policy.name in _REGISTRY and not replace:
+            raise ConfigurationError(
+                f"policy {policy.name!r} is already registered "
+                "(pass replace=True to override)"
+            )
+        _REGISTRY[policy.name] = policy
+    return policy
+
+
+def unregister_policy(name: str) -> None:
+    """Remove a policy by name (no-op when absent); used by tests."""
+    with _LOCK:
+        _REGISTRY.pop(name, None)
+
+
+def get_policy(name: str) -> SimulationPolicy:
+    """Return the registered policy called ``name``.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` for unknown names,
+    listing what is available.
+    """
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_policies())
+        raise ConfigurationError(
+            f"unknown policy {name!r}; registered policies: {known}"
+        ) from None
+
+
+def resolve_policy(ref: PolicyRef) -> SimulationPolicy:
+    """Resolve a name, :class:`PolicyKind` or policy instance to a policy."""
+    if isinstance(ref, SimulationPolicy):
+        return ref
+    if isinstance(ref, PolicyKind):
+        return get_policy(ref.value)
+    if isinstance(ref, str):
+        return get_policy(ref)
+    raise ConfigurationError(f"unknown policy kind {ref!r}")
+
+
+def available_policies() -> Tuple[str, ...]:
+    """Return the sorted names of all registered policies."""
+    _ensure_builtins()
+    with _LOCK:
+        return tuple(sorted(_REGISTRY))
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in policy modules exactly once.
+
+    Resolution must work even when a caller imported
+    ``repro.core.policies.registry`` directly (the Monte Carlo runner does),
+    so the built-ins are loaded lazily here rather than relying on the
+    package ``__init__`` having run.
+    """
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    with _LOAD_LOCK:
+        if _BUILTINS_LOADED:
+            return
+        for module in ("conventional", "failover", "hotspare"):
+            importlib.import_module(f"repro.core.policies.{module}")
+        # Only latch once every builtin imported cleanly, so a failed load
+        # is retried instead of leaving the registry silently empty.
+        _BUILTINS_LOADED = True

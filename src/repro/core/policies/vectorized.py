@@ -1,0 +1,520 @@
+"""Vectorised batch Monte Carlo kernels.
+
+Each kernel runs thousands of independent array lifetimes as
+struct-of-arrays numpy batches: per round, every still-active lifetime
+resolves exactly one failure episode, and all stochastic ingredients of that
+round — disk-failure clocks, repair/rebuild durations, human-error Bernoulli
+draws, crash races — are sampled as whole arrays.  The per-lifetime scalar
+simulators in :mod:`repro.core.montecarlo.simulator` remain the readable
+reference (and the traced/debug path); these kernels reproduce their episode
+semantics distribution-for-distribution, so at a fixed parameter set the two
+paths produce statistically indistinguishable availability estimates.
+
+Two kernels are provided:
+
+``batch_conventional``
+    The paper's Fig. 2 conventional replacement policy.
+``batch_spare_pool``
+    A hot-spare state machine parameterised by the pool size ``n_spares``.
+    With ``n_spares=1`` it is the paper's Fig. 3 automatic fail-over policy;
+    larger pools implement the hot-spare-pool scenario (each technician
+    visit restocks the full pool, and a failure arriving while spares remain
+    consumes another spare instead of exposing the array).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.parameters import AvailabilityParameters
+from repro.core.policies.base import BatchLifetimes
+from repro.exceptions import ConfigurationError, HumanErrorModelError, SimulationError
+
+__all__ = ["batch_conventional", "batch_spare_pool"]
+
+
+# ----------------------------------------------------------------------
+# Array helpers
+# ----------------------------------------------------------------------
+def _sample(dist, size: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw ``size`` samples from a repro distribution as a float array."""
+    if size <= 0:
+        return np.empty(0, dtype=float)
+    return np.asarray(dist.sample(int(size), rng), dtype=float)
+
+
+def _clip_downtime(start: np.ndarray, end: np.ndarray, horizon: float) -> np.ndarray:
+    """Return the portion of each ``[start, end]`` inside the horizon."""
+    return np.maximum(0.0, np.minimum(end, horizon) - np.minimum(start, horizon))
+
+
+def _min_and_slot(clocks: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Return per-row ``(slot, time)`` of the earliest pending failure."""
+    slot = np.argmin(clocks, axis=1)
+    rows = np.arange(clocks.shape[0])
+    return slot, clocks[rows, slot]
+
+
+def _min_excluding(clocks: np.ndarray, exclude: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Return per-row ``(slot, time)`` of the earliest failure outside ``exclude``."""
+    masked = clocks.copy()
+    rows = np.arange(clocks.shape[0])
+    masked[rows, exclude] = np.inf
+    slot = np.argmin(masked, axis=1)
+    return slot, masked[rows, slot]
+
+
+def _renew_slots(
+    clocks: np.ndarray,
+    rows: np.ndarray,
+    slots: np.ndarray,
+    at_times: np.ndarray,
+    failure_dist,
+    rng: np.random.Generator,
+) -> None:
+    """Install fresh disks in ``(rows, slots)`` at the given times."""
+    if rows.size:
+        clocks[rows, slots] = at_times + _sample(failure_dist, rows.size, rng)
+
+
+def _renew_failed_before(
+    clocks: np.ndarray,
+    rows: np.ndarray,
+    times: np.ndarray,
+    failure_dist,
+    rng: np.random.Generator,
+) -> None:
+    """Renew, per row, every slot whose failure time is at or before ``times``."""
+    if rows.size == 0:
+        return
+    sub = clocks[rows]
+    mask = sub <= times[:, None]
+    count = int(mask.sum())
+    if count:
+        # Boolean indexing walks the mask row-major, so repeating each row's
+        # renewal time by its renewal count lines the starts up with it.
+        starts = np.repeat(times, mask.sum(axis=1))
+        sub[mask] = starts + _sample(failure_dist, count, rng)
+        clocks[rows] = sub
+
+
+def _pick_other_slots(rng: np.random.Generator, n_disks: int, slots: np.ndarray) -> np.ndarray:
+    """Pick, per row, a uniformly random operational slot other than ``slots``."""
+    if n_disks <= 1:
+        return slots.copy()
+    choice = rng.integers(n_disks - 1, size=slots.size)
+    return np.where(choice < slots, choice, choice + 1)
+
+
+def _recovery_race(
+    size: int,
+    recovery_dist,
+    hep: float,
+    crash_rate: float,
+    rng: np.random.Generator,
+    max_attempts: int = 1000,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised twin of ``HumanErrorRecoveryModel.sample_until_recovered``.
+
+    Returns ``(total_duration_hours, disk_crashed)`` arrays of length
+    ``size``.  Each round draws one recovery attempt per still-outstanding
+    error, races it against a crash of the wrongly pulled disk, and repeats
+    the attempt with probability ``hep``.
+    """
+    total = np.zeros(size, dtype=float)
+    crashed = np.zeros(size, dtype=bool)
+    pending = np.arange(size)
+    for _ in range(int(max_attempts)):
+        if pending.size == 0:
+            return total, crashed
+        attempt = _sample(recovery_dist, pending.size, rng)
+        if crash_rate > 0.0:
+            crash = rng.exponential(1.0 / crash_rate, pending.size)
+        else:
+            crash = np.full(pending.size, np.inf)
+        crash_first = crash < attempt
+        total[pending] += np.where(crash_first, crash, attempt)
+        crashed[pending[crash_first]] = True
+        repeated = (~crash_first) & (rng.random(pending.size) < hep)
+        pending = pending[repeated]
+    raise HumanErrorModelError(
+        f"error recovery did not terminate within {max_attempts} attempts (hep={hep!r})"
+    )
+
+
+# ----------------------------------------------------------------------
+# Conventional replacement policy
+# ----------------------------------------------------------------------
+def batch_conventional(
+    params: AvailabilityParameters,
+    horizon_hours: float,
+    n_lifetimes: int,
+    rng: np.random.Generator,
+) -> BatchLifetimes:
+    """Run ``n_lifetimes`` conventional-policy lifetimes as one numpy batch."""
+    if horizon_hours <= 0.0:
+        raise SimulationError(f"horizon must be positive, got {horizon_hours!r}")
+    n = params.n_disks
+    failure_dist = params.failure_distribution()
+    repair_dist = params.repair_distribution()
+    ddf_dist = params.ddf_recovery_distribution()
+    recovery_dist = params.human_error_recovery_distribution()
+    hep = params.hep
+    crash_rate = params.crash_rate
+
+    batch = BatchLifetimes.zeros(int(n_lifetimes), horizon_hours)
+    clocks = _sample(failure_dist, int(n_lifetimes) * n, rng).reshape(int(n_lifetimes), n)
+    now = np.zeros(int(n_lifetimes), dtype=float)
+    active = np.arange(int(n_lifetimes))
+
+    while active.size:
+        c = clocks[active]
+        slot, fail = _min_and_slot(c)
+        fail = np.maximum(fail, now[active])
+        alive = fail < horizon_hours
+        active = active[alive]
+        if active.size == 0:
+            break
+        c, slot, fail = c[alive], slot[alive], fail[alive]
+        batch.disk_failures[active] += 1
+
+        repair_done = fail + _sample(repair_dist, active.size, rng)
+        _, second = _min_excluding(c, slot)
+        second = np.maximum(second, fail)
+
+        # Double disk failure during the repair: data loss, backup restore.
+        dl = second < repair_done
+        dl_idx = active[dl]
+        if dl_idx.size:
+            batch.disk_failures[dl_idx] += 1
+            batch.dl_events[dl_idx] += 1
+            outage_end = second[dl] + _sample(ddf_dist, dl_idx.size, rng)
+            batch.downtime_hours[dl_idx] += _clip_downtime(second[dl], outage_end, horizon_hours)
+            _renew_failed_before(clocks, dl_idx, outage_end, failure_dist, rng)
+            now[dl_idx] = outage_end
+
+        rest = ~dl
+        if hep > 0.0:
+            he = rest & (rng.random(active.size) < hep)
+        else:
+            he = np.zeros(active.size, dtype=bool)
+
+        # Wrong disk replacement: data unavailable until the error is undone
+        # (or, when the pulled disk crashes, until the backup restore ends).
+        he_idx = active[he]
+        if he_idx.size:
+            batch.human_errors[he_idx] += 1
+            batch.du_events[he_idx] += 1
+            wrong = _pick_other_slots(rng, n, slot[he])
+            duration, crashed = _recovery_race(he_idx.size, recovery_dist, hep, crash_rate, rng)
+            outage_end = repair_done[he] + duration
+            cr = np.flatnonzero(crashed)
+            if cr.size:
+                batch.dl_events[he_idx[cr]] += 1
+                outage_end[cr] += _sample(ddf_dist, cr.size, rng)
+                _renew_slots(clocks, he_idx[cr], wrong[cr], outage_end[cr], failure_dist, rng)
+            batch.downtime_hours[he_idx] += _clip_downtime(repair_done[he], outage_end, horizon_hours)
+            _renew_slots(clocks, he_idx, slot[he], outage_end, failure_dist, rng)
+            _renew_failed_before(clocks, he_idx, outage_end, failure_dist, rng)
+            now[he_idx] = outage_end
+
+        # Successful replacement and rebuild.
+        ok = rest & ~he
+        ok_idx = active[ok]
+        if ok_idx.size:
+            _renew_slots(clocks, ok_idx, slot[ok], repair_done[ok], failure_dist, rng)
+            now[ok_idx] = repair_done[ok]
+
+    return batch
+
+
+# ----------------------------------------------------------------------
+# Spare-pool state machine (fail-over with n_spares == 1)
+# ----------------------------------------------------------------------
+@dataclass
+class _SparePoolState:
+    """Mutable struct-of-arrays state shared by the spare-pool sub-steps."""
+
+    params: AvailabilityParameters
+    horizon: float
+    rng: np.random.Generator
+    n_spares: int
+    batch: BatchLifetimes
+    clocks: np.ndarray
+    now: np.ndarray
+    spares: np.ndarray
+    failure_dist: object
+    rebuild_dist: object
+    replace_dist: object
+    ddf_dist: object
+    recovery_dist: object
+
+    @property
+    def hep(self) -> float:
+        return self.params.hep
+
+    @property
+    def crash_rate(self) -> float:
+        return self.params.crash_rate
+
+
+def batch_spare_pool(
+    params: AvailabilityParameters,
+    horizon_hours: float,
+    n_lifetimes: int,
+    rng: np.random.Generator,
+    n_spares: int = 1,
+) -> BatchLifetimes:
+    """Run ``n_lifetimes`` spare-pool lifetimes as one numpy batch.
+
+    ``n_spares=1`` reproduces the paper's automatic fail-over policy; larger
+    values implement the hot-spare-pool scenario.
+    """
+    if horizon_hours <= 0.0:
+        raise SimulationError(f"horizon must be positive, got {horizon_hours!r}")
+    if int(n_spares) < 1:
+        raise ConfigurationError(f"spare pool needs at least one spare, got {n_spares!r}")
+    n_spares = int(n_spares)
+    m = int(n_lifetimes)
+    n = params.n_disks
+    failure_dist = params.failure_distribution()
+    state = _SparePoolState(
+        params=params,
+        horizon=float(horizon_hours),
+        rng=rng,
+        n_spares=n_spares,
+        batch=BatchLifetimes.zeros(m, horizon_hours),
+        clocks=_sample(failure_dist, m * n, rng).reshape(m, n),
+        now=np.zeros(m, dtype=float),
+        spares=np.full(m, n_spares, dtype=np.int64),
+        failure_dist=failure_dist,
+        rebuild_dist=params.repair_distribution(),
+        replace_dist=params.spare_replacement_distribution(),
+        ddf_dist=params.ddf_recovery_distribution(),
+        recovery_dist=params.human_error_recovery_distribution(),
+    )
+    active = np.arange(m)
+
+    while active.size:
+        c = state.clocks[active]
+        slot, fail = _min_and_slot(c)
+        fail = np.maximum(fail, state.now[active])
+        alive = fail < state.horizon
+        active = active[alive]
+        if active.size == 0:
+            break
+        c, slot, fail = c[alive], slot[alive], fail[alive]
+        state.batch.disk_failures[active] += 1
+
+        # Lifetimes entering the exposed service this round, from any branch.
+        exposed: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+
+        has_spare = state.spares[active] > 0
+        sp = np.flatnonzero(has_spare)
+        if sp.size:
+            _spare_rebuild_step(state, active[sp], slot[sp], fail[sp], c[sp], exposed)
+        ns = np.flatnonzero(~has_spare)
+        if ns.size:
+            exposed.append((active[ns], slot[ns], fail[ns]))
+
+        if exposed:
+            idx = np.concatenate([part[0] for part in exposed])
+            ex_slot = np.concatenate([part[1] for part in exposed])
+            ex_start = np.concatenate([part[2] for part in exposed])
+            _exposed_step(state, idx, ex_slot, ex_start)
+
+    return state.batch
+
+
+def _spare_rebuild_step(
+    state: _SparePoolState,
+    idx: np.ndarray,
+    slot: np.ndarray,
+    fail: np.ndarray,
+    c: np.ndarray,
+    exposed: List[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+) -> None:
+    """On-line rebuild onto a hot spare, then the hardware replacement visit."""
+    rng = state.rng
+    rebuild_done = fail + _sample(state.rebuild_dist, idx.size, rng)
+    _, second = _min_excluding(c, slot)
+    second = np.maximum(second, fail)
+
+    # Double disk failure during the rebuild: data loss, backup restore; the
+    # restore window is long enough for the technician to restock the pool.
+    dl = second < rebuild_done
+    dl_idx = idx[dl]
+    if dl_idx.size:
+        state.batch.disk_failures[dl_idx] += 1
+        state.batch.dl_events[dl_idx] += 1
+        outage_end = second[dl] + _sample(state.ddf_dist, dl_idx.size, rng)
+        state.batch.downtime_hours[dl_idx] += _clip_downtime(second[dl], outage_end, state.horizon)
+        _renew_failed_before(state.clocks, dl_idx, outage_end, state.failure_dist, rng)
+        state.spares[dl_idx] = state.n_spares
+        state.now[dl_idx] = outage_end
+
+    # Rebuild finished: the spare carries the data; replace the dead hardware.
+    ok = ~dl
+    ok_idx = idx[ok]
+    if ok_idx.size:
+        _renew_slots(state.clocks, ok_idx, slot[ok], rebuild_done[ok], state.failure_dist, rng)
+        state.spares[ok_idx] -= 1
+        _replacement_visit_step(state, ok_idx, rebuild_done[ok], exposed)
+
+
+def _replacement_visit_step(
+    state: _SparePoolState,
+    idx: np.ndarray,
+    start: np.ndarray,
+    exposed: List[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+) -> None:
+    """Technician visit restocking the spare pool after an on-line rebuild."""
+    rng = state.rng
+    n = state.params.n_disks
+    replace_done = start + _sample(state.replace_dist, idx.size, rng)
+    _, next_fail = _min_and_slot(state.clocks[idx])
+    next_fail = np.maximum(next_fail, start)
+
+    # A further failure preempts the visit: the pool is not restocked and the
+    # failure is handled from scratch next round (another spare when one is
+    # left, the exposed service otherwise).
+    preempt = (next_fail < replace_done) & (next_fail < state.horizon)
+    p_idx = idx[preempt]
+    if p_idx.size:
+        state.now[p_idx] = next_fail[preempt]
+
+    rest = ~preempt
+    if state.hep > 0.0:
+        he = rest & (rng.random(idx.size) < state.hep)
+    else:
+        he = np.zeros(idx.size, dtype=bool)
+
+    ok = rest & ~he
+    ok_idx = idx[ok]
+    if ok_idx.size:
+        state.spares[ok_idx] = state.n_spares
+        state.now[ok_idx] = replace_done[ok]
+
+    # Wrong pull during the visit: the array was fully redundant, so it only
+    # degrades — unless a real failure or a crash of the pulled disk lands
+    # while the error is outstanding.
+    he_idx = idx[he]
+    if he_idx.size == 0:
+        return
+    state.batch.human_errors[he_idx] += 1
+    wrong = rng.integers(n, size=he_idx.size)
+    duration, crashed = _recovery_race(
+        he_idx.size, state.recovery_dist, state.hep, state.crash_rate, rng
+    )
+    recovery_end = replace_done[he] + duration
+    other, second = _min_excluding(state.clocks[he_idx], wrong)
+    second = np.maximum(second, replace_done[he])
+    fail_during = (second < recovery_end) & (second < state.horizon)
+
+    # Failure during the wrong pull, pulled disk crashed: unavailability
+    # escalates to data loss; the backup restore fixes everything.
+    a = fail_during & crashed
+    a_idx = he_idx[a]
+    if a_idx.size:
+        state.batch.disk_failures[a_idx] += 1
+        state.batch.du_events[a_idx] += 1
+        state.batch.dl_events[a_idx] += 1
+        outage_end = recovery_end[a] + _sample(state.ddf_dist, a_idx.size, rng)
+        state.batch.downtime_hours[a_idx] += _clip_downtime(second[a], outage_end, state.horizon)
+        _renew_failed_before(state.clocks, a_idx, outage_end, state.failure_dist, rng)
+        state.spares[a_idx] = state.n_spares
+        state.now[a_idx] = outage_end
+
+    # Failure during the wrong pull, no crash: data unavailable until the
+    # error is undone, then the real failure resolves without a spare.
+    b = fail_during & ~crashed
+    b_idx = he_idx[b]
+    if b_idx.size:
+        state.batch.disk_failures[b_idx] += 1
+        state.batch.du_events[b_idx] += 1
+        state.batch.downtime_hours[b_idx] += _clip_downtime(second[b], recovery_end[b], state.horizon)
+        exposed.append((b_idx, other[b], recovery_end[b]))
+
+    # No failure, but the pulled disk crashed: it is now a genuine failed
+    # disk (array degraded-but-up, pool not restocked).
+    cr = ~fail_during & crashed
+    cr_idx = he_idx[cr]
+    if cr_idx.size:
+        exposed.append((cr_idx, wrong[cr], recovery_end[cr]))
+
+    # Clean recovery: the visit still restocked the pool.
+    ok2 = ~fail_during & ~crashed
+    ok2_idx = he_idx[ok2]
+    if ok2_idx.size:
+        state.spares[ok2_idx] = state.n_spares
+        state.now[ok2_idx] = recovery_end[ok2]
+
+
+def _exposed_step(
+    state: _SparePoolState,
+    idx: np.ndarray,
+    slot: np.ndarray,
+    start: np.ndarray,
+) -> None:
+    """Resolve a failed disk with no spare left (the ``EXPns1`` service).
+
+    The technician rebuilds and replaces hardware in one visit (combined
+    rate ``mu_DF + mu_ch``); success restocks the whole pool.
+    """
+    rng = state.rng
+    combined_rate = state.params.disk_repair_rate + state.params.spare_replacement_rate
+    service_done = start + rng.exponential(1.0 / combined_rate, idx.size)
+    _, second = _min_excluding(state.clocks[idx], slot)
+    second = np.maximum(second, start)
+
+    # Double failure with no spare: data loss.
+    dl = (second < service_done) & (second < state.horizon)
+    dl_idx = idx[dl]
+    if dl_idx.size:
+        state.batch.disk_failures[dl_idx] += 1
+        state.batch.dl_events[dl_idx] += 1
+        outage_end = second[dl] + _sample(state.ddf_dist, dl_idx.size, rng)
+        state.batch.downtime_hours[dl_idx] += _clip_downtime(second[dl], outage_end, state.horizon)
+        _renew_slots(state.clocks, dl_idx, slot[dl], outage_end, state.failure_dist, rng)
+        _renew_failed_before(state.clocks, dl_idx, outage_end, state.failure_dist, rng)
+        state.spares[dl_idx] = 0
+        state.now[dl_idx] = outage_end
+
+    rest = ~dl
+    if state.hep > 0.0:
+        he = rest & (rng.random(idx.size) < state.hep)
+    else:
+        he = np.zeros(idx.size, dtype=bool)
+
+    # Wrong pull while degraded: data unavailable (data loss if the pulled
+    # disk crashes before the error is undone).
+    he_idx = idx[he]
+    if he_idx.size:
+        state.batch.human_errors[he_idx] += 1
+        state.batch.du_events[he_idx] += 1
+        duration, crashed = _recovery_race(
+            he_idx.size, state.recovery_dist, state.hep, state.crash_rate, rng
+        )
+        outage_end = service_done[he] + duration
+        cr = np.flatnonzero(crashed)
+        if cr.size:
+            state.batch.dl_events[he_idx[cr]] += 1
+            outage_end[cr] += _sample(state.ddf_dist, cr.size, rng)
+        state.batch.downtime_hours[he_idx] += _clip_downtime(
+            service_done[he], outage_end, state.horizon
+        )
+        _renew_slots(state.clocks, he_idx, slot[he], outage_end, state.failure_dist, rng)
+        _renew_failed_before(state.clocks, he_idx, outage_end, state.failure_dist, rng)
+        state.spares[he_idx] = 0
+        state.now[he_idx] = outage_end
+
+    # Successful combined service: disk back, pool restocked in one visit.
+    ok = rest & ~he
+    ok_idx = idx[ok]
+    if ok_idx.size:
+        _renew_slots(state.clocks, ok_idx, slot[ok], service_done[ok], state.failure_dist, rng)
+        state.spares[ok_idx] = state.n_spares
+        state.now[ok_idx] = service_done[ok]

@@ -5,6 +5,7 @@ from repro.experiments import (
     fig5_hep_sweep,
     fig6_raid_comparison,
     fig7_failover,
+    hot_spare,
     underestimation,
 )
 from repro.experiments.config import (
@@ -14,6 +15,7 @@ from repro.experiments.config import (
     FIG6_FAILURE_RATES,
     FIG6_USABLE_DISKS,
     HEP_SWEEP,
+    HOT_SPARE_POOL_SIZES,
     ExperimentDefaults,
     fig4_failure_rates,
     fig5_parameter_sets,
@@ -31,6 +33,7 @@ __all__ = [
     "FIG6_FAILURE_RATES",
     "FIG6_USABLE_DISKS",
     "HEP_SWEEP",
+    "HOT_SPARE_POOL_SIZES",
     "fig4_failure_rates",
     "fig4_validation",
     "fig5_hep_sweep",
@@ -38,6 +41,7 @@ __all__ = [
     "fig6_configurations",
     "fig6_raid_comparison",
     "fig7_failover",
+    "hot_spare",
     "raid5_3_1_parameters",
     "run_all_experiments",
     "underestimation",

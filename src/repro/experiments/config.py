@@ -42,6 +42,11 @@ FIG5_FIELD_RATES: Tuple[Tuple[float, float], ...] = (
 #: hep values for which the Fig. 4 validation is run.
 FIG4_HEP_VALUES: Tuple[float, ...] = (0.001, 0.01)
 
+#: Spare-pool sizes explored by the hot-spare study (EXP-S1, beyond the
+#: paper); the conventional and fail-over policies are always included as
+#: the 0- and 1-spare rungs of the ladder.
+HOT_SPARE_POOL_SIZES: Tuple[int, ...] = (2, 3)
+
 #: Usable capacity (in disk units) of the Fig. 6 equal-capacity comparison:
 #: the least common multiple of 1, 3 and 7 data disks.
 FIG6_USABLE_DISKS: int = 21

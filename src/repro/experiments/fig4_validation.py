@@ -62,8 +62,13 @@ def run_fig4_validation(
     mc_iterations: int = DEFAULTS.mc_iterations,
     mc_horizon_hours: float = DEFAULTS.mc_horizon_hours,
     seed: int = DEFAULTS.seed,
+    executor: str = "auto",
 ) -> List[ValidationPoint]:
-    """Run the validation grid and return one point per (rate, hep) pair."""
+    """Run the validation grid and return one point per (rate, hep) pair.
+
+    ``executor`` selects the Monte Carlo execution path; the default lets
+    the runner vectorise through the policy's batch kernel.
+    """
     rates = list(failure_rates) if failure_rates is not None else fig4_failure_rates()
     points: List[ValidationPoint] = []
     for hep in hep_values:
@@ -80,6 +85,7 @@ def run_fig4_validation(
                     n_iterations=mc_iterations,
                     confidence=DEFAULTS.mc_confidence,
                     seed=seed,
+                    executor=executor,
                 )
             )
             points.append(

@@ -12,7 +12,7 @@ from typing import Dict, List, Optional
 
 from repro.availability.report import Table
 from repro.experiments import fig4_validation, fig5_hep_sweep, fig6_raid_comparison
-from repro.experiments import fig7_failover, underestimation
+from repro.experiments import fig7_failover, hot_spare, underestimation
 from repro.experiments.config import DEFAULTS
 
 
@@ -60,6 +60,12 @@ def run_all_experiments(
         points = fig4_validation.run_fig4_validation(mc_iterations=iterations, seed=seed)
         report.tables.append(fig4_validation.fig4_table(points))
         report.headline["fig4_agreement_fraction"] = fig4_validation.agreement_fraction(points)
+
+        spare_points = hot_spare.run_hot_spare_study(mc_iterations=iterations, seed=seed)
+        report.tables.append(hot_spare.hot_spare_table(spare_points))
+        report.headline["hot_spare_best_pool_size"] = float(
+            hot_spare.best_pool_size(spare_points)
+        )
 
     fig5_series = fig5_hep_sweep.run_fig5_sweep()
     report.tables.append(fig5_hep_sweep.fig5_table(fig5_series))

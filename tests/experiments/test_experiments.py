@@ -30,6 +30,11 @@ from repro.experiments.fig7_failover import (
     improvement_by_hep,
     run_fig7_comparison,
 )
+from repro.experiments.hot_spare import (
+    best_pool_size,
+    hot_spare_table,
+    run_hot_spare_study,
+)
 from repro.experiments.underestimation import (
     headline_factor,
     run_underestimation_study,
@@ -168,6 +173,22 @@ class TestFig7:
         table = fig7_table(points)
         assert "Delayed-Disk-Replacement" in table.columns
         assert len(table.rows) == 3
+
+
+class TestHotSpareStudy:
+    def test_policy_ladder_and_table(self):
+        points = run_hot_spare_study(pool_sizes=(2,), mc_iterations=800, seed=5)
+        assert [p.policy for p in points] == [
+            "conventional", "automatic_failover", "hot_spare_pool_k2",
+        ]
+        assert points[0].improvement_over_conventional == pytest.approx(1.0)
+        assert all(0.0 < p.availability <= 1.0 for p in points)
+        table = hot_spare_table(points)
+        assert len(table.rows) == 3
+        assert "hot-spare" in table.title
+        assert best_pool_size(points) in {0, 1, 2}
+        payload = points[-1].as_dict()
+        assert payload["n_spares"] == 2
 
 
 class TestUnderestimation:

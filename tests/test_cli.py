@@ -44,6 +44,62 @@ class TestCompareCommand:
         assert ranking_line.split(": ")[1].split(" > ")[0] == "RAID1(1+1)"
 
 
+class TestMcCommand:
+    def test_mc_batch_run(self, capsys):
+        assert main([
+            "mc", "--policy", "conventional", "--failure-rate", "1e-4",
+            "--hep", "0.05", "--iterations", "500", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "policy:             conventional" in out
+        assert "availability:" in out and "interval:" in out
+
+    def test_mc_hot_spare_pool_end_to_end(self, capsys):
+        assert main([
+            "mc", "--policy", "hot_spare_pool", "--failure-rate", "1e-4",
+            "--hep", "0.05", "--iterations", "500", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "hot_spare_pool" in out and "disk failures" in out
+
+    def test_mc_custom_spares(self, capsys):
+        assert main([
+            "mc", "--spares", "3", "--failure-rate", "1e-4",
+            "--hep", "0.05", "--iterations", "300", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "hot_spare_pool_k3" in out
+
+    def test_mc_scalar_executor(self, capsys):
+        assert main([
+            "mc", "--executor", "scalar", "--failure-rate", "1e-4",
+            "--hep", "0.05", "--iterations", "200", "--seed", "1",
+        ]) == 0
+        assert "executor:           scalar" in capsys.readouterr().out
+
+    def test_mc_policy_and_spares_conflict(self, capsys):
+        assert main([
+            "mc", "--policy", "conventional", "--spares", "2", "--iterations", "100",
+        ]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_mc_unknown_policy_is_clean_error(self, capsys):
+        assert main(["mc", "--policy", "bogus", "--iterations", "100"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown policy 'bogus'" in err
+        assert "conventional" in err  # the error lists the alternatives
+
+
+class TestPoliciesCommand:
+    def test_policies_lists_registry(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        assert "conventional" in out
+        assert "automatic_failover" in out
+        assert "hot_spare_pool" in out
+        assert "batch+scalar" in out
+
+
 class TestReproduceCommand:
     def test_reproduce_without_monte_carlo(self, capsys):
         assert main(["reproduce", "--no-mc"]) == 0
