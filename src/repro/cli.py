@@ -33,6 +33,21 @@ from repro.experiments.runner import run_all_experiments
 from repro.storage.raid import RaidGeometry
 
 
+def _seed_argument(text: str) -> Optional[int]:
+    """Parse ``--seed``: a non-negative integer, or ``random``/``none``."""
+    if text.lower() in ("random", "none"):
+        return None
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"seed must be an integer or 'random', got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"seed must be non-negative, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Return the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -75,15 +90,53 @@ def build_parser() -> argparse.ArgumentParser:
     mc.add_argument("--raid", default="RAID5(3+1)", help="RAID label, e.g. RAID5(7+1)")
     mc.add_argument("--failure-rate", type=float, default=1e-6, help="disk failure rate per hour")
     mc.add_argument("--hep", type=float, default=0.001, help="human error probability")
-    mc.add_argument("--iterations", type=int, default=20_000, help="simulated lifetimes")
+    mc.add_argument(
+        "--iterations",
+        type=int,
+        default=20_000,
+        help="simulated lifetimes (with --target-half-width: size of the first round)",
+    )
     mc.add_argument("--horizon-years", type=float, default=10.0, help="mission time per lifetime")
     mc.add_argument("--confidence", type=float, default=0.99, help="confidence level of the interval")
-    mc.add_argument("--seed", type=int, default=0, help="master seed")
+    mc.add_argument(
+        "--seed",
+        type=_seed_argument,
+        default=0,
+        help="master seed (an integer, or 'random' for fresh entropy; the "
+        "resolved entropy is printed so any run can be replayed)",
+    )
     mc.add_argument(
         "--executor",
         choices=list(EXECUTORS),
         default="auto",
         help="batch (vectorised), scalar (traced/debug path), or auto",
+    )
+    mc.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sharded executor (1 = single process)",
+    )
+    mc.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        help="lifetimes per shard; pinning it makes results bit-identical "
+        "across --workers values (default: one shard per worker, capped "
+        "at 50000 lifetimes per shard)",
+    )
+    mc.add_argument(
+        "--target-half-width",
+        type=float,
+        default=None,
+        help="adaptive stopping: keep adding shard rounds until the "
+        "confidence interval half-width reaches this value",
+    )
+    mc.add_argument(
+        "--max-iterations",
+        type=int,
+        default=None,
+        help="iteration ceiling of an adaptive run (default: 1e6)",
     )
 
     subparsers.add_parser("policies", help="list the registered replacement policies")
@@ -91,6 +144,12 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce = subparsers.add_parser("reproduce", help="regenerate the paper's figures")
     reproduce.add_argument("--mc-iterations", type=int, default=8000)
     reproduce.add_argument("--no-mc", action="store_true", help="skip the Monte Carlo validation")
+    reproduce.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the Monte Carlo validation runs",
+    )
 
     return parser
 
@@ -138,6 +197,11 @@ def _run_mc(args: argparse.Namespace) -> str:
             "--policy and --spares are mutually exclusive: --spares builds a "
             "hot_spare_pool variant and would override the named policy"
         )
+    if args.max_iterations is not None and args.target_half_width is None:
+        raise ConfigurationError(
+            "--max-iterations caps an adaptive run and does nothing without "
+            "--target-half-width"
+        )
     if args.spares is not None:
         policy = hot_spare_policy(args.spares)
     else:
@@ -155,16 +219,24 @@ def _run_mc(args: argparse.Namespace) -> str:
         confidence=args.confidence,
         seed=args.seed,
         executor=args.executor,
+        workers=args.workers,
+        shard_size=args.shard_size,
+        target_half_width=args.target_half_width,
+        max_iterations=args.max_iterations,
     )
     result = run_monte_carlo(config)
     totals = result.totals
+    executor_label = args.executor
+    if config.uses_sharded_path:
+        executor_label += f" (sharded, {args.workers} worker{'s' if args.workers != 1 else ''})"
     lines = [
         f"policy:             {policy.name}",
         f"geometry:           {params.geometry.label}",
         f"disk failure rate:  {params.disk_failure_rate:g} /h",
         f"hep:                {params.hep:g}",
         f"iterations:         {result.n_iterations} x {args.horizon_years:g} years",
-        f"executor:           {args.executor}",
+        f"executor:           {executor_label}",
+        f"seed entropy:       {result.seed_entropy}",
         f"availability:       {result.availability:.12f}",
         f"nines:              {result.nines:.3f}",
         f"{result.interval.confidence * 100:g}% interval:       "
@@ -194,6 +266,7 @@ def _run_reproduce(args: argparse.Namespace) -> str:
     report = run_all_experiments(
         mc_iterations=args.mc_iterations,
         include_monte_carlo=not args.no_mc,
+        workers=args.workers,
     )
     return report.render()
 

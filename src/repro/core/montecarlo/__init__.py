@@ -11,6 +11,7 @@ from repro.core.montecarlo.batch import (
     summarise_batch,
 )
 from repro.core.montecarlo.config import (
+    DEFAULT_ADAPTIVE_CEILING,
     DEFAULT_HORIZON_HOURS,
     DEFAULT_ITERATIONS,
     EXECUTORS,
@@ -20,11 +21,21 @@ from repro.core.montecarlo.engine_bridge import (
     replay_trace_on_engine,
     run_traced_on_engine,
 )
+from repro.core.montecarlo.parallel import (
+    DEFAULT_SHARD_CAP,
+    ShardSummary,
+    effective_shard_size,
+    plan_shards,
+    run_shard,
+    run_sharded,
+    worker_pool,
+)
 from repro.core.montecarlo.results import (
     EpisodeTrace,
     IterationResult,
     MonteCarloResult,
     merge_iteration_counters,
+    merge_totals,
 )
 from repro.core.montecarlo.runner import (
     estimate_availability,
@@ -41,16 +52,22 @@ from repro.core.montecarlo.trace import (
 )
 
 __all__ = [
+    "DEFAULT_ADAPTIVE_CEILING",
     "DEFAULT_HORIZON_HOURS",
+    "DEFAULT_SHARD_CAP",
     "DEFAULT_ITERATIONS",
     "EXECUTORS",
     "EpisodeTrace",
     "IterationResult",
     "MonteCarloConfig",
     "MonteCarloResult",
+    "ShardSummary",
+    "effective_shard_size",
     "estimate_availability",
     "generate_example_trace",
     "merge_iteration_counters",
+    "merge_totals",
+    "plan_shards",
     "render_timeline",
     "replay_trace_on_engine",
     "run_batch",
@@ -58,10 +75,13 @@ __all__ = [
     "run_iterations",
     "run_monte_carlo",
     "run_monte_carlo_with_trace",
+    "run_shard",
+    "run_sharded",
     "run_traced_on_engine",
     "simulate_conventional",
     "simulate_failover",
     "summarise_batch",
     "summarise_iterations",
     "summarise_trace",
+    "worker_pool",
 ]

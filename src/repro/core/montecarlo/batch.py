@@ -7,30 +7,53 @@ and summarises the per-lifetime availabilities with the same Student-t
 interval as the scalar path.  Policies without a vectorised kernel fall
 back to a scalar loop inside :meth:`SimulationPolicy.simulate_batch`, so
 ``run_batch`` works for every registered policy.
+
+Multi-process execution lives one layer up in
+:mod:`repro.core.montecarlo.parallel`, which splits the budget into shards
+and runs each shard through the same kernels used here.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 from repro.core.montecarlo.config import MonteCarloConfig
 from repro.core.montecarlo.results import MonteCarloResult
 from repro.core.policies.base import BatchLifetimes
 from repro.core.policies.registry import resolve_policy
+from repro.exceptions import ConfigurationError
 from repro.simulation.confidence import confidence_interval
 from repro.simulation.rng import RandomStreams
 
 
-def run_batch_lifetimes(config: MonteCarloConfig) -> BatchLifetimes:
-    """Run all configured lifetimes through the batch kernel, raw results."""
+def run_batch_lifetimes(
+    config: MonteCarloConfig, streams: Optional[RandomStreams] = None
+) -> BatchLifetimes:
+    """Run all configured lifetimes through the batch kernel, raw results.
+
+    ``streams`` lets a caller supply an externally seeded stream family
+    (e.g. a shard's spawned child); ``None`` builds one from ``config.seed``.
+    """
     policy = resolve_policy(config.policy)
-    streams = RandomStreams(config.seed)
+    if streams is None:
+        streams = RandomStreams(config.seed)
     rng = streams.stream("montecarlo")
     return policy.simulate_batch(
         config.params, config.horizon_hours, config.n_iterations, rng
     )
 
 
-def summarise_batch(batch: BatchLifetimes, config: MonteCarloConfig) -> MonteCarloResult:
+def summarise_batch(
+    batch: BatchLifetimes,
+    config: MonteCarloConfig,
+    seed_entropy: Optional[int] = None,
+) -> MonteCarloResult:
     """Aggregate a batch into a :class:`MonteCarloResult`."""
+    # Same up-front check (and error type) as the scalar path's
+    # summarise_iterations — a too-small batch must not surface as a
+    # SimulationError from deep inside the interval computation.
+    if len(batch) < 2:
+        raise ConfigurationError("at least two iterations are required to summarise")
     availabilities = batch.availabilities()
     interval = confidence_interval(availabilities, confidence=config.confidence)
     return MonteCarloResult(
@@ -40,9 +63,12 @@ def summarise_batch(batch: BatchLifetimes, config: MonteCarloConfig) -> MonteCar
         horizon_hours=config.horizon_hours,
         totals=batch.totals(),
         label=config.label(),
+        seed_entropy=seed_entropy,
     )
 
 
 def run_batch(config: MonteCarloConfig) -> MonteCarloResult:
     """Run the configured study on the vectorised path and summarise it."""
-    return summarise_batch(run_batch_lifetimes(config), config)
+    streams = RandomStreams(config.seed)
+    batch = run_batch_lifetimes(config, streams=streams)
+    return summarise_batch(batch, config, seed_entropy=streams.seed_entropy)

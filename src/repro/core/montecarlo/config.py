@@ -21,9 +21,16 @@ DEFAULT_ITERATIONS = 20_000
 #: whenever the policy has a kernel and no trace was requested.
 EXECUTORS = ("auto", "batch", "scalar")
 
+#: Iteration ceiling of an adaptive (``target_half_width``) run when no
+#: explicit ``max_iterations`` is configured — the paper's 1e6 setting.
+DEFAULT_ADAPTIVE_CEILING = 1_000_000
+
 #: How a policy may be specified: a registry name, a legacy enum member, or
 #: a ready :class:`~repro.core.policies.base.SimulationPolicy` instance.
 PolicyRef = Union[str, PolicyKind, SimulationPolicy]
+
+#: Sentinel distinguishing "argument not passed" from an explicit ``None``.
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -53,6 +60,27 @@ class MonteCarloConfig:
     executor:
         ``"auto"`` (batch whenever the policy has a vectorised kernel and no
         trace is collected), ``"batch"`` or ``"scalar"``.
+    workers:
+        Number of worker processes for the sharded executor.  ``1`` (the
+        default) runs all shards in-process; ``> 1`` fans shards out over a
+        process pool.
+    shard_size:
+        Lifetimes per shard on the sharded path.  ``None`` derives
+        ``ceil(round_budget / workers)`` (one shard per worker and round),
+        capped at 50k lifetimes per shard
+        (:data:`repro.core.montecarlo.parallel.DEFAULT_SHARD_CAP`), which
+        ties the decomposition — and therefore the exact random draws — to
+        the worker count.  Setting it explicitly pins the decomposition
+        instead (no cap applied), making results bit-identical across
+        different worker counts.
+    target_half_width:
+        Adaptive-stopping target: keep dispatching shard rounds until the
+        Student-t interval half-width at ``confidence`` drops to this value
+        (or ``max_iterations`` is reached).  ``n_iterations`` sizes the
+        first round.  ``None`` disables adaptive mode.
+    max_iterations:
+        Iteration ceiling of an adaptive run; ``None`` uses
+        ``DEFAULT_ADAPTIVE_CEILING``.  Ignored without ``target_half_width``.
     """
 
     params: AvailabilityParameters = field(default_factory=AvailabilityParameters)
@@ -63,6 +91,10 @@ class MonteCarloConfig:
     seed: Optional[int] = None
     collect_trace: bool = False
     executor: str = "auto"
+    workers: int = 1
+    shard_size: Optional[int] = None
+    target_half_width: Optional[float] = None
+    max_iterations: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.horizon_hours <= 0.0:
@@ -79,6 +111,47 @@ class MonteCarloConfig:
             raise ConfigurationError(
                 f"executor must be one of {EXECUTORS}, got {self.executor!r}"
             )
+        if int(self.workers) < 1:
+            raise ConfigurationError(f"workers must be at least 1, got {self.workers!r}")
+        if self.shard_size is not None and int(self.shard_size) < 1:
+            raise ConfigurationError(
+                f"shard size must be at least 1, got {self.shard_size!r}"
+            )
+        if self.target_half_width is not None and self.target_half_width <= 0.0:
+            raise ConfigurationError(
+                f"target half-width must be positive, got {self.target_half_width!r}"
+            )
+        if (
+            self.target_half_width is not None
+            and self.max_iterations is not None
+            and self.max_iterations < self.n_iterations
+        ):
+            raise ConfigurationError(
+                f"max_iterations ({self.max_iterations!r}) must not be below "
+                f"n_iterations ({self.n_iterations!r})"
+            )
+        if self.collect_trace and self.uses_sharded_path:
+            raise ConfigurationError(
+                "event traces require the single-process scalar path; "
+                "collect_trace cannot be combined with workers > 1, "
+                "shard_size or target_half_width"
+            )
+
+    @property
+    def uses_sharded_path(self) -> bool:
+        """Return whether this config runs on the sharded parallel executor."""
+        return (
+            int(self.workers) > 1
+            or self.shard_size is not None
+            or self.target_half_width is not None
+        )
+
+    @property
+    def adaptive_ceiling(self) -> int:
+        """Return the iteration ceiling of an adaptive run."""
+        if self.max_iterations is not None:
+            return int(self.max_iterations)
+        return max(DEFAULT_ADAPTIVE_CEILING, int(self.n_iterations))
 
     @property
     def policy_name(self) -> str:
@@ -100,6 +173,33 @@ class MonteCarloConfig:
     def with_executor(self, executor: str) -> "MonteCarloConfig":
         """Return a copy with a different execution style."""
         return replace(self, executor=str(executor))
+
+    def with_workers(self, workers: int, shard_size=_UNSET) -> "MonteCarloConfig":
+        """Return a copy configured for the sharded executor.
+
+        A pinned ``shard_size`` is preserved unless explicitly overridden
+        (pass ``None`` to unpin), so changing the worker count never
+        silently changes the shard decomposition of a reference config.
+        """
+        return replace(
+            self,
+            workers=int(workers),
+            shard_size=self.shard_size if shard_size is _UNSET else shard_size,
+        )
+
+    def with_target_half_width(
+        self, target_half_width: float, max_iterations=_UNSET
+    ) -> "MonteCarloConfig":
+        """Return a copy that stops adaptively at the given interval width.
+
+        A pinned ``max_iterations`` ceiling is preserved unless explicitly
+        overridden (pass ``None`` to restore the default ceiling).
+        """
+        return replace(
+            self,
+            target_half_width=float(target_half_width),
+            max_iterations=self.max_iterations if max_iterations is _UNSET else max_iterations,
+        )
 
     def with_params(self, params: AvailabilityParameters) -> "MonteCarloConfig":
         """Return a copy with a different parameter set."""

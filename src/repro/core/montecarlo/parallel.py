@@ -1,0 +1,290 @@
+"""Sharded parallel Monte Carlo executor with streaming aggregation.
+
+This is the scale-out layer above the vectorised batch kernels: the
+iteration budget is split into fixed-size *shards*, each shard runs on its
+own :class:`~repro.simulation.rng.RandomStreams` family (spawned from the
+master seed at the shard's index, so streams never collide and never
+depend on scheduling order), and shard results come back as constant-size
+summaries — Chan–Golub–LeVeque mergeable moments plus event totals —
+rather than per-lifetime sample arrays.  Merging is deterministic
+(shard-index order) and exact, so
+
+* ``workers=1`` and ``workers=N`` produce bit-identical results for the
+  same shard decomposition, and
+* memory stays flat no matter how many lifetimes are simulated.
+
+On top of the shard rounds sits **CI-driven adaptive stopping**: with
+``MonteCarloConfig.target_half_width`` set, the executor keeps dispatching
+rounds — sized by the :func:`~repro.simulation.confidence.required_samples`
+planner — until the Student-t interval is tight enough or the configured
+iteration ceiling is reached.  ``mc --target-half-width 1e-5`` therefore
+replaces guessing ``--iterations``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+import multiprocessing
+import sys
+from concurrent.futures import Executor, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.montecarlo.config import MonteCarloConfig
+from repro.core.montecarlo.results import MonteCarloResult, merge_totals
+from repro.core.policies.registry import resolve_policy
+from repro.exceptions import SimulationError
+from repro.simulation.confidence import StreamingMoments, required_samples
+from repro.simulation.rng import RandomStreams
+
+
+#: Ceiling on the *derived* (unpinned) shard size.  Shards stream back
+#: constant-size summaries, but each shard materialises per-lifetime
+#: arrays inside the batch kernels while it runs — capping the shard size
+#: keeps that working set flat even when an adaptive round plans millions
+#: of lifetimes.  An explicit ``MonteCarloConfig.shard_size`` overrides it.
+DEFAULT_SHARD_CAP = 50_000
+
+
+@dataclass(frozen=True)
+class ShardSummary:
+    """Constant-size outcome of one shard of simulated lifetimes.
+
+    Attributes
+    ----------
+    shard_index:
+        Position of the shard in the spawn tree (its ``spawn_child`` index).
+    moments:
+        Mergeable mean/variance of the shard's per-lifetime availabilities.
+    totals:
+        Summed event counters of the shard (``MonteCarloResult.totals``
+        layout).
+    """
+
+    shard_index: int
+    moments: StreamingMoments
+    totals: Dict[str, float]
+
+
+def plan_shards(n_iterations: int, shard_size: int) -> List[int]:
+    """Split an iteration budget into shard sizes (all full but the last)."""
+    if n_iterations < 1:
+        raise SimulationError(f"need at least one iteration to shard, got {n_iterations!r}")
+    if shard_size < 1:
+        raise SimulationError(f"shard size must be at least 1, got {shard_size!r}")
+    full, rest = divmod(int(n_iterations), int(shard_size))
+    sizes = [int(shard_size)] * full
+    if rest:
+        sizes.append(rest)
+    return sizes
+
+
+def effective_shard_size(config: MonteCarloConfig, budget: Optional[int] = None) -> int:
+    """Return the shard size the config implies for a round of ``budget``.
+
+    An explicit ``shard_size`` pins the decomposition (making results
+    independent of ``workers``); otherwise the round is split one shard
+    per worker, capped at ``DEFAULT_SHARD_CAP`` lifetimes per shard.
+    ``budget`` defaults to the first round, ``config.n_iterations``.
+    """
+    if config.shard_size is not None:
+        return int(config.shard_size)
+    budget = config.n_iterations if budget is None else int(budget)
+    return min(max(1, math.ceil(budget / int(config.workers))), DEFAULT_SHARD_CAP)
+
+
+def run_shard(
+    config: MonteCarloConfig,
+    master_entropy: int,
+    shard_index: int,
+    shard_size: int,
+) -> ShardSummary:
+    """Run one shard and summarise it (executed inside worker processes).
+
+    The shard rebuilds its stream family from ``(master_entropy,
+    shard_index)`` alone — the parent never ships generator state, so the
+    draws are identical whether the shard runs in-process, in a forked
+    worker or in a spawned one.
+    """
+    policy = resolve_policy(config.policy)
+    streams = RandomStreams(master_entropy).spawn_child(shard_index)
+    batch = policy.simulate_shard(
+        config.params,
+        config.horizon_hours,
+        shard_size,
+        streams,
+        force_scalar=config.executor == "scalar",
+    )
+    return ShardSummary(
+        shard_index=shard_index,
+        moments=StreamingMoments.from_samples(batch.availabilities()),
+        totals=batch.totals(),
+    )
+
+
+def _make_pool(workers: int) -> ProcessPoolExecutor:
+    """Build the worker pool, preferring cheap ``fork`` workers on Linux.
+
+    Fork is only *safe* on Linux: macOS lists it as available but forking a
+    process with framework state initialised (numpy is already imported)
+    can crash workers, which is why CPython's default there is spawn.
+    """
+    use_fork = sys.platform == "linux" and "fork" in multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if use_fork else None)
+    return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+
+
+@contextlib.contextmanager
+def worker_pool(workers: int):
+    """Context manager yielding a reusable pool (or ``None`` for 1 worker).
+
+    Sweeps that run many sharded studies (the experiment grids) should
+    create one pool here and pass it to each :func:`run_sharded` /
+    ``run_monte_carlo`` call, instead of paying pool startup — worker
+    process creation, and on spawn platforms a numpy/scipy re-import per
+    worker — once per study.
+    """
+    if int(workers) <= 1:
+        yield None
+        return
+    pool = _make_pool(int(workers))
+    try:
+        yield pool
+    finally:
+        pool.shutdown()
+
+
+def _run_round(
+    config: MonteCarloConfig,
+    master_entropy: int,
+    first_index: int,
+    sizes: List[int],
+    pool: Optional[Executor],
+) -> Iterator[ShardSummary]:
+    """Run one round of shards, yielding summaries in shard-index order."""
+    if pool is None:
+        for offset, size in enumerate(sizes):
+            yield run_shard(config, master_entropy, first_index + offset, size)
+        return
+    futures = [
+        pool.submit(run_shard, config, master_entropy, first_index + offset, size)
+        for offset, size in enumerate(sizes)
+    ]
+    try:
+        # Collect in submission (= shard-index) order so the merge is
+        # deterministic regardless of which worker finishes first.
+        for future in futures:
+            yield future.result()
+    except BaseException:
+        # Drop the round's remaining shards even on a shared pool, so a
+        # failure doesn't leave orphan work blocking later studies.
+        for future in futures:
+            future.cancel()
+        raise
+
+
+def run_sharded(
+    config: MonteCarloConfig, pool: Optional[Executor] = None
+) -> MonteCarloResult:
+    """Run the configured study on the sharded executor and summarise it.
+
+    Dispatches shard rounds across ``config.workers`` processes (in-process
+    for ``workers=1``), merges the streaming summaries, and — when
+    ``config.target_half_width`` is set — keeps adding rounds until the
+    interval is tight enough or ``config.adaptive_ceiling`` is hit.
+
+    ``pool`` lets a sweep share one executor across many studies (see
+    :func:`worker_pool`); its lifecycle then belongs to the caller.
+    """
+    resolve_policy(config.policy)  # fail fast on unknown policies
+    master = RandomStreams(config.seed)
+    master_entropy = master.seed_entropy
+    target = config.target_half_width
+    ceiling = config.adaptive_ceiling if target is not None else config.n_iterations
+
+    moments = StreamingMoments()
+    totals: Dict[str, float] = {}
+    next_index = 0
+    round_budget = config.n_iterations
+
+    workers = int(config.workers)
+    own_pool: Optional[ProcessPoolExecutor] = None
+    try:
+        if pool is None and workers > 1:
+            pool = own_pool = _make_pool(workers)
+        while round_budget > 0:
+            # A pinned shard_size fixes the decomposition (bit-identical
+            # across worker counts); the default re-splits every round one
+            # shard per worker, so smaller adaptive follow-up rounds still
+            # fan out instead of idling all but one worker.
+            shard_size = effective_shard_size(config, round_budget)
+            sizes = plan_shards(round_budget, shard_size)
+            summaries = list(
+                _run_round(config, master_entropy, next_index, sizes, pool)
+            )
+            next_index += len(sizes)
+            for summary in summaries:
+                moments.merge(summary.moments)
+            totals = merge_totals([totals] + [s.totals for s in summaries])
+            round_budget = _next_round_budget(config, moments, shard_size, ceiling)
+    except BaseException:
+        # Don't make a failed shard wait for the rest of the round: drop
+        # queued work and leave in-flight shards to die with their workers
+        # so the error surfaces immediately.  An externally owned pool is
+        # left alone — its lifecycle belongs to the caller.
+        if own_pool is not None:
+            own_pool.shutdown(wait=False, cancel_futures=True)
+            own_pool = None
+        raise
+    finally:
+        if own_pool is not None:
+            own_pool.shutdown()
+
+    return MonteCarloResult(
+        availability=moments.mean,
+        interval=moments.interval(config.confidence),
+        n_iterations=moments.n,
+        horizon_hours=config.horizon_hours,
+        totals=totals,
+        label=config.label(),
+        seed_entropy=master_entropy,
+    )
+
+
+def _next_round_budget(
+    config: MonteCarloConfig,
+    moments: StreamingMoments,
+    shard_size: int,
+    ceiling: int,
+) -> int:
+    """Return how many more lifetimes the adaptive loop should dispatch.
+
+    Zero means stop: either adaptive mode is off, the interval already
+    meets the target, or the ceiling is exhausted.
+    """
+    target = config.target_half_width
+    if target is None:
+        return 0
+    headroom = ceiling - moments.n
+    if headroom <= 0:
+        return 0
+    if moments.m2 == 0.0:
+        # Zero observed variance (e.g. no downtime event in any lifetime at
+        # rare-event parameters) makes the interval width 0, which would
+        # trivially "meet" any target.  That is degeneracy, not
+        # convergence — keep sampling, doubling per round, until either an
+        # event produces a real interval or the ceiling decides.
+        return min(max(moments.n, shard_size), headroom)
+    # The first round merged config.n_iterations >= 2 samples (config
+    # validation), so the interval always exists here.
+    if moments.interval(config.confidence).half_width <= target:
+        return 0
+    try:
+        needed = required_samples(moments.std(), target, confidence=config.confidence)
+    except SimulationError:
+        # Planner overflow (pathologically tight target): run out the
+        # remaining ceiling instead of giving up.
+        needed = ceiling
+    # Always make progress by at least one shard; never exceed the ceiling.
+    return min(max(needed - moments.n, shard_size), headroom)

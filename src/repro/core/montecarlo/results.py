@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.availability.metrics import availability_to_nines
 from repro.simulation.confidence import ConfidenceInterval
@@ -73,6 +73,10 @@ class MonteCarloResult:
         ``human_errors``, ``du_events``, ``dl_events``, ``downtime_hours``).
     label:
         Free-form description of the scenario (used by reports).
+    seed_entropy:
+        The resolved master entropy of the run's random streams.  For
+        ``seed=None`` runs this is the freshly drawn OS entropy, so any run
+        can be replayed exactly by passing it back as the seed.
     """
 
     availability: float
@@ -81,6 +85,7 @@ class MonteCarloResult:
     horizon_hours: float
     totals: Dict[str, float] = field(default_factory=dict)
     label: str = ""
+    seed_entropy: Optional[int] = None
 
     @property
     def unavailability(self) -> float:
@@ -131,18 +136,32 @@ class MonteCarloResult:
             "n_iterations": self.n_iterations,
             "horizon_hours": self.horizon_hours,
             "totals": dict(self.totals),
+            "seed_entropy": self.seed_entropy,
         }
+
+
+#: Counter keys every totals mapping carries (the fields of
+#: :class:`IterationResult` that sum across lifetimes).
+TOTAL_KEYS = ("downtime_hours", "du_events", "dl_events", "disk_failures", "human_errors")
+
+
+def empty_totals() -> Dict[str, float]:
+    """Return a zeroed totals mapping."""
+    return {key: 0.0 for key in TOTAL_KEYS}
+
+
+def merge_totals(parts: Iterable[Dict[str, float]]) -> Dict[str, float]:
+    """Sum several totals mappings (e.g. per-shard summaries) into one."""
+    totals = empty_totals()
+    for part in parts:
+        for key, value in part.items():
+            totals[key] = totals.get(key, 0.0) + float(value)
+    return totals
 
 
 def merge_iteration_counters(iterations: List[IterationResult]) -> Dict[str, float]:
     """Sum per-iteration counters into a totals mapping."""
-    totals: Dict[str, float] = {
-        "downtime_hours": 0.0,
-        "du_events": 0.0,
-        "dl_events": 0.0,
-        "disk_failures": 0.0,
-        "human_errors": 0.0,
-    }
+    totals = empty_totals()
     for iteration in iterations:
         totals["downtime_hours"] += iteration.downtime_hours
         totals["du_events"] += iteration.du_events

@@ -9,6 +9,10 @@ the square root of the iteration count.
 The replacement policy is resolved by name through
 :mod:`repro.core.policies.registry`; execution happens on one of two paths:
 
+* the **sharded** path (whenever ``workers > 1``, ``shard_size`` or
+  ``target_half_width`` is configured) splits the budget into per-worker
+  shards and merges streaming summaries via
+  :mod:`repro.core.montecarlo.parallel`,
 * the **batch** path (default whenever the policy ships a vectorised kernel
   and no event trace was requested) runs all lifetimes as struct-of-arrays
   numpy batches via :mod:`repro.core.montecarlo.batch`, and
@@ -26,6 +30,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.core.montecarlo.batch import run_batch
+from repro.core.montecarlo.parallel import run_sharded
 from repro.core.montecarlo.config import MonteCarloConfig, PolicyRef
 from repro.core.montecarlo.results import (
     EpisodeTrace,
@@ -55,13 +60,17 @@ def _use_batch_path(config: MonteCarloConfig) -> bool:
 
 def run_iterations(
     config: MonteCarloConfig,
+    streams: Optional[RandomStreams] = None,
 ) -> Tuple[List[IterationResult], Optional[EpisodeTrace]]:
     """Run all configured iterations on the scalar path, raw results.
 
     The first iteration optionally records an event trace (Fig. 1 style).
+    ``streams`` lets a caller supply an externally seeded stream family;
+    ``None`` builds one from ``config.seed``.
     """
     policy = resolve_policy(config.policy)
-    streams = RandomStreams(config.seed)
+    if streams is None:
+        streams = RandomStreams(config.seed)
     rng = streams.stream("montecarlo")
     iterations: List[IterationResult] = []
     trace: Optional[EpisodeTrace] = EpisodeTrace() if config.collect_trace else None
@@ -73,16 +82,24 @@ def run_iterations(
     return iterations, trace
 
 
-def run_monte_carlo(config: MonteCarloConfig) -> MonteCarloResult:
+def run_monte_carlo(config: MonteCarloConfig, pool=None) -> MonteCarloResult:
     """Run the configured study and return the aggregated result.
 
-    Dispatches to the vectorised batch executor or the scalar loop according
-    to ``config.executor`` (``"auto"`` prefers the batch path).
+    Dispatches to the sharded parallel executor (``workers``,
+    ``shard_size`` or ``target_half_width`` configured), the vectorised
+    batch executor, or the scalar loop according to the config
+    (``"auto"`` prefers the batch path).  ``pool`` optionally shares an
+    externally owned executor across sharded studies (see
+    :func:`repro.core.montecarlo.parallel.worker_pool`); it is ignored on
+    the single-process paths.
     """
+    if config.uses_sharded_path:
+        return run_sharded(config, pool=pool)
     if _use_batch_path(config):
         return run_batch(config)
-    iterations, _ = run_iterations(config)
-    return summarise_iterations(iterations, config)
+    streams = RandomStreams(config.seed)
+    iterations, _ = run_iterations(config, streams=streams)
+    return summarise_iterations(iterations, config, seed_entropy=streams.seed_entropy)
 
 
 def run_monte_carlo_with_trace(
@@ -90,13 +107,19 @@ def run_monte_carlo_with_trace(
 ) -> Tuple[MonteCarloResult, EpisodeTrace]:
     """Run the study on the scalar path and also return the first trace."""
     traced_config = config if config.collect_trace else replace(config, collect_trace=True)
-    iterations, trace = run_iterations(traced_config)
+    streams = RandomStreams(traced_config.seed)
+    iterations, trace = run_iterations(traced_config, streams=streams)
     assert trace is not None  # collect_trace was forced on above
-    return summarise_iterations(iterations, traced_config), trace
+    result = summarise_iterations(
+        iterations, traced_config, seed_entropy=streams.seed_entropy
+    )
+    return result, trace
 
 
 def summarise_iterations(
-    iterations: List[IterationResult], config: MonteCarloConfig
+    iterations: List[IterationResult],
+    config: MonteCarloConfig,
+    seed_entropy: Optional[int] = None,
 ) -> MonteCarloResult:
     """Aggregate raw iteration results into a :class:`MonteCarloResult`."""
     if len(iterations) < 2:
@@ -110,6 +133,7 @@ def summarise_iterations(
         horizon_hours=config.horizon_hours,
         totals=merge_iteration_counters(iterations),
         label=config.label(),
+        seed_entropy=seed_entropy,
     )
 
 
@@ -121,6 +145,8 @@ def estimate_availability(
     seed: Optional[int] = 0,
     confidence: float = 0.99,
     executor: str = "auto",
+    workers: int = 1,
+    target_half_width: Optional[float] = None,
 ) -> MonteCarloResult:
     """One-call convenience wrapper around :func:`run_monte_carlo`."""
     config = MonteCarloConfig(
@@ -131,5 +157,7 @@ def estimate_availability(
         confidence=confidence,
         seed=seed,
         executor=executor,
+        workers=workers,
+        target_half_width=target_half_width,
     )
     return run_monte_carlo(config)

@@ -37,6 +37,7 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.core.montecarlo.results import EpisodeTrace, IterationResult
     from repro.core.parameters import AvailabilityParameters
+    from repro.simulation.rng import RandomStreams
 
 #: Signature of a scalar (one-lifetime) simulator.
 ScalarSimulator = Callable[..., "IterationResult"]
@@ -159,13 +160,16 @@ class SimulationPolicy:
         horizon_hours: float,
         n_lifetimes: int,
         rng: np.random.Generator,
+        force_scalar: bool = False,
     ) -> BatchLifetimes:
         """Simulate ``n_lifetimes`` lifetimes, vectorised when possible.
 
         Policies without a batch kernel fall back to a scalar loop so every
-        registered policy supports both execution styles.
+        registered policy supports both execution styles; ``force_scalar``
+        requests that loop even when a kernel exists (the sharded executor
+        uses it to honour ``executor="scalar"`` configs).
         """
-        if self.batch is not None:
+        if self.batch is not None and not force_scalar:
             return self.batch(params, horizon_hours, int(n_lifetimes), rng)
         batch = BatchLifetimes.zeros(int(n_lifetimes), horizon_hours)
         for i in range(int(n_lifetimes)):
@@ -176,3 +180,25 @@ class SimulationPolicy:
             batch.disk_failures[i] = result.disk_failures
             batch.human_errors[i] = result.human_errors
         return batch
+
+    def simulate_shard(
+        self,
+        params: "AvailabilityParameters",
+        horizon_hours: float,
+        n_lifetimes: int,
+        streams: "RandomStreams",
+        force_scalar: bool = False,
+    ) -> BatchLifetimes:
+        """Simulate one shard of a parallel run from its own stream family.
+
+        A shard owns a whole :class:`~repro.simulation.rng.RandomStreams`
+        family (spawned from the master seed at the shard's fixed index) and
+        draws through the family's ``"montecarlo"`` stream — the same stream
+        name the single-process executors use, so a one-shard run and a
+        whole-budget batch run differ only in their position in the spawn
+        tree.
+        """
+        rng = streams.stream("montecarlo")
+        return self.simulate_batch(
+            params, horizon_hours, int(n_lifetimes), rng, force_scalar=force_scalar
+        )

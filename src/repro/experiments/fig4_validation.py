@@ -14,12 +14,14 @@ value is inside it.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.availability.report import Table
 from repro.core.models.generic import ModelKind, solve_model
 from repro.core.montecarlo.config import MonteCarloConfig
+from repro.core.montecarlo.parallel import worker_pool
 from repro.core.montecarlo.runner import run_monte_carlo
 from repro.core.parameters import paper_parameters
 from repro.experiments.config import DEFAULTS, FIG4_HEP_VALUES, fig4_failure_rates
@@ -63,45 +65,72 @@ def run_fig4_validation(
     mc_horizon_hours: float = DEFAULTS.mc_horizon_hours,
     seed: int = DEFAULTS.seed,
     executor: str = "auto",
+    workers: int = 1,
+    pool=None,
 ) -> List[ValidationPoint]:
     """Run the validation grid and return one point per (rate, hep) pair.
 
     ``executor`` selects the Monte Carlo execution path; the default lets
-    the runner vectorise through the policy's batch kernel.
+    the runner vectorise through the policy's batch kernel.  ``workers > 1``
+    fans each grid point's iteration budget out over the sharded
+    multi-process executor; ``pool`` optionally shares a caller-owned
+    executor (e.g. across several experiments).
     """
     rates = list(failure_rates) if failure_rates is not None else fig4_failure_rates()
     points: List[ValidationPoint] = []
-    for hep in hep_values:
-        for rate in rates:
-            params = paper_parameters(
-                geometry=RaidGeometry.raid5(3), disk_failure_rate=rate, hep=hep
-            )
-            markov = solve_model(params, ModelKind.CONVENTIONAL)
-            mc = run_monte_carlo(
-                MonteCarloConfig(
-                    params=params,
-                    policy=PolicyKind.CONVENTIONAL,
-                    horizon_hours=mc_horizon_hours,
-                    n_iterations=mc_iterations,
-                    confidence=DEFAULTS.mc_confidence,
-                    seed=seed,
-                    executor=executor,
+    # One pool for the whole grid: pool startup is paid once, not per point.
+    context = nullcontext(pool) if pool is not None else worker_pool(workers)
+    with context as grid_pool:
+        for hep in hep_values:
+            for rate in rates:
+                points.append(
+                    _validate_point(
+                        rate, hep, mc_iterations, mc_horizon_hours, seed,
+                        executor, workers, grid_pool,
+                    )
                 )
-            )
-            points.append(
-                ValidationPoint(
-                    disk_failure_rate=rate,
-                    hep=hep,
-                    markov_availability=markov.availability,
-                    markov_nines=markov.nines,
-                    mc_availability=mc.availability,
-                    mc_nines=mc.nines,
-                    mc_ci_low=mc.interval.lower,
-                    mc_ci_high=mc.interval.upper,
-                    markov_within_ci=mc.contains_availability(markov.availability),
-                )
-            )
     return points
+
+
+def _validate_point(
+    rate: float,
+    hep: float,
+    mc_iterations: int,
+    mc_horizon_hours: float,
+    seed: int,
+    executor: str,
+    workers: int,
+    pool,
+) -> ValidationPoint:
+    """Run one (rate, hep) grid point of the validation."""
+    params = paper_parameters(
+        geometry=RaidGeometry.raid5(3), disk_failure_rate=rate, hep=hep
+    )
+    markov = solve_model(params, ModelKind.CONVENTIONAL)
+    mc = run_monte_carlo(
+        MonteCarloConfig(
+            params=params,
+            policy=PolicyKind.CONVENTIONAL,
+            horizon_hours=mc_horizon_hours,
+            n_iterations=mc_iterations,
+            confidence=DEFAULTS.mc_confidence,
+            seed=seed,
+            executor=executor,
+            workers=workers,
+        ),
+        pool=pool,
+    )
+    return ValidationPoint(
+        disk_failure_rate=rate,
+        hep=hep,
+        markov_availability=markov.availability,
+        markov_nines=markov.nines,
+        mc_availability=mc.availability,
+        mc_nines=mc.nines,
+        mc_ci_low=mc.interval.lower,
+        mc_ci_high=mc.interval.upper,
+        markov_within_ci=mc.contains_availability(markov.availability),
+    )
 
 
 def fig4_table(points: Sequence[ValidationPoint]) -> Table:

@@ -12,12 +12,14 @@ over the conventional baseline.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.availability.metrics import unavailability_ratio
 from repro.availability.report import Table
 from repro.core.montecarlo.config import MonteCarloConfig
+from repro.core.montecarlo.parallel import worker_pool
 from repro.core.montecarlo.runner import run_monte_carlo
 from repro.core.parameters import paper_parameters
 from repro.core.policies import hot_spare_policy
@@ -69,8 +71,14 @@ def run_hot_spare_study(
     mc_iterations: Optional[int] = None,
     mc_horizon_hours: float = DEFAULTS.mc_horizon_hours,
     seed: int = DEFAULTS.seed,
+    workers: int = 1,
+    pool=None,
 ) -> List[HotSparePoint]:
-    """Run the policy ladder and return one point per policy."""
+    """Run the policy ladder and return one point per policy.
+
+    ``workers > 1`` runs each policy's study on the sharded multi-process
+    executor; ``pool`` optionally shares a caller-owned executor.
+    """
     iterations = mc_iterations if mc_iterations is not None else DEFAULTS.mc_iterations
     params = replace(
         paper_parameters(
@@ -83,33 +91,38 @@ def run_hot_spare_study(
 
     points: List[HotSparePoint] = []
     baseline_unavailability: Optional[float] = None
-    for name, n_spares in ladder:
-        policy = hot_spare_policy(n_spares) if name.startswith("hot_spare_pool") else resolve_policy(name)
-        result = run_monte_carlo(
-            MonteCarloConfig(
-                params=params,
-                policy=policy,
-                horizon_hours=mc_horizon_hours,
-                n_iterations=iterations,
-                confidence=DEFAULTS.mc_confidence,
-                seed=seed,
-            )
-        )
-        if baseline_unavailability is None:
-            baseline_unavailability = result.unavailability
-        points.append(
-            HotSparePoint(
-                policy=policy.name,
-                n_spares=n_spares,
-                availability=result.availability,
-                nines=result.nines,
-                ci_low=result.interval.lower,
-                ci_high=result.interval.upper,
-                improvement_over_conventional=unavailability_ratio(
-                    baseline_unavailability, result.unavailability
+    # One pool for the whole ladder: pool startup is paid once, not per policy.
+    context = nullcontext(pool) if pool is not None else worker_pool(workers)
+    with context as ladder_pool:
+        for name, n_spares in ladder:
+            policy = hot_spare_policy(n_spares) if name.startswith("hot_spare_pool") else resolve_policy(name)
+            result = run_monte_carlo(
+                MonteCarloConfig(
+                    params=params,
+                    policy=policy,
+                    horizon_hours=mc_horizon_hours,
+                    n_iterations=iterations,
+                    confidence=DEFAULTS.mc_confidence,
+                    seed=seed,
+                    workers=workers,
                 ),
+                pool=ladder_pool,
             )
-        )
+            if baseline_unavailability is None:
+                baseline_unavailability = result.unavailability
+            points.append(
+                HotSparePoint(
+                    policy=policy.name,
+                    n_spares=n_spares,
+                    availability=result.availability,
+                    nines=result.nines,
+                    ci_low=result.interval.lower,
+                    ci_high=result.interval.upper,
+                    improvement_over_conventional=unavailability_ratio(
+                        baseline_unavailability, result.unavailability
+                    ),
+                )
+            )
     return points
 
 

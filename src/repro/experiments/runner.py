@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.availability.report import Table
+from repro.core.montecarlo.parallel import worker_pool
 from repro.experiments import fig4_validation, fig5_hep_sweep, fig6_raid_comparison
 from repro.experiments import fig7_failover, hot_spare, underestimation
 from repro.experiments.config import DEFAULTS
@@ -38,6 +39,7 @@ def run_all_experiments(
     mc_iterations: Optional[int] = None,
     include_monte_carlo: bool = True,
     seed: int = DEFAULTS.seed,
+    workers: int = 1,
 ) -> ExperimentReport:
     """Run EXP-F4 ... EXP-F7 and EXP-T1 and collect their tables.
 
@@ -52,16 +54,25 @@ def run_all_experiments(
         experiments are purely analytical and fast).
     seed:
         Master seed forwarded to the Monte Carlo runs.
+    workers:
+        Worker processes for the Monte Carlo studies; ``> 1`` runs them on
+        the sharded parallel executor.
     """
     report = ExperimentReport()
     iterations = mc_iterations if mc_iterations is not None else DEFAULTS.mc_iterations
 
     if include_monte_carlo:
-        points = fig4_validation.run_fig4_validation(mc_iterations=iterations, seed=seed)
+        # One pool shared across every Monte Carlo study of the run, so
+        # worker startup is paid once, not per experiment.
+        with worker_pool(workers) as pool:
+            points = fig4_validation.run_fig4_validation(
+                mc_iterations=iterations, seed=seed, workers=workers, pool=pool
+            )
+            spare_points = hot_spare.run_hot_spare_study(
+                mc_iterations=iterations, seed=seed, workers=workers, pool=pool
+            )
         report.tables.append(fig4_validation.fig4_table(points))
         report.headline["fig4_agreement_fraction"] = fig4_validation.agreement_fraction(points)
-
-        spare_points = hot_spare.run_hot_spare_study(mc_iterations=iterations, seed=seed)
         report.tables.append(hot_spare.hot_spare_table(spare_points))
         report.headline["hot_spare_best_pool_size"] = float(
             hot_spare.best_pool_size(spare_points)

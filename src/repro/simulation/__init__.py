@@ -2,6 +2,7 @@
 
 from repro.simulation.confidence import (
     ConfidenceInterval,
+    StreamingMoments,
     batch_means,
     confidence_interval,
     required_samples,
@@ -24,6 +25,7 @@ __all__ = [
     "RandomStreams",
     "ScheduledEvent",
     "SimulationEngine",
+    "StreamingMoments",
     "TimeWeightedValue",
     "TraceRecord",
     "UpDownMonitor",

@@ -64,6 +64,79 @@ class ConfidenceInterval:
         return abs(self.half_width / self.mean)
 
 
+@dataclass
+class StreamingMoments:
+    """Mergeable running mean/variance (Chan–Golub–LeVeque).
+
+    Parallel shard workers summarise their samples into ``(n, mean, m2)``
+    triples; merging two triples is exact (up to floating-point rounding),
+    so a sharded Monte Carlo run can build the same Student-t interval as a
+    single pass over the pooled samples — without ever materialising them.
+
+    ``m2`` is the sum of squared deviations from the mean, i.e.
+    ``variance(ddof=1) = m2 / (n - 1)``.
+    """
+
+    n: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "StreamingMoments":
+        """Summarise a sample array into one moments triple."""
+        data = np.asarray(samples, dtype=float)
+        if np.any(~np.isfinite(data)):
+            raise SimulationError("streaming moments require finite samples")
+        if data.size == 0:
+            return cls()
+        mean = float(np.mean(data))
+        return cls(n=int(data.size), mean=mean, m2=float(np.sum((data - mean) ** 2)))
+
+    def merge(self, other: "StreamingMoments") -> "StreamingMoments":
+        """Fold ``other`` into this accumulator (in place) and return it."""
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            self.n, self.mean, self.m2 = other.n, other.mean, other.m2
+            return self
+        n = self.n + other.n
+        delta = other.mean - self.mean
+        self.m2 = self.m2 + other.m2 + delta * delta * self.n * other.n / n
+        self.mean = self.mean + delta * other.n / n
+        self.n = n
+        return self
+
+    def variance(self, ddof: int = 1) -> float:
+        """Return the (by default sample) variance of the merged data."""
+        if self.n <= ddof:
+            raise SimulationError(
+                f"variance with ddof={ddof} requires more than {ddof} samples, have {self.n}"
+            )
+        return max(self.m2, 0.0) / (self.n - ddof)
+
+    def std(self, ddof: int = 1) -> float:
+        """Return the (by default sample) standard deviation."""
+        return math.sqrt(self.variance(ddof=ddof))
+
+    def std_error(self) -> float:
+        """Return the standard error of the merged mean."""
+        return self.std() / math.sqrt(self.n)
+
+    def interval(self, confidence: float = 0.99) -> ConfidenceInterval:
+        """Return the Student-t interval of the merged mean."""
+        if self.n < 2:
+            raise SimulationError("confidence interval requires at least two samples")
+        std_error = self.std_error()
+        critical = t_critical(confidence, self.n)
+        return ConfidenceInterval(
+            mean=self.mean,
+            half_width=critical * std_error,
+            confidence=float(confidence),
+            n_samples=self.n,
+            std_error=std_error,
+        )
+
+
 def t_critical(confidence: float, n_samples: int) -> float:
     """Return the two-sided Student-t critical value for the given level."""
     if not 0.0 < confidence < 1.0:

@@ -18,6 +18,14 @@ import numpy as np
 
 from repro.exceptions import SimulationError
 
+#: Implicit (auto-indexed) child spawns allocate above this base, keeping
+#: them disjoint from any explicitly pinned index in either call order.
+#: Every spawn-key element must stay below 2**32: numpy's SeedSequence
+#: flattens larger integers into several 32-bit words, which would make
+#: the key-path encoding non-injective (e.g. an element of 2**32 becomes
+#: the same words as the two elements (0, 1)).
+IMPLICIT_SPAWN_BASE = 1 << 31
+
 
 class RandomStreams:
     """A family of independent random generators derived from one seed."""
@@ -31,6 +39,11 @@ class RandomStreams:
     def seed_entropy(self) -> int:
         """Return the master entropy (useful for logging a run's seed)."""
         return int(self._seed_sequence.entropy)
+
+    @property
+    def spawn_key(self) -> tuple:
+        """Return this family's position in the spawn tree (root: ``()``)."""
+        return tuple(self._seed_sequence.spawn_key)
 
     def stream(self, name: str) -> np.random.Generator:
         """Return (creating on first use) the named generator.
@@ -53,12 +66,30 @@ class RandomStreams:
         """Return generators for several names at once."""
         return [self.stream(name) for name in names]
 
-    def spawn_child(self) -> "RandomStreams":
-        """Return a new independent family (for a parallel replication)."""
-        self._children_spawned += 1
+    def spawn_child(self, index: Optional[int] = None) -> "RandomStreams":
+        """Return a new independent family (for a parallel replication).
+
+        The child's seed sequence extends the parent's full ``spawn_key``
+        lineage with one more element, so a grandchild's streams can never
+        collide with any child's — every node in the spawn tree has a unique
+        key path from the root.  Passing an explicit ``index`` pins the
+        child to a fixed position in the tree regardless of spawn order
+        (calling with the same index again returns the same family), which
+        is how parallel shard workers rebuild *their* family from just
+        ``(master entropy, shard index)``.  Implicit spawns allocate from a
+        disjoint index range above ``IMPLICIT_SPAWN_BASE``, so mixing the
+        two modes on one parent can never hand out the same family twice.
+        """
+        if index is None:
+            index = IMPLICIT_SPAWN_BASE + self._children_spawned
+            self._children_spawned += 1
+        elif not 0 <= int(index) < IMPLICIT_SPAWN_BASE:
+            raise SimulationError(
+                f"explicit spawn index must lie in [0, {IMPLICIT_SPAWN_BASE}), got {index!r}"
+            )
         child_seq = np.random.SeedSequence(
             entropy=self._seed_sequence.entropy,
-            spawn_key=(0xFFFF_0000 + self._children_spawned,),
+            spawn_key=tuple(self._seed_sequence.spawn_key) + (int(index),),
         )
         child = RandomStreams.__new__(RandomStreams)
         child._seed_sequence = child_seq

@@ -77,6 +77,64 @@ class TestMcCommand:
         ]) == 0
         assert "executor:           scalar" in capsys.readouterr().out
 
+    def test_mc_seed_entropy_printed(self, capsys):
+        assert main([
+            "mc", "--failure-rate", "1e-4", "--hep", "0.05",
+            "--iterations", "200", "--seed", "17",
+        ]) == 0
+        assert "seed entropy:       17" in capsys.readouterr().out
+
+    def test_mc_random_seed_resolves_entropy(self, capsys):
+        assert main([
+            "mc", "--failure-rate", "1e-4", "--hep", "0.05",
+            "--iterations", "200", "--seed", "random",
+        ]) == 0
+        out = capsys.readouterr().out
+        entropy_line = next(line for line in out.splitlines() if "seed entropy:" in line)
+        assert int(entropy_line.split(":")[1]) >= 0
+
+    def test_mc_sharded_workers(self, capsys):
+        assert main([
+            "mc", "--failure-rate", "1e-4", "--hep", "0.05",
+            "--iterations", "600", "--seed", "1", "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(sharded, 2 workers)" in out
+        assert "iterations:         600" in out
+
+    def test_mc_adaptive_target_half_width(self, capsys):
+        assert main([
+            "mc", "--failure-rate", "1e-4", "--hep", "0.05",
+            "--iterations", "300", "--seed", "1",
+            "--target-half-width", "2e-4", "--max-iterations", "5000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(sharded, 1 worker)" in out
+
+    def test_mc_pinned_shard_size_worker_invariant(self, capsys):
+        args = [
+            "mc", "--failure-rate", "1e-4", "--hep", "0.05",
+            "--iterations", "600", "--seed", "1", "--shard-size", "200",
+        ]
+        assert main(args + ["--workers", "1"]) == 0
+        one = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        two = capsys.readouterr().out
+        line = next(l for l in one.splitlines() if "availability:" in l)
+        assert line in two  # same decomposition -> bit-identical estimate
+
+    def test_mc_negative_seed_is_clean_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mc", "--iterations", "200", "--seed", "-5"])
+        assert excinfo.value.code == 2
+        assert "seed must be non-negative" in capsys.readouterr().err
+
+    def test_mc_max_iterations_requires_target(self, capsys):
+        assert main([
+            "mc", "--iterations", "200", "--max-iterations", "5000",
+        ]) == 2
+        assert "--target-half-width" in capsys.readouterr().err
+
     def test_mc_policy_and_spares_conflict(self, capsys):
         assert main([
             "mc", "--policy", "conventional", "--spares", "2", "--iterations", "100",
