@@ -1,0 +1,86 @@
+"""Engine benchmark: parameterized-template sweep vs per-point rebuild.
+
+The sweep engine's acceptance criterion: at 1000 sweep points the
+template-driven analytical sweep (build the chain once, rewrite only the
+affected generator entries, re-factorize) must be at least **10x** faster
+than the retired per-point path that reconstructs builder, chain, validation
+and solver objects for every point — while producing the same series to
+1e-12.
+
+Run with ``pytest benchmarks/bench_sweep.py -s`` to see the measured
+speedups alongside the timing records.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import clear_template_cache
+from repro.core.parameters import paper_parameters
+from repro.core.sweep import sweep, sweep_per_point_rebuild
+
+#: Sweep size of the headline comparison.
+N_POINTS = 1000
+
+#: Required advantage of the template engine over per-point rebuilds.
+REQUIRED_SPEEDUP = 10.0
+
+BASE = paper_parameters(disk_failure_rate=1e-6, hep=0.01)
+HEP_VALUES = [float(h) for h in np.linspace(1e-4, 0.05, N_POINTS)]
+RATE_VALUES = [float(r) for r in np.linspace(5e-7, 5.5e-6, N_POINTS)]
+
+
+def _assert_series_match(fast, slow):
+    assert len(fast) == len(slow)
+    for got, want in zip(fast, slow):
+        assert got.availability == pytest.approx(want.availability, abs=1e-12)
+
+
+@pytest.mark.parametrize(
+    ("policy", "axis", "values"),
+    [
+        ("conventional", "hep", HEP_VALUES),
+        ("conventional", "failure_rate", RATE_VALUES),
+        ("automatic_failover", "hep", HEP_VALUES),
+    ],
+    ids=["conventional-hep", "conventional-rate", "failover-hep"],
+)
+def test_template_sweep_10x_faster_than_rebuild(policy, axis, values):
+    """The tentpole acceptance: >= 10x at 1k points, identical to 1e-12."""
+    clear_template_cache()
+    start = time.perf_counter()
+    fast = sweep(BASE, axis, values, policy, backend="analytical")
+    template_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    slow = sweep_per_point_rebuild(BASE, axis, values, policy)
+    rebuild_seconds = time.perf_counter() - start
+
+    speedup = rebuild_seconds / max(template_seconds, 1e-9)
+    print(
+        f"\n{policy}/{axis}: {N_POINTS} points — template {template_seconds:.3f}s, "
+        f"rebuild {rebuild_seconds:.3f}s (speedup {speedup:.1f}x)"
+    )
+    _assert_series_match(fast, slow)
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"template sweep only {speedup:.1f}x faster than per-point rebuild "
+        f"(required {REQUIRED_SPEEDUP:g}x)"
+    )
+
+
+def test_template_sweep_bench(benchmark):
+    """Timing record: 1k-point hep sweep on the warmed template engine."""
+    sweep(BASE, "hep", HEP_VALUES[:10], "conventional")  # warm the cache
+    points = benchmark(sweep, BASE, "hep", HEP_VALUES, "conventional")
+    assert len(points) == N_POINTS
+
+
+def test_per_point_rebuild_bench(benchmark):
+    """Timing record: the retired per-point path at a tenth of the size."""
+    points = benchmark(
+        sweep_per_point_rebuild, BASE, "hep", HEP_VALUES[:100], "conventional"
+    )
+    assert len(points) == 100

@@ -21,27 +21,34 @@ DATE 2017).  The package provides:
 
 Quickstart::
 
-    from repro import paper_parameters, ModelKind, solve_model
+    from repro import evaluate, paper_parameters
 
     params = paper_parameters(disk_failure_rate=1e-6, hep=0.01)
-    print(solve_model(params, ModelKind.CONVENTIONAL).nines)
+    print(evaluate(params, policy="conventional", backend="analytical").nines)
+    mc = evaluate(params, policy="conventional", backend="monte_carlo", seed=7)
+    print(mc.availability, (mc.ci_lower, mc.ci_upper))
 """
 
 from repro.core import (
+    AvailabilityEstimate,
     AvailabilityParameters,
     ModelKind,
     MonteCarloConfig,
     MonteCarloResult,
     SimulationPolicy,
+    analytical_policies,
+    analytical_result,
     available_policies,
     build_chain,
     compare_equal_capacity,
     estimate_availability,
+    evaluate,
     hot_spare_policy,
     paper_parameters,
     register_policy,
     run_monte_carlo,
     solve_model,
+    sweep,
 )
 from repro.exceptions import ReproError
 from repro.human.policy import PolicyKind
@@ -51,6 +58,7 @@ from repro.storage.raid import RaidGeometry
 __version__ = "1.0.0"
 
 __all__ = [
+    "AvailabilityEstimate",
     "AvailabilityParameters",
     "MarkovChain",
     "ModelKind",
@@ -61,14 +69,18 @@ __all__ = [
     "ReproError",
     "SimulationPolicy",
     "__version__",
+    "analytical_policies",
+    "analytical_result",
     "available_policies",
     "build_chain",
     "compare_equal_capacity",
     "estimate_availability",
+    "evaluate",
     "hot_spare_policy",
     "paper_parameters",
     "register_policy",
     "run_monte_carlo",
     "solve_model",
     "steady_state_availability",
+    "sweep",
 ]

@@ -18,7 +18,8 @@ from dataclasses import replace
 from typing import Callable
 
 from repro.availability.metrics import nines_to_availability
-from repro.core.models.generic import ModelKind, solve_model
+from repro.core.evaluation import analytical_result
+from repro.core.montecarlo.config import PolicyRef
 from repro.core.parameters import AvailabilityParameters
 from repro.exceptions import ConfigurationError
 
@@ -48,7 +49,7 @@ def _bisect_decreasing(
 def maximum_tolerable_hep(
     params: AvailabilityParameters,
     target_nines: float,
-    model: ModelKind = ModelKind.CONVENTIONAL,
+    model: PolicyRef = "conventional",
     hep_upper_bound: float = 1.0,
 ) -> float:
     """Return the largest hep that still meets ``target_nines``.
@@ -62,7 +63,7 @@ def maximum_tolerable_hep(
     target_availability = nines_to_availability(target_nines)
 
     def availability_at(hep: float) -> float:
-        return solve_model(params.with_hep(hep), model).availability
+        return analytical_result(params.with_hep(hep), model).availability
 
     if availability_at(0.0) < target_availability:
         raise ConfigurationError(
@@ -77,7 +78,7 @@ def maximum_tolerable_hep(
 def required_repair_rate(
     params: AvailabilityParameters,
     target_nines: float,
-    model: ModelKind = ModelKind.CONVENTIONAL,
+    model: PolicyRef = "conventional",
     rate_bounds: tuple = (1e-4, 100.0),
 ) -> float:
     """Return the smallest ``mu_DF`` (per hour) that meets ``target_nines``.
@@ -94,7 +95,9 @@ def required_repair_rate(
     target_availability = nines_to_availability(target_nines)
 
     def availability_at(rate: float) -> float:
-        return solve_model(replace(params, disk_repair_rate=rate), model).availability
+        return analytical_result(
+            replace(params, disk_repair_rate=rate), model
+        ).availability
 
     if availability_at(high) < target_availability:
         raise ConfigurationError(
@@ -117,8 +120,8 @@ def required_repair_rate(
 def nines_gap_to_target(
     params: AvailabilityParameters,
     target_nines: float,
-    model: ModelKind = ModelKind.CONVENTIONAL,
+    model: PolicyRef = "conventional",
 ) -> float:
     """Return ``achieved nines - target nines`` (negative when failing)."""
-    result = solve_model(params, model)
+    result = analytical_result(params, model)
     return result.nines - float(target_nines)

@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Sequence
 
-from repro.core.models.generic import ModelKind, solve_model
+from repro.core.evaluation import analytical_result
+from repro.core.montecarlo.config import PolicyRef
 from repro.core.parameters import AvailabilityParameters
 from repro.exceptions import ConfigurationError
 
@@ -75,7 +76,7 @@ def _perturbed(params: AvailabilityParameters, name: str, value: float) -> Avail
 
 def one_at_a_time(
     params: AvailabilityParameters,
-    model: ModelKind = ModelKind.CONVENTIONAL,
+    model: PolicyRef = "conventional",
     factor: float = 2.0,
     parameters: Sequence[str] = tuple(PERTURBABLE_PARAMETERS),
 ) -> List[SensitivityEntry]:
@@ -96,8 +97,8 @@ def one_at_a_time(
         nominal = float(getattr(params, name))
         if nominal == 0.0:
             continue
-        low = solve_model(_perturbed(params, name, nominal / factor), model)
-        high = solve_model(_perturbed(params, name, nominal * factor), model)
+        low = analytical_result(_perturbed(params, name, nominal / factor), model)
+        high = analytical_result(_perturbed(params, name, nominal * factor), model)
         entries.append(
             SensitivityEntry(
                 parameter=name,

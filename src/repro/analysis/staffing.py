@@ -15,7 +15,8 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.availability.metrics import HOURS_PER_YEAR
-from repro.core.models.generic import ModelKind, solve_model
+from repro.core.evaluation import analytical_result
+from repro.core.montecarlo.config import PolicyRef
 from repro.core.parameters import AvailabilityParameters
 from repro.exceptions import ConfigurationError
 from repro.storage.raid import RaidGeometry
@@ -55,7 +56,7 @@ def fleet_workload(
     geometry: RaidGeometry,
     params: AvailabilityParameters,
     usable_disks: int,
-    model: ModelKind = ModelKind.CONVENTIONAL,
+    model: PolicyRef = "conventional",
 ) -> FleetWorkload:
     """Return the expected yearly workload for a fleet of ``usable_disks`` capacity."""
     if usable_disks < 1:
@@ -63,7 +64,7 @@ def fleet_workload(
     subsystem = DiskSubsystem.for_usable_capacity(geometry, usable_disks)
     scenario = params.with_geometry(geometry)
     failures = subsystem.expected_disk_failures_per_year(scenario.disk_failure_rate)
-    array_result = solve_model(scenario, model)
+    array_result = analytical_result(scenario, model)
     aggregated = subsystem.aggregate_availability(array_result.availability)
     return FleetWorkload(
         total_disks=subsystem.total_disks,
@@ -110,8 +111,8 @@ def downtime_saved_by_policy(
     usable_disks: int,
 ) -> Dict[str, float]:
     """Return yearly downtime under each policy and the saving from fail-over."""
-    conventional = fleet_workload(geometry, params, usable_disks, ModelKind.CONVENTIONAL)
-    failover = fleet_workload(geometry, params, usable_disks, ModelKind.AUTOMATIC_FAILOVER)
+    conventional = fleet_workload(geometry, params, usable_disks, "conventional")
+    failover = fleet_workload(geometry, params, usable_disks, "automatic_failover")
     return {
         "conventional_downtime_hours_per_year": conventional.subsystem_downtime_hours_per_year,
         "failover_downtime_hours_per_year": failover.subsystem_downtime_hours_per_year,
@@ -127,7 +128,7 @@ def downtime_saved_by_training(
     params: AvailabilityParameters,
     usable_disks: int,
     improved_hep: float,
-    model: ModelKind = ModelKind.CONVENTIONAL,
+    model: PolicyRef = "conventional",
 ) -> Dict[str, float]:
     """Return yearly downtime before/after a procedure improvement lowers hep."""
     if improved_hep > params.hep:

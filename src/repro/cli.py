@@ -1,14 +1,23 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the common workflows without writing any code:
+Seven subcommands cover the common workflows without writing any code:
 
 ``solve``
-    Solve one analytical model and print availability, nines and downtime.
+    Evaluate one policy's analytical model and print availability, nines
+    and downtime.
 ``compare``
     Equal-usable-capacity comparison of the paper's three RAID layouts.
 ``mc``
     Run a Monte Carlo availability study for any registered replacement
     policy (vectorised batch executor by default).
+``sweep``
+    Sweep one parameter axis for one policy on either evaluation backend
+    (``--backend analytical|monte_carlo|auto``); analytical sweeps reuse a
+    parameterized chain template instead of rebuilding per point.
+``crossval``
+    Cross-backend validation: assert the analytical availability of every
+    dual-face policy falls inside its Monte Carlo confidence interval
+    (non-zero exit code otherwise; used as the CI smoke job).
 ``policies``
     List the replacement policies available in the registry.
 ``reproduce``
@@ -22,13 +31,21 @@ import argparse
 import sys
 from typing import List, Optional
 
+import numpy as np
+
 from repro.availability.metrics import downtime_minutes_per_year
 from repro.core.comparison import compare_equal_capacity, ranking
-from repro.core.models.generic import ModelKind, solve_model
+from repro.core.evaluation import analytical_policies, evaluate
 from repro.core.montecarlo import EXECUTORS, MonteCarloConfig, run_monte_carlo
 from repro.core.parameters import paper_parameters
 from repro.core.policies import available_policies, get_policy, hot_spare_policy
+from repro.core.sweep import SWEEP_AXES, SWEEP_BACKENDS, sweep
 from repro.exceptions import ConfigurationError, ReproError
+from repro.experiments.cross_validation import (
+    all_within_ci,
+    cross_validation_table,
+    run_cross_validation,
+)
 from repro.experiments.runner import run_all_experiments
 from repro.storage.raid import RaidGeometry
 
@@ -62,9 +79,15 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--hep", type=float, default=0.001, help="human error probability")
     solve.add_argument(
         "--model",
-        choices=[kind.value for kind in ModelKind],
-        default=ModelKind.CONVENTIONAL.value,
-        help="which analytical model to solve",
+        choices=sorted(analytical_policies()),
+        default="conventional",
+        help="policy whose analytical face is solved",
+    )
+    solve.add_argument(
+        "--method",
+        choices=["auto", "dense", "lstsq", "power", "sparse"],
+        default="auto",
+        help="steady-state solver (auto selects dense/sparse by state count)",
     )
 
     compare = subparsers.add_parser("compare", help="equal-capacity RAID comparison")
@@ -139,6 +162,90 @@ def build_parser() -> argparse.ArgumentParser:
         help="iteration ceiling of an adaptive run (default: 1e6)",
     )
 
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="sweep one parameter axis for one policy on either backend",
+    )
+    sweep_parser.add_argument(
+        "--axis",
+        choices=sorted(SWEEP_AXES),
+        default="hep",
+        help="parameter to sweep",
+    )
+    values = sweep_parser.add_mutually_exclusive_group()
+    values.add_argument(
+        "--values",
+        default=None,
+        help="comma-separated axis values, e.g. '0,0.001,0.01'",
+    )
+    values.add_argument(
+        "--grid",
+        default=None,
+        metavar="START:STOP:POINTS[:log]",
+        help="evenly spaced axis values, e.g. '5e-7:5.5e-6:11' or "
+        "'1e-7:1e-4:7:log' for log spacing",
+    )
+    sweep_parser.add_argument(
+        "--policy",
+        default="conventional",
+        help="registered policy name (see the 'policies' command)",
+    )
+    sweep_parser.add_argument(
+        "--backend",
+        choices=list(SWEEP_BACKENDS),
+        default="auto",
+        help="analytical (template-driven), monte_carlo, or auto "
+        "(analytical when the policy has a chain face)",
+    )
+    sweep_parser.add_argument("--raid", default="RAID5(3+1)", help="RAID label")
+    sweep_parser.add_argument(
+        "--failure-rate", type=float, default=1e-6,
+        help="disk failure rate per hour (fixed unless it is the swept axis)",
+    )
+    sweep_parser.add_argument(
+        "--hep", type=float, default=0.001,
+        help="human error probability (fixed unless it is the swept axis)",
+    )
+    sweep_parser.add_argument(
+        "--iterations", type=int, default=20_000,
+        help="simulated lifetimes per point (monte_carlo backend)",
+    )
+    sweep_parser.add_argument(
+        "--horizon-years", type=float, default=10.0,
+        help="mission time per lifetime (monte_carlo backend)",
+    )
+    sweep_parser.add_argument(
+        "--confidence", type=float, default=0.99,
+        help="confidence level of per-point intervals (monte_carlo backend)",
+    )
+    sweep_parser.add_argument("--seed", type=_seed_argument, default=0, help="master seed")
+    sweep_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes shared across all Monte Carlo points",
+    )
+
+    crossval = subparsers.add_parser(
+        "crossval",
+        help="validate analytical vs Monte Carlo for every dual-face policy",
+    )
+    crossval.add_argument("--raid", default="RAID5(3+1)", help="RAID label")
+    crossval.add_argument(
+        "--failure-rate", type=float, default=1e-4,
+        help="disk failure rate per hour (elevated so the CI is informative)",
+    )
+    crossval.add_argument("--hep", type=float, default=0.01, help="human error probability")
+    crossval.add_argument(
+        "--iterations", type=int, default=4000,
+        help="simulated lifetimes per policy (reduce for a smoke run)",
+    )
+    crossval.add_argument(
+        "--seed", type=_seed_argument, default=0,
+        help="master seed; 'random' draws fresh entropy, which by "
+        "construction misses the confidence interval in about "
+        "(1 - confidence) of runs per policy — CI pins the seed",
+    )
+    crossval.add_argument("--workers", type=int, default=1, help="worker processes")
+
     subparsers.add_parser("policies", help="list the registered replacement policies")
 
     reproduce = subparsers.add_parser("reproduce", help="regenerate the paper's figures")
@@ -160,13 +267,13 @@ def _run_solve(args: argparse.Namespace) -> str:
         disk_failure_rate=args.failure_rate,
         hep=args.hep,
     )
-    kind = ModelKind(args.model)
-    result = solve_model(params, kind)
+    result = evaluate(params, policy=args.model, backend="analytical", method=args.method)
     lines = [
-        f"model:              {kind.value}",
+        f"model:              {args.model}",
         f"geometry:           {params.geometry.label}",
         f"disk failure rate:  {params.disk_failure_rate:g} /h",
         f"hep:                {params.hep:g}",
+        f"backend:            {result.backend} ({result.provenance})",
         f"availability:       {result.availability:.12f}",
         f"nines:              {result.nines:.3f}",
         f"downtime per year:  {downtime_minutes_per_year(result.availability):.4f} minutes",
@@ -176,7 +283,7 @@ def _run_solve(args: argparse.Namespace) -> str:
 
 def _run_compare(args: argparse.Namespace) -> str:
     base = paper_parameters(disk_failure_rate=args.failure_rate, hep=args.hep)
-    model = ModelKind.BASELINE if args.hep == 0.0 else ModelKind.CONVENTIONAL
+    model = "baseline" if args.hep == 0.0 else "conventional"
     comparisons = compare_equal_capacity(base, usable_disks=args.usable_disks, model=model)
     lines = [
         f"usable capacity: {args.usable_disks} disks, lambda={args.failure_rate:g}/h, hep={args.hep:g}",
@@ -249,12 +356,103 @@ def _run_mc(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _sweep_values(args: argparse.Namespace) -> List[float]:
+    """Parse the swept axis values from ``--values`` or ``--grid``."""
+    if args.values is not None:
+        try:
+            return [float(token) for token in args.values.split(",") if token.strip()]
+        except ValueError:
+            raise ConfigurationError(
+                f"--values must be comma-separated numbers, got {args.values!r}"
+            ) from None
+    if args.grid is not None:
+        parts = args.grid.split(":")
+        if len(parts) not in (3, 4) or (len(parts) == 4 and parts[3] != "log"):
+            raise ConfigurationError(
+                f"--grid must look like START:STOP:POINTS[:log], got {args.grid!r}"
+            )
+        try:
+            start, stop, points = float(parts[0]), float(parts[1]), int(parts[2])
+        except ValueError:
+            raise ConfigurationError(
+                f"--grid must look like START:STOP:POINTS[:log], got {args.grid!r}"
+            ) from None
+        if points < 1:
+            raise ConfigurationError(f"--grid needs at least one point, got {points}")
+        if len(parts) == 4:
+            if start <= 0.0 or stop <= 0.0:
+                raise ConfigurationError("log-spaced --grid requires positive bounds")
+            return [float(v) for v in np.logspace(np.log10(start), np.log10(stop), points)]
+        return [float(v) for v in np.linspace(start, stop, points)]
+    raise ConfigurationError("sweep requires --values or --grid")
+
+
+def _run_sweep(args: argparse.Namespace) -> str:
+    values = _sweep_values(args)
+    params = paper_parameters(
+        geometry=RaidGeometry.from_label(args.raid),
+        disk_failure_rate=args.failure_rate,
+        hep=args.hep,
+    )
+    points = sweep(
+        params,
+        args.axis,
+        values,
+        policy=args.policy,
+        backend=args.backend,
+        mc_iterations=args.iterations,
+        mc_horizon_hours=args.horizon_years * 8760.0,
+        seed=args.seed,
+        confidence=args.confidence,
+        workers=args.workers,
+    )
+    with_ci = any(point.has_interval for point in points)
+    lines = [
+        f"policy:   {args.policy}",
+        f"geometry: {params.geometry.label}",
+        f"axis:     {args.axis} ({len(points)} points)",
+        f"backend:  {args.backend}",
+        "",
+    ]
+    header = f"{'x':>14}{'availability':>20}{'nines':>10}"
+    if with_ci:
+        header += f"{'ci_low':>20}{'ci_high':>20}"
+    lines.append(header)
+    for point in points:
+        row = f"{point.x:>14.6g}{point.availability:>20.12f}{point.nines:>10.3f}"
+        if with_ci:
+            row += f"{point.ci_lower:>20.12f}{point.ci_upper:>20.12f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def _run_crossval(args: argparse.Namespace) -> "tuple[str, bool]":
+    """Return the rendered report and whether every policy passed."""
+    params = paper_parameters(
+        geometry=RaidGeometry.from_label(args.raid),
+        disk_failure_rate=args.failure_rate,
+        hep=args.hep,
+    )
+    rows = run_cross_validation(
+        params=params,
+        mc_iterations=args.iterations,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    table = cross_validation_table(rows)
+    passed = all_within_ci(rows)
+    verdict = "PASS" if passed else "FAIL"
+    return table.render() + f"\ncross-validation: {verdict}", passed
+
+
 def _run_policies(args: argparse.Namespace) -> str:
     lines = ["registered replacement policies:"]
     for name in available_policies():
         policy = get_policy(name)
-        kernel = "batch+scalar" if policy.has_batch_kernel else "scalar"
-        lines.append(f"  {name:<22} [{kernel}] {policy.description}")
+        faces = "batch+scalar" if policy.has_batch_kernel else "scalar"
+        if policy.has_analytical_model:
+            faces += "+analytical"
+        lines.append(f"  {name:<22} [{faces}] {policy.description}")
     lines.append(
         "use 'mc --policy <name>' to simulate one, or 'mc --spares K' for a "
         "hot-spare pool with K spares"
@@ -282,6 +480,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(_run_compare(args))
         elif args.command == "mc":
             print(_run_mc(args))
+        elif args.command == "sweep":
+            print(_run_sweep(args))
+        elif args.command == "crossval":
+            output, passed = _run_crossval(args)
+            print(output)
+            if not passed:
+                return 1
         elif args.command == "policies":
             print(_run_policies(args))
         elif args.command == "reproduce":

@@ -15,7 +15,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.availability.erf import smallest_common_usable_capacity
 from repro.availability.metrics import availability_to_nines, downtime_hours_per_year
-from repro.core.models.generic import ModelKind, solve_model
+from repro.core.evaluation import analytical_result
+from repro.core.montecarlo.config import PolicyRef
 from repro.core.parameters import AvailabilityParameters
 from repro.exceptions import ConfigurationError
 from repro.storage.raid import RaidGeometry, paper_configurations
@@ -55,13 +56,17 @@ def compare_configuration(
     geometry: RaidGeometry,
     base_params: AvailabilityParameters,
     usable_disks: int,
-    model: ModelKind = ModelKind.CONVENTIONAL,
-    method: str = "dense",
+    model: PolicyRef = "conventional",
+    method: str = "auto",
 ) -> ConfigurationComparison:
-    """Evaluate one geometry at the requested usable capacity."""
+    """Evaluate one geometry at the requested usable capacity.
+
+    ``model`` names the policy whose analytical face is solved per array;
+    the cached chain template makes the repeated per-geometry solves cheap.
+    """
     params = base_params.with_geometry(geometry)
     subsystem = DiskSubsystem.for_usable_capacity(geometry, usable_disks)
-    array_result = solve_model(params, model, method=method)
+    array_result = analytical_result(params, model, method=method)
     aggregated = subsystem.aggregate_availability(
         array_result.availability, params.disk_failure_rate
     )
@@ -82,8 +87,8 @@ def compare_equal_capacity(
     base_params: AvailabilityParameters,
     geometries: Optional[Sequence[RaidGeometry]] = None,
     usable_disks: Optional[int] = None,
-    model: ModelKind = ModelKind.CONVENTIONAL,
-    method: str = "dense",
+    model: PolicyRef = "conventional",
+    method: str = "auto",
 ) -> List[ConfigurationComparison]:
     """Compare several geometries at the same usable capacity.
 
@@ -98,7 +103,7 @@ def compare_equal_capacity(
         divisible by every geometry's data-disk count (21 for the paper's
         trio), which keeps the comparison exact.
     model:
-        Analytical model to use per array.
+        Policy whose analytical face is used per array.
     """
     configs = list(geometries) if geometries is not None else paper_configurations()
     if not configs:
@@ -136,13 +141,13 @@ def ranking_inverted_by_human_error(
         base_params.without_human_error(),
         geometries=geometries,
         usable_disks=usable_disks,
-        model=ModelKind.BASELINE,
+        model="baseline",
     )
     with_error = compare_equal_capacity(
         base_params.with_hep(hep_with_error),
         geometries=geometries,
         usable_disks=usable_disks,
-        model=ModelKind.CONVENTIONAL,
+        model="conventional",
     )
     return {
         "without_human_error": ranking(without),

@@ -1,0 +1,353 @@
+"""Backend-agnostic availability evaluation.
+
+This is the single front door the paper's comparisons walk through: a
+(parameters, policy) pair is evaluated either **analytically** (steady state
+of the policy's CTMC face) or by **Monte Carlo** (the policy's simulation
+face on the batch or sharded executor), and both backends return the same
+:class:`AvailabilityEstimate` — point value, optional confidence interval
+and solver/executor provenance.
+
+Analytical evaluations go through a process-wide cache of
+:class:`~repro.markov.template.ChainTemplate` objects: the policy's chain is
+built **once** per (policy, geometry, structure) and later parameter points
+only rewrite the affected generator entries and re-factorize (with automatic
+dense/sparse solver selection by state count).  Repeated evaluations — and
+especially the sweeps in :mod:`repro.core.sweep` — therefore never pay the
+builder/validation cost again.
+
+Usage::
+
+    from repro.core.evaluation import evaluate
+
+    est = evaluate(params, policy="automatic_failover", backend="analytical")
+    mc = evaluate(params, policy="conventional", backend="monte_carlo",
+                  n_iterations=50_000, seed=7)
+    assert mc.contains(est.availability)   # the Fig. 4 acceptance test
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.montecarlo.config import (
+    DEFAULT_HORIZON_HOURS,
+    DEFAULT_ITERATIONS,
+    MonteCarloConfig,
+    PolicyRef,
+)
+from repro.core.montecarlo.results import MonteCarloResult
+from repro.core.montecarlo.runner import _use_batch_path, run_monte_carlo
+from repro.core.parameters import AvailabilityParameters
+from repro.core.policies.base import SimulationPolicy
+from repro.core.policies.registry import resolve_policy
+from repro.exceptions import ConfigurationError
+from repro.markov.metrics import AvailabilityResult, availability_result_from_pi
+from repro.markov.template import ChainTemplate
+
+#: Accepted evaluation backends.  ``"auto"`` prefers the analytical face
+#: when the policy has one and falls back to Monte Carlo otherwise.
+BACKENDS: Tuple[str, ...] = ("analytical", "monte_carlo", "auto")
+
+
+@dataclass(frozen=True)
+class AvailabilityEstimate:
+    """A backend-agnostic availability estimate.
+
+    Attributes
+    ----------
+    availability / unavailability / nines:
+        The point estimate (exact for the analytical backend, a mean over
+        simulated lifetimes for Monte Carlo).
+    policy:
+        Registry name of the evaluated policy.
+    backend:
+        ``"analytical"`` or ``"monte_carlo"``.
+    provenance:
+        How the number was produced: the resolved steady-state solver
+        (``"solver=dense"``) or the Monte Carlo executor
+        (``"executor=sharded(4 workers)"``), for reports and debugging.
+    ci_lower / ci_upper / confidence:
+        Confidence interval of a Monte Carlo estimate; ``None`` for the
+        analytical backend, which is exact given the model.
+    n_iterations:
+        Simulated lifetimes behind a Monte Carlo estimate.
+    state_probabilities:
+        Stationary distribution behind an analytical estimate.
+    """
+
+    availability: float
+    unavailability: float
+    nines: float
+    policy: str
+    backend: str
+    provenance: str
+    ci_lower: Optional[float] = None
+    ci_upper: Optional[float] = None
+    confidence: Optional[float] = None
+    n_iterations: Optional[int] = None
+    state_probabilities: Optional[Dict[str, float]] = None
+
+    @property
+    def has_interval(self) -> bool:
+        """Return whether the estimate carries a confidence interval."""
+        return self.ci_lower is not None and self.ci_upper is not None
+
+    @property
+    def half_width(self) -> Optional[float]:
+        """Return the half-width of the confidence interval, if any."""
+        if not self.has_interval:
+            return None
+        return 0.5 * (self.ci_upper - self.ci_lower)
+
+    def contains(self, availability: float) -> bool:
+        """Return whether a value lies inside this estimate's interval.
+
+        Raises :class:`~repro.exceptions.ConfigurationError` when the
+        estimate has no interval (analytical backend).
+        """
+        if not self.has_interval:
+            raise ConfigurationError(
+                f"{self.backend} estimate of {self.policy!r} carries no "
+                "confidence interval"
+            )
+        return self.ci_lower <= availability <= self.ci_upper
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return a serialisable summary."""
+        payload: Dict[str, object] = {
+            "availability": self.availability,
+            "unavailability": self.unavailability,
+            "nines": self.nines,
+            "policy": self.policy,
+            "backend": self.backend,
+            "provenance": self.provenance,
+        }
+        if self.has_interval:
+            payload["ci_lower"] = self.ci_lower
+            payload["ci_upper"] = self.ci_upper
+            payload["confidence"] = self.confidence
+        if self.n_iterations is not None:
+            payload["n_iterations"] = self.n_iterations
+        return payload
+
+
+# ----------------------------------------------------------------------
+# Template cache
+# ----------------------------------------------------------------------
+#: Reference hep used to build full-structure templates: any value that
+#: keeps every human-error state and transition in the chain.
+_REFERENCE_HEP = 0.5
+
+_TEMPLATE_CACHE: Dict[Tuple[str, str, bool, bool], ChainTemplate] = {}
+_TEMPLATE_LOCK = threading.Lock()
+
+
+def _structure_key(
+    policy: SimulationPolicy, params: AvailabilityParameters
+) -> Tuple[str, str, bool, bool]:
+    """Return the cache key of a (policy, geometry, structure) combination.
+
+    The model builders drop states and transitions that a zero parameter
+    makes unreachable (``hep == 0`` removes the human-error states,
+    ``crash_rate == 0`` removes the wrong-pull crash edges), so those two
+    flags select between structurally different templates of the same
+    policy/geometry pair.
+    """
+    return (
+        policy.name,
+        params.geometry.label,
+        params.hep > 0.0,
+        params.crash_rate > 0.0,
+    )
+
+
+def _reference_params(params: AvailabilityParameters) -> AvailabilityParameters:
+    """Return the parameter point a template's reference chain is built at.
+
+    ``hep`` is pinned to a canonical mid-range value whenever it is positive
+    so that denormal-small inputs cannot underflow states out of the
+    reference build; every other rate keeps the caller's (positive) value.
+    """
+    if params.hep > 0.0:
+        return params.with_hep(_REFERENCE_HEP)
+    return params
+
+
+def chain_template(
+    policy: PolicyRef, params: AvailabilityParameters
+) -> ChainTemplate:
+    """Return the cached parameterized template for a policy at ``params``.
+
+    The template is built from the policy's analytical face on first use and
+    shared by every later evaluation with the same structure.  Raises
+    :class:`~repro.exceptions.ConfigurationError` for policies without an
+    analytical face.
+    """
+    resolved = resolve_policy(policy)
+    key = _structure_key(resolved, params)
+    template = _TEMPLATE_CACHE.get(key)
+    if template is not None:
+        return template
+    reference = _reference_params(params)
+    built = ChainTemplate(resolved.build_chain(reference), reference)
+    with _TEMPLATE_LOCK:
+        return _TEMPLATE_CACHE.setdefault(key, built)
+
+
+def clear_template_cache() -> None:
+    """Drop every cached template (used by tests and benchmarks)."""
+    with _TEMPLATE_LOCK:
+        _TEMPLATE_CACHE.clear()
+
+
+def analytical_policies() -> Tuple[str, ...]:
+    """Return the registered policies that offer an analytical face."""
+    from repro.core.policies.registry import available_policies, get_policy
+
+    return tuple(
+        name for name in available_policies() if get_policy(name).has_analytical_model
+    )
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+def analytical_result(
+    params: AvailabilityParameters,
+    policy: PolicyRef = "conventional",
+    method: str = "auto",
+) -> AvailabilityResult:
+    """Return the full analytical summary through the template cache.
+
+    This is the registry-era replacement of the retired
+    ``solve_model(params, ModelKind...)`` dispatch: the policy's chain is
+    resolved by name, its cached template re-evaluated at ``params`` and the
+    stationary vector summarised exactly as
+    :func:`repro.markov.metrics.steady_state_availability` would.
+    """
+    resolved = resolve_policy(policy)
+    template = chain_template(resolved, params)
+    pi = template.evaluator(params).solve(method=method)
+    pi_map = dict(zip(template.state_names, pi.tolist()))
+    ups = tuple(template.state_names[i] for i in template.up_indices)
+    return availability_result_from_pi(pi_map, template.state_names, ups)
+
+
+def _evaluate_analytical(
+    params: AvailabilityParameters,
+    policy: SimulationPolicy,
+    method: str,
+) -> AvailabilityEstimate:
+    template = chain_template(policy, params)
+    evaluator = template.evaluator(params)
+    result = availability_result_from_pi(
+        evaluator.state_probabilities(evaluator.solve(method=method)),
+        template.state_names,
+        tuple(template.state_names[i] for i in template.up_indices),
+    )
+    return AvailabilityEstimate(
+        availability=result.availability,
+        unavailability=result.unavailability,
+        nines=result.nines,
+        policy=policy.name,
+        backend="analytical",
+        provenance=(
+            f"solver={evaluator.solver_name(method)} "
+            f"states={template.n_states}"
+        ),
+        state_probabilities=dict(result.state_probabilities),
+    )
+
+
+def _executor_provenance(config: MonteCarloConfig) -> str:
+    if config.uses_sharded_path:
+        workers = int(config.workers)
+        return f"executor=sharded({workers} worker{'s' if workers != 1 else ''})"
+    if _use_batch_path(config):
+        return "executor=batch"
+    return "executor=scalar"
+
+
+def _estimate_from_mc(
+    result: MonteCarloResult, policy_name: str, provenance: str
+) -> AvailabilityEstimate:
+    return AvailabilityEstimate(
+        availability=result.availability,
+        unavailability=result.unavailability,
+        nines=result.nines,
+        policy=policy_name,
+        backend="monte_carlo",
+        provenance=provenance,
+        ci_lower=result.interval.lower,
+        ci_upper=result.interval.upper,
+        confidence=result.interval.confidence,
+        n_iterations=result.n_iterations,
+    )
+
+
+def evaluate(
+    params: AvailabilityParameters,
+    policy: PolicyRef = "conventional",
+    backend: str = "auto",
+    *,
+    method: str = "auto",
+    n_iterations: int = DEFAULT_ITERATIONS,
+    horizon_hours: float = DEFAULT_HORIZON_HOURS,
+    seed: Optional[int] = 0,
+    confidence: float = 0.99,
+    executor: str = "auto",
+    workers: int = 1,
+    shard_size: Optional[int] = None,
+    target_half_width: Optional[float] = None,
+    max_iterations: Optional[int] = None,
+    pool=None,
+) -> AvailabilityEstimate:
+    """Evaluate a (parameters, policy) pair on the requested backend.
+
+    Parameters
+    ----------
+    params:
+        Rates, probabilities and RAID geometry of the scenario.
+    policy:
+        Registry name, legacy enum member or policy instance.
+    backend:
+        ``"analytical"`` (steady state of the policy's CTMC face),
+        ``"monte_carlo"`` (simulation face), or ``"auto"``: analytical when
+        the policy has a chain face, Monte Carlo otherwise.
+    method:
+        Steady-state solver for the analytical backend (``"auto"`` selects
+        dense/sparse by state count).
+    n_iterations, horizon_hours, seed, confidence, executor, workers,
+    shard_size, target_half_width, max_iterations:
+        Monte Carlo configuration, matching
+        :class:`~repro.core.montecarlo.config.MonteCarloConfig`.
+    pool:
+        Optional externally owned worker pool shared across sharded runs
+        (see :func:`repro.core.montecarlo.parallel.worker_pool`).
+    """
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
+        )
+    resolved = resolve_policy(policy)
+    if backend == "auto":
+        backend = "analytical" if resolved.has_analytical_model else "monte_carlo"
+    if backend == "analytical":
+        return _evaluate_analytical(params, resolved, method)
+    config = MonteCarloConfig(
+        params=params,
+        policy=resolved,
+        horizon_hours=horizon_hours,
+        n_iterations=n_iterations,
+        confidence=confidence,
+        seed=seed,
+        executor=executor,
+        workers=workers,
+        shard_size=shard_size,
+        target_half_width=target_half_width,
+        max_iterations=max_iterations,
+    )
+    result = run_monte_carlo(config, pool=pool)
+    return _estimate_from_mc(result, resolved.name, _executor_provenance(config))

@@ -1,37 +1,42 @@
-"""Model dispatcher: build the right Markov chain for a (geometry, policy) pair.
+"""Deprecated model dispatch, kept as a thin shim over the policy registry.
 
-The experiments and examples rarely care which module implements a model;
-they ask for "RAID5(7+1), conventional policy, hep = 0.01" and want a chain
-plus its availability back.  This module provides that dispatch, covering:
+Historically the analytical models were dispatched through the hardcoded
+:class:`ModelKind` enum while Monte Carlo went through the policy registry.
+Both now share one front door: every registered policy may carry an
+analytical face (``chain(params) -> MarkovChain``) next to its simulation
+kernels, and :func:`repro.core.evaluation.evaluate` dispatches by registry
+name and backend.
 
-* the baseline (hep ignored) model,
-* the conventional-replacement human-error model (Fig. 2) for any
-  single-fault-tolerant geometry — RAID1 mirrors included, which is how the
-  paper evaluates RAID1(1+1), and
-* the automatic fail-over model (Fig. 3).
+``ModelKind``, ``build_chain`` and ``solve_model`` remain importable so
+``examples/`` and external callers keep working mid-transition; the
+functions emit one :class:`DeprecationWarning` per process and resolve
+through the registry (``ModelKind.CONVENTIONAL`` → the ``"conventional"``
+policy's chain face).  New code should call
+:func:`repro.core.evaluation.evaluate` /
+:func:`repro.core.evaluation.analytical_result` instead.
 """
 
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Dict, Set
 
-from repro.core.models.baseline import baseline_availability, build_baseline_chain
-from repro.core.models.raid5_conventional import (
-    build_conventional_chain,
-    conventional_availability,
-)
-from repro.core.models.raid5_failover import build_failover_chain, failover_availability
 from repro.core.parameters import AvailabilityParameters
-from repro.exceptions import ConfigurationError
+from repro.core.policies.registry import resolve_policy
 from repro.human.policy import PolicyKind
 from repro.markov.chain import MarkovChain
-from repro.markov.metrics import AvailabilityResult
+from repro.markov.metrics import AvailabilityResult, steady_state_availability
 
 
 class ModelKind(enum.Enum):
-    """Identifier of the analytical availability models."""
+    """Deprecated identifier of the analytical models.
+
+    The enum values are exactly the registry names of the policies carrying
+    the corresponding analytical face, so ``ModelKind`` members resolve
+    anywhere a policy reference is accepted.
+    """
 
     #: Classic model: human error ignored entirely (hep treated as 0).
     BASELINE = "baseline"
@@ -43,11 +48,35 @@ class ModelKind(enum.Enum):
     @classmethod
     def from_policy(cls, policy: PolicyKind) -> "ModelKind":
         """Map a replacement policy onto the analytical model that captures it."""
+        from repro.exceptions import ConfigurationError
+
         if policy is PolicyKind.CONVENTIONAL:
             return cls.CONVENTIONAL
         if policy is PolicyKind.AUTOMATIC_FAILOVER:
             return cls.AUTOMATIC_FAILOVER
         raise ConfigurationError(f"unknown policy kind {policy!r}")
+
+
+_WARNED: Set[str] = set()
+
+
+def _warn_deprecated(name: str) -> None:
+    """Emit the migration warning once per symbol per process."""
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    warnings.warn(
+        f"repro.core.models.generic.{name} is deprecated; policies now carry "
+        "their analytical face — use repro.core.evaluation.evaluate(params, "
+        "policy, backend=...) or resolve_policy(name).build_chain(params)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _reset_deprecation_warnings() -> None:
+    """Re-arm the warn-once latches (test helper)."""
+    _WARNED.clear()
 
 
 @dataclass(frozen=True)
@@ -66,47 +95,32 @@ class ModelDescriptor:
         return solve_model(self.params, self.kind, method=method)
 
 
-_BUILDERS: Dict[ModelKind, Callable[[AvailabilityParameters], MarkovChain]] = {
-    ModelKind.BASELINE: build_baseline_chain,
-    ModelKind.CONVENTIONAL: build_conventional_chain,
-    ModelKind.AUTOMATIC_FAILOVER: build_failover_chain,
-}
-
-_SOLVERS: Dict[ModelKind, Callable[..., AvailabilityResult]] = {
-    ModelKind.BASELINE: baseline_availability,
-    ModelKind.CONVENTIONAL: conventional_availability,
-    ModelKind.AUTOMATIC_FAILOVER: failover_availability,
-}
-
-
 def build_chain(params: AvailabilityParameters, kind: ModelKind) -> MarkovChain:
-    """Return the Markov chain for the requested model kind."""
-    try:
-        builder = _BUILDERS[kind]
-    except KeyError:
-        raise ConfigurationError(f"unknown model kind {kind!r}") from None
-    if kind is ModelKind.BASELINE:
-        return builder(params.without_human_error())
-    return builder(params)
+    """Deprecated: return the Markov chain for the requested model kind.
+
+    Equivalent to ``resolve_policy(kind).build_chain(params)``.
+    """
+    _warn_deprecated("build_chain")
+    return resolve_policy(kind).build_chain(params)
 
 
 def solve_model(
     params: AvailabilityParameters, kind: ModelKind, method: str = "dense"
 ) -> AvailabilityResult:
-    """Return the steady-state availability for the requested model kind."""
-    try:
-        solver = _SOLVERS[kind]
-    except KeyError:
-        raise ConfigurationError(f"unknown model kind {kind!r}") from None
-    if kind is ModelKind.BASELINE:
-        return solver(params.without_human_error(), method=method)
-    return solver(params, method=method)
+    """Deprecated: return the steady-state availability for a model kind.
+
+    Equivalent to building the policy's analytical face and summarising it;
+    new code should call :func:`repro.core.evaluation.evaluate` (cached,
+    backend-selectable) instead.
+    """
+    _warn_deprecated("solve_model")
+    chain = resolve_policy(kind).build_chain(params)
+    return steady_state_availability(chain, method=method)
 
 
 def available_models() -> Dict[str, str]:
-    """Return a mapping of model-kind value to a one-line description."""
-    return {
-        ModelKind.BASELINE.value: "classic availability model, human error ignored",
-        ModelKind.CONVENTIONAL.value: "Fig. 2 — human error under conventional replacement",
-        ModelKind.AUTOMATIC_FAILOVER.value: "Fig. 3 — human error under automatic fail-over",
-    }
+    """Return ``{registry name: description}`` of the analytical models."""
+    from repro.core.policies.registry import get_policy
+    from repro.core.evaluation import analytical_policies
+
+    return {name: get_policy(name).description for name in analytical_policies()}

@@ -1,12 +1,14 @@
-"""Replacement-policy registry and simulation kernels.
+"""Replacement-policy registry, simulation kernels and analytical faces.
 
-The two paper policies (conventional, automatic fail-over) and the
-hot-spare-pool extension are registered here; the Monte Carlo runner, the
-experiments and the CLI all dispatch through :func:`resolve_policy`, so new
-policies plug in by calling :func:`register_policy` — no runner changes.
+The two paper policies (conventional, automatic fail-over), the baseline
+human-error-free model and the hot-spare-pool extension are registered here;
+the Monte Carlo runner, the analytical evaluation layer, the experiments and
+the CLI all dispatch through :func:`resolve_policy`, so new policies plug in
+by calling :func:`register_policy` — no runner changes.
 """
 
 from repro.core.policies.base import BatchLifetimes, SimulationPolicy
+from repro.core.policies.baseline import BASELINE_POLICY
 from repro.core.policies.conventional import CONVENTIONAL_POLICY
 from repro.core.policies.failover import AUTOMATIC_FAILOVER_POLICY
 from repro.core.policies.hotspare import (
@@ -26,6 +28,7 @@ from repro.core.policies.vectorized import batch_conventional, batch_spare_pool
 
 __all__ = [
     "AUTOMATIC_FAILOVER_POLICY",
+    "BASELINE_POLICY",
     "BatchLifetimes",
     "CONVENTIONAL_POLICY",
     "DEFAULT_POOL_SIZE",

@@ -1,8 +1,8 @@
-"""Policy protocol shared by the scalar and batch simulation kernels.
+"""Policy protocol shared by the simulation kernels and the analytical models.
 
-A *simulation policy* packages the event semantics of one disk-replacement
-strategy (conventional, automatic fail-over, hot-spare pool, ...) behind two
-entry points:
+A *simulation policy* packages the semantics of one disk-replacement
+strategy (conventional, automatic fail-over, hot-spare pool, ...) behind up
+to three faces:
 
 ``scalar``
     Simulate **one** array lifetime with a plain Python event loop.  This is
@@ -17,10 +17,16 @@ entry points:
     loop iteration at a time.  This is the fast path used by the large
     paper sweeps; it is optional, and policies without a vectorised kernel
     transparently fall back to a scalar loop.
+``chain``
+    Optional **analytical face**: ``chain(params) -> MarkovChain`` builds the
+    policy's CTMC availability model (the paper's Fig. 2/3 chains).  A policy
+    with both a simulation face and an analytical face can be evaluated by
+    either backend through :func:`repro.core.evaluation.evaluate`, which is
+    how the Fig. 4 cross-validation compares the *same* scenario under both.
 
 Policies are looked up by name through :mod:`repro.core.policies.registry`,
-so new strategies plug into the Monte Carlo runner, the experiments and the
-CLI without touching any of them.
+so new strategies plug into the Monte Carlo runner, the analytical
+evaluation layer, the experiments and the CLI without touching any of them.
 
 This module deliberately imports nothing from :mod:`repro.core.montecarlo`
 at module scope; the two packages reference each other and the policy layer
@@ -37,6 +43,7 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.core.montecarlo.results import EpisodeTrace, IterationResult
     from repro.core.parameters import AvailabilityParameters
+    from repro.markov.chain import MarkovChain
     from repro.simulation.rng import RandomStreams
 
 #: Signature of a scalar (one-lifetime) simulator.
@@ -45,6 +52,9 @@ ScalarSimulator = Callable[..., "IterationResult"]
 #: Signature of a vectorised batch kernel: ``(params, horizon_hours,
 #: n_lifetimes, rng) -> BatchLifetimes``.
 BatchKernel = Callable[..., "BatchLifetimes"]
+
+#: Signature of an analytical face: ``(params) -> MarkovChain``.
+ChainFactory = Callable[..., "MarkovChain"]
 
 
 @dataclass
@@ -124,6 +134,9 @@ class SimulationPolicy:
         One-lifetime simulator ``(params, horizon_hours, rng, trace=None)``.
     batch:
         Optional vectorised kernel ``(params, horizon_hours, n, rng)``.
+    chain:
+        Optional analytical face ``(params) -> MarkovChain`` building the
+        policy's CTMC availability model.
     n_spares:
         Number of hot spares the policy assumes (0 for conventional).
     """
@@ -132,6 +145,7 @@ class SimulationPolicy:
     description: str
     scalar: ScalarSimulator = field(compare=False)
     batch: Optional[BatchKernel] = field(compare=False, default=None)
+    chain: Optional[ChainFactory] = field(compare=False, default=None)
     n_spares: int = 0
 
     @property
@@ -143,6 +157,27 @@ class SimulationPolicy:
     def has_batch_kernel(self) -> bool:
         """Return whether a vectorised batch kernel is available."""
         return self.batch is not None
+
+    @property
+    def has_analytical_model(self) -> bool:
+        """Return whether the policy offers an analytical (CTMC) face."""
+        return self.chain is not None
+
+    def build_chain(self, params: "AvailabilityParameters") -> "MarkovChain":
+        """Build the policy's analytical Markov chain at one parameter point.
+
+        Raises :class:`~repro.exceptions.ConfigurationError` for policies
+        without an analytical face (e.g. custom spare-pool variants), so the
+        ``"auto"`` evaluation backend can fall back to Monte Carlo instead.
+        """
+        if self.chain is None:
+            from repro.exceptions import ConfigurationError
+
+            raise ConfigurationError(
+                f"policy {self.name!r} has no analytical model; evaluate it "
+                "with the monte_carlo backend"
+            )
+        return self.chain(params)
 
     def simulate(
         self,

@@ -2,13 +2,15 @@
 
 from __future__ import annotations
 
+from repro.core.models.raid5_conventional import build_conventional_chain
 from repro.core.montecarlo.simulator import simulate_conventional
 from repro.core.policies.base import SimulationPolicy
 from repro.core.policies.registry import register_policy
 from repro.core.policies.vectorized import batch_conventional
 
 #: Fig. 2 semantics: a technician replaces the failed disk immediately, so a
-#: wrong pull hits a degraded array and takes the data offline.
+#: wrong pull hits a degraded array and takes the data offline.  The
+#: analytical face is the paper's Fig. 2 four-state chain.
 CONVENTIONAL_POLICY = register_policy(
     SimulationPolicy(
         name="conventional",
@@ -18,6 +20,7 @@ CONVENTIONAL_POLICY = register_policy(
         ),
         scalar=simulate_conventional,
         batch=batch_conventional,
+        chain=build_conventional_chain,
         n_spares=0,
     )
 )

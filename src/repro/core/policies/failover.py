@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import functools
 
+from repro.core.models.raid5_failover import build_failover_chain
 from repro.core.montecarlo.simulator import simulate_failover
 from repro.core.policies.base import SimulationPolicy
 from repro.core.policies.registry import register_policy
@@ -12,7 +13,8 @@ from repro.core.policies.vectorized import batch_spare_pool
 #: Fig. 3 semantics: one hot spare absorbs the failure via an on-line
 #: rebuild; the technician only touches the array afterwards, while it is
 #: fully redundant.  The batch kernel is the spare-pool state machine with a
-#: pool of exactly one.
+#: pool of exactly one; the analytical face is the paper's Fig. 3 12-state
+#: chain.
 AUTOMATIC_FAILOVER_POLICY = register_policy(
     SimulationPolicy(
         name="automatic_failover",
@@ -22,6 +24,7 @@ AUTOMATIC_FAILOVER_POLICY = register_policy(
         ),
         scalar=simulate_failover,
         batch=functools.partial(batch_spare_pool, n_spares=1),
+        chain=build_failover_chain,
         n_spares=1,
     )
 )

@@ -8,8 +8,9 @@ dispatch code changes anywhere else.
 The registry accepts three spellings when resolving:
 
 * a plain string name (``"conventional"``),
-* a legacy :class:`~repro.human.policy.PolicyKind` enum member (its
-  ``value`` is the registry key), and
+* a legacy enum member whose value is the registry key — both
+  :class:`~repro.human.policy.PolicyKind` and the deprecated
+  :class:`~repro.core.models.generic.ModelKind` resolve this way, and
 * an already constructed :class:`SimulationPolicy` (returned unchanged),
   which is how parameterised policies such as a hot-spare pool with a
   custom spare count are passed around without polluting the global table.
@@ -17,6 +18,7 @@ The registry accepts three spellings when resolving:
 
 from __future__ import annotations
 
+import enum
 import importlib
 import threading
 from typing import Dict, Tuple, Union
@@ -81,10 +83,14 @@ def get_policy(name: str) -> SimulationPolicy:
 
 
 def resolve_policy(ref: PolicyRef) -> SimulationPolicy:
-    """Resolve a name, :class:`PolicyKind` or policy instance to a policy."""
+    """Resolve a name, a string-valued enum or a policy instance to a policy.
+
+    Enum members (``PolicyKind`` and the deprecated ``ModelKind``) resolve
+    through their ``value``, which is the registry key.
+    """
     if isinstance(ref, SimulationPolicy):
         return ref
-    if isinstance(ref, PolicyKind):
+    if isinstance(ref, enum.Enum) and isinstance(ref.value, str):
         return get_policy(ref.value)
     if isinstance(ref, str):
         return get_policy(ref)
@@ -112,7 +118,7 @@ def _ensure_builtins() -> None:
     with _LOAD_LOCK:
         if _BUILTINS_LOADED:
             return
-        for module in ("conventional", "failover", "hotspare"):
+        for module in ("baseline", "conventional", "failover", "hotspare"):
             importlib.import_module(f"repro.core.policies.{module}")
         # Only latch once every builtin imported cleanly, so a failed load
         # is retried instead of leaving the registry silently empty.

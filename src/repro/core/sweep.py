@@ -1,92 +1,320 @@
-"""Parameter sweeps over the availability models.
+"""Generic parameter-sweep engine over the evaluation backends.
 
 Every figure in the paper is a sweep: availability versus failure rate
 (Fig. 4), versus hep (Figs. 5-7), across RAID configurations (Fig. 6) and
-across policies (Fig. 7).  These helpers run such sweeps over the analytical
-models and return plain dictionaries of series, which the experiment modules
-and benchmarks turn into tables.
+across policies (Fig. 7).  The engine here runs such sweeps against any
+registered policy on either evaluation backend:
+
+* **analytical** sweeps are template-driven: the policy's chain is built
+  once per (policy, geometry, structure) through
+  :mod:`repro.core.evaluation`'s cache, and each sweep point only rewrites
+  the generator entries whose symbolic rates mention the swept parameter,
+  then re-factorizes (dense or sparse by state count).  No builder, chain
+  or solver objects are reconstructed per point — see
+  ``benchmarks/bench_sweep.py`` for the resulting speedup over the retired
+  per-point rebuild loop (kept as :func:`sweep_per_point_rebuild` for
+  reference and regression testing).
+* **monte_carlo** sweeps run one study per point through the policy's
+  simulation face, sharing a single worker pool across all points when
+  ``workers > 1`` (the sharded executor of PR 2).
+
+The legacy helpers (:func:`sweep_hep`, :func:`sweep_failure_rate`, ...) keep
+their signatures and continue to accept the deprecated ``ModelKind`` members
+anywhere a policy is expected.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from contextlib import nullcontext
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.models.generic import ModelKind, solve_model
+from repro.core.evaluation import chain_template, evaluate
+from repro.core.montecarlo.config import (
+    DEFAULT_HORIZON_HOURS,
+    DEFAULT_ITERATIONS,
+    PolicyRef,
+)
+from repro.core.montecarlo.parallel import worker_pool
 from repro.core.parameters import AvailabilityParameters
+from repro.core.policies.registry import resolve_policy
 from repro.exceptions import ConfigurationError
+from repro.markov.metrics import availability_from_up_mass, steady_state_availability
+
+#: Sweepable parameter axes: public alias -> AvailabilityParameters field.
+SWEEP_AXES: Dict[str, str] = {
+    "hep": "hep",
+    "failure_rate": "disk_failure_rate",
+    "disk_failure_rate": "disk_failure_rate",
+    "repair_rate": "disk_repair_rate",
+    "disk_repair_rate": "disk_repair_rate",
+    "ddf_recovery_rate": "ddf_recovery_rate",
+    "human_error_rate": "human_error_rate",
+    "spare_replacement_rate": "spare_replacement_rate",
+    "crash_rate": "crash_rate",
+}
+
+#: Sweep backends: the evaluation backends of :mod:`repro.core.evaluation`.
+SWEEP_BACKENDS = ("analytical", "monte_carlo", "auto")
 
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One evaluated point of a parameter sweep."""
+    """One evaluated point of a parameter sweep.
+
+    Monte Carlo backed points additionally carry their confidence interval;
+    analytical points leave ``ci_lower``/``ci_upper`` as ``None``.
+    """
 
     x: float
     availability: float
     unavailability: float
     nines: float
+    ci_lower: Optional[float] = None
+    ci_upper: Optional[float] = None
+
+    @property
+    def has_interval(self) -> bool:
+        """Return whether this point carries a confidence interval."""
+        return self.ci_lower is not None and self.ci_upper is not None
 
     def as_dict(self) -> Dict[str, float]:
-        """Return the point as a plain mapping."""
-        return {
+        """Return the point as a plain mapping (CI keys only when present)."""
+        payload = {
             "x": self.x,
             "availability": self.availability,
             "unavailability": self.unavailability,
             "nines": self.nines,
         }
+        if self.has_interval:
+            payload["ci_lower"] = self.ci_lower
+            payload["ci_upper"] = self.ci_upper
+        return payload
 
 
-def _solve_point(params: AvailabilityParameters, model: ModelKind, x: float) -> SweepPoint:
-    result = solve_model(params, model)
+def _axis_field(axis: str) -> str:
+    try:
+        return SWEEP_AXES[axis]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown sweep axis {axis!r}; known axes: {sorted(SWEEP_AXES)}"
+        ) from None
+
+
+def _with_axis(
+    params: AvailabilityParameters, field: str, value: float
+) -> AvailabilityParameters:
+    return replace(params, **{field: float(value)})
+
+
+def _point_from_pi(pi, up_indices, x: float) -> SweepPoint:
+    # The clip/convert arithmetic lives in availability_from_up_mass so sweep
+    # points and evaluate()/analytical_result() can never drift apart.
+    availability, unavailability, nines = availability_from_up_mass(
+        pi[i] for i in up_indices
+    )
     return SweepPoint(
         x=float(x),
-        availability=result.availability,
-        unavailability=result.unavailability,
-        nines=result.nines,
+        availability=availability,
+        unavailability=unavailability,
+        nines=nines,
     )
 
 
+def sweep(
+    base_params: AvailabilityParameters,
+    axis: str,
+    values: Sequence[float],
+    policy: PolicyRef = "conventional",
+    backend: str = "auto",
+    *,
+    method: str = "auto",
+    mc_iterations: int = DEFAULT_ITERATIONS,
+    mc_horizon_hours: float = DEFAULT_HORIZON_HOURS,
+    seed: Optional[int] = 0,
+    confidence: float = 0.99,
+    executor: str = "auto",
+    workers: int = 1,
+    target_half_width: Optional[float] = None,
+    pool=None,
+) -> List[SweepPoint]:
+    """Sweep one parameter axis for one policy on one backend.
+
+    Parameters
+    ----------
+    base_params:
+        Parameter point every swept value is derived from.
+    axis:
+        One of :data:`SWEEP_AXES` (``"hep"``, ``"failure_rate"``, ...).
+    values:
+        Axis values, evaluated in order.
+    policy:
+        Registry name, legacy enum member or policy instance.
+    backend:
+        ``"analytical"``, ``"monte_carlo"`` or ``"auto"`` (analytical when
+        the policy has a chain face).
+    method:
+        Steady-state solver for analytical sweeps (``"auto"`` = dense/sparse
+        by state count).
+    mc_iterations, mc_horizon_hours, seed, confidence, executor, workers,
+    target_half_width:
+        Monte Carlo configuration for simulation-backed sweeps; every point
+        uses the same master seed so neighbouring points share their random
+        stream layout.
+    pool:
+        Optional externally owned worker pool; ``None`` with ``workers > 1``
+        starts one pool for the whole sweep (not one per point).
+    """
+    if not values:
+        raise ConfigurationError(f"sweep over {axis!r} requires at least one value")
+    if backend not in SWEEP_BACKENDS:
+        raise ConfigurationError(
+            f"backend must be one of {SWEEP_BACKENDS}, got {backend!r}"
+        )
+    field = _axis_field(axis)
+    resolved = resolve_policy(policy)
+    if backend == "auto":
+        backend = "analytical" if resolved.has_analytical_model else "monte_carlo"
+
+    if backend == "analytical":
+        # Points are grouped by chain structure — the hep = 0 rung of a sweep
+        # uses the reduced chain (exactly as the retired ModelKind dispatch
+        # did) — and each group is handed to the template's vectorized
+        # solve_many: only the generator entries the swept symbol touches are
+        # re-evaluated, and one batched factorization covers the whole group.
+        groups: Dict[int, List[int]] = {}
+        templates: Dict[int, object] = {}
+        point_params: List[AvailabilityParameters] = []
+        for index, value in enumerate(values):
+            params = _with_axis(base_params, field, value)
+            template = chain_template(resolved, params)
+            templates[id(template)] = template
+            groups.setdefault(id(template), []).append(index)
+            point_params.append(params)
+        points: List[Optional[SweepPoint]] = [None] * len(values)
+        for key, indices in groups.items():
+            template = templates[key]
+            pis = template.solve_many(
+                [point_params[i] for i in indices], method=method
+            )
+            for row, i in enumerate(indices):
+                points[i] = _point_from_pi(pis[row], template.up_indices, values[i])
+        return points
+
+    # Monte Carlo: one study per point, one shared pool for the whole sweep.
+    context = nullcontext(pool) if pool is not None else worker_pool(workers)
+    points = []
+    with context as sweep_pool:
+        for value in values:
+            params = _with_axis(base_params, field, value)
+            estimate = evaluate(
+                params,
+                policy=resolved,
+                backend="monte_carlo",
+                n_iterations=mc_iterations,
+                horizon_hours=mc_horizon_hours,
+                seed=seed,
+                confidence=confidence,
+                executor=executor,
+                workers=workers,
+                target_half_width=target_half_width,
+                pool=sweep_pool,
+            )
+            points.append(
+                SweepPoint(
+                    x=float(value),
+                    availability=estimate.availability,
+                    unavailability=estimate.unavailability,
+                    nines=estimate.nines,
+                    ci_lower=estimate.ci_lower,
+                    ci_upper=estimate.ci_upper,
+                )
+            )
+    return points
+
+
+def sweep_per_point_rebuild(
+    base_params: AvailabilityParameters,
+    axis: str,
+    values: Sequence[float],
+    policy: PolicyRef = "conventional",
+    method: str = "dense",
+) -> List[SweepPoint]:
+    """Reference analytical sweep that rebuilds and re-solves per point.
+
+    This is the pre-template algorithm (one builder + chain + validation +
+    solver per point), retained as the ground truth the engine is benchmarked
+    and regression-tested against — `sweep(...)` must reproduce it to 1e-12.
+    """
+    if not values:
+        raise ConfigurationError(f"sweep over {axis!r} requires at least one value")
+    field = _axis_field(axis)
+    resolved = resolve_policy(policy)
+    points = []
+    for value in values:
+        params = _with_axis(base_params, field, value)
+        result = steady_state_availability(resolved.build_chain(params), method=method)
+        points.append(
+            SweepPoint(
+                x=float(value),
+                availability=result.availability,
+                unavailability=result.unavailability,
+                nines=result.nines,
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# Figure-shaped helpers (legacy signatures, registry-era internals)
+# ----------------------------------------------------------------------
 def sweep_failure_rate(
     base_params: AvailabilityParameters,
     failure_rates: Sequence[float],
-    model: ModelKind = ModelKind.CONVENTIONAL,
+    model: PolicyRef = "conventional",
+    backend: str = "analytical",
+    **options,
 ) -> List[SweepPoint]:
-    """Evaluate the model across a range of disk failure rates."""
+    """Evaluate a policy across a range of disk failure rates (Fig. 4 axis)."""
     if not failure_rates:
         raise ConfigurationError("failure_rates must be non-empty")
-    return [
-        _solve_point(base_params.with_failure_rate(rate), model, rate)
-        for rate in failure_rates
-    ]
+    return sweep(
+        base_params, "disk_failure_rate", failure_rates,
+        policy=model, backend=backend, **options,
+    )
 
 
 def sweep_hep(
     base_params: AvailabilityParameters,
     hep_values: Sequence[float],
-    model: ModelKind = ModelKind.CONVENTIONAL,
+    model: PolicyRef = "conventional",
+    backend: str = "analytical",
+    **options,
 ) -> List[SweepPoint]:
-    """Evaluate the model across a range of human error probabilities."""
+    """Evaluate a policy across a range of human error probabilities."""
     if not hep_values:
         raise ConfigurationError("hep_values must be non-empty")
-    points = []
-    for hep in hep_values:
-        params = base_params.with_hep(hep)
-        kind = ModelKind.BASELINE if hep == 0.0 and model is ModelKind.CONVENTIONAL else model
-        points.append(_solve_point(params, kind, hep))
-    return points
+    return sweep(
+        base_params, "hep", hep_values, policy=model, backend=backend, **options
+    )
 
 
 def sweep_hep_for_failure_rates(
     base_params: AvailabilityParameters,
     hep_values: Sequence[float],
     failure_rates: Sequence[float],
-    model: ModelKind = ModelKind.CONVENTIONAL,
+    model: PolicyRef = "conventional",
+    backend: str = "analytical",
+    **options,
 ) -> Dict[float, List[SweepPoint]]:
     """Return one hep sweep per failure rate (the shape of Fig. 5)."""
     if not failure_rates:
         raise ConfigurationError("failure_rates must be non-empty")
     return {
-        float(rate): sweep_hep(base_params.with_failure_rate(rate), hep_values, model)
+        float(rate): sweep_hep(
+            base_params.with_failure_rate(rate), hep_values, model,
+            backend=backend, **options,
+        )
         for rate in failure_rates
     }
 
@@ -94,23 +322,27 @@ def sweep_hep_for_failure_rates(
 def sweep_policies(
     base_params: AvailabilityParameters,
     hep_values: Sequence[float],
-    models: Optional[Sequence[ModelKind]] = None,
+    models: Optional[Sequence[PolicyRef]] = None,
+    backend: str = "analytical",
+    **options,
 ) -> Dict[str, List[SweepPoint]]:
-    """Return one hep sweep per analytical model (the shape of Fig. 7)."""
+    """Return one hep sweep per policy (the shape of Fig. 7).
+
+    ``models`` defaults to the paper's two replacement policies; series are
+    keyed by registry name.
+    """
     chosen = list(models) if models is not None else [
-        ModelKind.CONVENTIONAL,
-        ModelKind.AUTOMATIC_FAILOVER,
+        "conventional",
+        "automatic_failover",
     ]
     if not chosen:
-        raise ConfigurationError("at least one model kind is required")
+        raise ConfigurationError("at least one policy is required")
     series: Dict[str, List[SweepPoint]] = {}
-    for kind in chosen:
-        points = []
-        for hep in hep_values:
-            params = base_params.with_hep(hep)
-            effective = ModelKind.BASELINE if (hep == 0.0 and kind is ModelKind.CONVENTIONAL) else kind
-            points.append(_solve_point(params, effective, hep))
-        series[kind.value] = points
+    for ref in chosen:
+        policy = resolve_policy(ref)
+        series[policy.name] = sweep_hep(
+            base_params, hep_values, policy, backend=backend, **options
+        )
     return series
 
 

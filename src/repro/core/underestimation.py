@@ -19,7 +19,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.availability.metrics import unavailability_ratio
-from repro.core.models.generic import ModelKind, solve_model
+from repro.core.evaluation import analytical_result
+from repro.core.montecarlo.config import PolicyRef
 from repro.core.parameters import AvailabilityParameters
 from repro.exceptions import ConfigurationError
 
@@ -47,16 +48,18 @@ class UnderestimationPoint:
 
 def underestimation_factor(
     params: AvailabilityParameters,
-    model: ModelKind = ModelKind.CONVENTIONAL,
-    method: str = "dense",
+    model: PolicyRef = "conventional",
+    method: str = "auto",
 ) -> UnderestimationPoint:
     """Return the underestimation factor at one operating point."""
     if params.hep <= 0.0:
         raise ConfigurationError(
             "underestimation_factor requires hep > 0; the hep = 0 case is the baseline"
         )
-    with_hep = solve_model(params, model, method=method)
-    without_hep = solve_model(params.without_human_error(), ModelKind.BASELINE, method=method)
+    with_hep = analytical_result(params, model, method=method)
+    without_hep = analytical_result(
+        params.without_human_error(), "baseline", method=method
+    )
     return UnderestimationPoint(
         disk_failure_rate=params.disk_failure_rate,
         hep=params.hep,
@@ -70,7 +73,7 @@ def underestimation_sweep(
     base_params: AvailabilityParameters,
     failure_rates: Sequence[float],
     hep: float = 0.01,
-    model: ModelKind = ModelKind.CONVENTIONAL,
+    model: PolicyRef = "conventional",
 ) -> List[UnderestimationPoint]:
     """Return underestimation factors across a failure-rate sweep."""
     if not failure_rates:
@@ -86,7 +89,7 @@ def maximum_underestimation(
     base_params: AvailabilityParameters,
     failure_rates: Sequence[float],
     hep_values: Sequence[float] = (0.001, 0.01),
-    model: ModelKind = ModelKind.CONVENTIONAL,
+    model: PolicyRef = "conventional",
 ) -> UnderestimationPoint:
     """Return the worst-case (largest) underestimation across a grid.
 

@@ -1,6 +1,7 @@
 """Reproductions of the paper's evaluation figures and headline numbers."""
 
 from repro.experiments import (
+    cross_validation,
     fig4_validation,
     fig5_hep_sweep,
     fig6_raid_comparison,
@@ -28,6 +29,7 @@ __all__ = [
     "DEFAULTS",
     "ExperimentDefaults",
     "ExperimentReport",
+    "cross_validation",
     "FIG4_HEP_VALUES",
     "FIG5_FIELD_RATES",
     "FIG6_FAILURE_RATES",

@@ -3,13 +3,12 @@
 The paper's Fig. 4 plots availability (in nines) versus disk failure rate
 for ``hep = 0.001`` and ``hep = 0.01``, showing that the Markov prediction
 falls inside the Monte Carlo confidence interval at every point.  This
-module reruns that validation: for each (failure rate, hep) grid point it
-
-1. solves the conventional-replacement Markov model (Fig. 2), and
-2. runs the Monte Carlo reference model at the same parameters,
-
-then reports both values, the Monte Carlo interval and whether the Markov
-value is inside it.
+module reruns that validation through the backend-agnostic evaluation API:
+each (failure rate, hep) grid point is evaluated **twice through the same
+front door** — once on the ``"analytical"`` backend (the conventional
+policy's Fig. 2 chain) and once on the ``"monte_carlo"`` backend — and the
+report records both values, the Monte Carlo interval and whether the
+analytical value is inside it.
 """
 
 from __future__ import annotations
@@ -19,13 +18,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.availability.report import Table
-from repro.core.models.generic import ModelKind, solve_model
-from repro.core.montecarlo.config import MonteCarloConfig
+from repro.core.evaluation import evaluate
 from repro.core.montecarlo.parallel import worker_pool
-from repro.core.montecarlo.runner import run_monte_carlo
 from repro.core.parameters import paper_parameters
 from repro.experiments.config import DEFAULTS, FIG4_HEP_VALUES, fig4_failure_rates
-from repro.human.policy import PolicyKind
 from repro.storage.raid import RaidGeometry
 
 
@@ -106,18 +102,17 @@ def _validate_point(
     params = paper_parameters(
         geometry=RaidGeometry.raid5(3), disk_failure_rate=rate, hep=hep
     )
-    markov = solve_model(params, ModelKind.CONVENTIONAL)
-    mc = run_monte_carlo(
-        MonteCarloConfig(
-            params=params,
-            policy=PolicyKind.CONVENTIONAL,
-            horizon_hours=mc_horizon_hours,
-            n_iterations=mc_iterations,
-            confidence=DEFAULTS.mc_confidence,
-            seed=seed,
-            executor=executor,
-            workers=workers,
-        ),
+    markov = evaluate(params, policy="conventional", backend="analytical")
+    mc = evaluate(
+        params,
+        policy="conventional",
+        backend="monte_carlo",
+        horizon_hours=mc_horizon_hours,
+        n_iterations=mc_iterations,
+        confidence=DEFAULTS.mc_confidence,
+        seed=seed,
+        executor=executor,
+        workers=workers,
         pool=pool,
     )
     return ValidationPoint(
@@ -127,9 +122,9 @@ def _validate_point(
         markov_nines=markov.nines,
         mc_availability=mc.availability,
         mc_nines=mc.nines,
-        mc_ci_low=mc.interval.lower,
-        mc_ci_high=mc.interval.upper,
-        markov_within_ci=mc.contains_availability(markov.availability),
+        mc_ci_low=mc.ci_lower,
+        mc_ci_high=mc.ci_upper,
+        markov_within_ci=mc.contains(markov.availability),
     )
 
 

@@ -14,13 +14,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.availability.report import Table, table_from_series
-from repro.core.models.generic import ModelKind
-from repro.core.montecarlo.config import MonteCarloConfig
-from repro.core.montecarlo.runner import run_monte_carlo
+from repro.core.evaluation import evaluate
 from repro.core.sweep import sweep_hep
 from repro.experiments.config import DEFAULTS, FIG5_FIELD_RATES, HEP_SWEEP
 from repro.core.parameters import paper_parameters
-from repro.human.policy import PolicyKind
 from repro.storage.raid import RaidGeometry
 
 
@@ -58,7 +55,7 @@ def run_fig5_sweep(
         base = paper_parameters(
             geometry=RaidGeometry.raid5(3), disk_failure_rate=rate, hep=0.0
         )
-        markov_points = sweep_hep(base, hep_values, model=ModelKind.CONVENTIONAL)
+        markov_points = sweep_hep(base, hep_values, model="conventional")
         mc_nines: Optional[List[float]] = None
         if include_monte_carlo:
             mc_nines = []
@@ -69,15 +66,14 @@ def run_fig5_sweep(
                     hep=hep,
                     failure_shape=shape,
                 )
-                result = run_monte_carlo(
-                    MonteCarloConfig(
-                        params=params,
-                        policy=PolicyKind.CONVENTIONAL,
-                        horizon_hours=mc_horizon_hours,
-                        n_iterations=mc_iterations,
-                        confidence=DEFAULTS.mc_confidence,
-                        seed=seed,
-                    )
+                result = evaluate(
+                    params,
+                    policy="conventional",
+                    backend="monte_carlo",
+                    horizon_hours=mc_horizon_hours,
+                    n_iterations=mc_iterations,
+                    confidence=DEFAULTS.mc_confidence,
+                    seed=seed,
                 )
                 mc_nines.append(result.nines)
         series.append(

@@ -15,7 +15,6 @@ from typing import Dict, List, Sequence
 
 from repro.availability.report import Table
 from repro.core.comparison import compare_equal_capacity, ranking
-from repro.core.models.generic import ModelKind
 from repro.core.parameters import paper_parameters
 from repro.experiments.config import (
     FIG6_FAILURE_RATES,
@@ -48,7 +47,7 @@ def run_fig6_comparison(
     for rate in failure_rates:
         for hep in hep_values:
             base = paper_parameters(disk_failure_rate=rate, hep=hep)
-            model = ModelKind.BASELINE if hep == 0.0 else ModelKind.CONVENTIONAL
+            model = "baseline" if hep == 0.0 else "conventional"
             comparisons = compare_equal_capacity(
                 base, geometries=geometries, usable_disks=usable_disks, model=model
             )

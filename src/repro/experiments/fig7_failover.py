@@ -17,7 +17,7 @@ from typing import Dict, List, Sequence
 
 from repro.availability.metrics import unavailability_ratio
 from repro.availability.report import Table, table_from_series
-from repro.core.models.generic import ModelKind, solve_model
+from repro.core.evaluation import evaluate
 from repro.core.parameters import paper_parameters
 from repro.experiments.config import HEP_SWEEP
 from repro.storage.raid import RaidGeometry
@@ -54,9 +54,9 @@ def run_fig7_comparison(
             disk_failure_rate=disk_failure_rate,
             hep=hep,
         )
-        conventional_kind = ModelKind.BASELINE if hep == 0.0 else ModelKind.CONVENTIONAL
-        conventional = solve_model(params, conventional_kind)
-        failover = solve_model(params, ModelKind.AUTOMATIC_FAILOVER)
+        conventional_policy = "baseline" if hep == 0.0 else "conventional"
+        conventional = evaluate(params, policy=conventional_policy, backend="analytical")
+        failover = evaluate(params, policy="automatic_failover", backend="analytical")
         points.append(
             PolicyComparisonPoint(
                 hep=float(hep),

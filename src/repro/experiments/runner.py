@@ -12,8 +12,9 @@ from typing import Dict, List, Optional
 
 from repro.availability.report import Table
 from repro.core.montecarlo.parallel import worker_pool
-from repro.experiments import fig4_validation, fig5_hep_sweep, fig6_raid_comparison
-from repro.experiments import fig7_failover, hot_spare, underestimation
+from repro.experiments import cross_validation, fig4_validation, fig5_hep_sweep
+from repro.experiments import fig6_raid_comparison, fig7_failover, hot_spare
+from repro.experiments import underestimation
 from repro.experiments.config import DEFAULTS
 
 
@@ -68,11 +69,18 @@ def run_all_experiments(
             points = fig4_validation.run_fig4_validation(
                 mc_iterations=iterations, seed=seed, workers=workers, pool=pool
             )
+            crossval_rows = cross_validation.run_cross_validation(
+                mc_iterations=iterations, seed=seed, workers=workers, pool=pool
+            )
             spare_points = hot_spare.run_hot_spare_study(
                 mc_iterations=iterations, seed=seed, workers=workers, pool=pool
             )
         report.tables.append(fig4_validation.fig4_table(points))
         report.headline["fig4_agreement_fraction"] = fig4_validation.agreement_fraction(points)
+        report.tables.append(cross_validation.cross_validation_table(crossval_rows))
+        report.headline["crossval_policies_within_ci"] = float(
+            sum(1 for row in crossval_rows if row.within_ci)
+        )
         report.tables.append(hot_spare.hot_spare_table(spare_points))
         report.headline["hot_spare_best_pool_size"] = float(
             hot_spare.best_pool_size(spare_points)

@@ -9,7 +9,7 @@ states absorbing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 from repro.availability.metrics import (
     HOURS_PER_YEAR,
@@ -73,10 +73,52 @@ class AvailabilityResult:
         }
 
 
+def availability_from_up_mass(up_mass: Iterable[float]) -> Tuple[float, float, float]:
+    """Reduce up-state probability terms to ``(availability, unavailability, nines)``.
+
+    This is the single place the paper's availability summary arithmetic
+    lives: :func:`availability_result_from_pi` (and through it
+    :func:`steady_state_availability` and the template evaluation path) and
+    the sweep engine's per-point summary all reduce their stationary mass
+    here, so every route clips and converts identically.
+    """
+    availability = float(sum(up_mass))
+    availability = min(max(availability, 0.0), 1.0)
+    return availability, 1.0 - availability, availability_to_nines(availability)
+
+
+def availability_result_from_pi(
+    pi: Mapping[str, float],
+    state_names: Sequence[str],
+    up_states: Sequence[str],
+) -> AvailabilityResult:
+    """Summarise a precomputed stationary distribution.
+
+    :func:`steady_state_availability` and the parameterized-template
+    evaluation path (:mod:`repro.core.evaluation`) both feed their ``pi``
+    through here, so the two routes are arithmetic-for-arithmetic identical.
+    """
+    ups = tuple(up_states)
+    downs = tuple(name for name in state_names if name not in ups)
+    availability, unavailability, nines = availability_from_up_mass(
+        pi[name] for name in ups
+    )
+    return AvailabilityResult(
+        availability=availability,
+        unavailability=unavailability,
+        nines=nines,
+        downtime_hours_per_year=downtime_hours_per_year(availability),
+        state_probabilities=dict(pi),
+        up_states=ups,
+        down_states=downs,
+    )
+
+
 def steady_state_availability(
     chain: MarkovChain,
     method: str = "dense",
     up_states: Optional[Sequence[str]] = None,
+    pi: Optional[Mapping[str, float]] = None,
 ) -> AvailabilityResult:
     """Solve the chain and summarise its steady-state availability.
 
@@ -89,27 +131,20 @@ def steady_state_availability(
     up_states:
         Override of the up-state set; defaults to the states flagged
         ``up=True`` on the chain.
+    pi:
+        Optional precomputed stationary distribution keyed by state name.
+        Passing it skips the solve, so one solve can serve this summary,
+        :func:`expected_visits_per_year` and :func:`state_occupancy_report`.
     """
-    pi = solve_steady_state(chain, method=method)
+    if pi is None:
+        pi = solve_steady_state(chain, method=method)
     if up_states is None:
         ups = chain.up_states()
     else:
         for name in up_states:
             chain.index_of(name)
         ups = tuple(up_states)
-    downs = tuple(name for name in chain.state_names if name not in ups)
-    availability = float(sum(pi[name] for name in ups))
-    availability = min(max(availability, 0.0), 1.0)
-    unavailability = 1.0 - availability
-    return AvailabilityResult(
-        availability=availability,
-        unavailability=unavailability,
-        nines=availability_to_nines(availability),
-        downtime_hours_per_year=downtime_hours_per_year(availability),
-        state_probabilities=dict(pi),
-        up_states=ups,
-        down_states=downs,
-    )
+    return availability_result_from_pi(pi, chain.state_names, ups)
 
 
 def mean_time_to_failure(
@@ -136,15 +171,18 @@ def expected_visits_per_year(
     chain: MarkovChain,
     target_state: str,
     method: str = "dense",
+    pi: Optional[Mapping[str, float]] = None,
 ) -> float:
     """Return the long-run frequency (visits/year) of entering ``target_state``.
 
     The entry frequency equals the stationary probability flow into the
     state: ``sum_{s != target} pi_s * rate(s -> target)``.  Useful for
     reporting how often operators are summoned (entries into the exposed
-    state) or how often tape recoveries happen (entries into DL).
+    state) or how often tape recoveries happen (entries into DL).  A
+    precomputed ``pi`` skips the solve (see :func:`steady_state_availability`).
     """
-    pi = solve_steady_state(chain, method=method)
+    if pi is None:
+        pi = solve_steady_state(chain, method=method)
     chain.index_of(target_state)
     flow_per_hour = 0.0
     for source, rate in chain.predecessors(target_state).items():
@@ -153,10 +191,19 @@ def expected_visits_per_year(
 
 
 def state_occupancy_report(
-    chain: MarkovChain, method: str = "dense"
+    chain: MarkovChain,
+    method: str = "dense",
+    pi: Optional[Mapping[str, float]] = None,
 ) -> Dict[str, Mapping[str, float]]:
-    """Return per-state stationary probability and annual residence hours."""
-    pi = solve_steady_state(chain, method=method)
+    """Return per-state stationary probability and annual residence hours.
+
+    A precomputed ``pi`` skips the solve, so one
+    :func:`repro.markov.solver.solve_steady_state` call can serve this
+    report, :func:`steady_state_availability` and
+    :func:`expected_visits_per_year`.
+    """
+    if pi is None:
+        pi = solve_steady_state(chain, method=method)
     report: Dict[str, Mapping[str, float]] = {}
     for state in chain.states:
         probability = pi[state.name]

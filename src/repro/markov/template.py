@@ -1,0 +1,399 @@
+"""Parameterized chain templates: build once, re-solve at many points.
+
+A :class:`ChainTemplate` captures the *structure* of a CTMC — its states, up
+mask and transitions — together with a compiled rate expression per
+transition (see :mod:`repro.markov.rates`).  The template is derived from a
+chain the model builders produced once per (policy, geometry); afterwards a
+parameter sweep never reconstructs builder/chain/solver objects:
+
+* a :class:`TemplateEvaluator` owns one generator matrix ``Q`` assembled
+  from the template,
+* moving to the next sweep point rewrites **only** the ``Q`` entries whose
+  rate expressions mention a symbol that actually changed (plus the affected
+  diagonal entries), and
+* the updated ``Q`` is re-factorized by the array-level solvers in
+  :mod:`repro.markov.solver`, with dense/sparse selection by state count.
+
+The assembly mirrors :meth:`~repro.markov.chain.MarkovChain.generator_matrix`
+entry for entry (same scatter order, same row-sum diagonal), so a template
+solve is numerically indistinguishable from rebuilding the chain at every
+point — the sweep-engine tests assert agreement to 1e-12 and typically see
+bit-identical series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.exceptions import SolverError, TransitionError
+from repro.markov.chain import MarkovChain
+from repro.markov.rates import RateExpression, compile_rate_expression, symbol_table
+from repro.markov.solver import _RESIDUAL_TOL, resolve_method, stationary_from_q
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.parameters import AvailabilityParameters
+
+
+@dataclass(frozen=True)
+class TemplateTransition:
+    """One structural transition of a template: indices plus rate expression."""
+
+    source_index: int
+    target_index: int
+    expression: RateExpression
+
+
+class ChainTemplate:
+    """Structure of a CTMC with symbolic rates, reusable across parameters.
+
+    Parameters
+    ----------
+    chain:
+        A chain built by one of the model builders.  Every transition must
+        carry a parseable symbolic label; the evaluated expressions are
+        checked against the chain's numeric rates at the construction point,
+        so a label that disagrees with its builder arithmetic fails fast.
+    params:
+        The parameter point ``chain`` was built at, used for that check.
+    """
+
+    def __init__(self, chain: MarkovChain, params: "AvailabilityParameters") -> None:
+        self._name = chain.name
+        self._state_names: Tuple[str, ...] = chain.state_names
+        self._up_mask = chain.up_mask()
+        self._up_indices: Tuple[int, ...] = tuple(
+            i for i, up in enumerate(self._up_mask) if up
+        )
+        index = {name: i for i, name in enumerate(self._state_names)}
+        transitions: List[TemplateTransition] = []
+        for transition in chain.transitions:
+            expression = compile_rate_expression(transition.label)
+            transitions.append(
+                TemplateTransition(
+                    source_index=index[transition.source],
+                    target_index=index[transition.target],
+                    expression=expression,
+                )
+            )
+        self._transitions: Tuple[TemplateTransition, ...] = tuple(transitions)
+        # Entry groups: declaration-ordered transition indices per (i, j)
+        # cell, so a rewrite accumulates duplicates in the same order as a
+        # fresh generator_matrix() scatter.
+        groups: Dict[Tuple[int, int], List[int]] = {}
+        for k, t in enumerate(self._transitions):
+            groups.setdefault((t.source_index, t.target_index), []).append(k)
+        self._entry_groups: Dict[Tuple[int, int], Tuple[int, ...]] = {
+            key: tuple(members) for key, members in groups.items()
+        }
+        # Symbol -> entries whose rate depends on it (for targeted rewrites).
+        by_symbol: Dict[str, set] = {}
+        for key, members in self._entry_groups.items():
+            for k in members:
+                for symbol in self._transitions[k].expression.symbols:
+                    by_symbol.setdefault(symbol, set()).add(key)
+        self._entries_by_symbol: Dict[str, Tuple[Tuple[int, int], ...]] = {
+            symbol: tuple(sorted(keys)) for symbol, keys in by_symbol.items()
+        }
+        self._check_against(chain, params)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Return the name of the chain the template was derived from."""
+        return self._name
+
+    @property
+    def state_names(self) -> Tuple[str, ...]:
+        """Return the state names in matrix order."""
+        return self._state_names
+
+    @property
+    def n_states(self) -> int:
+        """Return the number of states."""
+        return len(self._state_names)
+
+    @property
+    def up_indices(self) -> Tuple[int, ...]:
+        """Return the matrix indices of the up states, in declaration order."""
+        return self._up_indices
+
+    @property
+    def up_mask(self) -> np.ndarray:
+        """Return a copy of the boolean up-state mask."""
+        return self._up_mask.copy()
+
+    @property
+    def transitions(self) -> Tuple[TemplateTransition, ...]:
+        """Return the structural transitions."""
+        return self._transitions
+
+    @property
+    def symbols(self) -> FrozenSet[str]:
+        """Return every rate symbol any transition depends on."""
+        return frozenset(self._entries_by_symbol)
+
+    def depends_on(self, symbol: str) -> bool:
+        """Return whether any transition rate mentions ``symbol``."""
+        return symbol in self._entries_by_symbol
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def rates(self, table: Mapping[str, float]) -> np.ndarray:
+        """Evaluate every transition rate against a symbol table."""
+        return np.array(
+            [t.expression(table) for t in self._transitions], dtype=float
+        )
+
+    def generator_matrix(self, params: "AvailabilityParameters") -> np.ndarray:
+        """Assemble a fresh generator matrix at one parameter point."""
+        return self.evaluator(params).generator_matrix()
+
+    def evaluator(self, params: "AvailabilityParameters") -> "TemplateEvaluator":
+        """Return a mutable evaluator positioned at ``params``."""
+        return TemplateEvaluator(self, params)
+
+    def solve_many(
+        self,
+        params_list: Sequence["AvailabilityParameters"],
+        method: str = "auto",
+    ) -> np.ndarray:
+        """Return the stationary vectors of many parameter points at once.
+
+        This is the vectorized heart of the sweep engine.  On the dense path
+        (the ``"auto"`` choice for every paper-sized chain) all points are
+        assembled into one ``(k, n, n)`` generator stack — base entries
+        broadcast, only the transitions whose symbols actually vary across
+        the points re-evaluated — and factorized by a **single** batched
+        LAPACK solve, then validated and normalised with vectorized
+        arithmetic that matches the scalar solver operation for operation.
+        Non-dense methods fall back to a per-point loop on one evaluator.
+
+        Returns an array of shape ``(len(params_list), n_states)``.
+        """
+        if len(params_list) == 0:
+            return np.zeros((0, self.n_states))
+        resolved = resolve_method(method, self.n_states)
+        if resolved != "dense":
+            evaluator = self.evaluator(params_list[0])
+            rows = [evaluator.solve(method=resolved)]
+            for params in params_list[1:]:
+                evaluator.set_params(params)
+                rows.append(evaluator.solve(method=resolved))
+            return np.stack(rows)
+
+        k = len(params_list)
+        n = self.n_states
+        tables = [symbol_table(params) for params in params_list]
+        base = tables[0]
+        varying = {
+            symbol
+            for table in tables[1:]
+            for symbol, value in table.items()
+            if base.get(symbol) != value
+        }
+        affected = set()
+        for symbol in varying:
+            affected.update(self._entries_by_symbol.get(symbol, ()))
+
+        base_rates = self.rates(base)
+        q0 = np.zeros((n, n))
+        for idx, t in enumerate(self._transitions):
+            q0[t.source_index, t.target_index] += base_rates[idx]
+        np.fill_diagonal(q0, 0.0)
+        q0[np.diag_indices_from(q0)] = -q0.sum(axis=1)
+        q = np.broadcast_to(q0, (k, n, n)).copy()
+
+        if affected:
+            affected_transitions = sorted(
+                {idx for key in affected for idx in self._entry_groups[key]}
+            )
+            rate_columns = {
+                idx: np.array(
+                    [self._transitions[idx].expression(table) for table in tables]
+                )
+                for idx in affected_transitions
+            }
+            for i, j in affected:
+                total = np.zeros(k)
+                for idx in self._entry_groups[(i, j)]:
+                    column = rate_columns.get(idx)
+                    if column is None:
+                        column = np.full(k, base_rates[idx])
+                    total = total + column
+                q[:, i, j] = total
+            rows = sorted({i for i, _ in affected})
+            for i in rows:
+                q[:, i, i] = 0.0
+                q[:, i, i] = -q[:, i, :].sum(axis=-1)
+
+        # One batched factorization for the whole sweep: the stacked system
+        # mirrors stationary_dense_from_q (replace one balance equation by
+        # the normalisation row) applied to every point at once.
+        a = q.transpose(0, 2, 1).copy()
+        a[:, -1, :] = 1.0
+        b = np.zeros((k, n, 1))
+        b[:, -1, 0] = 1.0
+        try:
+            pi = np.linalg.solve(a, b)[:, :, 0]
+        except np.linalg.LinAlgError as exc:
+            raise SolverError(
+                f"batched dense steady-state solve failed for template "
+                f"{self._name!r}: {exc}"
+            ) from exc
+        if np.any(~np.isfinite(pi)):
+            raise SolverError(
+                f"batched steady-state solution for {self._name!r} contains "
+                "non-finite entries"
+            )
+        most_negative = float(pi.min())
+        if most_negative < -1e-9:
+            raise SolverError(
+                f"batched steady-state solution for {self._name!r} has negative "
+                f"probability {most_negative:.3e}"
+            )
+        pi = np.clip(pi, 0.0, None)
+        totals = pi.sum(axis=1)
+        if np.any(totals <= 0.0):
+            raise SolverError(
+                f"batched steady-state solution for {self._name!r} sums to zero"
+            )
+        pi = pi / totals[:, None]
+        residual = np.max(np.abs(np.matmul(pi[:, None, :], q)[:, 0, :]), axis=1)
+        scale = np.maximum(1.0, np.max(np.abs(q), axis=(1, 2)))
+        worst = float(np.max(residual / scale))
+        if worst > _RESIDUAL_TOL:
+            raise SolverError(
+                f"batched steady-state residual {worst:.3e} exceeds tolerance "
+                f"for template {self._name!r}"
+            )
+        return pi
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _check_against(self, chain: MarkovChain, params: "AvailabilityParameters") -> None:
+        """Verify label expressions reproduce the builder's numeric rates."""
+        table = symbol_table(params)
+        for t, reference in zip(self._transitions, chain.transitions):
+            evaluated = t.expression(table)
+            if evaluated != reference.rate:
+                raise TransitionError(
+                    f"template for {self._name!r}: label {t.expression.label!r} "
+                    f"evaluates to {evaluated!r} but the builder produced rate "
+                    f"{reference.rate!r} for {reference.source!r}->{reference.target!r}"
+                )
+
+
+class TemplateEvaluator:
+    """A template bound to a generator matrix that tracks parameter changes.
+
+    The evaluator owns ``Q`` and the last evaluated symbol table.  Each
+    :meth:`set_params` call rewrites only the entries whose expressions
+    depend on a symbol whose value actually changed; :meth:`solve` then
+    re-factorizes through the array-level steady-state solvers.
+    """
+
+    def __init__(self, template: ChainTemplate, params: "AvailabilityParameters") -> None:
+        self._template = template
+        self._table = symbol_table(params)
+        self._rates = template.rates(self._table)
+        n = template.n_states
+        self._q = np.zeros((n, n), dtype=float)
+        for k, t in enumerate(template.transitions):
+            self._q[t.source_index, t.target_index] += self._rates[k]
+        np.fill_diagonal(self._q, 0.0)
+        self._q[np.diag_indices_from(self._q)] = -self._q.sum(axis=1)
+        #: Number of Q entries rewritten by the last set_params call; kept
+        #: for benchmarks and tests of the targeted-update path.
+        self.last_rewrites = int(len(template._entry_groups))
+
+    @property
+    def template(self) -> ChainTemplate:
+        """Return the underlying template."""
+        return self._template
+
+    def generator_matrix(self) -> np.ndarray:
+        """Return a copy of the current generator matrix."""
+        return self._q.copy()
+
+    def set_params(self, params: "AvailabilityParameters") -> "TemplateEvaluator":
+        """Move the evaluator to a new parameter point.
+
+        Only the generator entries whose rate expressions mention a symbol
+        with a changed value are rewritten; each affected off-diagonal cell
+        is recomputed from its declaration-ordered transition rates, and the
+        affected rows get their diagonal restored from a fresh row sum.
+        """
+        template = self._template
+        new_table = symbol_table(params)
+        changed = {
+            symbol for symbol, value in new_table.items()
+            if self._table.get(symbol) != value
+        }
+        self._table = new_table
+        if not changed:
+            self.last_rewrites = 0
+            return self
+        affected: set = set()
+        for symbol in changed:
+            affected.update(template._entries_by_symbol.get(symbol, ()))
+        if not affected:
+            self.last_rewrites = 0
+            return self
+        transitions = template.transitions
+        entry_groups = template._entry_groups
+        for key in affected:
+            for k in entry_groups[key]:
+                self._rates[k] = transitions[k].expression(new_table)
+        rows = set()
+        for i, j in affected:
+            total = 0.0
+            for k in entry_groups[(i, j)]:
+                total += self._rates[k]
+            self._q[i, j] = total
+            rows.add(i)
+        for i in rows:
+            self._q[i, i] = 0.0
+            self._q[i, i] = -self._q[i, :].sum()
+        self.last_rewrites = int(len(affected))
+        return self
+
+    def solve(self, method: str = "auto") -> np.ndarray:
+        """Return the stationary vector of the current generator.
+
+        ``method`` follows :func:`repro.markov.solver.stationary_from_q`;
+        the default auto-selects dense or sparse by state count.
+        """
+        return stationary_from_q(self._q, method=method, name=self._template.name)
+
+    def solver_name(self, method: str = "auto") -> str:
+        """Return the concrete solver the given method resolves to."""
+        return resolve_method(method, self._template.n_states)
+
+    def state_probabilities(self, pi: Optional[np.ndarray] = None) -> Dict[str, float]:
+        """Return ``{state name: stationary probability}``."""
+        if pi is None:
+            pi = self.solve()
+        return dict(zip(self._template.state_names, pi.tolist()))
+
+
+def template_from_chain(
+    chain: MarkovChain, params: "AvailabilityParameters"
+) -> ChainTemplate:
+    """Build a :class:`ChainTemplate` from a chain and its build parameters."""
+    return ChainTemplate(chain, params)

@@ -1,0 +1,221 @@
+"""Unit tests for the backend-agnostic evaluation API and the ModelKind shim."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core.evaluation import (
+    AvailabilityEstimate,
+    analytical_policies,
+    analytical_result,
+    chain_template,
+    clear_template_cache,
+    evaluate,
+)
+from repro.core.models.generic import (
+    ModelKind,
+    _reset_deprecation_warnings,
+    available_models,
+    build_chain,
+    solve_model,
+)
+from repro.core.parameters import paper_parameters
+from repro.core.policies import get_policy, hot_spare_policy
+from repro.exceptions import ConfigurationError
+from repro.human.policy import PolicyKind
+from repro.markov.metrics import steady_state_availability
+
+FAST_PARAMS = paper_parameters(disk_failure_rate=1e-4, hep=0.05)
+
+
+def _legacy_solve(params, policy_name):
+    """Pre-refactor reference: build the chain fresh and solve dense."""
+    return steady_state_availability(
+        get_policy(policy_name).build_chain(params), method="dense"
+    )
+
+
+class TestAnalyticalBackend:
+    @pytest.mark.parametrize("policy", ["baseline", "conventional", "automatic_failover"])
+    @pytest.mark.parametrize("hep", [0.0, 0.001, 0.01])
+    @pytest.mark.parametrize("rate", [1e-7, 1e-6, 1e-5])
+    def test_matches_per_point_rebuild(self, policy, hep, rate):
+        params = paper_parameters(disk_failure_rate=rate, hep=hep)
+        legacy = _legacy_solve(params, policy)
+        estimate = evaluate(params, policy=policy, backend="analytical")
+        assert estimate.availability == pytest.approx(legacy.availability, abs=1e-12)
+        assert estimate.nines == pytest.approx(legacy.nines, abs=1e-9)
+        assert estimate.backend == "analytical"
+        assert estimate.ci_lower is None and not estimate.has_interval
+
+    def test_provenance_names_solver_and_states(self):
+        estimate = evaluate(paper_parameters(hep=0.01), "automatic_failover", "analytical")
+        assert estimate.provenance == "solver=dense states=12"
+
+    def test_state_probabilities_attached(self):
+        estimate = evaluate(paper_parameters(hep=0.01), "conventional", "analytical")
+        assert set(estimate.state_probabilities) == {"OP", "EXP", "DU", "DL"}
+        assert sum(estimate.state_probabilities.values()) == pytest.approx(1.0)
+
+    def test_analytical_result_full_summary(self):
+        params = paper_parameters(hep=0.01)
+        result = analytical_result(params, "conventional")
+        legacy = _legacy_solve(params, "conventional")
+        assert result.availability == legacy.availability
+        assert result.state_probabilities == legacy.state_probabilities
+        assert result.up_states == legacy.up_states
+
+    def test_modelkind_and_policykind_accepted_as_policy(self):
+        params = paper_parameters(hep=0.01)
+        by_name = evaluate(params, "conventional", "analytical")
+        by_model_kind = evaluate(params, ModelKind.CONVENTIONAL, "analytical")
+        by_policy_kind = evaluate(params, PolicyKind.CONVENTIONAL, "analytical")
+        assert by_model_kind.availability == by_name.availability
+        assert by_policy_kind.availability == by_name.availability
+
+    def test_chainless_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            evaluate(FAST_PARAMS, hot_spare_policy(3), backend="analytical")
+
+    def test_contains_requires_interval(self):
+        estimate = evaluate(paper_parameters(hep=0.01), "conventional", "analytical")
+        with pytest.raises(ConfigurationError):
+            estimate.contains(0.5)
+
+    def test_template_cache_shared_across_calls(self):
+        clear_template_cache()
+        params = paper_parameters(hep=0.01)
+        first = chain_template("conventional", params)
+        second = chain_template("conventional", params.with_hep(0.25))
+        assert first is second
+        # hep = 0 selects the structurally reduced template.
+        reduced = chain_template("conventional", params.with_hep(0.0))
+        assert reduced is not first
+        assert "DU" not in reduced.state_names
+
+    def test_analytical_policies_lists_dual_face_policies(self):
+        names = analytical_policies()
+        assert {"baseline", "conventional", "automatic_failover"} <= set(names)
+        assert "hot_spare_pool" not in names
+
+
+class TestMonteCarloBackend:
+    def test_interval_and_provenance(self):
+        estimate = evaluate(
+            FAST_PARAMS, "conventional", backend="monte_carlo",
+            n_iterations=800, seed=3,
+        )
+        assert estimate.backend == "monte_carlo"
+        assert estimate.provenance == "executor=batch"
+        assert estimate.has_interval
+        assert estimate.ci_lower <= estimate.availability <= estimate.ci_upper
+        assert estimate.contains(estimate.availability)
+        assert estimate.n_iterations == 800
+        assert estimate.half_width > 0.0
+
+    def test_sharded_provenance(self):
+        estimate = evaluate(
+            FAST_PARAMS, "conventional", backend="monte_carlo",
+            n_iterations=600, seed=3, shard_size=200,
+        )
+        assert estimate.provenance.startswith("executor=sharded")
+
+    def test_auto_prefers_analytical_when_available(self):
+        assert evaluate(FAST_PARAMS, "conventional", "auto").backend == "analytical"
+
+    def test_auto_falls_back_to_monte_carlo(self):
+        estimate = evaluate(
+            FAST_PARAMS, hot_spare_policy(2), backend="auto",
+            n_iterations=400, seed=5,
+        )
+        assert estimate.backend == "monte_carlo"
+        assert estimate.has_interval
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            evaluate(FAST_PARAMS, "conventional", backend="quantum")
+
+    def test_as_dict_round_trip(self):
+        estimate = evaluate(
+            FAST_PARAMS, "conventional", backend="monte_carlo",
+            n_iterations=400, seed=5,
+        )
+        payload = estimate.as_dict()
+        assert payload["backend"] == "monte_carlo"
+        assert {"ci_lower", "ci_upper", "confidence", "n_iterations"} <= set(payload)
+        analytical = evaluate(FAST_PARAMS, "conventional", "analytical").as_dict()
+        assert "ci_lower" not in analytical
+
+
+class TestCrossBackendConsistency:
+    """Satellite: analytical availability within the sharded-MC 99% half-width."""
+
+    @pytest.mark.parametrize("policy", ["baseline", "conventional", "automatic_failover"])
+    def test_analytical_within_sharded_mc_interval(self, policy):
+        analytical = evaluate(FAST_PARAMS, policy, backend="analytical")
+        mc = evaluate(
+            FAST_PARAMS, policy, backend="monte_carlo",
+            n_iterations=6000, seed=0, confidence=0.99, shard_size=1500,
+        )
+        assert mc.provenance.startswith("executor=sharded")
+        assert abs(mc.availability - analytical.availability) <= mc.half_width, (
+            f"{policy}: analytical {analytical.availability} outside "
+            f"[{mc.ci_lower}, {mc.ci_upper}]"
+        )
+
+
+class TestModelKindShim:
+    def test_solve_model_matches_registry_route(self):
+        params = paper_parameters(hep=0.01)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = solve_model(params, ModelKind.CONVENTIONAL)
+        assert legacy.availability == _legacy_solve(params, "conventional").availability
+
+    def test_baseline_kind_ignores_hep(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with_hep = solve_model(paper_parameters(hep=0.01), ModelKind.BASELINE)
+            without = solve_model(paper_parameters(hep=0.0), ModelKind.BASELINE)
+        assert with_hep.availability == without.availability
+
+    def test_build_chain_routes_through_registry(self):
+        params = paper_parameters(hep=0.01)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            chain = build_chain(params, ModelKind.AUTOMATIC_FAILOVER)
+        assert set(chain.state_names) == set(
+            get_policy("automatic_failover").build_chain(params).state_names
+        )
+
+    def test_warns_once_per_symbol(self):
+        _reset_deprecation_warnings()
+        params = paper_parameters(hep=0.01)
+        with pytest.warns(DeprecationWarning):
+            solve_model(params, ModelKind.CONVENTIONAL)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            solve_model(params, ModelKind.CONVENTIONAL)  # latched: no warning
+        with pytest.warns(DeprecationWarning):
+            build_chain(params, ModelKind.CONVENTIONAL)
+
+    def test_string_kind_accepted(self):
+        params = paper_parameters(hep=0.01)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            by_enum = solve_model(params, ModelKind.CONVENTIONAL)
+            by_name = solve_model(params, "conventional")
+        assert by_enum.availability == by_name.availability
+
+    def test_unknown_kind_rejected(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ConfigurationError):
+                solve_model(paper_parameters(), "no_such_model")
+
+    def test_available_models_reflects_registry(self):
+        models = available_models()
+        assert {"baseline", "conventional", "automatic_failover"} <= set(models)
+        assert all(isinstance(text, str) and text for text in models.values())

@@ -13,6 +13,11 @@ from repro.experiments import (
     fig6_configurations,
     raid5_3_1_parameters,
 )
+from repro.experiments.cross_validation import (
+    all_within_ci,
+    cross_validation_table,
+    run_cross_validation,
+)
 from repro.experiments.fig4_validation import (
     agreement_fraction,
     fig4_table,
@@ -92,6 +97,36 @@ class TestFig4:
         assert "markov_within_ci" in table.columns
         payload = points[0].as_dict()
         assert "mc_ci_low" in payload
+
+
+class TestCrossValidation:
+    def test_every_dual_face_policy_within_ci(self):
+        rows = run_cross_validation(mc_iterations=4000, seed=0)
+        assert {row.policy for row in rows} == {
+            "baseline", "conventional", "automatic_failover",
+        }
+        assert all_within_ci(rows)
+        for row in rows:
+            assert row.mc_ci_low <= row.analytical_availability <= row.mc_ci_high
+            assert row.mc_half_width > 0.0
+            assert row.n_iterations >= 4000
+
+    def test_table_and_serialisation(self):
+        rows = run_cross_validation(mc_iterations=2000, seed=1)
+        table = cross_validation_table(rows)
+        assert len(table.rows) == len(rows)
+        assert "within_ci" in table.columns
+        payload = rows[0].as_dict()
+        assert {"policy", "analytical_availability", "within_ci"} <= set(payload)
+
+    def test_custom_policy_subset(self):
+        rows = run_cross_validation(
+            policies=["conventional"], mc_iterations=2000, seed=0
+        )
+        assert [row.policy for row in rows] == ["conventional"]
+
+    def test_empty_rows_fail_the_acceptance_check(self):
+        assert not all_within_ci([])
 
 
 class TestFig5:

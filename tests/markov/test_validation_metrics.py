@@ -131,3 +131,49 @@ class TestAvailabilityMetrics:
             worse.unavailability / base.unavailability, rel=1e-9
         )
         assert comparison["nines_delta"] < 0.0
+
+
+class TestSharedStationaryVector:
+    """Satellite: one steady-state solve serves every metric via ``pi``."""
+
+    def test_precomputed_pi_matches_internal_solve(self):
+        from repro.markov import solve_steady_state
+
+        chain = availability_chain(failure=0.02, repair=0.5)
+        pi = solve_steady_state(chain)
+        shared = steady_state_availability(chain, pi=pi)
+        fresh = steady_state_availability(chain)
+        assert shared.availability == fresh.availability
+        assert shared.state_probabilities == fresh.state_probabilities
+        assert expected_visits_per_year(chain, "DOWN", pi=pi) == expected_visits_per_year(
+            chain, "DOWN"
+        )
+        assert state_occupancy_report(chain, pi=pi) == state_occupancy_report(chain)
+
+    def test_pi_argument_skips_the_solver(self, monkeypatch):
+        import repro.markov.metrics as metrics_module
+
+        chain = availability_chain()
+        pi = metrics_module.solve_steady_state(chain)
+        calls = {"n": 0}
+
+        def counting_solve(*args, **kwargs):
+            calls["n"] += 1
+            return pi
+
+        monkeypatch.setattr(metrics_module, "solve_steady_state", counting_solve)
+        steady_state_availability(chain, pi=pi)
+        expected_visits_per_year(chain, "DOWN", pi=pi)
+        state_occupancy_report(chain, pi=pi)
+        assert calls["n"] == 0
+        steady_state_availability(chain)
+        assert calls["n"] == 1
+
+    def test_availability_result_from_pi_direct(self):
+        from repro.markov import availability_result_from_pi
+
+        chain = availability_chain(failure=0.1, repair=1.0)
+        pi = {"UP": 1.0 / 1.1, "DOWN": 0.1 / 1.1}
+        result = availability_result_from_pi(pi, chain.state_names, ("UP",))
+        assert result.availability == pytest.approx(1.0 / 1.1)
+        assert result.down_states == ("DOWN",)

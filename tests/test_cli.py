@@ -148,6 +148,73 @@ class TestMcCommand:
         assert "conventional" in err  # the error lists the alternatives
 
 
+class TestSweepCommand:
+    def test_analytical_hep_sweep(self, capsys):
+        assert main([
+            "sweep", "--axis", "hep", "--values", "0,0.001,0.01",
+            "--backend", "auto",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "axis:     hep (3 points)" in out
+        assert "backend:  auto" in out
+        assert out.count("0.9999") >= 3
+
+    def test_sweep_matches_solve(self, capsys):
+        assert main(["sweep", "--axis", "hep", "--values", "0.01"]) == 0
+        sweep_out = capsys.readouterr().out
+        assert main(["solve", "--hep", "0.01"]) == 0
+        solve_out = capsys.readouterr().out
+        availability = next(
+            line.split(":")[1].strip()
+            for line in solve_out.splitlines() if line.startswith("availability")
+        )
+        assert availability in sweep_out
+
+    def test_grid_spacing(self, capsys):
+        assert main([
+            "sweep", "--axis", "failure_rate", "--grid", "5e-7:5.5e-6:6",
+            "--policy", "automatic_failover",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "axis:     failure_rate (6 points)" in out
+
+    def test_log_grid(self, capsys):
+        assert main([
+            "sweep", "--axis", "failure_rate", "--grid", "1e-7:1e-5:3:log",
+        ]) == 0
+        assert "(3 points)" in capsys.readouterr().out
+
+    def test_monte_carlo_backend_prints_intervals(self, capsys):
+        assert main([
+            "sweep", "--axis", "hep", "--values", "0.05", "--backend", "monte_carlo",
+            "--failure-rate", "1e-4", "--iterations", "400", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ci_low" in out and "ci_high" in out
+
+    def test_missing_values_is_clean_error(self, capsys):
+        assert main(["sweep", "--axis", "hep"]) == 2
+        assert "--values or --grid" in capsys.readouterr().err
+
+    def test_bad_grid_is_clean_error(self, capsys):
+        assert main(["sweep", "--axis", "hep", "--grid", "nonsense"]) == 2
+        assert "START:STOP:POINTS" in capsys.readouterr().err
+
+    def test_bad_values_is_clean_error(self, capsys):
+        assert main(["sweep", "--axis", "hep", "--values", "a,b"]) == 2
+        assert "comma-separated" in capsys.readouterr().err
+
+
+class TestCrossvalCommand:
+    def test_smoke_run_passes(self, capsys):
+        assert main([
+            "crossval", "--iterations", "1500", "--seed", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cross-validation: PASS" in out
+        assert "automatic_failover" in out and "baseline" in out
+
+
 class TestPoliciesCommand:
     def test_policies_lists_registry(self, capsys):
         assert main(["policies"]) == 0
@@ -156,6 +223,7 @@ class TestPoliciesCommand:
         assert "automatic_failover" in out
         assert "hot_spare_pool" in out
         assert "batch+scalar" in out
+        assert "batch+scalar+analytical" in out
 
 
 class TestReproduceCommand:
