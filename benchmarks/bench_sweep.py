@@ -1,14 +1,24 @@
-"""Engine benchmark: parameterized-template sweep vs per-point rebuild.
+"""Engine benchmarks: the sweep engines against their per-point ancestors.
 
-The sweep engine's acceptance criterion: at 1000 sweep points the
-template-driven analytical sweep (build the chain once, rewrite only the
-affected generator entries, re-factorize) must be at least **10x** faster
-than the retired per-point path that reconstructs builder, chain, validation
-and solver objects for every point — while producing the same series to
-1e-12.
+Two acceptance criteria live here:
+
+* **Analytical** (PR 3): at 1000 sweep points the template-driven sweep
+  (build the chain once, rewrite only the affected generator entries,
+  re-factorize) must be at least **10x** faster than the retired per-point
+  path that reconstructs builder, chain, validation and solver objects for
+  every point — while producing the same series to 1e-12.
+* **Monte Carlo stacked grids** (PR 4): a 32-point sweep at 5000 lifetimes
+  per point, run as one stacked grid (per-lifetime parameter arrays, a
+  handful of kernel invocations for the whole grid, segmented per-point
+  aggregation), must be at least **5x** faster than the per-point path it
+  replaces — one full independent sharded study per value, each paying its
+  own kernel launches, shard scheduling and executor lifecycle.  The
+  stacked decomposition is worker-count independent, so the same benchmark
+  asserts that ``workers=2`` results are bit-identical to ``workers=1``.
 
 Run with ``pytest benchmarks/bench_sweep.py -s`` to see the measured
-speedups alongside the timing records.
+speedups alongside the timing records; machine-readable results land in
+``BENCH_sweep.json`` (see ``benchmarks/conftest.py``).
 """
 
 from __future__ import annotations
@@ -19,6 +29,7 @@ import numpy as np
 import pytest
 
 from repro.core.evaluation import clear_template_cache
+from repro.core.montecarlo import MonteCarloConfig, run_monte_carlo, run_stacked
 from repro.core.parameters import paper_parameters
 from repro.core.sweep import sweep, sweep_per_point_rebuild
 
@@ -27,6 +38,13 @@ N_POINTS = 1000
 
 #: Required advantage of the template engine over per-point rebuilds.
 REQUIRED_SPEEDUP = 10.0
+
+#: Grid shape of the stacked Monte Carlo acceptance benchmark.
+MC_POINTS = 32
+MC_LIFETIMES = 5000
+
+#: Required advantage of the stacked grid over per-point sharded studies.
+REQUIRED_MC_SPEEDUP = 5.0
 
 BASE = paper_parameters(disk_failure_rate=1e-6, hep=0.01)
 HEP_VALUES = [float(h) for h in np.linspace(1e-4, 0.05, N_POINTS)]
@@ -48,8 +66,8 @@ def _assert_series_match(fast, slow):
     ],
     ids=["conventional-hep", "conventional-rate", "failover-hep"],
 )
-def test_template_sweep_10x_faster_than_rebuild(policy, axis, values):
-    """The tentpole acceptance: >= 10x at 1k points, identical to 1e-12."""
+def test_template_sweep_10x_faster_than_rebuild(policy, axis, values, bench_record):
+    """The PR 3 acceptance: >= 10x at 1k points, identical to 1e-12."""
     clear_template_cache()
     start = time.perf_counter()
     fast = sweep(BASE, axis, values, policy, backend="analytical")
@@ -64,10 +82,102 @@ def test_template_sweep_10x_faster_than_rebuild(policy, axis, values):
         f"\n{policy}/{axis}: {N_POINTS} points — template {template_seconds:.3f}s, "
         f"rebuild {rebuild_seconds:.3f}s (speedup {speedup:.1f}x)"
     )
+    bench_record(
+        f"template_sweep:{policy}-{axis}",
+        points=N_POINTS,
+        seconds=template_seconds,
+        speedup=speedup,
+    )
     _assert_series_match(fast, slow)
     assert speedup >= REQUIRED_SPEEDUP, (
         f"template sweep only {speedup:.1f}x faster than per-point rebuild "
         f"(required {REQUIRED_SPEEDUP:g}x)"
+    )
+
+
+def _mc_grid_configs(workers: int, shard_size=None) -> "list[MonteCarloConfig]":
+    """Return the 32-point hep grid of the stacked acceptance benchmark.
+
+    The per-point baseline runs with ``shard_size=None`` — the derived
+    decomposition the pre-stacked dispatch would actually use (one shard
+    per worker and study).  The stacked side pins 40k-lifetime shards, its
+    intended operating point: the whole 160k-row grid becomes four kernel
+    invocations (still worker-count independent, as the bit-identity check
+    below asserts).
+    """
+    heps = np.linspace(0.0, 0.05, MC_POINTS)
+    return [
+        MonteCarloConfig(
+            params=paper_parameters(disk_failure_rate=1e-6, hep=float(hep)),
+            policy="conventional",
+            n_iterations=MC_LIFETIMES,
+            horizon_hours=87_600.0,
+            seed=2017,
+            workers=workers,
+            shard_size=shard_size,
+        )
+        for hep in heps
+    ]
+
+
+def test_stacked_mc_sweep_5x_faster_than_per_point(bench_record):
+    """The PR 4 acceptance: >= 5x at 32 points x 5k lifetimes.
+
+    The per-point baseline is the pre-stacked Monte Carlo sweep dispatch:
+    one full independent sharded study per grid point, each paying its own
+    kernel launches, shard scheduling and worker-pool lifecycle (exactly
+    what ``run_monte_carlo`` does per config).  The stacked engine runs the
+    same 160k lifetimes as one grid on the same worker count.  Both sides
+    simulate identical iteration budgets with identical kernels; estimates
+    must agree within overlapping 99 % intervals per point.
+    """
+    workers = 2
+    stacked_shard = 40_000
+    per_point_configs = _mc_grid_configs(workers)
+    stacked_configs = _mc_grid_configs(workers, shard_size=stacked_shard)
+    run_stacked(stacked_configs[:2])  # warm imports/pool machinery
+
+    start = time.perf_counter()
+    per_point = [run_monte_carlo(config) for config in per_point_configs]
+    per_point_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    stacked = run_stacked(stacked_configs)
+    stacked_seconds = time.perf_counter() - start
+
+    speedup = per_point_seconds / max(stacked_seconds, 1e-9)
+    print(
+        f"\nstacked MC sweep: {MC_POINTS} points x {MC_LIFETIMES} lifetimes — "
+        f"stacked {stacked_seconds:.3f}s, per-point {per_point_seconds:.3f}s "
+        f"(speedup {speedup:.1f}x)"
+    )
+    bench_record(
+        "stacked_mc_sweep",
+        points=MC_POINTS,
+        seconds=stacked_seconds,
+        speedup=speedup,
+        lifetimes_per_point=MC_LIFETIMES,
+        workers=workers,
+    )
+
+    # Same scenarios, same iteration budgets: every point's 99 % intervals
+    # must overlap between the two engines.
+    for point_stacked, point_ref in zip(stacked, per_point):
+        low = max(point_stacked.interval.lower, point_ref.interval.lower)
+        high = min(point_stacked.interval.upper, point_ref.interval.upper)
+        assert low <= high, f"intervals disagree at {point_stacked.label}"
+
+    # The stacked decomposition is worker-count independent: workers=2 must
+    # be bit-identical to workers=1, point for point.
+    single = run_stacked(_mc_grid_configs(1, shard_size=stacked_shard))
+    for one, two in zip(single, stacked):
+        assert one.availability == two.availability
+        assert one.interval.half_width == two.interval.half_width
+        assert one.totals == two.totals
+
+    assert speedup >= REQUIRED_MC_SPEEDUP, (
+        f"stacked sweep only {speedup:.1f}x faster than per-point studies "
+        f"(required {REQUIRED_MC_SPEEDUP:g}x)"
     )
 
 

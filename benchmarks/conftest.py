@@ -6,11 +6,29 @@ rows/series the paper reports, so ``pytest benchmarks/ --benchmark-only -s``
 doubles as the reproduction driver.  Monte Carlo iteration counts are kept
 small here so the whole suite finishes in minutes; the experiment modules
 accept the paper-scale counts.
+
+Benchmarks that measure a headline speedup additionally push one record
+into the session's ``bench_record`` fixture; at session end every record is
+written to ``BENCH_sweep.json`` at the repository root (op name, problem
+size, wall-clock seconds, speedup), so the performance trajectory is
+tracked machine-readably across PRs instead of living only in pytest
+output.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
 import pytest
+
+#: Where the machine-readable benchmark records land (repository root).
+BENCH_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+_BENCH_RECORDS: List[Dict[str, object]] = []
 
 #: Monte Carlo iterations used inside benchmarks (paper: 1e6).
 BENCH_MC_ITERATIONS = 4000
@@ -38,3 +56,52 @@ def bench_mc_horizon() -> float:
 def bench_seed() -> int:
     """Return the master seed used by benchmarks."""
     return BENCH_SEED
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Return a callable recording one machine-readable benchmark result.
+
+    Usage inside a benchmark::
+
+        bench_record("stacked_mc_sweep", points=32, seconds=0.41, speedup=6.2)
+
+    Records are flushed to ``BENCH_sweep.json`` when the session ends.
+    """
+
+    def record(
+        op: str,
+        *,
+        points: Optional[int] = None,
+        seconds: Optional[float] = None,
+        speedup: Optional[float] = None,
+        **extra: object,
+    ) -> None:
+        entry: Dict[str, object] = {"op": str(op)}
+        if points is not None:
+            entry["points"] = int(points)
+        if seconds is not None:
+            entry["seconds"] = round(float(seconds), 6)
+        if speedup is not None:
+            entry["speedup"] = round(float(speedup), 3)
+        entry.update(extra)
+        _BENCH_RECORDS.append(entry)
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Write the collected benchmark records to ``BENCH_sweep.json``.
+
+    Nothing is written when no benchmark recorded a result (e.g. a plain
+    tier-1 run), so the file only changes when the perf harness ran.
+    """
+    if not _BENCH_RECORDS:
+        return
+    payload = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": _BENCH_RECORDS,
+    }
+    BENCH_RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -49,6 +49,7 @@ from repro.core import (
     run_monte_carlo,
     solve_model,
     sweep,
+    sweep_grid,
 )
 from repro.exceptions import ReproError
 from repro.human.policy import PolicyKind
@@ -83,4 +84,5 @@ __all__ = [
     "solve_model",
     "steady_state_availability",
     "sweep",
+    "sweep_grid",
 ]

@@ -11,9 +11,14 @@ Seven subcommands cover the common workflows without writing any code:
     Run a Monte Carlo availability study for any registered replacement
     policy (vectorised batch executor by default).
 ``sweep``
-    Sweep one parameter axis for one policy on either evaluation backend
-    (``--backend analytical|monte_carlo|auto``); analytical sweeps reuse a
-    parameterized chain template instead of rebuilding per point.
+    Sweep one parameter axis — or a 2-axis grid via ``--axis2`` — for one
+    policy on either evaluation backend
+    (``--backend analytical|monte_carlo|auto``).  Analytical sweeps reuse a
+    parameterized chain template instead of rebuilding per point; Monte
+    Carlo sweeps run as one stacked grid (per-lifetime parameter arrays,
+    one kernel invocation per shard) unless ``--mc-engine per_point``
+    requests the retained study-per-point loop.  ``--crn`` couples all
+    points to common random numbers for variance-reduced contrasts.
 ``crossval``
     Cross-backend validation: assert the analytical availability of every
     dual-face policy falls inside its Monte Carlo confidence interval
@@ -39,7 +44,7 @@ from repro.core.evaluation import analytical_policies, evaluate
 from repro.core.montecarlo import EXECUTORS, MonteCarloConfig, run_monte_carlo
 from repro.core.parameters import paper_parameters
 from repro.core.policies import available_policies, get_policy, hot_spare_policy
-from repro.core.sweep import SWEEP_AXES, SWEEP_BACKENDS, sweep
+from repro.core.sweep import MC_ENGINES, SWEEP_AXES, SWEEP_BACKENDS, sweep, sweep_grid
 from repro.exceptions import ConfigurationError, ReproError
 from repro.experiments.cross_validation import (
     all_within_ci,
@@ -186,6 +191,25 @@ def build_parser() -> argparse.ArgumentParser:
         "'1e-7:1e-4:7:log' for log spacing",
     )
     sweep_parser.add_argument(
+        "--axis2",
+        choices=sorted(SWEEP_AXES),
+        default=None,
+        help="second axis: evaluate the full axis x axis2 surface in one "
+        "call (e.g. --axis hep --axis2 failure_rate for a Fig. 5 sheet)",
+    )
+    values2 = sweep_parser.add_mutually_exclusive_group()
+    values2.add_argument(
+        "--values2",
+        default=None,
+        help="comma-separated values of the second axis",
+    )
+    values2.add_argument(
+        "--grid2",
+        default=None,
+        metavar="START:STOP:POINTS[:log]",
+        help="evenly spaced values of the second axis",
+    )
+    sweep_parser.add_argument(
         "--policy",
         default="conventional",
         help="registered policy name (see the 'policies' command)",
@@ -222,6 +246,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--workers", type=int, default=1,
         help="worker processes shared across all Monte Carlo points",
+    )
+    sweep_parser.add_argument(
+        "--mc-engine",
+        choices=list(MC_ENGINES),
+        default="auto",
+        help="monte_carlo backend execution: stacked (one kernel invocation "
+        "per shard covers the whole grid), per_point (retained "
+        "study-per-value loop), or auto",
+    )
+    sweep_parser.add_argument(
+        "--crn",
+        action="store_true",
+        help="common random numbers: couple every grid point to identical "
+        "base streams (stacked engine; variance-reduced contrasts)",
     )
 
     crossval = subparsers.add_parser(
@@ -356,48 +394,60 @@ def _run_mc(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
-def _sweep_values(args: argparse.Namespace) -> List[float]:
-    """Parse the swept axis values from ``--values`` or ``--grid``."""
-    if args.values is not None:
+def _parse_axis_values(
+    values: Optional[str], grid: Optional[str], values_flag: str, grid_flag: str
+) -> Optional[List[float]]:
+    """Parse one axis' values from its ``--values``/``--grid`` style flags."""
+    if values is not None:
         try:
-            return [float(token) for token in args.values.split(",") if token.strip()]
+            return [float(token) for token in values.split(",") if token.strip()]
         except ValueError:
             raise ConfigurationError(
-                f"--values must be comma-separated numbers, got {args.values!r}"
+                f"{values_flag} must be comma-separated numbers, got {values!r}"
             ) from None
-    if args.grid is not None:
-        parts = args.grid.split(":")
+    if grid is not None:
+        parts = grid.split(":")
         if len(parts) not in (3, 4) or (len(parts) == 4 and parts[3] != "log"):
             raise ConfigurationError(
-                f"--grid must look like START:STOP:POINTS[:log], got {args.grid!r}"
+                f"{grid_flag} must look like START:STOP:POINTS[:log], got {grid!r}"
             )
         try:
             start, stop, points = float(parts[0]), float(parts[1]), int(parts[2])
         except ValueError:
             raise ConfigurationError(
-                f"--grid must look like START:STOP:POINTS[:log], got {args.grid!r}"
+                f"{grid_flag} must look like START:STOP:POINTS[:log], got {grid!r}"
             ) from None
         if points < 1:
-            raise ConfigurationError(f"--grid needs at least one point, got {points}")
+            raise ConfigurationError(f"{grid_flag} needs at least one point, got {points}")
         if len(parts) == 4:
             if start <= 0.0 or stop <= 0.0:
-                raise ConfigurationError("log-spaced --grid requires positive bounds")
+                raise ConfigurationError(f"log-spaced {grid_flag} requires positive bounds")
             return [float(v) for v in np.logspace(np.log10(start), np.log10(stop), points)]
         return [float(v) for v in np.linspace(start, stop, points)]
-    raise ConfigurationError("sweep requires --values or --grid")
+    return None
+
+
+def _sweep_values(args: argparse.Namespace) -> List[float]:
+    """Parse the swept axis values from ``--values`` or ``--grid``."""
+    values = _parse_axis_values(args.values, args.grid, "--values", "--grid")
+    if values is None:
+        raise ConfigurationError("sweep requires --values or --grid")
+    return values
 
 
 def _run_sweep(args: argparse.Namespace) -> str:
     values = _sweep_values(args)
+    values2 = _parse_axis_values(args.values2, args.grid2, "--values2", "--grid2")
+    if (args.axis2 is None) != (values2 is None):
+        raise ConfigurationError(
+            "a 2-axis sweep requires both --axis2 and --values2/--grid2"
+        )
     params = paper_parameters(
         geometry=RaidGeometry.from_label(args.raid),
         disk_failure_rate=args.failure_rate,
         hep=args.hep,
     )
-    points = sweep(
-        params,
-        args.axis,
-        values,
+    options = dict(
         policy=args.policy,
         backend=args.backend,
         mc_iterations=args.iterations,
@@ -405,7 +455,13 @@ def _run_sweep(args: argparse.Namespace) -> str:
         seed=args.seed,
         confidence=args.confidence,
         workers=args.workers,
+        mc_engine=args.mc_engine,
+        crn=args.crn,
     )
+    if args.axis2 is not None:
+        grid = sweep_grid(params, args.axis, values, args.axis2, values2, **options)
+        return _render_sweep_grid(args, params, grid)
+    points = sweep(params, args.axis, values, **options)
     with_ci = any(point.has_interval for point in points)
     lines = [
         f"policy:   {args.policy}",
@@ -423,6 +479,34 @@ def _run_sweep(args: argparse.Namespace) -> str:
         if with_ci:
             row += f"{point.ci_lower:>20.12f}{point.ci_upper:>20.12f}"
         lines.append(row)
+    return "\n".join(lines)
+
+
+def _render_sweep_grid(args: argparse.Namespace, params, grid) -> str:
+    """Render a 2-axis surface as long-format rows (one line per point)."""
+    with_ci = any(point.has_interval for row in grid.points for point in row)
+    n_points = len(grid.values1) * len(grid.values2)
+    lines = [
+        f"policy:   {args.policy}",
+        f"geometry: {params.geometry.label}",
+        f"axes:     {grid.axis1} x {grid.axis2} "
+        f"({len(grid.values1)} x {len(grid.values2)} = {n_points} points)",
+        f"backend:  {args.backend}",
+        "",
+    ]
+    header = f"{grid.axis1:>14}{grid.axis2:>14}{'availability':>20}{'nines':>10}"
+    if with_ci:
+        header += f"{'ci_low':>20}{'ci_high':>20}"
+    lines.append(header)
+    for v1, row_points in zip(grid.values1, grid.points):
+        for point in row_points:
+            row = (
+                f"{v1:>14.6g}{point.x:>14.6g}"
+                f"{point.availability:>20.12f}{point.nines:>10.3f}"
+            )
+            if with_ci:
+                row += f"{point.ci_lower:>20.12f}{point.ci_upper:>20.12f}"
+            lines.append(row)
     return "\n".join(lines)
 
 

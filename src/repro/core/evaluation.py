@@ -28,8 +28,9 @@ Usage::
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.montecarlo.config import (
     DEFAULT_HORIZON_HOURS,
@@ -38,6 +39,7 @@ from repro.core.montecarlo.config import (
     PolicyRef,
 )
 from repro.core.montecarlo.results import MonteCarloResult
+from repro.core.montecarlo.batch import run_stacked
 from repro.core.montecarlo.runner import _use_batch_path, run_monte_carlo
 from repro.core.parameters import AvailabilityParameters
 from repro.core.policies.base import SimulationPolicy
@@ -140,8 +142,18 @@ class AvailabilityEstimate:
 #: keeps every human-error state and transition in the chain.
 _REFERENCE_HEP = 0.5
 
-_TEMPLATE_CACHE: Dict[Tuple[str, str, bool, bool], ChainTemplate] = {}
+#: Default capacity of the template cache.  Each entry is one compiled
+#: (policy, geometry, structure) chain; 64 comfortably covers the paper's
+#: figure grids while keeping many-geometry workloads (capacity scans over
+#: hundreds of RAID shapes) from growing the process without bound.
+DEFAULT_TEMPLATE_CACHE_SIZE = 64
+
+_TEMPLATE_CACHE: "OrderedDict[Tuple[str, str, bool, bool], ChainTemplate]" = OrderedDict()
 _TEMPLATE_LOCK = threading.Lock()
+_TEMPLATE_CACHE_MAXSIZE = DEFAULT_TEMPLATE_CACHE_SIZE
+_TEMPLATE_CACHE_HITS = 0
+_TEMPLATE_CACHE_MISSES = 0
+_TEMPLATE_CACHE_EVICTIONS = 0
 
 
 def _structure_key(
@@ -185,21 +197,72 @@ def chain_template(
     :class:`~repro.exceptions.ConfigurationError` for policies without an
     analytical face.
     """
+    global _TEMPLATE_CACHE_HITS, _TEMPLATE_CACHE_MISSES, _TEMPLATE_CACHE_EVICTIONS
     resolved = resolve_policy(policy)
     key = _structure_key(resolved, params)
-    template = _TEMPLATE_CACHE.get(key)
-    if template is not None:
-        return template
+    with _TEMPLATE_LOCK:
+        template = _TEMPLATE_CACHE.get(key)
+        if template is not None:
+            _TEMPLATE_CACHE_HITS += 1
+            _TEMPLATE_CACHE.move_to_end(key)
+            return template
+        _TEMPLATE_CACHE_MISSES += 1
+    # The chain build is the expensive part — do it outside the lock, then
+    # publish under the lock (a racing builder of the same key wins once).
     reference = _reference_params(params)
     built = ChainTemplate(resolved.build_chain(reference), reference)
     with _TEMPLATE_LOCK:
-        return _TEMPLATE_CACHE.setdefault(key, built)
+        template = _TEMPLATE_CACHE.setdefault(key, built)
+        _TEMPLATE_CACHE.move_to_end(key)
+        while len(_TEMPLATE_CACHE) > _TEMPLATE_CACHE_MAXSIZE:
+            _TEMPLATE_CACHE.popitem(last=False)
+            _TEMPLATE_CACHE_EVICTIONS += 1
+        return template
 
 
 def clear_template_cache() -> None:
-    """Drop every cached template (used by tests and benchmarks)."""
+    """Drop every cached template and reset the statistics counters."""
+    global _TEMPLATE_CACHE_HITS, _TEMPLATE_CACHE_MISSES, _TEMPLATE_CACHE_EVICTIONS
     with _TEMPLATE_LOCK:
         _TEMPLATE_CACHE.clear()
+        _TEMPLATE_CACHE_HITS = 0
+        _TEMPLATE_CACHE_MISSES = 0
+        _TEMPLATE_CACHE_EVICTIONS = 0
+
+
+def set_template_cache_size(maxsize: int) -> None:
+    """Bound the template cache to ``maxsize`` entries (LRU eviction).
+
+    Shrinking below the current population evicts the least recently used
+    templates immediately.
+    """
+    global _TEMPLATE_CACHE_MAXSIZE, _TEMPLATE_CACHE_EVICTIONS
+    if int(maxsize) < 1:
+        raise ConfigurationError(
+            f"template cache needs room for at least one entry, got {maxsize!r}"
+        )
+    with _TEMPLATE_LOCK:
+        _TEMPLATE_CACHE_MAXSIZE = int(maxsize)
+        while len(_TEMPLATE_CACHE) > _TEMPLATE_CACHE_MAXSIZE:
+            _TEMPLATE_CACHE.popitem(last=False)
+            _TEMPLATE_CACHE_EVICTIONS += 1
+
+
+def template_cache_stats() -> Dict[str, int]:
+    """Return cache occupancy and hit/miss/eviction counters.
+
+    The counters reset on :func:`clear_template_cache`; they exist so
+    long-running many-geometry workloads can observe whether the LRU bound
+    (:func:`set_template_cache_size`) is thrashing.
+    """
+    with _TEMPLATE_LOCK:
+        return {
+            "size": len(_TEMPLATE_CACHE),
+            "maxsize": _TEMPLATE_CACHE_MAXSIZE,
+            "hits": _TEMPLATE_CACHE_HITS,
+            "misses": _TEMPLATE_CACHE_MISSES,
+            "evictions": _TEMPLATE_CACHE_EVICTIONS,
+        }
 
 
 def analytical_policies() -> Tuple[str, ...]:
@@ -351,3 +414,77 @@ def evaluate(
     )
     result = run_monte_carlo(config, pool=pool)
     return _estimate_from_mc(result, resolved.name, _executor_provenance(config))
+
+
+def evaluate_stacked(
+    points: Sequence[AvailabilityParameters],
+    policy: PolicyRef = "conventional",
+    *,
+    n_iterations: int = DEFAULT_ITERATIONS,
+    horizon_hours: float = DEFAULT_HORIZON_HOURS,
+    seed: Optional[int] = 0,
+    confidence: float = 0.99,
+    workers: int = 1,
+    shard_size: Optional[int] = None,
+    crn: bool = False,
+    pool=None,
+) -> List[AvailabilityEstimate]:
+    """Monte Carlo evaluate many parameter points as one stacked grid.
+
+    The whole ``points x n_iterations`` grid runs through the policy's
+    stacked batch kernel (one kernel invocation per shard of the flattened
+    axis) instead of one full study per point — the Monte Carlo counterpart
+    of the analytical backend's batched ``solve_many``.  Policies without a
+    stacked-capable kernel fall back to one
+    :func:`evaluate` call per point (sharing ``pool``), so the function
+    works for every registered policy.
+
+    ``crn=True`` makes every point consume identical base streams (common
+    random numbers) for variance-reduced contrasts between neighbouring
+    points; see :func:`repro.core.montecarlo.batch.run_stacked`.
+    """
+    resolved = resolve_policy(policy)
+    if not resolved.can_stack:
+        if crn:
+            raise ConfigurationError(
+                f"policy {resolved.name!r} has no stacked-capable kernel; "
+                "common random numbers cannot be honoured on the per-point "
+                "fallback"
+            )
+        return [
+            evaluate(
+                params,
+                policy=resolved,
+                backend="monte_carlo",
+                n_iterations=n_iterations,
+                horizon_hours=horizon_hours,
+                seed=seed,
+                confidence=confidence,
+                workers=workers,
+                shard_size=shard_size,
+                pool=pool,
+            )
+            for params in points
+        ]
+    configs = [
+        MonteCarloConfig(
+            params=params,
+            policy=resolved,
+            horizon_hours=horizon_hours,
+            n_iterations=n_iterations,
+            confidence=confidence,
+            seed=seed,
+            workers=workers,
+            shard_size=shard_size,
+        )
+        for params in points
+    ]
+    workers = int(workers)
+    provenance = (
+        f"executor=stacked({workers} worker{'s' if workers != 1 else ''}"
+        f"{', crn' if crn else ''})"
+    )
+    return [
+        _estimate_from_mc(result, resolved.name, provenance)
+        for result in run_stacked(configs, crn=crn, pool=pool)
+    ]

@@ -6,8 +6,11 @@ traced path (:mod:`.runner` / :mod:`.engine_bridge`).
 """
 
 from repro.core.montecarlo.batch import (
+    PointSummary,
     run_batch,
     run_batch_lifetimes,
+    run_stacked,
+    segment_point_summaries,
     summarise_batch,
 )
 from repro.core.montecarlo.config import (
@@ -23,11 +26,16 @@ from repro.core.montecarlo.engine_bridge import (
 )
 from repro.core.montecarlo.parallel import (
     DEFAULT_SHARD_CAP,
+    DEFAULT_STACKED_SHARD_SIZE,
     ShardSummary,
+    StackedShard,
     effective_shard_size,
     plan_shards,
+    plan_stacked_shards,
+    replay_stacked_point,
     run_shard,
     run_sharded,
+    run_stacked_shard,
     worker_pool,
 )
 from repro.core.montecarlo.results import (
@@ -55,20 +63,25 @@ __all__ = [
     "DEFAULT_ADAPTIVE_CEILING",
     "DEFAULT_HORIZON_HOURS",
     "DEFAULT_SHARD_CAP",
+    "DEFAULT_STACKED_SHARD_SIZE",
     "DEFAULT_ITERATIONS",
     "EXECUTORS",
     "EpisodeTrace",
     "IterationResult",
     "MonteCarloConfig",
     "MonteCarloResult",
+    "PointSummary",
     "ShardSummary",
+    "StackedShard",
     "effective_shard_size",
     "estimate_availability",
     "generate_example_trace",
     "merge_iteration_counters",
     "merge_totals",
     "plan_shards",
+    "plan_stacked_shards",
     "render_timeline",
+    "replay_stacked_point",
     "replay_trace_on_engine",
     "run_batch",
     "run_batch_lifetimes",
@@ -77,7 +90,10 @@ __all__ = [
     "run_monte_carlo_with_trace",
     "run_shard",
     "run_sharded",
+    "run_stacked",
+    "run_stacked_shard",
     "run_traced_on_engine",
+    "segment_point_summaries",
     "simulate_conventional",
     "simulate_failover",
     "summarise_batch",

@@ -11,18 +11,36 @@ back to a scalar loop inside :meth:`SimulationPolicy.simulate_batch`, so
 Multi-process execution lives one layer up in
 :mod:`repro.core.montecarlo.parallel`, which splits the budget into shards
 and runs each shard through the same kernels used here.
+
+**Stacked grids.**  :func:`run_stacked` takes one config per sweep point and
+runs the whole ``points x lifetimes`` grid through the policy's stacked
+batch kernel: per-study scalars become per-lifetime broadcast arrays (see
+:mod:`repro.core.policies.stacked`), so an entire parameter sweep costs a
+handful of kernel invocations instead of one full study per point.
+Per-point results come back from one segmented aggregation
+(``np.add.reduceat``-style moments per point,
+:func:`segment_point_summaries`); the flattened axis is sharded by
+:mod:`repro.core.montecarlo.parallel` with the same spawn-indexed stream
+discipline as single-point runs.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.core.montecarlo.config import MonteCarloConfig
 from repro.core.montecarlo.results import MonteCarloResult
 from repro.core.policies.base import BatchLifetimes
 from repro.core.policies.registry import resolve_policy
 from repro.exceptions import ConfigurationError
-from repro.simulation.confidence import confidence_interval
+from repro.simulation.confidence import (
+    StreamingMoments,
+    confidence_interval,
+    segmented_moments,
+)
 from repro.simulation.rng import RandomStreams
 
 
@@ -72,3 +90,88 @@ def run_batch(config: MonteCarloConfig) -> MonteCarloResult:
     streams = RandomStreams(config.seed)
     batch = run_batch_lifetimes(config, streams=streams)
     return summarise_batch(batch, config, seed_entropy=streams.seed_entropy)
+
+
+# ----------------------------------------------------------------------
+# Stacked grids: one kernel invocation for many sweep points
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PointSummary:
+    """Constant-size outcome of one sweep point's rows within a shard.
+
+    Attributes
+    ----------
+    point_index:
+        Index of the sweep point in the stacked config list.
+    moments:
+        Mergeable mean/variance of the rows' availabilities.
+    totals:
+        Summed event counters of the rows (``MonteCarloResult.totals``
+        layout).
+    """
+
+    point_index: int
+    moments: StreamingMoments
+    totals: Dict[str, float]
+
+
+def segment_point_summaries(
+    batch: BatchLifetimes,
+    point_indices: Sequence[int],
+    counts: Sequence[int],
+) -> List[PointSummary]:
+    """Aggregate a point-major batch into per-point summaries.
+
+    ``counts[i]`` consecutive lifetimes of ``batch`` belong to sweep point
+    ``point_indices[i]``.  One segmented pass (``np.add.reduceat``) computes
+    every point's moments and event totals — no per-point Python loop over
+    samples.
+    """
+    if len(point_indices) != len(counts):
+        raise ConfigurationError("one point index is required per segment")
+    moments = segmented_moments(batch.availabilities(), counts)
+    sizes = np.asarray(list(counts), dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+    columns = {
+        "downtime_hours": np.add.reduceat(batch.downtime_hours, offsets),
+        "du_events": np.add.reduceat(batch.du_events, offsets),
+        "dl_events": np.add.reduceat(batch.dl_events, offsets),
+        "disk_failures": np.add.reduceat(batch.disk_failures, offsets),
+        "human_errors": np.add.reduceat(batch.human_errors, offsets),
+    }
+    return [
+        PointSummary(
+            point_index=int(point),
+            moments=moment,
+            totals={key: float(values[row]) for key, values in columns.items()},
+        )
+        for row, (point, moment) in enumerate(zip(point_indices, moments))
+    ]
+
+
+def run_stacked(
+    configs: Sequence[MonteCarloConfig],
+    *,
+    crn: bool = False,
+    pool=None,
+) -> List[MonteCarloResult]:
+    """Run one Monte Carlo study per config as a single stacked grid.
+
+    All configs must share policy, horizon, confidence, seed and executor;
+    their parameter points and iteration counts form the grid.  The
+    flattened ``point x lifetime`` axis is cut into fixed-size shards whose
+    stream families are spawned at the shard index (worker-count
+    independent), so ``workers=N`` is bit-identical to ``workers=1`` and
+    every point can be replayed from the master seed alone
+    (:func:`repro.core.montecarlo.parallel.replay_stacked_point`).
+
+    ``crn=True`` enables **common random numbers**: shards then never cross
+    point boundaries and every point reuses the *same* within-point stream
+    indices, so all points consume identical base streams — the opt-in
+    variance-reduction mode for policy/parameter contrasts.
+
+    Returns one :class:`MonteCarloResult` per config, in config order.
+    """
+    from repro.core.montecarlo.parallel import run_stacked_sharded
+
+    return run_stacked_sharded(configs, crn=crn, pool=pool)

@@ -29,12 +29,17 @@ import multiprocessing
 import sys
 from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.core.montecarlo.batch import PointSummary, segment_point_summaries
 from repro.core.montecarlo.config import MonteCarloConfig
 from repro.core.montecarlo.results import MonteCarloResult, merge_totals
+from repro.core.policies.base import SimulationPolicy
 from repro.core.policies.registry import resolve_policy
-from repro.exceptions import SimulationError
+from repro.core.policies.stacked import stack_parameter_points
+from repro.exceptions import ConfigurationError, SimulationError
 from repro.simulation.confidence import StreamingMoments, required_samples
 from repro.simulation.rng import RandomStreams
 
@@ -250,6 +255,318 @@ def run_sharded(
         label=config.label(),
         seed_entropy=master_entropy,
     )
+
+
+# ----------------------------------------------------------------------
+# Stacked grids: sharding the flattened point x lifetime axis
+# ----------------------------------------------------------------------
+#: Shard size of a stacked grid when no explicit ``shard_size`` is pinned.
+#: Deliberately **independent of the worker count**: the decomposition (and
+#: therefore every random draw) is the same for any ``workers``, making
+#: ``workers=N`` bit-identical to ``workers=1`` by construction rather than
+#: only under a pinned shard size.
+DEFAULT_STACKED_SHARD_SIZE = 8192
+
+
+@dataclass(frozen=True)
+class StackedShard:
+    """One contiguous range of the flattened ``point x lifetime`` axis.
+
+    Attributes
+    ----------
+    stream_index:
+        Spawn index of the shard's stream family.  Unique per shard on the
+        plain stacked path; on the CRN path it is the *within-point* shard
+        index, so every point reuses the same family sequence (that reuse
+        is the common-random-numbers coupling).
+    start / stop:
+        Flat row range ``[start, stop)`` covered by the shard.
+    point_indices / counts:
+        The sweep points the range intersects, and how many of the shard's
+        rows belong to each (in point-major order).
+    """
+
+    stream_index: int
+    start: int
+    stop: int
+    point_indices: Tuple[int, ...]
+    counts: Tuple[int, ...]
+
+
+def plan_stacked_shards(
+    counts: Sequence[int], shard_size: int, crn: bool = False
+) -> List[StackedShard]:
+    """Cut the flattened grid into shards (point-major, deterministic).
+
+    ``crn=False`` tiles the whole flat axis with fixed-size shards that may
+    span several points; ``crn=True`` restarts the tiling (and the stream
+    indices) at every point boundary so all points consume identical base
+    streams.
+    """
+    sizes = [int(c) for c in counts]
+    if not sizes:
+        raise SimulationError("stacked planning requires at least one point")
+    if any(size < 1 for size in sizes):
+        raise SimulationError("every stacked point needs at least one lifetime")
+    if int(shard_size) < 1:
+        raise SimulationError(f"shard size must be at least 1, got {shard_size!r}")
+    shard_size = int(shard_size)
+    offsets = np.concatenate(([0], np.cumsum(sizes)))
+    shards: List[StackedShard] = []
+    if crn:
+        for point, (offset, size) in enumerate(zip(offsets[:-1], sizes)):
+            for within, s in enumerate(range(0, size, shard_size)):
+                stop = min(s + shard_size, size)
+                shards.append(
+                    StackedShard(
+                        stream_index=within,
+                        start=int(offset + s),
+                        stop=int(offset + stop),
+                        point_indices=(point,),
+                        counts=(stop - s,),
+                    )
+                )
+        return shards
+    total = int(offsets[-1])
+    for index, s in enumerate(range(0, total, shard_size)):
+        stop = min(s + shard_size, total)
+        point = int(np.searchsorted(offsets, s, side="right") - 1)
+        points: List[int] = []
+        segment_counts: List[int] = []
+        while point < len(sizes) and offsets[point] < stop:
+            points.append(point)
+            segment_counts.append(
+                int(min(offsets[point + 1], stop) - max(offsets[point], s))
+            )
+            point += 1
+        shards.append(
+            StackedShard(
+                stream_index=index,
+                start=s,
+                stop=stop,
+                point_indices=tuple(points),
+                counts=tuple(segment_counts),
+            )
+        )
+    return shards
+
+
+def run_stacked_shard(
+    policy: SimulationPolicy,
+    point_params: Sequence,
+    horizon_hours: float,
+    master_entropy: int,
+    shard: StackedShard,
+) -> List[PointSummary]:
+    """Run one stacked shard and summarise it per point (worker entry).
+
+    ``point_params`` holds one scalar parameter point per entry of
+    ``shard.point_indices``; the worker expands them into its own
+    :class:`StackedParams` slice (``shard.counts`` rows each), so only a
+    handful of scalars — never grid-sized arrays — cross the process
+    boundary.  Exactly like :func:`run_shard`, the stream family is rebuilt
+    from ``(master_entropy, stream_index)`` alone, so the draws are
+    identical in-process, forked or spawned — and identical for any worker
+    count.
+    """
+    grid_slice = stack_parameter_points(point_params, shard.counts)
+    streams = RandomStreams(master_entropy).spawn_child(shard.stream_index)
+    rng = streams.stream("montecarlo")
+    batch = policy.simulate_stacked(grid_slice, horizon_hours, rng)
+    return segment_point_summaries(batch, shard.point_indices, shard.counts)
+
+
+def _validate_stacked(
+    configs: Sequence[MonteCarloConfig],
+) -> Tuple[SimulationPolicy, MonteCarloConfig]:
+    """Check that the configs form one coherent stacked grid."""
+    if not configs:
+        raise ConfigurationError("a stacked run requires at least one config")
+    first = configs[0]
+    policy = resolve_policy(first.policy)
+    if not policy.can_stack:
+        raise ConfigurationError(
+            f"policy {policy.name!r} has no stacked-capable batch kernel; "
+            "run the sweep point by point instead"
+        )
+    if first.executor == "scalar":
+        raise ConfigurationError(
+            "the stacked engine is inherently vectorised; use the per-point "
+            "path for executor='scalar'"
+        )
+    for config in configs:
+        if resolve_policy(config.policy) != policy:
+            raise ConfigurationError("stacked configs must share one policy")
+        if config.collect_trace:
+            raise ConfigurationError("event traces require the per-point scalar path")
+        if config.target_half_width is not None:
+            raise ConfigurationError(
+                "adaptive stopping is not supported on the stacked engine; "
+                "use the per-point sweep for target_half_width"
+            )
+        for attr in ("horizon_hours", "confidence", "seed", "executor", "workers", "shard_size"):
+            if getattr(config, attr) != getattr(first, attr):
+                raise ConfigurationError(
+                    f"stacked configs must share {attr!r}: "
+                    f"{getattr(config, attr)!r} != {getattr(first, attr)!r}"
+                )
+    return policy, first
+
+
+def stacked_shard_size(config: MonteCarloConfig) -> int:
+    """Return the stacked decomposition's shard size for a config."""
+    if config.shard_size is not None:
+        return int(config.shard_size)
+    return DEFAULT_STACKED_SHARD_SIZE
+
+
+def _run_stacked_shards(
+    policy: SimulationPolicy,
+    configs: Sequence[MonteCarloConfig],
+    horizon_hours: float,
+    master_entropy: int,
+    shards: Sequence[StackedShard],
+    pool: Optional[Executor],
+) -> Iterator[List[PointSummary]]:
+    """Run the planned shards, yielding summaries in plan order."""
+
+    def _params(shard: StackedShard):
+        return [configs[point].params for point in shard.point_indices]
+
+    if pool is None:
+        for shard in shards:
+            yield run_stacked_shard(
+                policy, _params(shard), horizon_hours, master_entropy, shard
+            )
+        return
+    futures = [
+        pool.submit(
+            run_stacked_shard, policy, _params(shard),
+            horizon_hours, master_entropy, shard,
+        )
+        for shard in shards
+    ]
+    try:
+        # Collect in submission (= plan) order so the per-point merge is
+        # deterministic regardless of which worker finishes first.
+        for future in futures:
+            yield future.result()
+    except BaseException:
+        for future in futures:
+            future.cancel()
+        raise
+
+
+def _point_result(
+    config: MonteCarloConfig,
+    moments: StreamingMoments,
+    totals: Dict[str, float],
+    horizon_hours: float,
+    master_entropy: int,
+) -> MonteCarloResult:
+    """Assemble one point's result from its merged summaries.
+
+    Shared by the grid run and :func:`replay_stacked_point` so the
+    bit-identical-replay guarantee can never drift on the assembly side.
+    """
+    return MonteCarloResult(
+        availability=moments.mean,
+        interval=moments.interval(config.confidence),
+        n_iterations=moments.n,
+        horizon_hours=horizon_hours,
+        totals=totals,
+        label=config.label(),
+        seed_entropy=master_entropy,
+    )
+
+
+def run_stacked_sharded(
+    configs: Sequence[MonteCarloConfig],
+    *,
+    crn: bool = False,
+    pool: Optional[Executor] = None,
+) -> List[MonteCarloResult]:
+    """Run a whole sweep grid as stacked shards and summarise it per point.
+
+    This is the execution layer behind
+    :func:`repro.core.montecarlo.batch.run_stacked` — see there for the API
+    contract.  ``pool`` lets a caller share one executor across several
+    grids; its lifecycle then belongs to the caller.
+    """
+    policy, first = _validate_stacked(configs)
+    counts = [int(config.n_iterations) for config in configs]
+    shards = plan_stacked_shards(counts, stacked_shard_size(first), crn=crn)
+    master_entropy = RandomStreams(first.seed).seed_entropy
+    horizon = float(first.horizon_hours)
+
+    accumulators = [StreamingMoments() for _ in configs]
+    point_totals: List[Dict[str, float]] = [{} for _ in configs]
+    workers = int(first.workers)
+    own_pool: Optional[ProcessPoolExecutor] = None
+    try:
+        if pool is None and workers > 1:
+            pool = own_pool = _make_pool(workers)
+        for summaries in _run_stacked_shards(
+            policy, configs, horizon, master_entropy, shards, pool
+        ):
+            for part in summaries:
+                accumulators[part.point_index].merge(part.moments)
+                point_totals[part.point_index] = merge_totals(
+                    [point_totals[part.point_index], part.totals]
+                )
+    except BaseException:
+        if own_pool is not None:
+            own_pool.shutdown(wait=False, cancel_futures=True)
+            own_pool = None
+        raise
+    finally:
+        if own_pool is not None:
+            own_pool.shutdown()
+
+    return [
+        _point_result(config, moments, totals, horizon, master_entropy)
+        for config, moments, totals in zip(configs, accumulators, point_totals)
+    ]
+
+
+def replay_stacked_point(
+    configs: Sequence[MonteCarloConfig],
+    point_index: int,
+    *,
+    crn: bool = False,
+) -> MonteCarloResult:
+    """Re-run one sweep point of a stacked grid, bit-identical to the grid.
+
+    Only the shards whose flat ranges intersect the point are executed (the
+    decomposition and every shard's stream family are deterministic in the
+    master seed), so a single point of a large grid can be audited without
+    paying for the rest.  The returned result equals the full grid run's
+    entry for that point exactly.
+    """
+    policy, first = _validate_stacked(configs)
+    point = int(point_index)
+    if not 0 <= point < len(configs):
+        raise ConfigurationError(
+            f"point index {point_index!r} outside the grid of {len(configs)} points"
+        )
+    counts = [int(config.n_iterations) for config in configs]
+    shards = [
+        shard
+        for shard in plan_stacked_shards(counts, stacked_shard_size(first), crn=crn)
+        if point in shard.point_indices
+    ]
+    master_entropy = RandomStreams(first.seed).seed_entropy
+    horizon = float(first.horizon_hours)
+    moments = StreamingMoments()
+    totals: Dict[str, float] = {}
+    for summaries in _run_stacked_shards(
+        policy, configs, horizon, master_entropy, shards, pool=None
+    ):
+        for part in summaries:
+            if part.point_index == point:
+                moments.merge(part.moments)
+                totals = merge_totals([totals, part.totals])
+    return _point_result(configs[point], moments, totals, horizon, master_entropy)
 
 
 def _next_round_budget(

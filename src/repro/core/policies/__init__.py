@@ -24,6 +24,10 @@ from repro.core.policies.registry import (
     resolve_policy,
     unregister_policy,
 )
+from repro.core.policies.stacked import (
+    StackedParams,
+    stack_parameter_points,
+)
 from repro.core.policies.vectorized import batch_conventional, batch_spare_pool
 
 __all__ = [
@@ -34,6 +38,7 @@ __all__ = [
     "DEFAULT_POOL_SIZE",
     "HOT_SPARE_POLICY",
     "SimulationPolicy",
+    "StackedParams",
     "available_policies",
     "batch_conventional",
     "batch_spare_pool",
@@ -42,5 +47,6 @@ __all__ = [
     "register_policy",
     "resolve_policy",
     "simulate_hot_spare",
+    "stack_parameter_points",
     "unregister_policy",
 ]

@@ -139,6 +139,12 @@ class SimulationPolicy:
         policy's CTMC availability model.
     n_spares:
         Number of hot spares the policy assumes (0 for conventional).
+    supports_stacked:
+        Whether the batch kernel accepts a
+        :class:`~repro.core.policies.stacked.StackedParams` grid (per-
+        lifetime parameter arrays), enabling the stacked-grid sweep engine
+        in :mod:`repro.core.montecarlo.batch`.  The built-in kernels do;
+        custom kernels must opt in explicitly.
     """
 
     name: str
@@ -147,6 +153,7 @@ class SimulationPolicy:
     batch: Optional[BatchKernel] = field(compare=False, default=None)
     chain: Optional[ChainFactory] = field(compare=False, default=None)
     n_spares: int = 0
+    supports_stacked: bool = False
 
     @property
     def label(self) -> str:
@@ -162,6 +169,11 @@ class SimulationPolicy:
     def has_analytical_model(self) -> bool:
         """Return whether the policy offers an analytical (CTMC) face."""
         return self.chain is not None
+
+    @property
+    def can_stack(self) -> bool:
+        """Return whether the policy can run stacked parameter grids."""
+        return self.batch is not None and self.supports_stacked
 
     def build_chain(self, params: "AvailabilityParameters") -> "MarkovChain":
         """Build the policy's analytical Markov chain at one parameter point.
@@ -215,6 +227,29 @@ class SimulationPolicy:
             batch.disk_failures[i] = result.disk_failures
             batch.human_errors[i] = result.human_errors
         return batch
+
+    def simulate_stacked(
+        self,
+        stacked_params,
+        horizon_hours: float,
+        rng: np.random.Generator,
+    ) -> BatchLifetimes:
+        """Simulate one lifetime per row of a stacked parameter grid.
+
+        One kernel invocation covers the whole grid: every per-study scalar
+        (hep, rates, geometry, pool size) is a per-lifetime array inside
+        ``stacked_params``.  Raises
+        :class:`~repro.exceptions.ConfigurationError` for policies whose
+        kernel has not opted into stacked grids.
+        """
+        if not self.can_stack:
+            from repro.exceptions import ConfigurationError
+
+            raise ConfigurationError(
+                f"policy {self.name!r} has no stacked-capable batch kernel; "
+                "run it point by point instead"
+            )
+        return self.batch(stacked_params, horizon_hours, len(stacked_params), rng)
 
     def simulate_shard(
         self,

@@ -68,5 +68,6 @@ BASELINE_POLICY = register_policy(
         batch=batch_baseline,
         chain=build_baseline_chain,
         n_spares=0,
+        supports_stacked=True,
     )
 )

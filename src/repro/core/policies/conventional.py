@@ -22,5 +22,6 @@ CONVENTIONAL_POLICY = register_policy(
         batch=batch_conventional,
         chain=build_conventional_chain,
         n_spares=0,
+        supports_stacked=True,
     )
 )

@@ -26,5 +26,6 @@ AUTOMATIC_FAILOVER_POLICY = register_policy(
         batch=functools.partial(batch_spare_pool, n_spares=1),
         chain=build_failover_chain,
         n_spares=1,
+        supports_stacked=True,
     )
 )

@@ -202,6 +202,7 @@ def hot_spare_policy(n_spares: int = DEFAULT_POOL_SIZE) -> SimulationPolicy:
         scalar=functools.partial(simulate_hot_spare, n_spares=n_spares),
         batch=functools.partial(batch_spare_pool, n_spares=n_spares),
         n_spares=n_spares,
+        supports_stacked=True,
     )
 
 
@@ -216,5 +217,6 @@ HOT_SPARE_POLICY = register_policy(
         scalar=functools.partial(simulate_hot_spare, n_spares=DEFAULT_POOL_SIZE),
         batch=functools.partial(batch_spare_pool, n_spares=DEFAULT_POOL_SIZE),
         n_spares=DEFAULT_POOL_SIZE,
+        supports_stacked=True,
     )
 )

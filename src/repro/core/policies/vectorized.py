@@ -20,12 +20,22 @@ Two kernels are provided:
     larger pools implement the hot-spare-pool scenario (each technician
     visit restocks the full pool, and a failure arriving while spares remain
     consumes another spare instead of exposing the array).
+
+Both kernels accept either a scalar
+:class:`~repro.core.parameters.AvailabilityParameters` point (every lifetime
+shares one parameter set — bit-identical to the pre-stacked kernels) or a
+:class:`~repro.core.policies.stacked.StackedParams` grid, where hep, the
+rates, the geometry and the spare-pool size are per-lifetime arrays and a
+single invocation simulates an entire ``points x lifetimes`` sweep grid.
+The dispatch is duck-typed: row-aware distributions expose ``sample_rows``
+and stacked parameter objects expose ``n_disks_rows``/``n_spares_rows``;
+plain scalars take the exact pre-stacked code paths (identical draws).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -44,6 +54,32 @@ def _sample(dist, size: int, rng: np.random.Generator) -> np.ndarray:
     if size <= 0:
         return np.empty(0, dtype=float)
     return np.asarray(dist.sample(int(size), rng), dtype=float)
+
+
+def _sample_rows(dist, rows: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Draw one sample per entry of ``rows``.
+
+    Row-aware distributions (``sample_rows``) draw each sample at the rate
+    of the lifetime it belongs to; plain distributions fall through to the
+    scalar-parameter path, which keeps single-point batches bit-identical
+    to the pre-stacked kernels.
+    """
+    sampler = getattr(dist, "sample_rows", None)
+    if sampler is not None:
+        return sampler(rows, rng)
+    return _sample(dist, rows.size, rng)
+
+
+def _rows(value: Union[float, np.ndarray], rows: np.ndarray):
+    """Index a per-row parameter array (scalars pass through untouched)."""
+    if isinstance(value, np.ndarray):
+        return value[rows]
+    return value
+
+
+def _has_positive(value: Union[float, np.ndarray]) -> bool:
+    """Return whether a scalar-or-array parameter has any positive entry."""
+    return bool(np.any(np.asarray(value) > 0.0))
 
 
 def _clip_downtime(start: np.ndarray, end: np.ndarray, horizon: float) -> np.ndarray:
@@ -67,6 +103,26 @@ def _min_excluding(clocks: np.ndarray, exclude: np.ndarray) -> Tuple[np.ndarray,
     return slot, masked[rows, slot]
 
 
+def _initial_clocks(params, failure_dist, m: int, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample the ``(m, n)`` matrix of first failure times.
+
+    Stacked grids sample every slot at its row's failure parameters and mask
+    the slots beyond a row's geometry with ``+inf`` so they can never fire.
+    """
+    matrix_sampler = getattr(failure_dist, "sample_matrix", None)
+    if matrix_sampler is not None:
+        clocks = matrix_sampler(n, rng)
+    elif getattr(failure_dist, "sample_rows", None) is not None:
+        rows = np.repeat(np.arange(m), n)
+        clocks = failure_dist.sample_rows(rows, rng).reshape(m, n)
+    else:
+        clocks = _sample(failure_dist, m * n, rng).reshape(m, n)
+    n_rows = getattr(params, "n_disks_rows", None)
+    if n_rows is not None and np.any(n_rows < n):
+        clocks[np.arange(n)[None, :] >= n_rows[:, None]] = np.inf
+    return clocks
+
+
 def _renew_slots(
     clocks: np.ndarray,
     rows: np.ndarray,
@@ -77,7 +133,7 @@ def _renew_slots(
 ) -> None:
     """Install fresh disks in ``(rows, slots)`` at the given times."""
     if rows.size:
-        clocks[rows, slots] = at_times + _sample(failure_dist, rows.size, rng)
+        clocks[rows, slots] = at_times + _sample_rows(failure_dist, rows, rng)
 
 
 def _renew_failed_before(
@@ -96,49 +152,85 @@ def _renew_failed_before(
     if count:
         # Boolean indexing walks the mask row-major, so repeating each row's
         # renewal time by its renewal count lines the starts up with it.
-        starts = np.repeat(times, mask.sum(axis=1))
-        sub[mask] = starts + _sample(failure_dist, count, rng)
+        per_row = mask.sum(axis=1)
+        starts = np.repeat(times, per_row)
+        sub[mask] = starts + _sample_rows(failure_dist, np.repeat(rows, per_row), rng)
         clocks[rows] = sub
 
 
-def _pick_other_slots(rng: np.random.Generator, n_disks: int, slots: np.ndarray) -> np.ndarray:
-    """Pick, per row, a uniformly random operational slot other than ``slots``."""
-    if n_disks <= 1:
-        return slots.copy()
-    choice = rng.integers(n_disks - 1, size=slots.size)
+def _pick_other_slots(
+    rng: np.random.Generator, n_disks: Union[int, np.ndarray], slots: np.ndarray
+) -> np.ndarray:
+    """Pick, per row, a uniformly random operational slot other than ``slots``.
+
+    ``n_disks`` may be a per-row array on stacked grids (each row draws from
+    its own geometry).
+    """
+    if not isinstance(n_disks, np.ndarray):
+        if n_disks <= 1:
+            return slots.copy()
+        choice = rng.integers(n_disks - 1, size=slots.size)
+    else:
+        choice = rng.integers(n_disks - 1)
     return np.where(choice < slots, choice, choice + 1)
 
 
+def _random_slots(
+    rng: np.random.Generator, n_disks: Union[int, np.ndarray], size: int
+) -> np.ndarray:
+    """Pick a uniformly random slot per row (per-row geometry on grids)."""
+    if not isinstance(n_disks, np.ndarray):
+        return rng.integers(n_disks, size=size)
+    return rng.integers(n_disks)
+
+
+def _crash_times(
+    crash_rate: Union[float, np.ndarray], size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample crash clocks of wrongly pulled disks (``inf`` at rate zero)."""
+    if not isinstance(crash_rate, np.ndarray):
+        if crash_rate > 0.0:
+            return rng.exponential(1.0 / crash_rate, size)
+        return np.full(size, np.inf)
+    crash = np.full(size, np.inf)
+    positive = crash_rate > 0.0
+    if np.any(positive):
+        std = rng.exponential(1.0, size)
+        crash[positive] = std[positive] / crash_rate[positive]
+    return crash
+
+
 def _recovery_race(
-    size: int,
+    rows: np.ndarray,
     recovery_dist,
-    hep: float,
-    crash_rate: float,
+    hep: Union[float, np.ndarray],
+    crash_rate: Union[float, np.ndarray],
     rng: np.random.Generator,
     max_attempts: int = 1000,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Vectorised twin of ``HumanErrorRecoveryModel.sample_until_recovered``.
 
-    Returns ``(total_duration_hours, disk_crashed)`` arrays of length
-    ``size``.  Each round draws one recovery attempt per still-outstanding
-    error, races it against a crash of the wrongly pulled disk, and repeats
-    the attempt with probability ``hep``.
+    ``rows`` are the lifetime rows (indices into any per-row parameter
+    arrays) of the outstanding errors.  Returns ``(total_duration_hours,
+    disk_crashed)`` arrays of length ``rows.size``.  Each round draws one
+    recovery attempt per still-outstanding error, races it against a crash
+    of the wrongly pulled disk, and repeats the attempt with probability
+    ``hep``.
     """
+    size = rows.size
     total = np.zeros(size, dtype=float)
     crashed = np.zeros(size, dtype=bool)
     pending = np.arange(size)
     for _ in range(int(max_attempts)):
         if pending.size == 0:
             return total, crashed
-        attempt = _sample(recovery_dist, pending.size, rng)
-        if crash_rate > 0.0:
-            crash = rng.exponential(1.0 / crash_rate, pending.size)
-        else:
-            crash = np.full(pending.size, np.inf)
+        sub_rows = rows[pending]
+        attempt = _sample_rows(recovery_dist, sub_rows, rng)
+        crash = _crash_times(_rows(crash_rate, sub_rows), pending.size, rng)
         crash_first = crash < attempt
         total[pending] += np.where(crash_first, crash, attempt)
         crashed[pending[crash_first]] = True
-        repeated = (~crash_first) & (rng.random(pending.size) < hep)
+        repeated = (~crash_first) & (rng.random(pending.size) < _rows(hep, sub_rows))
         pending = pending[repeated]
     raise HumanErrorModelError(
         f"error recovery did not terminate within {max_attempts} attempts (hep={hep!r})"
@@ -149,26 +241,34 @@ def _recovery_race(
 # Conventional replacement policy
 # ----------------------------------------------------------------------
 def batch_conventional(
-    params: AvailabilityParameters,
+    params,
     horizon_hours: float,
     n_lifetimes: int,
     rng: np.random.Generator,
 ) -> BatchLifetimes:
-    """Run ``n_lifetimes`` conventional-policy lifetimes as one numpy batch."""
+    """Run ``n_lifetimes`` conventional-policy lifetimes as one numpy batch.
+
+    ``params`` is a scalar parameter point or a
+    :class:`~repro.core.policies.stacked.StackedParams` grid (one row per
+    lifetime; ``n_lifetimes`` must then equal the grid length).
+    """
     if horizon_hours <= 0.0:
         raise SimulationError(f"horizon must be positive, got {horizon_hours!r}")
+    m = _check_lifetimes(params, n_lifetimes)
     n = params.n_disks
+    n_disks = _per_row_or(params, "n_disks_rows", n)
     failure_dist = params.failure_distribution()
     repair_dist = params.repair_distribution()
     ddf_dist = params.ddf_recovery_distribution()
     recovery_dist = params.human_error_recovery_distribution()
     hep = params.hep
+    has_hep = _has_positive(hep)
     crash_rate = params.crash_rate
 
-    batch = BatchLifetimes.zeros(int(n_lifetimes), horizon_hours)
-    clocks = _sample(failure_dist, int(n_lifetimes) * n, rng).reshape(int(n_lifetimes), n)
-    now = np.zeros(int(n_lifetimes), dtype=float)
-    active = np.arange(int(n_lifetimes))
+    batch = BatchLifetimes.zeros(m, horizon_hours)
+    clocks = _initial_clocks(params, failure_dist, m, n, rng)
+    now = np.zeros(m, dtype=float)
+    active = np.arange(m)
 
     while active.size:
         c = clocks[active]
@@ -181,7 +281,7 @@ def batch_conventional(
         c, slot, fail = c[alive], slot[alive], fail[alive]
         batch.disk_failures[active] += 1
 
-        repair_done = fail + _sample(repair_dist, active.size, rng)
+        repair_done = fail + _sample_rows(repair_dist, active, rng)
         _, second = _min_excluding(c, slot)
         second = np.maximum(second, fail)
 
@@ -191,14 +291,14 @@ def batch_conventional(
         if dl_idx.size:
             batch.disk_failures[dl_idx] += 1
             batch.dl_events[dl_idx] += 1
-            outage_end = second[dl] + _sample(ddf_dist, dl_idx.size, rng)
+            outage_end = second[dl] + _sample_rows(ddf_dist, dl_idx, rng)
             batch.downtime_hours[dl_idx] += _clip_downtime(second[dl], outage_end, horizon_hours)
             _renew_failed_before(clocks, dl_idx, outage_end, failure_dist, rng)
             now[dl_idx] = outage_end
 
         rest = ~dl
-        if hep > 0.0:
-            he = rest & (rng.random(active.size) < hep)
+        if has_hep:
+            he = rest & (rng.random(active.size) < _rows(hep, active))
         else:
             he = np.zeros(active.size, dtype=bool)
 
@@ -208,13 +308,13 @@ def batch_conventional(
         if he_idx.size:
             batch.human_errors[he_idx] += 1
             batch.du_events[he_idx] += 1
-            wrong = _pick_other_slots(rng, n, slot[he])
-            duration, crashed = _recovery_race(he_idx.size, recovery_dist, hep, crash_rate, rng)
+            wrong = _pick_other_slots(rng, _rows(n_disks, he_idx), slot[he])
+            duration, crashed = _recovery_race(he_idx, recovery_dist, hep, crash_rate, rng)
             outage_end = repair_done[he] + duration
             cr = np.flatnonzero(crashed)
             if cr.size:
                 batch.dl_events[he_idx[cr]] += 1
-                outage_end[cr] += _sample(ddf_dist, cr.size, rng)
+                outage_end[cr] += _sample_rows(ddf_dist, he_idx[cr], rng)
                 _renew_slots(clocks, he_idx[cr], wrong[cr], outage_end[cr], failure_dist, rng)
             batch.downtime_hours[he_idx] += _clip_downtime(repair_done[he], outage_end, horizon_hours)
             _renew_slots(clocks, he_idx, slot[he], outage_end, failure_dist, rng)
@@ -231,6 +331,22 @@ def batch_conventional(
     return batch
 
 
+def _check_lifetimes(params, n_lifetimes: int) -> int:
+    """Validate the lifetime count against a (possibly stacked) grid."""
+    m = int(n_lifetimes)
+    if getattr(params, "n_disks_rows", None) is not None and m != len(params):
+        raise ConfigurationError(
+            f"stacked grid holds {len(params)} lifetimes but {m} were requested"
+        )
+    return m
+
+
+def _per_row_or(params, attr: str, default):
+    """Return a per-row parameter array, or ``default`` for scalar points."""
+    value = getattr(params, attr, None)
+    return default if value is None else value
+
+
 # ----------------------------------------------------------------------
 # Spare-pool state machine (fail-over with n_spares == 1)
 # ----------------------------------------------------------------------
@@ -238,10 +354,10 @@ def batch_conventional(
 class _SparePoolState:
     """Mutable struct-of-arrays state shared by the spare-pool sub-steps."""
 
-    params: AvailabilityParameters
+    params: object
     horizon: float
     rng: np.random.Generator
-    n_spares: int
+    n_spares: Union[int, np.ndarray]
     batch: BatchLifetimes
     clocks: np.ndarray
     now: np.ndarray
@@ -252,17 +368,34 @@ class _SparePoolState:
     ddf_dist: object
     recovery_dist: object
 
+    #: Whether any row has a positive hep, computed once per invocation —
+    #: the parameter arrays are immutable for the kernel's lifetime, so the
+    #: per-round steps must not rescan a grid-sized array.
+    has_hep: bool = False
+
     @property
-    def hep(self) -> float:
+    def hep(self) -> Union[float, np.ndarray]:
         return self.params.hep
 
     @property
-    def crash_rate(self) -> float:
+    def crash_rate(self) -> Union[float, np.ndarray]:
         return self.params.crash_rate
+
+    @property
+    def n_disks(self) -> Union[int, np.ndarray]:
+        return _per_row_or(self.params, "n_disks_rows", self.params.n_disks)
+
+    def restock(self, idx: np.ndarray) -> None:
+        """Refill the pools of ``idx`` to their configured sizes."""
+        self.spares[idx] = _rows(self.n_spares, idx)
+
+    def empty(self, idx: np.ndarray) -> None:
+        """Mark the pools of ``idx`` as exhausted."""
+        self.spares[idx] = 0
 
 
 def batch_spare_pool(
-    params: AvailabilityParameters,
+    params,
     horizon_hours: float,
     n_lifetimes: int,
     rng: np.random.Generator,
@@ -271,30 +404,42 @@ def batch_spare_pool(
     """Run ``n_lifetimes`` spare-pool lifetimes as one numpy batch.
 
     ``n_spares=1`` reproduces the paper's automatic fail-over policy; larger
-    values implement the hot-spare-pool scenario.
+    values implement the hot-spare-pool scenario.  On a stacked grid the
+    per-row ``StackedParams.n_spares_rows`` (when present) overrides the
+    scalar argument, so one invocation can mix pool sizes.
     """
     if horizon_hours <= 0.0:
         raise SimulationError(f"horizon must be positive, got {horizon_hours!r}")
-    if int(n_spares) < 1:
-        raise ConfigurationError(f"spare pool needs at least one spare, got {n_spares!r}")
-    n_spares = int(n_spares)
-    m = int(n_lifetimes)
+    m = _check_lifetimes(params, n_lifetimes)
+    pool_sizes = _per_row_or(params, "n_spares_rows", None)
+    if pool_sizes is None:
+        pool_sizes = int(n_spares)
+        if pool_sizes < 1:
+            raise ConfigurationError(
+                f"spare pool needs at least one spare, got {n_spares!r}"
+            )
+        initial = np.full(m, pool_sizes, dtype=np.int64)
+    else:
+        if np.any(pool_sizes < 1):
+            raise ConfigurationError("every stacked pool needs at least one spare")
+        initial = np.asarray(pool_sizes, dtype=np.int64).copy()
     n = params.n_disks
     failure_dist = params.failure_distribution()
     state = _SparePoolState(
         params=params,
         horizon=float(horizon_hours),
         rng=rng,
-        n_spares=n_spares,
+        n_spares=pool_sizes,
         batch=BatchLifetimes.zeros(m, horizon_hours),
-        clocks=_sample(failure_dist, m * n, rng).reshape(m, n),
+        clocks=_initial_clocks(params, failure_dist, m, n, rng),
         now=np.zeros(m, dtype=float),
-        spares=np.full(m, n_spares, dtype=np.int64),
+        spares=initial,
         failure_dist=failure_dist,
         rebuild_dist=params.repair_distribution(),
         replace_dist=params.spare_replacement_distribution(),
         ddf_dist=params.ddf_recovery_distribution(),
         recovery_dist=params.human_error_recovery_distribution(),
+        has_hep=_has_positive(params.hep),
     )
     active = np.arange(m)
 
@@ -339,7 +484,7 @@ def _spare_rebuild_step(
 ) -> None:
     """On-line rebuild onto a hot spare, then the hardware replacement visit."""
     rng = state.rng
-    rebuild_done = fail + _sample(state.rebuild_dist, idx.size, rng)
+    rebuild_done = fail + _sample_rows(state.rebuild_dist, idx, rng)
     _, second = _min_excluding(c, slot)
     second = np.maximum(second, fail)
 
@@ -350,10 +495,10 @@ def _spare_rebuild_step(
     if dl_idx.size:
         state.batch.disk_failures[dl_idx] += 1
         state.batch.dl_events[dl_idx] += 1
-        outage_end = second[dl] + _sample(state.ddf_dist, dl_idx.size, rng)
+        outage_end = second[dl] + _sample_rows(state.ddf_dist, dl_idx, rng)
         state.batch.downtime_hours[dl_idx] += _clip_downtime(second[dl], outage_end, state.horizon)
         _renew_failed_before(state.clocks, dl_idx, outage_end, state.failure_dist, rng)
-        state.spares[dl_idx] = state.n_spares
+        state.restock(dl_idx)
         state.now[dl_idx] = outage_end
 
     # Rebuild finished: the spare carries the data; replace the dead hardware.
@@ -373,8 +518,7 @@ def _replacement_visit_step(
 ) -> None:
     """Technician visit restocking the spare pool after an on-line rebuild."""
     rng = state.rng
-    n = state.params.n_disks
-    replace_done = start + _sample(state.replace_dist, idx.size, rng)
+    replace_done = start + _sample_rows(state.replace_dist, idx, rng)
     _, next_fail = _min_and_slot(state.clocks[idx])
     next_fail = np.maximum(next_fail, start)
 
@@ -387,15 +531,15 @@ def _replacement_visit_step(
         state.now[p_idx] = next_fail[preempt]
 
     rest = ~preempt
-    if state.hep > 0.0:
-        he = rest & (rng.random(idx.size) < state.hep)
+    if state.has_hep:
+        he = rest & (rng.random(idx.size) < _rows(state.hep, idx))
     else:
         he = np.zeros(idx.size, dtype=bool)
 
     ok = rest & ~he
     ok_idx = idx[ok]
     if ok_idx.size:
-        state.spares[ok_idx] = state.n_spares
+        state.restock(ok_idx)
         state.now[ok_idx] = replace_done[ok]
 
     # Wrong pull during the visit: the array was fully redundant, so it only
@@ -405,9 +549,9 @@ def _replacement_visit_step(
     if he_idx.size == 0:
         return
     state.batch.human_errors[he_idx] += 1
-    wrong = rng.integers(n, size=he_idx.size)
+    wrong = _random_slots(rng, _rows(state.n_disks, he_idx), he_idx.size)
     duration, crashed = _recovery_race(
-        he_idx.size, state.recovery_dist, state.hep, state.crash_rate, rng
+        he_idx, state.recovery_dist, state.hep, state.crash_rate, rng
     )
     recovery_end = replace_done[he] + duration
     other, second = _min_excluding(state.clocks[he_idx], wrong)
@@ -422,10 +566,10 @@ def _replacement_visit_step(
         state.batch.disk_failures[a_idx] += 1
         state.batch.du_events[a_idx] += 1
         state.batch.dl_events[a_idx] += 1
-        outage_end = recovery_end[a] + _sample(state.ddf_dist, a_idx.size, rng)
+        outage_end = recovery_end[a] + _sample_rows(state.ddf_dist, a_idx, rng)
         state.batch.downtime_hours[a_idx] += _clip_downtime(second[a], outage_end, state.horizon)
         _renew_failed_before(state.clocks, a_idx, outage_end, state.failure_dist, rng)
-        state.spares[a_idx] = state.n_spares
+        state.restock(a_idx)
         state.now[a_idx] = outage_end
 
     # Failure during the wrong pull, no crash: data unavailable until the
@@ -449,7 +593,7 @@ def _replacement_visit_step(
     ok2 = ~fail_during & ~crashed
     ok2_idx = he_idx[ok2]
     if ok2_idx.size:
-        state.spares[ok2_idx] = state.n_spares
+        state.restock(ok2_idx)
         state.now[ok2_idx] = recovery_end[ok2]
 
 
@@ -466,7 +610,10 @@ def _exposed_step(
     """
     rng = state.rng
     combined_rate = state.params.disk_repair_rate + state.params.spare_replacement_rate
-    service_done = start + rng.exponential(1.0 / combined_rate, idx.size)
+    if isinstance(combined_rate, np.ndarray):
+        service_done = start + rng.exponential(1.0, idx.size) / combined_rate[idx]
+    else:
+        service_done = start + rng.exponential(1.0 / combined_rate, idx.size)
     _, second = _min_excluding(state.clocks[idx], slot)
     second = np.maximum(second, start)
 
@@ -476,16 +623,16 @@ def _exposed_step(
     if dl_idx.size:
         state.batch.disk_failures[dl_idx] += 1
         state.batch.dl_events[dl_idx] += 1
-        outage_end = second[dl] + _sample(state.ddf_dist, dl_idx.size, rng)
+        outage_end = second[dl] + _sample_rows(state.ddf_dist, dl_idx, rng)
         state.batch.downtime_hours[dl_idx] += _clip_downtime(second[dl], outage_end, state.horizon)
         _renew_slots(state.clocks, dl_idx, slot[dl], outage_end, state.failure_dist, rng)
         _renew_failed_before(state.clocks, dl_idx, outage_end, state.failure_dist, rng)
-        state.spares[dl_idx] = 0
+        state.empty(dl_idx)
         state.now[dl_idx] = outage_end
 
     rest = ~dl
-    if state.hep > 0.0:
-        he = rest & (rng.random(idx.size) < state.hep)
+    if state.has_hep:
+        he = rest & (rng.random(idx.size) < _rows(state.hep, idx))
     else:
         he = np.zeros(idx.size, dtype=bool)
 
@@ -496,19 +643,19 @@ def _exposed_step(
         state.batch.human_errors[he_idx] += 1
         state.batch.du_events[he_idx] += 1
         duration, crashed = _recovery_race(
-            he_idx.size, state.recovery_dist, state.hep, state.crash_rate, rng
+            he_idx, state.recovery_dist, state.hep, state.crash_rate, rng
         )
         outage_end = service_done[he] + duration
         cr = np.flatnonzero(crashed)
         if cr.size:
             state.batch.dl_events[he_idx[cr]] += 1
-            outage_end[cr] += _sample(state.ddf_dist, cr.size, rng)
+            outage_end[cr] += _sample_rows(state.ddf_dist, he_idx[cr], rng)
         state.batch.downtime_hours[he_idx] += _clip_downtime(
             service_done[he], outage_end, state.horizon
         )
         _renew_slots(state.clocks, he_idx, slot[he], outage_end, state.failure_dist, rng)
         _renew_failed_before(state.clocks, he_idx, outage_end, state.failure_dist, rng)
-        state.spares[he_idx] = 0
+        state.empty(he_idx)
         state.now[he_idx] = outage_end
 
     # Successful combined service: disk back, pool restocked in one visit.
@@ -516,5 +663,5 @@ def _exposed_step(
     ok_idx = idx[ok]
     if ok_idx.size:
         _renew_slots(state.clocks, ok_idx, slot[ok], service_done[ok], state.failure_dist, rng)
-        state.spares[ok_idx] = state.n_spares
+        state.restock(ok_idx)
         state.now[ok_idx] = service_done[ok]

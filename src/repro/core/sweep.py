@@ -14,9 +14,21 @@ registered policy on either evaluation backend:
   ``benchmarks/bench_sweep.py`` for the resulting speedup over the retired
   per-point rebuild loop (kept as :func:`sweep_per_point_rebuild` for
   reference and regression testing).
-* **monte_carlo** sweeps run one study per point through the policy's
-  simulation face, sharing a single worker pool across all points when
-  ``workers > 1`` (the sharded executor of PR 2).
+* **monte_carlo** sweeps run on the **stacked-grid engine** by default:
+  per-study scalars become per-lifetime broadcast arrays and one kernel
+  invocation per shard simulates the whole ``points x lifetimes`` grid
+  (:func:`repro.core.montecarlo.batch.run_stacked`), with per-point results
+  recovered by one segmented aggregation.  The pre-stacked loop — one full
+  independent study per point, sharing a single worker pool — is retained
+  as :func:`sweep_per_point_mc` for regression testing and for the
+  configurations the stacked engine does not cover (scalar executor, event
+  traces, adaptive stopping, policies without a stacked-capable kernel);
+  ``sweep`` falls back to it automatically.
+
+:func:`sweep_grid` runs a full **2-axis surface** (e.g. the Fig. 5
+hep-versus-lambda sheet) in one call on either backend: analytically the
+cross-product joins one batched factorization group per chain structure, on
+Monte Carlo it becomes a single stacked grid.
 
 The legacy helpers (:func:`sweep_hep`, :func:`sweep_failure_rate`, ...) keep
 their signatures and continue to accept the deprecated ``ModelKind`` members
@@ -29,7 +41,7 @@ from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.evaluation import chain_template, evaluate
+from repro.core.evaluation import chain_template, evaluate, evaluate_stacked
 from repro.core.montecarlo.config import (
     DEFAULT_HORIZON_HOURS,
     DEFAULT_ITERATIONS,
@@ -37,6 +49,7 @@ from repro.core.montecarlo.config import (
 )
 from repro.core.montecarlo.parallel import worker_pool
 from repro.core.parameters import AvailabilityParameters
+from repro.core.policies.base import SimulationPolicy
 from repro.core.policies.registry import resolve_policy
 from repro.exceptions import ConfigurationError
 from repro.markov.metrics import availability_from_up_mass, steady_state_availability
@@ -56,6 +69,10 @@ SWEEP_AXES: Dict[str, str] = {
 
 #: Sweep backends: the evaluation backends of :mod:`repro.core.evaluation`.
 SWEEP_BACKENDS = ("analytical", "monte_carlo", "auto")
+
+#: Monte Carlo sweep engines: ``"auto"`` uses the stacked grid whenever the
+#: policy and configuration allow it and falls back to the per-point loop.
+MC_ENGINES = ("auto", "stacked", "per_point")
 
 
 @dataclass(frozen=True)
@@ -121,6 +138,154 @@ def _point_from_pi(pi, up_indices, x: float) -> SweepPoint:
     )
 
 
+def _analytical_points(
+    point_params: Sequence[AvailabilityParameters],
+    xs: Sequence[float],
+    policy: SimulationPolicy,
+    method: str,
+) -> List[SweepPoint]:
+    """Evaluate arbitrary parameter points through the template engine.
+
+    Points are grouped by chain structure — the hep = 0 rung of a sweep
+    uses the reduced chain (exactly as the retired ModelKind dispatch
+    did) — and each group is handed to the template's vectorized
+    solve_many: only the generator entries the swept symbols touch are
+    re-evaluated, and one batched factorization covers the whole group.
+    """
+    groups: Dict[int, List[int]] = {}
+    templates: Dict[int, object] = {}
+    for index, params in enumerate(point_params):
+        template = chain_template(policy, params)
+        templates[id(template)] = template
+        groups.setdefault(id(template), []).append(index)
+    points: List[Optional[SweepPoint]] = [None] * len(point_params)
+    for key, indices in groups.items():
+        template = templates[key]
+        pis = template.solve_many(
+            [point_params[i] for i in indices], method=method
+        )
+        for row, i in enumerate(indices):
+            points[i] = _point_from_pi(pis[row], template.up_indices, xs[i])
+    return points
+
+
+def _check_mc_options_for_backend(backend: str, mc_engine: str, crn: bool) -> None:
+    """Reject Monte Carlo-only options once a sweep resolved analytically.
+
+    ``backend="auto"`` picks the analytical face whenever the policy has
+    one; an explicit ``crn`` or ``mc_engine`` request must not be dropped
+    silently on that path (a caller asking for coupled streams would get
+    uncoupled point estimates without noticing).
+    """
+    if backend == "monte_carlo":
+        return
+    if crn:
+        raise ConfigurationError(
+            "common random numbers apply to the monte_carlo backend, but "
+            "this sweep resolved to the analytical backend; pass "
+            "backend='monte_carlo'"
+        )
+    if mc_engine != "auto":
+        raise ConfigurationError(
+            f"mc_engine={mc_engine!r} applies to the monte_carlo backend, "
+            "but this sweep resolved to the analytical backend; pass "
+            "backend='monte_carlo'"
+        )
+
+
+def _point_from_estimate(estimate, x: float) -> SweepPoint:
+    return SweepPoint(
+        x=float(x),
+        availability=estimate.availability,
+        unavailability=estimate.unavailability,
+        nines=estimate.nines,
+        ci_lower=estimate.ci_lower,
+        ci_upper=estimate.ci_upper,
+    )
+
+
+def _monte_carlo_points(
+    point_params: Sequence[AvailabilityParameters],
+    xs: Sequence[float],
+    policy: SimulationPolicy,
+    *,
+    mc_iterations: int,
+    mc_horizon_hours: float,
+    seed: Optional[int],
+    confidence: float,
+    executor: str,
+    workers: int,
+    shard_size: Optional[int],
+    target_half_width: Optional[float],
+    mc_engine: str,
+    crn: bool,
+    pool,
+) -> List[SweepPoint]:
+    """Evaluate arbitrary parameter points on the Monte Carlo backend."""
+    if mc_engine not in MC_ENGINES:
+        raise ConfigurationError(
+            f"mc_engine must be one of {MC_ENGINES}, got {mc_engine!r}"
+        )
+    stackable = (
+        policy.can_stack
+        and executor != "scalar"
+        and target_half_width is None
+    )
+    if mc_engine == "stacked" and not stackable:
+        raise ConfigurationError(
+            "the stacked engine requires a stacked-capable policy kernel, a "
+            "vectorised executor and no adaptive stopping; use "
+            "mc_engine='per_point' for this configuration"
+        )
+    use_stacked = mc_engine == "stacked" or (mc_engine == "auto" and stackable)
+    if crn and not use_stacked:
+        # Never drop an explicit CRN request silently: a caller computing
+        # contrasts would get uncoupled streams and unreduced variance.
+        raise ConfigurationError(
+            "common random numbers are a stacked-engine mode, but this "
+            "configuration resolved to the per-point path (scalar executor, "
+            "adaptive stopping, mc_engine='per_point', or a policy without "
+            "a stacked-capable kernel)"
+        )
+    if use_stacked:
+        estimates = evaluate_stacked(
+            point_params,
+            policy,
+            n_iterations=mc_iterations,
+            horizon_hours=mc_horizon_hours,
+            seed=seed,
+            confidence=confidence,
+            workers=workers,
+            shard_size=shard_size,
+            crn=crn,
+            pool=pool,
+        )
+        return [
+            _point_from_estimate(estimate, x) for estimate, x in zip(estimates, xs)
+        ]
+    # Per-point loop: one study per point, one shared pool for the sweep.
+    context = nullcontext(pool) if pool is not None else worker_pool(workers)
+    points: List[SweepPoint] = []
+    with context as sweep_pool:
+        for params, x in zip(point_params, xs):
+            estimate = evaluate(
+                params,
+                policy=policy,
+                backend="monte_carlo",
+                n_iterations=mc_iterations,
+                horizon_hours=mc_horizon_hours,
+                seed=seed,
+                confidence=confidence,
+                executor=executor,
+                workers=workers,
+                shard_size=shard_size,
+                target_half_width=target_half_width,
+                pool=sweep_pool,
+            )
+            points.append(_point_from_estimate(estimate, x))
+    return points
+
+
 def sweep(
     base_params: AvailabilityParameters,
     axis: str,
@@ -135,7 +300,10 @@ def sweep(
     confidence: float = 0.99,
     executor: str = "auto",
     workers: int = 1,
+    shard_size: Optional[int] = None,
     target_half_width: Optional[float] = None,
+    mc_engine: str = "auto",
+    crn: bool = False,
     pool=None,
 ) -> List[SweepPoint]:
     """Sweep one parameter axis for one policy on one backend.
@@ -157,10 +325,19 @@ def sweep(
         Steady-state solver for analytical sweeps (``"auto"`` = dense/sparse
         by state count).
     mc_iterations, mc_horizon_hours, seed, confidence, executor, workers,
-    target_half_width:
+    shard_size, target_half_width:
         Monte Carlo configuration for simulation-backed sweeps; every point
         uses the same master seed so neighbouring points share their random
         stream layout.
+    mc_engine:
+        ``"stacked"`` (one kernel invocation per shard covers the whole
+        grid), ``"per_point"`` (the retained pre-stacked loop, one full
+        study per value) or ``"auto"``: stacked whenever the policy kernel,
+        executor and stopping mode allow it.
+    crn:
+        Stacked engine only — couple every point to identical base random
+        streams (common random numbers) for variance-reduced contrasts
+        between neighbouring points.
     pool:
         Optional externally owned worker pool; ``None`` with ``workers > 1``
         starts one pool for the whole sweep (not one per point).
@@ -175,62 +352,205 @@ def sweep(
     resolved = resolve_policy(policy)
     if backend == "auto":
         backend = "analytical" if resolved.has_analytical_model else "monte_carlo"
+    _check_mc_options_for_backend(backend, mc_engine, crn)
+    point_params = [_with_axis(base_params, field, value) for value in values]
+    xs = [float(value) for value in values]
 
     if backend == "analytical":
-        # Points are grouped by chain structure — the hep = 0 rung of a sweep
-        # uses the reduced chain (exactly as the retired ModelKind dispatch
-        # did) — and each group is handed to the template's vectorized
-        # solve_many: only the generator entries the swept symbol touches are
-        # re-evaluated, and one batched factorization covers the whole group.
-        groups: Dict[int, List[int]] = {}
-        templates: Dict[int, object] = {}
-        point_params: List[AvailabilityParameters] = []
-        for index, value in enumerate(values):
-            params = _with_axis(base_params, field, value)
-            template = chain_template(resolved, params)
-            templates[id(template)] = template
-            groups.setdefault(id(template), []).append(index)
-            point_params.append(params)
-        points: List[Optional[SweepPoint]] = [None] * len(values)
-        for key, indices in groups.items():
-            template = templates[key]
-            pis = template.solve_many(
-                [point_params[i] for i in indices], method=method
-            )
-            for row, i in enumerate(indices):
-                points[i] = _point_from_pi(pis[row], template.up_indices, values[i])
-        return points
+        return _analytical_points(point_params, xs, resolved, method)
+    return _monte_carlo_points(
+        point_params,
+        xs,
+        resolved,
+        mc_iterations=mc_iterations,
+        mc_horizon_hours=mc_horizon_hours,
+        seed=seed,
+        confidence=confidence,
+        executor=executor,
+        workers=workers,
+        shard_size=shard_size,
+        target_half_width=target_half_width,
+        mc_engine=mc_engine,
+        crn=crn,
+        pool=pool,
+    )
 
-    # Monte Carlo: one study per point, one shared pool for the whole sweep.
-    context = nullcontext(pool) if pool is not None else worker_pool(workers)
-    points = []
-    with context as sweep_pool:
-        for value in values:
-            params = _with_axis(base_params, field, value)
-            estimate = evaluate(
-                params,
-                policy=resolved,
-                backend="monte_carlo",
-                n_iterations=mc_iterations,
-                horizon_hours=mc_horizon_hours,
-                seed=seed,
-                confidence=confidence,
-                executor=executor,
-                workers=workers,
-                target_half_width=target_half_width,
-                pool=sweep_pool,
+
+def sweep_per_point_mc(
+    base_params: AvailabilityParameters,
+    axis: str,
+    values: Sequence[float],
+    policy: PolicyRef = "conventional",
+    *,
+    mc_iterations: int = DEFAULT_ITERATIONS,
+    mc_horizon_hours: float = DEFAULT_HORIZON_HOURS,
+    seed: Optional[int] = 0,
+    confidence: float = 0.99,
+    executor: str = "auto",
+    workers: int = 1,
+    shard_size: Optional[int] = None,
+    target_half_width: Optional[float] = None,
+    pool=None,
+) -> List[SweepPoint]:
+    """Reference Monte Carlo sweep running one full study per point.
+
+    This is the pre-stacked algorithm — every value pays its own kernel
+    launches, shard scheduling and aggregation — retained as the ground
+    truth the stacked engine is statistically validated and benchmarked
+    against, and as the execution path for configurations the stacked
+    engine does not cover (scalar executor, adaptive stopping).
+    """
+    return sweep(
+        base_params,
+        axis,
+        values,
+        policy=policy,
+        backend="monte_carlo",
+        mc_iterations=mc_iterations,
+        mc_horizon_hours=mc_horizon_hours,
+        seed=seed,
+        confidence=confidence,
+        executor=executor,
+        workers=workers,
+        shard_size=shard_size,
+        target_half_width=target_half_width,
+        mc_engine="per_point",
+        pool=pool,
+    )
+
+
+# ----------------------------------------------------------------------
+# 2-axis grid sweeps (fig5-style surfaces)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepGrid:
+    """A 2-axis sweep surface: ``points[i][j]`` evaluates ``(values1[i],
+    values2[j])``.
+
+    Each :class:`SweepPoint` carries the *second* axis value as its ``x``
+    (every row of the grid is a valid 1-axis sweep over ``axis2``).
+    """
+
+    axis1: str
+    axis2: str
+    values1: tuple
+    values2: tuple
+    points: List[List[SweepPoint]]
+
+    @property
+    def shape(self) -> tuple:
+        """Return ``(len(values1), len(values2))``."""
+        return (len(self.values1), len(self.values2))
+
+    def row(self, index: int) -> List[SweepPoint]:
+        """Return the ``axis2`` sweep at ``values1[index]``."""
+        return self.points[index]
+
+    def availability_matrix(self) -> List[List[float]]:
+        """Return availabilities as a ``values1 x values2`` nested list."""
+        return [[point.availability for point in row] for row in self.points]
+
+    def nines_matrix(self) -> List[List[float]]:
+        """Return nines as a ``values1 x values2`` nested list."""
+        return [[point.nines for point in row] for row in self.points]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return a serialisable description of the surface."""
+        return {
+            "axis1": self.axis1,
+            "axis2": self.axis2,
+            "values1": list(self.values1),
+            "values2": list(self.values2),
+            "points": [[point.as_dict() for point in row] for row in self.points],
+        }
+
+
+def sweep_grid(
+    base_params: AvailabilityParameters,
+    axis1: str,
+    values1: Sequence[float],
+    axis2: str,
+    values2: Sequence[float],
+    policy: PolicyRef = "conventional",
+    backend: str = "auto",
+    *,
+    method: str = "auto",
+    mc_iterations: int = DEFAULT_ITERATIONS,
+    mc_horizon_hours: float = DEFAULT_HORIZON_HOURS,
+    seed: Optional[int] = 0,
+    confidence: float = 0.99,
+    executor: str = "auto",
+    workers: int = 1,
+    shard_size: Optional[int] = None,
+    target_half_width: Optional[float] = None,
+    mc_engine: str = "auto",
+    crn: bool = False,
+    pool=None,
+) -> SweepGrid:
+    """Sweep two parameter axes at once (a fig5-style surface) in one call.
+
+    The cross product ``values1 x values2`` is evaluated as **one** batch:
+    analytically all points join the template engine's grouped batched
+    factorizations, on Monte Carlo they form a single stacked grid (one
+    kernel invocation per shard for the entire surface).  Options match
+    :func:`sweep`.
+    """
+    field1, field2 = _axis_field(axis1), _axis_field(axis2)
+    if field1 == field2:
+        # Compare the underlying fields, not the axis names: aliases such as
+        # failure_rate/disk_failure_rate would otherwise silently produce a
+        # degenerate surface (axis2 overwriting axis1 row by row).
+        raise ConfigurationError(
+            f"grid axes must sweep different parameters, got {axis1!r} and "
+            f"{axis2!r} (both sweep {field1!r})"
+        )
+    if not values1 or not values2:
+        raise ConfigurationError("both grid axes require at least one value")
+    if backend not in SWEEP_BACKENDS:
+        raise ConfigurationError(
+            f"backend must be one of {SWEEP_BACKENDS}, got {backend!r}"
+        )
+    resolved = resolve_policy(policy)
+    if backend == "auto":
+        backend = "analytical" if resolved.has_analytical_model else "monte_carlo"
+    _check_mc_options_for_backend(backend, mc_engine, crn)
+    point_params: List[AvailabilityParameters] = []
+    xs: List[float] = []
+    for v1 in values1:
+        for v2 in values2:
+            point_params.append(
+                _with_axis(_with_axis(base_params, field1, v1), field2, v2)
             )
-            points.append(
-                SweepPoint(
-                    x=float(value),
-                    availability=estimate.availability,
-                    unavailability=estimate.unavailability,
-                    nines=estimate.nines,
-                    ci_lower=estimate.ci_lower,
-                    ci_upper=estimate.ci_upper,
-                )
-            )
-    return points
+            xs.append(float(v2))
+
+    if backend == "analytical":
+        flat = _analytical_points(point_params, xs, resolved, method)
+    else:
+        flat = _monte_carlo_points(
+            point_params,
+            xs,
+            resolved,
+            mc_iterations=mc_iterations,
+            mc_horizon_hours=mc_horizon_hours,
+            seed=seed,
+            confidence=confidence,
+            executor=executor,
+            workers=workers,
+            shard_size=shard_size,
+            target_half_width=target_half_width,
+            mc_engine=mc_engine,
+            crn=crn,
+            pool=pool,
+        )
+    n2 = len(values2)
+    rows = [flat[i * n2 : (i + 1) * n2] for i in range(len(values1))]
+    return SweepGrid(
+        axis1=axis1,
+        axis2=axis2,
+        values1=tuple(float(v) for v in values1),
+        values2=tuple(float(v) for v in values2),
+        points=rows,
+    )
 
 
 def sweep_per_point_rebuild(
@@ -307,15 +627,29 @@ def sweep_hep_for_failure_rates(
     backend: str = "analytical",
     **options,
 ) -> Dict[float, List[SweepPoint]]:
-    """Return one hep sweep per failure rate (the shape of Fig. 5)."""
+    """Return one hep sweep per failure rate (the shape of Fig. 5).
+
+    The whole surface is evaluated as one :func:`sweep_grid` call — one
+    batched factorization group per chain structure analytically, one
+    stacked grid on Monte Carlo — and re-keyed by failure rate for the
+    legacy mapping shape.
+    """
     if not failure_rates:
         raise ConfigurationError("failure_rates must be non-empty")
+    if not hep_values:
+        raise ConfigurationError("hep_values must be non-empty")
+    grid = sweep_grid(
+        base_params,
+        "disk_failure_rate",
+        failure_rates,
+        "hep",
+        hep_values,
+        policy=model,
+        backend=backend,
+        **options,
+    )
     return {
-        float(rate): sweep_hep(
-            base_params.with_failure_rate(rate), hep_values, model,
-            backend=backend, **options,
-        )
-        for rate in failure_rates
+        float(rate): grid.row(index) for index, rate in enumerate(failure_rates)
     }
 
 

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.availability.report import Table, table_from_series
 from repro.core.evaluation import evaluate
-from repro.core.sweep import sweep_hep
+from repro.core.sweep import SweepGrid, sweep_grid, sweep_hep
 from repro.experiments.config import DEFAULTS, FIG5_FIELD_RATES, HEP_SWEEP
 from repro.core.parameters import paper_parameters
 from repro.storage.raid import RaidGeometry
@@ -86,6 +86,62 @@ def run_fig5_sweep(
             )
         )
     return series
+
+
+def run_fig5_surface(
+    hep_values: Sequence[float] = HEP_SWEEP,
+    failure_rates: Optional[Sequence[float]] = None,
+    backend: str = "analytical",
+    mc_iterations: int = DEFAULTS.mc_iterations,
+    mc_horizon_hours: float = DEFAULTS.mc_horizon_hours,
+    seed: int = DEFAULTS.seed,
+    workers: int = 1,
+) -> SweepGrid:
+    """Run the Fig. 5 hep-versus-lambda availability surface in one call.
+
+    The whole ``failure_rates x hep_values`` sheet is evaluated as a single
+    :func:`~repro.core.sweep.sweep_grid`: analytically one batched
+    factorization group per chain structure, on the ``monte_carlo`` backend
+    one stacked grid (a handful of kernel invocations for every point of
+    the surface).  ``failure_rates`` defaults to the field rates the paper
+    quotes in Fig. 5.
+    """
+    rates = (
+        [rate for rate, _ in FIG5_FIELD_RATES]
+        if failure_rates is None
+        else list(failure_rates)
+    )
+    return sweep_grid(
+        paper_parameters(geometry=RaidGeometry.raid5(3), hep=0.0),
+        "failure_rate",
+        rates,
+        "hep",
+        list(hep_values),
+        policy="conventional",
+        backend=backend,
+        mc_iterations=mc_iterations,
+        mc_horizon_hours=mc_horizon_hours,
+        seed=seed,
+        workers=workers,
+    )
+
+
+def fig5_surface_table(grid: SweepGrid) -> Table:
+    """Render the Fig. 5 surface as a table (one column per failure rate)."""
+    columns = {
+        f"lambda={rate:.3g}": [point.nines for point in row]
+        for rate, row in zip(grid.values1, grid.points)
+    }
+    return table_from_series(
+        title="Fig. 5 surface — RAID5(3+1) nines over the hep x lambda grid",
+        x_name="hep",
+        x_values=list(grid.values2),
+        series=columns,
+        notes=[
+            "whole surface evaluated in one sweep_grid call "
+            f"({len(grid.values1)} x {len(grid.values2)} points)",
+        ],
+    )
 
 
 def fig5_table(series: Sequence[HepSweepSeries]) -> Table:

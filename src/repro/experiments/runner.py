@@ -89,6 +89,9 @@ def run_all_experiments(
     fig5_series = fig5_hep_sweep.run_fig5_sweep()
     report.tables.append(fig5_hep_sweep.fig5_table(fig5_series))
 
+    fig5_surface = fig5_hep_sweep.run_fig5_surface()
+    report.tables.append(fig5_hep_sweep.fig5_surface_table(fig5_surface))
+
     fig6_cells = fig6_raid_comparison.run_fig6_comparison()
     report.tables.extend(fig6_raid_comparison.fig6_tables(fig6_cells))
 

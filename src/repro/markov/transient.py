@@ -10,6 +10,14 @@ life?".  Two methods are provided:
   fine for the small chains in this package;
 * uniformization (Jensen's method) — numerically robust truncated Poisson
   mixture of DTMC powers, with an explicit error bound.
+
+Both methods share their expensive pieces across the whole time grid
+instead of recomputing them per point: a **uniform** grid computes
+``expm(Q * dt)`` once and propagates by repeated vector-matrix products
+(the semigroup property ``p(t + dt) = p(t) expm(Q dt)``), and
+uniformization grows one truncated DTMC power sequence ``p0 @ P^k`` that
+every grid time reuses — see ``benchmarks/bench_markov_solvers.py`` for the
+resulting speedups.
 """
 
 from __future__ import annotations
@@ -76,12 +84,31 @@ def _initial_vector(chain: MarkovChain, initial_state: Optional[str]) -> np.ndar
     return p0
 
 
+def _is_uniform_grid(times_arr: np.ndarray) -> bool:
+    """Return whether the grid has a constant positive spacing."""
+    if times_arr.size < 2:
+        return False
+    steps = np.diff(times_arr)
+    if steps[0] <= 0.0:
+        return False
+    return bool(np.allclose(steps, steps[0], rtol=1e-9, atol=0.0))
+
+
 def transient_distribution_expm(
     chain: MarkovChain,
     times: Sequence[float],
     initial_state: Optional[str] = None,
+    uniform_grid: Optional[bool] = None,
 ) -> TransientResult:
-    """Compute ``p(t) = p(0) expm(Q t)`` on a grid of times (hours)."""
+    """Compute ``p(t) = p(0) expm(Q t)`` on a grid of times (hours).
+
+    On a uniformly spaced grid the matrix exponential is computed **once**
+    for the step ``dt`` and the distribution is propagated by repeated
+    vector-matrix products (``p(t + dt) = p(t) expm(Q dt)``), instead of
+    re-running ``scipy.linalg.expm`` per grid time.  ``uniform_grid=None``
+    auto-detects the spacing; pass ``False`` to force the per-time
+    reference path (used by the benchmarks and equivalence tests).
+    """
     times_arr = np.asarray(list(times), dtype=float)
     if times_arr.size == 0:
         raise SolverError("transient analysis requires at least one time point")
@@ -90,8 +117,20 @@ def transient_distribution_expm(
     q = chain.generator_matrix()
     p0 = _initial_vector(chain, initial_state)
     rows = np.empty((times_arr.size, chain.n_states))
-    for k, t in enumerate(times_arr):
-        rows[k] = p0 @ linalg.expm(q * t)
+    if uniform_grid is None:
+        uniform_grid = _is_uniform_grid(times_arr)
+    if uniform_grid and not _is_uniform_grid(times_arr):
+        raise SolverError("uniform_grid=True requires a uniformly spaced time grid")
+    if uniform_grid:
+        transfer = linalg.expm(q * float(times_arr[1] - times_arr[0]))
+        vec = p0 if times_arr[0] == 0.0 else p0 @ linalg.expm(q * times_arr[0])
+        rows[0] = vec
+        for k in range(1, times_arr.size):
+            vec = vec @ transfer
+            rows[k] = vec
+    else:
+        for k, t in enumerate(times_arr):
+            rows[k] = p0 @ linalg.expm(q * t)
     rows = np.clip(rows, 0.0, 1.0)
     rows = rows / rows.sum(axis=1, keepdims=True)
     return TransientResult(times=times_arr, probabilities=rows, state_names=chain.state_names)
@@ -108,6 +147,10 @@ def transient_distribution_uniformization(
 
     The Poisson series is truncated once the accumulated mass exceeds
     ``1 - tolerance``, giving an explicit bound on the truncation error.
+    The truncated DTMC power sequence ``p0 @ P^k`` is built once and shared
+    by every grid time (the vectors do not depend on ``t``, only the
+    Poisson weights do), so each power is one vector-matrix product for the
+    whole grid instead of one per time.
     """
     times_arr = np.asarray(list(times), dtype=float)
     if times_arr.size == 0:
@@ -117,6 +160,15 @@ def transient_distribution_uniformization(
     p_matrix, lam = chain.uniformized_dtmc()
     p0 = _initial_vector(chain, initial_state)
     rows = np.empty((times_arr.size, chain.n_states))
+    # Shared power sequence: powers[k] is p0 @ P^k, grown on demand by the
+    # largest truncation point any time in the grid needs.
+    powers = [p0]
+
+    def _power(k: int) -> np.ndarray:
+        while len(powers) <= k:
+            powers.append(powers[-1] @ p_matrix)
+        return powers[k]
+
     for idx, t in enumerate(times_arr):
         if t == 0.0 or lam == 0.0:
             rows[idx] = p0
@@ -126,7 +178,6 @@ def transient_distribution_uniformization(
         log_weight = -rate  # log P(N = 0)
         weight = math.exp(log_weight)
         acc = weight * p0
-        vec = p0.copy()
         cumulative = weight
         k = 0
         while cumulative < 1.0 - tolerance:
@@ -136,11 +187,19 @@ def transient_distribution_uniformization(
                     f"uniformization did not converge within {max_terms} terms "
                     f"(Lambda*t = {rate:.3e})"
                 )
-            vec = vec @ p_matrix
             log_weight += math.log(rate) - math.log(k)
             weight = math.exp(log_weight)
-            acc = acc + weight * vec
+            acc = acc + weight * _power(k)
             cumulative += weight
+            # Right-truncation guard: past the Poisson mode the weights decay
+            # at least geometrically with ratio rate / (k + 1), so the whole
+            # remaining tail is bounded by weight * q / (1 - q).  Rounding in
+            # the accumulated ``cumulative`` can leave it stranded a few ulps
+            # below 1 - tolerance, which would otherwise loop to max_terms.
+            if k + 1 > rate:
+                ratio = rate / (k + 1)
+                if weight * ratio / (1.0 - ratio) < tolerance:
+                    break
         rows[idx] = acc / cumulative
     rows = np.clip(rows, 0.0, 1.0)
     rows = rows / rows.sum(axis=1, keepdims=True)

@@ -137,6 +137,41 @@ class StreamingMoments:
         )
 
 
+def segmented_moments(
+    samples: Sequence[float], counts: Sequence[int]
+) -> "list[StreamingMoments]":
+    """Summarise consecutive segments of ``samples`` into moments triples.
+
+    ``counts[i]`` consecutive samples form segment ``i``; the segments must
+    tile the sample array exactly.  This is the ``np.add.reduceat``-style
+    aggregation of the stacked sweep engine: one pass computes the per-
+    segment sums, a second pass the per-segment squared deviations from the
+    segment mean, so each triple is numerically identical in construction to
+    :meth:`StreamingMoments.from_samples` of that segment (no naive
+    ``sum(x^2) - n*mean^2`` cancellation).
+    """
+    data = np.asarray(samples, dtype=float)
+    sizes = np.asarray(list(counts), dtype=np.int64)
+    if sizes.size == 0:
+        raise SimulationError("segmented moments require at least one segment")
+    if np.any(sizes < 1):
+        raise SimulationError("every segment requires at least one sample")
+    if int(sizes.sum()) != data.size:
+        raise SimulationError(
+            f"segment counts sum to {int(sizes.sum())} but {data.size} samples were given"
+        )
+    if np.any(~np.isfinite(data)):
+        raise SimulationError("streaming moments require finite samples")
+    offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+    means = np.add.reduceat(data, offsets) / sizes
+    deviations = data - np.repeat(means, sizes)
+    m2 = np.add.reduceat(deviations * deviations, offsets)
+    return [
+        StreamingMoments(n=int(n), mean=float(mean), m2=float(q))
+        for n, mean, q in zip(sizes, means, m2)
+    ]
+
+
 def t_critical(confidence: float, n_samples: int) -> float:
     """Return the two-sided Student-t critical value for the given level."""
     if not 0.0 < confidence < 1.0:

@@ -101,6 +101,77 @@ class TestAnalyticalBackend:
         assert "hot_spare_pool" not in names
 
 
+class TestTemplateCacheBound:
+    """The process-wide template cache is LRU-bounded and observable."""
+
+    def teardown_method(self):
+        from repro.core.evaluation import (
+            DEFAULT_TEMPLATE_CACHE_SIZE,
+            set_template_cache_size,
+        )
+
+        set_template_cache_size(DEFAULT_TEMPLATE_CACHE_SIZE)
+        clear_template_cache()
+
+    def test_stats_track_hits_and_misses(self):
+        from repro.core.evaluation import template_cache_stats
+
+        clear_template_cache()
+        params = paper_parameters(hep=0.01)
+        chain_template("conventional", params)
+        chain_template("conventional", params.with_hep(0.25))
+        stats = template_cache_stats()
+        assert stats["size"] == 1
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+        assert stats["maxsize"] >= 1
+
+    def test_lru_evicts_least_recently_used_geometry(self):
+        from repro.core.evaluation import set_template_cache_size, template_cache_stats
+        from repro.storage.raid import RaidGeometry
+
+        clear_template_cache()
+        set_template_cache_size(2)
+        small = paper_parameters(geometry=RaidGeometry.raid5(3), hep=0.01)
+        wide = paper_parameters(geometry=RaidGeometry.raid5(7), hep=0.01)
+        mirror = paper_parameters(geometry=RaidGeometry.raid1(), hep=0.01)
+        first = chain_template("conventional", small)
+        chain_template("conventional", wide)
+        chain_template("conventional", small)  # refresh: small is now MRU
+        chain_template("conventional", mirror)  # evicts wide, not small
+        assert template_cache_stats()["evictions"] == 1
+        assert chain_template("conventional", small) is first
+        # wide was evicted: asking again rebuilds (a fresh object).
+        stats_before = template_cache_stats()["misses"]
+        chain_template("conventional", wide)
+        assert template_cache_stats()["misses"] == stats_before + 1
+
+    def test_shrinking_the_bound_evicts_immediately(self):
+        from repro.core.evaluation import set_template_cache_size, template_cache_stats
+        from repro.storage.raid import RaidGeometry
+
+        clear_template_cache()
+        for data_disks in (2, 3, 4):
+            chain_template(
+                "conventional",
+                paper_parameters(geometry=RaidGeometry.raid5(data_disks), hep=0.01),
+            )
+        assert template_cache_stats()["size"] == 3
+        set_template_cache_size(1)
+        assert template_cache_stats()["size"] == 1
+        with pytest.raises(ConfigurationError):
+            set_template_cache_size(0)
+
+    def test_clear_resets_counters(self):
+        from repro.core.evaluation import template_cache_stats
+
+        chain_template("conventional", paper_parameters(hep=0.01))
+        clear_template_cache()
+        stats = template_cache_stats()
+        assert stats["size"] == 0
+        assert stats["hits"] == stats["misses"] == stats["evictions"] == 0
+
+
 class TestMonteCarloBackend:
     def test_interval_and_provenance(self):
         estimate = evaluate(

@@ -155,6 +155,35 @@ class TestFig5:
         with pytest.raises(ValueError):
             fig5_table([])
 
+    def test_surface_matches_per_series_sweep(self):
+        # The one-call hep x lambda surface must reproduce the per-rate
+        # analytical series exactly (same template engine, same points).
+        from repro.experiments.fig5_hep_sweep import fig5_surface_table, run_fig5_surface
+
+        surface = run_fig5_surface()
+        series = run_fig5_sweep()
+        assert surface.shape == (4, 3)
+        for entry, row in zip(series, surface.points):
+            for want, point in zip(entry.markov_nines, row):
+                assert point.nines == pytest.approx(want, abs=1e-12)
+        table = fig5_surface_table(surface)
+        assert len(table.rows) == 3 and len(table.columns) == 5
+
+    def test_surface_runs_on_monte_carlo_backend(self):
+        from repro.experiments.fig5_hep_sweep import run_fig5_surface
+
+        surface = run_fig5_surface(
+            hep_values=[0.0, 0.01],
+            failure_rates=[1e-4],
+            backend="monte_carlo",
+            mc_iterations=400,
+            mc_horizon_hours=50_000.0,
+            seed=3,
+        )
+        assert surface.shape == (1, 2)
+        for point in surface.row(0):
+            assert point.has_interval
+
 
 class TestFig6:
     @pytest.fixture(scope="class")

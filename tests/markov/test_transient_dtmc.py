@@ -96,6 +96,62 @@ class TestTransient:
         assert downtime >= 0.0
 
 
+class TestTransientGridReuse:
+    """The grid-level reuse optimisations must not change the answers."""
+
+    def test_uniform_grid_matches_per_time_expm(self):
+        chain = two_state()
+        times = np.linspace(0.0, 40.0, 60)
+        fast = transient_distribution_expm(chain, times)
+        slow = transient_distribution_expm(chain, times, uniform_grid=False)
+        assert np.max(np.abs(fast.probabilities - slow.probabilities)) < 1e-10
+
+    def test_uniform_grid_not_starting_at_zero(self):
+        chain = two_state()
+        times = np.linspace(3.0, 30.0, 28)
+        fast = transient_distribution_expm(chain, times)
+        slow = transient_distribution_expm(chain, times, uniform_grid=False)
+        assert np.max(np.abs(fast.probabilities - slow.probabilities)) < 1e-10
+
+    def test_non_uniform_grid_falls_back(self):
+        chain = two_state()
+        times = [0.0, 1.0, 2.0, 10.0, 50.0]
+        auto = transient_distribution_expm(chain, times)
+        slow = transient_distribution_expm(chain, times, uniform_grid=False)
+        assert np.array_equal(auto.probabilities, slow.probabilities)
+
+    def test_forced_uniform_on_ragged_grid_rejected(self):
+        with pytest.raises(SolverError):
+            transient_distribution_expm(
+                two_state(), [0.0, 1.0, 5.0], uniform_grid=True
+            )
+
+    def test_uniformization_shared_powers_match_per_time_loop(self):
+        # The shared p0 @ P^k sequence is the same matvec chain the old
+        # per-time loop walked, so the grid result must agree with solving
+        # every time on its own (separate calls rebuild the sequence).
+        chain = two_state()
+        times = [0.5, 2.0, 7.5, 20.0]
+        together = transient_distribution_uniformization(chain, times)
+        for k, t in enumerate(times):
+            alone = transient_distribution_uniformization(chain, [t])
+            assert np.array_equal(together.probabilities[k], alone.probabilities[0])
+
+    def test_uniformization_terminates_on_weight_plateau(self):
+        # Large Lambda*t used to loop to max_terms when the accumulated
+        # Poisson mass plateaued a few ulps below 1 - tolerance; the tail
+        # bound now terminates the series.  Regression for the fail-over
+        # chain at ~1150 hours (Lambda*t ~ 2.4e3).
+        from repro.core.models import build_failover_chain
+        from repro.core.parameters import paper_parameters
+
+        chain = build_failover_chain(paper_parameters(disk_failure_rate=1e-6, hep=0.01))
+        result = transient_distribution_uniformization(chain, [1150.2])
+        assert np.isfinite(result.probabilities).all()
+        expm = transient_distribution_expm(chain, [1150.2])
+        assert np.max(np.abs(result.probabilities - expm.probabilities)) < 1e-9
+
+
 class TestDtmcHelpers:
     def test_embedded_jump_matrix_rows_sum_to_one(self):
         chain = two_state()

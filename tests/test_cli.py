@@ -192,6 +192,48 @@ class TestSweepCommand:
         out = capsys.readouterr().out
         assert "ci_low" in out and "ci_high" in out
 
+    def test_two_axis_grid_monte_carlo(self, capsys):
+        assert main([
+            "sweep", "--axis", "hep", "--values", "0,0.05",
+            "--axis2", "failure_rate", "--grid2", "1e-5:1e-4:2",
+            "--backend", "monte_carlo", "--failure-rate", "1e-4",
+            "--iterations", "400", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "hep x failure_rate" in out and "2 x 2 = 4 points" in out
+        assert "ci_low" in out
+
+    def test_two_axis_grid_analytical(self, capsys):
+        assert main([
+            "sweep", "--axis", "hep", "--values", "0.001,0.01",
+            "--axis2", "failure_rate", "--values2", "1e-6,1e-5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 x 2 = 4 points" in out and "ci_low" not in out
+
+    def test_crn_flag_runs_stacked_engine(self, capsys):
+        assert main([
+            "sweep", "--axis", "hep", "--values", "0.01,0.05",
+            "--backend", "monte_carlo", "--failure-rate", "1e-4",
+            "--iterations", "400", "--seed", "1", "--crn",
+        ]) == 0
+        assert "ci_low" in capsys.readouterr().out
+
+    def test_per_point_engine_still_available(self, capsys):
+        assert main([
+            "sweep", "--axis", "hep", "--values", "0.05",
+            "--backend", "monte_carlo", "--failure-rate", "1e-4",
+            "--iterations", "400", "--seed", "1", "--mc-engine", "per_point",
+        ]) == 0
+        assert "ci_low" in capsys.readouterr().out
+
+    def test_axis2_without_values2_is_clean_error(self, capsys):
+        assert main([
+            "sweep", "--axis", "hep", "--values", "0.01",
+            "--axis2", "failure_rate",
+        ]) == 2
+        assert "--axis2 and --values2/--grid2" in capsys.readouterr().err
+
     def test_missing_values_is_clean_error(self, capsys):
         assert main(["sweep", "--axis", "hep"]) == 2
         assert "--values or --grid" in capsys.readouterr().err
