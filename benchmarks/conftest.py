@@ -8,22 +8,30 @@ small here so the whole suite finishes in minutes; the experiment modules
 accept the paper-scale counts.
 
 Benchmarks that measure a headline speedup additionally push one record
-into the session's ``bench_record`` fixture; at session end every record is
-written to ``BENCH_sweep.json`` at the repository root (op name, problem
-size, wall-clock seconds, speedup), so the performance trajectory is
-tracked machine-readably across PRs instead of living only in pytest
-output.
+into the session's ``bench_record`` fixture; at session end the records are
+**appended** to ``BENCH_sweep.json`` at the repository root as one run
+keyed by git commit and UTC timestamp (op name, problem size, wall-clock
+seconds, speedup), so the performance trajectory accumulates across PRs
+instead of each session overwriting the last.  ``python -m repro bench
+history`` prints the per-op trend; ``python -m repro bench table`` renders
+the latest run as the README's markdown performance table.
 """
 
 from __future__ import annotations
 
-import json
-import platform
-import time
+import sys
 from pathlib import Path
 from typing import Dict, List, Optional
 
 import pytest
+
+# The harness writes through repro.bench; make src/ importable even when
+# benchmarks run without an installed package or PYTHONPATH.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench import append_run  # noqa: E402
 
 #: Where the machine-readable benchmark records land (repository root).
 BENCH_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
@@ -91,17 +99,13 @@ def bench_record():
 
 
 def pytest_sessionfinish(session, exitstatus) -> None:
-    """Write the collected benchmark records to ``BENCH_sweep.json``.
+    """Append the collected benchmark records to ``BENCH_sweep.json``.
 
     Nothing is written when no benchmark recorded a result (e.g. a plain
-    tier-1 run), so the file only changes when the perf harness ran.
+    tier-1 run), so the file only changes when the perf harness ran.  A
+    legacy overwrite-style file is migrated into the append-only history
+    on first touch (its single run is preserved as the oldest entry).
     """
     if not _BENCH_RECORDS:
         return
-    payload = {
-        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "results": _BENCH_RECORDS,
-    }
-    BENCH_RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    append_run(BENCH_RESULTS_PATH, _BENCH_RECORDS)

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven subcommands cover the common workflows without writing any code:
+Eight subcommands cover the common workflows without writing any code:
 
 ``solve``
     Evaluate one policy's analytical model and print availability, nines
@@ -25,6 +25,10 @@ Seven subcommands cover the common workflows without writing any code:
     (non-zero exit code otherwise; used as the CI smoke job).
 ``policies``
     List the replacement policies available in the registry.
+``bench``
+    Inspect the machine-readable benchmark trajectory (``BENCH_sweep.json``):
+    ``bench history`` prints the per-op speedup trend across recorded runs,
+    ``bench table`` renders the latest run as the README's markdown table.
 ``reproduce``
     Regenerate the paper's figures (optionally including the Monte Carlo
     validation) and print the tables.
@@ -34,14 +38,21 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
 
 from repro.availability.metrics import downtime_minutes_per_year
+from repro.bench import load_history, render_history, render_latest_table
 from repro.core.comparison import compare_equal_capacity, ranking
 from repro.core.evaluation import analytical_policies, evaluate
-from repro.core.montecarlo import EXECUTORS, MonteCarloConfig, run_monte_carlo
+from repro.core.montecarlo import (
+    EXECUTORS,
+    TRANSPORTS,
+    MonteCarloConfig,
+    run_monte_carlo,
+)
 from repro.core.parameters import paper_parameters
 from repro.core.policies import available_policies, get_policy, hot_spare_policy
 from repro.core.sweep import MC_ENGINES, SWEEP_AXES, SWEEP_BACKENDS, sweep, sweep_grid
@@ -166,6 +177,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="iteration ceiling of an adaptive run (default: 1e6)",
     )
+    mc.add_argument(
+        "--transport",
+        choices=list(TRANSPORTS),
+        default="auto",
+        help="stacked-grid parameter transport: auto (zero-copy shared "
+        "memory when usable), shm, or pickle (per-shard rebuild; the "
+        "bit-identity oracle)",
+    )
 
     sweep_parser = subparsers.add_parser(
         "sweep",
@@ -261,6 +280,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="common random numbers: couple every grid point to identical "
         "base streams (stacked engine; variance-reduced contrasts)",
     )
+    sweep_parser.add_argument(
+        "--transport",
+        choices=list(TRANSPORTS),
+        default="auto",
+        help="stacked-grid parameter transport: auto (zero-copy shared "
+        "memory when usable), shm, or pickle (per-shard rebuild; the "
+        "bit-identity oracle)",
+    )
 
     crossval = subparsers.add_parser(
         "crossval",
@@ -285,6 +312,27 @@ def build_parser() -> argparse.ArgumentParser:
     crossval.add_argument("--workers", type=int, default=1, help="worker processes")
 
     subparsers.add_parser("policies", help="list the registered replacement policies")
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="inspect the machine-readable benchmark trajectory",
+    )
+    bench.add_argument(
+        "action",
+        choices=["history", "table"],
+        help="history: per-op speedup trend across recorded runs; "
+        "table: latest run as a markdown performance table",
+    )
+    bench.add_argument(
+        "--op",
+        default=None,
+        help="restrict 'history' to one op name (e.g. stacked_mc_sweep)",
+    )
+    bench.add_argument(
+        "--file",
+        default="BENCH_sweep.json",
+        help="benchmark history file (default: ./BENCH_sweep.json)",
+    )
 
     reproduce = subparsers.add_parser("reproduce", help="regenerate the paper's figures")
     reproduce.add_argument("--mc-iterations", type=int, default=8000)
@@ -368,6 +416,7 @@ def _run_mc(args: argparse.Namespace) -> str:
         shard_size=args.shard_size,
         target_half_width=args.target_half_width,
         max_iterations=args.max_iterations,
+        transport=args.transport,
     )
     result = run_monte_carlo(config)
     totals = result.totals
@@ -457,6 +506,7 @@ def _run_sweep(args: argparse.Namespace) -> str:
         workers=args.workers,
         mc_engine=args.mc_engine,
         crn=args.crn,
+        transport=args.transport,
     )
     if args.axis2 is not None:
         grid = sweep_grid(params, args.axis, values, args.axis2, values2, **options)
@@ -544,6 +594,13 @@ def _run_policies(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_bench(args: argparse.Namespace) -> str:
+    history = load_history(Path(args.file))
+    if args.action == "table":
+        return render_latest_table(history)
+    return render_history(history, op=args.op)
+
+
 def _run_reproduce(args: argparse.Namespace) -> str:
     report = run_all_experiments(
         mc_iterations=args.mc_iterations,
@@ -573,6 +630,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return 1
         elif args.command == "policies":
             print(_run_policies(args))
+        elif args.command == "bench":
+            print(_run_bench(args))
         elif args.command == "reproduce":
             print(_run_reproduce(args))
         else:  # pragma: no cover - argparse enforces the choices

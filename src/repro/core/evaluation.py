@@ -365,6 +365,7 @@ def evaluate(
     shard_size: Optional[int] = None,
     target_half_width: Optional[float] = None,
     max_iterations: Optional[int] = None,
+    transport: str = "auto",
     pool=None,
 ) -> AvailabilityEstimate:
     """Evaluate a (parameters, policy) pair on the requested backend.
@@ -411,6 +412,7 @@ def evaluate(
         shard_size=shard_size,
         target_half_width=target_half_width,
         max_iterations=max_iterations,
+        transport=transport,
     )
     result = run_monte_carlo(config, pool=pool)
     return _estimate_from_mc(result, resolved.name, _executor_provenance(config))
@@ -427,6 +429,7 @@ def evaluate_stacked(
     workers: int = 1,
     shard_size: Optional[int] = None,
     crn: bool = False,
+    transport: str = "auto",
     pool=None,
 ) -> List[AvailabilityEstimate]:
     """Monte Carlo evaluate many parameter points as one stacked grid.
@@ -462,6 +465,7 @@ def evaluate_stacked(
                 confidence=confidence,
                 workers=workers,
                 shard_size=shard_size,
+                transport=transport,
                 pool=pool,
             )
             for params in points
@@ -476,6 +480,7 @@ def evaluate_stacked(
             seed=seed,
             workers=workers,
             shard_size=shard_size,
+            transport=transport,
         )
         for params in points
     ]

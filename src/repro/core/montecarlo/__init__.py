@@ -6,10 +6,12 @@ traced path (:mod:`.runner` / :mod:`.engine_bridge`).
 """
 
 from repro.core.montecarlo.batch import (
+    POINT_SUMMARY_DTYPE,
     PointSummary,
     run_batch,
     run_batch_lifetimes,
     run_stacked,
+    segment_point_records,
     segment_point_summaries,
     summarise_batch,
 )
@@ -18,6 +20,7 @@ from repro.core.montecarlo.config import (
     DEFAULT_HORIZON_HOURS,
     DEFAULT_ITERATIONS,
     EXECUTORS,
+    TRANSPORTS,
     MonteCarloConfig,
 )
 from repro.core.montecarlo.engine_bridge import (
@@ -36,7 +39,14 @@ from repro.core.montecarlo.parallel import (
     run_shard,
     run_sharded,
     run_stacked_shard,
+    run_stacked_shard_shm,
     worker_pool,
+)
+from repro.core.montecarlo.transport import (
+    GridPlanesSpec,
+    SharedGridPlanes,
+    resolve_stacked_transport,
+    shared_memory_available,
 )
 from repro.core.montecarlo.results import (
     EpisodeTrace,
@@ -66,12 +76,16 @@ __all__ = [
     "DEFAULT_STACKED_SHARD_SIZE",
     "DEFAULT_ITERATIONS",
     "EXECUTORS",
+    "TRANSPORTS",
     "EpisodeTrace",
+    "GridPlanesSpec",
     "IterationResult",
     "MonteCarloConfig",
     "MonteCarloResult",
+    "POINT_SUMMARY_DTYPE",
     "PointSummary",
     "ShardSummary",
+    "SharedGridPlanes",
     "StackedShard",
     "effective_shard_size",
     "estimate_availability",
@@ -83,6 +97,7 @@ __all__ = [
     "render_timeline",
     "replay_stacked_point",
     "replay_trace_on_engine",
+    "resolve_stacked_transport",
     "run_batch",
     "run_batch_lifetimes",
     "run_iterations",
@@ -92,8 +107,11 @@ __all__ = [
     "run_sharded",
     "run_stacked",
     "run_stacked_shard",
+    "run_stacked_shard_shm",
     "run_traced_on_engine",
+    "segment_point_records",
     "segment_point_summaries",
+    "shared_memory_available",
     "simulate_conventional",
     "simulate_failover",
     "summarise_batch",

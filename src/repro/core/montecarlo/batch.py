@@ -95,6 +95,65 @@ def run_batch(config: MonteCarloConfig) -> MonteCarloResult:
 # ----------------------------------------------------------------------
 # Stacked grids: one kernel invocation for many sweep points
 # ----------------------------------------------------------------------
+#: Fixed-width record of one sweep point's rows within a shard: the shard
+#: summary wire format of the stacked executor.  One row per point the
+#: shard intersects — mergeable moments (``n``/``mean``/``m2``) plus the
+#: event totals — so a whole shard's outcome crosses the process boundary
+#: as one small structured array instead of a list of per-point dicts.
+POINT_SUMMARY_DTYPE = np.dtype(
+    [
+        ("point", np.int64),
+        ("n", np.int64),
+        ("mean", np.float64),
+        ("m2", np.float64),
+        ("downtime_hours", np.float64),
+        ("du_events", np.float64),
+        ("dl_events", np.float64),
+        ("disk_failures", np.float64),
+        ("human_errors", np.float64),
+    ]
+)
+
+#: The event-counter fields of :data:`POINT_SUMMARY_DTYPE`, in the
+#: ``MonteCarloResult.totals`` key order.
+POINT_SUMMARY_TOTAL_FIELDS = (
+    "downtime_hours",
+    "du_events",
+    "dl_events",
+    "disk_failures",
+    "human_errors",
+)
+
+
+def segment_point_records(
+    batch: BatchLifetimes,
+    point_indices: Sequence[int],
+    counts: Sequence[int],
+) -> np.ndarray:
+    """Aggregate a point-major batch into a :data:`POINT_SUMMARY_DTYPE` array.
+
+    ``counts[i]`` consecutive lifetimes of ``batch`` belong to sweep point
+    ``point_indices[i]``.  The per-segment moments use the same two-pass
+    arithmetic as :func:`segment_point_summaries` (numerically identical
+    triples), and the totals are the same ``np.add.reduceat`` sums — only
+    the container changes, from per-point dicts to one record array the
+    parent merges with array ops.
+    """
+    if len(point_indices) != len(counts):
+        raise ConfigurationError("one point index is required per segment")
+    moments = segmented_moments(batch.availabilities(), counts)
+    sizes = np.asarray(list(counts), dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+    records = np.zeros(len(moments), dtype=POINT_SUMMARY_DTYPE)
+    records["point"] = np.asarray(list(point_indices), dtype=np.int64)
+    records["n"] = sizes
+    records["mean"] = [moment.mean for moment in moments]
+    records["m2"] = [moment.m2 for moment in moments]
+    for key in POINT_SUMMARY_TOTAL_FIELDS:
+        records[key] = np.add.reduceat(getattr(batch, key), offsets)
+    return records
+
+
 @dataclass(frozen=True)
 class PointSummary:
     """Constant-size outcome of one sweep point's rows within a shard.

@@ -21,6 +21,13 @@ DEFAULT_ITERATIONS = 20_000
 #: whenever the policy has a kernel and no trace was requested.
 EXECUTORS = ("auto", "batch", "scalar")
 
+#: Accepted stacked-grid parameter transports: ``"auto"`` prefers the
+#: zero-copy shared-memory planes and falls back to pickling, ``"shm"``
+#: demands shared memory, ``"pickle"`` pins the per-shard rebuild path
+#: (the bit-identity oracle; also the spawn-only-platform fallback).
+#: Re-exported from the transport module, the single source of truth.
+from repro.core.montecarlo.transport import TRANSPORTS  # noqa: E402
+
 #: Iteration ceiling of an adaptive (``target_half_width``) run when no
 #: explicit ``max_iterations`` is configured — the paper's 1e6 setting.
 DEFAULT_ADAPTIVE_CEILING = 1_000_000
@@ -81,6 +88,14 @@ class MonteCarloConfig:
     max_iterations:
         Iteration ceiling of an adaptive run; ``None`` uses
         ``DEFAULT_ADAPTIVE_CEILING``.  Ignored without ``target_half_width``.
+    transport:
+        How a stacked sweep's parameter planes reach the shard workers:
+        ``"auto"`` (zero-copy shared-memory planes whenever usable,
+        pickling otherwise), ``"shm"`` (demand shared memory; error when
+        unavailable) or ``"pickle"`` (per-shard scalar rebuild — the
+        retained fallback and bit-identity oracle).  Both transports are
+        byte-identical in results; single-point (non-stacked) runs ignore
+        the setting because only scalars ever cross the boundary there.
     """
 
     params: AvailabilityParameters = field(default_factory=AvailabilityParameters)
@@ -95,6 +110,7 @@ class MonteCarloConfig:
     shard_size: Optional[int] = None
     target_half_width: Optional[float] = None
     max_iterations: Optional[int] = None
+    transport: str = "auto"
 
     def __post_init__(self) -> None:
         if self.horizon_hours <= 0.0:
@@ -110,6 +126,10 @@ class MonteCarloConfig:
         if self.executor not in EXECUTORS:
             raise ConfigurationError(
                 f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
+        if self.transport not in TRANSPORTS:
+            raise ConfigurationError(
+                f"transport must be one of {TRANSPORTS}, got {self.transport!r}"
             )
         if int(self.workers) < 1:
             raise ConfigurationError(f"workers must be at least 1, got {self.workers!r}")
@@ -204,6 +224,10 @@ class MonteCarloConfig:
     def with_params(self, params: AvailabilityParameters) -> "MonteCarloConfig":
         """Return a copy with a different parameter set."""
         return replace(self, params=params)
+
+    def with_transport(self, transport: str) -> "MonteCarloConfig":
+        """Return a copy with a different stacked-grid parameter transport."""
+        return replace(self, transport=str(transport))
 
     def with_seed(self, seed: int) -> "MonteCarloConfig":
         """Return a copy with a fixed master seed."""

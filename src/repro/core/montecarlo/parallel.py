@@ -26,6 +26,7 @@ from __future__ import annotations
 import contextlib
 import math
 import multiprocessing
+import os
 import sys
 from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass
@@ -33,12 +34,22 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.montecarlo.batch import PointSummary, segment_point_summaries
+from repro.core.montecarlo.batch import (
+    POINT_SUMMARY_TOTAL_FIELDS,
+    segment_point_records,
+)
 from repro.core.montecarlo.config import MonteCarloConfig
 from repro.core.montecarlo.results import MonteCarloResult, merge_totals
+from repro.core.montecarlo.transport import (
+    GridPlanesSpec,
+    SharedGridPlanes,
+    attach_grid_slice,
+    attach_segment_cached,
+    resolve_stacked_transport,
+)
 from repro.core.policies.base import SimulationPolicy
 from repro.core.policies.registry import resolve_policy
-from repro.core.policies.stacked import stack_parameter_points
+from repro.core.policies.stacked import StackedParams, stack_parameter_points
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.simulation.confidence import StreamingMoments, required_samples
 from repro.simulation.rng import RandomStreams
@@ -128,16 +139,87 @@ def run_shard(
     )
 
 
+#: Environment flag the pool initializer sets in every worker — the hook
+#: the oversubscription regression test probes for.
+WORKER_INIT_ENV = "REPRO_MC_WORKER"
+
+#: Thread-count knobs of the BLAS/OpenMP runtimes numpy may load.
+_BLAS_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+
+
+def _clamp_blas_threadpools() -> None:
+    """Best-effort clamp of BLAS pools that are already initialised.
+
+    Forked workers inherit the parent's loaded BLAS with its configured
+    thread count, which environment variables can no longer change; poke
+    the runtime's setter directly when its symbol is reachable.
+    """
+    try:
+        import ctypes
+
+        lib = ctypes.CDLL(None)
+    except Exception:
+        return
+    for symbol in (
+        "openblas_set_num_threads",
+        "openblas_set_num_threads64_",
+        "MKL_Set_Num_Threads",
+        "omp_set_num_threads",
+    ):
+        setter = getattr(lib, symbol, None)
+        if setter is not None:
+            try:
+                setter(1)
+            except Exception:
+                pass
+
+
+def _worker_initializer() -> None:
+    """Pin worker-side BLAS/OpenMP pools to one thread.
+
+    Without this, ``workers=N`` forked from a numpy-initialised parent runs
+    up to ``N x cores`` BLAS threads — oversubscription that *slows* the
+    sweep down.  The env guard respects thread counts an operator pinned
+    explicitly: when any of the knobs is already set, both the
+    ``setdefault`` and the runtime clamp leave that configuration alone.
+    The marker variable lets tests assert the initializer actually ran in
+    every worker.
+    """
+    os.environ[WORKER_INIT_ENV] = "1"
+    pinned_explicitly = any(var in os.environ for var in _BLAS_ENV_VARS)
+    for var in _BLAS_ENV_VARS:
+        os.environ.setdefault(var, "1")
+    if not pinned_explicitly:
+        # Forked workers inherit already-initialised BLAS pools that env
+        # vars can no longer steer — clamp those through the runtime, but
+        # only when the operator expressed no preference of their own.
+        _clamp_blas_threadpools()
+
+
+def worker_probe() -> Tuple[int, bool]:
+    """Return ``(pid, initializer_ran)`` from inside a pool worker."""
+    return os.getpid(), os.environ.get(WORKER_INIT_ENV) == "1"
+
+
 def _make_pool(workers: int) -> ProcessPoolExecutor:
     """Build the worker pool, preferring cheap ``fork`` workers on Linux.
 
     Fork is only *safe* on Linux: macOS lists it as available but forking a
     process with framework state initialised (numpy is already imported)
     can crash workers, which is why CPython's default there is spawn.
+    Every worker runs :func:`_worker_initializer` before its first shard.
     """
     use_fork = sys.platform == "linux" and "fork" in multiprocessing.get_all_start_methods()
     context = multiprocessing.get_context("fork" if use_fork else None)
-    return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+    return ProcessPoolExecutor(
+        max_workers=workers, mp_context=context, initializer=_worker_initializer
+    )
 
 
 @contextlib.contextmanager
@@ -351,29 +433,77 @@ def plan_stacked_shards(
     return shards
 
 
+def _simulate_stacked_shard(
+    policy: SimulationPolicy,
+    grid_slice: StackedParams,
+    horizon_hours: float,
+    master_entropy: int,
+    shard: StackedShard,
+) -> np.ndarray:
+    """Simulate one shard's rows and summarise them as point records.
+
+    Exactly like :func:`run_shard`, the stream family is rebuilt from
+    ``(master_entropy, stream_index)`` alone, so the draws are identical
+    in-process, forked or spawned — and identical for any worker count and
+    any transport, because every transport feeds the kernel value-identical
+    parameter rows.
+    """
+    streams = RandomStreams(master_entropy).spawn_child(shard.stream_index)
+    rng = streams.stream("montecarlo")
+    batch = policy.simulate_stacked(grid_slice, horizon_hours, rng)
+    return segment_point_records(batch, shard.point_indices, shard.counts)
+
+
 def run_stacked_shard(
     policy: SimulationPolicy,
     point_params: Sequence,
     horizon_hours: float,
     master_entropy: int,
     shard: StackedShard,
-) -> List[PointSummary]:
-    """Run one stacked shard and summarise it per point (worker entry).
+) -> np.ndarray:
+    """Pickle-transport worker entry: rebuild the slice from scalars.
 
     ``point_params`` holds one scalar parameter point per entry of
     ``shard.point_indices``; the worker expands them into its own
     :class:`StackedParams` slice (``shard.counts`` rows each), so only a
     handful of scalars — never grid-sized arrays — cross the process
-    boundary.  Exactly like :func:`run_shard`, the stream family is rebuilt
-    from ``(master_entropy, stream_index)`` alone, so the draws are
-    identical in-process, forked or spawned — and identical for any worker
-    count.
+    boundary.  This is the fallback for hosts without usable shared memory
+    and the bit-identity oracle of the zero-copy transport; the summary
+    comes back as one :data:`~repro.core.montecarlo.batch.POINT_SUMMARY_DTYPE`
+    record array either way.
     """
     grid_slice = stack_parameter_points(point_params, shard.counts)
-    streams = RandomStreams(master_entropy).spawn_child(shard.stream_index)
-    rng = streams.stream("montecarlo")
-    batch = policy.simulate_stacked(grid_slice, horizon_hours, rng)
-    return segment_point_summaries(batch, shard.point_indices, shard.counts)
+    return _simulate_stacked_shard(
+        policy, grid_slice, horizon_hours, master_entropy, shard
+    )
+
+
+def run_stacked_shard_shm(
+    policy: SimulationPolicy,
+    spec: GridPlanesSpec,
+    horizon_hours: float,
+    master_entropy: int,
+    shard: StackedShard,
+) -> np.ndarray:
+    """Shared-memory worker entry: attach the planes, view the row range.
+
+    The parent materialised the whole sweep's parameter planes once
+    (:class:`~repro.core.montecarlo.transport.SharedGridPlanes`); this
+    worker attaches by name and addresses its shard as read-only views of
+    rows ``[shard.start, shard.stop)`` — zero copies, and the only pickled
+    payload per shard is the tiny spec.
+    """
+    segment = attach_segment_cached(spec.name)
+    grid_slice = attach_grid_slice(spec, segment.buf, shard.start, shard.stop)
+    try:
+        return _simulate_stacked_shard(
+            policy, grid_slice, horizon_hours, master_entropy, shard
+        )
+    finally:
+        # Drop the buffer views promptly; the cached attachment itself is
+        # reused by this worker's next shard and replaced (closed) when a
+        # different sweep's segment comes along.
+        del grid_slice
 
 
 def _validate_stacked(
@@ -404,7 +534,10 @@ def _validate_stacked(
                 "adaptive stopping is not supported on the stacked engine; "
                 "use the per-point sweep for target_half_width"
             )
-        for attr in ("horizon_hours", "confidence", "seed", "executor", "workers", "shard_size"):
+        for attr in (
+            "horizon_hours", "confidence", "seed", "executor", "workers",
+            "shard_size", "transport",
+        ):
             if getattr(config, attr) != getattr(first, attr):
                 raise ConfigurationError(
                     f"stacked configs must share {attr!r}: "
@@ -427,25 +560,51 @@ def _run_stacked_shards(
     master_entropy: int,
     shards: Sequence[StackedShard],
     pool: Optional[Executor],
-) -> Iterator[List[PointSummary]]:
-    """Run the planned shards, yielding summaries in plan order."""
+    mode: str = "pickle",
+    grid: Optional[StackedParams] = None,
+    spec: Optional[GridPlanesSpec] = None,
+) -> Iterator[np.ndarray]:
+    """Run the planned shards, yielding summary records in plan order.
+
+    ``mode`` is the resolved transport: ``"pickle"`` ships each shard's
+    scalar points and rebuilds the slice worker-side, ``"view"`` slices the
+    materialised ``grid`` in-process (single-process zero copy), ``"shm"``
+    submits only the planes ``spec`` and workers attach the shared segment.
+    All three feed the kernels value-identical rows, so the records — and
+    everything merged from them — are byte-identical across transports.
+    """
 
     def _params(shard: StackedShard):
         return [configs[point].params for point in shard.point_indices]
 
     if pool is None:
         for shard in shards:
-            yield run_stacked_shard(
-                policy, _params(shard), horizon_hours, master_entropy, shard
-            )
+            if mode == "view":
+                yield _simulate_stacked_shard(
+                    policy, grid.slice(shard.start, shard.stop),
+                    horizon_hours, master_entropy, shard,
+                )
+            else:
+                yield run_stacked_shard(
+                    policy, _params(shard), horizon_hours, master_entropy, shard
+                )
         return
-    futures = [
-        pool.submit(
-            run_stacked_shard, policy, _params(shard),
-            horizon_hours, master_entropy, shard,
-        )
-        for shard in shards
-    ]
+    if mode == "shm":
+        futures = [
+            pool.submit(
+                run_stacked_shard_shm, policy, spec,
+                horizon_hours, master_entropy, shard,
+            )
+            for shard in shards
+        ]
+    else:
+        futures = [
+            pool.submit(
+                run_stacked_shard, policy, _params(shard),
+                horizon_hours, master_entropy, shard,
+            )
+            for shard in shards
+        ]
     try:
         # Collect in submission (= plan) order so the per-point merge is
         # deterministic regardless of which worker finishes first.
@@ -455,6 +614,45 @@ def _run_stacked_shards(
         for future in futures:
             future.cancel()
         raise
+
+
+def _merge_point_records(
+    record_parts: Sequence[np.ndarray], n_points: int
+) -> Tuple[List[StreamingMoments], List[Dict[str, float]]]:
+    """Merge plan-ordered shard records into per-point moments and totals.
+
+    The concatenated records are stably sorted by point, which groups each
+    point's rows while preserving plan order within the group; the event
+    totals then fall out of one ``np.add.reduceat`` per column, and the
+    moments fold together with the same sequential Chan–Golub–LeVeque
+    merges (in the same order) as the retired dict-of-floats transport —
+    keeping ``workers=N`` bit-identical to ``workers=1`` and the whole
+    merge bit-identical to the pre-record path.
+    """
+    moments = [StreamingMoments() for _ in range(n_points)]
+    totals: List[Dict[str, float]] = [{} for _ in range(n_points)]
+    parts = [part for part in record_parts if part.size]
+    if not parts:
+        return moments, totals
+    records = np.concatenate(parts)
+    records = records[np.argsort(records["point"], kind="stable")]
+    points = records["point"]
+    offsets = np.concatenate(([0], np.flatnonzero(np.diff(points)) + 1))
+    sums = {
+        key: np.add.reduceat(records[key], offsets)
+        for key in POINT_SUMMARY_TOTAL_FIELDS
+    }
+    for row, point in enumerate(points[offsets]):
+        totals[int(point)] = {
+            key: float(sums[key][row]) for key in POINT_SUMMARY_TOTAL_FIELDS
+        }
+    for record in records:
+        moments[int(record["point"])].merge(
+            StreamingMoments(
+                n=int(record["n"]), mean=float(record["mean"]), m2=float(record["m2"])
+            )
+        )
+    return moments, totals
 
 
 def _point_result(
@@ -492,6 +690,15 @@ def run_stacked_sharded(
     :func:`repro.core.montecarlo.batch.run_stacked` — see there for the API
     contract.  ``pool`` lets a caller share one executor across several
     grids; its lifecycle then belongs to the caller.
+
+    The sweep's parameter planes cross the process boundary once, not once
+    per shard: on the default ``transport="auto"`` the grid's broadcast
+    arrays are materialised into a context-managed shared-memory segment
+    (unlinked on every exit path) and workers attach read-only row-range
+    views; shard summaries come back as fixed-width record arrays merged
+    with array ops in plan order.  ``transport="pickle"`` retains the
+    per-shard scalar rebuild — the spawn-platform fallback and the
+    bit-identity oracle the shm path is verified against.
     """
     policy, first = _validate_stacked(configs)
     counts = [int(config.n_iterations) for config in configs]
@@ -499,33 +706,52 @@ def run_stacked_sharded(
     master_entropy = RandomStreams(first.seed).seed_entropy
     horizon = float(first.horizon_hours)
 
-    accumulators = [StreamingMoments() for _ in configs]
-    point_totals: List[Dict[str, float]] = [{} for _ in configs]
+    record_parts: List[np.ndarray] = []
     workers = int(first.workers)
     own_pool: Optional[ProcessPoolExecutor] = None
+    planes: Optional[SharedGridPlanes] = None
     try:
         if pool is None and workers > 1:
             pool = own_pool = _make_pool(workers)
-        for summaries in _run_stacked_shards(
-            policy, configs, horizon, master_entropy, shards, pool
+        mode = resolve_stacked_transport(first.transport, pooled=pool is not None)
+        grid = spec = None
+        if mode == "view":
+            # Materialise the whole grid's broadcast planes exactly once
+            # per sweep; in-process shards address them as row-range views.
+            grid = stack_parameter_points([c.params for c in configs], counts)
+        elif mode == "shm":
+            # Write the planes straight into the shared segment — one pass
+            # over the grid bytes, no intermediate full-size arrays.
+            planes = SharedGridPlanes.from_points(
+                [c.params for c in configs], counts
+            )
+            spec = planes.spec
+        for records in _run_stacked_shards(
+            policy, configs, horizon, master_entropy, shards, pool,
+            mode=mode, grid=grid, spec=spec,
         ):
-            for part in summaries:
-                accumulators[part.point_index].merge(part.moments)
-                point_totals[part.point_index] = merge_totals(
-                    [point_totals[part.point_index], part.totals]
-                )
+            record_parts.append(records)
     except BaseException:
+        # Don't make a failed shard wait for the rest of the round: drop
+        # queued work and leave in-flight shards to die with their workers
+        # so the error surfaces immediately.  An externally owned pool is
+        # left alone — its lifecycle belongs to the caller.
         if own_pool is not None:
             own_pool.shutdown(wait=False, cancel_futures=True)
             own_pool = None
         raise
     finally:
+        # The planes outlive every shard but never the sweep: unlink on
+        # all exit paths so no /dev/shm segment survives a failure.
+        if planes is not None:
+            planes.dispose()
         if own_pool is not None:
             own_pool.shutdown()
 
+    moments, point_totals = _merge_point_records(record_parts, len(configs))
     return [
-        _point_result(config, moments, totals, horizon, master_entropy)
-        for config, moments, totals in zip(configs, accumulators, point_totals)
+        _point_result(config, point_moments, totals, horizon, master_entropy)
+        for config, point_moments, totals in zip(configs, moments, point_totals)
     ]
 
 
@@ -557,16 +783,21 @@ def replay_stacked_point(
     ]
     master_entropy = RandomStreams(first.seed).seed_entropy
     horizon = float(first.horizon_hours)
-    moments = StreamingMoments()
-    totals: Dict[str, float] = {}
-    for summaries in _run_stacked_shards(
-        policy, configs, horizon, master_entropy, shards, pool=None
-    ):
-        for part in summaries:
-            if part.point_index == point:
-                moments.merge(part.moments)
-                totals = merge_totals([totals, part.totals])
-    return _point_result(configs[point], moments, totals, horizon, master_entropy)
+    # Replay always rebuilds the intersecting shards' rows from scalars
+    # (the pickle path): it touches only those rows, instead of
+    # materialising the whole grid's planes to audit one point.  The
+    # transports are value-identical, so the replayed result still equals
+    # the grid run's entry bit for bit, whatever transport that run used.
+    record_parts = list(
+        _run_stacked_shards(
+            policy, configs, horizon, master_entropy, shards, pool=None,
+            mode="pickle",
+        )
+    )
+    moments, totals = _merge_point_records(record_parts, len(configs))
+    return _point_result(
+        configs[point], moments[point], totals[point], horizon, master_entropy
+    )
 
 
 def _next_round_budget(

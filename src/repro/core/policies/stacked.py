@@ -43,11 +43,35 @@ from repro.core.parameters import AvailabilityParameters
 from repro.exceptions import ConfigurationError
 
 __all__ = [
+    "OPTIONAL_PLANE_FIELD",
+    "STACKED_PLANE_FIELDS",
     "RowExponential",
     "RowWeibull",
     "StackedParams",
     "stack_parameter_points",
+    "stacked_from_planes",
 ]
+
+#: The per-lifetime parameter planes of a grid, in canonical segment-layout
+#: order: ``(field name, dtype)`` of every mandatory ``StackedParams`` array.
+#: The shared-memory transport (:mod:`repro.core.montecarlo.transport`) lays
+#: a sweep's planes out in exactly this order, so the spec doubles as the
+#: wire format — change it and the attach protocol changes with it.
+STACKED_PLANE_FIELDS = (
+    ("disk_failure_rate", np.float64),
+    ("disk_repair_rate", np.float64),
+    ("ddf_recovery_rate", np.float64),
+    ("human_error_rate", np.float64),
+    ("spare_replacement_rate", np.float64),
+    ("crash_rate", np.float64),
+    ("hep", np.float64),
+    ("failure_shape", np.float64),
+    ("n_disks_rows", np.int64),
+)
+
+#: The optional per-row spare-pool plane, appended after the mandatory ones
+#: when a grid carries per-row pool sizes.
+OPTIONAL_PLANE_FIELD = ("n_spares_rows", np.int64)
 
 
 class RowExponential:
@@ -71,18 +95,21 @@ class RowExponential:
         """Draw one sample per entry of ``rows`` at that row's rate."""
         if rows.size == 0:
             return np.empty(0, dtype=float)
-        return rng.exponential(1.0, rows.size) / self.rates[rows]
+        draws = rng.exponential(1.0, rows.size)
+        draws /= self.rates[rows]
+        return draws
 
     def sample_matrix(self, n_cols: int, rng: np.random.Generator) -> np.ndarray:
         """Draw an ``(n_rows, n_cols)`` matrix, each row at its own rate.
 
         Equivalent to ``sample_rows`` over a row-major repeat of every row
-        ``n_cols`` times, but the rate division broadcasts instead of
-        gathering one rate per sample — the fast path for the initial
-        clock matrix of a large stacked grid.
+        ``n_cols`` times, but the rate division broadcasts (in place, over
+        the draw buffer) instead of gathering one rate per sample — the
+        fast path for the initial clock matrix of a large stacked grid.
         """
         draws = rng.exponential(1.0, (self.rates.size, int(n_cols)))
-        return draws / self.rates[:, None]
+        draws /= self.rates[:, None]
+        return draws
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RowExponential(n={self.rates.size})"
@@ -112,12 +139,15 @@ class RowWeibull:
         """Draw one sample per entry of ``rows`` at that row's parameters."""
         if rows.size == 0:
             return np.empty(0, dtype=float)
-        return self.scales[rows] * rng.weibull(self.shapes[rows])
+        draws = rng.weibull(self.shapes[rows])
+        draws *= self.scales[rows]
+        return draws
 
     def sample_matrix(self, n_cols: int, rng: np.random.Generator) -> np.ndarray:
         """Draw an ``(n_rows, n_cols)`` matrix, each row at its own parameters."""
         draws = rng.weibull(self.shapes[:, None], (self.shapes.size, int(n_cols)))
-        return self.scales[:, None] * draws
+        draws *= self.scales[:, None]
+        return draws
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RowWeibull(n={self.rates.size})"
@@ -224,6 +254,24 @@ class StackedParams:
             n_disks_rows=self.n_disks_rows[start:stop],
             n_spares_rows=spares,
         )
+
+
+def stacked_from_planes(planes: dict) -> StackedParams:
+    """Build a grid directly from per-field arrays (views included).
+
+    ``planes`` maps every :data:`STACKED_PLANE_FIELDS` name — plus
+    optionally ``n_spares_rows`` — to a length-matched 1-d array.  The
+    arrays are adopted as-is, so zero-copy views (row ranges of a
+    shared-memory segment, slices of a materialised sweep grid) flow
+    straight into the kernels without a repack.
+    """
+    missing = [name for name, _ in STACKED_PLANE_FIELDS if name not in planes]
+    if missing:
+        raise ConfigurationError(f"stacked planes missing fields: {missing}")
+    return StackedParams(
+        **{name: planes[name] for name, _ in STACKED_PLANE_FIELDS},
+        n_spares_rows=planes.get(OPTIONAL_PLANE_FIELD[0]),
+    )
 
 
 def stack_parameter_points(

@@ -30,10 +30,24 @@ single invocation simulates an entire ``points x lifetimes`` sweep grid.
 The dispatch is duck-typed: row-aware distributions expose ``sample_rows``
 and stacked parameter objects expose ``n_disks_rows``/``n_spares_rows``;
 plain scalars take the exact pre-stacked code paths (identical draws).
+
+**Allocation discipline.**  By default (``compact=True``) both kernels keep
+a *physically compacted* working set: the clock matrix, episode clocks and
+bookkeeping arrays hold only the still-active lifetimes, shrinking whenever
+lifetimes reach the horizon, so late rounds touch only live rows instead of
+gathering ``clocks[active]`` out of the full-width matrix every round.
+Per-round scratch (the masked matrix of the second-failure search, the
+compaction target) comes from a reusable :class:`_Arena` sized once to the
+shard.  Compaction only changes *where* state lives, never which rows are
+stepped or in which order they are sampled, so the random draw sequence —
+and therefore every result — is bit-identical to the retained uncompacted
+path (``compact=False``), which is kept as the bit-identity oracle and the
+baseline of the ``stacked_kernel_compaction`` benchmark.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
 
@@ -62,7 +76,9 @@ def _sample_rows(dist, rows: np.ndarray, rng: np.random.Generator) -> np.ndarray
     Row-aware distributions (``sample_rows``) draw each sample at the rate
     of the lifetime it belongs to; plain distributions fall through to the
     scalar-parameter path, which keeps single-point batches bit-identical
-    to the pre-stacked kernels.
+    to the pre-stacked kernels.  ``rows`` are always **global** lifetime
+    ids — on the compacted path the callers translate their local working-
+    set indices before sampling, so compaction never changes a draw.
     """
     sampler = getattr(dist, "sample_rows", None)
     if sampler is not None:
@@ -94,13 +110,36 @@ def _min_and_slot(clocks: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     return slot, clocks[rows, slot]
 
 
-def _min_excluding(clocks: np.ndarray, exclude: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    """Return per-row ``(slot, time)`` of the earliest failure outside ``exclude``."""
-    masked = clocks.copy()
+def _min_excluding(
+    clocks: np.ndarray, exclude: np.ndarray, out: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return per-row ``(slot, time)`` of the earliest failure outside ``exclude``.
+
+    ``out`` optionally supplies the scratch matrix for the masked copy (an
+    arena buffer on the compacted path); ``None`` allocates as before.
+    """
+    if out is None:
+        masked = clocks.copy()
+    else:
+        masked = out
+        np.copyto(masked, clocks)
     rows = np.arange(clocks.shape[0])
     masked[rows, exclude] = np.inf
     slot = np.argmin(masked, axis=1)
     return slot, masked[rows, slot]
+
+
+def _second_smallest(clocks: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Return each row's second-smallest clock via an in-place partition.
+
+    Equals ``_min_excluding(clocks, argmin(clocks, axis=1))[1]`` — removing
+    one instance of a row's minimum leaves its second order statistic, ties
+    included — without the fancy-indexed mask writes.  Requires at least two
+    columns, which every kernel guarantees (``n_disks >= 2``).
+    """
+    np.copyto(out, clocks)
+    out.partition(1, axis=1)
+    return out[:, 1]
 
 
 def _initial_clocks(params, failure_dist, m: int, n: int, rng: np.random.Generator) -> np.ndarray:
@@ -130,10 +169,16 @@ def _renew_slots(
     at_times: np.ndarray,
     failure_dist,
     rng: np.random.Generator,
+    sample_rows: Optional[np.ndarray] = None,
 ) -> None:
-    """Install fresh disks in ``(rows, slots)`` at the given times."""
+    """Install fresh disks in ``(rows, slots)`` at the given times.
+
+    ``sample_rows`` supplies the global lifetime ids when ``rows`` are local
+    working-set indices (the compacted path); ``None`` means they coincide.
+    """
     if rows.size:
-        clocks[rows, slots] = at_times + _sample_rows(failure_dist, rows, rng)
+        ids = rows if sample_rows is None else sample_rows
+        clocks[rows, slots] = at_times + _sample_rows(failure_dist, ids, rng)
 
 
 def _renew_failed_before(
@@ -142,10 +187,16 @@ def _renew_failed_before(
     times: np.ndarray,
     failure_dist,
     rng: np.random.Generator,
+    sample_rows: Optional[np.ndarray] = None,
 ) -> None:
-    """Renew, per row, every slot whose failure time is at or before ``times``."""
+    """Renew, per row, every slot whose failure time is at or before ``times``.
+
+    ``sample_rows`` has the same local-vs-global meaning as in
+    :func:`_renew_slots`.
+    """
     if rows.size == 0:
         return
+    ids = rows if sample_rows is None else sample_rows
     sub = clocks[rows]
     mask = sub <= times[:, None]
     count = int(mask.sum())
@@ -154,7 +205,7 @@ def _renew_failed_before(
         # renewal time by its renewal count lines the starts up with it.
         per_row = mask.sum(axis=1)
         starts = np.repeat(times, per_row)
-        sub[mask] = starts + _sample_rows(failure_dist, np.repeat(rows, per_row), rng)
+        sub[mask] = starts + _sample_rows(failure_dist, np.repeat(ids, per_row), rng)
         clocks[rows] = sub
 
 
@@ -210,12 +261,12 @@ def _recovery_race(
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Vectorised twin of ``HumanErrorRecoveryModel.sample_until_recovered``.
 
-    ``rows`` are the lifetime rows (indices into any per-row parameter
-    arrays) of the outstanding errors.  Returns ``(total_duration_hours,
-    disk_crashed)`` arrays of length ``rows.size``.  Each round draws one
-    recovery attempt per still-outstanding error, races it against a crash
-    of the wrongly pulled disk, and repeats the attempt with probability
-    ``hep``.
+    ``rows`` are the **global** lifetime rows (indices into any per-row
+    parameter arrays) of the outstanding errors.  Returns
+    ``(total_duration_hours, disk_crashed)`` arrays of length ``rows.size``.
+    Each round draws one recovery attempt per still-outstanding error, races
+    it against a crash of the wrongly pulled disk, and repeats the attempt
+    with probability ``hep``.
     """
     size = rows.size
     total = np.zeros(size, dtype=float)
@@ -238,6 +289,86 @@ def _recovery_race(
 
 
 # ----------------------------------------------------------------------
+# Scratch-buffer arena
+# ----------------------------------------------------------------------
+#: Thread-lifetime backing store of the kernel scratch buffers, grown to
+#: the largest shard seen.  Re-allocating multi-megabyte scratch per kernel
+#: invocation would bounce through ``mmap``/``munmap`` (and re-fault every
+#: page) on common allocators; a worker instead pays that cost once and
+#: reuses the pages for every subsequent shard.  The store is per *thread*
+#: so concurrent kernel invocations (e.g. a caller driving the executors
+#: from a thread pool) each get their own buffers instead of silently
+#: clobbering another thread's live working set.
+_SCRATCH_LOCAL = threading.local()
+
+
+def _scratch_state() -> dict:
+    state = getattr(_SCRATCH_LOCAL, "buffers", None)
+    if state is None:
+        state = {"ping": None, "pong": None, "masked": None, "arange": None}
+        _SCRATCH_LOCAL.buffers = state
+    return state
+
+
+def _scratch_matrix(state: dict, key: str, m: int, n: int) -> np.ndarray:
+    buffer = state[key]
+    if buffer is None or buffer.size < m * n:
+        buffer = np.empty(m * n, dtype=float)
+        state[key] = buffer
+    return buffer[: m * n].reshape(m, n)
+
+
+class _Arena:
+    """Reusable scratch buffers, sized to the shard, backed process-wide.
+
+    Holds three full-size clock-matrix buffers — one as the scratch of
+    masked second-failure searches (:meth:`masked`), two as the alternating
+    targets of working-set compactions (:meth:`compact`) — plus a shared
+    ``arange``.  Because the live set only ever shrinks, every later
+    round's view fits inside the buffers sized for round one; no per-round
+    allocation of matrix-sized temporaries remains, and repeat invocations
+    (a worker stepping through its shards) reuse the same backing pages
+    outright.
+    """
+
+    __slots__ = ("_ping", "_pong", "_masked", "_arange", "_use_ping")
+
+    def __init__(self, m: int, n: int) -> None:
+        state = _scratch_state()
+        self._ping = _scratch_matrix(state, "ping", m, n)
+        self._pong = _scratch_matrix(state, "pong", m, n)
+        self._masked = _scratch_matrix(state, "masked", m, n)
+        arange = state["arange"]
+        if arange is None or arange.size < m:
+            arange = np.arange(m)
+            state["arange"] = arange
+        self._arange = arange
+        self._use_ping = True
+
+    def arange(self, k: int) -> np.ndarray:
+        """Return the cached ``arange(k)`` view."""
+        return self._arange[:k]
+
+    def masked(self, k: int) -> np.ndarray:
+        """Return a ``(k, n)`` scratch matrix for masked clock searches."""
+        return self._masked[:k]
+
+    def compact(self, clocks: np.ndarray, keep: np.ndarray) -> np.ndarray:
+        """Copy the ``keep`` rows of ``clocks`` into the next free buffer.
+
+        Targets alternate between the two arena matrices, so the source —
+        the kernel's own initial clock matrix on the first call, the other
+        arena matrix afterwards — is always disjoint from the target:
+        compaction costs one dense row copy and zero allocations.
+        """
+        target = self._ping if self._use_ping else self._pong
+        self._use_ping = not self._use_ping
+        out = target[: keep.size]
+        np.take(clocks, keep, axis=0, out=out)
+        return out
+
+
+# ----------------------------------------------------------------------
 # Conventional replacement policy
 # ----------------------------------------------------------------------
 def batch_conventional(
@@ -245,16 +376,38 @@ def batch_conventional(
     horizon_hours: float,
     n_lifetimes: int,
     rng: np.random.Generator,
+    compact: bool = True,
 ) -> BatchLifetimes:
     """Run ``n_lifetimes`` conventional-policy lifetimes as one numpy batch.
 
     ``params`` is a scalar parameter point or a
     :class:`~repro.core.policies.stacked.StackedParams` grid (one row per
     lifetime; ``n_lifetimes`` must then equal the grid length).
+
+    ``compact=True`` (the default) runs the allocation-lean path: live rows
+    are kept physically compacted and scratch comes from a per-invocation
+    :class:`_Arena`.  ``compact=False`` retains the original full-width
+    gather discipline; both paths consume the random stream identically and
+    return bit-identical batches (the equivalence is pinned by
+    ``tests/core/test_transport.py``).
     """
     if horizon_hours <= 0.0:
         raise SimulationError(f"horizon must be positive, got {horizon_hours!r}")
     m = _check_lifetimes(params, n_lifetimes)
+    if compact:
+        return _conventional_compacted(params, float(horizon_hours), m, rng)
+    return _conventional_gathered(params, float(horizon_hours), m, rng)
+
+
+def _conventional_gathered(
+    params, horizon_hours: float, m: int, rng: np.random.Generator
+) -> BatchLifetimes:
+    """The uncompacted conventional kernel (bit-identity oracle).
+
+    Tracks active lifetimes as indices into full-width state and gathers
+    ``clocks[active]`` every round — the pre-arena behaviour, retained as
+    the baseline the compacted path is benchmarked and verified against.
+    """
     n = params.n_disks
     n_disks = _per_row_or(params, "n_disks_rows", n)
     failure_dist = params.failure_distribution()
@@ -331,6 +484,118 @@ def batch_conventional(
     return batch
 
 
+def _conventional_compacted(
+    params, horizon_hours: float, m: int, rng: np.random.Generator
+) -> BatchLifetimes:
+    """The allocation-lean conventional kernel.
+
+    State lives in a physically compacted working set: ``clocks``/``now``
+    hold only live rows and ``rows`` maps each back to its global lifetime
+    id (used for batch counters and row-aware sampling, so the draw
+    sequence matches :func:`_conventional_gathered` exactly).  Matrix-sized
+    scratch comes from the :class:`_Arena`.
+    """
+    n = params.n_disks
+    n_disks = _per_row_or(params, "n_disks_rows", n)
+    failure_dist = params.failure_distribution()
+    repair_dist = params.repair_distribution()
+    ddf_dist = params.ddf_recovery_distribution()
+    recovery_dist = params.human_error_recovery_distribution()
+    hep = params.hep
+    has_hep = _has_positive(hep)
+    crash_rate = params.crash_rate
+
+    batch = BatchLifetimes.zeros(m, horizon_hours)
+    clocks = _initial_clocks(params, failure_dist, m, n, rng)
+    now = np.zeros(m, dtype=float)
+    rows = np.arange(m)
+    arena = _Arena(m, n)
+    first_round = True
+
+    while rows.size:
+        k = rows.size
+        r = arena.arange(k)
+        slot = np.argmin(clocks, axis=1)
+        fail = clocks[r, slot]
+        if first_round:
+            # ``now`` is still all-zero and clocks are non-negative, so the
+            # episode-start clamp is a no-op this round.
+            first_round = False
+        else:
+            np.maximum(fail, now, out=fail)
+        alive = fail < horizon_hours
+        if not alive.all():
+            keep = np.flatnonzero(alive)
+            if keep.size == 0:
+                break
+            clocks = arena.compact(clocks, keep)
+            now = now[keep]
+            rows = rows[keep]
+            slot = slot[keep]
+            fail = fail[keep]
+            k = keep.size
+            r = arena.arange(k)
+        batch.disk_failures[rows] += 1
+
+        repair_done = fail + _sample_rows(repair_dist, rows, rng)
+        second = _second_smallest(clocks, arena.masked(k))
+        np.maximum(second, fail, out=second)
+
+        # Double disk failure during the repair: data loss, backup restore.
+        dl = second < repair_done
+        dl_pos = np.flatnonzero(dl)
+        if dl_pos.size:
+            g = rows[dl_pos]
+            batch.disk_failures[g] += 1
+            batch.dl_events[g] += 1
+            outage_end = second[dl_pos] + _sample_rows(ddf_dist, g, rng)
+            batch.downtime_hours[g] += _clip_downtime(second[dl_pos], outage_end, horizon_hours)
+            _renew_failed_before(clocks, dl_pos, outage_end, failure_dist, rng, sample_rows=g)
+            now[dl_pos] = outage_end
+
+        rest = ~dl
+        if has_hep:
+            he = rest & (rng.random(k) < _rows(hep, rows))
+        else:
+            he = np.zeros(k, dtype=bool)
+
+        # Wrong disk replacement: data unavailable until the error is undone
+        # (or, when the pulled disk crashes, until the backup restore ends).
+        he_pos = np.flatnonzero(he)
+        if he_pos.size:
+            g = rows[he_pos]
+            batch.human_errors[g] += 1
+            batch.du_events[g] += 1
+            wrong = _pick_other_slots(rng, _rows(n_disks, g), slot[he_pos])
+            duration, crashed = _recovery_race(g, recovery_dist, hep, crash_rate, rng)
+            outage_end = repair_done[he_pos] + duration
+            cr = np.flatnonzero(crashed)
+            if cr.size:
+                batch.dl_events[g[cr]] += 1
+                outage_end[cr] += _sample_rows(ddf_dist, g[cr], rng)
+                _renew_slots(
+                    clocks, he_pos[cr], wrong[cr], outage_end[cr],
+                    failure_dist, rng, sample_rows=g[cr],
+                )
+            batch.downtime_hours[g] += _clip_downtime(repair_done[he_pos], outage_end, horizon_hours)
+            _renew_slots(clocks, he_pos, slot[he_pos], outage_end, failure_dist, rng, sample_rows=g)
+            _renew_failed_before(clocks, he_pos, outage_end, failure_dist, rng, sample_rows=g)
+            now[he_pos] = outage_end
+
+        # Successful replacement and rebuild.
+        ok = rest & ~he
+        ok_pos = np.flatnonzero(ok)
+        if ok_pos.size:
+            g = rows[ok_pos]
+            _renew_slots(
+                clocks, ok_pos, slot[ok_pos], repair_done[ok_pos],
+                failure_dist, rng, sample_rows=g,
+            )
+            now[ok_pos] = repair_done[ok_pos]
+
+    return batch
+
+
 def _check_lifetimes(params, n_lifetimes: int) -> int:
     """Validate the lifetime count against a (possibly stacked) grid."""
     m = int(n_lifetimes)
@@ -352,7 +617,16 @@ def _per_row_or(params, attr: str, default):
 # ----------------------------------------------------------------------
 @dataclass
 class _SparePoolState:
-    """Mutable struct-of-arrays state shared by the spare-pool sub-steps."""
+    """Mutable struct-of-arrays state shared by the spare-pool sub-steps.
+
+    On the compacted path ``clocks``/``now``/``spares`` hold only live rows
+    and ``rows`` maps local working-set indices to global lifetime ids; the
+    uncompacted path leaves ``rows``/``arena`` as ``None``, making local and
+    global indices coincide.  Sub-steps therefore index state arrays with
+    the indices they were handed and translate through :meth:`gids` for
+    batch counters, per-row parameters and row-aware sampling — the one
+    discipline that keeps both paths on the same random draw sequence.
+    """
 
     params: object
     horizon: float
@@ -373,6 +647,12 @@ class _SparePoolState:
     #: per-round steps must not rescan a grid-sized array.
     has_hep: bool = False
 
+    #: Global lifetime ids of the live rows (compacted path only).
+    rows: Optional[np.ndarray] = None
+
+    #: Scratch arena (compacted path only).
+    arena: Optional[_Arena] = None
+
     @property
     def hep(self) -> Union[float, np.ndarray]:
         return self.params.hep
@@ -385,9 +665,17 @@ class _SparePoolState:
     def n_disks(self) -> Union[int, np.ndarray]:
         return _per_row_or(self.params, "n_disks_rows", self.params.n_disks)
 
+    def gids(self, idx: np.ndarray) -> np.ndarray:
+        """Translate local working-set indices to global lifetime ids."""
+        return idx if self.rows is None else self.rows[idx]
+
+    def scratch(self, k: int) -> Optional[np.ndarray]:
+        """Return a ``(k, n)`` arena scratch matrix (``None`` uncompacted)."""
+        return None if self.arena is None else self.arena.masked(k)
+
     def restock(self, idx: np.ndarray) -> None:
         """Refill the pools of ``idx`` to their configured sizes."""
-        self.spares[idx] = _rows(self.n_spares, idx)
+        self.spares[idx] = _rows(self.n_spares, self.gids(idx))
 
     def empty(self, idx: np.ndarray) -> None:
         """Mark the pools of ``idx`` as exhausted."""
@@ -400,6 +688,7 @@ def batch_spare_pool(
     n_lifetimes: int,
     rng: np.random.Generator,
     n_spares: int = 1,
+    compact: bool = True,
 ) -> BatchLifetimes:
     """Run ``n_lifetimes`` spare-pool lifetimes as one numpy batch.
 
@@ -407,6 +696,9 @@ def batch_spare_pool(
     values implement the hot-spare-pool scenario.  On a stacked grid the
     per-row ``StackedParams.n_spares_rows`` (when present) overrides the
     scalar argument, so one invocation can mix pool sizes.
+
+    ``compact`` selects the allocation-lean working set exactly as in
+    :func:`batch_conventional`; both settings are bit-identical.
     """
     if horizon_hours <= 0.0:
         raise SimulationError(f"horizon must be positive, got {horizon_hours!r}")
@@ -441,8 +733,16 @@ def batch_spare_pool(
         recovery_dist=params.human_error_recovery_distribution(),
         has_hep=_has_positive(params.hep),
     )
-    active = np.arange(m)
+    if compact:
+        state.rows = np.arange(m)
+        state.arena = _Arena(m, n)
+        return _spare_pool_compacted(state)
+    return _spare_pool_gathered(state, m)
 
+
+def _spare_pool_gathered(state: _SparePoolState, m: int) -> BatchLifetimes:
+    """The uncompacted spare-pool round loop (bit-identity oracle)."""
+    active = np.arange(m)
     while active.size:
         c = state.clocks[active]
         slot, fail = _min_and_slot(c)
@@ -474,6 +774,50 @@ def batch_spare_pool(
     return state.batch
 
 
+def _spare_pool_compacted(state: _SparePoolState) -> BatchLifetimes:
+    """The allocation-lean spare-pool round loop (compacted working set)."""
+    arena = state.arena
+    first_round = True
+    while state.rows.size:
+        slot = np.argmin(state.clocks, axis=1)
+        fail = state.clocks[arena.arange(state.rows.size), slot]
+        if first_round:
+            first_round = False
+        else:
+            np.maximum(fail, state.now, out=fail)
+        alive = fail < state.horizon
+        if not alive.all():
+            keep = np.flatnonzero(alive)
+            if keep.size == 0:
+                break
+            state.clocks = arena.compact(state.clocks, keep)
+            state.now = state.now[keep]
+            state.spares = state.spares[keep]
+            state.rows = state.rows[keep]
+            slot = slot[keep]
+            fail = fail[keep]
+        state.batch.disk_failures[state.rows] += 1
+
+        # Lifetimes entering the exposed service this round, from any branch.
+        exposed: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+
+        has_spare = state.spares > 0
+        sp = np.flatnonzero(has_spare)
+        if sp.size:
+            _spare_rebuild_step(state, sp, slot[sp], fail[sp], state.clocks[sp], exposed)
+        ns = np.flatnonzero(~has_spare)
+        if ns.size:
+            exposed.append((ns, slot[ns], fail[ns]))
+
+        if exposed:
+            idx = np.concatenate([part[0] for part in exposed])
+            ex_slot = np.concatenate([part[1] for part in exposed])
+            ex_start = np.concatenate([part[2] for part in exposed])
+            _exposed_step(state, idx, ex_slot, ex_start)
+
+    return state.batch
+
+
 def _spare_rebuild_step(
     state: _SparePoolState,
     idx: np.ndarray,
@@ -484,8 +828,9 @@ def _spare_rebuild_step(
 ) -> None:
     """On-line rebuild onto a hot spare, then the hardware replacement visit."""
     rng = state.rng
-    rebuild_done = fail + _sample_rows(state.rebuild_dist, idx, rng)
-    _, second = _min_excluding(c, slot)
+    g = state.gids(idx)
+    rebuild_done = fail + _sample_rows(state.rebuild_dist, g, rng)
+    _, second = _min_excluding(c, slot, out=state.scratch(c.shape[0]))
     second = np.maximum(second, fail)
 
     # Double disk failure during the rebuild: data loss, backup restore; the
@@ -493,11 +838,14 @@ def _spare_rebuild_step(
     dl = second < rebuild_done
     dl_idx = idx[dl]
     if dl_idx.size:
-        state.batch.disk_failures[dl_idx] += 1
-        state.batch.dl_events[dl_idx] += 1
-        outage_end = second[dl] + _sample_rows(state.ddf_dist, dl_idx, rng)
-        state.batch.downtime_hours[dl_idx] += _clip_downtime(second[dl], outage_end, state.horizon)
-        _renew_failed_before(state.clocks, dl_idx, outage_end, state.failure_dist, rng)
+        g_dl = g[dl]
+        state.batch.disk_failures[g_dl] += 1
+        state.batch.dl_events[g_dl] += 1
+        outage_end = second[dl] + _sample_rows(state.ddf_dist, g_dl, rng)
+        state.batch.downtime_hours[g_dl] += _clip_downtime(second[dl], outage_end, state.horizon)
+        _renew_failed_before(
+            state.clocks, dl_idx, outage_end, state.failure_dist, rng, sample_rows=g_dl
+        )
         state.restock(dl_idx)
         state.now[dl_idx] = outage_end
 
@@ -505,7 +853,10 @@ def _spare_rebuild_step(
     ok = ~dl
     ok_idx = idx[ok]
     if ok_idx.size:
-        _renew_slots(state.clocks, ok_idx, slot[ok], rebuild_done[ok], state.failure_dist, rng)
+        _renew_slots(
+            state.clocks, ok_idx, slot[ok], rebuild_done[ok],
+            state.failure_dist, rng, sample_rows=g[ok],
+        )
         state.spares[ok_idx] -= 1
         _replacement_visit_step(state, ok_idx, rebuild_done[ok], exposed)
 
@@ -518,7 +869,8 @@ def _replacement_visit_step(
 ) -> None:
     """Technician visit restocking the spare pool after an on-line rebuild."""
     rng = state.rng
-    replace_done = start + _sample_rows(state.replace_dist, idx, rng)
+    g = state.gids(idx)
+    replace_done = start + _sample_rows(state.replace_dist, g, rng)
     _, next_fail = _min_and_slot(state.clocks[idx])
     next_fail = np.maximum(next_fail, start)
 
@@ -532,7 +884,7 @@ def _replacement_visit_step(
 
     rest = ~preempt
     if state.has_hep:
-        he = rest & (rng.random(idx.size) < _rows(state.hep, idx))
+        he = rest & (rng.random(idx.size) < _rows(state.hep, g))
     else:
         he = np.zeros(idx.size, dtype=bool)
 
@@ -548,13 +900,16 @@ def _replacement_visit_step(
     he_idx = idx[he]
     if he_idx.size == 0:
         return
-    state.batch.human_errors[he_idx] += 1
-    wrong = _random_slots(rng, _rows(state.n_disks, he_idx), he_idx.size)
+    g_he = g[he]
+    state.batch.human_errors[g_he] += 1
+    wrong = _random_slots(rng, _rows(state.n_disks, g_he), he_idx.size)
     duration, crashed = _recovery_race(
-        he_idx, state.recovery_dist, state.hep, state.crash_rate, rng
+        g_he, state.recovery_dist, state.hep, state.crash_rate, rng
     )
     recovery_end = replace_done[he] + duration
-    other, second = _min_excluding(state.clocks[he_idx], wrong)
+    other, second = _min_excluding(
+        state.clocks[he_idx], wrong, out=state.scratch(he_idx.size)
+    )
     second = np.maximum(second, replace_done[he])
     fail_during = (second < recovery_end) & (second < state.horizon)
 
@@ -563,12 +918,15 @@ def _replacement_visit_step(
     a = fail_during & crashed
     a_idx = he_idx[a]
     if a_idx.size:
-        state.batch.disk_failures[a_idx] += 1
-        state.batch.du_events[a_idx] += 1
-        state.batch.dl_events[a_idx] += 1
-        outage_end = recovery_end[a] + _sample_rows(state.ddf_dist, a_idx, rng)
-        state.batch.downtime_hours[a_idx] += _clip_downtime(second[a], outage_end, state.horizon)
-        _renew_failed_before(state.clocks, a_idx, outage_end, state.failure_dist, rng)
+        g_a = g_he[a]
+        state.batch.disk_failures[g_a] += 1
+        state.batch.du_events[g_a] += 1
+        state.batch.dl_events[g_a] += 1
+        outage_end = recovery_end[a] + _sample_rows(state.ddf_dist, g_a, rng)
+        state.batch.downtime_hours[g_a] += _clip_downtime(second[a], outage_end, state.horizon)
+        _renew_failed_before(
+            state.clocks, a_idx, outage_end, state.failure_dist, rng, sample_rows=g_a
+        )
         state.restock(a_idx)
         state.now[a_idx] = outage_end
 
@@ -577,9 +935,10 @@ def _replacement_visit_step(
     b = fail_during & ~crashed
     b_idx = he_idx[b]
     if b_idx.size:
-        state.batch.disk_failures[b_idx] += 1
-        state.batch.du_events[b_idx] += 1
-        state.batch.downtime_hours[b_idx] += _clip_downtime(second[b], recovery_end[b], state.horizon)
+        g_b = g_he[b]
+        state.batch.disk_failures[g_b] += 1
+        state.batch.du_events[g_b] += 1
+        state.batch.downtime_hours[g_b] += _clip_downtime(second[b], recovery_end[b], state.horizon)
         exposed.append((b_idx, other[b], recovery_end[b]))
 
     # No failure, but the pulled disk crashed: it is now a genuine failed
@@ -609,30 +968,37 @@ def _exposed_step(
     rate ``mu_DF + mu_ch``); success restocks the whole pool.
     """
     rng = state.rng
+    g = state.gids(idx)
     combined_rate = state.params.disk_repair_rate + state.params.spare_replacement_rate
     if isinstance(combined_rate, np.ndarray):
-        service_done = start + rng.exponential(1.0, idx.size) / combined_rate[idx]
+        service_done = start + rng.exponential(1.0, idx.size) / combined_rate[g]
     else:
         service_done = start + rng.exponential(1.0 / combined_rate, idx.size)
-    _, second = _min_excluding(state.clocks[idx], slot)
+    _, second = _min_excluding(state.clocks[idx], slot, out=state.scratch(idx.size))
     second = np.maximum(second, start)
 
     # Double failure with no spare: data loss.
     dl = (second < service_done) & (second < state.horizon)
     dl_idx = idx[dl]
     if dl_idx.size:
-        state.batch.disk_failures[dl_idx] += 1
-        state.batch.dl_events[dl_idx] += 1
-        outage_end = second[dl] + _sample_rows(state.ddf_dist, dl_idx, rng)
-        state.batch.downtime_hours[dl_idx] += _clip_downtime(second[dl], outage_end, state.horizon)
-        _renew_slots(state.clocks, dl_idx, slot[dl], outage_end, state.failure_dist, rng)
-        _renew_failed_before(state.clocks, dl_idx, outage_end, state.failure_dist, rng)
+        g_dl = g[dl]
+        state.batch.disk_failures[g_dl] += 1
+        state.batch.dl_events[g_dl] += 1
+        outage_end = second[dl] + _sample_rows(state.ddf_dist, g_dl, rng)
+        state.batch.downtime_hours[g_dl] += _clip_downtime(second[dl], outage_end, state.horizon)
+        _renew_slots(
+            state.clocks, dl_idx, slot[dl], outage_end,
+            state.failure_dist, rng, sample_rows=g_dl,
+        )
+        _renew_failed_before(
+            state.clocks, dl_idx, outage_end, state.failure_dist, rng, sample_rows=g_dl
+        )
         state.empty(dl_idx)
         state.now[dl_idx] = outage_end
 
     rest = ~dl
     if state.has_hep:
-        he = rest & (rng.random(idx.size) < _rows(state.hep, idx))
+        he = rest & (rng.random(idx.size) < _rows(state.hep, g))
     else:
         he = np.zeros(idx.size, dtype=bool)
 
@@ -640,21 +1006,27 @@ def _exposed_step(
     # disk crashes before the error is undone).
     he_idx = idx[he]
     if he_idx.size:
-        state.batch.human_errors[he_idx] += 1
-        state.batch.du_events[he_idx] += 1
+        g_he = g[he]
+        state.batch.human_errors[g_he] += 1
+        state.batch.du_events[g_he] += 1
         duration, crashed = _recovery_race(
-            he_idx, state.recovery_dist, state.hep, state.crash_rate, rng
+            g_he, state.recovery_dist, state.hep, state.crash_rate, rng
         )
         outage_end = service_done[he] + duration
         cr = np.flatnonzero(crashed)
         if cr.size:
-            state.batch.dl_events[he_idx[cr]] += 1
-            outage_end[cr] += _sample_rows(state.ddf_dist, he_idx[cr], rng)
-        state.batch.downtime_hours[he_idx] += _clip_downtime(
+            state.batch.dl_events[g_he[cr]] += 1
+            outage_end[cr] += _sample_rows(state.ddf_dist, g_he[cr], rng)
+        state.batch.downtime_hours[g_he] += _clip_downtime(
             service_done[he], outage_end, state.horizon
         )
-        _renew_slots(state.clocks, he_idx, slot[he], outage_end, state.failure_dist, rng)
-        _renew_failed_before(state.clocks, he_idx, outage_end, state.failure_dist, rng)
+        _renew_slots(
+            state.clocks, he_idx, slot[he], outage_end,
+            state.failure_dist, rng, sample_rows=g_he,
+        )
+        _renew_failed_before(
+            state.clocks, he_idx, outage_end, state.failure_dist, rng, sample_rows=g_he
+        )
         state.empty(he_idx)
         state.now[he_idx] = outage_end
 
@@ -662,6 +1034,10 @@ def _exposed_step(
     ok = rest & ~he
     ok_idx = idx[ok]
     if ok_idx.size:
-        _renew_slots(state.clocks, ok_idx, slot[ok], service_done[ok], state.failure_dist, rng)
+        g_ok = g[ok]
+        _renew_slots(
+            state.clocks, ok_idx, slot[ok], service_done[ok],
+            state.failure_dist, rng, sample_rows=g_ok,
+        )
         state.restock(ok_idx)
         state.now[ok_idx] = service_done[ok]

@@ -219,6 +219,7 @@ def _monte_carlo_points(
     target_half_width: Optional[float],
     mc_engine: str,
     crn: bool,
+    transport: str,
     pool,
 ) -> List[SweepPoint]:
     """Evaluate arbitrary parameter points on the Monte Carlo backend."""
@@ -258,6 +259,7 @@ def _monte_carlo_points(
             workers=workers,
             shard_size=shard_size,
             crn=crn,
+            transport=transport,
             pool=pool,
         )
         return [
@@ -280,6 +282,7 @@ def _monte_carlo_points(
                 workers=workers,
                 shard_size=shard_size,
                 target_half_width=target_half_width,
+                transport=transport,
                 pool=sweep_pool,
             )
             points.append(_point_from_estimate(estimate, x))
@@ -304,6 +307,7 @@ def sweep(
     target_half_width: Optional[float] = None,
     mc_engine: str = "auto",
     crn: bool = False,
+    transport: str = "auto",
     pool=None,
 ) -> List[SweepPoint]:
     """Sweep one parameter axis for one policy on one backend.
@@ -338,6 +342,11 @@ def sweep(
         Stacked engine only — couple every point to identical base random
         streams (common random numbers) for variance-reduced contrasts
         between neighbouring points.
+    transport:
+        How a stacked sweep's parameter planes reach the shard workers:
+        ``"auto"`` (zero-copy shared-memory planes whenever usable),
+        ``"shm"`` or ``"pickle"`` (per-shard rebuild, the retained
+        fallback/oracle).  Results are byte-identical across transports.
     pool:
         Optional externally owned worker pool; ``None`` with ``workers > 1``
         starts one pool for the whole sweep (not one per point).
@@ -372,6 +381,7 @@ def sweep(
         target_half_width=target_half_width,
         mc_engine=mc_engine,
         crn=crn,
+        transport=transport,
         pool=pool,
     )
 
@@ -485,6 +495,7 @@ def sweep_grid(
     target_half_width: Optional[float] = None,
     mc_engine: str = "auto",
     crn: bool = False,
+    transport: str = "auto",
     pool=None,
 ) -> SweepGrid:
     """Sweep two parameter axes at once (a fig5-style surface) in one call.
@@ -540,6 +551,7 @@ def sweep_grid(
             target_half_width=target_half_width,
             mc_engine=mc_engine,
             crn=crn,
+            transport=transport,
             pool=pool,
         )
     n2 = len(values2)
