@@ -35,6 +35,19 @@ Four acceptance criteria live here:
   ``REPRO_BENCH_TRANSPORT_{POINTS,LIFETIMES,WORKERS}`` shrink the grid for
   CI's ``transport-smoke`` job.
 
+* **Rare-event budget** (PR 6): a two-point failure-rate grid whose
+  analytical unavailabilities sit at 1e-11 and 4e-11 — five orders of
+  magnitude below what a naive estimator can resolve at any sane budget.
+  Failure-biased importance sampling (``biasing=50``) plus the
+  CI-width-driven stacked allocator must reach a 5e-11 half-width target
+  spending at most **1 %** of the lifetime budget the naive estimator
+  would need for the same target (>= **100x** variance efficiency).  The
+  naive budget is derived from the analytical unavailability (exact) and
+  the size-biased mean event downtime measured on the biased pilot — a
+  weight-*ratio*, stable where the raw weighted second moment is not.
+  ``REPRO_BENCH_RARE_{LIFETIMES,TARGET,CEILING}`` shrink or tighten the
+  run for CI's ``rare-event-smoke`` job.
+
 Run with ``pytest benchmarks/bench_sweep.py -s`` to see the measured
 speedups alongside the timing records; machine-readable results land in
 ``BENCH_sweep.json`` (see ``benchmarks/conftest.py``), accumulated across
@@ -50,16 +63,18 @@ import time
 import numpy as np
 import pytest
 
-from repro.core.evaluation import clear_template_cache
+from repro.core.evaluation import clear_template_cache, evaluate
 from repro.core.montecarlo import MonteCarloConfig, run_monte_carlo, run_stacked
 from repro.core.montecarlo.parallel import worker_pool
 from repro.core.montecarlo.transport import shared_memory_available
 from repro.core.montecarlo.simulator import simulate_conventional
 from repro.core.parameters import paper_parameters
+from repro.core.policies import get_policy
 from repro.core.policies.base import SimulationPolicy
 from repro.core.policies.stacked import stack_parameter_points
 from repro.core.policies.vectorized import batch_conventional
 from repro.core.sweep import sweep, sweep_per_point_rebuild
+from repro.simulation.confidence import t_critical
 from repro.simulation.rng import RandomStreams
 
 #: Sweep size of the headline comparison.
@@ -381,6 +396,140 @@ def test_stacked_shm_transport(bench_record):
             f"zero-copy plane only {speedup:.2f}x faster than the legacy "
             f"plane (required {REQUIRED_TRANSPORT_SPEEDUP:g}x)"
         )
+
+
+# ----------------------------------------------------------------------
+# PR 6: importance-sampled rare-event engine + CI-width allocator
+# ----------------------------------------------------------------------
+#: Required variance efficiency of IS + ci_width over the naive uniform
+#: budget (100x efficiency == the <= 1 % budget acceptance).
+REQUIRED_RARE_EFFICIENCY = 100.0
+
+#: Failure rates of the rare-event grid.  At ``hep=0`` their analytical
+#: unavailabilities are 1e-11 and 4e-11 — both far below the 1e-7 rarity
+#: gate asserted below.  The biasing factor is shared across the stacked
+#: grid (a stacking invariant), so the rates are chosen where lambda * H
+#: * biasing stays small enough per disk for the tilt to be healthy.
+RARE_RATES = (5e-8, 1e-7)
+RARE_BIASING = 50.0
+RARE_RARITY_GATE = 1e-7
+
+#: First-round size doubles as the variance-pilot size.  Rounds much
+#: smaller than this undercover at these tail levels (too few weighted
+#: events per round), so the smoke override should not go below ~50k.
+RARE_LIFETIMES = int(os.environ.get("REPRO_BENCH_RARE_LIFETIMES", "100000"))
+RARE_TARGET = float(os.environ.get("REPRO_BENCH_RARE_TARGET", "5e-11"))
+RARE_CEILING = int(os.environ.get("REPRO_BENCH_RARE_CEILING", "4000000"))
+
+
+def _rare_configs():
+    return [
+        MonteCarloConfig(
+            params=paper_parameters(disk_failure_rate=rate, hep=0.0),
+            policy="conventional",
+            n_iterations=RARE_LIFETIMES,
+            horizon_hours=87_600.0,
+            seed=2017,
+            biasing=RARE_BIASING,
+            target_half_width=RARE_TARGET,
+            max_iterations=RARE_CEILING,
+            allocator="ci_width",
+        )
+        for rate in RARE_RATES
+    ]
+
+
+def test_rare_event_budget(bench_record):
+    """The PR 6 acceptance: >= 100x variance efficiency on the rare grid.
+
+    The naive (unbiased, uniform-allocation) budget for a ``target``
+    half-width is ``(z / target)^2 * var_naive`` lifetimes per point.  At
+    unavailabilities of 1e-11 a naive run cannot even *measure* its own
+    variance, so the benchmark derives it exactly from the decomposition
+    ``var_naive = U * m - U^2``: ``U`` is the analytical unavailability
+    (exact — the same dual-face reference the estimator is validated
+    against) and ``m`` is the size-biased mean event downtime fraction,
+    estimated from the biased pilot as the weight ratio
+    ``sum(w u^2) / sum(w u)`` over event lifetimes.  The ratio shares its
+    extreme weights between numerator and denominator, making it stable
+    across seeds where the raw weighted second moment is not.
+
+    The importance-sampled side then actually runs: the stacked ci_width
+    allocator spends first rounds everywhere and routes every further
+    lifetime to whichever point's merged interval is still too wide.  Its
+    total spend must come in at <= 1 % of the naive budget, and every
+    point's final interval must cover the analytical truth.
+    """
+    z = t_critical(0.99, 1_000_000)
+    uniform_budget = 0.0
+    references = []
+    for rate in RARE_RATES:
+        params = paper_parameters(disk_failure_rate=rate, hep=0.0)
+        unavailability = evaluate(
+            params, policy="conventional", backend="analytical"
+        ).unavailability
+        assert unavailability <= RARE_RARITY_GATE, (
+            f"lambda={rate:g} is not a rare-event scenario "
+            f"(analytical unavailability {unavailability:.2e})"
+        )
+        references.append(unavailability)
+        rng = RandomStreams(2017).stream("montecarlo")
+        pilot = get_policy("conventional").simulate_batch(
+            params, 87_600.0, RARE_LIFETIMES, rng, biasing=RARE_BIASING
+        )
+        weights = pilot.weights()
+        downtime_fraction = 1.0 - pilot.availabilities()
+        events = downtime_fraction > 0.0
+        assert events.any(), f"biased pilot saw no events at lambda={rate:g}"
+        size_biased_mean = float(
+            np.sum(weights[events] * downtime_fraction[events] ** 2)
+            / np.sum(weights[events] * downtime_fraction[events])
+        )
+        var_naive = unavailability * size_biased_mean - unavailability**2
+        uniform_budget += (z / RARE_TARGET) ** 2 * var_naive
+
+    run_stacked(_rare_configs()[:1])  # warm kernels outside the timed region
+
+    start = time.perf_counter()
+    results = run_stacked(_rare_configs())
+    seconds = time.perf_counter() - start
+
+    spent = sum(point.n_iterations for point in results)
+    efficiency = uniform_budget / spent
+    print(
+        f"\nrare-event budget: {len(RARE_RATES)} points, target {RARE_TARGET:g} — "
+        f"IS+ci_width spent {spent} lifetimes in {seconds:.3f}s, naive budget "
+        f"{uniform_budget:.3e} (variance efficiency {efficiency:.0f}x)"
+    )
+    bench_record(
+        "rare_event_budget",
+        points=len(RARE_RATES),
+        seconds=seconds,
+        variance_efficiency=efficiency,
+        lifetimes_spent=spent,
+        uniform_budget=uniform_budget,
+        biasing=RARE_BIASING,
+        target_half_width=RARE_TARGET,
+    )
+
+    for point, reference in zip(results, references):
+        assert point.n_iterations <= RARE_CEILING
+        covered = (
+            point.interval.lower <= 1.0 - reference <= point.interval.upper
+        )
+        assert covered, (
+            f"{point.label}: interval misses the analytical reference "
+            f"{reference:.3e} (estimate {point.unavailability:.3e} "
+            f"+/- {point.interval.half_width:.2e})"
+        )
+        assert point.interval.half_width <= RARE_TARGET, (
+            f"{point.label}: allocator stopped above the target half-width"
+        )
+    assert efficiency >= REQUIRED_RARE_EFFICIENCY, (
+        f"importance-sampled budget is {100 / efficiency:.1f}% of the naive "
+        f"budget (required <= 1 %, i.e. >= {REQUIRED_RARE_EFFICIENCY:g}x "
+        "variance efficiency)"
+    )
 
 
 def test_template_sweep_bench(benchmark):

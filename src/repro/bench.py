@@ -155,16 +155,23 @@ def render_latest_table(history: Dict) -> str:
         return "no benchmark records; run 'pytest benchmarks/ -s' first"
     latest = runs[-1]
     lines = [
-        "| op | points | seconds | speedup |",
-        "|---|---:|---:|---:|",
+        "| op | points | seconds | speedup | variance efficiency |",
+        "|---|---:|---:|---:|---:|",
     ]
     for entry in latest.get("results", []):
         points = entry.get("points", "")
         seconds = entry.get("seconds")
         speedup = entry.get("speedup")
+        efficiency = entry.get("variance_efficiency")
         seconds_text = f"{seconds:.3f}" if isinstance(seconds, (int, float)) else ""
         speedup_text = f"{speedup:.2f}x" if isinstance(speedup, (int, float)) else ""
-        lines.append(f"| {entry.get('op', '?')} | {points} | {seconds_text} | {speedup_text} |")
+        efficiency_text = (
+            f"{efficiency:.0f}x" if isinstance(efficiency, (int, float)) else ""
+        )
+        lines.append(
+            f"| {entry.get('op', '?')} | {points} | {seconds_text} | "
+            f"{speedup_text} | {efficiency_text} |"
+        )
     meta = (
         f"<!-- generated from BENCH_sweep.json @ {latest.get('commit') or 'unknown'} "
         f"({latest.get('generated_at') or 'unknown'}) -->"

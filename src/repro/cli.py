@@ -48,6 +48,7 @@ from repro.bench import load_history, render_history, render_latest_table
 from repro.core.comparison import compare_equal_capacity, ranking
 from repro.core.evaluation import analytical_policies, evaluate
 from repro.core.montecarlo import (
+    ALLOCATORS,
     EXECUTORS,
     TRANSPORTS,
     MonteCarloConfig,
@@ -178,6 +179,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="iteration ceiling of an adaptive run (default: 1e6)",
     )
     mc.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="alias of --max-iterations: total lifetime budget of an "
+        "adaptive run",
+    )
+    mc.add_argument(
+        "--biasing",
+        type=float,
+        default=None,
+        help="failure-biasing factor of the importance-sampled kernels "
+        "(> 1 inflates failure rates; estimates stay unbiased via "
+        "per-lifetime likelihood-ratio weights)",
+    )
+    mc.add_argument(
+        "--allocator",
+        choices=list(ALLOCATORS),
+        default="uniform",
+        help="adaptive-round budget allocator of stacked grids: uniform, or "
+        "ci_width (widest intervals get the next round's lifetimes)",
+    )
+    mc.add_argument(
         "--transport",
         choices=list(TRANSPORTS),
         default="auto",
@@ -279,6 +302,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="common random numbers: couple every grid point to identical "
         "base streams (stacked engine; variance-reduced contrasts)",
+    )
+    sweep_parser.add_argument(
+        "--target-half-width",
+        type=float,
+        default=None,
+        help="adaptive sweep: keep dispatching shard rounds until every "
+        "point's interval half-width reaches this value",
+    )
+    sweep_parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="per-point lifetime ceiling of an adaptive sweep (default: 1e6)",
+    )
+    sweep_parser.add_argument(
+        "--biasing",
+        type=float,
+        default=None,
+        help="failure-biasing factor of the importance-sampled kernels "
+        "(rare-event sweeps; estimates stay unbiased via likelihood-ratio "
+        "weights)",
+    )
+    sweep_parser.add_argument(
+        "--allocator",
+        choices=list(ALLOCATORS),
+        default="uniform",
+        help="adaptive-round budget allocator: uniform, or ci_width "
+        "(widest intervals get the next round's lifetimes)",
     )
     sweep_parser.add_argument(
         "--transport",
@@ -390,10 +441,15 @@ def _run_mc(args: argparse.Namespace) -> str:
             "--policy and --spares are mutually exclusive: --spares builds a "
             "hot_spare_pool variant and would override the named policy"
         )
-    if args.max_iterations is not None and args.target_half_width is None:
+    if args.budget is not None and args.max_iterations is not None:
         raise ConfigurationError(
-            "--max-iterations caps an adaptive run and does nothing without "
-            "--target-half-width"
+            "--budget is an alias of --max-iterations; pass only one"
+        )
+    max_iterations = args.max_iterations if args.budget is None else args.budget
+    if max_iterations is not None and args.target_half_width is None:
+        raise ConfigurationError(
+            "--max-iterations/--budget cap an adaptive run and do nothing "
+            "without --target-half-width"
         )
     if args.spares is not None:
         policy = hot_spare_policy(args.spares)
@@ -415,8 +471,10 @@ def _run_mc(args: argparse.Namespace) -> str:
         workers=args.workers,
         shard_size=args.shard_size,
         target_half_width=args.target_half_width,
-        max_iterations=args.max_iterations,
+        max_iterations=max_iterations,
         transport=args.transport,
+        biasing=args.biasing,
+        allocator=args.allocator,
     )
     result = run_monte_carlo(config)
     totals = result.totals
@@ -435,6 +493,11 @@ def _run_mc(args: argparse.Namespace) -> str:
         f"nines:              {result.nines:.3f}",
         f"{result.interval.confidence * 100:g}% interval:       "
         f"[{result.interval.lower:.12f}, {result.interval.upper:.12f}]",
+        *(
+            [f"effective samples:  {result.ess:.0f} (importance-sampled, biasing={args.biasing:g})"]
+            if result.ess is not None
+            else []
+        ),
         f"downtime per year:  {downtime_minutes_per_year(result.availability):.4f} minutes",
         f"events:             {int(totals.get('disk_failures', 0))} disk failures, "
         f"{int(totals.get('human_errors', 0))} human errors, "
@@ -496,6 +559,11 @@ def _run_sweep(args: argparse.Namespace) -> str:
         disk_failure_rate=args.failure_rate,
         hep=args.hep,
     )
+    if args.budget is not None and args.target_half_width is None:
+        raise ConfigurationError(
+            "--budget caps an adaptive sweep and does nothing without "
+            "--target-half-width"
+        )
     options = dict(
         policy=args.policy,
         backend=args.backend,
@@ -504,9 +572,13 @@ def _run_sweep(args: argparse.Namespace) -> str:
         seed=args.seed,
         confidence=args.confidence,
         workers=args.workers,
+        target_half_width=args.target_half_width,
+        mc_max_iterations=args.budget,
         mc_engine=args.mc_engine,
         crn=args.crn,
         transport=args.transport,
+        biasing=args.biasing,
+        allocator=args.allocator,
     )
     if args.axis2 is not None:
         grid = sweep_grid(params, args.axis, values, args.axis2, values2, **options)

@@ -45,7 +45,11 @@ from repro.core.parameters import AvailabilityParameters
 from repro.core.policies.base import SimulationPolicy
 from repro.core.policies.registry import resolve_policy
 from repro.exceptions import ConfigurationError
-from repro.markov.metrics import AvailabilityResult, availability_result_from_pi
+from repro.markov.metrics import (
+    AvailabilityResult,
+    availability_from_up_mass,
+    availability_result_from_pi,
+)
 from repro.markov.template import ChainTemplate
 
 #: Accepted evaluation backends.  ``"auto"`` prefers the analytical face
@@ -77,6 +81,11 @@ class AvailabilityEstimate:
         Simulated lifetimes behind a Monte Carlo estimate.
     state_probabilities:
         Stationary distribution behind an analytical estimate.
+    analytical_reference:
+        Steady-state availability of the policy's analytical face at the
+        same parameter point, attached to importance-sampled Monte Carlo
+        estimates when the policy has a chain face — the free cross-check
+        (and control variate) of the rare-event engine.
     """
 
     availability: float
@@ -90,6 +99,7 @@ class AvailabilityEstimate:
     confidence: Optional[float] = None
     n_iterations: Optional[int] = None
     state_probabilities: Optional[Dict[str, float]] = None
+    analytical_reference: Optional[float] = None
 
     @property
     def has_interval(self) -> bool:
@@ -132,6 +142,8 @@ class AvailabilityEstimate:
             payload["confidence"] = self.confidence
         if self.n_iterations is not None:
             payload["n_iterations"] = self.n_iterations
+        if self.analytical_reference is not None:
+            payload["analytical_reference"] = self.analytical_reference
         return payload
 
 
@@ -347,7 +359,29 @@ def _estimate_from_mc(
         ci_upper=result.interval.upper,
         confidence=result.interval.confidence,
         n_iterations=result.n_iterations,
+        analytical_reference=result.analytical_reference,
     )
+
+
+def _attach_analytical_reference(
+    result: MonteCarloResult,
+    policy: SimulationPolicy,
+    params: AvailabilityParameters,
+) -> None:
+    """Pair an importance-sampled estimate with its analytical face.
+
+    Dual-face policies get the template cache's steady-state availability
+    at the same parameter point recorded on the result — a free sanity
+    anchor for rare-event runs, where an off-regime biasing factor shows up
+    as an estimate far outside the analytical neighbourhood.  Policies
+    without a chain face leave the field ``None``.
+    """
+    if not policy.has_analytical_model:
+        return
+    template = chain_template(policy, params)
+    pi = template.evaluator(params).solve(method="auto")
+    availability, _, _ = availability_from_up_mass(pi[i] for i in template.up_indices)
+    result.analytical_reference = availability
 
 
 def evaluate(
@@ -366,6 +400,8 @@ def evaluate(
     target_half_width: Optional[float] = None,
     max_iterations: Optional[int] = None,
     transport: str = "auto",
+    biasing: Optional[float] = None,
+    allocator: str = "uniform",
     pool=None,
 ) -> AvailabilityEstimate:
     """Evaluate a (parameters, policy) pair on the requested backend.
@@ -384,9 +420,12 @@ def evaluate(
         Steady-state solver for the analytical backend (``"auto"`` selects
         dense/sparse by state count).
     n_iterations, horizon_hours, seed, confidence, executor, workers,
-    shard_size, target_half_width, max_iterations:
+    shard_size, target_half_width, max_iterations, biasing, allocator:
         Monte Carlo configuration, matching
-        :class:`~repro.core.montecarlo.config.MonteCarloConfig`.
+        :class:`~repro.core.montecarlo.config.MonteCarloConfig`.  A set
+        ``biasing`` runs the importance-sampled kernels and, for dual-face
+        policies, attaches the analytical availability as
+        ``analytical_reference``.
     pool:
         Optional externally owned worker pool shared across sharded runs
         (see :func:`repro.core.montecarlo.parallel.worker_pool`).
@@ -413,8 +452,12 @@ def evaluate(
         target_half_width=target_half_width,
         max_iterations=max_iterations,
         transport=transport,
+        biasing=biasing,
+        allocator=allocator,
     )
     result = run_monte_carlo(config, pool=pool)
+    if biasing is not None:
+        _attach_analytical_reference(result, resolved, params)
     return _estimate_from_mc(result, resolved.name, _executor_provenance(config))
 
 
@@ -428,8 +471,12 @@ def evaluate_stacked(
     confidence: float = 0.99,
     workers: int = 1,
     shard_size: Optional[int] = None,
+    target_half_width: Optional[float] = None,
+    max_iterations: Optional[int] = None,
     crn: bool = False,
     transport: str = "auto",
+    biasing: Optional[float] = None,
+    allocator: str = "uniform",
     pool=None,
 ) -> List[AvailabilityEstimate]:
     """Monte Carlo evaluate many parameter points as one stacked grid.
@@ -445,6 +492,12 @@ def evaluate_stacked(
     ``crn=True`` makes every point consume identical base streams (common
     random numbers) for variance-reduced contrasts between neighbouring
     points; see :func:`repro.core.montecarlo.batch.run_stacked`.
+
+    ``target_half_width`` turns the grid adaptive: shard rounds keep being
+    dispatched — split across points by ``allocator`` — until every point's
+    interval meets the target (or its ceiling).  ``biasing`` runs the grid
+    on the importance-sampled kernels; dual-face policies additionally get
+    the analytical availability attached to every estimate.
     """
     resolved = resolve_policy(policy)
     if not resolved.can_stack:
@@ -465,7 +518,11 @@ def evaluate_stacked(
                 confidence=confidence,
                 workers=workers,
                 shard_size=shard_size,
+                target_half_width=target_half_width,
+                max_iterations=max_iterations,
                 transport=transport,
+                biasing=biasing,
+                allocator=allocator,
                 pool=pool,
             )
             for params in points
@@ -480,7 +537,11 @@ def evaluate_stacked(
             seed=seed,
             workers=workers,
             shard_size=shard_size,
+            target_half_width=target_half_width,
+            max_iterations=max_iterations,
             transport=transport,
+            biasing=biasing,
+            allocator=allocator,
         )
         for params in points
     ]
@@ -489,7 +550,11 @@ def evaluate_stacked(
         f"executor=stacked({workers} worker{'s' if workers != 1 else ''}"
         f"{', crn' if crn else ''})"
     )
+    results = run_stacked(configs, crn=crn, pool=pool)
+    if biasing is not None:
+        for result, params in zip(results, points):
+            _attach_analytical_reference(result, resolved, params)
     return [
         _estimate_from_mc(result, resolved.name, provenance)
-        for result in run_stacked(configs, crn=crn, pool=pool)
+        for result in results
     ]

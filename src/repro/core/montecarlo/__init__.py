@@ -16,6 +16,7 @@ from repro.core.montecarlo.batch import (
     summarise_batch,
 )
 from repro.core.montecarlo.config import (
+    ALLOCATORS,
     DEFAULT_ADAPTIVE_CEILING,
     DEFAULT_HORIZON_HOURS,
     DEFAULT_ITERATIONS,
@@ -70,6 +71,7 @@ from repro.core.montecarlo.trace import (
 )
 
 __all__ = [
+    "ALLOCATORS",
     "DEFAULT_ADAPTIVE_CEILING",
     "DEFAULT_HORIZON_HOURS",
     "DEFAULT_SHARD_CAP",

@@ -57,7 +57,11 @@ def run_batch_lifetimes(
         streams = RandomStreams(config.seed)
     rng = streams.stream("montecarlo")
     return policy.simulate_batch(
-        config.params, config.horizon_hours, config.n_iterations, rng
+        config.params,
+        config.horizon_hours,
+        config.n_iterations,
+        rng,
+        biasing=config.biasing,
     )
 
 
@@ -72,8 +76,13 @@ def summarise_batch(
     # SimulationError from deep inside the interval computation.
     if len(batch) < 2:
         raise ConfigurationError("at least two iterations are required to summarise")
-    availabilities = batch.availabilities()
+    availabilities = batch.weighted_availabilities()
     interval = confidence_interval(availabilities, confidence=config.confidence)
+    ess = None
+    weights = batch.weights()
+    if weights is not None:
+        moments = StreamingMoments.from_samples(availabilities, weights=weights)
+        ess = moments.ess()
     return MonteCarloResult(
         availability=float(availabilities.mean()),
         interval=interval,
@@ -82,6 +91,7 @@ def summarise_batch(
         totals=batch.totals(),
         label=config.label(),
         seed_entropy=seed_entropy,
+        ess=ess,
     )
 
 
@@ -106,6 +116,8 @@ POINT_SUMMARY_DTYPE = np.dtype(
         ("n", np.int64),
         ("mean", np.float64),
         ("m2", np.float64),
+        ("w_sum", np.float64),
+        ("w2_sum", np.float64),
         ("downtime_hours", np.float64),
         ("du_events", np.float64),
         ("dl_events", np.float64),
@@ -141,7 +153,8 @@ def segment_point_records(
     """
     if len(point_indices) != len(counts):
         raise ConfigurationError("one point index is required per segment")
-    moments = segmented_moments(batch.availabilities(), counts)
+    weights = batch.weights()
+    moments = segmented_moments(batch.weighted_availabilities(), counts, weights=weights)
     sizes = np.asarray(list(counts), dtype=np.int64)
     offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
     records = np.zeros(len(moments), dtype=POINT_SUMMARY_DTYPE)
@@ -149,8 +162,13 @@ def segment_point_records(
     records["n"] = sizes
     records["mean"] = [moment.mean for moment in moments]
     records["m2"] = [moment.m2 for moment in moments]
+    records["w_sum"] = [moment.w_sum for moment in moments]
+    records["w2_sum"] = [moment.w2_sum for moment in moments]
     for key in POINT_SUMMARY_TOTAL_FIELDS:
-        records[key] = np.add.reduceat(getattr(batch, key), offsets)
+        values = getattr(batch, key)
+        if weights is not None:
+            values = weights * values
+        records[key] = np.add.reduceat(values, offsets)
     return records
 
 
@@ -188,15 +206,22 @@ def segment_point_summaries(
     """
     if len(point_indices) != len(counts):
         raise ConfigurationError("one point index is required per segment")
-    moments = segmented_moments(batch.availabilities(), counts)
+    weights = batch.weights()
+    moments = segmented_moments(batch.weighted_availabilities(), counts, weights=weights)
     sizes = np.asarray(list(counts), dtype=np.int64)
     offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+
+    def _column(values: np.ndarray) -> np.ndarray:
+        if weights is not None:
+            values = weights * values
+        return np.add.reduceat(values, offsets)
+
     columns = {
-        "downtime_hours": np.add.reduceat(batch.downtime_hours, offsets),
-        "du_events": np.add.reduceat(batch.du_events, offsets),
-        "dl_events": np.add.reduceat(batch.dl_events, offsets),
-        "disk_failures": np.add.reduceat(batch.disk_failures, offsets),
-        "human_errors": np.add.reduceat(batch.human_errors, offsets),
+        "downtime_hours": _column(batch.downtime_hours),
+        "du_events": _column(batch.du_events),
+        "dl_events": _column(batch.dl_events),
+        "disk_failures": _column(batch.disk_failures),
+        "human_errors": _column(batch.human_errors),
     }
     return [
         PointSummary(

@@ -32,6 +32,11 @@ from repro.core.montecarlo.transport import TRANSPORTS  # noqa: E402
 #: explicit ``max_iterations`` is configured — the paper's 1e6 setting.
 DEFAULT_ADAPTIVE_CEILING = 1_000_000
 
+#: Accepted adaptive-round budget allocators for stacked grids:
+#: ``"uniform"`` gives every unmet point the same next-round budget,
+#: ``"ci_width"`` sizes each unmet point's round by its own interval gap.
+ALLOCATORS = ("uniform", "ci_width")
+
 #: How a policy may be specified: a registry name, a legacy enum member, or
 #: a ready :class:`~repro.core.policies.base.SimulationPolicy` instance.
 PolicyRef = Union[str, PolicyKind, SimulationPolicy]
@@ -96,6 +101,20 @@ class MonteCarloConfig:
         retained fallback and bit-identity oracle).  Both transports are
         byte-identical in results; single-point (non-stacked) runs ignore
         the setting because only scalars ever cross the boundary there.
+    biasing:
+        Failure-biasing factor of the importance-sampled kernels: failure
+        rates are inflated by this factor (> 0) and every lifetime carries a
+        log-likelihood-ratio weight, so estimates stay unbiased while
+        rare-event scenarios resolve with orders of magnitude fewer
+        lifetimes.  ``None`` (the default) runs the unbiased kernels on the
+        exact historical call path.  Requires a batch kernel (no scalar
+        executor, no event traces).
+    allocator:
+        How adaptive (``target_half_width``) stacked runs split each next
+        shard round across grid points: ``"uniform"`` gives every unmet
+        point the same budget, ``"ci_width"`` sizes each unmet point's
+        budget by its own confidence-interval gap.  Ignored without
+        ``target_half_width``; single-point runs have nothing to allocate.
     """
 
     params: AvailabilityParameters = field(default_factory=AvailabilityParameters)
@@ -111,6 +130,8 @@ class MonteCarloConfig:
     target_half_width: Optional[float] = None
     max_iterations: Optional[int] = None
     transport: str = "auto"
+    biasing: Optional[float] = None
+    allocator: str = "uniform"
 
     def __post_init__(self) -> None:
         if self.horizon_hours <= 0.0:
@@ -146,10 +167,32 @@ class MonteCarloConfig:
             and self.max_iterations is not None
             and self.max_iterations < self.n_iterations
         ):
+            # Without a target the ceiling is documented as ignored, so it
+            # is deliberately left unvalidated there.
             raise ConfigurationError(
                 f"max_iterations ({self.max_iterations!r}) must not be below "
-                f"n_iterations ({self.n_iterations!r})"
+                f"n_iterations ({self.n_iterations!r}); the adaptive ceiling "
+                "cannot undercut the first round"
             )
+        if self.allocator not in ALLOCATORS:
+            raise ConfigurationError(
+                f"allocator must be one of {ALLOCATORS}, got {self.allocator!r}"
+            )
+        if self.biasing is not None:
+            if not float(self.biasing) > 0.0:
+                raise ConfigurationError(
+                    f"biasing factor must be positive, got {self.biasing!r}"
+                )
+            if self.executor == "scalar":
+                raise ConfigurationError(
+                    "failure biasing requires the vectorised batch kernels; "
+                    "it cannot be combined with executor='scalar'"
+                )
+            if self.collect_trace:
+                raise ConfigurationError(
+                    "failure biasing runs on the batch path and cannot "
+                    "collect an event trace"
+                )
         if self.collect_trace and self.uses_sharded_path:
             raise ConfigurationError(
                 "event traces require the single-process scalar path; "
@@ -220,6 +263,14 @@ class MonteCarloConfig:
             target_half_width=float(target_half_width),
             max_iterations=self.max_iterations if max_iterations is _UNSET else max_iterations,
         )
+
+    def with_biasing(self, biasing: Optional[float]) -> "MonteCarloConfig":
+        """Return a copy with a different failure-biasing factor."""
+        return replace(self, biasing=None if biasing is None else float(biasing))
+
+    def with_allocator(self, allocator: str) -> "MonteCarloConfig":
+        """Return a copy with a different adaptive-round budget allocator."""
+        return replace(self, allocator=str(allocator))
 
     def with_params(self, params: AvailabilityParameters) -> "MonteCarloConfig":
         """Return a copy with a different parameter set."""

@@ -131,10 +131,13 @@ def run_shard(
         shard_size,
         streams,
         force_scalar=config.executor == "scalar",
+        biasing=config.biasing,
     )
     return ShardSummary(
         shard_index=shard_index,
-        moments=StreamingMoments.from_samples(batch.availabilities()),
+        moments=StreamingMoments.from_samples(
+            batch.weighted_availabilities(), weights=batch.weights()
+        ),
         totals=batch.totals(),
     )
 
@@ -336,6 +339,7 @@ def run_sharded(
         totals=totals,
         label=config.label(),
         seed_entropy=master_entropy,
+        ess=moments.ess() if config.biasing is not None else None,
     )
 
 
@@ -439,6 +443,7 @@ def _simulate_stacked_shard(
     horizon_hours: float,
     master_entropy: int,
     shard: StackedShard,
+    biasing: Optional[float] = None,
 ) -> np.ndarray:
     """Simulate one shard's rows and summarise them as point records.
 
@@ -450,7 +455,7 @@ def _simulate_stacked_shard(
     """
     streams = RandomStreams(master_entropy).spawn_child(shard.stream_index)
     rng = streams.stream("montecarlo")
-    batch = policy.simulate_stacked(grid_slice, horizon_hours, rng)
+    batch = policy.simulate_stacked(grid_slice, horizon_hours, rng, biasing=biasing)
     return segment_point_records(batch, shard.point_indices, shard.counts)
 
 
@@ -460,6 +465,7 @@ def run_stacked_shard(
     horizon_hours: float,
     master_entropy: int,
     shard: StackedShard,
+    biasing: Optional[float] = None,
 ) -> np.ndarray:
     """Pickle-transport worker entry: rebuild the slice from scalars.
 
@@ -474,7 +480,7 @@ def run_stacked_shard(
     """
     grid_slice = stack_parameter_points(point_params, shard.counts)
     return _simulate_stacked_shard(
-        policy, grid_slice, horizon_hours, master_entropy, shard
+        policy, grid_slice, horizon_hours, master_entropy, shard, biasing=biasing
     )
 
 
@@ -484,6 +490,7 @@ def run_stacked_shard_shm(
     horizon_hours: float,
     master_entropy: int,
     shard: StackedShard,
+    biasing: Optional[float] = None,
 ) -> np.ndarray:
     """Shared-memory worker entry: attach the planes, view the row range.
 
@@ -497,7 +504,7 @@ def run_stacked_shard_shm(
     grid_slice = attach_grid_slice(spec, segment.buf, shard.start, shard.stop)
     try:
         return _simulate_stacked_shard(
-            policy, grid_slice, horizon_hours, master_entropy, shard
+            policy, grid_slice, horizon_hours, master_entropy, shard, biasing=biasing
         )
     finally:
         # Drop the buffer views promptly; the cached attachment itself is
@@ -529,14 +536,10 @@ def _validate_stacked(
             raise ConfigurationError("stacked configs must share one policy")
         if config.collect_trace:
             raise ConfigurationError("event traces require the per-point scalar path")
-        if config.target_half_width is not None:
-            raise ConfigurationError(
-                "adaptive stopping is not supported on the stacked engine; "
-                "use the per-point sweep for target_half_width"
-            )
         for attr in (
             "horizon_hours", "confidence", "seed", "executor", "workers",
-            "shard_size", "transport",
+            "shard_size", "transport", "target_half_width", "biasing",
+            "allocator",
         ):
             if getattr(config, attr) != getattr(first, attr):
                 raise ConfigurationError(
@@ -563,6 +566,7 @@ def _run_stacked_shards(
     mode: str = "pickle",
     grid: Optional[StackedParams] = None,
     spec: Optional[GridPlanesSpec] = None,
+    biasing: Optional[float] = None,
 ) -> Iterator[np.ndarray]:
     """Run the planned shards, yielding summary records in plan order.
 
@@ -582,18 +586,19 @@ def _run_stacked_shards(
             if mode == "view":
                 yield _simulate_stacked_shard(
                     policy, grid.slice(shard.start, shard.stop),
-                    horizon_hours, master_entropy, shard,
+                    horizon_hours, master_entropy, shard, biasing=biasing,
                 )
             else:
                 yield run_stacked_shard(
-                    policy, _params(shard), horizon_hours, master_entropy, shard
+                    policy, _params(shard), horizon_hours, master_entropy, shard,
+                    biasing=biasing,
                 )
         return
     if mode == "shm":
         futures = [
             pool.submit(
                 run_stacked_shard_shm, policy, spec,
-                horizon_hours, master_entropy, shard,
+                horizon_hours, master_entropy, shard, biasing,
             )
             for shard in shards
         ]
@@ -601,7 +606,7 @@ def _run_stacked_shards(
         futures = [
             pool.submit(
                 run_stacked_shard, policy, _params(shard),
-                horizon_hours, master_entropy, shard,
+                horizon_hours, master_entropy, shard, biasing,
             )
             for shard in shards
         ]
@@ -649,7 +654,11 @@ def _merge_point_records(
     for record in records:
         moments[int(record["point"])].merge(
             StreamingMoments(
-                n=int(record["n"]), mean=float(record["mean"]), m2=float(record["m2"])
+                n=int(record["n"]),
+                mean=float(record["mean"]),
+                m2=float(record["m2"]),
+                w_sum=float(record["w_sum"]),
+                w2_sum=float(record["w2_sum"]),
             )
         )
     return moments, totals
@@ -675,6 +684,7 @@ def _point_result(
         totals=totals,
         label=config.label(),
         seed_entropy=master_entropy,
+        ess=moments.ess() if config.biasing is not None else None,
     )
 
 
@@ -701,6 +711,12 @@ def run_stacked_sharded(
     bit-identity oracle the shm path is verified against.
     """
     policy, first = _validate_stacked(configs)
+    if first.target_half_width is not None and crn:
+        raise ConfigurationError(
+            "adaptive allocation re-plans shard rounds from the merged "
+            "interval widths; it cannot preserve the common-random-numbers "
+            "coupling"
+        )
     counts = [int(config.n_iterations) for config in configs]
     shards = plan_stacked_shards(counts, stacked_shard_size(first), crn=crn)
     master_entropy = RandomStreams(first.seed).seed_entropy
@@ -728,9 +744,33 @@ def run_stacked_sharded(
             spec = planes.spec
         for records in _run_stacked_shards(
             policy, configs, horizon, master_entropy, shards, pool,
-            mode=mode, grid=grid, spec=spec,
+            mode=mode, grid=grid, spec=spec, biasing=first.biasing,
         ):
             record_parts.append(records)
+        if first.target_half_width is not None:
+            # CI-width-driven adaptive allocation: between rounds, merge
+            # what every point has so far and dispatch the next round's
+            # lifetimes to the points whose intervals are still too wide.
+            # Follow-up rounds rebuild their rows from scalars (the pickle
+            # transport) because the view/shm planes were laid out for the
+            # initial uniform plan only; stream indices continue the global
+            # shard sequence, so the whole run — rounds, allocations and
+            # draws — is a pure function of the master seed.
+            next_index = len(shards)
+            while True:
+                moments, _ = _merge_point_records(record_parts, len(configs))
+                round_counts = _allocator_round_counts(configs, moments, first)
+                if not any(round_counts):
+                    break
+                round_shards = _plan_allocator_shards(
+                    round_counts, stacked_shard_size(first), next_index
+                )
+                next_index += len(round_shards)
+                for records in _run_stacked_shards(
+                    policy, configs, horizon, master_entropy, round_shards,
+                    pool, mode="pickle", biasing=first.biasing,
+                ):
+                    record_parts.append(records)
     except BaseException:
         # Don't make a failed shard wait for the rest of the round: drop
         # queued work and leave in-flight shards to die with their workers
@@ -755,6 +795,81 @@ def run_stacked_sharded(
     ]
 
 
+def _allocator_round_counts(
+    configs: Sequence[MonteCarloConfig],
+    moments: Sequence[StreamingMoments],
+    first: MonteCarloConfig,
+) -> List[int]:
+    """Size every point's next adaptive round (0 = the point is done).
+
+    Per point this is the same planning discipline as the single-point
+    adaptive loop (:func:`_next_round_budget`): stop at the target or the
+    point's ceiling, double through the zero-variance degeneracy, otherwise
+    close the point's own ``required_samples`` gap.  The ``"ci_width"``
+    allocator dispatches exactly those per-point gaps — wide intervals get
+    big rounds, finished points get nothing; the ``"uniform"`` allocator
+    levels every unmet point up to the largest gap, the naive
+    equal-budget discipline kept as the baseline.
+    """
+    target = first.target_half_width
+    needs: List[int] = []
+    for config, point_moments in zip(configs, moments):
+        ceiling = config.adaptive_ceiling
+        headroom = ceiling - point_moments.n
+        if headroom <= 0:
+            needs.append(0)
+            continue
+        if point_moments.m2 == 0.0:
+            # Degenerate zero-width interval (no event observed yet): keep
+            # sampling, doubling per round, until an event or the ceiling.
+            needs.append(int(min(max(point_moments.n, 1), headroom)))
+            continue
+        if point_moments.interval(config.confidence).half_width <= target:
+            needs.append(0)
+            continue
+        try:
+            needed = required_samples(
+                point_moments.std(), target, confidence=config.confidence
+            )
+        except SimulationError:
+            needed = ceiling
+        needs.append(int(min(max(needed - point_moments.n, 1), headroom)))
+    if first.allocator == "uniform" and any(needs):
+        biggest = max(needs)
+        needs = [
+            min(biggest, config.adaptive_ceiling - point_moments.n) if need else 0
+            for config, point_moments, need in zip(configs, moments, needs)
+        ]
+    return needs
+
+
+def _plan_allocator_shards(
+    round_counts: Sequence[int], shard_size: int, first_index: int
+) -> List[StackedShard]:
+    """Plan one adaptive round over the points with non-zero budgets.
+
+    The round's flat axis covers only those points (remapped back to their
+    grid indices), and stream indices continue the run's global shard
+    sequence at ``first_index`` — every shard family stays unique, and a
+    deterministic allocation replays to the same draws from the master
+    seed alone.
+    """
+    active = [index for index, count in enumerate(round_counts) if count > 0]
+    planned = plan_stacked_shards(
+        [round_counts[index] for index in active], shard_size
+    )
+    return [
+        StackedShard(
+            stream_index=first_index + shard.stream_index,
+            start=shard.start,
+            stop=shard.stop,
+            point_indices=tuple(active[point] for point in shard.point_indices),
+            counts=shard.counts,
+        )
+        for shard in planned
+    ]
+
+
 def replay_stacked_point(
     configs: Sequence[MonteCarloConfig],
     point_index: int,
@@ -775,6 +890,14 @@ def replay_stacked_point(
         raise ConfigurationError(
             f"point index {point_index!r} outside the grid of {len(configs)} points"
         )
+    if first.target_half_width is not None:
+        # Adaptive rounds are sized from *all* points' merged interval
+        # widths, so one point's shards cannot be derived in isolation.
+        # Replay instead re-runs the whole allocation single-process —
+        # rounds, allocations and stream indices are deterministic in the
+        # master seed, so the result still equals the grid run's entry bit
+        # for bit.
+        return run_stacked_sharded(configs, crn=crn, pool=None)[point]
     counts = [int(config.n_iterations) for config in configs]
     shards = [
         shard

@@ -77,6 +77,14 @@ class MonteCarloResult:
         The resolved master entropy of the run's random streams.  For
         ``seed=None`` runs this is the freshly drawn OS entropy, so any run
         can be replayed exactly by passing it back as the seed.
+    ess:
+        Kish's effective sample size of an importance-sampled run
+        (``None`` for unbiased runs, where it would equal ``n_iterations``).
+    analytical_reference:
+        Availability of the policy's analytical (CTMC) face at the same
+        parameter point, populated when an importance-sampled evaluation has
+        a dual-face policy available — the free control variate of the
+        rare-event engine.
     """
 
     availability: float
@@ -86,6 +94,8 @@ class MonteCarloResult:
     totals: Dict[str, float] = field(default_factory=dict)
     label: str = ""
     seed_entropy: Optional[int] = None
+    ess: Optional[float] = None
+    analytical_reference: Optional[float] = None
 
     @property
     def unavailability(self) -> float:
@@ -137,6 +147,8 @@ class MonteCarloResult:
             "horizon_hours": self.horizon_hours,
             "totals": dict(self.totals),
             "seed_entropy": self.seed_entropy,
+            "ess": self.ess,
+            "analytical_reference": self.analytical_reference,
         }
 
 

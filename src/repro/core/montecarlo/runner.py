@@ -97,6 +97,15 @@ def run_monte_carlo(config: MonteCarloConfig, pool=None) -> MonteCarloResult:
         return run_sharded(config, pool=pool)
     if _use_batch_path(config):
         return run_batch(config)
+    if config.biasing is not None:
+        # The config validator already rejects executor="scalar"; this
+        # catches the quieter case of executor="auto" resolving to the
+        # scalar loop because the policy has no batch kernel.
+        raise ConfigurationError(
+            "failure biasing requires the vectorised batch kernels; policy "
+            f"{resolve_policy(config.policy).name!r} has no batch kernel and "
+            "resolved to the scalar path"
+        )
     streams = RandomStreams(config.seed)
     iterations, _ = run_iterations(config, streams=streams)
     return summarise_iterations(iterations, config, seed_entropy=streams.seed_entropy)

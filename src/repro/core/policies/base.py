@@ -64,6 +64,11 @@ class BatchLifetimes:
     Each attribute is a length-``n`` array holding one value per lifetime;
     the layout mirrors the fields of
     :class:`~repro.core.montecarlo.results.IterationResult`.
+
+    ``log_weights`` is populated only by importance-sampled (``biasing=``)
+    kernel runs: per-lifetime log-likelihood-ratio ``log dP/dQ`` of the
+    nominal measure against the biased sampling measure.  ``None`` means the
+    batch was drawn from the nominal measure (all weights exactly one).
     """
 
     horizon_hours: float
@@ -72,6 +77,7 @@ class BatchLifetimes:
     dl_events: np.ndarray
     disk_failures: np.ndarray
     human_errors: np.ndarray
+    log_weights: Optional[np.ndarray] = None
 
     @classmethod
     def zeros(cls, n: int, horizon_hours: float) -> "BatchLifetimes":
@@ -93,14 +99,49 @@ class BatchLifetimes:
         downtime = np.minimum(self.downtime_hours, self.horizon_hours)
         return 1.0 - downtime / self.horizon_hours
 
+    def weights(self) -> Optional[np.ndarray]:
+        """Return per-lifetime importance weights, ``None`` on unbiased runs."""
+        if self.log_weights is None:
+            return None
+        return np.exp(self.log_weights)
+
+    def weighted_availabilities(self) -> np.ndarray:
+        """Return the per-lifetime *unbiased estimator* of availability.
+
+        For an unbiased batch this is exactly :meth:`availabilities`.  For an
+        importance-sampled batch each sample is ``1 - w * (1 - a)``: the
+        unavailability is reweighted by the likelihood ratio ``w = dP/dQ``
+        while lifetimes with zero downtime contribute exactly ``1.0``
+        regardless of their weight, so the estimator's expectation under the
+        biased measure equals the nominal availability.
+        """
+        availabilities = self.availabilities()
+        weights = self.weights()
+        if weights is None:
+            return availabilities
+        return 1.0 - weights * (1.0 - availabilities)
+
     def totals(self) -> Dict[str, float]:
-        """Return summed counters in the ``MonteCarloResult.totals`` layout."""
+        """Return summed counters in the ``MonteCarloResult.totals`` layout.
+
+        Importance-sampled batches sum likelihood-ratio-weighted counters so
+        the totals estimate the nominal-measure expectations.
+        """
+        weights = self.weights()
+        if weights is None:
+            return {
+                "downtime_hours": float(self.downtime_hours.sum()),
+                "du_events": float(self.du_events.sum()),
+                "dl_events": float(self.dl_events.sum()),
+                "disk_failures": float(self.disk_failures.sum()),
+                "human_errors": float(self.human_errors.sum()),
+            }
         return {
-            "downtime_hours": float(self.downtime_hours.sum()),
-            "du_events": float(self.du_events.sum()),
-            "dl_events": float(self.dl_events.sum()),
-            "disk_failures": float(self.disk_failures.sum()),
-            "human_errors": float(self.human_errors.sum()),
+            "downtime_hours": float(np.dot(weights, self.downtime_hours)),
+            "du_events": float(np.dot(weights, self.du_events)),
+            "dl_events": float(np.dot(weights, self.dl_events)),
+            "disk_failures": float(np.dot(weights, self.disk_failures)),
+            "human_errors": float(np.dot(weights, self.human_errors)),
         }
 
     def to_iteration_results(self) -> List["IterationResult"]:
@@ -208,16 +249,29 @@ class SimulationPolicy:
         n_lifetimes: int,
         rng: np.random.Generator,
         force_scalar: bool = False,
+        biasing: Optional[float] = None,
     ) -> BatchLifetimes:
         """Simulate ``n_lifetimes`` lifetimes, vectorised when possible.
 
         Policies without a batch kernel fall back to a scalar loop so every
         registered policy supports both execution styles; ``force_scalar``
         requests that loop even when a kernel exists (the sharded executor
-        uses it to honour ``executor="scalar"`` configs).
+        uses it to honour ``executor="scalar"`` configs).  ``biasing``
+        requests the kernel's importance-sampled mode; it is forwarded only
+        when set so unbiased runs hit the exact historical call and custom
+        kernels without the keyword keep working.
         """
         if self.batch is not None and not force_scalar:
+            if biasing is not None:
+                return self.batch(params, horizon_hours, int(n_lifetimes), rng, biasing=biasing)
             return self.batch(params, horizon_hours, int(n_lifetimes), rng)
+        if biasing is not None:
+            from repro.exceptions import ConfigurationError
+
+            raise ConfigurationError(
+                f"policy {self.name!r} cannot apply failure biasing on the "
+                "scalar path; importance sampling requires a batch kernel"
+            )
         batch = BatchLifetimes.zeros(int(n_lifetimes), horizon_hours)
         for i in range(int(n_lifetimes)):
             result = self.scalar(params, horizon_hours, rng, trace=None)
@@ -233,6 +287,7 @@ class SimulationPolicy:
         stacked_params,
         horizon_hours: float,
         rng: np.random.Generator,
+        biasing: Optional[float] = None,
     ) -> BatchLifetimes:
         """Simulate one lifetime per row of a stacked parameter grid.
 
@@ -249,6 +304,10 @@ class SimulationPolicy:
                 f"policy {self.name!r} has no stacked-capable batch kernel; "
                 "run it point by point instead"
             )
+        if biasing is not None:
+            return self.batch(
+                stacked_params, horizon_hours, len(stacked_params), rng, biasing=biasing
+            )
         return self.batch(stacked_params, horizon_hours, len(stacked_params), rng)
 
     def simulate_shard(
@@ -258,6 +317,7 @@ class SimulationPolicy:
         n_lifetimes: int,
         streams: "RandomStreams",
         force_scalar: bool = False,
+        biasing: Optional[float] = None,
     ) -> BatchLifetimes:
         """Simulate one shard of a parallel run from its own stream family.
 
@@ -270,5 +330,10 @@ class SimulationPolicy:
         """
         rng = streams.stream("montecarlo")
         return self.simulate_batch(
-            params, horizon_hours, int(n_lifetimes), rng, force_scalar=force_scalar
+            params,
+            horizon_hours,
+            int(n_lifetimes),
+            rng,
+            force_scalar=force_scalar,
+            biasing=biasing,
         )

@@ -70,7 +70,9 @@ def _sample(dist, size: int, rng: np.random.Generator) -> np.ndarray:
     return np.asarray(dist.sample(int(size), rng), dtype=float)
 
 
-def _sample_rows(dist, rows: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+def _sample_rows(
+    dist, rows: np.ndarray, rng: np.random.Generator, at: Optional[np.ndarray] = None
+) -> np.ndarray:
     """Draw one sample per entry of ``rows``.
 
     Row-aware distributions (``sample_rows``) draw each sample at the rate
@@ -79,7 +81,14 @@ def _sample_rows(dist, rows: np.ndarray, rng: np.random.Generator) -> np.ndarray
     to the pre-stacked kernels.  ``rows`` are always **global** lifetime
     ids — on the compacted path the callers translate their local working-
     set indices before sampling, so compaction never changes a draw.
+
+    ``at`` carries each draw's birth time (the absolute hour the sampled
+    clock starts ticking).  Only the failure-biasing importance sampler
+    consumes it — it needs the birth to censor likelihood-ratio
+    contributions at the horizon; plain distributions ignore it.
     """
+    if isinstance(dist, _BiasedSampler):
+        return dist.sample_rows(rows, rng, at=at)
     sampler = getattr(dist, "sample_rows", None)
     if sampler is not None:
         return sampler(rows, rng)
@@ -148,15 +157,20 @@ def _initial_clocks(params, failure_dist, m: int, n: int, rng: np.random.Generat
     Stacked grids sample every slot at its row's failure parameters and mask
     the slots beyond a row's geometry with ``+inf`` so they can never fire.
     """
-    matrix_sampler = getattr(failure_dist, "sample_matrix", None)
-    if matrix_sampler is not None:
-        clocks = matrix_sampler(n, rng)
-    elif getattr(failure_dist, "sample_rows", None) is not None:
-        rows = np.repeat(np.arange(m), n)
-        clocks = failure_dist.sample_rows(rows, rng).reshape(m, n)
-    else:
-        clocks = _sample(failure_dist, m * n, rng).reshape(m, n)
     n_rows = getattr(params, "n_disks_rows", None)
+    if isinstance(failure_dist, _BiasedSampler):
+        # The biased sampler needs the geometry mask so slots that can never
+        # fire contribute nothing to the likelihood-ratio weights.
+        clocks = failure_dist.sample_matrix(n, rng, n_disks_rows=n_rows)
+    else:
+        matrix_sampler = getattr(failure_dist, "sample_matrix", None)
+        if matrix_sampler is not None:
+            clocks = matrix_sampler(n, rng)
+        elif getattr(failure_dist, "sample_rows", None) is not None:
+            rows = np.repeat(np.arange(m), n)
+            clocks = failure_dist.sample_rows(rows, rng).reshape(m, n)
+        else:
+            clocks = _sample(failure_dist, m * n, rng).reshape(m, n)
     if n_rows is not None and np.any(n_rows < n):
         clocks[np.arange(n)[None, :] >= n_rows[:, None]] = np.inf
     return clocks
@@ -178,7 +192,7 @@ def _renew_slots(
     """
     if rows.size:
         ids = rows if sample_rows is None else sample_rows
-        clocks[rows, slots] = at_times + _sample_rows(failure_dist, ids, rng)
+        clocks[rows, slots] = at_times + _sample_rows(failure_dist, ids, rng, at=at_times)
 
 
 def _renew_failed_before(
@@ -205,7 +219,9 @@ def _renew_failed_before(
         # renewal time by its renewal count lines the starts up with it.
         per_row = mask.sum(axis=1)
         starts = np.repeat(times, per_row)
-        sub[mask] = starts + _sample_rows(failure_dist, np.repeat(ids, per_row), rng)
+        sub[mask] = starts + _sample_rows(
+            failure_dist, np.repeat(ids, per_row), rng, at=starts
+        )
         clocks[rows] = sub
 
 
@@ -286,6 +302,185 @@ def _recovery_race(
     raise HumanErrorModelError(
         f"error recovery did not terminate within {max_attempts} attempts (hep={hep!r})"
     )
+
+
+# ----------------------------------------------------------------------
+# Failure-biasing importance sampling
+# ----------------------------------------------------------------------
+def _failure_shape_scale(dist):
+    """Return the Weibull ``(shape, scale)`` parameters of a failure law.
+
+    Exponential families report shape 1 (scale ``1/rate``); row-aware
+    stacked distributions report per-row arrays.  Anything outside the
+    exponential/Weibull scale families cannot be biased by rate inflation
+    and is rejected.
+    """
+    rates = getattr(dist, "rates", None)
+    if rates is not None:
+        shapes = getattr(dist, "shapes", None)
+        if shapes is not None:
+            return shapes, dist.scales
+        return 1.0, 1.0 / rates
+    rate = getattr(dist, "rate_parameter", None)
+    if rate is not None:
+        return 1.0, 1.0 / float(rate)
+    shape = getattr(dist, "shape", None)
+    scale = getattr(dist, "scale", None)
+    if shape is not None and scale is not None:
+        return float(shape), float(scale)
+    raise ConfigurationError(
+        "failure biasing requires an exponential or Weibull failure "
+        f"distribution, got {dist!r}"
+    )
+
+
+class _BiasedSampler:
+    """Failure-biasing importance sampler wrapped around a failure law.
+
+    Draws come from the *biased* distribution — every failure rate inflated
+    by ``factor`` — while the underlying stream is consumed exactly like the
+    unbiased distribution would (one standard draw per sample): for the
+    exponential/Weibull scale families, inflating the rate by ``b`` divides
+    the scale by ``b``, so a biased draw is the unbiased draw divided by
+    ``b``.  Each draw's log-likelihood-ratio contribution ``log dP/dQ`` is
+    accumulated into the per-lifetime ``log_weights`` array.
+
+    **Censoring discipline.**  A naive density ratio on every draw makes the
+    weight variance explode exponentially in the number of renewals per
+    lifetime.  The kernels only ever *act* on a clock value through events
+    inside the mission horizon, so the likelihood ratio is taken on the
+    horizon-censored observation instead: a draw born at ``tau`` that fires
+    at ``tau + t' < H`` contributes the density ratio
+    ``-k*log(b) + (b^k - 1) * (t'/s)^k``; a draw that would fire at or
+    beyond ``H`` contributes the survival ratio at its censor point,
+    ``(b^k - 1) * ((H - tau)/s)^k`` — a *deterministic* quantity given the
+    birth time; a draw born at or after ``H`` (or sampled for a geometry
+    slot that does not exist) contributes nothing.  Every contribution has
+    unit expectation under the biased measure, and the clipped-at-horizon
+    downtime is measurable with respect to the censored observations, so
+    the weighted availability estimator is exactly unbiased.
+    """
+
+    def __init__(self, base, factor, horizon_hours: float, log_weights: np.ndarray) -> None:
+        self.base = base
+        self.horizon = float(horizon_hours)
+        self.log_weights = log_weights
+        factor_arr = np.asarray(factor, dtype=float)
+        if not np.all(np.isfinite(factor_arr)) or np.any(factor_arr <= 0.0):
+            raise ConfigurationError(
+                f"biasing factor must be positive and finite, got {factor!r}"
+            )
+        if factor_arr.ndim == 0:
+            self.factor: Union[float, np.ndarray] = float(factor_arr)
+        elif factor_arr.shape == (log_weights.size,):
+            self.factor = factor_arr
+        else:
+            raise ConfigurationError(
+                f"biasing factor shape {factor_arr.shape} does not match "
+                f"{log_weights.size} lifetimes"
+            )
+        self.shape, self.scale = _failure_shape_scale(base)
+
+    def sample_rows(
+        self, rows: np.ndarray, rng: np.random.Generator, at: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Draw biased renewal clocks for ``rows`` born at hours ``at``."""
+        if at is None:
+            raise SimulationError("biased failure draws require their birth times")
+        draws = _sample_rows(self.base, rows, rng)
+        b = _rows(self.factor, rows)
+        draws = draws / b
+        self._accumulate(
+            rows,
+            draws,
+            np.asarray(at, dtype=float),
+            b,
+            _rows(self.shape, rows),
+            _rows(self.scale, rows),
+        )
+        return draws
+
+    def sample_matrix(
+        self,
+        n_cols: int,
+        rng: np.random.Generator,
+        n_disks_rows: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Draw the biased ``(m, n_cols)`` initial clock matrix (born at 0)."""
+        m = self.log_weights.size
+        n_cols = int(n_cols)
+        matrix_sampler = getattr(self.base, "sample_matrix", None)
+        if matrix_sampler is not None:
+            draws = np.asarray(matrix_sampler(n_cols, rng), dtype=float)
+        elif getattr(self.base, "sample_rows", None) is not None:
+            rows = np.repeat(np.arange(m), n_cols)
+            draws = self.base.sample_rows(rows, rng).reshape(m, n_cols)
+        else:
+            draws = _sample(self.base, m * n_cols, rng).reshape(m, n_cols)
+        b = np.broadcast_to(np.asarray(self.factor, dtype=float), (m,))[:, None]
+        k = np.broadcast_to(np.asarray(self.shape, dtype=float), (m,))[:, None]
+        s = np.broadcast_to(np.asarray(self.scale, dtype=float), (m,))[:, None]
+        draws = draws / b
+        bk = np.power(b, k)
+        fired = draws < self.horizon
+        contrib = np.where(
+            fired,
+            (bk - 1.0) * np.power(draws / s, k) - k * np.log(b),
+            (bk - 1.0) * np.power(self.horizon / s, k),
+        )
+        if n_disks_rows is not None and np.any(n_disks_rows < n_cols):
+            contrib[np.arange(n_cols)[None, :] >= n_disks_rows[:, None]] = 0.0
+        self.log_weights += contrib.sum(axis=1)
+        return draws
+
+    def _accumulate(
+        self,
+        rows: np.ndarray,
+        draws: np.ndarray,
+        births: np.ndarray,
+        b,
+        k,
+        s,
+    ) -> None:
+        """Add each draw's censored log-likelihood-ratio to its lifetime."""
+        size = draws.size
+        if size == 0:
+            return
+        b = np.broadcast_to(np.asarray(b, dtype=float), (size,))
+        k = np.broadcast_to(np.asarray(k, dtype=float), (size,))
+        s = np.broadcast_to(np.asarray(s, dtype=float), (size,))
+        births = np.broadcast_to(births, (size,))
+        remaining = self.horizon - births
+        contrib = np.zeros(size, dtype=float)
+        live = remaining > 0.0
+        fired = live & (draws < remaining)
+        censored = live & ~fired
+        if np.any(fired):
+            bf, kf, sf = b[fired], k[fired], s[fired]
+            contrib[fired] = (np.power(bf, kf) - 1.0) * np.power(
+                draws[fired] / sf, kf
+            ) - kf * np.log(bf)
+        if np.any(censored):
+            bc, kc, sc = b[censored], k[censored], s[censored]
+            contrib[censored] = (np.power(bc, kc) - 1.0) * np.power(
+                remaining[censored] / sc, kc
+            )
+        np.add.at(self.log_weights, rows, contrib)
+
+
+def _biased_failure_dist(
+    params, horizon_hours: float, m: int, biasing
+) -> Tuple[object, Optional[np.ndarray]]:
+    """Build the (possibly biased) failure distribution for one batch.
+
+    Returns ``(failure_dist, log_weights)``; ``log_weights`` is ``None``
+    when no biasing was requested, leaving the unbiased call path untouched.
+    """
+    failure_dist = params.failure_distribution()
+    if biasing is None:
+        return failure_dist, None
+    log_weights = np.zeros(m, dtype=float)
+    return _BiasedSampler(failure_dist, biasing, horizon_hours, log_weights), log_weights
 
 
 # ----------------------------------------------------------------------
@@ -377,6 +572,7 @@ def batch_conventional(
     n_lifetimes: int,
     rng: np.random.Generator,
     compact: bool = True,
+    biasing: Optional[Union[float, np.ndarray]] = None,
 ) -> BatchLifetimes:
     """Run ``n_lifetimes`` conventional-policy lifetimes as one numpy batch.
 
@@ -390,17 +586,23 @@ def batch_conventional(
     gather discipline; both paths consume the random stream identically and
     return bit-identical batches (the equivalence is pinned by
     ``tests/core/test_transport.py``).
+
+    ``biasing`` (a factor > 0, scalar or per-lifetime array) switches the
+    kernel to failure-biased importance sampling: failure rates are
+    inflated by the factor and the returned batch carries per-lifetime
+    ``log_weights`` (see :class:`_BiasedSampler`).  ``None`` — the default —
+    takes the exact historical code path.
     """
     if horizon_hours <= 0.0:
         raise SimulationError(f"horizon must be positive, got {horizon_hours!r}")
     m = _check_lifetimes(params, n_lifetimes)
     if compact:
-        return _conventional_compacted(params, float(horizon_hours), m, rng)
-    return _conventional_gathered(params, float(horizon_hours), m, rng)
+        return _conventional_compacted(params, float(horizon_hours), m, rng, biasing)
+    return _conventional_gathered(params, float(horizon_hours), m, rng, biasing)
 
 
 def _conventional_gathered(
-    params, horizon_hours: float, m: int, rng: np.random.Generator
+    params, horizon_hours: float, m: int, rng: np.random.Generator, biasing=None
 ) -> BatchLifetimes:
     """The uncompacted conventional kernel (bit-identity oracle).
 
@@ -410,7 +612,7 @@ def _conventional_gathered(
     """
     n = params.n_disks
     n_disks = _per_row_or(params, "n_disks_rows", n)
-    failure_dist = params.failure_distribution()
+    failure_dist, log_weights = _biased_failure_dist(params, horizon_hours, m, biasing)
     repair_dist = params.repair_distribution()
     ddf_dist = params.ddf_recovery_distribution()
     recovery_dist = params.human_error_recovery_distribution()
@@ -419,6 +621,7 @@ def _conventional_gathered(
     crash_rate = params.crash_rate
 
     batch = BatchLifetimes.zeros(m, horizon_hours)
+    batch.log_weights = log_weights
     clocks = _initial_clocks(params, failure_dist, m, n, rng)
     now = np.zeros(m, dtype=float)
     active = np.arange(m)
@@ -485,7 +688,7 @@ def _conventional_gathered(
 
 
 def _conventional_compacted(
-    params, horizon_hours: float, m: int, rng: np.random.Generator
+    params, horizon_hours: float, m: int, rng: np.random.Generator, biasing=None
 ) -> BatchLifetimes:
     """The allocation-lean conventional kernel.
 
@@ -497,7 +700,7 @@ def _conventional_compacted(
     """
     n = params.n_disks
     n_disks = _per_row_or(params, "n_disks_rows", n)
-    failure_dist = params.failure_distribution()
+    failure_dist, log_weights = _biased_failure_dist(params, horizon_hours, m, biasing)
     repair_dist = params.repair_distribution()
     ddf_dist = params.ddf_recovery_distribution()
     recovery_dist = params.human_error_recovery_distribution()
@@ -506,6 +709,7 @@ def _conventional_compacted(
     crash_rate = params.crash_rate
 
     batch = BatchLifetimes.zeros(m, horizon_hours)
+    batch.log_weights = log_weights
     clocks = _initial_clocks(params, failure_dist, m, n, rng)
     now = np.zeros(m, dtype=float)
     rows = np.arange(m)
@@ -689,6 +893,7 @@ def batch_spare_pool(
     rng: np.random.Generator,
     n_spares: int = 1,
     compact: bool = True,
+    biasing: Optional[Union[float, np.ndarray]] = None,
 ) -> BatchLifetimes:
     """Run ``n_lifetimes`` spare-pool lifetimes as one numpy batch.
 
@@ -699,6 +904,8 @@ def batch_spare_pool(
 
     ``compact`` selects the allocation-lean working set exactly as in
     :func:`batch_conventional`; both settings are bit-identical.
+    ``biasing`` enables failure-biased importance sampling exactly as in
+    :func:`batch_conventional`.
     """
     if horizon_hours <= 0.0:
         raise SimulationError(f"horizon must be positive, got {horizon_hours!r}")
@@ -716,7 +923,9 @@ def batch_spare_pool(
             raise ConfigurationError("every stacked pool needs at least one spare")
         initial = np.asarray(pool_sizes, dtype=np.int64).copy()
     n = params.n_disks
-    failure_dist = params.failure_distribution()
+    failure_dist, log_weights = _biased_failure_dist(
+        params, float(horizon_hours), m, biasing
+    )
     state = _SparePoolState(
         params=params,
         horizon=float(horizon_hours),
@@ -733,6 +942,7 @@ def batch_spare_pool(
         recovery_dist=params.human_error_recovery_distribution(),
         has_hep=_has_positive(params.hep),
     )
+    state.batch.log_weights = log_weights
     if compact:
         state.rows = np.arange(m)
         state.arena = _Arena(m, n)

@@ -22,8 +22,13 @@ registered policy on either evaluation backend:
   independent study per point, sharing a single worker pool — is retained
   as :func:`sweep_per_point_mc` for regression testing and for the
   configurations the stacked engine does not cover (scalar executor, event
-  traces, adaptive stopping, policies without a stacked-capable kernel);
-  ``sweep`` falls back to it automatically.
+  traces, policies without a stacked-capable kernel); ``sweep`` falls back
+  to it automatically (with a one-time warning when an adaptive sweep has
+  to leave the stacked allocator).  Adaptive (``target_half_width``)
+  sweeps run stacked too: the CI-width allocator dispatches each next
+  shard round to the points with the widest intervals (see
+  :mod:`repro.core.montecarlo.parallel`), optionally on the
+  importance-sampled kernels (``biasing``) for rare-event scenarios.
 
 :func:`sweep_grid` runs a full **2-axis surface** (e.g. the Fig. 5
 hep-versus-lambda sheet) in one call on either backend: analytically the
@@ -37,6 +42,7 @@ anywhere a policy is expected.
 
 from __future__ import annotations
 
+import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
@@ -73,6 +79,31 @@ SWEEP_BACKENDS = ("analytical", "monte_carlo", "auto")
 #: Monte Carlo sweep engines: ``"auto"`` uses the stacked grid whenever the
 #: policy and configuration allow it and falls back to the per-point loop.
 MC_ENGINES = ("auto", "stacked", "per_point")
+
+#: Set when the adaptive per-point fallback warning has fired, so a sweep
+#: over many points (or many sweeps in one process) warns exactly once.
+_ADAPTIVE_FALLBACK_WARNED = False
+
+
+def _warn_adaptive_fallback(reason: str) -> None:
+    """Warn (once per process) that an adaptive sweep left the stacked path.
+
+    Adaptive sweeps normally run on the stacked engine's CI-width
+    allocator; configurations the allocator cannot serve (scalar executor,
+    policies without a stacked-capable kernel) silently used to raise —
+    now they fall back to the independent per-point adaptive loop, which
+    is correct but pays one full study per point.
+    """
+    global _ADAPTIVE_FALLBACK_WARNED
+    if _ADAPTIVE_FALLBACK_WARNED:
+        return
+    _ADAPTIVE_FALLBACK_WARNED = True
+    warnings.warn(
+        "adaptive sweep cannot use the stacked allocator "
+        f"({reason}); falling back to the per-point adaptive loop",
+        RuntimeWarning,
+        stacklevel=4,
+    )
 
 
 @dataclass(frozen=True)
@@ -169,13 +200,16 @@ def _analytical_points(
     return points
 
 
-def _check_mc_options_for_backend(backend: str, mc_engine: str, crn: bool) -> None:
+def _check_mc_options_for_backend(
+    backend: str, mc_engine: str, crn: bool, biasing: Optional[float] = None
+) -> None:
     """Reject Monte Carlo-only options once a sweep resolved analytically.
 
     ``backend="auto"`` picks the analytical face whenever the policy has
-    one; an explicit ``crn`` or ``mc_engine`` request must not be dropped
-    silently on that path (a caller asking for coupled streams would get
-    uncoupled point estimates without noticing).
+    one; an explicit ``crn``, ``mc_engine`` or ``biasing`` request must not
+    be dropped silently on that path (a caller asking for coupled streams
+    or importance sampling would get plain point estimates without
+    noticing).
     """
     if backend == "monte_carlo":
         return
@@ -189,6 +223,12 @@ def _check_mc_options_for_backend(backend: str, mc_engine: str, crn: bool) -> No
         raise ConfigurationError(
             f"mc_engine={mc_engine!r} applies to the monte_carlo backend, "
             "but this sweep resolved to the analytical backend; pass "
+            "backend='monte_carlo'"
+        )
+    if biasing is not None:
+        raise ConfigurationError(
+            "failure biasing applies to the monte_carlo backend, but this "
+            "sweep resolved to the analytical backend; pass "
             "backend='monte_carlo'"
         )
 
@@ -217,9 +257,12 @@ def _monte_carlo_points(
     workers: int,
     shard_size: Optional[int],
     target_half_width: Optional[float],
+    mc_max_iterations: Optional[int],
     mc_engine: str,
     crn: bool,
     transport: str,
+    biasing: Optional[float],
+    allocator: str,
     pool,
 ) -> List[SweepPoint]:
     """Evaluate arbitrary parameter points on the Monte Carlo backend."""
@@ -227,16 +270,12 @@ def _monte_carlo_points(
         raise ConfigurationError(
             f"mc_engine must be one of {MC_ENGINES}, got {mc_engine!r}"
         )
-    stackable = (
-        policy.can_stack
-        and executor != "scalar"
-        and target_half_width is None
-    )
+    stackable = policy.can_stack and executor != "scalar"
     if mc_engine == "stacked" and not stackable:
         raise ConfigurationError(
-            "the stacked engine requires a stacked-capable policy kernel, a "
-            "vectorised executor and no adaptive stopping; use "
-            "mc_engine='per_point' for this configuration"
+            "the stacked engine requires a stacked-capable policy kernel and "
+            "a vectorised executor; use mc_engine='per_point' for this "
+            "configuration"
         )
     use_stacked = mc_engine == "stacked" or (mc_engine == "auto" and stackable)
     if crn and not use_stacked:
@@ -245,9 +284,19 @@ def _monte_carlo_points(
         raise ConfigurationError(
             "common random numbers are a stacked-engine mode, but this "
             "configuration resolved to the per-point path (scalar executor, "
-            "adaptive stopping, mc_engine='per_point', or a policy without "
-            "a stacked-capable kernel)"
+            "mc_engine='per_point', or a policy without a stacked-capable "
+            "kernel)"
         )
+    if target_half_width is not None and mc_engine == "auto" and not use_stacked:
+        # Adaptive sweeps prefer the stacked allocator; fall back (loudly,
+        # once) rather than refusing configurations it cannot serve.  An
+        # explicit mc_engine="per_point" is honoured silently.
+        reason = (
+            "scalar executor requested"
+            if executor == "scalar"
+            else f"policy {policy.name!r} has no stacked-capable kernel"
+        )
+        _warn_adaptive_fallback(reason)
     if use_stacked:
         estimates = evaluate_stacked(
             point_params,
@@ -258,8 +307,12 @@ def _monte_carlo_points(
             confidence=confidence,
             workers=workers,
             shard_size=shard_size,
+            target_half_width=target_half_width,
+            max_iterations=mc_max_iterations,
             crn=crn,
             transport=transport,
+            biasing=biasing,
+            allocator=allocator,
             pool=pool,
         )
         return [
@@ -282,7 +335,10 @@ def _monte_carlo_points(
                 workers=workers,
                 shard_size=shard_size,
                 target_half_width=target_half_width,
+                max_iterations=mc_max_iterations,
                 transport=transport,
+                biasing=biasing,
+                allocator=allocator,
                 pool=sweep_pool,
             )
             points.append(_point_from_estimate(estimate, x))
@@ -305,9 +361,12 @@ def sweep(
     workers: int = 1,
     shard_size: Optional[int] = None,
     target_half_width: Optional[float] = None,
+    mc_max_iterations: Optional[int] = None,
     mc_engine: str = "auto",
     crn: bool = False,
     transport: str = "auto",
+    biasing: Optional[float] = None,
+    allocator: str = "uniform",
     pool=None,
 ) -> List[SweepPoint]:
     """Sweep one parameter axis for one policy on one backend.
@@ -336,8 +395,11 @@ def sweep(
     mc_engine:
         ``"stacked"`` (one kernel invocation per shard covers the whole
         grid), ``"per_point"`` (the retained pre-stacked loop, one full
-        study per value) or ``"auto"``: stacked whenever the policy kernel,
-        executor and stopping mode allow it.
+        study per value) or ``"auto"``: stacked whenever the policy kernel
+        and executor allow it.  Adaptive (``target_half_width``) sweeps run
+        on the stacked engine's CI-width allocator; configurations the
+        allocator cannot serve fall back to the per-point adaptive loop
+        with a one-time warning.
     crn:
         Stacked engine only — couple every point to identical base random
         streams (common random numbers) for variance-reduced contrasts
@@ -347,6 +409,13 @@ def sweep(
         ``"auto"`` (zero-copy shared-memory planes whenever usable),
         ``"shm"`` or ``"pickle"`` (per-shard rebuild, the retained
         fallback/oracle).  Results are byte-identical across transports.
+    biasing:
+        Failure-biasing factor of the importance-sampled kernels (``None``
+        keeps the unbiased kernels); see
+        :class:`~repro.core.montecarlo.config.MonteCarloConfig`.
+    allocator:
+        Adaptive-round budget allocator of stacked adaptive sweeps:
+        ``"uniform"`` or ``"ci_width"``.
     pool:
         Optional externally owned worker pool; ``None`` with ``workers > 1``
         starts one pool for the whole sweep (not one per point).
@@ -361,7 +430,7 @@ def sweep(
     resolved = resolve_policy(policy)
     if backend == "auto":
         backend = "analytical" if resolved.has_analytical_model else "monte_carlo"
-    _check_mc_options_for_backend(backend, mc_engine, crn)
+    _check_mc_options_for_backend(backend, mc_engine, crn, biasing)
     point_params = [_with_axis(base_params, field, value) for value in values]
     xs = [float(value) for value in values]
 
@@ -379,9 +448,12 @@ def sweep(
         workers=workers,
         shard_size=shard_size,
         target_half_width=target_half_width,
+        mc_max_iterations=mc_max_iterations,
         mc_engine=mc_engine,
         crn=crn,
         transport=transport,
+        biasing=biasing,
+        allocator=allocator,
         pool=pool,
     )
 
@@ -408,7 +480,8 @@ def sweep_per_point_mc(
     launches, shard scheduling and aggregation — retained as the ground
     truth the stacked engine is statistically validated and benchmarked
     against, and as the execution path for configurations the stacked
-    engine does not cover (scalar executor, adaptive stopping).
+    engine does not cover (scalar executor, policies without a
+    stacked-capable kernel).
     """
     return sweep(
         base_params,
@@ -493,9 +566,12 @@ def sweep_grid(
     workers: int = 1,
     shard_size: Optional[int] = None,
     target_half_width: Optional[float] = None,
+    mc_max_iterations: Optional[int] = None,
     mc_engine: str = "auto",
     crn: bool = False,
     transport: str = "auto",
+    biasing: Optional[float] = None,
+    allocator: str = "uniform",
     pool=None,
 ) -> SweepGrid:
     """Sweep two parameter axes at once (a fig5-style surface) in one call.
@@ -524,7 +600,7 @@ def sweep_grid(
     resolved = resolve_policy(policy)
     if backend == "auto":
         backend = "analytical" if resolved.has_analytical_model else "monte_carlo"
-    _check_mc_options_for_backend(backend, mc_engine, crn)
+    _check_mc_options_for_backend(backend, mc_engine, crn, biasing)
     point_params: List[AvailabilityParameters] = []
     xs: List[float] = []
     for v1 in values1:
@@ -549,9 +625,12 @@ def sweep_grid(
             workers=workers,
             shard_size=shard_size,
             target_half_width=target_half_width,
+            mc_max_iterations=mc_max_iterations,
             mc_engine=mc_engine,
             crn=crn,
             transport=transport,
+            biasing=biasing,
+            allocator=allocator,
             pool=pool,
         )
     n2 = len(values2)

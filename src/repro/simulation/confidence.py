@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 from scipy import stats
@@ -75,22 +75,52 @@ class StreamingMoments:
 
     ``m2`` is the sum of squared deviations from the mean, i.e.
     ``variance(ddof=1) = m2 / (n - 1)``.
+
+    Importance-sampled shards additionally carry the sums of their
+    likelihood-ratio weights (``w_sum``/``w2_sum``), which merge additively
+    and yield Kish's effective sample size (:meth:`ess`).  The weighted
+    estimator itself rides in the samples — each one is already
+    ``1 - w * (1 - availability)`` — so the mean/variance arithmetic (and
+    therefore every interval) stays bit-identical to the unweighted path;
+    the weight sums are purely diagnostic bookkeeping on top.
     """
 
     n: int = 0
     mean: float = 0.0
     m2: float = 0.0
+    w_sum: float = 0.0
+    w2_sum: float = 0.0
 
     @classmethod
-    def from_samples(cls, samples: Sequence[float]) -> "StreamingMoments":
-        """Summarise a sample array into one moments triple."""
+    def from_samples(
+        cls, samples: Sequence[float], weights: Optional[Sequence[float]] = None
+    ) -> "StreamingMoments":
+        """Summarise a sample array (and optional weights) into one triple."""
         data = np.asarray(samples, dtype=float)
         if np.any(~np.isfinite(data)):
             raise SimulationError("streaming moments require finite samples")
         if data.size == 0:
             return cls()
+        if weights is None:
+            w_sum = w2_sum = float(data.size)
+        else:
+            w = np.asarray(weights, dtype=float)
+            if w.shape != data.shape:
+                raise SimulationError(
+                    f"weights shape {w.shape} does not match samples shape {data.shape}"
+                )
+            if np.any(~np.isfinite(w)) or np.any(w < 0.0):
+                raise SimulationError("weights must be finite and non-negative")
+            w_sum = float(np.sum(w))
+            w2_sum = float(np.sum(w * w))
         mean = float(np.mean(data))
-        return cls(n=int(data.size), mean=mean, m2=float(np.sum((data - mean) ** 2)))
+        return cls(
+            n=int(data.size),
+            mean=mean,
+            m2=float(np.sum((data - mean) ** 2)),
+            w_sum=w_sum,
+            w2_sum=w2_sum,
+        )
 
     def merge(self, other: "StreamingMoments") -> "StreamingMoments":
         """Fold ``other`` into this accumulator (in place) and return it."""
@@ -98,13 +128,26 @@ class StreamingMoments:
             return self
         if self.n == 0:
             self.n, self.mean, self.m2 = other.n, other.mean, other.m2
+            self.w_sum, self.w2_sum = other.w_sum, other.w2_sum
             return self
         n = self.n + other.n
         delta = other.mean - self.mean
         self.m2 = self.m2 + other.m2 + delta * delta * self.n * other.n / n
         self.mean = self.mean + delta * other.n / n
         self.n = n
+        self.w_sum += other.w_sum
+        self.w2_sum += other.w2_sum
         return self
+
+    def ess(self) -> float:
+        """Return Kish's effective sample size ``w_sum^2 / w2_sum``.
+
+        Equals ``n`` exactly on unweighted data; accumulators built before
+        weights existed (``w2_sum == 0``) also report ``n``.
+        """
+        if self.w2_sum <= 0.0:
+            return float(self.n)
+        return self.w_sum * self.w_sum / self.w2_sum
 
     def variance(self, ddof: int = 1) -> float:
         """Return the (by default sample) variance of the merged data."""
@@ -138,7 +181,9 @@ class StreamingMoments:
 
 
 def segmented_moments(
-    samples: Sequence[float], counts: Sequence[int]
+    samples: Sequence[float],
+    counts: Sequence[int],
+    weights: Optional[Sequence[float]] = None,
 ) -> "list[StreamingMoments]":
     """Summarise consecutive segments of ``samples`` into moments triples.
 
@@ -166,9 +211,24 @@ def segmented_moments(
     means = np.add.reduceat(data, offsets) / sizes
     deviations = data - np.repeat(means, sizes)
     m2 = np.add.reduceat(deviations * deviations, offsets)
+    if weights is None:
+        w_sums = sizes.astype(float)
+        w2_sums = sizes.astype(float)
+    else:
+        w = np.asarray(weights, dtype=float)
+        if w.shape != data.shape:
+            raise SimulationError(
+                f"weights shape {w.shape} does not match samples shape {data.shape}"
+            )
+        if np.any(~np.isfinite(w)) or np.any(w < 0.0):
+            raise SimulationError("weights must be finite and non-negative")
+        w_sums = np.add.reduceat(w, offsets)
+        w2_sums = np.add.reduceat(w * w, offsets)
     return [
-        StreamingMoments(n=int(n), mean=float(mean), m2=float(q))
-        for n, mean, q in zip(sizes, means, m2)
+        StreamingMoments(
+            n=int(n), mean=float(mean), m2=float(q), w_sum=float(ws), w2_sum=float(w2s)
+        )
+        for n, mean, q, ws, w2s in zip(sizes, means, m2, w_sums, w2_sums)
     ]
 
 

@@ -182,9 +182,21 @@ class TestStackedValidation:
         with pytest.raises(ConfigurationError, match="horizon_hours"):
             run_stacked(mismatched)
 
-    def test_adaptive_stopping_rejected(self):
-        with pytest.raises(ConfigurationError, match="adaptive"):
-            run_stacked(_configs([0.01], target_half_width=1e-4))
+    def test_adaptive_stopping_runs_through_allocator(self):
+        # Formerly a hard error; adaptive stacked runs now dispatch extra
+        # rounds through the CI-width allocator until every point's merged
+        # interval meets the target (or its ceiling).
+        results = run_stacked(
+            _configs([0.01], target_half_width=1e-3, max_iterations=20_000)
+        )
+        assert results[0].interval.half_width <= 1e-3
+
+    def test_adaptive_stopping_rejected_with_crn(self):
+        with pytest.raises(ConfigurationError, match="common-random-numbers"):
+            run_stacked(
+                _configs([0.01], target_half_width=1e-4, max_iterations=20_000),
+                crn=True,
+            )
 
     def test_scalar_executor_rejected(self):
         with pytest.raises(ConfigurationError, match="vectorised"):
@@ -207,7 +219,7 @@ class TestStackedValidation:
             sweep(
                 paper_parameters(**STRESS), "hep", [0.01, 0.02],
                 backend="monte_carlo", mc_engine="stacked",
-                target_half_width=1e-4, mc_iterations=400,
+                executor="scalar", mc_iterations=400,
             )
 
     def test_sweep_per_point_engine_rejects_crn(self):
@@ -219,10 +231,11 @@ class TestStackedValidation:
             )
 
     def test_crn_never_dropped_silently_on_auto_fallback(self):
-        # An auto-engine sweep that falls back to the per-point path (here:
-        # adaptive stopping) must refuse an explicit CRN request instead of
-        # quietly running with uncoupled streams.
-        with pytest.raises(ConfigurationError, match="common random numbers"):
+        # An explicit CRN request must never be quietly dropped: adaptive
+        # auto-engine sweeps now run stacked, where CRN conflicts with the
+        # re-planned allocator rounds (hyphenated message from the stacked
+        # validator); per-point fallbacks keep the sweep-level refusal.
+        with pytest.raises(ConfigurationError, match="common.random.numbers"):
             sweep(
                 paper_parameters(**STRESS), "hep", [0.01, 0.02],
                 backend="monte_carlo", crn=True, target_half_width=1e-3,
