@@ -16,7 +16,7 @@ from dataclasses import replace
 
 from repro.analysis import dominant_parameter, one_at_a_time
 from repro.availability import Table
-from repro.core.models import ModelKind, solve_model
+from repro.core.evaluation import analytical_result
 from repro.core.parameters import paper_parameters
 
 
@@ -48,8 +48,8 @@ def test_error_recovery_rate_ablation_bench(benchmark):
         for mu_he in (1.0, 0.3, 0.1, 0.03):
             params = replace(paper_parameters(disk_failure_rate=1e-6, hep=0.01),
                              human_error_rate=mu_he)
-            conventional = solve_model(params, ModelKind.CONVENTIONAL)
-            failover = solve_model(params, ModelKind.AUTOMATIC_FAILOVER)
+            conventional = analytical_result(params, "conventional")
+            failover = analytical_result(params, "automatic_failover")
             rows.append((mu_he, conventional.nines, failover.nines,
                          conventional.unavailability / failover.unavailability))
         return rows
@@ -82,7 +82,7 @@ def test_crash_rate_ablation_bench(benchmark):
         for crash in (0.0, 0.01, 0.1, 1.0):
             params = replace(paper_parameters(disk_failure_rate=1e-6, hep=0.01),
                              crash_rate=crash)
-            result = solve_model(params, ModelKind.CONVENTIONAL)
+            result = analytical_result(params, "conventional")
             rows.append((crash, result.nines, result.state_probabilities.get("DL", 0.0)))
         return rows
 

@@ -20,7 +20,7 @@ import time
 
 import pytest
 
-from repro.core.models import ModelKind, solve_model
+from repro.core.evaluation import analytical_result
 from repro.core.montecarlo import MonteCarloConfig, run_monte_carlo
 from repro.core.montecarlo.trace import generate_example_trace, summarise_trace
 from repro.core.parameters import paper_parameters
@@ -196,8 +196,8 @@ def test_markov_solver_throughput(benchmark):
     def solve_both():
         params = paper_parameters(disk_failure_rate=1e-6, hep=0.01)
         return (
-            solve_model(params, ModelKind.CONVENTIONAL).availability,
-            solve_model(params, ModelKind.AUTOMATIC_FAILOVER).availability,
+            analytical_result(params, "conventional").availability,
+            analytical_result(params, "automatic_failover").availability,
         )
 
     conventional, failover = benchmark(solve_both)

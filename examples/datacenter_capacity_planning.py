@@ -15,7 +15,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ModelKind, compare_equal_capacity, paper_parameters
+from repro import compare_equal_capacity, paper_parameters
 from repro.availability import Table
 from repro.human import expected_errors_per_year
 from repro.storage import DiskSubsystem, RaidGeometry
@@ -31,7 +31,7 @@ FAILURE_RATE = 1e-6
 def fleet_table(hep: float) -> Table:
     """Return the comparison table for one human error probability."""
     base = paper_parameters(disk_failure_rate=FAILURE_RATE, hep=hep)
-    model = ModelKind.BASELINE if hep == 0.0 else ModelKind.CONVENTIONAL
+    model = "baseline" if hep == 0.0 else "conventional"
     comparisons = compare_equal_capacity(
         base,
         geometries=[RaidGeometry.raid1(2), RaidGeometry.raid5(3), RaidGeometry.raid5(7)],

@@ -15,12 +15,11 @@ Run with::
 from __future__ import annotations
 
 from repro import (
-    ModelKind,
     MonteCarloConfig,
     PolicyKind,
+    analytical_result,
     paper_parameters,
     run_monte_carlo,
-    solve_model,
 )
 from repro.availability import Table
 
@@ -41,9 +40,9 @@ def analytical_study() -> Table:
     )
     for hep in HEP_VALUES:
         params = paper_parameters(disk_failure_rate=FAILURE_RATE, hep=hep)
-        conventional_kind = ModelKind.BASELINE if hep == 0.0 else ModelKind.CONVENTIONAL
-        conventional = solve_model(params, conventional_kind)
-        failover = solve_model(params, ModelKind.AUTOMATIC_FAILOVER)
+        conventional_policy = "baseline" if hep == 0.0 else "conventional"
+        conventional = analytical_result(params, conventional_policy)
+        failover = analytical_result(params, "automatic_failover")
         gain = (
             conventional.unavailability / failover.unavailability
             if failover.unavailability > 0
@@ -67,10 +66,7 @@ def monte_carlo_cross_check() -> Table:
         columns=["policy", "mc_nines", "markov_nines", "du_events", "dl_events"],
     )
     params = paper_parameters(disk_failure_rate=MC_FAILURE_RATE, hep=0.01)
-    for policy, kind in (
-        (PolicyKind.CONVENTIONAL, ModelKind.CONVENTIONAL),
-        (PolicyKind.AUTOMATIC_FAILOVER, ModelKind.AUTOMATIC_FAILOVER),
-    ):
+    for policy in (PolicyKind.CONVENTIONAL, PolicyKind.AUTOMATIC_FAILOVER):
         mc = run_monte_carlo(
             MonteCarloConfig(
                 params=params,
@@ -80,7 +76,7 @@ def monte_carlo_cross_check() -> Table:
                 seed=2017,
             )
         )
-        markov = solve_model(params, kind)
+        markov = analytical_result(params, policy)
         table.add_row(
             policy=policy.value,
             mc_nines=mc.nines,

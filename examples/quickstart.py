@@ -12,7 +12,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ModelKind, paper_parameters, solve_model
+from repro import analytical_result, paper_parameters
 from repro.availability import downtime_minutes_per_year
 from repro.core.underestimation import underestimation_factor
 
@@ -24,15 +24,15 @@ def main() -> None:
     print("-" * 67)
 
     rows = [
-        ("traditional (human error ignored)", 0.0, ModelKind.BASELINE),
-        ("conventional replacement", 0.001, ModelKind.CONVENTIONAL),
-        ("conventional replacement", 0.01, ModelKind.CONVENTIONAL),
-        ("automatic fail-over", 0.001, ModelKind.AUTOMATIC_FAILOVER),
-        ("automatic fail-over", 0.01, ModelKind.AUTOMATIC_FAILOVER),
+        ("traditional (human error ignored)", 0.0, "baseline"),
+        ("conventional replacement", 0.001, "conventional"),
+        ("conventional replacement", 0.01, "conventional"),
+        ("automatic fail-over", 0.001, "automatic_failover"),
+        ("automatic fail-over", 0.01, "automatic_failover"),
     ]
-    for label, hep, kind in rows:
+    for label, hep, policy in rows:
         params = paper_parameters(disk_failure_rate=failure_rate, hep=hep)
-        result = solve_model(params, kind)
+        result = analytical_result(params, policy)
         minutes = downtime_minutes_per_year(result.availability)
         print(f"{label:<34}{hep:>8g}{result.nines:>9.2f}{minutes:>13.3f} min")
 

@@ -32,14 +32,12 @@ Quickstart::
 from repro.core import (
     AvailabilityEstimate,
     AvailabilityParameters,
-    ModelKind,
     MonteCarloConfig,
     MonteCarloResult,
     SimulationPolicy,
     analytical_policies,
     analytical_result,
     available_policies,
-    build_chain,
     compare_equal_capacity,
     estimate_availability,
     evaluate,
@@ -47,7 +45,6 @@ from repro.core import (
     paper_parameters,
     register_policy,
     run_monte_carlo,
-    solve_model,
     sweep,
     sweep_grid,
 )
@@ -62,7 +59,6 @@ __all__ = [
     "AvailabilityEstimate",
     "AvailabilityParameters",
     "MarkovChain",
-    "ModelKind",
     "MonteCarloConfig",
     "MonteCarloResult",
     "PolicyKind",
@@ -73,7 +69,6 @@ __all__ = [
     "analytical_policies",
     "analytical_result",
     "available_policies",
-    "build_chain",
     "compare_equal_capacity",
     "estimate_availability",
     "evaluate",
@@ -81,7 +76,6 @@ __all__ = [
     "paper_parameters",
     "register_policy",
     "run_monte_carlo",
-    "solve_model",
     "steady_state_availability",
     "sweep",
     "sweep_grid",

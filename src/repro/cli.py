@@ -9,7 +9,9 @@ Eight subcommands cover the common workflows without writing any code:
     Equal-usable-capacity comparison of the paper's three RAID layouts.
 ``mc``
     Run a Monte Carlo availability study for any registered replacement
-    policy (vectorised batch executor by default).
+    policy (vectorised batch executor by default).  ``--scheme k:N[:R]``
+    simulates a pinned k-of-N erasure scheme with periodic checker/repair
+    cycles (``--check-period`` hours) instead of a named policy.
 ``sweep``
     Sweep one parameter axis — or a 2-axis grid via ``--axis2`` — for one
     policy on either evaluation backend
@@ -22,9 +24,12 @@ Eight subcommands cover the common workflows without writing any code:
 ``crossval``
     Cross-backend validation: assert the analytical availability of every
     dual-face policy falls inside its Monte Carlo confidence interval
-    (non-zero exit code otherwise; used as the CI smoke job).
+    (non-zero exit code otherwise; used as the CI smoke job).  ``--policy``
+    restricts the run to named policies — the way to cross-validate the
+    periodic-scheme erasure family at an event-rich operating point.
 ``policies``
-    List the replacement policies available in the registry.
+    List the replacement policies available in the registry: evaluation
+    faces, kernels, stacked-grid support and redundancy scheme per policy.
 ``bench``
     Inspect the machine-readable benchmark trajectory (``BENCH_sweep.json``):
     ``bench history`` prints the per-op speedup trend across recorded runs,
@@ -55,7 +60,14 @@ from repro.core.montecarlo import (
     run_monte_carlo,
 )
 from repro.core.parameters import paper_parameters
-from repro.core.policies import available_policies, get_policy, hot_spare_policy
+from repro.core.policies import (
+    MONTHLY_CHECK_HOURS,
+    available_policies,
+    erasure_policy,
+    get_policy,
+    hot_spare_policy,
+    parse_scheme,
+)
 from repro.core.sweep import MC_ENGINES, SWEEP_AXES, SWEEP_BACKENDS, sweep, sweep_grid
 from repro.exceptions import ConfigurationError, ReproError
 from repro.experiments.cross_validation import (
@@ -126,6 +138,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="hot-spare pool size (builds a hot_spare_pool variant with k spares; "
         "mutually exclusive with --policy)",
+    )
+    mc.add_argument(
+        "--scheme",
+        default=None,
+        metavar="k:N[:R]",
+        help="erasure k-of-N scheme with periodic checks: simulate the pinned "
+        "erasure policy on an EC(k of N) geometry (mutually exclusive with "
+        "--policy/--spares; overrides --raid)",
+    )
+    mc.add_argument(
+        "--check-period",
+        type=float,
+        default=MONTHLY_CHECK_HOURS,
+        help="checker period in hours of a --scheme run (default: 730, "
+        "i.e. monthly)",
     )
     mc.add_argument("--raid", default="RAID5(3+1)", help="RAID label, e.g. RAID5(7+1)")
     mc.add_argument("--failure-rate", type=float, default=1e-6, help="disk failure rate per hour")
@@ -253,8 +280,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--policy",
-        default="conventional",
-        help="registered policy name (see the 'policies' command)",
+        default=None,
+        help="registered policy name (default: conventional; see the "
+        "'policies' command)",
+    )
+    sweep_parser.add_argument(
+        "--scheme",
+        default=None,
+        metavar="k:N[:R]",
+        help="erasure k-of-N scheme with periodic checks: sweep the pinned "
+        "erasure policy on an EC(k of N) geometry (mutually exclusive with "
+        "--policy; overrides --raid)",
+    )
+    sweep_parser.add_argument(
+        "--check-period",
+        type=float,
+        default=MONTHLY_CHECK_HOURS,
+        help="checker period in hours of a --scheme sweep (default: 730, "
+        "i.e. monthly)",
     )
     sweep_parser.add_argument(
         "--backend",
@@ -351,6 +394,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     crossval.add_argument("--hep", type=float, default=0.01, help="human error probability")
     crossval.add_argument(
+        "--policy",
+        action="append",
+        dest="policies",
+        default=None,
+        metavar="NAME",
+        help="validate only the named policy (repeatable); the default set is "
+        "every dual-face policy except periodic-scheme ones, which need an "
+        "event-rich operating point — e.g. --policy erasure "
+        "--raid 'EC(3of10)' --failure-rate 1e-4",
+    )
+    crossval.add_argument(
         "--iterations", type=int, default=4000,
         help="simulated lifetimes per policy (reduce for a smoke run)",
     )
@@ -435,11 +489,28 @@ def _run_compare(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _scheme_policy(args: argparse.Namespace):
+    """Build the pinned erasure policy + EC geometry implied by ``--scheme``."""
+    scheme = parse_scheme(args.scheme, check_period_hours=args.check_period)
+    policy = erasure_policy(
+        scheme.k,
+        scheme.n_shares,
+        repair_threshold=scheme.repair_threshold,
+        check_period_hours=args.check_period,
+    )
+    return policy, RaidGeometry.erasure(scheme.k, scheme.n_shares)
+
+
 def _run_mc(args: argparse.Namespace) -> str:
     if args.spares is not None and args.policy is not None:
         raise ConfigurationError(
             "--policy and --spares are mutually exclusive: --spares builds a "
             "hot_spare_pool variant and would override the named policy"
+        )
+    if args.scheme is not None and (args.policy is not None or args.spares is not None):
+        raise ConfigurationError(
+            "--scheme builds its own erasure policy and geometry; it is "
+            "mutually exclusive with --policy and --spares"
         )
     if args.budget is not None and args.max_iterations is not None:
         raise ConfigurationError(
@@ -451,12 +522,16 @@ def _run_mc(args: argparse.Namespace) -> str:
             "--max-iterations/--budget cap an adaptive run and do nothing "
             "without --target-half-width"
         )
-    if args.spares is not None:
+    if args.scheme is not None:
+        policy, geometry = _scheme_policy(args)
+    elif args.spares is not None:
         policy = hot_spare_policy(args.spares)
+        geometry = RaidGeometry.from_label(args.raid)
     else:
         policy = get_policy(args.policy or "conventional")
+        geometry = RaidGeometry.from_label(args.raid)
     params = paper_parameters(
-        geometry=RaidGeometry.from_label(args.raid),
+        geometry=geometry,
         disk_failure_rate=args.failure_rate,
         hep=args.hep,
     )
@@ -481,8 +556,17 @@ def _run_mc(args: argparse.Namespace) -> str:
     executor_label = args.executor
     if config.uses_sharded_path:
         executor_label += f" (sharded, {args.workers} worker{'s' if args.workers != 1 else ''})"
+    scheme_lines = []
+    if policy.has_periodic_checks:
+        resolved = policy.scheme.resolve(params)
+        scheme_lines.append(
+            f"scheme:             {resolved.k}-of-{resolved.n_shares}, "
+            f"repair below {resolved.repair_threshold}, "
+            f"check every {resolved.check_period_hours:g} h"
+        )
     lines = [
         f"policy:             {policy.name}",
+        *scheme_lines,
         f"geometry:           {params.geometry.label}",
         f"disk failure rate:  {params.disk_failure_rate:g} /h",
         f"hep:                {params.hep:g}",
@@ -554,8 +638,18 @@ def _run_sweep(args: argparse.Namespace) -> str:
         raise ConfigurationError(
             "a 2-axis sweep requires both --axis2 and --values2/--grid2"
         )
+    if args.scheme is not None:
+        if args.policy is not None:
+            raise ConfigurationError(
+                "--scheme builds its own erasure policy; it is mutually "
+                "exclusive with --policy"
+            )
+        policy, geometry = _scheme_policy(args)
+    else:
+        policy = args.policy or "conventional"
+        geometry = RaidGeometry.from_label(args.raid)
     params = paper_parameters(
-        geometry=RaidGeometry.from_label(args.raid),
+        geometry=geometry,
         disk_failure_rate=args.failure_rate,
         hep=args.hep,
     )
@@ -565,7 +659,7 @@ def _run_sweep(args: argparse.Namespace) -> str:
             "--target-half-width"
         )
     options = dict(
-        policy=args.policy,
+        policy=policy,
         backend=args.backend,
         mc_iterations=args.iterations,
         mc_horizon_hours=args.horizon_years * 8760.0,
@@ -580,13 +674,14 @@ def _run_sweep(args: argparse.Namespace) -> str:
         biasing=args.biasing,
         allocator=args.allocator,
     )
+    policy_label = policy if isinstance(policy, str) else policy.name
     if args.axis2 is not None:
         grid = sweep_grid(params, args.axis, values, args.axis2, values2, **options)
-        return _render_sweep_grid(args, params, grid)
+        return _render_sweep_grid(args, params, grid, policy_label)
     points = sweep(params, args.axis, values, **options)
     with_ci = any(point.has_interval for point in points)
     lines = [
-        f"policy:   {args.policy}",
+        f"policy:   {policy_label}",
         f"geometry: {params.geometry.label}",
         f"axis:     {args.axis} ({len(points)} points)",
         f"backend:  {args.backend}",
@@ -604,12 +699,12 @@ def _run_sweep(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
-def _render_sweep_grid(args: argparse.Namespace, params, grid) -> str:
+def _render_sweep_grid(args: argparse.Namespace, params, grid, policy_label: str) -> str:
     """Render a 2-axis surface as long-format rows (one line per point)."""
     with_ci = any(point.has_interval for row in grid.points for point in row)
     n_points = len(grid.values1) * len(grid.values2)
     lines = [
-        f"policy:   {args.policy}",
+        f"policy:   {policy_label}",
         f"geometry: {params.geometry.label}",
         f"axes:     {grid.axis1} x {grid.axis2} "
         f"({len(grid.values1)} x {len(grid.values2)} = {n_points} points)",
@@ -641,6 +736,7 @@ def _run_crossval(args: argparse.Namespace) -> "tuple[str, bool]":
     )
     rows = run_cross_validation(
         params=params,
+        policies=args.policies,
         mc_iterations=args.iterations,
         seed=args.seed,
         workers=args.workers,
@@ -651,17 +747,42 @@ def _run_crossval(args: argparse.Namespace) -> "tuple[str, bool]":
     return table.render() + f"\ncross-validation: {verdict}", passed
 
 
+def _scheme_summary(policy) -> str:
+    """One-line scheme description of a registered policy."""
+    scheme = policy.scheme
+    if scheme is None:
+        return "-"
+    if scheme.n_shares is None:
+        structure = "k-of-N from geometry"
+    else:
+        structure = (
+            f"{scheme.k}-of-{scheme.n_shares}, repair below {scheme.repair_threshold}"
+        )
+    if scheme.is_periodic:
+        return f"{structure}; check every {scheme.check_period_hours:g} h"
+    return f"{structure}; continuous repair"
+
+
 def _run_policies(args: argparse.Namespace) -> str:
-    lines = ["registered replacement policies:"]
+    lines = [
+        "registered replacement policies:",
+        "",
+        f"  {'name':<22}{'faces':<14}{'kernels':<15}{'stacked':<9}scheme",
+    ]
     for name in available_policies():
         policy = get_policy(name)
-        faces = "batch+scalar" if policy.has_batch_kernel else "scalar"
-        if policy.has_analytical_model:
-            faces += "+analytical"
-        lines.append(f"  {name:<22} [{faces}] {policy.description}")
+        faces = "both" if policy.has_analytical_model else "monte_carlo"
+        kernels = "batch+scalar" if policy.has_batch_kernel else "scalar"
+        stacked = "yes" if policy.supports_stacked else "no"
+        lines.append(
+            f"  {name:<22}{faces:<14}{kernels:<15}{stacked:<9}{_scheme_summary(policy)}"
+        )
+        lines.append(f"  {'':<22}{policy.description}")
+    lines.append("")
     lines.append(
-        "use 'mc --policy <name>' to simulate one, or 'mc --spares K' for a "
-        "hot-spare pool with K spares"
+        "use 'mc --policy <name>' to simulate one, 'mc --spares K' for a "
+        "hot-spare pool with K spares, or 'mc --scheme k:N:R' for a pinned "
+        "erasure scheme"
     )
     return "\n".join(lines)
 

@@ -296,13 +296,15 @@ def analytical_result(
 ) -> AvailabilityResult:
     """Return the full analytical summary through the template cache.
 
-    This is the registry-era replacement of the retired
-    ``solve_model(params, ModelKind...)`` dispatch: the policy's chain is
-    resolved by name, its cached template re-evaluated at ``params`` and the
-    stationary vector summarised exactly as
-    :func:`repro.markov.metrics.steady_state_availability` would.
+    The policy's chain is resolved by name, its cached template
+    re-evaluated at ``params`` and the stationary vector summarised exactly
+    as :func:`repro.markov.metrics.steady_state_availability` would.
+    Periodic-scheme policies route through the checker-cycle solver
+    instead (no ergodic steady state exists for them).
     """
     resolved = resolve_policy(policy)
+    if resolved.has_periodic_checks:
+        return _periodic_availability_result(params, resolved, method)[0]
     template = chain_template(resolved, params)
     pi = template.evaluator(params).solve(method=method)
     pi_map = dict(zip(template.state_names, pi.tolist()))
@@ -310,11 +312,62 @@ def analytical_result(
     return availability_result_from_pi(pi_map, template.state_names, ups)
 
 
+def _periodic_availability_result(
+    params: AvailabilityParameters,
+    policy: SimulationPolicy,
+    method: str,
+) -> Tuple[AvailabilityResult, str]:
+    """Solve a periodic-check policy's cycle-stationary availability.
+
+    Periodic-scheme policies (the erasure family) have no ergodic steady
+    state — repair happens at deterministic check instants — so instead of
+    the template cache's stationary solve this path builds the policy's
+    between-checks decay chain fresh (the chains are tiny, one state per
+    share count) and hands it to the checker-cycle operator solver in
+    :mod:`repro.markov.checker`.  The "state probabilities" reported are the
+    expected fraction of a check period spent in each state.  ``method``
+    maps ``"auto"`` to the exact augmented-``expm`` operator;
+    ``"uniformization"`` selects the independent transient-engine reference.
+    """
+    from repro.markov.checker import (
+        check_repair_matrix,
+        cycle_stationary_availability,
+    )
+
+    scheme = policy.scheme.resolve(params)
+    chain = policy.build_chain(params)
+    repair = check_repair_matrix(
+        chain, scheme.n_shares, scheme.k, scheme.repair_threshold, params.hep
+    )
+    checker_method = "uniformization" if method == "uniformization" else "expm"
+    cycle = cycle_stationary_availability(
+        chain, repair, scheme.check_period_hours, method=checker_method
+    )
+    fractions = cycle.occupancy_hours / float(scheme.check_period_hours)
+    pi_map = dict(zip(cycle.state_names, fractions.tolist()))
+    result = availability_result_from_pi(
+        pi_map, cycle.state_names, chain.up_states()
+    )
+    provenance = f"solver=cycle({checker_method}) states={chain.n_states}"
+    return result, provenance
+
+
 def _evaluate_analytical(
     params: AvailabilityParameters,
     policy: SimulationPolicy,
     method: str,
 ) -> AvailabilityEstimate:
+    if policy.has_periodic_checks:
+        result, provenance = _periodic_availability_result(params, policy, method)
+        return AvailabilityEstimate(
+            availability=result.availability,
+            unavailability=result.unavailability,
+            nines=result.nines,
+            policy=policy.name,
+            backend="analytical",
+            provenance=provenance,
+            state_probabilities=dict(result.state_probabilities),
+        )
     template = chain_template(policy, params)
     evaluator = template.evaluator(params)
     result = availability_result_from_pi(
@@ -377,6 +430,11 @@ def _attach_analytical_reference(
     without a chain face leave the field ``None``.
     """
     if not policy.has_analytical_model:
+        return
+    if policy.has_periodic_checks:
+        result.analytical_reference = _periodic_availability_result(
+            params, policy, "auto"
+        )[0].availability
         return
     template = chain_template(policy, params)
     pi = template.evaluator(params).solve(method="auto")

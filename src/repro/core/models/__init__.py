@@ -1,13 +1,13 @@
-"""Analytical (Markov) availability models of the paper."""
+"""Analytical (Markov) availability models of the paper.
+
+These are the chain *builders* behind the registered policies' analytical
+faces.  Dispatch happens through the policy registry: use
+:func:`repro.core.evaluation.evaluate` /
+:func:`repro.core.evaluation.analytical_result` with a policy name, or
+``resolve_policy(name).build_chain(params)`` for the raw chain.
+"""
 
 from repro.core.models.baseline import baseline_availability, build_baseline_chain
-from repro.core.models.generic import (
-    ModelDescriptor,
-    ModelKind,
-    available_models,
-    build_chain,
-    solve_model,
-)
 from repro.core.models.raid5_conventional import (
     CONVENTIONAL_STATES,
     build_conventional_chain,
@@ -22,15 +22,10 @@ from repro.core.models.raid5_failover import (
 __all__ = [
     "CONVENTIONAL_STATES",
     "FAILOVER_STATES",
-    "ModelDescriptor",
-    "ModelKind",
-    "available_models",
     "baseline_availability",
     "build_baseline_chain",
-    "build_chain",
     "build_conventional_chain",
     "build_failover_chain",
     "conventional_availability",
     "failover_availability",
-    "solve_model",
 ]

@@ -477,8 +477,15 @@ def run_stacked_shard(
     and the bit-identity oracle of the zero-copy transport; the summary
     comes back as one :data:`~repro.core.montecarlo.batch.POINT_SUMMARY_DTYPE`
     record array either way.
+
+    Periodic-scheme policies (the erasure family) re-resolve their scheme
+    against each point worker-side, so the rebuilt slice carries the same
+    per-row scheme planes the view/shm transports materialise parent-side.
     """
-    grid_slice = stack_parameter_points(point_params, shard.counts)
+    schemes = (
+        [policy.scheme] * len(point_params) if policy.has_periodic_checks else None
+    )
+    grid_slice = stack_parameter_points(point_params, shard.counts, schemes=schemes)
     return _simulate_stacked_shard(
         policy, grid_slice, horizon_hours, master_entropy, shard, biasing=biasing
     )
@@ -731,15 +738,20 @@ def run_stacked_sharded(
             pool = own_pool = _make_pool(workers)
         mode = resolve_stacked_transport(first.transport, pooled=pool is not None)
         grid = spec = None
+        schemes = (
+            [policy.scheme] * len(configs) if policy.has_periodic_checks else None
+        )
         if mode == "view":
             # Materialise the whole grid's broadcast planes exactly once
             # per sweep; in-process shards address them as row-range views.
-            grid = stack_parameter_points([c.params for c in configs], counts)
+            grid = stack_parameter_points(
+                [c.params for c in configs], counts, schemes=schemes
+            )
         elif mode == "shm":
             # Write the planes straight into the shared segment — one pass
             # over the grid bytes, no intermediate full-size arrays.
             planes = SharedGridPlanes.from_points(
-                [c.params for c in configs], counts
+                [c.params for c in configs], counts, schemes=schemes
             )
             spec = planes.spec
         for records in _run_stacked_shards(

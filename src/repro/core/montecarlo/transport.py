@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.core.policies.stacked import (
     OPTIONAL_PLANE_FIELD,
+    SCHEME_PLANE_FIELDS,
     STACKED_PLANE_FIELDS,
     StackedParams,
     stacked_from_planes,
@@ -132,12 +133,14 @@ def resolve_stacked_transport(transport: str, pooled: bool) -> str:
 
 
 def _plane_layout(
-    n_rows: int, has_spares: bool
+    n_rows: int, has_spares: bool, has_schemes: bool = False
 ) -> Tuple[List[Tuple[str, np.dtype, int]], int]:
     """Return the ``(name, dtype, byte offset)`` of every plane + total size."""
     fields = list(STACKED_PLANE_FIELDS)
     if has_spares:
         fields.append(OPTIONAL_PLANE_FIELD)
+    if has_schemes:
+        fields.extend(SCHEME_PLANE_FIELDS)
     layout: List[Tuple[str, np.dtype, int]] = []
     offset = 0
     for name, dtype in fields:
@@ -151,8 +154,9 @@ def _plane_layout(
 class GridPlanesSpec:
     """Picklable attach protocol of one sweep's shared parameter planes.
 
-    Three values describe the whole segment: plane order and dtypes are
-    fixed by :data:`~repro.core.policies.stacked.STACKED_PLANE_FIELDS`, so
+    A few values describe the whole segment: plane order and dtypes are
+    fixed by :data:`~repro.core.policies.stacked.STACKED_PLANE_FIELDS` (plus
+    the optional spare and scheme planes the two flags announce), so
     offsets are recomputed identically on both sides of the process
     boundary.  This spec — not the planes — is what each shard submission
     pickles.
@@ -161,6 +165,7 @@ class GridPlanesSpec:
     name: str
     n_rows: int
     has_spares: bool
+    has_schemes: bool = False
 
 
 #: ``StackedParams`` plane name -> source attribute on a scalar
@@ -187,9 +192,10 @@ class SharedGridPlanes:
     def __init__(self, grid: StackedParams) -> None:
         n_rows = len(grid)
         has_spares = grid.n_spares_rows is not None
-        self._allocate(n_rows, has_spares)
+        has_schemes = grid.has_schemes
+        self._allocate(n_rows, has_spares, has_schemes)
         try:
-            for name, dt, offset in _plane_layout(n_rows, has_spares)[0]:
+            for name, dt, offset in _plane_layout(n_rows, has_spares, has_schemes)[0]:
                 view = np.ndarray((n_rows,), dtype=dt, buffer=self._shm.buf, offset=offset)
                 np.copyto(view, getattr(grid, name))
                 del view  # release the buffer export so close() can succeed
@@ -198,46 +204,75 @@ class SharedGridPlanes:
             raise
 
     @classmethod
-    def from_points(cls, points, counts) -> "SharedGridPlanes":
+    def from_points(cls, points, counts, schemes=None) -> "SharedGridPlanes":
         """Materialise per-point scalars straight into a fresh segment.
 
         ``points[i]`` contributes ``counts[i]`` consecutive rows, exactly
         like :func:`repro.core.policies.stacked.stack_parameter_points` —
         each plane value is the same float64/int64 scalar either way, so
         the planes are bit-identical to the repack-then-copy construction
-        while touching every grid byte exactly once.
+        while touching every grid byte exactly once.  ``schemes`` attaches
+        one periodic redundancy scheme per point (resolved against that
+        point's geometry), adding the three per-row scheme planes.
         """
         sizes = [int(c) for c in counts]
         if len(points) == 0 or len(sizes) != len(points):
             raise ConfigurationError("one lifetime count is required per parameter point")
         if any(size < 1 for size in sizes):
             raise ConfigurationError("every stacked point needs at least one lifetime")
+        scheme_values: Dict[str, List[object]] = {}
+        if schemes is not None:
+            if len(schemes) != len(points):
+                raise ConfigurationError("one scheme is required per parameter point")
+            resolved = [
+                scheme.resolve(point) if hasattr(scheme, "resolve") else scheme
+                for scheme, point in zip(schemes, points)
+            ]
+            if any(not r.is_periodic for r in resolved):
+                raise ConfigurationError(
+                    "shared scheme planes need periodic schemes (a check period)"
+                )
+            scheme_values = {
+                "k_rows": [r.k for r in resolved],
+                "repair_threshold_rows": [r.repair_threshold for r in resolved],
+                "check_period_rows": [r.check_period_hours for r in resolved],
+            }
         n_rows = sum(sizes)
         planes = cls.__new__(cls)
-        planes._allocate(n_rows, has_spares=False)
+        planes._allocate(n_rows, has_spares=False, has_schemes=schemes is not None)
         try:
-            for name, dt, offset in _plane_layout(n_rows, False)[0]:
+            for name, dt, offset in _plane_layout(n_rows, False, schemes is not None)[0]:
                 view = np.ndarray((n_rows,), dtype=dt, buffer=planes._shm.buf, offset=offset)
-                attr = _POINT_ATTRS.get(name, name)
-                start = 0
-                for point, size in zip(points, sizes):
-                    view[start : start + size] = getattr(point, attr)
-                    start += size
+                if name in scheme_values:
+                    values = scheme_values[name]
+                    start = 0
+                    for value, size in zip(values, sizes):
+                        view[start : start + size] = value
+                        start += size
+                else:
+                    attr = _POINT_ATTRS.get(name, name)
+                    start = 0
+                    for point, size in zip(points, sizes):
+                        view[start : start + size] = getattr(point, attr)
+                        start += size
                 del view
         except BaseException:
             planes.dispose()
             raise
         return planes
 
-    def _allocate(self, n_rows: int, has_spares: bool) -> None:
+    def _allocate(self, n_rows: int, has_spares: bool, has_schemes: bool = False) -> None:
         from multiprocessing import shared_memory
 
-        _, size = _plane_layout(n_rows, has_spares)
+        _, size = _plane_layout(n_rows, has_spares, has_schemes)
         self._shm = shared_memory.SharedMemory(
             create=True, size=size, name=_segment_name()
         )
         self.spec = GridPlanesSpec(
-            name=self._shm.name, n_rows=n_rows, has_spares=has_spares
+            name=self._shm.name,
+            n_rows=n_rows,
+            has_spares=has_spares,
+            has_schemes=has_schemes,
         )
         self._disposed = False
 
@@ -324,7 +359,7 @@ def attach_grid_slice(spec: GridPlanesSpec, buf, start: int, stop: int) -> Stack
         raise ConfigurationError(
             f"invalid plane slice [{start}, {stop}) of {spec.n_rows} rows"
         )
-    layout, _ = _plane_layout(spec.n_rows, spec.has_spares)
+    layout, _ = _plane_layout(spec.n_rows, spec.has_spares, spec.has_schemes)
     planes: Dict[str, np.ndarray] = {}
     for name, dt, offset in layout:
         view = np.ndarray(

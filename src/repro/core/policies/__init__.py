@@ -7,9 +7,22 @@ the CLI all dispatch through :func:`resolve_policy`, so new policies plug in
 by calling :func:`register_policy` — no runner changes.
 """
 
-from repro.core.policies.base import BatchLifetimes, SimulationPolicy
+from repro.core.policies.base import (
+    BatchLifetimes,
+    RedundancyScheme,
+    ResolvedScheme,
+    SimulationPolicy,
+)
 from repro.core.policies.baseline import BASELINE_POLICY
 from repro.core.policies.conventional import CONVENTIONAL_POLICY
+from repro.core.policies.erasure import (
+    ERASURE_POLICY,
+    MONTHLY_CHECK_HOURS,
+    build_erasure_decay_chain,
+    erasure_policy,
+    parse_scheme,
+    simulate_erasure,
+)
 from repro.core.policies.failover import AUTOMATIC_FAILOVER_POLICY
 from repro.core.policies.hotspare import (
     DEFAULT_POOL_SIZE,
@@ -28,7 +41,11 @@ from repro.core.policies.stacked import (
     StackedParams,
     stack_parameter_points,
 )
-from repro.core.policies.vectorized import batch_conventional, batch_spare_pool
+from repro.core.policies.vectorized import (
+    batch_conventional,
+    batch_erasure,
+    batch_spare_pool,
+)
 
 __all__ = [
     "AUTOMATIC_FAILOVER_POLICY",
@@ -36,16 +53,25 @@ __all__ = [
     "BatchLifetimes",
     "CONVENTIONAL_POLICY",
     "DEFAULT_POOL_SIZE",
+    "ERASURE_POLICY",
     "HOT_SPARE_POLICY",
+    "MONTHLY_CHECK_HOURS",
+    "RedundancyScheme",
+    "ResolvedScheme",
     "SimulationPolicy",
     "StackedParams",
     "available_policies",
     "batch_conventional",
+    "batch_erasure",
     "batch_spare_pool",
+    "build_erasure_decay_chain",
+    "erasure_policy",
     "get_policy",
     "hot_spare_policy",
+    "parse_scheme",
     "register_policy",
     "resolve_policy",
+    "simulate_erasure",
     "simulate_hot_spare",
     "stack_parameter_points",
     "unregister_policy",

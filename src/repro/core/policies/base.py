@@ -57,6 +57,110 @@ BatchKernel = Callable[..., "BatchLifetimes"]
 ChainFactory = Callable[..., "MarkovChain"]
 
 
+@dataclass(frozen=True)
+class RedundancyScheme:
+    """How a policy derives availability from redundant shares.
+
+    Every scenario in the registry is an instance of one structure: the
+    object stores ``N`` shares, any ``k`` of which suffice to serve data,
+    and a repair process restores lost shares — either continuously (a
+    technician reacts to each failure, the paper's RAID policies) or on a
+    periodic check (a scrubber inspects share counts every
+    ``check_period_hours`` and triggers repair when fewer than
+    ``repair_threshold`` shares remain, the tahoe-style erasure family).
+
+    All fields are optional: ``None`` means "derive from the parameter
+    point's geometry at evaluation time" (see :meth:`resolve`), which keeps
+    one scheme instance valid across a whole mixed-geometry sweep grid.
+
+    Attributes
+    ----------
+    n_shares:
+        Total shares ``N``.  ``None`` derives ``geometry.n_disks``; a
+        pinned value must match the geometry (the kernels size their clock
+        matrices from the geometry, so a mismatch is a configuration
+        error, not a silent override).
+    k:
+        Shares needed to serve data.  ``None`` derives
+        ``N - geometry.fault_tolerance``.
+    repair_threshold:
+        Check-time repair trigger ``R``: a check finding fewer than ``R``
+        (but at least ``k``) live shares repairs back to ``N``.  ``None``
+        derives ``N`` (always repair missing shares).
+    check_period_hours:
+        Hours between checks.  ``None`` means continuous repair — the
+        scheme is descriptive metadata and the policy's kernels keep their
+        own event semantics (this is what the legacy RAID policies declare,
+        which is why re-expressing them over schemes is bit-identical by
+        construction).
+    """
+
+    n_shares: Optional[int] = None
+    k: Optional[int] = None
+    repair_threshold: Optional[int] = None
+    check_period_hours: Optional[float] = None
+
+    @property
+    def is_periodic(self) -> bool:
+        """Return whether repair happens on a check period (vs continuously)."""
+        return self.check_period_hours is not None
+
+    def resolve(self, params: "AvailabilityParameters") -> "ResolvedScheme":
+        """Bind the scheme to one parameter point's geometry.
+
+        Fills every ``None`` field from the geometry (``N = n_disks``,
+        ``k = N - fault_tolerance``, ``R = N``) and validates the result:
+        ``1 <= k <= R <= N`` and a positive check period.
+        """
+        from repro.exceptions import ConfigurationError
+
+        geometry_n = int(params.geometry.n_disks)
+        if self.n_shares is not None and int(self.n_shares) != geometry_n:
+            raise ConfigurationError(
+                f"scheme pins n_shares={self.n_shares!r} but the geometry "
+                f"{params.geometry.label!r} has {geometry_n} disks; build the "
+                "point with a matching geometry (RaidGeometry.erasure(k, n))"
+            )
+        n = geometry_n
+        k = int(self.k) if self.k is not None else n - int(params.geometry.fault_tolerance)
+        threshold = int(self.repair_threshold) if self.repair_threshold is not None else n
+        period = self.check_period_hours
+        if not 1 <= k <= threshold <= n:
+            raise ConfigurationError(
+                f"scheme needs 1 <= k <= repair_threshold <= N, got "
+                f"k={k!r}, repair_threshold={threshold!r}, N={n!r}"
+            )
+        if period is not None and not float(period) > 0.0:
+            raise ConfigurationError(
+                f"check period must be positive, got {period!r}"
+            )
+        return ResolvedScheme(
+            n_shares=n,
+            k=k,
+            repair_threshold=threshold,
+            check_period_hours=None if period is None else float(period),
+        )
+
+
+@dataclass(frozen=True)
+class ResolvedScheme:
+    """A :class:`RedundancyScheme` bound to a concrete geometry.
+
+    Every field is filled in; produced by :meth:`RedundancyScheme.resolve`
+    and consumed by the erasure kernels and the checker-cycle analytical
+    machinery.
+    """
+
+    n_shares: int
+    k: int
+    repair_threshold: int
+    check_period_hours: Optional[float]
+
+    @property
+    def is_periodic(self) -> bool:
+        return self.check_period_hours is not None
+
+
 @dataclass
 class BatchLifetimes:
     """Struct-of-arrays outcome of a batch of simulated lifetimes.
@@ -186,6 +290,16 @@ class SimulationPolicy:
         lifetime parameter arrays), enabling the stacked-grid sweep engine
         in :mod:`repro.core.montecarlo.batch`.  The built-in kernels do;
         custom kernels must opt in explicitly.
+    scheme:
+        The policy's :class:`RedundancyScheme`.  Continuous-repair schemes
+        (``check_period_hours=None``) are descriptive metadata — the legacy
+        RAID policies declare one without their kernels reading it, so the
+        re-expression is bit-identical by construction.  Periodic schemes
+        switch the analytical face to the checker-cycle solver and
+        parameterise the erasure kernels.  Participates in equality (the
+        stacked executor requires every point of a grid to share one
+        policy, so two policies differing only in scheme must not compare
+        equal).
     """
 
     name: str
@@ -195,6 +309,7 @@ class SimulationPolicy:
     chain: Optional[ChainFactory] = field(compare=False, default=None)
     n_spares: int = 0
     supports_stacked: bool = False
+    scheme: Optional[RedundancyScheme] = None
 
     @property
     def label(self) -> str:
@@ -215,6 +330,11 @@ class SimulationPolicy:
     def can_stack(self) -> bool:
         """Return whether the policy can run stacked parameter grids."""
         return self.batch is not None and self.supports_stacked
+
+    @property
+    def has_periodic_checks(self) -> bool:
+        """Return whether repair runs on a check period (erasure family)."""
+        return self.scheme is not None and self.scheme.is_periodic
 
     def build_chain(self, params: "AvailabilityParameters") -> "MarkovChain":
         """Build the policy's analytical Markov chain at one parameter point.

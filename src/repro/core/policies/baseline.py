@@ -26,7 +26,7 @@ from repro.core.models.baseline import build_baseline_chain
 from repro.core.montecarlo.results import EpisodeTrace, IterationResult
 from repro.core.montecarlo.simulator import simulate_conventional
 from repro.core.parameters import AvailabilityParameters
-from repro.core.policies.base import BatchLifetimes, SimulationPolicy
+from repro.core.policies.base import BatchLifetimes, RedundancyScheme, SimulationPolicy
 from repro.core.policies.registry import register_policy
 from repro.core.policies.vectorized import batch_conventional
 
@@ -76,5 +76,7 @@ BASELINE_POLICY = register_policy(
         chain=build_baseline_chain,
         n_spares=0,
         supports_stacked=True,
+        # Continuous repair, hep pinned to zero by the simulators.
+        scheme=RedundancyScheme(),
     )
 )

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.core.models.raid5_conventional import build_conventional_chain
 from repro.core.montecarlo.simulator import simulate_conventional
-from repro.core.policies.base import SimulationPolicy
+from repro.core.policies.base import RedundancyScheme, SimulationPolicy
 from repro.core.policies.registry import register_policy
 from repro.core.policies.vectorized import batch_conventional
 
@@ -23,5 +23,8 @@ CONVENTIONAL_POLICY = register_policy(
         chain=build_conventional_chain,
         n_spares=0,
         supports_stacked=True,
+        # Continuous repair over the geometry's k-of-N structure: every
+        # failure is serviced immediately, no checker period.
+        scheme=RedundancyScheme(),
     )
 )

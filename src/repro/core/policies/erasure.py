@@ -1,0 +1,314 @@
+"""Erasure-coded k-of-N policy family with periodic checker/repair cycles.
+
+The paper's RAID policies keep a technician on call: repair starts the
+moment a failure is noticed, so availability is governed by an ergodic CTMC.
+Distributed erasure-coded stores (the tahoe-lafs lineage) work differently:
+``N`` shares are spread across nodes, any ``k`` of them reconstruct the
+object, and nobody reacts to individual share losses — instead a *checker*
+sweeps the store every ``T`` hours and triggers repair when fewer than a
+threshold ``R`` of shares survive.  Repair itself is an operator-assisted
+action and carries the paper's human-error probability ``hep``: with
+probability ``hep`` the repair run is botched and leaves ``N - 1`` shares
+instead of ``N``.
+
+This module provides all three faces of that family:
+
+* :func:`simulate_erasure` — the scalar (traced/debug) event loop;
+* :func:`repro.core.policies.vectorized.batch_erasure` — the stacked-capable
+  vectorised kernel (re-exported here for convenience);
+* :func:`build_erasure_decay_chain` — the between-checks share-decay CTMC
+  consumed by the checker-cycle analytical solver in
+  :mod:`repro.markov.checker`.
+
+Counter semantics differ slightly from the RAID policies and are worth
+stating: ``du_events`` counts *repair activations* (checks that found the
+object degraded but alive), ``dl_events`` counts outage onsets (live shares
+dropping below ``k``), ``disk_failures`` counts share losses, and
+``human_errors`` counts botched repair/restore runs.  ``crash_rate`` and the
+``mu_*`` repair rates are not consulted — repair latency *is* the check
+period.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.montecarlo.results import EpisodeTrace, IterationResult
+from repro.core.parameters import AvailabilityParameters
+from repro.core.policies.base import RedundancyScheme, ResolvedScheme, SimulationPolicy
+from repro.core.policies.registry import register_policy
+from repro.core.policies.vectorized import batch_erasure
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.markov.builder import ChainBuilder
+from repro.markov.chain import MarkovChain
+from repro.markov.checker import DOWN_STATE, share_state_name
+from repro.markov.rates import share_failure_label
+from repro.markov.validation import validate_chain
+
+#: Default checker period: one month of wall-clock hours (tahoe's default
+#: lease/check cadence is monthly; 730 h = 8760 h / 12).
+MONTHLY_CHECK_HOURS = 730.0
+
+#: Scheme of the registered default ``erasure`` policy: every structural
+#: field derives from the parameter point's geometry (``N = n_disks``,
+#: ``k = N - fault_tolerance``, ``R = N``), checked monthly.
+DEFAULT_ERASURE_SCHEME = RedundancyScheme(check_period_hours=MONTHLY_CHECK_HOURS)
+
+
+def _resolve(
+    params: AvailabilityParameters,
+    scheme: Optional[Union[RedundancyScheme, ResolvedScheme]],
+) -> ResolvedScheme:
+    if scheme is None:
+        scheme = DEFAULT_ERASURE_SCHEME
+    resolved = scheme.resolve(params) if isinstance(scheme, RedundancyScheme) else scheme
+    if not resolved.is_periodic:
+        raise ConfigurationError(
+            "the erasure family repairs on a checker schedule; the scheme "
+            "must set check_period_hours"
+        )
+    return resolved
+
+
+def parse_scheme(
+    text: str,
+    check_period_hours: float = MONTHLY_CHECK_HOURS,
+) -> RedundancyScheme:
+    """Parse a ``"k:N"`` or ``"k:N:R"`` scheme spec (the CLI ``--scheme`` form).
+
+    ``R`` defaults to ``N`` (repair any missing share).  The returned scheme
+    is fully pinned, so it can also broadcast over hand-built stacked grids.
+    """
+    parts = str(text).strip().split(":")
+    if len(parts) not in (2, 3):
+        raise ConfigurationError(
+            f"scheme spec must look like 'k:N' or 'k:N:R', got {text!r}"
+        )
+    try:
+        numbers = [int(p) for p in parts]
+    except ValueError:
+        raise ConfigurationError(
+            f"scheme spec must be colon-separated integers, got {text!r}"
+        ) from None
+    k, n = numbers[0], numbers[1]
+    threshold = numbers[2] if len(numbers) == 3 else n
+    if not 1 <= k <= threshold <= n:
+        raise ConfigurationError(
+            f"scheme spec needs 1 <= k <= R <= N, got k={k!r}, R={threshold!r}, N={n!r}"
+        )
+    if not float(check_period_hours) > 0.0:
+        raise ConfigurationError(
+            f"check period must be positive, got {check_period_hours!r}"
+        )
+    return RedundancyScheme(
+        n_shares=n,
+        k=k,
+        repair_threshold=threshold,
+        check_period_hours=float(check_period_hours),
+    )
+
+
+# ----------------------------------------------------------------------
+# Analytical face: between-checks share-decay chain
+# ----------------------------------------------------------------------
+def build_erasure_decay_chain(
+    params: AvailabilityParameters,
+    scheme: Optional[Union[RedundancyScheme, ResolvedScheme]] = None,
+) -> MarkovChain:
+    """Build the pure-death share-count CTMC of one check period.
+
+    States ``SH{N} .. SH{k}`` (up) and ``DOWN`` (down, absorbing *between*
+    checks — the checker-cycle solver applies the repair matrix at check
+    instants, so the chain itself has no repair transitions).  From ``s``
+    live shares the next loss arrives at rate ``s * lambda``
+    (:func:`~repro.markov.rates.share_failure_label` keeps the count
+    symbolic-friendly).
+    """
+    resolved = _resolve(params, scheme)
+    n, k = resolved.n_shares, resolved.k
+    lam = params.disk_failure_rate
+    builder = ChainBuilder(name=f"erasure-{params.geometry.label}")
+    for s in range(n, k - 1, -1):
+        builder.add_up_state(
+            share_state_name(s), description=f"{s} of {n} shares alive"
+        )
+    builder.add_down_state(DOWN_STATE, description=f"fewer than {k} shares alive")
+    for s in range(n, k, -1):
+        builder.add_transition(
+            share_state_name(s),
+            share_state_name(s - 1),
+            s * lam,
+            label=share_failure_label(s),
+        )
+    builder.add_transition(
+        share_state_name(k), DOWN_STATE, k * lam, label=share_failure_label(k)
+    )
+    chain = builder.build(validate=False)
+    validate_chain(chain, allow_absorbing=True)
+    return chain
+
+
+# ----------------------------------------------------------------------
+# Scalar face: one-lifetime event loop (traced/debug reference)
+# ----------------------------------------------------------------------
+def simulate_erasure(
+    params: AvailabilityParameters,
+    horizon_hours: float,
+    rng: np.random.Generator,
+    trace: Optional[EpisodeTrace] = None,
+    scheme: Optional[Union[RedundancyScheme, ResolvedScheme]] = None,
+) -> IterationResult:
+    """Simulate one erasure-coded object lifetime (scalar path).
+
+    The readable reference for ``batch_erasure`` — same event semantics,
+    one lifetime at a time, with optional :class:`EpisodeTrace` recording.
+    Exponential share decay is tracked through the aggregate next-failure
+    clock ``Exp(s * lambda)``, redrawn after every share-count change.
+    """
+    if horizon_hours <= 0.0:
+        raise SimulationError(f"horizon must be positive, got {horizon_hours!r}")
+    if params.failure_shape != 1.0:
+        raise ConfigurationError(
+            "the erasure family requires exponential share failures "
+            "(failure_shape == 1); Weibull share decay is not memoryless"
+        )
+    resolved = _resolve(params, scheme)
+    n, k, threshold = resolved.n_shares, resolved.k, resolved.repair_threshold
+    period = resolved.check_period_hours
+    lam = params.disk_failure_rate
+    hep = params.hep
+    horizon = float(horizon_hours)
+    result = IterationResult(horizon_hours=horizon)
+
+    shares = n
+    pending = rng.exponential(1.0) / (shares * lam)
+    next_check = period * math.ceil(pending / period)
+    down_since = math.inf  # inf = the object is up
+
+    while True:
+        event = min(pending, next_check)
+        if event >= horizon:
+            if math.isfinite(down_since):
+                result.downtime_hours += horizon - down_since
+            return result
+
+        if pending < next_check:
+            # --- share failure ---
+            at = pending
+            result.disk_failures += 1
+            shares -= 1
+            if trace is not None:
+                trace.add(at, "share_failure", live_shares=shares)
+            if shares < k:
+                result.dl_events += 1
+                down_since = at
+                pending = math.inf
+                if trace is not None:
+                    trace.add(at, "data_loss", cause="below_k", live_shares=shares)
+            else:
+                pending = at + rng.exponential(1.0) / (shares * lam)
+        else:
+            # --- checker visit ---
+            at = next_check
+            is_down = not math.isfinite(pending)
+            if is_down or shares < threshold:
+                botched = hep > 0.0 and rng.random() < hep
+                if is_down:
+                    result.downtime_hours += at - down_since
+                    down_since = math.inf
+                else:
+                    result.du_events += 1
+                shares = n - 1 if botched else n
+                if botched:
+                    result.human_errors += 1
+                if shares < k:
+                    # Botched restore of a k == N scheme: the outage simply
+                    # continues until the next check (no second dl_event).
+                    down_since = at
+                    if trace is not None:
+                        trace.add(at, "check_restore", botched=True, still_down=True)
+                else:
+                    if trace is not None:
+                        kind = "check_restore" if is_down else "check_repair"
+                        trace.add(at, kind, botched=botched, live_shares=shares)
+                    pending = at + rng.exponential(1.0) / (shares * lam)
+            next_check = at + period
+
+        # While at or above the repair threshold every check is a no-op, so
+        # jump straight to the first check at or after the next failure.
+        if math.isfinite(pending) and shares >= threshold:
+            next_check = max(next_check, period * math.ceil(pending / period))
+
+
+# ----------------------------------------------------------------------
+# Policy construction and registration
+# ----------------------------------------------------------------------
+def erasure_policy(
+    k: int,
+    n: int,
+    repair_threshold: Optional[int] = None,
+    check_period_hours: float = MONTHLY_CHECK_HOURS,
+) -> SimulationPolicy:
+    """Build a pinned ``k``-of-``n`` erasure policy.
+
+    ``repair_threshold`` defaults to ``n`` (repair any missing share); the
+    checker runs every ``check_period_hours``.  The returned policy is not
+    registered globally — pass it directly to ``MonteCarloConfig`` /
+    :func:`repro.core.evaluation.evaluate` or register it under its own
+    name.  Parameter points must use a matching
+    ``RaidGeometry.erasure(k, n)`` geometry.
+    """
+    k, n = int(k), int(n)
+    threshold = n if repair_threshold is None else int(repair_threshold)
+    if not 1 <= k <= threshold <= n:
+        raise ConfigurationError(
+            f"erasure policy needs 1 <= k <= repair_threshold <= N, got "
+            f"k={k!r}, repair_threshold={threshold!r}, N={n!r}"
+        )
+    if not float(check_period_hours) > 0.0:
+        raise ConfigurationError(
+            f"check period must be positive, got {check_period_hours!r}"
+        )
+    scheme = RedundancyScheme(
+        n_shares=n,
+        k=k,
+        repair_threshold=threshold,
+        check_period_hours=float(check_period_hours),
+    )
+    return SimulationPolicy(
+        name=f"erasure_{k}of{n}",
+        description=(
+            f"{k}-of-{n} erasure coding; checker every "
+            f"{float(check_period_hours):g} h repairs below {threshold} shares"
+        ),
+        scalar=functools.partial(simulate_erasure, scheme=scheme),
+        batch=functools.partial(batch_erasure, scheme=scheme),
+        chain=functools.partial(build_erasure_decay_chain, scheme=scheme),
+        supports_stacked=True,
+        scheme=scheme,
+    )
+
+
+#: The registered default: geometry-derived k-of-N with a monthly checker.
+#: ``evaluate(params, policy="erasure")`` works for any geometry — ``N`` and
+#: ``k`` come from the point's ``RaidGeometry`` (``RaidGeometry.erasure`` for
+#: genuine k-of-N layouts; RAID geometries degenerate to their equivalent
+#: share counts).
+ERASURE_POLICY = register_policy(
+    SimulationPolicy(
+        name="erasure",
+        description=(
+            "geometry-derived k-of-N erasure coding with a monthly checker "
+            "(N = n_disks, k = N - fault_tolerance, repair below N shares)"
+        ),
+        scalar=functools.partial(simulate_erasure, scheme=DEFAULT_ERASURE_SCHEME),
+        batch=functools.partial(batch_erasure, scheme=DEFAULT_ERASURE_SCHEME),
+        chain=functools.partial(build_erasure_decay_chain, scheme=DEFAULT_ERASURE_SCHEME),
+        supports_stacked=True,
+        scheme=DEFAULT_ERASURE_SCHEME,
+    )
+)

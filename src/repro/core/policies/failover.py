@@ -6,7 +6,7 @@ import functools
 
 from repro.core.models.raid5_failover import build_failover_chain
 from repro.core.montecarlo.simulator import simulate_failover
-from repro.core.policies.base import SimulationPolicy
+from repro.core.policies.base import RedundancyScheme, SimulationPolicy
 from repro.core.policies.registry import register_policy
 from repro.core.policies.vectorized import batch_spare_pool
 
@@ -27,5 +27,7 @@ AUTOMATIC_FAILOVER_POLICY = register_policy(
         chain=build_failover_chain,
         n_spares=1,
         supports_stacked=True,
+        # Continuous repair (the spare absorbs the failure immediately).
+        scheme=RedundancyScheme(),
     )
 )

@@ -34,7 +34,7 @@ from repro.core.montecarlo.simulator import (
     _sample,
 )
 from repro.core.parameters import AvailabilityParameters
-from repro.core.policies.base import SimulationPolicy
+from repro.core.policies.base import RedundancyScheme, SimulationPolicy
 from repro.core.policies.registry import register_policy
 from repro.core.policies.vectorized import batch_spare_pool
 from repro.exceptions import ConfigurationError, SimulationError
@@ -203,6 +203,7 @@ def hot_spare_policy(n_spares: int = DEFAULT_POOL_SIZE) -> SimulationPolicy:
         batch=functools.partial(batch_spare_pool, n_spares=n_spares),
         n_spares=n_spares,
         supports_stacked=True,
+        scheme=RedundancyScheme(),
     )
 
 
@@ -218,5 +219,7 @@ HOT_SPARE_POLICY = register_policy(
         batch=functools.partial(batch_spare_pool, n_spares=DEFAULT_POOL_SIZE),
         n_spares=DEFAULT_POOL_SIZE,
         supports_stacked=True,
+        # Continuous repair; the pool only changes who performs it.
+        scheme=RedundancyScheme(),
     )
 )

@@ -8,9 +8,8 @@ dispatch code changes anywhere else.
 The registry accepts three spellings when resolving:
 
 * a plain string name (``"conventional"``),
-* a legacy enum member whose value is the registry key — both
-  :class:`~repro.human.policy.PolicyKind` and the deprecated
-  :class:`~repro.core.models.generic.ModelKind` resolve this way, and
+* a string-valued enum member whose value is the registry key
+  (:class:`~repro.human.policy.PolicyKind` resolves this way), and
 * an already constructed :class:`SimulationPolicy` (returned unchanged),
   which is how parameterised policies such as a hot-spare pool with a
   custom spare count are passed around without polluting the global table.
@@ -85,8 +84,8 @@ def get_policy(name: str) -> SimulationPolicy:
 def resolve_policy(ref: PolicyRef) -> SimulationPolicy:
     """Resolve a name, a string-valued enum or a policy instance to a policy.
 
-    Enum members (``PolicyKind`` and the deprecated ``ModelKind``) resolve
-    through their ``value``, which is the registry key.
+    String-valued enum members (e.g. ``PolicyKind``) resolve through their
+    ``value``, which is the registry key.
     """
     if isinstance(ref, SimulationPolicy):
         return ref
@@ -118,7 +117,7 @@ def _ensure_builtins() -> None:
     with _LOAD_LOCK:
         if _BUILTINS_LOADED:
             return
-        for module in ("baseline", "conventional", "failover", "hotspare"):
+        for module in ("baseline", "conventional", "erasure", "failover", "hotspare"):
             importlib.import_module(f"repro.core.policies.{module}")
         # Only latch once every builtin imported cleanly, so a failed load
         # is retried instead of leaving the registry silently empty.

@@ -44,6 +44,7 @@ from repro.exceptions import ConfigurationError
 
 __all__ = [
     "OPTIONAL_PLANE_FIELD",
+    "SCHEME_PLANE_FIELDS",
     "STACKED_PLANE_FIELDS",
     "RowExponential",
     "RowWeibull",
@@ -72,6 +73,15 @@ STACKED_PLANE_FIELDS = (
 #: The optional per-row spare-pool plane, appended after the mandatory ones
 #: when a grid carries per-row pool sizes.
 OPTIONAL_PLANE_FIELD = ("n_spares_rows", np.int64)
+
+#: The optional per-row redundancy-scheme planes of erasure-coded grids,
+#: appended (in this order, all three together) after the spare plane when
+#: present.  ``n_shares`` rides the mandatory ``n_disks_rows`` plane.
+SCHEME_PLANE_FIELDS = (
+    ("k_rows", np.int64),
+    ("repair_threshold_rows", np.int64),
+    ("check_period_rows", np.float64),
+)
 
 
 class RowExponential:
@@ -160,7 +170,12 @@ class StackedParams:
     Attributes mirror :class:`~repro.core.parameters.AvailabilityParameters`
     field for field, each widened to a length-``n_lifetimes`` array.
     ``n_spares`` is optional: when present it overrides the pool size a
-    spare-pool kernel was constructed with, row by row.
+    spare-pool kernel was constructed with, row by row.  The three scheme
+    planes (``k_rows``/``repair_threshold_rows``/``check_period_rows``) are
+    likewise optional and always travel together: erasure-coded grids carry
+    one resolved :class:`~repro.core.policies.base.RedundancyScheme` per
+    row, letting one kernel invocation mix ``k``-of-``N`` geometries and
+    check periods (``N`` is ``n_disks_rows``).
     """
 
     disk_failure_rate: np.ndarray
@@ -173,6 +188,9 @@ class StackedParams:
     failure_shape: np.ndarray
     n_disks_rows: np.ndarray
     n_spares_rows: Optional[np.ndarray] = None
+    k_rows: Optional[np.ndarray] = None
+    repair_threshold_rows: Optional[np.ndarray] = None
+    check_period_rows: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         n = self.disk_failure_rate.shape
@@ -198,6 +216,35 @@ class StackedParams:
             raise ConfigurationError("stacked hep values must lie in [0, 1]")
         if np.any(self.crash_rate < 0.0):
             raise ConfigurationError("stacked crash rates must be non-negative")
+        scheme_planes = (self.k_rows, self.repair_threshold_rows, self.check_period_rows)
+        present = [plane is not None for plane in scheme_planes]
+        if any(present):
+            if not all(present):
+                raise ConfigurationError(
+                    "stacked scheme planes travel together: k_rows, "
+                    "repair_threshold_rows and check_period_rows must all be "
+                    "set (or none)"
+                )
+            for name, _ in SCHEME_PLANE_FIELDS:
+                if getattr(self, name).shape != n:
+                    raise ConfigurationError(
+                        f"stacked field {name!r} does not match the grid length"
+                    )
+            if np.any(self.k_rows < 1) or np.any(self.k_rows > self.repair_threshold_rows):
+                raise ConfigurationError(
+                    "stacked schemes need 1 <= k <= repair_threshold per row"
+                )
+            if np.any(self.repair_threshold_rows > self.n_disks_rows):
+                raise ConfigurationError(
+                    "stacked schemes need repair_threshold <= n_disks per row"
+                )
+            if np.any(self.check_period_rows <= 0.0):
+                raise ConfigurationError("stacked check periods must be positive")
+
+    @property
+    def has_schemes(self) -> bool:
+        """Return whether the grid carries per-row redundancy schemes."""
+        return self.k_rows is not None
 
     # ------------------------------------------------------------------
     # AvailabilityParameters-compatible surface (as used by the kernels)
@@ -241,7 +288,9 @@ class StackedParams:
             raise ConfigurationError(
                 f"invalid stacked slice [{start}, {stop}) of {len(self)} rows"
             )
-        spares = None if self.n_spares_rows is None else self.n_spares_rows[start:stop]
+        def _cut(plane):
+            return None if plane is None else plane[start:stop]
+
         return StackedParams(
             disk_failure_rate=self.disk_failure_rate[start:stop],
             disk_repair_rate=self.disk_repair_rate[start:stop],
@@ -252,7 +301,10 @@ class StackedParams:
             hep=self.hep[start:stop],
             failure_shape=self.failure_shape[start:stop],
             n_disks_rows=self.n_disks_rows[start:stop],
-            n_spares_rows=spares,
+            n_spares_rows=_cut(self.n_spares_rows),
+            k_rows=_cut(self.k_rows),
+            repair_threshold_rows=_cut(self.repair_threshold_rows),
+            check_period_rows=_cut(self.check_period_rows),
         )
 
 
@@ -271,6 +323,7 @@ def stacked_from_planes(planes: dict) -> StackedParams:
     return StackedParams(
         **{name: planes[name] for name, _ in STACKED_PLANE_FIELDS},
         n_spares_rows=planes.get(OPTIONAL_PLANE_FIELD[0]),
+        **{name: planes.get(name) for name, _ in SCHEME_PLANE_FIELDS},
     )
 
 
@@ -278,6 +331,7 @@ def stack_parameter_points(
     points: Sequence[AvailabilityParameters],
     counts: Sequence[int],
     n_spares: Optional[Sequence[int]] = None,
+    schemes: Optional[Sequence[object]] = None,
 ) -> StackedParams:
     """Expand per-point scalar parameters into a per-lifetime grid.
 
@@ -285,6 +339,12 @@ def stack_parameter_points(
     flattened row order is therefore point-major, which is what the
     segmented per-point aggregation in
     :mod:`repro.core.montecarlo.batch` relies on.
+
+    ``schemes`` attaches one periodic redundancy scheme per point
+    (:class:`~repro.core.policies.base.RedundancyScheme` instances are
+    resolved against their point's geometry), materialising the per-row
+    scheme planes the erasure kernel reads — this is how one grid mixes
+    ``k``-of-``N`` layouts and check periods.
     """
     if len(points) == 0:
         raise ConfigurationError("stacking requires at least one parameter point")
@@ -302,7 +362,31 @@ def stack_parameter_points(
         if len(n_spares) != len(points):
             raise ConfigurationError("one spare count is required per parameter point")
         spares = _field([int(k) for k in n_spares], dtype=np.int64)
+    scheme_planes = {}
+    if schemes is not None:
+        if len(schemes) != len(points):
+            raise ConfigurationError("one scheme is required per parameter point")
+        resolved = [
+            scheme.resolve(point) if hasattr(scheme, "resolve") else scheme
+            for scheme, point in zip(schemes, points)
+        ]
+        not_periodic = [i for i, r in enumerate(resolved) if not r.is_periodic]
+        if not_periodic:
+            raise ConfigurationError(
+                f"stacked scheme planes need periodic schemes; points "
+                f"{not_periodic} have no check period"
+            )
+        scheme_planes = {
+            "k_rows": _field([r.k for r in resolved], dtype=np.int64),
+            "repair_threshold_rows": _field(
+                [r.repair_threshold for r in resolved], dtype=np.int64
+            ),
+            "check_period_rows": _field(
+                [r.check_period_hours for r in resolved], dtype=np.float64
+            ),
+        }
     return StackedParams(
+        **scheme_planes,
         disk_failure_rate=_field([p.disk_failure_rate for p in points]),
         disk_repair_rate=_field([p.disk_repair_rate for p in points]),
         ddf_recovery_rate=_field([p.ddf_recovery_rate for p in points]),

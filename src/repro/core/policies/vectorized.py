@@ -10,7 +10,7 @@ reference (and the traced/debug path); these kernels reproduce their episode
 semantics distribution-for-distribution, so at a fixed parameter set the two
 paths produce statistically indistinguishable availability estimates.
 
-Two kernels are provided:
+Three kernels are provided:
 
 ``batch_conventional``
     The paper's Fig. 2 conventional replacement policy.
@@ -20,8 +20,13 @@ Two kernels are provided:
     larger pools implement the hot-spare-pool scenario (each technician
     visit restocks the full pool, and a failure arriving while spares remain
     consumes another spare instead of exposing the array).
+``batch_erasure``
+    The erasure-coded k-of-N checker/repair family: shares decay between
+    deterministic check instants, and the checker repairs below a threshold
+    with a human-error botch risk.  Exponential decay is tracked through a
+    single aggregate next-failure clock per lifetime (no clock matrix).
 
-Both kernels accept either a scalar
+The episode kernels accept either a scalar
 :class:`~repro.core.parameters.AvailabilityParameters` point (every lifetime
 shares one parameter set — bit-identical to the pre-stacked kernels) or a
 :class:`~repro.core.policies.stacked.StackedParams` grid, where hep, the
@@ -54,10 +59,10 @@ from typing import List, Optional, Tuple, Union
 import numpy as np
 
 from repro.core.parameters import AvailabilityParameters
-from repro.core.policies.base import BatchLifetimes
+from repro.core.policies.base import BatchLifetimes, RedundancyScheme, ResolvedScheme
 from repro.exceptions import ConfigurationError, HumanErrorModelError, SimulationError
 
-__all__ = ["batch_conventional", "batch_spare_pool"]
+__all__ = ["batch_conventional", "batch_erasure", "batch_spare_pool"]
 
 
 # ----------------------------------------------------------------------
@@ -1251,3 +1256,234 @@ def _exposed_step(
         )
         state.restock(ok_idx)
         state.now[ok_idx] = service_done[ok]
+
+
+# ----------------------------------------------------------------------
+# Erasure-coded k-of-N checker/repair kernel
+# ----------------------------------------------------------------------
+def _erasure_scheme_planes(params, m: int, scheme):
+    """Return per-row ``(n, k, repair_threshold, period)`` arrays.
+
+    Stacked grids carry the scheme as optional per-row planes
+    (``k_rows``/``repair_threshold_rows``/``check_period_rows``, built by
+    ``stack_parameter_points(..., schemes=...)``); a grid without planes
+    falls back to broadcasting a fully pinned scheme.  Scalar points
+    resolve the scheme against their geometry.
+    """
+    n_rows = getattr(params, "n_disks_rows", None)
+    if n_rows is None:
+        if scheme is None:
+            raise ConfigurationError(
+                "the erasure kernel needs a redundancy scheme; bind one via "
+                "erasure_policy(k, n, ...) or pass scheme= explicitly"
+            )
+        resolved = scheme.resolve(params) if isinstance(scheme, RedundancyScheme) else scheme
+        if not resolved.is_periodic:
+            raise ConfigurationError(
+                "the erasure kernel simulates periodic check/repair cycles; "
+                "the scheme must set check_period_hours"
+            )
+        return (
+            np.full(m, int(resolved.n_shares), dtype=np.int64),
+            np.full(m, int(resolved.k), dtype=np.int64),
+            np.full(m, int(resolved.repair_threshold), dtype=np.int64),
+            np.full(m, float(resolved.check_period_hours), dtype=float),
+        )
+    k_rows = getattr(params, "k_rows", None)
+    if k_rows is not None:
+        return (
+            np.asarray(n_rows, dtype=np.int64),
+            np.asarray(k_rows, dtype=np.int64),
+            np.asarray(params.repair_threshold_rows, dtype=np.int64),
+            np.asarray(params.check_period_rows, dtype=float),
+        )
+    pinned = (
+        scheme is not None
+        and getattr(scheme, "n_shares", None) is not None
+        and getattr(scheme, "k", None) is not None
+        and getattr(scheme, "repair_threshold", None) is not None
+        and getattr(scheme, "check_period_hours", None) is not None
+    )
+    if not pinned:
+        raise ConfigurationError(
+            "stacked erasure grids need per-row scheme planes (build the "
+            "grid with stack_parameter_points(..., schemes=...)) or a fully "
+            "pinned scheme to broadcast"
+        )
+    if np.any(np.asarray(n_rows) != int(scheme.n_shares)):
+        raise ConfigurationError(
+            f"scheme pins n_shares={scheme.n_shares!r} but the stacked grid "
+            "mixes other geometries; use per-row scheme planes instead"
+        )
+    return (
+        np.asarray(n_rows, dtype=np.int64),
+        np.full(m, int(scheme.k), dtype=np.int64),
+        np.full(m, int(scheme.repair_threshold), dtype=np.int64),
+        np.full(m, float(scheme.check_period_hours), dtype=float),
+    )
+
+
+def batch_erasure(
+    params,
+    horizon_hours: float,
+    n_lifetimes: int,
+    rng: np.random.Generator,
+    scheme: Optional[object] = None,
+    compact: bool = True,
+    biasing: Optional[Union[float, np.ndarray]] = None,
+) -> BatchLifetimes:
+    """Run ``n_lifetimes`` erasure-coded k-of-N lifetimes as one numpy batch.
+
+    The simulated semantics (tahoe-style, shared with the scalar simulator
+    and the checker-cycle analytical face in :mod:`repro.markov.checker`):
+
+    * ``N`` shares fail independently at rate ``lambda`` (exponential only —
+      the kernel tracks the aggregate next-failure clock ``Exp(s*lambda)``
+      by memorylessness, so ``failure_shape`` must be 1);
+    * a checker runs every ``check_period`` hours.  Finding ``k <= s <
+      repair_threshold`` live shares it repairs back to ``N`` (one
+      ``du_events`` repair activation); with probability ``hep`` the repair
+      is botched by operator error and leaves ``N - 1`` shares
+      (``human_errors``).  Repairs are instantaneous;
+    * dropping below ``k`` live shares is a data outage (``dl_events``):
+      downtime accrues until the next check discovers it and restores from
+      backup (same ``hep`` botch risk; a botched restore of a ``k == N``
+      scheme stays down — a continuing outage, not a second ``dl_events``);
+    * share failures are not simulated while the object is down.
+
+    ``scheme`` is a :class:`~repro.core.policies.base.RedundancyScheme`
+    (resolved against scalar points) or a ready ``ResolvedScheme``; stacked
+    grids read the per-row scheme planes instead.  ``compact`` is accepted
+    for kernel-signature uniformity and ignored — the working set is a few
+    flat arrays, there is no clock matrix to compact.  Failure biasing is
+    not supported (the aggregate-clock discipline has no per-share draws to
+    tilt); pass ``biasing=None``.
+
+    ``crash_rate`` and the ``mu_*`` repair rates are not read by this
+    kernel — repair duration is the check latency itself.
+    """
+    if horizon_hours <= 0.0:
+        raise SimulationError(f"horizon must be positive, got {horizon_hours!r}")
+    if biasing is not None:
+        raise ConfigurationError(
+            "the erasure checker kernel does not support failure biasing; "
+            "its aggregate share clocks have no per-draw likelihood ratio"
+        )
+    horizon = float(horizon_hours)
+    m = _check_lifetimes(params, n_lifetimes)
+    if np.any(np.asarray(getattr(params, "failure_shape", 1.0)) != 1.0):
+        raise ConfigurationError(
+            "the erasure kernel requires exponential share failures "
+            "(failure_shape == 1); Weibull share decay is not memoryless"
+        )
+    n_arr, k_arr, r_arr, period = _erasure_scheme_planes(params, m, scheme)
+    lam = np.broadcast_to(
+        np.asarray(params.disk_failure_rate, dtype=float), (m,)
+    )
+    hep = params.hep
+    has_hep = _has_positive(hep)
+
+    batch = BatchLifetimes.zeros(m, horizon)
+    shares = n_arr.copy()
+    # Aggregate next-failure clock: from s live shares the next loss arrives
+    # at rate s*lambda; one draw per state change (memorylessness).
+    pending = rng.exponential(1.0, m) / (shares * lam)
+    # Checks fire at T, 2T, ...; while s >= repair_threshold every check is
+    # a no-op, so jump straight to the first check at or after the failure.
+    next_check = period * np.ceil(pending / period)
+    down_since = np.full(m, np.inf)
+    active = np.arange(m)
+
+    while active.size:
+        pf = pending[active]
+        nc = next_check[active]
+        etime = np.minimum(pf, nc)
+        done = etime >= horizon
+        if done.any():
+            d_idx = active[done]
+            still_down = np.isfinite(down_since[d_idx])
+            if still_down.any():
+                g = d_idx[still_down]
+                batch.downtime_hours[g] += horizon - down_since[g]
+            keep = ~done
+            active = active[keep]
+            if active.size == 0:
+                break
+            pf, nc, etime = pf[keep], nc[keep], etime[keep]
+
+        pos = np.arange(active.size)
+        is_fail = pf < nc
+
+        # --- share failures (strictly before a coincident check) ---
+        fail_pos = pos[is_fail]
+        surv_pos = np.empty(0, dtype=np.int64)
+        if fail_pos.size:
+            f_idx = active[fail_pos]
+            batch.disk_failures[f_idx] += 1
+            shares[f_idx] -= 1
+            broke = shares[f_idx] < k_arr[f_idx]
+            br_idx = f_idx[broke]
+            if br_idx.size:
+                # Data outage until the next check discovers it; failures of
+                # the surviving shares are not simulated while down.
+                batch.dl_events[br_idx] += 1
+                down_since[br_idx] = pending[br_idx]
+                pending[br_idx] = np.inf
+            surv_pos = fail_pos[~broke]
+
+        # --- checker visits ---
+        check_pos = pos[~is_fail]
+        acted_up_pos = np.empty(0, dtype=np.int64)
+        if check_pos.size:
+            c_idx = active[check_pos]
+            at = next_check[c_idx]
+            is_down = ~np.isfinite(pending[c_idx])
+            needs_repair = ~is_down & (shares[c_idx] < r_arr[c_idx])
+            act = is_down | needs_repair
+            act_pos = check_pos[act]
+            if act_pos.size:
+                a_idx = active[act_pos]
+                a_at = at[act]
+                if has_hep:
+                    botched = rng.random(a_idx.size) < _rows(hep, a_idx)
+                else:
+                    botched = np.zeros(a_idx.size, dtype=bool)
+                rep_idx = a_idx[needs_repair[act]]
+                if rep_idx.size:
+                    batch.du_events[rep_idx] += 1
+                res = is_down[act]
+                res_idx = a_idx[res]
+                if res_idx.size:
+                    batch.downtime_hours[res_idx] += a_at[res] - down_since[res_idx]
+                    down_since[res_idx] = np.inf
+                shares[a_idx] = np.where(botched, n_arr[a_idx] - 1, n_arr[a_idx])
+                if botched.any():
+                    batch.human_errors[a_idx[botched]] += 1
+                # A botched restore of a k == N scheme stays down until the
+                # next check — a continuing outage, no second dl_event.
+                still_down = shares[a_idx] < k_arr[a_idx]
+                if still_down.any():
+                    down_since[a_idx[still_down]] = a_at[still_down]
+                acted_up_pos = act_pos[~still_down]
+            next_check[c_idx] = at + period[c_idx]
+
+        # --- fresh aggregate clocks, in global row order ---
+        redraw_pos = np.sort(np.concatenate([surv_pos, acted_up_pos]))
+        if redraw_pos.size:
+            g = active[redraw_pos]
+            pending[g] = etime[redraw_pos] + rng.exponential(1.0, g.size) / (
+                shares[g] * lam[g]
+            )
+
+        # Check-skip: rows at or above the repair threshold see only no-op
+        # checks until their next failure, so jump ahead (never backwards).
+        up = np.isfinite(pending[active])
+        skip_idx = active[up]
+        skip_idx = skip_idx[shares[skip_idx] >= r_arr[skip_idx]]
+        if skip_idx.size:
+            next_check[skip_idx] = np.maximum(
+                next_check[skip_idx],
+                period[skip_idx] * np.ceil(pending[skip_idx] / period[skip_idx]),
+            )
+
+    return batch

@@ -35,9 +35,13 @@ hep-versus-lambda sheet) in one call on either backend: analytically the
 cross-product joins one batched factorization group per chain structure, on
 Monte Carlo it becomes a single stacked grid.
 
+Periodic-scheme policies (the erasure k-of-N family) have no ergodic steady
+state; analytical sweeps route their points through the checker-cycle solver
+in :mod:`repro.markov.checker` instead of the template engine.
+
 The legacy helpers (:func:`sweep_hep`, :func:`sweep_failure_rate`, ...) keep
-their signatures and continue to accept the deprecated ``ModelKind`` members
-anywhere a policy is expected.
+their signatures; any registered policy name or :class:`SimulationPolicy`
+works anywhere a policy is expected.
 """
 
 from __future__ import annotations
@@ -47,7 +51,12 @@ from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.evaluation import chain_template, evaluate, evaluate_stacked
+from repro.core.evaluation import (
+    analytical_result,
+    chain_template,
+    evaluate,
+    evaluate_stacked,
+)
 from repro.core.montecarlo.config import (
     DEFAULT_HORIZON_HOURS,
     DEFAULT_ITERATIONS,
@@ -178,11 +187,26 @@ def _analytical_points(
     """Evaluate arbitrary parameter points through the template engine.
 
     Points are grouped by chain structure — the hep = 0 rung of a sweep
-    uses the reduced chain (exactly as the retired ModelKind dispatch
-    did) — and each group is handed to the template's vectorized
-    solve_many: only the generator entries the swept symbols touch are
-    re-evaluated, and one batched factorization covers the whole group.
+    uses the reduced chain — and each group is handed to the template's
+    vectorized solve_many: only the generator entries the swept symbols
+    touch are re-evaluated, and one batched factorization covers the whole
+    group.  Periodic-scheme policies (the erasure family) have no ergodic
+    steady state; their points route through the checker-cycle solver
+    instead, one tiny share-count chain per point.
     """
+    if policy.has_periodic_checks:
+        points = []
+        for params, x in zip(point_params, xs):
+            result = analytical_result(params, policy, method=method)
+            points.append(
+                SweepPoint(
+                    x=float(x),
+                    availability=result.availability,
+                    unavailability=result.unavailability,
+                    nines=result.nines,
+                )
+            )
+        return points
     groups: Dict[int, List[int]] = {}
     templates: Dict[int, object] = {}
     for index, params in enumerate(point_params):
@@ -661,6 +685,16 @@ def sweep_per_point_rebuild(
         raise ConfigurationError(f"sweep over {axis!r} requires at least one value")
     field = _axis_field(axis)
     resolved = resolve_policy(policy)
+    if resolved.has_periodic_checks:
+        # A periodic-scheme decay chain is absorbing — there is no ergodic
+        # steady state to solve for.  The checker-cycle path already rebuilds
+        # per point, so it doubles as its own reference algorithm.
+        return _analytical_points(
+            [_with_axis(base_params, field, v) for v in values],
+            [float(v) for v in values],
+            resolved,
+            method,
+        )
     points = []
     for value in values:
         params = _with_axis(base_params, field, value)

@@ -7,6 +7,7 @@ from repro.experiments import (
     fig6_raid_comparison,
     fig7_failover,
     hot_spare,
+    scrub_interval,
     underestimation,
 )
 from repro.experiments.config import (
@@ -46,5 +47,6 @@ __all__ = [
     "hot_spare",
     "raid5_3_1_parameters",
     "run_all_experiments",
+    "scrub_interval",
     "underestimation",
 ]

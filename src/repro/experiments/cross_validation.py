@@ -78,7 +78,8 @@ def run_cross_validation(
         interval is informative at moderate iteration counts.
     policies:
         Policies to validate; defaults to every registered policy with an
-        analytical face.
+        analytical face *except* periodic-scheme (checker-cycle) policies,
+        whose sparse repair events would make the default smoke job flaky.
     mc_iterations, mc_horizon_hours, confidence, seed:
         Monte Carlo configuration shared by all policies (``seed=None``
         draws fresh entropy per policy).
@@ -89,7 +90,20 @@ def run_cross_validation(
         params = paper_parameters(
             geometry=RaidGeometry.raid5(3), disk_failure_rate=1e-4, hep=0.01
         )
-    chosen = [resolve_policy(p) for p in (policies or analytical_policies())]
+    if policies is None:
+        # Periodic-scheme policies (the erasure family) are excluded from the
+        # default set: at sparse operating points the monthly checker sees so
+        # few repair events that the Monte Carlo interval degenerates to
+        # [1, 1] for a large fraction of seeds, making the smoke job flaky.
+        # Validate them explicitly — ``policies=["erasure"]`` or the CLI's
+        # ``crossval --policy erasure`` — at an event-rich operating point.
+        chosen = [
+            p
+            for p in (resolve_policy(name) for name in analytical_policies())
+            if not p.has_periodic_checks
+        ]
+    else:
+        chosen = [resolve_policy(p) for p in policies]
     rows: List[CrossValidationRow] = []
     context = nullcontext(pool) if pool is not None else worker_pool(workers)
     with context as shared_pool:

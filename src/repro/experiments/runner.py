@@ -14,7 +14,7 @@ from repro.availability.report import Table
 from repro.core.montecarlo.parallel import worker_pool
 from repro.experiments import cross_validation, fig4_validation, fig5_hep_sweep
 from repro.experiments import fig6_raid_comparison, fig7_failover, hot_spare
-from repro.experiments import underestimation
+from repro.experiments import scrub_interval, underestimation
 from repro.experiments.config import DEFAULTS
 
 
@@ -84,6 +84,15 @@ def run_all_experiments(
         report.tables.append(hot_spare.hot_spare_table(spare_points))
         report.headline["hot_spare_best_pool_size"] = float(
             hot_spare.best_pool_size(spare_points)
+        )
+        # Single-process by design: all scrub periods ride one stacked
+        # kernel invocation, so there is nothing to shard.
+        scrub_points = scrub_interval.run_scrub_interval_study(
+            mc_iterations=iterations, seed=seed
+        )
+        report.tables.append(scrub_interval.scrub_interval_table(scrub_points))
+        report.headline["scrub_degradation_factor"] = scrub_interval.degradation_factor(
+            scrub_points
         )
 
     fig5_series = fig5_hep_sweep.run_fig5_sweep()

@@ -159,6 +159,23 @@ def _validate_node(node: ast.AST, label: str) -> None:
     )
 
 
+def share_failure_label(n_live: int) -> str:
+    """Return the rate label of a share-count decay transition.
+
+    A ``k``-of-``N`` erasure group with ``n_live`` surviving shares loses
+    its next share at rate ``n_live * lambda``; the label keeps the count
+    as a literal so one :class:`~repro.markov.template.ChainTemplate`
+    serves every parameter point of that geometry (``lambda`` rewrites,
+    the share count does not).
+    """
+    count = int(n_live)
+    if count < 1:
+        raise TransitionError(
+            f"share-count decay needs at least one live share, got {n_live!r}"
+        )
+    return f"{count}*lambda"
+
+
 def compile_rate_expression(label: str) -> RateExpression:
     """Compile a symbolic rate label into a reusable expression.
 

@@ -25,6 +25,7 @@ class RaidLevel(enum.Enum):
     RAID5 = "raid5"
     RAID6 = "raid6"
     RAID10 = "raid10"
+    ERASURE = "erasure"
 
 
 @dataclass(frozen=True)
@@ -90,12 +91,31 @@ class RaidGeometry:
         return cls(RaidLevel.RAID10, 2 * p, p, 1, f"RAID10({p}x2)")
 
     @classmethod
+    def erasure(cls, k: int, n: int) -> "RaidGeometry":
+        """Return a ``k``-of-``n`` erasure-coded group (any ``k`` shares suffice).
+
+        ``n`` shares are stored; the object survives as long as any ``k``
+        remain, so the fault tolerance is ``n - k``.  RAID1 and RAID5 are
+        the ``1``-of-``m`` and ``k``-of-``k+1`` special cases.
+        """
+        k = _check_count(k, minimum=1, label="erasure data shares (k)")
+        n = _check_count(n, minimum=2, label="erasure total shares (N)")
+        if k > n:
+            raise RaidConfigurationError(
+                f"erasure coding needs k <= N, got k={k!r} of N={n!r}"
+            )
+        return cls(RaidLevel.ERASURE, n, k, n - k, f"EC({k}of{n})")
+
+    @classmethod
     def from_label(cls, label: str) -> "RaidGeometry":
-        """Parse labels like ``"RAID5(3+1)"``, ``"RAID1(1+1)"``, ``"RAID6(6+2)"``."""
+        """Parse labels like ``"RAID5(3+1)"``, ``"RAID6(6+2)"``, ``"EC(3of10)"``."""
         text = label.strip().upper().replace(" ", "")
         try:
             level_text, rest = text.split("(", 1)
             inner = rest.rstrip(")")
+            if level_text == "EC" and "OF" in inner:
+                k_text, n_text = inner.split("OF", 1)
+                return cls.erasure(int(k_text), int(n_text))
             if "X" in inner:
                 first, _ = inner.split("X", 1)
                 parts = [int(first)]
@@ -158,6 +178,9 @@ class RaidGeometry:
         """
         if self.level in (RaidLevel.RAID1, RaidLevel.RAID10):
             return float(disk_capacity_gb)
+        if self.level is RaidLevel.ERASURE:
+            # Regenerating a share reads any k surviving shares.
+            return float(disk_capacity_gb) * self.data_disks
         return float(disk_capacity_gb) * (self.n_disks - 1)
 
     def describe(self) -> Dict[str, object]:

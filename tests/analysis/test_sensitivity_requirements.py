@@ -12,7 +12,7 @@ from repro.analysis import (
     required_repair_rate,
     swing_table,
 )
-from repro.core.models import ModelKind, solve_model
+from repro.core.evaluation import analytical_result
 from repro.core.parameters import paper_parameters
 from repro.exceptions import ConfigurationError
 
@@ -63,7 +63,7 @@ class TestMaximumTolerableHep:
         params = paper_parameters(disk_failure_rate=1e-6)
         target = 7.5
         hep = maximum_tolerable_hep(params, target)
-        achieved = solve_model(params.with_hep(hep), ModelKind.CONVENTIONAL).nines
+        achieved = analytical_result(params.with_hep(hep), "conventional").nines
         assert achieved == pytest.approx(target, abs=0.05)
 
     def test_monotone_in_target(self):
@@ -93,8 +93,8 @@ class TestRequiredRepairRate:
         rate = required_repair_rate(params, target)
         from dataclasses import replace
 
-        achieved = solve_model(
-            replace(params, disk_repair_rate=rate), ModelKind.CONVENTIONAL
+        achieved = analytical_result(
+            replace(params, disk_repair_rate=rate), "conventional"
         ).nines
         assert achieved >= target - 0.05
 
@@ -117,6 +117,6 @@ class TestRequiredRepairRate:
 class TestNinesGap:
     def test_sign_of_gap(self):
         params = paper_parameters(disk_failure_rate=1e-6, hep=0.01)
-        achieved = solve_model(params, ModelKind.CONVENTIONAL).nines
+        achieved = analytical_result(params, "conventional").nines
         assert nines_gap_to_target(params, achieved - 1.0) > 0.0
         assert nines_gap_to_target(params, achieved + 1.0) < 0.0

@@ -13,7 +13,7 @@ from repro.analysis import (
     lse_impact,
     scrubbing_benefit,
 )
-from repro.core.models import ModelKind
+from repro.core.policies import resolve_policy
 from repro.core.models.raid5_conventional import conventional_availability
 from repro.core.parameters import paper_parameters
 from repro.exceptions import ConfigurationError
@@ -117,6 +117,6 @@ class TestLseExtension:
         with pytest.raises(ConfigurationError):
             availability_with_lse(paper_parameters(geometry=RaidGeometry.raid6(6)))
 
-    def test_solver_unaffected_model_kind(self):
-        # sanity: ModelKind import used by other analyses still resolves
-        assert ModelKind.CONVENTIONAL.value == "conventional"
+    def test_conventional_policy_still_resolves(self):
+        # sanity: the registry name used by other analyses still resolves
+        assert resolve_policy("conventional").name == "conventional"

@@ -11,7 +11,6 @@ from repro.core.comparison import (
     ranking,
     ranking_inverted_by_human_error,
 )
-from repro.core.models import ModelKind
 from repro.core.parameters import paper_parameters
 from repro.core.sweep import (
     availability_series,
@@ -47,14 +46,14 @@ class TestComparison:
 
     def test_raid1_wins_without_human_error(self):
         comparisons = compare_equal_capacity(
-            paper_parameters(disk_failure_rate=1e-5, hep=0.0), model=ModelKind.BASELINE
+            paper_parameters(disk_failure_rate=1e-5, hep=0.0), model="baseline"
         )
         assert ranking(comparisons)[0] == "RAID1(1+1)"
 
     def test_raid1_loses_lead_with_human_error(self):
         # The paper's qualitative claim at lambda = 1e-6 and hep = 0.01.
         comparisons = compare_equal_capacity(
-            paper_parameters(disk_failure_rate=1e-6, hep=0.01), model=ModelKind.CONVENTIONAL
+            paper_parameters(disk_failure_rate=1e-6, hep=0.01), model="conventional"
         )
         assert ranking(comparisons)[0] != "RAID1(1+1)"
 

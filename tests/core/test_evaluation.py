@@ -1,8 +1,6 @@
-"""Unit tests for the backend-agnostic evaluation API and the ModelKind shim."""
+"""Unit tests for the backend-agnostic evaluation API."""
 
 from __future__ import annotations
-
-import warnings
 
 import pytest
 
@@ -13,13 +11,6 @@ from repro.core.evaluation import (
     chain_template,
     clear_template_cache,
     evaluate,
-)
-from repro.core.models.generic import (
-    ModelKind,
-    _reset_deprecation_warnings,
-    available_models,
-    build_chain,
-    solve_model,
 )
 from repro.core.parameters import paper_parameters
 from repro.core.policies import get_policy, hot_spare_policy
@@ -67,12 +58,10 @@ class TestAnalyticalBackend:
         assert result.state_probabilities == legacy.state_probabilities
         assert result.up_states == legacy.up_states
 
-    def test_modelkind_and_policykind_accepted_as_policy(self):
+    def test_policykind_accepted_as_policy(self):
         params = paper_parameters(hep=0.01)
         by_name = evaluate(params, "conventional", "analytical")
-        by_model_kind = evaluate(params, ModelKind.CONVENTIONAL, "analytical")
         by_policy_kind = evaluate(params, PolicyKind.CONVENTIONAL, "analytical")
-        assert by_model_kind.availability == by_name.availability
         assert by_policy_kind.availability == by_name.availability
 
     def test_chainless_policy_rejected(self):
@@ -237,56 +226,22 @@ class TestCrossBackendConsistency:
         )
 
 
-class TestModelKindShim:
-    def test_solve_model_matches_registry_route(self):
-        params = paper_parameters(hep=0.01)
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            legacy = solve_model(params, ModelKind.CONVENTIONAL)
-        assert legacy.availability == _legacy_solve(params, "conventional").availability
+class TestModelKindRetired:
+    def test_shim_module_is_gone(self):
+        with pytest.raises(ModuleNotFoundError):
+            import repro.core.models.generic  # noqa: F401
 
-    def test_baseline_kind_ignores_hep(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            with_hep = solve_model(paper_parameters(hep=0.01), ModelKind.BASELINE)
-            without = solve_model(paper_parameters(hep=0.0), ModelKind.BASELINE)
-        assert with_hep.availability == without.availability
+    def test_shim_names_not_exported(self):
+        import repro
+        import repro.core
+        import repro.core.models
 
-    def test_build_chain_routes_through_registry(self):
+        for module in (repro, repro.core, repro.core.models):
+            for name in ("ModelKind", "solve_model", "build_chain", "ModelDescriptor"):
+                assert not hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_registry_route_replaces_solve_model(self):
         params = paper_parameters(hep=0.01)
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            chain = build_chain(params, ModelKind.AUTOMATIC_FAILOVER)
-        assert set(chain.state_names) == set(
-            get_policy("automatic_failover").build_chain(params).state_names
+        assert analytical_result(params, "conventional").availability == (
+            _legacy_solve(params, "conventional").availability
         )
-
-    def test_warns_once_per_symbol(self):
-        _reset_deprecation_warnings()
-        params = paper_parameters(hep=0.01)
-        with pytest.warns(DeprecationWarning):
-            solve_model(params, ModelKind.CONVENTIONAL)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            solve_model(params, ModelKind.CONVENTIONAL)  # latched: no warning
-        with pytest.warns(DeprecationWarning):
-            build_chain(params, ModelKind.CONVENTIONAL)
-
-    def test_string_kind_accepted(self):
-        params = paper_parameters(hep=0.01)
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            by_enum = solve_model(params, ModelKind.CONVENTIONAL)
-            by_name = solve_model(params, "conventional")
-        assert by_enum.availability == by_name.availability
-
-    def test_unknown_kind_rejected(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            with pytest.raises(ConfigurationError):
-                solve_model(paper_parameters(), "no_such_model")
-
-    def test_available_models_reflects_registry(self):
-        models = available_models()
-        assert {"baseline", "conventional", "automatic_failover"} <= set(models)
-        assert all(isinstance(text, str) and text for text in models.values())

@@ -4,17 +4,16 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.evaluation import analytical_policies, analytical_result
 from repro.core.models import (
-    ModelKind,
     baseline_availability,
     build_baseline_chain,
-    build_chain,
     build_conventional_chain,
     build_failover_chain,
     conventional_availability,
     failover_availability,
-    solve_model,
 )
+from repro.core.policies import resolve_policy
 from repro.core.models.raid5_conventional import unavailability_breakdown as conventional_breakdown
 from repro.core.models.raid5_failover import unavailability_breakdown as failover_breakdown
 from repro.core.parameters import paper_parameters
@@ -182,37 +181,35 @@ class TestFailoverModel:
             build_failover_chain(paper_parameters(geometry=RaidGeometry.raid6(6)))
 
 
-class TestDispatcher:
+class TestRegistryDispatch:
     def test_build_chain_dispatch(self, paper_params):
-        assert set(build_chain(paper_params, ModelKind.BASELINE).state_names) == {"OP", "EXP", "DL"}
-        assert "DU" in build_chain(paper_params, ModelKind.CONVENTIONAL).state_names
-        assert "OPns" in build_chain(paper_params, ModelKind.AUTOMATIC_FAILOVER).state_names
+        assert set(
+            resolve_policy("baseline").build_chain(paper_params).state_names
+        ) == {"OP", "EXP", "DL"}
+        assert "DU" in resolve_policy("conventional").build_chain(paper_params).state_names
+        assert "OPns" in resolve_policy("automatic_failover").build_chain(paper_params).state_names
 
-    def test_solve_model_matches_direct_calls(self, paper_params):
-        assert solve_model(paper_params, ModelKind.CONVENTIONAL).availability == pytest.approx(
+    def test_analytical_result_matches_direct_calls(self, paper_params):
+        assert analytical_result(paper_params, "conventional").availability == pytest.approx(
             conventional_availability(paper_params).availability
         )
-        assert solve_model(paper_params, ModelKind.BASELINE).availability == pytest.approx(
+        assert analytical_result(paper_params, "baseline").availability == pytest.approx(
             baseline_availability(paper_params.without_human_error()).availability
         )
 
     def test_baseline_dispatch_ignores_hep(self):
-        with_hep = solve_model(paper_parameters(hep=0.01), ModelKind.BASELINE)
-        without = solve_model(paper_parameters(hep=0.0), ModelKind.BASELINE)
+        with_hep = analytical_result(paper_parameters(hep=0.01), "baseline")
+        without = analytical_result(paper_parameters(hep=0.0), "baseline")
         assert with_hep.availability == pytest.approx(without.availability)
 
-    def test_unknown_kind_rejected(self, paper_params):
+    def test_unknown_policy_rejected(self, paper_params):
         with pytest.raises(ConfigurationError):
-            solve_model(paper_params, "not-a-kind")  # type: ignore[arg-type]
+            analytical_result(paper_params, "not-a-policy")
 
-    def test_model_descriptor(self, paper_params):
-        from repro.core.models import ModelDescriptor
-
-        descriptor = ModelDescriptor(paper_params, ModelKind.CONVENTIONAL)
-        assert descriptor.build().has_state("DU")
-        assert 0.0 < descriptor.solve().availability < 1.0
-
-    def test_available_models_lists_three(self):
-        from repro.core.models import available_models
-
-        assert len(available_models()) == 3
+    def test_analytical_policies_cover_paper_models_and_erasure(self):
+        assert {
+            "baseline",
+            "conventional",
+            "automatic_failover",
+            "erasure",
+        } <= set(analytical_policies())

@@ -13,12 +13,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.models import (
-    ModelKind,
-    build_conventional_chain,
-    build_failover_chain,
-    solve_model,
-)
+from repro.core.evaluation import analytical_result
+from repro.core.models import build_conventional_chain, build_failover_chain
 from repro.core.parameters import paper_parameters
 from repro.markov.validation import validate_chain
 from repro.storage.raid import RaidGeometry
@@ -37,7 +33,7 @@ def test_conventional_availability_is_probability(rate, hep, data_disks):
     params = paper_parameters(
         geometry=RaidGeometry.raid5(data_disks), disk_failure_rate=rate, hep=hep
     )
-    result = solve_model(params, ModelKind.CONVENTIONAL)
+    result = analytical_result(params, "conventional")
     assert 0.0 <= result.availability <= 1.0
     assert sum(result.state_probabilities.values()) == pytest.approx(1.0, abs=1e-9)
 
@@ -46,8 +42,8 @@ def test_conventional_availability_is_probability(rate, hep, data_disks):
 @_SETTINGS
 def test_modelling_human_error_never_increases_availability(rate, hep):
     params = paper_parameters(disk_failure_rate=rate, hep=hep)
-    baseline = solve_model(params, ModelKind.BASELINE)
-    with_error = solve_model(params, ModelKind.CONVENTIONAL)
+    baseline = analytical_result(params, "baseline")
+    with_error = analytical_result(params, "conventional")
     assert with_error.availability <= baseline.availability + 1e-15
 
 
@@ -55,8 +51,8 @@ def test_modelling_human_error_never_increases_availability(rate, hep):
 @_SETTINGS
 def test_failover_never_worse_than_conventional(rate, hep):
     params = paper_parameters(disk_failure_rate=rate, hep=hep)
-    conventional = solve_model(params, ModelKind.CONVENTIONAL)
-    failover = solve_model(params, ModelKind.AUTOMATIC_FAILOVER)
+    conventional = analytical_result(params, "conventional")
+    failover = analytical_result(params, "automatic_failover")
     assert failover.availability >= conventional.availability - 1e-12
 
 
@@ -65,9 +61,9 @@ def test_failover_never_worse_than_conventional(rate, hep):
 def test_availability_monotone_in_hep(rate, hep):
     params = paper_parameters(disk_failure_rate=rate, hep=hep)
     larger = params.with_hep(min(hep + 0.05, 1.0))
-    kind_small = ModelKind.BASELINE if hep == 0.0 else ModelKind.CONVENTIONAL
-    small_result = solve_model(params, kind_small)
-    large_result = solve_model(larger, ModelKind.CONVENTIONAL)
+    policy_small = "baseline" if hep == 0.0 else "conventional"
+    small_result = analytical_result(params, policy_small)
+    large_result = analytical_result(larger, "conventional")
     assert large_result.availability <= small_result.availability + 1e-15
 
 
@@ -77,8 +73,8 @@ def test_availability_monotone_in_failure_rate(rate, hep):
     params = paper_parameters(disk_failure_rate=rate, hep=hep)
     worse = params.with_failure_rate(rate * 3.0)
     assert (
-        solve_model(worse, ModelKind.CONVENTIONAL).availability
-        <= solve_model(params, ModelKind.CONVENTIONAL).availability + 1e-15
+        analytical_result(worse, "conventional").availability
+        <= analytical_result(params, "conventional").availability + 1e-15
     )
 
 
@@ -98,6 +94,6 @@ def test_more_disks_reduce_array_availability(rate, hep):
     small = paper_parameters(geometry=RaidGeometry.raid5(3), disk_failure_rate=rate, hep=hep)
     large = paper_parameters(geometry=RaidGeometry.raid5(7), disk_failure_rate=rate, hep=hep)
     assert (
-        solve_model(large, ModelKind.CONVENTIONAL).availability
-        <= solve_model(small, ModelKind.CONVENTIONAL).availability + 1e-15
+        analytical_result(large, "conventional").availability
+        <= analytical_result(small, "conventional").availability + 1e-15
     )

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.models import ModelKind, solve_model
+from repro.core.evaluation import analytical_result
 from repro.core.montecarlo import (
     EpisodeTrace,
     MonteCarloConfig,
@@ -142,7 +142,7 @@ class TestRunner:
     def test_agreement_with_markov_at_exaggerated_rates(self):
         # Fast version of the paper's Fig. 4 cross-validation.
         params = paper_parameters(disk_failure_rate=1e-4, hep=0.05)
-        markov = solve_model(params, ModelKind.CONVENTIONAL)
+        markov = analytical_result(params, "conventional")
         mc = run_monte_carlo(
             MonteCarloConfig(params=params, n_iterations=4000, horizon_hours=87_600.0, seed=3)
         )

@@ -1,0 +1,58 @@
+"""Unit tests for the EXP-SCRUB scrub-interval study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scrub_interval import (
+    SCRUB_PERIODS_HOURS,
+    degradation_factor,
+    run_scrub_interval_study,
+    scrub_interval_table,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_scrub_interval_study(mc_iterations=300, seed=0)
+
+
+class TestScrubIntervalStudy:
+    def test_one_point_per_period_in_order(self, points):
+        assert [p.check_period_hours for p in points] == list(SCRUB_PERIODS_HOURS)
+
+    def test_rarer_checks_strictly_degrade_availability(self, points):
+        nines = [p.analytical_nines for p in points]
+        assert nines == sorted(nines, reverse=True)
+        assert nines[0] > nines[-1]
+
+    def test_every_point_is_consistent_across_faces(self, points):
+        assert all(p.consistent for p in points)
+
+    def test_mc_intervals_are_ordered(self, points):
+        for p in points:
+            assert p.mc_ci_low <= p.mc_availability <= p.mc_ci_high
+            assert p.n_iterations == 300
+
+    def test_degradation_factor_is_the_headline_ratio(self, points):
+        factor = degradation_factor(points)
+        ordered = sorted(points, key=lambda p: p.check_period_hours)
+        expected = (1.0 - ordered[-1].analytical_availability) / (
+            1.0 - ordered[0].analytical_availability
+        )
+        assert factor == pytest.approx(expected)
+        assert factor > 1.0
+
+    def test_degradation_factor_degenerate_inputs(self):
+        assert degradation_factor([]) == 1.0
+
+    def test_table_renders_all_rows(self, points):
+        rendered = scrub_interval_table(points).render(float_format="{:.4g}")
+        assert "EXP-SCRUB" in rendered
+        for p in points:
+            assert f"{p.check_period_hours:.4g}" in rendered
+
+    def test_as_dict_round_trip(self, points):
+        payload = points[0].as_dict()
+        assert payload["check_period_hours"] == points[0].check_period_hours
+        assert {"analytical_nines", "mc_availability", "consistent"} <= set(payload)

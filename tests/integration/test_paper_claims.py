@@ -10,14 +10,13 @@ from __future__ import annotations
 import pytest
 
 from repro import (
-    ModelKind,
     MonteCarloConfig,
     PolicyKind,
     RaidGeometry,
+    analytical_result,
     compare_equal_capacity,
     paper_parameters,
     run_monte_carlo,
-    solve_model,
 )
 from repro.core.comparison import ranking
 from repro.core.underestimation import maximum_underestimation
@@ -33,13 +32,13 @@ class TestClaimUnderestimation:
         assert best.factor > 100.0
 
     def test_hep_0_001_costs_at_least_a_quarter_nine_at_paper_rates(self):
-        baseline = solve_model(paper_parameters(hep=0.0), ModelKind.BASELINE)
-        with_error = solve_model(paper_parameters(hep=0.001), ModelKind.CONVENTIONAL)
+        baseline = analytical_result(paper_parameters(hep=0.0), "baseline")
+        with_error = analytical_result(paper_parameters(hep=0.001), "conventional")
         assert baseline.nines - with_error.nines > 0.25
 
     def test_hep_0_01_costs_more_than_one_nine(self):
-        baseline = solve_model(paper_parameters(hep=0.0), ModelKind.BASELINE)
-        with_error = solve_model(paper_parameters(hep=0.01), ModelKind.CONVENTIONAL)
+        baseline = analytical_result(paper_parameters(hep=0.0), "baseline")
+        with_error = analytical_result(paper_parameters(hep=0.01), "conventional")
         assert baseline.nines - with_error.nines > 1.0
 
 
@@ -48,13 +47,13 @@ class TestClaimRaidRankingInversion:
 
     def test_raid1_best_without_human_error(self):
         comparisons = compare_equal_capacity(
-            paper_parameters(disk_failure_rate=1e-6, hep=0.0), model=ModelKind.BASELINE
+            paper_parameters(disk_failure_rate=1e-6, hep=0.0), model="baseline"
         )
         assert ranking(comparisons)[0] == "RAID1(1+1)"
 
     def test_raid1_can_fall_below_raid5_with_human_error(self):
         comparisons = compare_equal_capacity(
-            paper_parameters(disk_failure_rate=1e-6, hep=0.01), model=ModelKind.CONVENTIONAL
+            paper_parameters(disk_failure_rate=1e-6, hep=0.01), model="conventional"
         )
         order = ranking(comparisons)
         assert order.index("RAID1(1+1)") > 0
@@ -63,7 +62,7 @@ class TestClaimRaidRankingInversion:
         def raid1_rank(rate):
             comparisons = compare_equal_capacity(
                 paper_parameters(disk_failure_rate=rate, hep=0.01),
-                model=ModelKind.CONVENTIONAL,
+                model="conventional",
             )
             return ranking(comparisons).index("RAID1(1+1)")
 
@@ -75,21 +74,21 @@ class TestClaimAutomaticFailover:
 
     def test_failover_improves_availability_at_hep_0_01(self):
         params = paper_parameters(hep=0.01)
-        conventional = solve_model(params, ModelKind.CONVENTIONAL)
-        failover = solve_model(params, ModelKind.AUTOMATIC_FAILOVER)
+        conventional = analytical_result(params, "conventional")
+        failover = analytical_result(params, "automatic_failover")
         assert conventional.unavailability / failover.unavailability > 5.0
 
     def test_failover_near_baseline_at_hep_0(self):
         params = paper_parameters(hep=0.0)
-        baseline = solve_model(params, ModelKind.BASELINE)
-        failover = solve_model(params, ModelKind.AUTOMATIC_FAILOVER)
+        baseline = analytical_result(params, "baseline")
+        failover = analytical_result(params, "automatic_failover")
         assert failover.nines == pytest.approx(baseline.nines, abs=0.1)
 
     def test_failover_advantage_grows_with_hep(self):
         def gain(hep):
             params = paper_parameters(hep=hep)
-            c = solve_model(params, ModelKind.CONVENTIONAL)
-            f = solve_model(params, ModelKind.AUTOMATIC_FAILOVER)
+            c = analytical_result(params, "conventional")
+            f = analytical_result(params, "automatic_failover")
             return c.unavailability / f.unavailability
 
         assert gain(0.01) > gain(0.001)
@@ -102,7 +101,7 @@ class TestMonteCarloCrossValidation:
     def test_markov_inside_or_near_mc_interval(self, hep):
         # Exaggerated failure rate keeps the MC variance manageable in CI.
         params = paper_parameters(disk_failure_rate=1e-4, hep=hep)
-        markov = solve_model(params, ModelKind.CONVENTIONAL)
+        markov = analytical_result(params, "conventional")
         mc = run_monte_carlo(
             MonteCarloConfig(
                 params=params,
@@ -116,7 +115,7 @@ class TestMonteCarloCrossValidation:
 
     def test_failover_policy_cross_validation(self):
         params = paper_parameters(disk_failure_rate=1e-4, hep=0.05)
-        markov = solve_model(params, ModelKind.AUTOMATIC_FAILOVER)
+        markov = analytical_result(params, "automatic_failover")
         mc = run_monte_carlo(
             MonteCarloConfig(
                 params=params,
@@ -132,9 +131,11 @@ class TestMonteCarloCrossValidation:
 class TestEndToEndApi:
     def test_public_api_round_trip(self):
         params = paper_parameters(geometry=RaidGeometry.raid5(7), hep=0.01)
-        result = solve_model(params, ModelKind.CONVENTIONAL)
+        result = analytical_result(params, "conventional")
         assert 0.0 < result.availability < 1.0
-        chain = __import__("repro").build_chain(params, ModelKind.CONVENTIONAL)
+        from repro.core.policies import resolve_policy
+
+        chain = resolve_policy("conventional").build_chain(params)
         assert chain.has_state("DU")
 
     def test_version_exposed(self):

@@ -1,0 +1,327 @@
+"""Unit tests for the periodic check/repair cycle solver."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import paper_parameters
+from repro.core.policies.erasure import build_erasure_decay_chain, erasure_policy
+from repro.exceptions import ConfigurationError, SolverError
+from repro.markov.checker import (
+    DOWN_STATE,
+    check_repair_matrix,
+    cycle_operator,
+    cycle_start_distribution,
+    cycle_stationary_availability,
+    share_state_name,
+    survival_curve,
+)
+from repro.storage.raid import RaidGeometry
+
+MONTH = 730.0
+
+
+def erasure_params(k, n, rate=1e-4, hep=0.0):
+    return paper_parameters(
+        geometry=RaidGeometry.erasure(k, n), disk_failure_rate=rate, hep=hep
+    )
+
+
+def decay_chain(k, n, rate=1e-4):
+    params = erasure_params(k, n, rate=rate)
+    return build_erasure_decay_chain(params), params
+
+
+class TestCheckRepairMatrix:
+    def test_rows_are_stochastic(self):
+        chain, _ = decay_chain(3, 10)
+        d = check_repair_matrix(chain, 10, 3, 7, hep=0.1)
+        assert np.all(d >= 0.0)
+        np.testing.assert_allclose(d.sum(axis=1), 1.0, atol=1e-15)
+
+    def test_above_threshold_rows_are_identity(self):
+        chain, _ = decay_chain(3, 10)
+        d = check_repair_matrix(chain, 10, 3, 7, hep=0.1)
+        for s in range(7, 11):
+            i = chain.index_of(share_state_name(s))
+            row = np.zeros(chain.n_states)
+            row[i] = 1.0
+            np.testing.assert_array_equal(d[i], row)
+
+    def test_degraded_rows_repair_with_botch_risk(self):
+        chain, _ = decay_chain(3, 10)
+        hep = 0.1
+        d = check_repair_matrix(chain, 10, 3, 7, hep=hep)
+        full = chain.index_of(share_state_name(10))
+        botched = chain.index_of(share_state_name(9))
+        for s in range(3, 7):
+            i = chain.index_of(share_state_name(s))
+            assert d[i, full] == pytest.approx(1.0 - hep)
+            assert d[i, botched] == pytest.approx(hep)
+            assert d[i].sum() == pytest.approx(1.0)
+
+    def test_down_row_restores_with_botch_risk(self):
+        chain, _ = decay_chain(3, 10)
+        d = check_repair_matrix(chain, 10, 3, 7, hep=0.25)
+        down = chain.index_of(DOWN_STATE)
+        assert d[down, chain.index_of(share_state_name(10))] == pytest.approx(0.75)
+        assert d[down, chain.index_of(share_state_name(9))] == pytest.approx(0.25)
+
+    def test_botched_restore_of_k_equals_n_scheme_stays_down(self):
+        # With k == N a botched run leaves N - 1 < k shares: straight to DOWN.
+        chain, _ = decay_chain(3, 3)
+        d = check_repair_matrix(chain, 3, 3, 3, hep=0.2)
+        down = chain.index_of(DOWN_STATE)
+        assert d[down, chain.index_of(share_state_name(3))] == pytest.approx(0.8)
+        assert d[down, down] == pytest.approx(0.2)
+
+    def test_reliability_mode_leaves_down_absorbing(self):
+        chain, _ = decay_chain(3, 10)
+        d = check_repair_matrix(chain, 10, 3, 7, hep=0.1, restore_from_down=False)
+        down = chain.index_of(DOWN_STATE)
+        row = np.zeros(chain.n_states)
+        row[down] = 1.0
+        np.testing.assert_array_equal(d[down], row)
+
+    def test_hep_zero_repairs_deterministically(self):
+        chain, _ = decay_chain(3, 10)
+        d = check_repair_matrix(chain, 10, 3, 10, hep=0.0)
+        full = chain.index_of(share_state_name(10))
+        for s in range(3, 10):
+            assert d[chain.index_of(share_state_name(s)), full] == 1.0
+
+    @pytest.mark.parametrize(
+        "k,threshold,n",
+        [(0, 7, 10), (3, 2, 10), (3, 11, 10), (8, 7, 10)],
+    )
+    def test_invalid_ordering_rejected(self, k, threshold, n):
+        chain, _ = decay_chain(3, 10)
+        with pytest.raises(SolverError):
+            check_repair_matrix(chain, n, k, threshold, hep=0.1)
+
+    @pytest.mark.parametrize("hep", [-0.1, 1.5])
+    def test_invalid_hep_rejected(self, hep):
+        chain, _ = decay_chain(3, 10)
+        with pytest.raises(SolverError):
+            check_repair_matrix(chain, 10, 3, 7, hep=hep)
+
+
+class TestCycleOperator:
+    def test_transport_rows_are_stochastic(self):
+        chain, _ = decay_chain(3, 10, rate=1e-3)
+        m, _ = cycle_operator(chain.generator_matrix(), MONTH)
+        assert np.all(m >= -1e-15)
+        np.testing.assert_allclose(m.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_occupancy_rows_sum_to_period(self):
+        chain, _ = decay_chain(3, 10, rate=1e-3)
+        _, occ = cycle_operator(chain.generator_matrix(), MONTH)
+        np.testing.assert_allclose(occ.sum(axis=1), MONTH, rtol=1e-12)
+
+    def test_transport_matches_binomial_closed_form(self):
+        # For the pure-death share chain the count after T is binomial:
+        # P(s -> t) = C(s, t) p^t (1 - p)^(s - t) with p = exp(-lambda T),
+        # for k <= t <= s, and DOWN absorbs the remainder.
+        rate, k, n = 1e-3, 3, 10
+        chain, _ = decay_chain(k, n, rate=rate)
+        m, _ = cycle_operator(chain.generator_matrix(), MONTH)
+        p = math.exp(-rate * MONTH)
+        for s in range(k, n + 1):
+            i = chain.index_of(share_state_name(s))
+            for t in range(k, s + 1):
+                expected = math.comb(s, t) * p**t * (1.0 - p) ** (s - t)
+                assert m[i, chain.index_of(share_state_name(t))] == pytest.approx(
+                    expected, rel=1e-10
+                )
+
+    def test_invalid_period_rejected(self):
+        chain, _ = decay_chain(3, 10)
+        for period in (0.0, -5.0):
+            with pytest.raises(SolverError):
+                cycle_operator(chain.generator_matrix(), period)
+
+    def test_non_square_generator_rejected(self):
+        with pytest.raises(SolverError):
+            cycle_operator(np.zeros((3, 2)), MONTH)
+
+
+class TestCycleStartDistribution:
+    def test_fixed_point_of_identity_free_cycle(self):
+        chain, _ = decay_chain(3, 10, rate=1e-3)
+        m, _ = cycle_operator(chain.generator_matrix(), MONTH)
+        d = check_repair_matrix(chain, 10, 3, 10, hep=0.05)
+        phi = cycle_start_distribution(m @ d)
+        assert phi.sum() == pytest.approx(1.0)
+        np.testing.assert_allclose(phi @ (m @ d), phi, atol=1e-10)
+
+
+class TestCycleStationaryAvailability:
+    def test_result_is_self_consistent(self):
+        chain, _ = decay_chain(3, 10, rate=1e-3)
+        d = check_repair_matrix(chain, 10, 3, 7, hep=0.1)
+        result = cycle_stationary_availability(chain, d, MONTH)
+        assert 0.0 < result.availability < 1.0
+        assert result.cycle_start.sum() == pytest.approx(1.0)
+        assert result.occupancy_hours.sum() == pytest.approx(MONTH)
+        assert result.state_names == chain.state_names
+        down = list(chain.state_names).index(DOWN_STATE)
+        expected = 1.0 - result.occupancy_hours[down] / MONTH
+        assert result.availability == pytest.approx(expected)
+
+    def test_uniformization_agrees_with_expm(self):
+        chain, _ = decay_chain(3, 10, rate=1e-3)
+        d = check_repair_matrix(chain, 10, 3, 7, hep=0.1)
+        exact = cycle_stationary_availability(chain, d, MONTH, method="expm")
+        reference = cycle_stationary_availability(
+            chain, d, MONTH, method="uniformization"
+        )
+        # The reference integrates occupancy by trapezoid over a 201-point
+        # grid, so agreement is quadrature-limited rather than exact.
+        assert reference.availability == pytest.approx(
+            exact.availability, abs=1e-5
+        )
+        np.testing.assert_allclose(
+            reference.cycle_start, exact.cycle_start, atol=1e-6
+        )
+
+    def test_longer_period_never_improves_availability(self):
+        chain, _ = decay_chain(3, 10, rate=1e-3)
+        d = check_repair_matrix(chain, 10, 3, 10, hep=0.1)
+        availabilities = [
+            cycle_stationary_availability(chain, d, period).availability
+            for period in (24.0, MONTH, 8760.0)
+        ]
+        assert availabilities == sorted(availabilities, reverse=True)
+
+    def test_lazier_repair_threshold_never_improves_availability(self):
+        chain, _ = decay_chain(3, 10, rate=1e-3)
+        eager = check_repair_matrix(chain, 10, 3, 10, hep=0.1)
+        lazy = check_repair_matrix(chain, 10, 3, 4, hep=0.1)
+        assert (
+            cycle_stationary_availability(chain, eager, MONTH).availability
+            >= cycle_stationary_availability(chain, lazy, MONTH).availability
+        )
+
+    def test_repair_shape_mismatch_rejected(self):
+        chain, _ = decay_chain(3, 10)
+        with pytest.raises(SolverError):
+            cycle_stationary_availability(chain, np.eye(3), MONTH)
+
+    def test_unknown_method_rejected(self):
+        chain, _ = decay_chain(3, 10)
+        d = check_repair_matrix(chain, 10, 3, 7, hep=0.1)
+        with pytest.raises(SolverError):
+            cycle_stationary_availability(chain, d, MONTH, method="magic")
+
+
+class TestSurvivalCurve:
+    """Tahoe-parity fixture: the reliability trajectory of a 3-of-10 store.
+
+    The reference is computed independently of any matrix exponential: for
+    identical exponential shares the one-period transition probabilities are
+    exactly binomial, so the curve must match a hand-built discrete iteration
+    to numerical precision.
+    """
+
+    RATE = 1e-4
+
+    def _reference_curve(self, k, n, threshold, rate, period, n_cycles):
+        # States in chain order: SH{n} .. SH{k}, DOWN (see the chain builder).
+        names = [share_state_name(s) for s in range(n, k - 1, -1)] + [DOWN_STATE]
+        index = {name: i for i, name in enumerate(names)}
+        size = len(names)
+        p_live = math.exp(-rate * period)
+        m = np.zeros((size, size))
+        m[index[DOWN_STATE], index[DOWN_STATE]] = 1.0
+        for s in range(k, n + 1):
+            i = index[share_state_name(s)]
+            for t in range(k, s + 1):
+                m[i, index[share_state_name(t)]] = (
+                    math.comb(s, t) * p_live**t * (1.0 - p_live) ** (s - t)
+                )
+            m[i, index[DOWN_STATE]] = 1.0 - m[i].sum()
+        d = np.eye(size)
+        for s in range(k, threshold):
+            i = index[share_state_name(s)]
+            d[i, :] = 0.0
+            d[i, index[share_state_name(n)]] = 1.0  # hep = 0: never botched
+        p = np.zeros(size)
+        p[index[share_state_name(n)]] = 1.0
+        curve = []
+        for _ in range(n_cycles):
+            p = p @ m @ d
+            curve.append(1.0 - p[index[DOWN_STATE]])
+        return np.asarray(curve)
+
+    def test_matches_independent_binomial_reference(self):
+        k, n, threshold = 3, 10, 7
+        chain, _ = decay_chain(k, n, rate=self.RATE)
+        d = check_repair_matrix(
+            chain, n, k, threshold, hep=0.0, restore_from_down=False
+        )
+        curve = survival_curve(chain, d, MONTH, n_cycles=12)
+        reference = self._reference_curve(k, n, threshold, self.RATE, MONTH, 12)
+        np.testing.assert_allclose(curve, reference, atol=1e-12)
+
+    def test_monotone_nonincreasing_in_reliability_mode(self):
+        chain, _ = decay_chain(3, 10, rate=1e-3)
+        d = check_repair_matrix(chain, 10, 3, 7, hep=0.1, restore_from_down=False)
+        curve = survival_curve(chain, d, MONTH, n_cycles=24)
+        assert np.all(np.diff(curve) <= 1e-15)
+        assert curve[0] <= 1.0 and curve[-1] > 0.0
+
+    def test_scrubbing_beats_no_scrubbing(self):
+        chain, _ = decay_chain(3, 10, rate=1e-3)
+        scrubbed = check_repair_matrix(
+            chain, 10, 3, 10, hep=0.0, restore_from_down=False
+        )
+        unscrubbed = check_repair_matrix(
+            chain, 10, 3, 3, hep=0.0, restore_from_down=False
+        )
+        repaired = survival_curve(chain, scrubbed, MONTH, n_cycles=24)
+        decayed = survival_curve(chain, unscrubbed, MONTH, n_cycles=24)
+        assert np.all(repaired >= decayed)
+        assert repaired[-1] > decayed[-1]
+
+    def test_initial_state_option(self):
+        chain, _ = decay_chain(3, 10, rate=1e-3)
+        d = check_repair_matrix(chain, 10, 3, 7, hep=0.0, restore_from_down=False)
+        degraded = survival_curve(
+            chain, d, MONTH, n_cycles=6, initial_state=share_state_name(3)
+        )
+        pristine = survival_curve(chain, d, MONTH, n_cycles=6)
+        assert degraded[0] < pristine[0]
+
+    def test_requires_at_least_one_cycle(self):
+        chain, _ = decay_chain(3, 10)
+        d = check_repair_matrix(chain, 10, 3, 7, hep=0.0)
+        with pytest.raises(SolverError):
+            survival_curve(chain, d, MONTH, n_cycles=0)
+
+
+class TestPolicyAnalyticalFace:
+    def test_erasure_policy_routes_through_checker_cycle(self):
+        # The policy's analytical face must agree with a by-hand assembly of
+        # the cycle machinery at the same operating point.
+        from repro.core.evaluation import analytical_result
+
+        params = erasure_params(3, 10, rate=1e-3, hep=0.1)
+        policy = erasure_policy(3, 10, repair_threshold=7, check_period_hours=MONTH)
+        chain = build_erasure_decay_chain(params, scheme=policy.scheme)
+        d = check_repair_matrix(chain, 10, 3, 7, hep=0.1)
+        by_hand = cycle_stationary_availability(chain, d, MONTH)
+        result = analytical_result(params, policy)
+        assert result.availability == pytest.approx(by_hand.availability, abs=1e-12)
+
+    def test_weibull_share_decay_rejected(self):
+        from dataclasses import replace
+
+        from repro.core.evaluation import evaluate
+
+        params = replace(erasure_params(3, 10), failure_shape=2.0)
+        with pytest.raises(ConfigurationError):
+            evaluate(params, erasure_policy(3, 10), backend="monte_carlo",
+                     n_iterations=10, seed=0)

@@ -22,11 +22,11 @@ class TestSolveCommand:
         assert "automatic_failover" in out and "RAID1(1+1)" in out
 
     def test_solve_baseline_matches_library(self, capsys):
-        from repro import ModelKind, paper_parameters, solve_model
+        from repro import analytical_result, paper_parameters
 
         main(["solve", "--model", "baseline", "--hep", "0"])
         out = capsys.readouterr().out
-        expected = solve_model(paper_parameters(hep=0.0), ModelKind.BASELINE).nines
+        expected = analytical_result(paper_parameters(hep=0.0), "baseline").nines
         assert f"{expected:.3f}" in out
 
 
@@ -264,8 +264,12 @@ class TestPoliciesCommand:
         assert "conventional" in out
         assert "automatic_failover" in out
         assert "hot_spare_pool" in out
+        assert "erasure" in out
         assert "batch+scalar" in out
-        assert "batch+scalar+analytical" in out
+        # the erasure family advertises its periodic scheme; the legacy
+        # policies advertise continuous repair
+        assert "check every 730 h" in out
+        assert "continuous repair" in out
 
 
 class TestReproduceCommand:
