@@ -48,6 +48,27 @@ Four acceptance criteria live here:
   ``REPRO_BENCH_ERASURE_{POINTS,LIFETIMES}`` shrink the grid for CI's
   ``erasure-smoke`` job.
 
+* **Compiled kernels** (PR 8): the same 32 x 5k single-process stacked
+  grid, run with the numba-compiled row-search scans
+  (``kernel=compiled``) against the numpy oracle (``kernel=numpy``), JIT
+  warm-up excluded, **bit-identical batches and generator state always
+  asserted** — skipped when numba is not installed.  The **5x floor** is
+  an explicit opt-in (``REPRO_BENCH_COMPILED_STRICT=1``): it describes
+  the search-bound regime (wide clock matrices, many rounds) on a
+  multi-core host; every run records the measured speedup so the
+  trajectory stays honest either way.
+
+* **Thread-pool shards** (PR 8): a 64-point x 5k-lifetime grid on 4
+  workers, run end-to-end (pool startup included) on the thread pool —
+  workers share the materialized grid planes outright, no fork, no
+  per-shard pickle — against the default process pool with its
+  shared-memory transport.  Bit-identity is always asserted (the pool
+  oracle); the strict floor (``REPRO_BENCH_THREAD_STRICT=1``) belongs to
+  startup-dominated grids — once kernels dominate, the GIL caps the
+  thread pool at numpy's released-GIL parallelism and the honest
+  expectation is parity.  ``REPRO_BENCH_THREAD_{POINTS,LIFETIMES}``
+  shrink the grid for CI.
+
 * **Rare-event budget** (PR 6): a two-point failure-rate grid whose
   analytical unavailabilities sit at 1e-11 and 4e-11 — five orders of
   magnitude below what a naive estimator can resolve at any sane budget.
@@ -408,6 +429,157 @@ def test_stacked_shm_transport(bench_record):
         assert speedup >= REQUIRED_TRANSPORT_SPEEDUP, (
             f"zero-copy plane only {speedup:.2f}x faster than the legacy "
             f"plane (required {REQUIRED_TRANSPORT_SPEEDUP:g}x)"
+        )
+
+
+# ----------------------------------------------------------------------
+# PR 8: compiled row-search kernels and the thread-pool shard executor
+# ----------------------------------------------------------------------
+#: Required advantage of the compiled scans over the numpy oracle in the
+#: strict (search-bound regime) configuration.
+REQUIRED_COMPILED_SPEEDUP = 5.0
+
+#: Opt-in gate for the compiled floor — meaningful only where the row
+#: searches, not the draws, bound the kernel (see the module docstring).
+COMPILED_STRICT = os.environ.get("REPRO_BENCH_COMPILED_STRICT") == "1"
+
+#: Thread-pool grid shape; the env overrides shrink it for CI smoke runs.
+THREAD_POINTS = int(os.environ.get("REPRO_BENCH_THREAD_POINTS", "64"))
+THREAD_LIFETIMES = int(os.environ.get("REPRO_BENCH_THREAD_LIFETIMES", "5000"))
+THREAD_WORKERS = int(os.environ.get("REPRO_BENCH_THREAD_WORKERS", "4"))
+
+#: Opt-in floor for the thread pool over the process pool — meaningful
+#: only on startup-dominated grids (see the module docstring).
+REQUIRED_THREAD_SPEEDUP = 1.2
+THREAD_STRICT = os.environ.get("REPRO_BENCH_THREAD_STRICT") == "1"
+
+
+def _run_kernel_backend(grid, kernel: str):
+    from repro.core.montecarlo import kernel_context
+
+    rng = RandomStreams(2017).stream("montecarlo")
+    with kernel_context(kernel):
+        batch = batch_conventional(grid, 87_600.0, len(grid), rng)
+    return batch, rng
+
+
+def test_compiled_kernel(bench_record):
+    """Compiled scans vs numpy oracle: bit-identity + recorded speedup.
+
+    Single process, identical grid, identical seed, JIT compilation
+    triggered outside the timed region (``warmup_compiled``): the only
+    variable is which implementation answers the row searches.  The RNG
+    discipline is untouched — draws stay on the numpy ``Generator`` — so
+    the batches *and* the final generator state must match bitwise.
+    """
+    from repro.core.montecarlo import compiled_available
+    from repro.core.montecarlo.compiled import warmup_compiled
+
+    if not compiled_available():
+        pytest.skip("numba is not installed (pip install .[compiled])")
+    warmup_compiled()
+
+    grid = _compaction_grid()
+    _run_kernel_backend(grid, "numpy"), _run_kernel_backend(grid, "compiled")
+    seconds = {"numpy": float("inf"), "compiled": float("inf")}
+    for _ in range(5):
+        for kernel in ("numpy", "compiled"):
+            start = time.perf_counter()
+            _run_kernel_backend(grid, kernel)
+            seconds[kernel] = min(seconds[kernel], time.perf_counter() - start)
+
+    reference, rng_ref = _run_kernel_backend(grid, "numpy")
+    compiled, rng_new = _run_kernel_backend(grid, "compiled")
+    for field in _BATCH_FIELDS:
+        assert np.array_equal(getattr(reference, field), getattr(compiled, field)), field
+    assert rng_ref.bit_generator.state == rng_new.bit_generator.state
+
+    speedup = seconds["numpy"] / max(seconds["compiled"], 1e-9)
+    print(
+        f"\ncompiled kernel: {MC_POINTS} points x {MC_LIFETIMES} lifetimes — "
+        f"compiled {seconds['compiled']:.3f}s, numpy {seconds['numpy']:.3f}s "
+        f"(speedup {speedup:.2f}x{', strict' if COMPILED_STRICT else ''})"
+    )
+    bench_record(
+        "compiled_kernel",
+        points=MC_POINTS,
+        seconds=seconds["compiled"],
+        speedup=speedup,
+        lifetimes_per_point=MC_LIFETIMES,
+        strict=COMPILED_STRICT,
+    )
+    if COMPILED_STRICT:
+        assert speedup >= REQUIRED_COMPILED_SPEEDUP, (
+            f"compiled kernels only {speedup:.2f}x faster than the numpy "
+            f"oracle (required {REQUIRED_COMPILED_SPEEDUP:g}x)"
+        )
+
+
+def _thread_configs(pool: str):
+    heps = np.linspace(0.0, 0.05, THREAD_POINTS)
+    return [
+        MonteCarloConfig(
+            params=paper_parameters(disk_failure_rate=1e-6, hep=float(hep)),
+            policy="conventional",
+            n_iterations=THREAD_LIFETIMES,
+            horizon_hours=87_600.0,
+            seed=2017,
+            workers=THREAD_WORKERS,
+            shard_size=40_000,
+            pool=pool,
+        )
+        for hep in heps
+    ]
+
+
+def test_thread_pool_transport(bench_record):
+    """Thread pool vs process pool, end to end: bit-identity + speedup.
+
+    Both sides run the whole grid through ``run_stacked`` with *no shared
+    pool* — pool startup is part of the measurement, because that is the
+    thread pool's structural advantage: no fork, no per-worker import
+    replay, and the materialized grid planes are shared outright instead
+    of crossing a process boundary.  The shard plan, spawn-indexed
+    streams and CGL merge order are pool-independent, so the results must
+    be bit-identical (the pool oracle).  The speedup is always recorded;
+    the floor is opt-in (``REPRO_BENCH_THREAD_STRICT=1``) because
+    kernel-bound grids converge to parity under the GIL.
+    """
+    run_stacked(_thread_configs("serial")[:2])  # warm kernels/imports
+
+    start = time.perf_counter()
+    process = run_stacked(_thread_configs("process"))
+    process_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    threaded = run_stacked(_thread_configs("thread"))
+    thread_seconds = time.perf_counter() - start
+
+    for fast, reference in zip(threaded, process):
+        assert fast.availability == reference.availability
+        assert fast.interval.half_width == reference.interval.half_width
+        assert fast.totals == reference.totals
+
+    speedup = process_seconds / max(thread_seconds, 1e-9)
+    print(
+        f"\nthread pool transport: {THREAD_POINTS} points x "
+        f"{THREAD_LIFETIMES} lifetimes, {THREAD_WORKERS} workers — "
+        f"thread {thread_seconds:.3f}s, process {process_seconds:.3f}s "
+        f"(speedup {speedup:.2f}x{', strict' if THREAD_STRICT else ''})"
+    )
+    bench_record(
+        "thread_pool_transport",
+        points=THREAD_POINTS,
+        seconds=thread_seconds,
+        speedup=speedup,
+        lifetimes_per_point=THREAD_LIFETIMES,
+        workers=THREAD_WORKERS,
+        strict=THREAD_STRICT,
+    )
+    if THREAD_STRICT:
+        assert speedup >= REQUIRED_THREAD_SPEEDUP, (
+            f"thread pool only {speedup:.2f}x faster than the process pool "
+            f"(required {REQUIRED_THREAD_SPEEDUP:g}x)"
         )
 
 

@@ -55,8 +55,12 @@ from repro.core.evaluation import analytical_policies, evaluate
 from repro.core.montecarlo import (
     ALLOCATORS,
     EXECUTORS,
+    KERNELS,
+    POOLS,
     TRANSPORTS,
     MonteCarloConfig,
+    has_compiled_face,
+    resolve_kernel,
     run_monte_carlo,
 )
 from repro.core.parameters import paper_parameters
@@ -235,6 +239,22 @@ def build_parser() -> argparse.ArgumentParser:
         "memory when usable), shm, or pickle (per-shard rebuild; the "
         "bit-identity oracle)",
     )
+    mc.add_argument(
+        "--kernel",
+        choices=list(KERNELS),
+        default="auto",
+        help="batch-kernel backend: auto (compiled numba scans when "
+        "installed, numpy otherwise), numpy (the bit-identity oracle), or "
+        "compiled (demand numba)",
+    )
+    mc.add_argument(
+        "--pool",
+        choices=list(POOLS),
+        default="process",
+        help="shard-executor pool for --workers > 1: process, thread "
+        "(in-process, shares stacked grid planes outright), or serial "
+        "(the pool oracle: same shard plan, run sequentially)",
+    )
 
     sweep_parser = subparsers.add_parser(
         "sweep",
@@ -382,6 +402,22 @@ def build_parser() -> argparse.ArgumentParser:
         "memory when usable), shm, or pickle (per-shard rebuild; the "
         "bit-identity oracle)",
     )
+    sweep_parser.add_argument(
+        "--kernel",
+        choices=list(KERNELS),
+        default="auto",
+        help="batch-kernel backend: auto (compiled numba scans when "
+        "installed, numpy otherwise), numpy (the bit-identity oracle), or "
+        "compiled (demand numba)",
+    )
+    sweep_parser.add_argument(
+        "--pool",
+        choices=list(POOLS),
+        default="process",
+        help="shard-executor pool for --workers > 1: process, thread "
+        "(in-process, shares stacked grid planes outright), or serial "
+        "(the pool oracle: same shard plan, run sequentially)",
+    )
 
     crossval = subparsers.add_parser(
         "crossval",
@@ -415,6 +451,18 @@ def build_parser() -> argparse.ArgumentParser:
         "(1 - confidence) of runs per policy — CI pins the seed",
     )
     crossval.add_argument("--workers", type=int, default=1, help="worker processes")
+    crossval.add_argument(
+        "--kernel",
+        choices=list(KERNELS),
+        default="auto",
+        help="batch-kernel backend of the Monte Carlo face (auto/numpy/compiled)",
+    )
+    crossval.add_argument(
+        "--pool",
+        choices=list(POOLS),
+        default="process",
+        help="shard-executor pool for --workers > 1 (process/thread/serial)",
+    )
 
     subparsers.add_parser("policies", help="list the registered replacement policies")
 
@@ -550,12 +598,19 @@ def _run_mc(args: argparse.Namespace) -> str:
         transport=args.transport,
         biasing=args.biasing,
         allocator=args.allocator,
+        kernel=args.kernel,
+        pool=args.pool,
     )
     result = run_monte_carlo(config)
     totals = result.totals
     executor_label = args.executor
     if config.uses_sharded_path:
-        executor_label += f" (sharded, {args.workers} worker{'s' if args.workers != 1 else ''})"
+        pool_note = f", {args.pool} pool" if args.workers > 1 else ""
+        executor_label += (
+            f" (sharded, {args.workers} worker{'s' if args.workers != 1 else ''}"
+            f"{pool_note})"
+        )
+    executor_label += f", kernel={resolve_kernel(args.kernel)}"
     scheme_lines = []
     if policy.has_periodic_checks:
         resolved = policy.scheme.resolve(params)
@@ -673,6 +728,8 @@ def _run_sweep(args: argparse.Namespace) -> str:
         transport=args.transport,
         biasing=args.biasing,
         allocator=args.allocator,
+        kernel=args.kernel,
+        pool_kind=args.pool,
     )
     policy_label = policy if isinstance(policy, str) else policy.name
     if args.axis2 is not None:
@@ -740,6 +797,8 @@ def _run_crossval(args: argparse.Namespace) -> "tuple[str, bool]":
         mc_iterations=args.iterations,
         seed=args.seed,
         workers=args.workers,
+        kernel=args.kernel,
+        pool_kind=args.pool,
     )
     table = cross_validation_table(rows)
     passed = all_within_ci(rows)
@@ -767,15 +826,19 @@ def _run_policies(args: argparse.Namespace) -> str:
     lines = [
         "registered replacement policies:",
         "",
-        f"  {'name':<22}{'faces':<14}{'kernels':<15}{'stacked':<9}scheme",
+        f"  {'name':<22}{'faces':<14}{'kernels':<15}{'stacked':<9}{'compiled':<10}scheme",
     ]
     for name in available_policies():
         policy = get_policy(name)
         faces = "both" if policy.has_analytical_model else "monte_carlo"
         kernels = "batch+scalar" if policy.has_batch_kernel else "scalar"
         stacked = "yes" if policy.supports_stacked else "no"
+        # Whether the batch kernel's hot loops route through the compiled
+        # (numba) row scans when kernel=compiled/auto selects them.
+        compiled = "yes" if has_compiled_face(policy) else "no"
         lines.append(
-            f"  {name:<22}{faces:<14}{kernels:<15}{stacked:<9}{_scheme_summary(policy)}"
+            f"  {name:<22}{faces:<14}{kernels:<15}{stacked:<9}{compiled:<10}"
+            f"{_scheme_summary(policy)}"
         )
         lines.append(f"  {'':<22}{policy.description}")
     lines.append("")

@@ -38,6 +38,7 @@ from repro.core.montecarlo.config import (
     MonteCarloConfig,
     PolicyRef,
 )
+from repro.core.montecarlo.compiled import resolve_kernel
 from repro.core.montecarlo.results import MonteCarloResult
 from repro.core.montecarlo.batch import run_stacked
 from repro.core.montecarlo.runner import _use_batch_path, run_monte_carlo
@@ -390,11 +391,22 @@ def _evaluate_analytical(
 
 
 def _executor_provenance(config: MonteCarloConfig) -> str:
+    """Describe the execution stack actually used, kernel and pool included.
+
+    The recorded kernel is the *resolved* backend (``auto`` shows up as
+    whichever of ``numpy``/``compiled`` actually ran); the pool is recorded
+    only where one exists — on the sharded path with more than one worker.
+    """
     if config.uses_sharded_path:
         workers = int(config.workers)
-        return f"executor=sharded({workers} worker{'s' if workers != 1 else ''})"
+        pool = f", {config.pool} pool" if workers > 1 else ""
+        kernel = resolve_kernel(config.kernel)
+        return (
+            f"executor=sharded({workers} worker{'s' if workers != 1 else ''}"
+            f"{pool}) kernel={kernel}"
+        )
     if _use_batch_path(config):
-        return "executor=batch"
+        return f"executor=batch kernel={resolve_kernel(config.kernel)}"
     return "executor=scalar"
 
 
@@ -460,6 +472,8 @@ def evaluate(
     transport: str = "auto",
     biasing: Optional[float] = None,
     allocator: str = "uniform",
+    kernel: str = "auto",
+    pool_kind: str = "process",
     pool=None,
 ) -> AvailabilityEstimate:
     """Evaluate a (parameters, policy) pair on the requested backend.
@@ -478,12 +492,18 @@ def evaluate(
         Steady-state solver for the analytical backend (``"auto"`` selects
         dense/sparse by state count).
     n_iterations, horizon_hours, seed, confidence, executor, workers,
-    shard_size, target_half_width, max_iterations, biasing, allocator:
+    shard_size, target_half_width, max_iterations, biasing, allocator,
+    kernel:
         Monte Carlo configuration, matching
         :class:`~repro.core.montecarlo.config.MonteCarloConfig`.  A set
         ``biasing`` runs the importance-sampled kernels and, for dual-face
         policies, attaches the analytical availability as
         ``analytical_reference``.
+    pool_kind:
+        Which executor the sharded path fans shards out over
+        (``MonteCarloConfig.pool``): ``"process"``, ``"thread"`` or
+        ``"serial"``.  Named ``pool_kind`` here because ``pool`` is the
+        long-standing shared-executor argument below.
     pool:
         Optional externally owned worker pool shared across sharded runs
         (see :func:`repro.core.montecarlo.parallel.worker_pool`).
@@ -512,6 +532,8 @@ def evaluate(
         transport=transport,
         biasing=biasing,
         allocator=allocator,
+        kernel=kernel,
+        pool=pool_kind,
     )
     result = run_monte_carlo(config, pool=pool)
     if biasing is not None:
@@ -535,6 +557,8 @@ def evaluate_stacked(
     transport: str = "auto",
     biasing: Optional[float] = None,
     allocator: str = "uniform",
+    kernel: str = "auto",
+    pool_kind: str = "process",
     pool=None,
 ) -> List[AvailabilityEstimate]:
     """Monte Carlo evaluate many parameter points as one stacked grid.
@@ -581,6 +605,8 @@ def evaluate_stacked(
                 transport=transport,
                 biasing=biasing,
                 allocator=allocator,
+                kernel=kernel,
+                pool_kind=pool_kind,
                 pool=pool,
             )
             for params in points
@@ -600,13 +626,16 @@ def evaluate_stacked(
             transport=transport,
             biasing=biasing,
             allocator=allocator,
+            kernel=kernel,
+            pool=pool_kind,
         )
         for params in points
     ]
     workers = int(workers)
+    pool_note = f", {pool_kind} pool" if workers > 1 else ""
     provenance = (
         f"executor=stacked({workers} worker{'s' if workers != 1 else ''}"
-        f"{', crn' if crn else ''})"
+        f"{pool_note}{', crn' if crn else ''}) kernel={resolve_kernel(kernel)}"
     )
     results = run_stacked(configs, crn=crn, pool=pool)
     if biasing is not None:

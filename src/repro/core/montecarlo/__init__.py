@@ -15,12 +15,20 @@ from repro.core.montecarlo.batch import (
     segment_point_summaries,
     summarise_batch,
 )
+from repro.core.montecarlo.compiled import (
+    KERNELS,
+    compiled_available,
+    has_compiled_face,
+    kernel_context,
+    resolve_kernel,
+)
 from repro.core.montecarlo.config import (
     ALLOCATORS,
     DEFAULT_ADAPTIVE_CEILING,
     DEFAULT_HORIZON_HOURS,
     DEFAULT_ITERATIONS,
     EXECUTORS,
+    POOLS,
     TRANSPORTS,
     MonteCarloConfig,
 )
@@ -78,6 +86,8 @@ __all__ = [
     "DEFAULT_STACKED_SHARD_SIZE",
     "DEFAULT_ITERATIONS",
     "EXECUTORS",
+    "KERNELS",
+    "POOLS",
     "TRANSPORTS",
     "EpisodeTrace",
     "GridPlanesSpec",
@@ -89,9 +99,12 @@ __all__ = [
     "ShardSummary",
     "SharedGridPlanes",
     "StackedShard",
+    "compiled_available",
     "effective_shard_size",
     "estimate_availability",
     "generate_example_trace",
+    "has_compiled_face",
+    "kernel_context",
     "merge_iteration_counters",
     "merge_totals",
     "plan_shards",
@@ -99,6 +112,7 @@ __all__ = [
     "render_timeline",
     "replay_stacked_point",
     "replay_trace_on_engine",
+    "resolve_kernel",
     "resolve_stacked_transport",
     "run_batch",
     "run_batch_lifetimes",

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.montecarlo.compiled import kernel_context
 from repro.core.montecarlo.config import MonteCarloConfig
 from repro.core.montecarlo.results import MonteCarloResult
 from repro.core.policies.base import BatchLifetimes
@@ -56,13 +57,14 @@ def run_batch_lifetimes(
     if streams is None:
         streams = RandomStreams(config.seed)
     rng = streams.stream("montecarlo")
-    return policy.simulate_batch(
-        config.params,
-        config.horizon_hours,
-        config.n_iterations,
-        rng,
-        biasing=config.biasing,
-    )
+    with kernel_context(config.kernel):
+        return policy.simulate_batch(
+            config.params,
+            config.horizon_hours,
+            config.n_iterations,
+            rng,
+            biasing=config.biasing,
+        )
 
 
 def summarise_batch(

@@ -28,6 +28,22 @@ EXECUTORS = ("auto", "batch", "scalar")
 #: Re-exported from the transport module, the single source of truth.
 from repro.core.montecarlo.transport import TRANSPORTS  # noqa: E402
 
+#: Accepted kernel backends: ``"auto"`` prefers the compiled (numba) row
+#: scans when importable and falls back to numpy with a one-time warning,
+#: ``"numpy"`` pins the pure-numpy kernels (the bit-identity oracle),
+#: ``"compiled"`` demands numba.  Re-exported from the compiled module,
+#: the single source of truth (mirrors the TRANSPORTS re-export above).
+from repro.core.montecarlo.compiled import KERNELS  # noqa: E402
+
+#: Accepted shard-executor pools: ``"process"`` fans shards out over worker
+#: processes (today's default), ``"thread"`` over in-process threads that
+#: share the stacked grid planes outright (no segment, no pickling),
+#: ``"serial"`` runs the identical shard plan sequentially in-process even
+#: with ``workers > 1`` (the pool oracle).  All three are bit-identical:
+#: shard decomposition, spawn-indexed draws and CGL merge order are pool
+#: independent.
+POOLS = ("process", "thread", "serial")
+
 #: Iteration ceiling of an adaptive (``target_half_width``) run when no
 #: explicit ``max_iterations`` is configured — the paper's 1e6 setting.
 DEFAULT_ADAPTIVE_CEILING = 1_000_000
@@ -115,6 +131,20 @@ class MonteCarloConfig:
         point the same budget, ``"ci_width"`` sizes each unmet point's
         budget by its own confidence-interval gap.  Ignored without
         ``target_half_width``; single-point runs have nothing to allocate.
+    kernel:
+        Which row-search backend the batch kernels use: ``"auto"`` (the
+        compiled numba scans when importable, numpy otherwise with a
+        one-time warning), ``"numpy"`` (the retained oracle) or
+        ``"compiled"`` (demand numba; :class:`ConfigurationError` without
+        it).  Both backends are bit-identical — the compiled primitives are
+        pure selections over the same spawn-indexed Generator draws.
+    pool:
+        Which executor the sharded path fans shards out over when
+        ``workers > 1``: ``"process"`` (worker processes, today's
+        behaviour), ``"thread"`` (in-process threads sharing the stacked
+        grid planes outright — no segment, no pickling) or ``"serial"``
+        (the identical shard plan run sequentially in-process, the pool
+        oracle).  Bit-identical across pools and worker counts.
     """
 
     params: AvailabilityParameters = field(default_factory=AvailabilityParameters)
@@ -132,6 +162,8 @@ class MonteCarloConfig:
     transport: str = "auto"
     biasing: Optional[float] = None
     allocator: str = "uniform"
+    kernel: str = "auto"
+    pool: str = "process"
 
     def __post_init__(self) -> None:
         if self.horizon_hours <= 0.0:
@@ -177,6 +209,29 @@ class MonteCarloConfig:
         if self.allocator not in ALLOCATORS:
             raise ConfigurationError(
                 f"allocator must be one of {ALLOCATORS}, got {self.allocator!r}"
+            )
+        if self.kernel not in KERNELS:
+            raise ConfigurationError(
+                f"kernel must be one of {KERNELS}, got {self.kernel!r}"
+            )
+        if self.pool not in POOLS:
+            raise ConfigurationError(f"pool must be one of {POOLS}, got {self.pool!r}")
+        if self.kernel == "compiled":
+            if self.executor == "scalar":
+                raise ConfigurationError(
+                    "kernel='compiled' accelerates the vectorised batch "
+                    "kernels; it cannot be combined with executor='scalar'"
+                )
+            if self.collect_trace:
+                raise ConfigurationError(
+                    "kernel='compiled' runs on the batch path and cannot "
+                    "collect an event trace"
+                )
+        if self.pool in ("thread", "serial") and self.transport == "shm":
+            raise ConfigurationError(
+                "transport='shm' crosses a process boundary; thread and "
+                "serial pools share the stacked grid planes directly "
+                "(use transport='auto')"
             )
         if self.biasing is not None:
             if not float(self.biasing) > 0.0:
@@ -279,6 +334,14 @@ class MonteCarloConfig:
     def with_transport(self, transport: str) -> "MonteCarloConfig":
         """Return a copy with a different stacked-grid parameter transport."""
         return replace(self, transport=str(transport))
+
+    def with_kernel(self, kernel: str) -> "MonteCarloConfig":
+        """Return a copy with a different kernel backend."""
+        return replace(self, kernel=str(kernel))
+
+    def with_pool(self, pool: str) -> "MonteCarloConfig":
+        """Return a copy with a different shard-executor pool."""
+        return replace(self, pool=str(pool))
 
     def with_seed(self, seed: int) -> "MonteCarloConfig":
         """Return a copy with a fixed master seed."""

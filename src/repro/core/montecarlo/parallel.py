@@ -28,8 +28,8 @@ import math
 import multiprocessing
 import os
 import sys
-from concurrent.futures import Executor, ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -38,6 +38,7 @@ from repro.core.montecarlo.batch import (
     POINT_SUMMARY_TOTAL_FIELDS,
     segment_point_records,
 )
+from repro.core.montecarlo.compiled import kernel_context, resolve_kernel
 from repro.core.montecarlo.config import MonteCarloConfig
 from repro.core.montecarlo.results import MonteCarloResult, merge_totals
 from repro.core.montecarlo.transport import (
@@ -125,14 +126,20 @@ def run_shard(
     """
     policy = resolve_policy(config.policy)
     streams = RandomStreams(master_entropy).spawn_child(shard_index)
-    batch = policy.simulate_shard(
-        config.params,
-        config.horizon_hours,
-        shard_size,
-        streams,
-        force_scalar=config.executor == "scalar",
-        biasing=config.biasing,
-    )
+    # The kernel context is entered *inside* the submitted callable (here),
+    # not around the submission: the routing is thread-local, so this is
+    # what makes thread-pool shards see the backend.  Parents resolve
+    # ``kernel`` to a concrete value first, so the auto-fallback warning
+    # never fires inside a worker.
+    with kernel_context(config.kernel):
+        batch = policy.simulate_shard(
+            config.params,
+            config.horizon_hours,
+            shard_size,
+            streams,
+            force_scalar=config.executor == "scalar",
+            biasing=config.biasing,
+        )
     return ShardSummary(
         shard_index=shard_index,
         moments=StreamingMoments.from_samples(
@@ -210,14 +217,21 @@ def worker_probe() -> Tuple[int, bool]:
     return os.getpid(), os.environ.get(WORKER_INIT_ENV) == "1"
 
 
-def _make_pool(workers: int) -> ProcessPoolExecutor:
+def _make_pool(workers: int, kind: str = "process") -> Executor:
     """Build the worker pool, preferring cheap ``fork`` workers on Linux.
 
     Fork is only *safe* on Linux: macOS lists it as available but forking a
     process with framework state initialised (numpy is already imported)
     can crash workers, which is why CPython's default there is spawn.
     Every worker runs :func:`_worker_initializer` before its first shard.
+
+    ``kind="thread"`` builds a :class:`ThreadPoolExecutor` instead: shards
+    run in-process, sharing the parent's module state and — on the stacked
+    path — the materialised grid planes outright, with no BLAS re-pinning
+    needed (the threads inherit the parent's configuration).
     """
+    if kind == "thread":
+        return ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-mc")
     use_fork = sys.platform == "linux" and "fork" in multiprocessing.get_all_start_methods()
     context = multiprocessing.get_context("fork" if use_fork else None)
     return ProcessPoolExecutor(
@@ -225,8 +239,18 @@ def _make_pool(workers: int) -> ProcessPoolExecutor:
     )
 
 
+def _crosses_process_boundary(pool: Optional[Executor]) -> bool:
+    """Return whether shards submitted to ``pool`` leave this process.
+
+    Thread pools keep shards in-process (their futures see the parent's
+    memory directly); anything else pooled is treated as a process boundary,
+    which errs on the side of the transports that always work.
+    """
+    return pool is not None and not isinstance(pool, ThreadPoolExecutor)
+
+
 @contextlib.contextmanager
-def worker_pool(workers: int):
+def worker_pool(workers: int, kind: str = "process"):
     """Context manager yielding a reusable pool (or ``None`` for 1 worker).
 
     Sweeps that run many sharded studies (the experiment grids) should
@@ -234,11 +258,15 @@ def worker_pool(workers: int):
     ``run_monte_carlo`` call, instead of paying pool startup — worker
     process creation, and on spawn platforms a numpy/scipy re-import per
     worker — once per study.
+
+    ``kind`` picks the executor (:data:`repro.core.montecarlo.config.POOLS`):
+    ``"serial"`` yields ``None`` regardless of ``workers``, running the
+    identical shard plan sequentially in-process — the pool oracle.
     """
-    if int(workers) <= 1:
+    if int(workers) <= 1 or kind == "serial":
         yield None
         return
-    pool = _make_pool(int(workers))
+    pool = _make_pool(int(workers), kind)
     try:
         yield pool
     finally:
@@ -288,6 +316,10 @@ def run_sharded(
     :func:`worker_pool`); its lifecycle then belongs to the caller.
     """
     resolve_policy(config.policy)  # fail fast on unknown policies
+    # Resolve the kernel parent-side so workers receive a concrete backend
+    # ("auto" warns/falls back here, exactly once per process, not once per
+    # shard or per worker).
+    config = replace(config, kernel=resolve_kernel(config.kernel))
     master = RandomStreams(config.seed)
     master_entropy = master.seed_entropy
     target = config.target_half_width
@@ -299,10 +331,10 @@ def run_sharded(
     round_budget = config.n_iterations
 
     workers = int(config.workers)
-    own_pool: Optional[ProcessPoolExecutor] = None
+    own_pool: Optional[Executor] = None
     try:
-        if pool is None and workers > 1:
-            pool = own_pool = _make_pool(workers)
+        if pool is None and workers > 1 and config.pool != "serial":
+            pool = own_pool = _make_pool(workers, config.pool)
         while round_budget > 0:
             # A pinned shard_size fixes the decomposition (bit-identical
             # across worker counts); the default re-splits every round one
@@ -444,6 +476,7 @@ def _simulate_stacked_shard(
     master_entropy: int,
     shard: StackedShard,
     biasing: Optional[float] = None,
+    kernel: str = "numpy",
 ) -> np.ndarray:
     """Simulate one shard's rows and summarise them as point records.
 
@@ -451,11 +484,14 @@ def _simulate_stacked_shard(
     ``(master_entropy, stream_index)`` alone, so the draws are identical
     in-process, forked or spawned — and identical for any worker count and
     any transport, because every transport feeds the kernel value-identical
-    parameter rows.
+    parameter rows.  ``kernel`` is the parent-resolved backend; the context
+    is entered here, inside the (possibly thread-pooled) callable, because
+    the routing is thread-local.
     """
     streams = RandomStreams(master_entropy).spawn_child(shard.stream_index)
     rng = streams.stream("montecarlo")
-    batch = policy.simulate_stacked(grid_slice, horizon_hours, rng, biasing=biasing)
+    with kernel_context(kernel):
+        batch = policy.simulate_stacked(grid_slice, horizon_hours, rng, biasing=biasing)
     return segment_point_records(batch, shard.point_indices, shard.counts)
 
 
@@ -466,6 +502,7 @@ def run_stacked_shard(
     master_entropy: int,
     shard: StackedShard,
     biasing: Optional[float] = None,
+    kernel: str = "numpy",
 ) -> np.ndarray:
     """Pickle-transport worker entry: rebuild the slice from scalars.
 
@@ -487,7 +524,8 @@ def run_stacked_shard(
     )
     grid_slice = stack_parameter_points(point_params, shard.counts, schemes=schemes)
     return _simulate_stacked_shard(
-        policy, grid_slice, horizon_hours, master_entropy, shard, biasing=biasing
+        policy, grid_slice, horizon_hours, master_entropy, shard,
+        biasing=biasing, kernel=kernel,
     )
 
 
@@ -498,6 +536,7 @@ def run_stacked_shard_shm(
     master_entropy: int,
     shard: StackedShard,
     biasing: Optional[float] = None,
+    kernel: str = "numpy",
 ) -> np.ndarray:
     """Shared-memory worker entry: attach the planes, view the row range.
 
@@ -511,7 +550,8 @@ def run_stacked_shard_shm(
     grid_slice = attach_grid_slice(spec, segment.buf, shard.start, shard.stop)
     try:
         return _simulate_stacked_shard(
-            policy, grid_slice, horizon_hours, master_entropy, shard, biasing=biasing
+            policy, grid_slice, horizon_hours, master_entropy, shard,
+            biasing=biasing, kernel=kernel,
         )
     finally:
         # Drop the buffer views promptly; the cached attachment itself is
@@ -546,7 +586,7 @@ def _validate_stacked(
         for attr in (
             "horizon_hours", "confidence", "seed", "executor", "workers",
             "shard_size", "transport", "target_half_width", "biasing",
-            "allocator",
+            "allocator", "kernel", "pool",
         ):
             if getattr(config, attr) != getattr(first, attr):
                 raise ConfigurationError(
@@ -574,15 +614,18 @@ def _run_stacked_shards(
     grid: Optional[StackedParams] = None,
     spec: Optional[GridPlanesSpec] = None,
     biasing: Optional[float] = None,
+    kernel: str = "numpy",
 ) -> Iterator[np.ndarray]:
     """Run the planned shards, yielding summary records in plan order.
 
     ``mode`` is the resolved transport: ``"pickle"`` ships each shard's
     scalar points and rebuilds the slice worker-side, ``"view"`` slices the
-    materialised ``grid`` in-process (single-process zero copy), ``"shm"``
-    submits only the planes ``spec`` and workers attach the shared segment.
-    All three feed the kernels value-identical rows, so the records — and
-    everything merged from them — are byte-identical across transports.
+    materialised ``grid`` — in-process when unpooled, per-submission when the
+    pool is a thread pool (threads see the parent's planes directly; no
+    segment, no pickling, no rebuild) — and ``"shm"`` submits only the
+    planes ``spec`` and workers attach the shared segment.  All three feed
+    the kernels value-identical rows, so the records — and everything merged
+    from them — are byte-identical across transports.
     """
 
     def _params(shard: StackedShard):
@@ -594,18 +637,32 @@ def _run_stacked_shards(
                 yield _simulate_stacked_shard(
                     policy, grid.slice(shard.start, shard.stop),
                     horizon_hours, master_entropy, shard, biasing=biasing,
+                    kernel=kernel,
                 )
             else:
                 yield run_stacked_shard(
                     policy, _params(shard), horizon_hours, master_entropy, shard,
-                    biasing=biasing,
+                    biasing=biasing, kernel=kernel,
                 )
         return
-    if mode == "shm":
+    if mode == "view":
+        # Thread-pooled shards share the materialised grid outright: each
+        # submission carries a zero-copy row-range view of the parent's
+        # planes.  (Process pools never take this branch — the transport
+        # resolver only yields "view" when shards stay in-process.)
+        futures = [
+            pool.submit(
+                _simulate_stacked_shard, policy,
+                grid.slice(shard.start, shard.stop),
+                horizon_hours, master_entropy, shard, biasing, kernel,
+            )
+            for shard in shards
+        ]
+    elif mode == "shm":
         futures = [
             pool.submit(
                 run_stacked_shard_shm, policy, spec,
-                horizon_hours, master_entropy, shard, biasing,
+                horizon_hours, master_entropy, shard, biasing, kernel,
             )
             for shard in shards
         ]
@@ -613,7 +670,7 @@ def _run_stacked_shards(
         futures = [
             pool.submit(
                 run_stacked_shard, policy, _params(shard),
-                horizon_hours, master_entropy, shard, biasing,
+                horizon_hours, master_entropy, shard, biasing, kernel,
             )
             for shard in shards
         ]
@@ -728,15 +785,22 @@ def run_stacked_sharded(
     shards = plan_stacked_shards(counts, stacked_shard_size(first), crn=crn)
     master_entropy = RandomStreams(first.seed).seed_entropy
     horizon = float(first.horizon_hours)
+    kernel = resolve_kernel(first.kernel)
 
     record_parts: List[np.ndarray] = []
     workers = int(first.workers)
-    own_pool: Optional[ProcessPoolExecutor] = None
+    own_pool: Optional[Executor] = None
     planes: Optional[SharedGridPlanes] = None
     try:
-        if pool is None and workers > 1:
-            pool = own_pool = _make_pool(workers)
-        mode = resolve_stacked_transport(first.transport, pooled=pool is not None)
+        if pool is None and workers > 1 and first.pool != "serial":
+            pool = own_pool = _make_pool(workers, first.pool)
+        # Transport resolution keys on whether shards actually leave the
+        # process: a thread pool (own or caller-shared) keeps them here, so
+        # it gets the zero-copy "view" planes — the whole point of the
+        # thread executor — instead of a shared-memory segment.
+        mode = resolve_stacked_transport(
+            first.transport, pooled=_crosses_process_boundary(pool)
+        )
         grid = spec = None
         schemes = (
             [policy.scheme] * len(configs) if policy.has_periodic_checks else None
@@ -757,6 +821,7 @@ def run_stacked_sharded(
         for records in _run_stacked_shards(
             policy, configs, horizon, master_entropy, shards, pool,
             mode=mode, grid=grid, spec=spec, biasing=first.biasing,
+            kernel=kernel,
         ):
             record_parts.append(records)
         if first.target_half_width is not None:
@@ -780,7 +845,7 @@ def run_stacked_sharded(
                 next_index += len(round_shards)
                 for records in _run_stacked_shards(
                     policy, configs, horizon, master_entropy, round_shards,
-                    pool, mode="pickle", biasing=first.biasing,
+                    pool, mode="pickle", biasing=first.biasing, kernel=kernel,
                 ):
                     record_parts.append(records)
     except BaseException:
@@ -926,7 +991,8 @@ def replay_stacked_point(
     record_parts = list(
         _run_stacked_shards(
             policy, configs, horizon, master_entropy, shards, pool=None,
-            mode="pickle",
+            mode="pickle", biasing=first.biasing,
+            kernel=resolve_kernel(first.kernel),
         )
     )
     moments, totals = _merge_point_records(record_parts, len(configs))

@@ -52,6 +52,7 @@ baseline of the ``stacked_kernel_compaction`` benchmark.
 
 from __future__ import annotations
 
+import contextlib
 import threading
 from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
@@ -117,10 +118,53 @@ def _clip_downtime(start: np.ndarray, end: np.ndarray, horizon: float) -> np.nda
     return np.maximum(0.0, np.minimum(end, horizon) - np.minimum(start, horizon))
 
 
-def _min_and_slot(clocks: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    """Return per-row ``(slot, time)`` of the earliest pending failure."""
+#: Per-thread override table for the row-search primitives below.  ``None``
+#: (the default) keeps the numpy implementations; the compiled backend
+#: (``core/montecarlo/compiled.py``) activates an object exposing
+#: ``min_and_slot``/``min_excluding``/``second_smallest`` for the duration of
+#: a kernel invocation.  The store is per thread for the same reason as
+#: ``_SCRATCH_LOCAL``: a thread-pool shard executor runs kernels concurrently
+#: on one process's module state.
+_KERNEL_OPS_LOCAL = threading.local()
+
+
+def active_kernel_ops():
+    """Return this thread's active kernel-ops table (``None`` = numpy)."""
+    return getattr(_KERNEL_OPS_LOCAL, "ops", None)
+
+
+@contextlib.contextmanager
+def kernel_ops(ops):
+    """Route this thread's row-search primitives through ``ops``.
+
+    The primitives are pure selections over the clock matrix — no
+    arithmetic — so any faithful implementation (the compiled scans) is
+    bit-identical to numpy by construction: both return the same elements,
+    not recomputed values.  Nesting restores the previous table on exit.
+    """
+    previous = getattr(_KERNEL_OPS_LOCAL, "ops", None)
+    _KERNEL_OPS_LOCAL.ops = ops
+    try:
+        yield
+    finally:
+        _KERNEL_OPS_LOCAL.ops = previous
+
+
+def _min_and_slot(
+    clocks: np.ndarray, rows: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return per-row ``(slot, time)`` of the earliest pending failure.
+
+    ``rows`` optionally supplies a cached ``arange(m)`` (an arena view on
+    the compacted paths).  Ties resolve to the lowest slot index on both
+    backends (numpy ``argmin`` and the compiled strict-``<`` scan).
+    """
+    ops = active_kernel_ops()
+    if ops is not None:
+        return ops.min_and_slot(clocks)
     slot = np.argmin(clocks, axis=1)
-    rows = np.arange(clocks.shape[0])
+    if rows is None:
+        rows = np.arange(clocks.shape[0])
     return slot, clocks[rows, slot]
 
 
@@ -130,8 +174,13 @@ def _min_excluding(
     """Return per-row ``(slot, time)`` of the earliest failure outside ``exclude``.
 
     ``out`` optionally supplies the scratch matrix for the masked copy (an
-    arena buffer on the compacted path); ``None`` allocates as before.
+    arena buffer on the compacted path); ``None`` allocates as before.  The
+    compiled backend needs no masked copy at all — it skips column
+    ``exclude[row]`` inside the scan — and ignores ``out``.
     """
+    ops = active_kernel_ops()
+    if ops is not None:
+        return ops.min_excluding(clocks, exclude)
     if out is None:
         masked = clocks.copy()
     else:
@@ -149,8 +198,14 @@ def _second_smallest(clocks: np.ndarray, out: np.ndarray) -> np.ndarray:
     Equals ``_min_excluding(clocks, argmin(clocks, axis=1))[1]`` — removing
     one instance of a row's minimum leaves its second order statistic, ties
     included — without the fancy-indexed mask writes.  Requires at least two
-    columns, which every kernel guarantees (``n_disks >= 2``).
+    columns, which every kernel guarantees (``n_disks >= 2``).  The compiled
+    backend keeps two running minima per row instead of partitioning, which
+    selects the same element (duplicates included, NaN impossible — clocks
+    are sampled times or ``inf``).
     """
+    ops = active_kernel_ops()
+    if ops is not None:
+        return ops.second_smallest(clocks)
     np.copyto(out, clocks)
     out.partition(1, axis=1)
     return out[:, 1]
@@ -724,8 +779,7 @@ def _conventional_compacted(
     while rows.size:
         k = rows.size
         r = arena.arange(k)
-        slot = np.argmin(clocks, axis=1)
-        fail = clocks[r, slot]
+        slot, fail = _min_and_slot(clocks, r)
         if first_round:
             # ``now`` is still all-zero and clocks are non-negative, so the
             # episode-start clamp is a no-op this round.
@@ -994,8 +1048,7 @@ def _spare_pool_compacted(state: _SparePoolState) -> BatchLifetimes:
     arena = state.arena
     first_round = True
     while state.rows.size:
-        slot = np.argmin(state.clocks, axis=1)
-        fail = state.clocks[arena.arange(state.rows.size), slot]
+        slot, fail = _min_and_slot(state.clocks, arena.arange(state.rows.size))
         if first_round:
             first_round = False
         else:

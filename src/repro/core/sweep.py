@@ -287,6 +287,8 @@ def _monte_carlo_points(
     transport: str,
     biasing: Optional[float],
     allocator: str,
+    kernel: str,
+    pool_kind: str,
     pool,
 ) -> List[SweepPoint]:
     """Evaluate arbitrary parameter points on the Monte Carlo backend."""
@@ -337,13 +339,15 @@ def _monte_carlo_points(
             transport=transport,
             biasing=biasing,
             allocator=allocator,
+            kernel=kernel,
+            pool_kind=pool_kind,
             pool=pool,
         )
         return [
             _point_from_estimate(estimate, x) for estimate, x in zip(estimates, xs)
         ]
     # Per-point loop: one study per point, one shared pool for the sweep.
-    context = nullcontext(pool) if pool is not None else worker_pool(workers)
+    context = nullcontext(pool) if pool is not None else worker_pool(workers, pool_kind)
     points: List[SweepPoint] = []
     with context as sweep_pool:
         for params, x in zip(point_params, xs):
@@ -363,6 +367,8 @@ def _monte_carlo_points(
                 transport=transport,
                 biasing=biasing,
                 allocator=allocator,
+                kernel=kernel,
+                pool_kind=pool_kind,
                 pool=sweep_pool,
             )
             points.append(_point_from_estimate(estimate, x))
@@ -391,6 +397,8 @@ def sweep(
     transport: str = "auto",
     biasing: Optional[float] = None,
     allocator: str = "uniform",
+    kernel: str = "auto",
+    pool_kind: str = "process",
     pool=None,
 ) -> List[SweepPoint]:
     """Sweep one parameter axis for one policy on one backend.
@@ -440,6 +448,14 @@ def sweep(
     allocator:
         Adaptive-round budget allocator of stacked adaptive sweeps:
         ``"uniform"`` or ``"ci_width"``.
+    kernel:
+        Row-search backend of the batch kernels (``"auto"``, ``"numpy"`` or
+        ``"compiled"``); see
+        :class:`~repro.core.montecarlo.config.MonteCarloConfig`.
+    pool_kind:
+        Shard-executor pool of the sharded path (``"process"``, ``"thread"``
+        or ``"serial"``); named ``pool_kind`` because ``pool`` below is the
+        long-standing shared-executor argument.
     pool:
         Optional externally owned worker pool; ``None`` with ``workers > 1``
         starts one pool for the whole sweep (not one per point).
@@ -478,6 +494,8 @@ def sweep(
         transport=transport,
         biasing=biasing,
         allocator=allocator,
+        kernel=kernel,
+        pool_kind=pool_kind,
         pool=pool,
     )
 
@@ -596,6 +614,8 @@ def sweep_grid(
     transport: str = "auto",
     biasing: Optional[float] = None,
     allocator: str = "uniform",
+    kernel: str = "auto",
+    pool_kind: str = "process",
     pool=None,
 ) -> SweepGrid:
     """Sweep two parameter axes at once (a fig5-style surface) in one call.
@@ -655,6 +675,8 @@ def sweep_grid(
             transport=transport,
             biasing=biasing,
             allocator=allocator,
+            kernel=kernel,
+            pool_kind=pool_kind,
             pool=pool,
         )
     n2 = len(values2)

@@ -66,6 +66,8 @@ def run_cross_validation(
     confidence: float = DEFAULTS.mc_confidence,
     seed: Optional[int] = DEFAULTS.seed,
     workers: int = 1,
+    kernel: str = "auto",
+    pool_kind: str = "process",
     pool=None,
 ) -> List[CrossValidationRow]:
     """Validate analytical against Monte Carlo for every dual-face policy.
@@ -85,6 +87,10 @@ def run_cross_validation(
         draws fresh entropy per policy).
     workers / pool:
         Sharded-executor fan-out; a single pool is shared across policies.
+    kernel / pool_kind:
+        Kernel backend and shard-executor pool of the Monte Carlo face
+        (``MonteCarloConfig.kernel`` / ``.pool``); ``pool_kind`` is so
+        named because ``pool`` is the shared-executor argument above.
     """
     if params is None:
         params = paper_parameters(
@@ -105,7 +111,7 @@ def run_cross_validation(
     else:
         chosen = [resolve_policy(p) for p in policies]
     rows: List[CrossValidationRow] = []
-    context = nullcontext(pool) if pool is not None else worker_pool(workers)
+    context = nullcontext(pool) if pool is not None else worker_pool(workers, pool_kind)
     with context as shared_pool:
         for policy in chosen:
             analytical = evaluate(params, policy=policy, backend="analytical")
@@ -122,6 +128,8 @@ def run_cross_validation(
                 # across --workers values, so the smoke job is reproducible
                 # on any machine.
                 shard_size=max(1, mc_iterations // 4),
+                kernel=kernel,
+                pool_kind=pool_kind,
                 pool=shared_pool,
             )
             rows.append(

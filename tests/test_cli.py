@@ -99,7 +99,7 @@ class TestMcCommand:
             "--iterations", "600", "--seed", "1", "--workers", "2",
         ]) == 0
         out = capsys.readouterr().out
-        assert "(sharded, 2 workers)" in out
+        assert "(sharded, 2 workers, process pool)" in out
         assert "iterations:         600" in out
 
     def test_mc_adaptive_target_half_width(self, capsys):
