@@ -244,8 +244,9 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(KERNELS),
         default="auto",
         help="batch-kernel backend: auto (compiled numba scans when "
-        "installed, numpy otherwise), numpy (the bit-identity oracle), or "
-        "compiled (demand numba)",
+        "installed, numpy otherwise), numpy (the bit-identity oracle), "
+        "compiled (demand numba), or fused (whole-event-loop nopython "
+        "kernels; statistically pinned, fastest)",
     )
     mc.add_argument(
         "--pool",
@@ -407,8 +408,9 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(KERNELS),
         default="auto",
         help="batch-kernel backend: auto (compiled numba scans when "
-        "installed, numpy otherwise), numpy (the bit-identity oracle), or "
-        "compiled (demand numba)",
+        "installed, numpy otherwise), numpy (the bit-identity oracle), "
+        "compiled (demand numba), or fused (whole-event-loop nopython "
+        "kernels; statistically pinned, fastest)",
     )
     sweep_parser.add_argument(
         "--pool",
@@ -455,7 +457,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel",
         choices=list(KERNELS),
         default="auto",
-        help="batch-kernel backend of the Monte Carlo face (auto/numpy/compiled)",
+        help="batch-kernel backend of the Monte Carlo face (auto/numpy/compiled/fused)",
     )
     crossval.add_argument(
         "--pool",
@@ -833,8 +835,9 @@ def _run_policies(args: argparse.Namespace) -> str:
         faces = "both" if policy.has_analytical_model else "monte_carlo"
         kernels = "batch+scalar" if policy.has_batch_kernel else "scalar"
         stacked = "yes" if policy.supports_stacked else "no"
-        # Whether the batch kernel's hot loops route through the compiled
-        # (numba) row scans when kernel=compiled/auto selects them.
+        # Whether a compiled backend accelerates the batch kernel: the
+        # kernel=compiled/auto row scans or a kernel=fused whole-event-loop
+        # (how the erasure family, which has no row searches, earns its yes).
         compiled = "yes" if has_compiled_face(policy) else "no"
         lines.append(
             f"  {name:<22}{faces:<14}{kernels:<15}{stacked:<9}{compiled:<10}"

@@ -394,7 +394,8 @@ def _executor_provenance(config: MonteCarloConfig) -> str:
     """Describe the execution stack actually used, kernel and pool included.
 
     The recorded kernel is the *resolved* backend (``auto`` shows up as
-    whichever of ``numpy``/``compiled`` actually ran); the pool is recorded
+    whichever of ``numpy``/``compiled`` actually ran; an explicit ``fused``
+    records ``fused``); the pool is recorded
     only where one exists — on the sharded path with more than one worker.
     """
     if config.uses_sharded_path:

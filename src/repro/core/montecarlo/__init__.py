@@ -22,6 +22,12 @@ from repro.core.montecarlo.compiled import (
     kernel_context,
     resolve_kernel,
 )
+from repro.core.montecarlo.fused import (
+    fused_available,
+    has_fused_face,
+    run_fused_batch,
+    warmup_fused,
+)
 from repro.core.montecarlo.config import (
     ALLOCATORS,
     DEFAULT_ADAPTIVE_CEILING,
@@ -102,8 +108,10 @@ __all__ = [
     "compiled_available",
     "effective_shard_size",
     "estimate_availability",
+    "fused_available",
     "generate_example_trace",
     "has_compiled_face",
+    "has_fused_face",
     "kernel_context",
     "merge_iteration_counters",
     "merge_totals",
@@ -116,6 +124,7 @@ __all__ = [
     "resolve_stacked_transport",
     "run_batch",
     "run_batch_lifetimes",
+    "run_fused_batch",
     "run_iterations",
     "run_monte_carlo",
     "run_monte_carlo_with_trace",
@@ -126,6 +135,7 @@ __all__ = [
     "run_stacked_shard_shm",
     "run_traced_on_engine",
     "segment_point_records",
+    "warmup_fused",
     "segment_point_summaries",
     "shared_memory_available",
     "simulate_conventional",

@@ -31,8 +31,9 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.montecarlo.compiled import kernel_context
+from repro.core.montecarlo.compiled import kernel_context, resolve_kernel
 from repro.core.montecarlo.config import MonteCarloConfig
+from repro.core.montecarlo.fused import run_fused_batch
 from repro.core.montecarlo.results import MonteCarloResult
 from repro.core.policies.base import BatchLifetimes
 from repro.core.policies.registry import resolve_policy
@@ -56,6 +57,15 @@ def run_batch_lifetimes(
     policy = resolve_policy(config.policy)
     if streams is None:
         streams = RandomStreams(config.seed)
+    if resolve_kernel(config.kernel) == "fused":
+        return run_fused_batch(
+            policy,
+            config.params,
+            config.horizon_hours,
+            config.n_iterations,
+            streams,
+            biasing=config.biasing,
+        )
     rng = streams.stream("montecarlo")
     with kernel_context(config.kernel):
         return policy.simulate_batch(

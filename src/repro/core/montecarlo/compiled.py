@@ -13,17 +13,22 @@ is the import guard between it and the rest of the engine, mirroring how
 - :func:`kernel_context` activates the backend for the calling thread's
   kernel invocations via :func:`repro.core.policies.vectorized.kernel_ops`.
 
-The RNG-discipline boundary (see DESIGN.md): all random draws stay on the
-spawn-indexed numpy ``Generator`` exactly as on the numpy path — only the
-deterministic per-row clock-matrix searches (``min_and_slot``,
-``min_excluding``, ``second_smallest``) are compiled, as fused
+The RNG-discipline boundary (see DESIGN.md): on ``kernel="compiled"`` all
+random draws stay on the spawn-indexed numpy ``Generator`` exactly as on the
+numpy path — only the deterministic per-row clock-matrix searches
+(``min_and_slot``, ``min_excluding``, ``second_smallest``) are compiled, as
 ``@njit(parallel=True)`` prange scans.  Those primitives are pure
 *selections* (they return elements of the matrix, never recomputed values),
 so the compiled backend is bit-identical to numpy by construction — asserted
-per policy × geometry × biasing in ``tests/core/test_compiled.py``.  A fully
-fused event-loop kernel drawing inside nopython code would force numba's own
-draw discipline and drop to statistically-pinned equivalence; that remains
-the documented future extension.
+per policy × geometry × biasing in ``tests/core/test_compiled.py``.
+
+``kernel="fused"`` crosses that boundary: the whole event loop — draws
+included — runs inside nopython code (:mod:`repro.core.montecarlo.fused`),
+which drops cross-backend equality to the statistically-pinned protocol
+(``tests/core/test_fused.py``) in exchange for removing the per-round numpy
+overhead entirely.  Within the fused backend determinism is still exact:
+``workers=N`` stays bit-identical to ``workers=1``.  This module stays the
+single source of kernel-name truth; the fused module owns its loops.
 """
 
 from __future__ import annotations
@@ -40,7 +45,9 @@ __all__ = [
     "KERNELS",
     "compiled_available",
     "compiled_ops",
+    "fused_available",
     "has_compiled_face",
+    "has_fused_face",
     "kernel_context",
     "reset_compiled_state",
     "resolve_kernel",
@@ -48,9 +55,11 @@ __all__ = [
 ]
 
 #: Accepted kernel backends: "auto" prefers the compiled scans when numba is
-#: importable and falls back to numpy with a one-time warning, "numpy" and
-#: "compiled" force their backend ("compiled" errors without numba).
-KERNELS = ("auto", "numpy", "compiled")
+#: importable and falls back to numpy with a one-time warning; "numpy",
+#: "compiled" and "fused" force their backend ("compiled"/"fused" error
+#: without numba).  "auto" never resolves to "fused" — the fused loops own
+#: their draw discipline, so trading bit-identity for speed is explicit.
+KERNELS = ("auto", "numpy", "compiled", "fused")
 
 #: Cached verdict of the numba import probe (None = not probed yet).
 _NUMBA_USABLE: Optional[bool] = None
@@ -66,7 +75,9 @@ _OPS = None
 #: ``batch_erasure`` is deliberately absent: its flat aggregate-clock kernel
 #: uses none of the clock-matrix search primitives, so ``kernel=compiled``
 #: runs the identical numpy path for erasure policies (still bit-identical,
-#: trivially).  ``batch_baseline`` wraps ``batch_conventional``.
+#: trivially) — erasure's compiled face is the fused event loop instead
+#: (``has_compiled_face`` ORs in ``has_fused_face``).  ``batch_baseline``
+#: wraps ``batch_conventional``.
 _COMPILED_FACES = frozenset({"batch_conventional", "batch_spare_pool", "batch_baseline"})
 
 
@@ -94,8 +105,8 @@ def reset_compiled_state() -> None:
 def resolve_kernel(kernel: str) -> str:
     """Resolve a configured kernel to a concrete backend name.
 
-    Returns ``"numpy"`` or ``"compiled"``.  Parents resolve before
-    dispatching shards so workers receive a concrete value and the
+    Returns ``"numpy"``, ``"compiled"`` or ``"fused"``.  Parents resolve
+    before dispatching shards so workers receive a concrete value and the
     ``auto`` fallback warning fires at most once, in the parent.
     """
     global _AUTO_WARNED
@@ -103,6 +114,17 @@ def resolve_kernel(kernel: str) -> str:
         raise ConfigurationError(f"kernel must be one of {KERNELS}, got {kernel!r}")
     if kernel == "numpy":
         return "numpy"
+    if kernel == "fused":
+        from repro.core.montecarlo.fused import FUSED_PUREPY_ENV, fused_available
+
+        if not fused_available():
+            raise ConfigurationError(
+                "kernel='fused' requires numba, which is not importable; "
+                "install the optional extra (pip install '.[compiled]'), "
+                f"set {FUSED_PUREPY_ENV}=1 to accept the pure-Python "
+                "fallback, or use kernel='auto' / 'numpy'"
+            )
+        return "fused"
     if kernel == "compiled":
         if not compiled_available():
             raise ConfigurationError(
@@ -137,12 +159,15 @@ def compiled_ops():
 
 
 def warmup_compiled() -> None:
-    """Trigger JIT compilation of every primitive on a tiny matrix.
+    """Trigger JIT compilation of every compiled primitive and fused loop.
 
     Benchmarks call this before timing so the one-time nopython compile is
-    excluded from the measured window.
+    excluded from the measured window; with ``cache=True`` on every kernel
+    the compiles also land in the on-disk numba cache CI restores.
     """
     import numpy as np
+
+    from repro.core.montecarlo.fused import warmup_fused
 
     ops = compiled_ops()
     clocks = np.array([[2.0, 1.0, 3.0], [np.inf, 5.0, 4.0]])
@@ -150,6 +175,7 @@ def warmup_compiled() -> None:
     ops.min_and_slot(clocks)
     ops.min_excluding(clocks, exclude)
     ops.second_smallest(clocks)
+    warmup_fused()
 
 
 def _build_ops():
@@ -242,25 +268,52 @@ def kernel_context(kernel: str):
     Yields the concrete backend name.  ``"numpy"`` is a no-op (the
     primitives' default path); ``"compiled"`` routes the row searches
     through the njit scans for the duration of the block.  Safe to enter
-    inside thread-pool workers — the routing is thread-local.
+    inside thread-pool workers — the routing is thread-local.  The fused
+    backend replaces the whole batch kernel rather than its primitives, so
+    it never flows through here — dispatchers branch to
+    :func:`repro.core.montecarlo.fused.run_fused_batch` first.
     """
-    if resolve_kernel(kernel) == "compiled":
+    resolved = resolve_kernel(kernel)
+    if resolved == "fused":
+        raise ConfigurationError(
+            "kernel='fused' replaces the whole batch kernel; dispatch it "
+            "via run_fused_batch, not kernel_context"
+        )
+    if resolved == "compiled":
         with _vectorized.kernel_ops(compiled_ops()):
             yield "compiled"
     else:
         yield "numpy"
 
 
-def has_compiled_face(policy) -> bool:
-    """Return whether a policy's batch kernel routes through the compiled scans.
+def fused_available() -> bool:
+    """Return whether ``kernel="fused"`` may be selected (see the fused module)."""
+    from repro.core.montecarlo import fused as _fused
 
-    Unwraps ``functools.partial`` layers (the spare-pool and erasure
-    policies register partials) and matches the underlying kernel against
-    the compiled-face set.
+    return _fused.fused_available()
+
+
+def has_fused_face(policy) -> bool:
+    """Return whether a policy's batch kernel has a fused event loop."""
+    from repro.core.montecarlo import fused as _fused
+
+    return _fused.has_fused_face(policy)
+
+
+def has_compiled_face(policy) -> bool:
+    """Return whether compiled backends accelerate this policy's batch kernel.
+
+    True when the kernel routes through the compiled row searches
+    (``kernel="compiled"``) *or* has a fused event loop (``kernel="fused"``
+    — how the erasure family gets its compiled face).  Unwraps
+    ``functools.partial`` layers (the spare-pool and erasure policies
+    register partials) before matching.
     """
     batch = getattr(policy, "batch", None)
     while isinstance(batch, functools.partial):
         batch = batch.func
     if batch is None:
         return False
-    return getattr(batch, "__name__", None) in _COMPILED_FACES
+    if getattr(batch, "__name__", None) in _COMPILED_FACES:
+        return True
+    return has_fused_face(policy)

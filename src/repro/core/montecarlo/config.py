@@ -132,12 +132,18 @@ class MonteCarloConfig:
         budget by its own confidence-interval gap.  Ignored without
         ``target_half_width``; single-point runs have nothing to allocate.
     kernel:
-        Which row-search backend the batch kernels use: ``"auto"`` (the
-        compiled numba scans when importable, numpy otherwise with a
-        one-time warning), ``"numpy"`` (the retained oracle) or
-        ``"compiled"`` (demand numba; :class:`ConfigurationError` without
-        it).  Both backends are bit-identical — the compiled primitives are
-        pure selections over the same spawn-indexed Generator draws.
+        Which kernel backend the batch path uses: ``"auto"`` (the compiled
+        numba row scans when importable, numpy otherwise with a one-time
+        warning), ``"numpy"`` (the retained oracle), ``"compiled"`` (demand
+        numba; :class:`ConfigurationError` without it) or ``"fused"`` (the
+        whole-event-loop nopython kernels of
+        :mod:`repro.core.montecarlo.fused`; demands numba or the explicit
+        ``REPRO_FUSED_PUREPY=1`` fallback).  ``numpy`` and ``compiled`` are
+        bit-identical — the compiled primitives are pure selections over
+        the same spawn-indexed Generator draws; ``fused`` owns its draw
+        discipline (statistically pinned cross-backend, still bit-identical
+        across worker counts and pools within itself) and is never chosen
+        by ``"auto"``.
     pool:
         Which executor the sharded path fans shards out over when
         ``workers > 1``: ``"process"`` (worker processes, today's
@@ -216,16 +222,16 @@ class MonteCarloConfig:
             )
         if self.pool not in POOLS:
             raise ConfigurationError(f"pool must be one of {POOLS}, got {self.pool!r}")
-        if self.kernel == "compiled":
+        if self.kernel in ("compiled", "fused"):
             if self.executor == "scalar":
                 raise ConfigurationError(
-                    "kernel='compiled' accelerates the vectorised batch "
+                    f"kernel={self.kernel!r} accelerates the vectorised batch "
                     "kernels; it cannot be combined with executor='scalar'"
                 )
             if self.collect_trace:
                 raise ConfigurationError(
-                    "kernel='compiled' runs on the batch path and cannot "
-                    "collect an event trace"
+                    f"kernel={self.kernel!r} runs on the batch path and "
+                    "cannot collect an event trace"
                 )
         if self.pool in ("thread", "serial") and self.transport == "shm":
             raise ConfigurationError(

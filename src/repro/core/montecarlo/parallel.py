@@ -40,6 +40,7 @@ from repro.core.montecarlo.batch import (
 )
 from repro.core.montecarlo.compiled import kernel_context, resolve_kernel
 from repro.core.montecarlo.config import MonteCarloConfig
+from repro.core.montecarlo.fused import run_fused_batch
 from repro.core.montecarlo.results import MonteCarloResult, merge_totals
 from repro.core.montecarlo.transport import (
     GridPlanesSpec,
@@ -126,20 +127,33 @@ def run_shard(
     """
     policy = resolve_policy(config.policy)
     streams = RandomStreams(master_entropy).spawn_child(shard_index)
-    # The kernel context is entered *inside* the submitted callable (here),
-    # not around the submission: the routing is thread-local, so this is
-    # what makes thread-pool shards see the backend.  Parents resolve
-    # ``kernel`` to a concrete value first, so the auto-fallback warning
-    # never fires inside a worker.
-    with kernel_context(config.kernel):
-        batch = policy.simulate_shard(
+    if config.kernel == "fused":
+        # The fused loop replaces the whole batch kernel; it draws from the
+        # shard's own spawn-indexed "fused" stream, so the decomposition
+        # stays worker-count-independent exactly like the numpy path.
+        batch = run_fused_batch(
+            policy,
             config.params,
             config.horizon_hours,
             shard_size,
             streams,
-            force_scalar=config.executor == "scalar",
             biasing=config.biasing,
         )
+    else:
+        # The kernel context is entered *inside* the submitted callable
+        # (here), not around the submission: the routing is thread-local, so
+        # this is what makes thread-pool shards see the backend.  Parents
+        # resolve ``kernel`` to a concrete value first, so the auto-fallback
+        # warning never fires inside a worker.
+        with kernel_context(config.kernel):
+            batch = policy.simulate_shard(
+                config.params,
+                config.horizon_hours,
+                shard_size,
+                streams,
+                force_scalar=config.executor == "scalar",
+                biasing=config.biasing,
+            )
     return ShardSummary(
         shard_index=shard_index,
         moments=StreamingMoments.from_samples(
@@ -489,9 +503,14 @@ def _simulate_stacked_shard(
     the routing is thread-local.
     """
     streams = RandomStreams(master_entropy).spawn_child(shard.stream_index)
-    rng = streams.stream("montecarlo")
-    with kernel_context(kernel):
-        batch = policy.simulate_stacked(grid_slice, horizon_hours, rng, biasing=biasing)
+    if kernel == "fused":
+        batch = run_fused_batch(
+            policy, grid_slice, horizon_hours, len(grid_slice), streams, biasing=biasing
+        )
+    else:
+        rng = streams.stream("montecarlo")
+        with kernel_context(kernel):
+            batch = policy.simulate_stacked(grid_slice, horizon_hours, rng, biasing=biasing)
     return segment_point_records(batch, shard.point_indices, shard.counts)
 
 

@@ -106,15 +106,16 @@ def run_monte_carlo(config: MonteCarloConfig, pool=None) -> MonteCarloResult:
             f"{resolve_policy(config.policy).name!r} has no batch kernel and "
             "resolved to the scalar path"
         )
-    if config.kernel == "compiled":
-        # Same shape as the biasing guard: explicit kernel="compiled" with a
-        # policy that has no batch kernel resolved to the scalar loop, where
-        # the compiled row searches never run.  kernel="auto" degrades to
-        # the scalar path silently instead.
+    if config.kernel in ("compiled", "fused"):
+        # Same shape as the biasing guard: explicit kernel="compiled" or
+        # "fused" with a policy that has no batch kernel resolved to the
+        # scalar loop, where neither compiled row searches nor fused event
+        # loops ever run.  kernel="auto" degrades to the scalar path
+        # silently instead.
         raise ConfigurationError(
-            "kernel='compiled' accelerates the vectorised batch kernels; "
-            f"policy {resolve_policy(config.policy).name!r} has no batch "
-            "kernel and resolved to the scalar path"
+            f"kernel={config.kernel!r} accelerates the vectorised batch "
+            f"kernels; policy {resolve_policy(config.policy).name!r} has no "
+            "batch kernel and resolved to the scalar path"
         )
     streams = RandomStreams(config.seed)
     iterations, _ = run_iterations(config, streams=streams)

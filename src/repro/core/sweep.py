@@ -449,8 +449,8 @@ def sweep(
         Adaptive-round budget allocator of stacked adaptive sweeps:
         ``"uniform"`` or ``"ci_width"``.
     kernel:
-        Row-search backend of the batch kernels (``"auto"``, ``"numpy"`` or
-        ``"compiled"``); see
+        Kernel backend of the batch path (``"auto"``, ``"numpy"``,
+        ``"compiled"`` or ``"fused"``); see
         :class:`~repro.core.montecarlo.config.MonteCarloConfig`.
     pool_kind:
         Shard-executor pool of the sharded path (``"process"``, ``"thread"``

@@ -166,16 +166,18 @@ class TestConfigSurface:
             _config().with_kernel("fortran")
 
     def test_constants_exported(self):
-        assert KERNELS == ("auto", "numpy", "compiled")
+        assert KERNELS == ("auto", "numpy", "compiled", "fused")
         assert POOLS == ("process", "thread", "serial")
 
 
 class TestCompiledFaces:
+    # erasure has no row searches for kernel="compiled" to accelerate, but
+    # it earns its compiled face through the fused event loop (PR 9).
     EXPECTED = {
         "automatic_failover": True,
         "baseline": True,
         "conventional": True,
-        "erasure": False,
+        "erasure": True,
         "hot_spare_pool": True,
     }
 

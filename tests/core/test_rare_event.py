@@ -364,6 +364,33 @@ class TestAdaptiveAllocator:
 
 
 # ----------------------------------------------------------------------
+# Replay of biased non-adaptive stacked grids
+# ----------------------------------------------------------------------
+class TestBiasedReplay:
+    def test_nonadaptive_replay_forwards_biasing(self):
+        # Regression pin: the non-adaptive replay path must forward the
+        # grid's biasing factor into the replayed shard run.  Dropping it
+        # re-simulates the point under the unbiased measure on the same
+        # stream — a silently different estimate, not an error.
+        configs = [
+            _stress_config(
+                params=paper_parameters(disk_failure_rate=rate, hep=0.01),
+                n_iterations=1200,
+                seed=2017,
+                biasing=BIASING,
+            )
+            for rate in (2e-5, 1e-4)
+        ]
+        grid = run_stacked_sharded(configs)
+        for index in range(len(configs)):
+            replayed = replay_stacked_point(configs, index)
+            assert replayed.availability == grid[index].availability
+            assert replayed.interval == grid[index].interval
+            assert replayed.n_iterations == grid[index].n_iterations
+            assert replayed.totals == grid[index].totals
+
+
+# ----------------------------------------------------------------------
 # Adaptive sweep fallback
 # ----------------------------------------------------------------------
 class TestAdaptiveSweepFallback:
