@@ -901,3 +901,73 @@ def test_per_point_rebuild_bench(benchmark):
         sweep_per_point_rebuild, BASE, "hep", HEP_VALUES[:100], "conventional"
     )
     assert len(points) == 100
+
+
+def test_fault_recovery_overhead(bench_record, tmp_path):
+    """Chaos record: crash-retry and kill-and-resume overhead of a sweep.
+
+    A small stacked grid runs three ways: clean, with one injected shard
+    crash (retried in place), and interrupted after two shards then resumed
+    from its journal.  All three must be bit-identical — the whole point of
+    deriving shard streams from ``(master_entropy, shard_index)`` — and the
+    recovery overhead plus the retry/resume counters land in
+    ``BENCH_sweep.json`` so ``bench history`` shows the fault-tolerance
+    trajectory next to the raw speedups.
+    """
+    from repro.core.montecarlo import FaultPlan, fault_plan
+
+    def grid(checkpoint=None, resume=None):
+        heps = np.linspace(0.0, 0.05, 8)
+        return [
+            MonteCarloConfig(
+                params=paper_parameters(disk_failure_rate=1e-6, hep=float(hep)),
+                policy="conventional",
+                n_iterations=2000,
+                horizon_hours=87_600.0,
+                seed=2017,
+                shard_size=4000,
+                max_shard_retries=2,
+                retry_backoff=0.0,
+                checkpoint=checkpoint,
+                resume=resume,
+            )
+            for hep in heps
+        ]
+
+    start = time.perf_counter()
+    clean = run_stacked(grid())
+    clean_seconds = time.perf_counter() - start
+
+    with fault_plan(FaultPlan.single(0, "raise"), tmp_path / "crash"):
+        start = time.perf_counter()
+        crashed = run_stacked(grid())
+        crash_seconds = time.perf_counter() - start
+
+    journal = str(tmp_path / "sweep.journal")
+    with fault_plan(FaultPlan(abort_after=2), tmp_path / "abort"):
+        interrupted = run_stacked(grid(checkpoint=journal))
+    assert any(point.interrupted for point in interrupted)
+    start = time.perf_counter()
+    resumed = run_stacked(grid(resume=journal))
+    resume_seconds = time.perf_counter() - start
+
+    assert sum(point.retried_shards for point in crashed) >= 1
+    assert sum(point.resumed_shards for point in resumed) >= 2
+    for reference, other in ((clean, crashed), (clean, resumed)):
+        for a, b in zip(reference, other):
+            assert a.availability == b.availability
+            assert a.totals == b.totals
+
+    print(
+        f"\nfault recovery: clean {clean_seconds:.3f}s, crash-retry "
+        f"{crash_seconds:.3f}s, resume {resume_seconds:.3f}s"
+    )
+    bench_record(
+        "fault_recovery",
+        points=8,
+        seconds=crash_seconds,
+        speedup=clean_seconds / max(crash_seconds, 1e-9),
+        lifetimes_per_point=2000,
+        retried_shards=int(sum(point.retried_shards for point in crashed)),
+        resumed_shards=int(sum(point.resumed_shards for point in resumed)),
+    )

@@ -123,7 +123,16 @@ def _format_entry(run: Dict, entry: Dict) -> str:
     speedup = entry.get("speedup")
     seconds_text = f"{seconds:.3f}" if isinstance(seconds, (int, float)) else "-"
     speedup_text = f"{speedup:.2f}x" if isinstance(speedup, (int, float)) else "-"
-    return f"  {str(commit):<10}{when:<22}{str(points):>8}{seconds_text:>10}{speedup_text:>10}"
+    line = f"  {str(commit):<10}{when:<22}{str(points):>8}{seconds_text:>10}{speedup_text:>10}"
+    # Fault-tolerance counters recorded by chaos/recovery measurements.
+    extras = [
+        f"{key.replace('_shards', '')}={entry[key]}"
+        for key in ("retried_shards", "resumed_shards")
+        if entry.get(key)
+    ]
+    if extras:
+        line += "  " + " ".join(extras)
+    return line
 
 
 def render_history(history: Dict, op: Optional[str] = None) -> str:

@@ -42,9 +42,10 @@ Eight subcommands cover the common workflows without writing any code:
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -60,6 +61,7 @@ from repro.core.montecarlo import (
     TRANSPORTS,
     MonteCarloConfig,
     has_compiled_face,
+    reap_stale_segments,
     resolve_kernel,
     run_monte_carlo,
 )
@@ -96,6 +98,45 @@ def _seed_argument(text: str) -> Optional[int]:
     if value < 0:
         raise argparse.ArgumentTypeError(f"seed must be non-negative, got {value}")
     return value
+
+
+def _add_fault_tolerance_flags(parser: argparse.ArgumentParser) -> None:
+    """Add the sharded executor's fault-tolerance flags (``mc`` and ``sweep``)."""
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        help="per-shard deadline in seconds; a shard that exceeds it is "
+        "retried (hung process workers are terminated and the pool rebuilt)",
+    )
+    parser.add_argument(
+        "--max-shard-retries",
+        type=int,
+        default=0,
+        help="bounded retries per shard on crash/timeout/worker loss; "
+        "retried shards recompute bit-identical summaries (default: 0)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.1,
+        help="base seconds of the exponential retry backoff (default: 0.1)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="append every completed shard summary to a durable journal at "
+        "PATH; an interrupted run can later be resumed from it",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="resume from the journal at PATH: already completed shards are "
+        "spliced back in (and new completions keep appending); the resumed "
+        "run is bit-identical to an uninterrupted one",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -255,6 +296,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard-executor pool for --workers > 1: process, thread "
         "(in-process, shares stacked grid planes outright), or serial "
         "(the pool oracle: same shard plan, run sequentially)",
+    )
+    _add_fault_tolerance_flags(mc)
+    mc.add_argument(
+        "--reap-shm",
+        action="store_true",
+        help="unlink stale shared-memory segments left by dead runs (crashed "
+        "parents), print what was reclaimed and exit",
     )
 
     sweep_parser = subparsers.add_parser(
@@ -420,6 +468,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(in-process, shares stacked grid planes outright), or serial "
         "(the pool oracle: same shard plan, run sequentially)",
     )
+    _add_fault_tolerance_flags(sweep_parser)
 
     crossval = subparsers.add_parser(
         "crossval",
@@ -551,7 +600,12 @@ def _scheme_policy(args: argparse.Namespace):
     return policy, RaidGeometry.erasure(scheme.k, scheme.n_shares)
 
 
-def _run_mc(args: argparse.Namespace) -> str:
+def _run_mc(args: argparse.Namespace) -> Tuple[str, int]:
+    if args.reap_shm:
+        reaped = reap_stale_segments()
+        lines = [f"reaped {len(reaped)} stale shared-memory segment(s)"]
+        lines.extend(f"  {name}" for name in reaped)
+        return "\n".join(lines), 0
     if args.spares is not None and args.policy is not None:
         raise ConfigurationError(
             "--policy and --spares are mutually exclusive: --spares builds a "
@@ -602,6 +656,11 @@ def _run_mc(args: argparse.Namespace) -> str:
         allocator=args.allocator,
         kernel=args.kernel,
         pool=args.pool,
+        shard_timeout=args.shard_timeout,
+        max_shard_retries=args.max_shard_retries,
+        retry_backoff=args.retry_backoff,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
     )
     result = run_monte_carlo(config)
     totals = result.totals
@@ -644,7 +703,25 @@ def _run_mc(args: argparse.Namespace) -> str:
         f"{int(totals.get('human_errors', 0))} human errors, "
         f"{int(totals.get('du_events', 0))} DU, {int(totals.get('dl_events', 0))} DL",
     ]
-    return "\n".join(lines)
+    if result.retried_shards:
+        lines.append(f"retried shards:     {result.retried_shards}")
+    if result.resumed_shards:
+        lines.append(f"resumed shards:     {result.resumed_shards}")
+    if not result.interrupted:
+        return "\n".join(lines), 0
+    lines.append("")
+    lines.append(
+        "interrupted: partial result (the run stopped before all shards "
+        "completed)"
+    )
+    if config.journal_path is not None:
+        lines.append(f"resume with --resume {config.journal_path}")
+    else:
+        lines.append(
+            "no journal was recorded; pass --checkpoint PATH to make "
+            "interrupted runs resumable"
+        )
+    return "\n".join(lines), 3
 
 
 def _parse_axis_values(
@@ -688,7 +765,38 @@ def _sweep_values(args: argparse.Namespace) -> List[float]:
     return values
 
 
-def _run_sweep(args: argparse.Namespace) -> str:
+def _fault_summary_lines(args: argparse.Namespace, points) -> Tuple[List[str], int]:
+    """Summarise retry/resume/interrupt outcomes of a Monte Carlo sweep.
+
+    Returns extra report lines plus the process exit code (3 when the sweep
+    was interrupted and only partial points exist, 0 otherwise).
+    """
+    retried = sum(point.retried_shards for point in points)
+    resumed = sum(point.resumed_shards for point in points)
+    interrupted = any(point.interrupted for point in points)
+    lines: List[str] = []
+    if retried:
+        lines.append(f"retried shards: {retried}")
+    if resumed:
+        lines.append(f"resumed shards: {resumed}")
+    if not interrupted:
+        return lines, 0
+    lines.append(
+        "interrupted: partial sweep (the run stopped before all shards "
+        "completed)"
+    )
+    journal = args.resume if args.resume is not None else args.checkpoint
+    if journal is not None:
+        lines.append(f"resume with --resume {journal}")
+    else:
+        lines.append(
+            "no journal was recorded; pass --checkpoint PATH to make "
+            "interrupted sweeps resumable"
+        )
+    return lines, 3
+
+
+def _run_sweep(args: argparse.Namespace) -> Tuple[str, int]:
     values = _sweep_values(args)
     values2 = _parse_axis_values(args.values2, args.grid2, "--values2", "--grid2")
     if (args.axis2 is None) != (values2 is None):
@@ -732,11 +840,20 @@ def _run_sweep(args: argparse.Namespace) -> str:
         allocator=args.allocator,
         kernel=args.kernel,
         pool_kind=args.pool,
+        shard_timeout=args.shard_timeout,
+        max_shard_retries=args.max_shard_retries,
+        retry_backoff=args.retry_backoff,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
     )
     policy_label = policy if isinstance(policy, str) else policy.name
     if args.axis2 is not None:
         grid = sweep_grid(params, args.axis, values, args.axis2, values2, **options)
-        return _render_sweep_grid(args, params, grid, policy_label)
+        rendered = _render_sweep_grid(args, params, grid, policy_label)
+        extra, code = _fault_summary_lines(
+            args, [point for row in grid.points for point in row]
+        )
+        return "\n".join([rendered] + extra), code
     points = sweep(params, args.axis, values, **options)
     with_ci = any(point.has_interval for point in points)
     lines = [
@@ -755,7 +872,11 @@ def _run_sweep(args: argparse.Namespace) -> str:
         if with_ci:
             row += f"{point.ci_lower:>20.12f}{point.ci_upper:>20.12f}"
         lines.append(row)
-    return "\n".join(lines)
+    extra, code = _fault_summary_lines(args, points)
+    if extra:
+        lines.append("")
+        lines.extend(extra)
+    return "\n".join(lines), code
 
 
 def _render_sweep_grid(args: argparse.Namespace, params, grid, policy_label: str) -> str:
@@ -869,19 +990,44 @@ def _run_reproduce(args: argparse.Namespace) -> str:
     return report.render()
 
 
+def _install_sigterm_handler() -> None:
+    """Convert SIGTERM into KeyboardInterrupt for graceful shutdown.
+
+    The sharded executor already turns KeyboardInterrupt into a flagged
+    partial result (checkpointed when a journal is configured); routing
+    SIGTERM through the same path makes ``kill <pid>`` — and batch
+    schedulers' polite termination — resumable instead of lossy.
+    """
+
+    def _raise_interrupt(signum, frame):  # pragma: no cover - signal path
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _raise_interrupt)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _install_sigterm_handler()
     try:
         if args.command == "solve":
             print(_run_solve(args))
         elif args.command == "compare":
             print(_run_compare(args))
         elif args.command == "mc":
-            print(_run_mc(args))
+            output, code = _run_mc(args)
+            print(output)
+            if code:
+                return code
         elif args.command == "sweep":
-            print(_run_sweep(args))
+            output, code = _run_sweep(args)
+            print(output)
+            if code:
+                return code
         elif args.command == "crossval":
             output, passed = _run_crossval(args)
             print(output)

@@ -87,6 +87,15 @@ class AvailabilityEstimate:
         same parameter point, attached to importance-sampled Monte Carlo
         estimates when the policy has a chain face — the free cross-check
         (and control variate) of the rare-event engine.
+    retried_shards / resumed_shards:
+        Fault-tolerance provenance of a Monte Carlo estimate: how many
+        shard attempts were resubmitted after a failure, and how many
+        shards were skipped because a checkpoint journal already held
+        their records.  Both recompute bit-identical numbers.
+    interrupted:
+        ``True`` when the Monte Carlo run was cut short (Ctrl-C/SIGTERM)
+        and this estimate covers only the shards collected before the
+        interrupt; resumable when a journal was configured.
     """
 
     availability: float
@@ -101,6 +110,9 @@ class AvailabilityEstimate:
     n_iterations: Optional[int] = None
     state_probabilities: Optional[Dict[str, float]] = None
     analytical_reference: Optional[float] = None
+    retried_shards: int = 0
+    resumed_shards: int = 0
+    interrupted: bool = False
 
     @property
     def has_interval(self) -> bool:
@@ -145,6 +157,12 @@ class AvailabilityEstimate:
             payload["n_iterations"] = self.n_iterations
         if self.analytical_reference is not None:
             payload["analytical_reference"] = self.analytical_reference
+        if self.retried_shards:
+            payload["retried_shards"] = self.retried_shards
+        if self.resumed_shards:
+            payload["resumed_shards"] = self.resumed_shards
+        if self.interrupted:
+            payload["interrupted"] = self.interrupted
         return payload
 
 
@@ -426,6 +444,9 @@ def _estimate_from_mc(
         confidence=result.interval.confidence,
         n_iterations=result.n_iterations,
         analytical_reference=result.analytical_reference,
+        retried_shards=result.retried_shards,
+        resumed_shards=result.resumed_shards,
+        interrupted=result.interrupted,
     )
 
 
@@ -476,6 +497,11 @@ def evaluate(
     kernel: str = "auto",
     pool_kind: str = "process",
     pool=None,
+    shard_timeout: Optional[float] = None,
+    max_shard_retries: int = 0,
+    retry_backoff: float = 0.1,
+    checkpoint: Optional[str] = None,
+    resume: Optional[str] = None,
 ) -> AvailabilityEstimate:
     """Evaluate a (parameters, policy) pair on the requested backend.
 
@@ -508,6 +534,15 @@ def evaluate(
     pool:
         Optional externally owned worker pool shared across sharded runs
         (see :func:`repro.core.montecarlo.parallel.worker_pool`).
+    shard_timeout, max_shard_retries, retry_backoff:
+        Fault tolerance of the sharded executor: timed-out, crashed or
+        worker-lost shards are resubmitted (bit-identically) up to
+        ``max_shard_retries`` times.  See
+        :class:`~repro.core.montecarlo.config.MonteCarloConfig`.
+    checkpoint, resume:
+        Durable shard-journal path: completed shards are recorded as they
+        finish and skipped on restart (``resume`` requires the journal to
+        exist).  Sharded Monte Carlo runs only.
     """
     if backend not in BACKENDS:
         raise ConfigurationError(
@@ -535,6 +570,11 @@ def evaluate(
         allocator=allocator,
         kernel=kernel,
         pool=pool_kind,
+        shard_timeout=shard_timeout,
+        max_shard_retries=max_shard_retries,
+        retry_backoff=retry_backoff,
+        checkpoint=checkpoint,
+        resume=resume,
     )
     result = run_monte_carlo(config, pool=pool)
     if biasing is not None:
@@ -561,6 +601,11 @@ def evaluate_stacked(
     kernel: str = "auto",
     pool_kind: str = "process",
     pool=None,
+    shard_timeout: Optional[float] = None,
+    max_shard_retries: int = 0,
+    retry_backoff: float = 0.1,
+    checkpoint: Optional[str] = None,
+    resume: Optional[str] = None,
 ) -> List[AvailabilityEstimate]:
     """Monte Carlo evaluate many parameter points as one stacked grid.
 
@@ -590,6 +635,12 @@ def evaluate_stacked(
                 "common random numbers cannot be honoured on the per-point "
                 "fallback"
             )
+        if checkpoint is not None or resume is not None:
+            raise ConfigurationError(
+                f"policy {resolved.name!r} has no stacked-capable kernel; "
+                "a shard journal spans one stacked grid and cannot cover "
+                "the per-point fallback"
+            )
         return [
             evaluate(
                 params,
@@ -609,6 +660,9 @@ def evaluate_stacked(
                 kernel=kernel,
                 pool_kind=pool_kind,
                 pool=pool,
+                shard_timeout=shard_timeout,
+                max_shard_retries=max_shard_retries,
+                retry_backoff=retry_backoff,
             )
             for params in points
         ]
@@ -629,6 +683,11 @@ def evaluate_stacked(
             allocator=allocator,
             kernel=kernel,
             pool=pool_kind,
+            shard_timeout=shard_timeout,
+            max_shard_retries=max_shard_retries,
+            retry_backoff=retry_backoff,
+            checkpoint=checkpoint,
+            resume=resume,
         )
         for params in points
     ]

@@ -42,6 +42,19 @@ from repro.core.montecarlo.engine_bridge import (
     replay_trace_on_engine,
     run_traced_on_engine,
 )
+from repro.core.montecarlo.faults import (
+    FAULT_KINDS,
+    FAULT_PLAN_ENV,
+    FaultInjected,
+    FaultPlan,
+    ShardFault,
+    fault_plan,
+)
+from repro.core.montecarlo.journal import (
+    ShardJournal,
+    journal_entropy,
+    run_digest,
+)
 from repro.core.montecarlo.parallel import (
     DEFAULT_SHARD_CAP,
     DEFAULT_STACKED_SHARD_SIZE,
@@ -60,6 +73,7 @@ from repro.core.montecarlo.parallel import (
 from repro.core.montecarlo.transport import (
     GridPlanesSpec,
     SharedGridPlanes,
+    reap_stale_segments,
     resolve_stacked_transport,
     shared_memory_available,
 )
@@ -92,32 +106,42 @@ __all__ = [
     "DEFAULT_STACKED_SHARD_SIZE",
     "DEFAULT_ITERATIONS",
     "EXECUTORS",
+    "FAULT_KINDS",
+    "FAULT_PLAN_ENV",
     "KERNELS",
     "POOLS",
     "TRANSPORTS",
     "EpisodeTrace",
+    "FaultInjected",
+    "FaultPlan",
     "GridPlanesSpec",
     "IterationResult",
     "MonteCarloConfig",
     "MonteCarloResult",
     "POINT_SUMMARY_DTYPE",
     "PointSummary",
+    "ShardFault",
+    "ShardJournal",
     "ShardSummary",
     "SharedGridPlanes",
     "StackedShard",
     "compiled_available",
     "effective_shard_size",
     "estimate_availability",
+    "fault_plan",
     "fused_available",
     "generate_example_trace",
     "has_compiled_face",
     "has_fused_face",
+    "journal_entropy",
     "kernel_context",
     "merge_iteration_counters",
     "merge_totals",
     "plan_shards",
     "plan_stacked_shards",
+    "reap_stale_segments",
     "render_timeline",
+    "run_digest",
     "replay_stacked_point",
     "replay_trace_on_engine",
     "resolve_kernel",

@@ -151,6 +151,34 @@ class MonteCarloConfig:
         grid planes outright — no segment, no pickling) or ``"serial"``
         (the identical shard plan run sequentially in-process, the pool
         oracle).  Bit-identical across pools and worker counts.
+    shard_timeout:
+        Seconds the sharded collector waits for the next unfinished shard
+        (in plan order) before declaring it hung: the pool is torn down,
+        rebuilt, and every unfinished shard resubmitted — counting one
+        retry against the timed-out shard.  ``None`` (the default) waits
+        forever, today's behaviour.  Not enforceable on the inline
+        (``workers=1``/serial) path, where shards run in the caller.
+    max_shard_retries:
+        How many times a failed shard — in-shard exception, timeout, or a
+        worker lost to ``BrokenProcessPool`` — is resubmitted before the
+        run gives up and re-raises.  Retried shards recompute bit-identical
+        records (the spawn-indexed stream family depends only on the master
+        entropy and shard index), so retries never change results.  ``0``
+        (the default) keeps the historical fail-fast behaviour.
+    retry_backoff:
+        Base of the exponential pause between a shard's failure and its
+        resubmission: attempt ``k`` sleeps ``retry_backoff * 2**(k-1)``
+        seconds.  ``0`` disables the pause.
+    checkpoint:
+        Path of a shard journal to write (and, when it already exists with
+        a matching run digest, to resume): completed shard summaries are
+        appended durably as they are collected, and already-journaled
+        shards are skipped on restart.  See
+        :mod:`repro.core.montecarlo.journal`.
+    resume:
+        Like ``checkpoint`` but the journal **must** already exist — the
+        explicit "continue that killed run" spelling.  Requires a matching
+        digest; a ``seed=None`` resume adopts the journaled run's entropy.
     """
 
     params: AvailabilityParameters = field(default_factory=AvailabilityParameters)
@@ -170,6 +198,11 @@ class MonteCarloConfig:
     allocator: str = "uniform"
     kernel: str = "auto"
     pool: str = "process"
+    shard_timeout: Optional[float] = None
+    max_shard_retries: int = 0
+    retry_backoff: float = 0.1
+    checkpoint: Optional[str] = None
+    resume: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.horizon_hours <= 0.0:
@@ -254,6 +287,24 @@ class MonteCarloConfig:
                     "failure biasing runs on the batch path and cannot "
                     "collect an event trace"
                 )
+        if self.shard_timeout is not None and not float(self.shard_timeout) > 0.0:
+            raise ConfigurationError(
+                f"shard timeout must be positive, got {self.shard_timeout!r}"
+            )
+        if int(self.max_shard_retries) < 0:
+            raise ConfigurationError(
+                f"max_shard_retries must be non-negative, got {self.max_shard_retries!r}"
+            )
+        if float(self.retry_backoff) < 0.0:
+            raise ConfigurationError(
+                f"retry_backoff must be non-negative, got {self.retry_backoff!r}"
+            )
+        if self.checkpoint is not None and self.resume is not None:
+            raise ConfigurationError(
+                "checkpoint= and resume= name the same journal mechanism; "
+                "pass one of them (resume requires the file to exist, "
+                "checkpoint creates it)"
+            )
         if self.collect_trace and self.uses_sharded_path:
             raise ConfigurationError(
                 "event traces require the single-process scalar path; "
@@ -269,6 +320,11 @@ class MonteCarloConfig:
             or self.shard_size is not None
             or self.target_half_width is not None
         )
+
+    @property
+    def journal_path(self) -> Optional[str]:
+        """Return the configured journal path (``resume`` wins), if any."""
+        return self.resume if self.resume is not None else self.checkpoint
 
     @property
     def adaptive_ceiling(self) -> int:
@@ -348,6 +404,26 @@ class MonteCarloConfig:
     def with_pool(self, pool: str) -> "MonteCarloConfig":
         """Return a copy with a different shard-executor pool."""
         return replace(self, pool=str(pool))
+
+    def with_retries(
+        self,
+        max_shard_retries: int,
+        shard_timeout=_UNSET,
+        retry_backoff=_UNSET,
+    ) -> "MonteCarloConfig":
+        """Return a copy with different shard retry/timeout settings."""
+        return replace(
+            self,
+            max_shard_retries=int(max_shard_retries),
+            shard_timeout=self.shard_timeout if shard_timeout is _UNSET else shard_timeout,
+            retry_backoff=self.retry_backoff if retry_backoff is _UNSET else retry_backoff,
+        )
+
+    def with_journal(
+        self, checkpoint: Optional[str] = None, resume: Optional[str] = None
+    ) -> "MonteCarloConfig":
+        """Return a copy with a checkpoint/resume journal path."""
+        return replace(self, checkpoint=checkpoint, resume=resume)
 
     def with_seed(self, seed: int) -> "MonteCarloConfig":
         """Return a copy with a fixed master seed."""

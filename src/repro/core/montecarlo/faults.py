@@ -1,0 +1,297 @@
+"""Deterministic fault injection for the sharded executor.
+
+The fault-tolerance layer in :mod:`repro.core.montecarlo.parallel` is only
+trustworthy if its failure modes can be reproduced on demand: a worker
+that dies mid-shard, a shard that hangs past its timeout, a plain in-shard
+exception, and a parent interrupted after *k* completed shards.  This
+module injects exactly those faults at exactly the chosen shard indices —
+deterministically, across process boundaries, and **once per fault**, so a
+retried shard runs clean and the executor's bit-identity claim is testable
+rather than assumed.
+
+Mechanics
+---------
+A :class:`FaultPlan` maps shard stream indices to fault kinds.  The plan is
+serialised to a JSON file and advertised through the
+:data:`FAULT_PLAN_ENV` environment variable, which forked *and* spawned
+pool workers inherit — no executor plumbing, no special worker entry
+points.  The simulation entry points (:func:`repro.core.montecarlo.parallel
+.run_shard` and the stacked shard runners) call :func:`check_fault` with
+their stream index before doing any work.
+
+"Fire once" must survive the fact that a killed worker cannot record that
+it already fired.  Each fault therefore *arms* through an atomic marker
+file (``O_CREAT | O_EXCL``) in a directory owned by the plan: the first
+process to create the marker injects the fault, every later attempt of the
+same shard sees the marker and runs normally.  That makes kill/hang/raise
+faults first-attempt-only by construction, whatever pool or platform runs
+the shard.
+
+Fault kinds
+-----------
+``"raise"``
+    Raise :class:`FaultInjected` inside the shard (an ordinary in-shard
+    exception, retried in place).
+``"kill"``
+    Die without cleanup (``os._exit``) when running inside a pool worker
+    process — the ``BrokenProcessPool`` path.  Worker *loss* is only
+    physically realisable on process pools; in thread and serial pools the
+    kill degrades to ``"raise"`` (killing the shared interpreter would take
+    the parent down too).
+``"hang"``
+    Sleep ``hang_seconds`` before continuing normally — long enough to
+    trip a configured ``shard_timeout``.  The sleep is finite on purpose:
+    a hung *thread* cannot be killed, only abandoned, and a finite sleep
+    lets the interpreter exit cleanly after the test.
+
+The parent-side ``abort_after`` fault raises :class:`KeyboardInterrupt` in
+the *collector* after the given number of shard results has been gathered —
+the deterministic stand-in for Ctrl-C/SIGTERM that the checkpoint/resume
+CI smoke uses instead of racing a kill signal against the sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Union
+
+from repro.exceptions import ConfigurationError, SimulationError
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "FAULT_KINDS",
+    "FaultInjected",
+    "FaultPlan",
+    "ShardFault",
+    "active_plan",
+    "check_abort",
+    "check_fault",
+    "fault_plan",
+]
+
+#: Environment variable carrying the path of the active fault-plan file.
+#: Worker processes (forked and spawned) inherit it automatically.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Accepted fault kinds.
+FAULT_KINDS = ("raise", "kill", "hang")
+
+#: Worker marker set by the process-pool initializer — how ``"kill"``
+#: decides whether dying would take the parent down.  Imported lazily from
+#: parallel.py would be circular; the literal is asserted equal in tests.
+_WORKER_ENV = "REPRO_MC_WORKER"
+
+
+class FaultInjected(SimulationError):
+    """The deliberate in-shard failure raised by ``"raise"`` faults."""
+
+
+@dataclass(frozen=True)
+class ShardFault:
+    """One planned fault at one shard stream index."""
+
+    kind: str
+    hang_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.hang_seconds < 0.0:
+            raise ConfigurationError(
+                f"hang_seconds must be non-negative, got {self.hang_seconds!r}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of shard faults (plus a parent-side abort).
+
+    Attributes
+    ----------
+    faults:
+        Mapping of shard *stream index* to the fault injected on that
+        shard's **first** attempt.
+    abort_after:
+        When set, the parent's shard collector raises
+        :class:`KeyboardInterrupt` after this many shard results have been
+        gathered — once per plan, like the shard faults.
+    """
+
+    faults: Mapping[int, ShardFault] = field(default_factory=dict)
+    abort_after: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.abort_after is not None and int(self.abort_after) < 1:
+            raise ConfigurationError(
+                f"abort_after must be at least 1, got {self.abort_after!r}"
+            )
+
+    @classmethod
+    def single(cls, shard_index: int, kind: str, hang_seconds: float = 5.0) -> "FaultPlan":
+        """Return a plan injecting one fault at one shard index."""
+        return cls(faults={int(shard_index): ShardFault(kind, hang_seconds)})
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return the JSON payload of the plan (arm dir added at install)."""
+        return {
+            "faults": {
+                str(index): {"kind": spec.kind, "hang_seconds": spec.hang_seconds}
+                for index, spec in self.faults.items()
+            },
+            "abort_after": self.abort_after,
+        }
+
+
+@dataclass(frozen=True)
+class _InstalledPlan:
+    """A plan as loaded from its file: faults plus the arm directory."""
+
+    plan: FaultPlan
+    arm_dir: str
+
+
+def write_plan(plan: FaultPlan, directory: Union[str, Path]) -> Path:
+    """Serialise ``plan`` into ``directory`` and return the plan file path.
+
+    The directory doubles as the arm-marker store, so pointing
+    :data:`FAULT_PLAN_ENV` at the returned file is all a test (or the CI
+    chaos smoke) needs: any process loading the plan derives the marker
+    location from the file itself.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = plan.as_dict()
+    payload["arm_dir"] = str(directory)
+    path = directory / "fault_plan.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def load_plan(path: Union[str, Path]) -> _InstalledPlan:
+    """Load a plan file written by :func:`write_plan`."""
+    payload = json.loads(Path(path).read_text())
+    faults = {
+        int(index): ShardFault(
+            kind=str(spec["kind"]),
+            hang_seconds=float(spec.get("hang_seconds", 5.0)),
+        )
+        for index, spec in payload.get("faults", {}).items()
+    }
+    plan = FaultPlan(faults=faults, abort_after=payload.get("abort_after"))
+    return _InstalledPlan(plan=plan, arm_dir=str(payload["arm_dir"]))
+
+
+def active_plan() -> Optional[_InstalledPlan]:
+    """Return the currently advertised plan, or ``None`` without one.
+
+    Loaded fresh from the file on every call: plans are tiny, and the
+    statelessness is what lets a forked/spawned worker — which shares no
+    Python state with the installer — see the same schedule.
+    """
+    path = os.environ.get(FAULT_PLAN_ENV)
+    if not path:
+        return None
+    try:
+        return load_plan(path)
+    except FileNotFoundError:
+        return None
+
+
+def _arm(arm_dir: str, marker: str) -> bool:
+    """Atomically claim a fault; ``True`` exactly once per marker.
+
+    ``O_CREAT | O_EXCL`` is atomic on every POSIX filesystem, including
+    across the fork/spawn boundary — whichever attempt creates the marker
+    first injects the fault, and a retried shard (or a resumed run reusing
+    the same plan directory) finds the marker and runs clean.
+    """
+    try:
+        fd = os.open(
+            os.path.join(arm_dir, marker), os.O_CREAT | os.O_EXCL | os.O_WRONLY
+        )
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def check_fault(stream_index: int) -> None:
+    """Inject the planned fault for ``stream_index``, if it has not fired.
+
+    Called at the top of every shard entry point.  A no-op (one env lookup)
+    when no plan is installed, which is the production path.
+    """
+    installed = active_plan()
+    if installed is None:
+        return
+    spec = installed.plan.faults.get(int(stream_index))
+    if spec is None:
+        return
+    if not _arm(installed.arm_dir, f"shard-{int(stream_index)}"):
+        return
+    if spec.kind == "hang":
+        time.sleep(spec.hang_seconds)
+        return
+    if spec.kind == "kill" and os.environ.get(_WORKER_ENV) == "1":
+        # A pool worker process: die the way an OOM kill would — no
+        # cleanup, no exception propagation, exit code 1.  The parent sees
+        # BrokenProcessPool.
+        os._exit(1)
+    # Thread/serial pools share the parent's interpreter, so "kill"
+    # degrades to the in-shard exception (documented above).
+    raise FaultInjected(
+        f"injected {spec.kind!r} fault on shard {int(stream_index)}"
+    )
+
+
+def check_abort(completed: int) -> None:
+    """Raise ``KeyboardInterrupt`` once when ``abort_after`` is reached.
+
+    Called by the parent-side collector after every gathered shard result;
+    the marker file makes the abort fire exactly once per plan, so a
+    resumed run under the same plan completes normally.
+    """
+    installed = active_plan()
+    if installed is None or installed.plan.abort_after is None:
+        return
+    if int(completed) < int(installed.plan.abort_after):
+        return
+    if _arm(installed.arm_dir, "abort"):
+        raise KeyboardInterrupt(
+            f"injected abort after {int(completed)} completed shards"
+        )
+
+
+class fault_plan:
+    """Context manager installing a plan for the enclosed code (tests).
+
+    Writes the plan under ``directory``, points :data:`FAULT_PLAN_ENV` at
+    it, and restores the previous environment on exit.  Workers started
+    inside the context inherit the variable; workers of a pool created
+    *before* the context still see it on fork platforms only at their next
+    os.environ read (which :func:`active_plan` performs per call), so tests
+    should create pools inside the context.
+    """
+
+    def __init__(self, plan: FaultPlan, directory: Union[str, Path]) -> None:
+        self._plan = plan
+        self._directory = directory
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> Path:
+        path = write_plan(self._plan, self._directory)
+        self._previous = os.environ.get(FAULT_PLAN_ENV)
+        os.environ[FAULT_PLAN_ENV] = str(path)
+        return path
+
+    def __exit__(self, *exc_info) -> None:
+        if self._previous is None:
+            os.environ.pop(FAULT_PLAN_ENV, None)
+        else:
+            os.environ[FAULT_PLAN_ENV] = self._previous

@@ -28,9 +28,16 @@ import math
 import multiprocessing
 import os
 import sys
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, replace
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeout
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,20 +47,34 @@ from repro.core.montecarlo.batch import (
 )
 from repro.core.montecarlo.compiled import kernel_context, resolve_kernel
 from repro.core.montecarlo.config import MonteCarloConfig
+from repro.core.montecarlo.faults import check_abort, check_fault
 from repro.core.montecarlo.fused import run_fused_batch
+from repro.core.montecarlo.journal import (
+    SCALAR_RANGE,
+    ShardJournal,
+    journal_entropy,
+    record_from_summary,
+    run_digest,
+    summary_parts_from_record,
+)
 from repro.core.montecarlo.results import MonteCarloResult, merge_totals
 from repro.core.montecarlo.transport import (
     GridPlanesSpec,
     SharedGridPlanes,
     attach_grid_slice,
     attach_segment_cached,
+    reap_stale_segments,
     resolve_stacked_transport,
 )
 from repro.core.policies.base import SimulationPolicy
 from repro.core.policies.registry import resolve_policy
 from repro.core.policies.stacked import StackedParams, stack_parameter_points
 from repro.exceptions import ConfigurationError, SimulationError
-from repro.simulation.confidence import StreamingMoments, required_samples
+from repro.simulation.confidence import (
+    ConfidenceInterval,
+    StreamingMoments,
+    required_samples,
+)
 from repro.simulation.rng import RandomStreams
 
 
@@ -125,6 +146,7 @@ def run_shard(
     draws are identical whether the shard runs in-process, in a forked
     worker or in a spawned one.
     """
+    check_fault(shard_index)
     policy = resolve_policy(config.policy)
     streams = RandomStreams(master_entropy).spawn_child(shard_index)
     if config.kernel == "fused":
@@ -287,33 +309,290 @@ def worker_pool(workers: int, kind: str = "process"):
         pool.shutdown()
 
 
-def _run_round(
-    config: MonteCarloConfig,
-    master_entropy: int,
-    first_index: int,
-    sizes: List[int],
-    pool: Optional[Executor],
-) -> Iterator[ShardSummary]:
-    """Run one round of shards, yielding summaries in shard-index order."""
-    if pool is None:
-        for offset, size in enumerate(sizes):
-            yield run_shard(config, master_entropy, first_index + offset, size)
+# ----------------------------------------------------------------------
+# Fault-tolerant shard execution
+# ----------------------------------------------------------------------
+@dataclass
+class _ShardStats:
+    """Mutable per-run provenance counters of the fault-tolerant executor."""
+
+    retried: int = 0
+    resumed: int = 0
+    completed: int = 0
+    interrupted: bool = False
+
+
+def _terminate_pool_workers(pool: Executor) -> None:
+    """Best-effort SIGTERM of a process pool's workers (hung-shard path).
+
+    ``shutdown(cancel_futures=True)`` only drops *queued* work; a worker
+    stuck inside a shard never returns to pick up the cancellation, so the
+    processes themselves must be terminated before the pool's threads can
+    be abandoned.  Reaches into ``ProcessPoolExecutor._processes`` —
+    private, but guarded so an implementation change degrades to leaving
+    the workers to die with the parent instead of crashing the run.
+    Thread pools have nothing to terminate (threads cannot be killed); a
+    hung thread is simply abandoned with its executor.
+    """
+    processes = getattr(pool, "_processes", None)
+    if not processes:
         return
-    futures = [
-        pool.submit(run_shard, config, master_entropy, first_index + offset, size)
-        for offset, size in enumerate(sizes)
-    ]
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+
+
+class _PoolSupervisor:
+    """Owns the worker pool behind one fault-tolerant run.
+
+    Wraps either an internally created pool (rebuilt on worker loss or
+    timeout) or an externally shared one (never rebuilt: its lifecycle —
+    and the other studies running on it — belong to the caller, so a
+    broken external pool re-raises instead).
+    """
+
+    def __init__(self, workers: int, kind: str, pool: Optional[Executor]) -> None:
+        self._external = pool is not None
+        self.pool = pool
+        self._workers = int(workers)
+        self._kind = kind
+
+    def ensure(self) -> Optional[Executor]:
+        """Create the own pool if the config calls for one; return it."""
+        if (
+            self.pool is None
+            and not self._external
+            and self._workers > 1
+            and self._kind != "serial"
+        ):
+            self.pool = _make_pool(self._workers, self._kind)
+        return self.pool
+
+    def rebuild(self) -> Optional[Executor]:
+        """Replace a failed own pool with a fresh one (``None`` if external).
+
+        The failed pool's queued futures are cancelled and its worker
+        processes terminated — a hung worker would otherwise keep its
+        stuck shard (and on fork platforms its copy of the planes) alive
+        forever.  In-flight shards are the caller's to resubmit.
+        """
+        if self._external:
+            return None
+        pool, self.pool = self.pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            _terminate_pool_workers(pool)
+        self.pool = _make_pool(self._workers, self._kind)
+        return self.pool
+
+    def abort(self) -> None:
+        """Tear the own pool down without waiting (failure/interrupt path)."""
+        if self._external or self.pool is None:
+            return
+        pool, self.pool = self.pool, None
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        _terminate_pool_workers(pool)
+
+    def close(self) -> None:
+        """Orderly shutdown of the own pool (no-op for external pools)."""
+        if self._external or self.pool is None:
+            return
+        pool, self.pool = self.pool, None
+        pool.shutdown()
+
+
+def _backoff_sleep(backoff: float, attempt: int) -> None:
+    """Pause ``backoff * 2**(attempt-1)`` seconds before a resubmission."""
+    if backoff > 0.0:
+        time.sleep(backoff * (2.0 ** (attempt - 1)))
+
+
+def _gather_shards(
+    items: Sequence,
+    run_inline: Callable,
+    submit: Callable,
+    supervisor: _PoolSupervisor,
+    config: MonteCarloConfig,
+    stats: _ShardStats,
+) -> Iterator:
+    """Yield one result per item, in item order, surviving shard failures.
+
+    This is the retry engine both the scalar and the stacked path run on.
+    ``items`` are opaque shard descriptors; ``run_inline(item)`` executes
+    one in the calling thread, ``submit(pool, item)`` schedules one on the
+    pool.  Because every shard recomputes bit-identical records from the
+    master entropy and its stream index alone, a resubmission *is* the
+    original shard — retries change provenance counters, never numbers.
+
+    Failure handling, per ``config``:
+
+    * an **in-shard exception** resubmits just that shard (exponential
+      ``retry_backoff``), up to ``max_shard_retries`` attempts per shard;
+    * a **timeout** — the next unfinished shard in plan order took longer
+      than ``shard_timeout`` — and a **broken pool** (worker killed) tear
+      the own pool down, rebuild it, and resubmit every unfinished shard;
+      the triggering shard is charged one retry, innocent-bystander
+      resubmissions are free (total rebuilds stay bounded by
+      ``shards x max_shard_retries``);
+    * on the inline path (no pool) only in-shard exceptions are
+      retryable — there is no second thread to enforce a timeout from, and
+      a worker loss cannot happen in-process;
+    * an externally shared pool is never rebuilt: timeouts and broken
+      pools re-raise so the owner decides (in-shard retries still work).
+
+    Pending futures are cancelled on every abnormal exit, including
+    generator close (``KeyboardInterrupt`` in the consumer).
+    """
+    timeout = config.shard_timeout
+    max_retries = int(config.max_shard_retries)
+    backoff = float(config.retry_backoff)
+    pool = supervisor.ensure()
+    if pool is None:
+        for item in items:
+            attempt = 0
+            while True:
+                try:
+                    yield run_inline(item)
+                    break
+                except Exception:
+                    attempt += 1
+                    if attempt > max_retries:
+                        raise
+                    stats.retried += 1
+                    _backoff_sleep(backoff, attempt)
+        return
+    pending = {index: submit(pool, item) for index, item in enumerate(items)}
+    attempts = [0] * len(items)
     try:
-        # Collect in submission (= shard-index) order so the merge is
-        # deterministic regardless of which worker finishes first.
-        for future in futures:
-            yield future.result()
+        # Collect in item (= plan) order so the merge stays deterministic
+        # regardless of which worker finishes first.
+        for index in range(len(items)):
+            while True:
+                try:
+                    result = pending[index].result(timeout=timeout)
+                    del pending[index]
+                    yield result
+                    break
+                except FuturesTimeout:
+                    attempts[index] += 1
+                    if attempts[index] > max_retries:
+                        raise SimulationError(
+                            f"shard {index} of {len(items)} did not finish "
+                            f"within shard_timeout={timeout}s after "
+                            f"{attempts[index]} attempts"
+                        )
+                    new_pool = supervisor.rebuild()
+                    if new_pool is None:
+                        raise SimulationError(
+                            f"shard {index} timed out after {timeout}s on an "
+                            "externally owned pool, which this run cannot "
+                            "rebuild; pass an internal pool or raise "
+                            "shard_timeout"
+                        )
+                    pool = new_pool
+                    stats.retried += 1
+                    _backoff_sleep(backoff, attempts[index])
+                    for other in list(pending):
+                        pending[other] = submit(pool, items[other])
+                except BrokenExecutor:
+                    attempts[index] += 1
+                    if attempts[index] > max_retries:
+                        raise
+                    new_pool = supervisor.rebuild()
+                    if new_pool is None:
+                        raise  # external pool: the owner handles worker loss
+                    pool = new_pool
+                    stats.retried += 1
+                    _backoff_sleep(backoff, attempts[index])
+                    for other in list(pending):
+                        pending[other] = submit(pool, items[other])
+                except Exception:
+                    attempts[index] += 1
+                    if attempts[index] > max_retries:
+                        raise
+                    stats.retried += 1
+                    _backoff_sleep(backoff, attempts[index])
+                    pending[index] = submit(pool, items[index])
     except BaseException:
-        # Drop the round's remaining shards even on a shared pool, so a
-        # failure doesn't leave orphan work blocking later studies.
-        for future in futures:
+        # Drop the remaining shards even on a shared pool, so a failure
+        # doesn't leave orphan work blocking later studies.  GeneratorExit
+        # lands here too, when an interrupted consumer closes the gather.
+        for future in pending.values():
             future.cancel()
         raise
+
+
+def _partial_interval(
+    moments: StreamingMoments, confidence: float
+) -> ConfidenceInterval:
+    """Interval of a possibly-degenerate partial result (interrupt path).
+
+    An interrupted run may have merged fewer than two lifetimes for a
+    point; a Student-t interval does not exist there, so the partial
+    result carries a NaN-width placeholder instead of refusing to report
+    the shards that did finish.
+    """
+    try:
+        return moments.interval(confidence)
+    except SimulationError:
+        return ConfidenceInterval(
+            mean=moments.mean if moments.n else float("nan"),
+            half_width=float("nan"),
+            confidence=confidence,
+            n_samples=moments.n,
+            std_error=float("nan"),
+        )
+
+
+def _open_journal(
+    configs: Sequence[MonteCarloConfig],
+    policy: SimulationPolicy,
+    master_entropy: int,
+    *,
+    shard_size: Optional[int],
+    crn: bool = False,
+    kernel: str = "numpy",
+    scalar: bool = False,
+) -> Optional[ShardJournal]:
+    """Open the run's checkpoint journal when one is configured."""
+    first = configs[0]
+    path = first.journal_path
+    if path is None:
+        return None
+    digest, key = run_digest(
+        configs,
+        policy,
+        master_entropy=master_entropy,
+        shard_size=shard_size,
+        crn=crn,
+        kernel=kernel,
+        scalar=scalar,
+    )
+    return ShardJournal.open(
+        path, digest, key, master_entropy, require_existing=first.resume is not None
+    )
+
+
+def _resolve_master_entropy(config: MonteCarloConfig) -> int:
+    """Resolve the run's master entropy, honouring a resumed journal.
+
+    A ``resume=`` run with ``seed=None`` adopts the journaled run's
+    entropy (the digest check then verifies the rest of the key); in every
+    other case the entropy derives from the seed exactly as before.
+    """
+    if config.resume is not None and config.seed is None:
+        adopted = journal_entropy(config.resume)
+        if adopted is not None:
+            return adopted
+    return RandomStreams(config.seed).seed_entropy
 
 
 def run_sharded(
@@ -328,14 +607,20 @@ def run_sharded(
 
     ``pool`` lets a sweep share one executor across many studies (see
     :func:`worker_pool`); its lifecycle then belongs to the caller.
+
+    Failed shards are retried per ``config.max_shard_retries`` /
+    ``shard_timeout`` (see :func:`_gather_shards`); with ``checkpoint=`` /
+    ``resume=`` completed shard summaries go to a durable journal and
+    already-journaled shards are skipped.  ``KeyboardInterrupt``/SIGTERM
+    returns the partial result flagged ``interrupted=True`` instead of
+    raising, with the journal flushed so the run can resume.
     """
-    resolve_policy(config.policy)  # fail fast on unknown policies
+    policy = resolve_policy(config.policy)  # fail fast on unknown policies
     # Resolve the kernel parent-side so workers receive a concrete backend
     # ("auto" warns/falls back here, exactly once per process, not once per
     # shard or per worker).
     config = replace(config, kernel=resolve_kernel(config.kernel))
-    master = RandomStreams(config.seed)
-    master_entropy = master.seed_entropy
+    master_entropy = _resolve_master_entropy(config)
     target = config.target_half_width
     ceiling = config.adaptive_ceiling if target is not None else config.n_iterations
 
@@ -344,11 +629,17 @@ def run_sharded(
     next_index = 0
     round_budget = config.n_iterations
 
-    workers = int(config.workers)
-    own_pool: Optional[Executor] = None
+    stats = _ShardStats()
+    supervisor = _PoolSupervisor(int(config.workers), config.pool, pool)
+    journal = _open_journal(
+        [config],
+        policy,
+        master_entropy,
+        shard_size=config.shard_size,
+        kernel=config.kernel,
+        scalar=True,
+    )
     try:
-        if pool is None and workers > 1 and config.pool != "serial":
-            pool = own_pool = _make_pool(workers, config.pool)
         while round_budget > 0:
             # A pinned shard_size fixes the decomposition (bit-identical
             # across worker counts); the default re-splits every round one
@@ -356,36 +647,87 @@ def run_sharded(
             # fan out instead of idling all but one worker.
             shard_size = effective_shard_size(config, round_budget)
             sizes = plan_shards(round_budget, shard_size)
-            summaries = list(
-                _run_round(config, master_entropy, next_index, sizes, pool)
-            )
+            plan = [(next_index + offset, size) for offset, size in enumerate(sizes)]
             next_index += len(sizes)
-            for summary in summaries:
+            summaries: List[Optional[ShardSummary]] = [None] * len(plan)
+            to_run: List[Tuple[int, int, int]] = []
+            for position, (index, size) in enumerate(plan):
+                journaled = (
+                    journal.records((index,) + SCALAR_RANGE)
+                    if journal is not None
+                    else None
+                )
+                if journaled is not None:
+                    shard_moments, shard_totals = summary_parts_from_record(journaled)
+                    summaries[position] = ShardSummary(index, shard_moments, shard_totals)
+                    stats.resumed += 1
+                else:
+                    to_run.append((position, index, size))
+            gathered = _gather_shards(
+                [(index, size) for _, index, size in to_run],
+                run_inline=lambda item: run_shard(
+                    config, master_entropy, item[0], item[1]
+                ),
+                submit=lambda pool_, item: pool_.submit(
+                    run_shard, config, master_entropy, item[0], item[1]
+                ),
+                supervisor=supervisor,
+                config=config,
+                stats=stats,
+            )
+            try:
+                for (position, index, _), summary in zip(to_run, gathered):
+                    summaries[position] = summary
+                    if journal is not None:
+                        journal.append(
+                            (index,) + SCALAR_RANGE,
+                            record_from_summary(summary.moments, summary.totals),
+                        )
+                    stats.completed += 1
+                    check_abort(stats.completed)
+            except KeyboardInterrupt:
+                stats.interrupted = True
+                gathered.close()
+                supervisor.abort()
+            # Merge the round in shard-index (= plan) order; on an
+            # interrupted round only the shards collected before the
+            # interrupt contribute (the partial result's honest content).
+            merged = [summary for summary in summaries if summary is not None]
+            for summary in merged:
                 moments.merge(summary.moments)
-            totals = merge_totals([totals] + [s.totals for s in summaries])
+            totals = merge_totals([totals] + [s.totals for s in merged])
+            if stats.interrupted:
+                break
             round_budget = _next_round_budget(config, moments, shard_size, ceiling)
     except BaseException:
         # Don't make a failed shard wait for the rest of the round: drop
         # queued work and leave in-flight shards to die with their workers
         # so the error surfaces immediately.  An externally owned pool is
         # left alone — its lifecycle belongs to the caller.
-        if own_pool is not None:
-            own_pool.shutdown(wait=False, cancel_futures=True)
-            own_pool = None
+        supervisor.abort()
         raise
     finally:
-        if own_pool is not None:
-            own_pool.shutdown()
+        supervisor.close()
+        if journal is not None:
+            journal.close()
 
+    interval = (
+        _partial_interval(moments, config.confidence)
+        if stats.interrupted
+        else moments.interval(config.confidence)
+    )
     return MonteCarloResult(
-        availability=moments.mean,
-        interval=moments.interval(config.confidence),
+        availability=moments.mean if moments.n else float("nan"),
+        interval=interval,
         n_iterations=moments.n,
         horizon_hours=config.horizon_hours,
         totals=totals,
         label=config.label(),
         seed_entropy=master_entropy,
-        ess=moments.ess() if config.biasing is not None else None,
+        ess=moments.ess() if config.biasing is not None and moments.n else None,
+        retried_shards=stats.retried,
+        resumed_shards=stats.resumed,
+        interrupted=stats.interrupted,
     )
 
 
@@ -502,6 +844,7 @@ def _simulate_stacked_shard(
     is entered here, inside the (possibly thread-pooled) callable, because
     the routing is thread-local.
     """
+    check_fault(shard.stream_index)
     streams = RandomStreams(master_entropy).spawn_child(shard.stream_index)
     if kernel == "fused":
         batch = run_fused_batch(
@@ -605,7 +948,8 @@ def _validate_stacked(
         for attr in (
             "horizon_hours", "confidence", "seed", "executor", "workers",
             "shard_size", "transport", "target_half_width", "biasing",
-            "allocator", "kernel", "pool",
+            "allocator", "kernel", "pool", "shard_timeout",
+            "max_shard_retries", "retry_backoff", "checkpoint", "resume",
         ):
             if getattr(config, attr) != getattr(first, attr):
                 raise ConfigurationError(
@@ -628,7 +972,8 @@ def _run_stacked_shards(
     horizon_hours: float,
     master_entropy: int,
     shards: Sequence[StackedShard],
-    pool: Optional[Executor],
+    supervisor: _PoolSupervisor,
+    stats: _ShardStats,
     mode: str = "pickle",
     grid: Optional[StackedParams] = None,
     spec: Optional[GridPlanesSpec] = None,
@@ -645,63 +990,59 @@ def _run_stacked_shards(
     planes ``spec`` and workers attach the shared segment.  All three feed
     the kernels value-identical rows, so the records — and everything merged
     from them — are byte-identical across transports.
+
+    Execution (plan-order collection, retry/timeout/rebuild semantics)
+    delegates to :func:`_gather_shards`; every transport resubmits cleanly
+    because a shard's inputs — scalar points, a grid view, or the planes
+    spec — are parent-owned and survive any worker's death.
     """
 
     def _params(shard: StackedShard):
         return [configs[point].params for point in shard.point_indices]
 
-    if pool is None:
-        for shard in shards:
-            if mode == "view":
-                yield _simulate_stacked_shard(
-                    policy, grid.slice(shard.start, shard.stop),
-                    horizon_hours, master_entropy, shard, biasing=biasing,
-                    kernel=kernel,
-                )
-            else:
-                yield run_stacked_shard(
-                    policy, _params(shard), horizon_hours, master_entropy, shard,
-                    biasing=biasing, kernel=kernel,
-                )
-        return
-    if mode == "view":
-        # Thread-pooled shards share the materialised grid outright: each
-        # submission carries a zero-copy row-range view of the parent's
-        # planes.  (Process pools never take this branch — the transport
-        # resolver only yields "view" when shards stay in-process.)
-        futures = [
-            pool.submit(
+    def _run_inline(shard: StackedShard) -> np.ndarray:
+        if mode == "view":
+            return _simulate_stacked_shard(
+                policy, grid.slice(shard.start, shard.stop),
+                horizon_hours, master_entropy, shard, biasing=biasing,
+                kernel=kernel,
+            )
+        return run_stacked_shard(
+            policy, _params(shard), horizon_hours, master_entropy, shard,
+            biasing=biasing, kernel=kernel,
+        )
+
+    def _submit(pool: Executor, shard: StackedShard):
+        if mode == "view":
+            # Thread-pooled shards share the materialised grid outright:
+            # each submission carries a zero-copy row-range view of the
+            # parent's planes.  (Process pools never take this branch — the
+            # transport resolver only yields "view" when shards stay
+            # in-process.)
+            return pool.submit(
                 _simulate_stacked_shard, policy,
                 grid.slice(shard.start, shard.stop),
                 horizon_hours, master_entropy, shard, biasing, kernel,
             )
-            for shard in shards
-        ]
-    elif mode == "shm":
-        futures = [
-            pool.submit(
+        if mode == "shm":
+            return pool.submit(
                 run_stacked_shard_shm, policy, spec,
                 horizon_hours, master_entropy, shard, biasing, kernel,
             )
-            for shard in shards
-        ]
-    else:
-        futures = [
-            pool.submit(
-                run_stacked_shard, policy, _params(shard),
-                horizon_hours, master_entropy, shard, biasing, kernel,
-            )
-            for shard in shards
-        ]
-    try:
-        # Collect in submission (= plan) order so the per-point merge is
-        # deterministic regardless of which worker finishes first.
-        for future in futures:
-            yield future.result()
-    except BaseException:
-        for future in futures:
-            future.cancel()
-        raise
+        return pool.submit(
+            run_stacked_shard, policy, _params(shard),
+            horizon_hours, master_entropy, shard, biasing, kernel,
+        )
+
+    first = configs[0]
+    yield from _gather_shards(
+        list(shards),
+        run_inline=_run_inline,
+        submit=_submit,
+        supervisor=supervisor,
+        config=first,
+        stats=stats,
+    )
 
 
 def _merge_point_records(
@@ -753,21 +1094,40 @@ def _point_result(
     totals: Dict[str, float],
     horizon_hours: float,
     master_entropy: int,
+    stats: Optional[_ShardStats] = None,
+    carry_counters: bool = True,
 ) -> MonteCarloResult:
     """Assemble one point's result from its merged summaries.
 
     Shared by the grid run and :func:`replay_stacked_point` so the
     bit-identical-replay guarantee can never drift on the assembly side.
+    ``stats`` is run-level provenance: the ``interrupted`` flag lands on
+    every point (it qualifies each point's numbers), while the
+    retry/resume *counters* — which count shards of the whole grid, not of
+    any one point — are carried by the first point only
+    (``carry_counters``), so summing over a sweep's points totals the run
+    instead of multiplying it by the grid size.  An interrupted run
+    additionally degrades under-sampled points to NaN-width intervals
+    instead of raising.
     """
+    interrupted = stats is not None and stats.interrupted
+    interval = (
+        _partial_interval(moments, config.confidence)
+        if interrupted
+        else moments.interval(config.confidence)
+    )
     return MonteCarloResult(
-        availability=moments.mean,
-        interval=moments.interval(config.confidence),
+        availability=moments.mean if moments.n else float("nan"),
+        interval=interval,
         n_iterations=moments.n,
         horizon_hours=horizon_hours,
         totals=totals,
         label=config.label(),
         seed_entropy=master_entropy,
-        ess=moments.ess() if config.biasing is not None else None,
+        ess=moments.ess() if config.biasing is not None and moments.n else None,
+        retried_shards=stats.retried if stats is not None and carry_counters else 0,
+        resumed_shards=stats.resumed if stats is not None and carry_counters else 0,
+        interrupted=interrupted,
     )
 
 
@@ -802,23 +1162,71 @@ def run_stacked_sharded(
         )
     counts = [int(config.n_iterations) for config in configs]
     shards = plan_stacked_shards(counts, stacked_shard_size(first), crn=crn)
-    master_entropy = RandomStreams(first.seed).seed_entropy
+    master_entropy = _resolve_master_entropy(first)
     horizon = float(first.horizon_hours)
     kernel = resolve_kernel(first.kernel)
 
+    stats = _ShardStats()
+    supervisor = _PoolSupervisor(int(first.workers), first.pool, pool)
+    journal = _open_journal(
+        configs,
+        policy,
+        master_entropy,
+        shard_size=stacked_shard_size(first),
+        crn=crn,
+        kernel=kernel,
+    )
+
+    def _run_plan(
+        plan: Sequence[StackedShard], mode: str, grid=None, spec=None
+    ) -> List[Optional[np.ndarray]]:
+        """Run one shard plan: splice journaled records, gather the rest.
+
+        Returns the plan's record parts *in plan order*; entries still
+        ``None`` after an interrupt are the shards that never finished.
+        Freshly gathered shards are journaled as they are collected.
+        """
+        parts: List[Optional[np.ndarray]] = [None] * len(plan)
+        to_run: List[Tuple[int, StackedShard]] = []
+        for position, shard in enumerate(plan):
+            key = (shard.stream_index, shard.start, shard.stop)
+            journaled = journal.records(key) if journal is not None else None
+            if journaled is not None:
+                parts[position] = journaled
+                stats.resumed += 1
+            else:
+                to_run.append((position, shard))
+        gathered = _run_stacked_shards(
+            policy, configs, horizon, master_entropy,
+            [shard for _, shard in to_run], supervisor, stats,
+            mode=mode, grid=grid, spec=spec, biasing=first.biasing,
+            kernel=kernel,
+        )
+        try:
+            for (position, shard), records in zip(to_run, gathered):
+                parts[position] = records
+                if journal is not None:
+                    journal.append(
+                        (shard.stream_index, shard.start, shard.stop), records
+                    )
+                stats.completed += 1
+                check_abort(stats.completed)
+        except KeyboardInterrupt:
+            stats.interrupted = True
+            gathered.close()
+            supervisor.abort()
+        return parts
+
     record_parts: List[np.ndarray] = []
-    workers = int(first.workers)
-    own_pool: Optional[Executor] = None
     planes: Optional[SharedGridPlanes] = None
     try:
-        if pool is None and workers > 1 and first.pool != "serial":
-            pool = own_pool = _make_pool(workers, first.pool)
+        supervisor.ensure()
         # Transport resolution keys on whether shards actually leave the
         # process: a thread pool (own or caller-shared) keeps them here, so
         # it gets the zero-copy "view" planes — the whole point of the
         # thread executor — instead of a shared-memory segment.
         mode = resolve_stacked_transport(
-            first.transport, pooled=_crosses_process_boundary(pool)
+            first.transport, pooled=_crosses_process_boundary(supervisor.pool)
         )
         grid = spec = None
         schemes = (
@@ -831,19 +1239,21 @@ def run_stacked_sharded(
                 [c.params for c in configs], counts, schemes=schemes
             )
         elif mode == "shm":
+            # Recover segments a SIGKILL'd earlier run left behind before
+            # creating this sweep's own (atexit-registered) planes.
+            reap_stale_segments()
             # Write the planes straight into the shared segment — one pass
             # over the grid bytes, no intermediate full-size arrays.
             planes = SharedGridPlanes.from_points(
                 [c.params for c in configs], counts, schemes=schemes
             )
             spec = planes.spec
-        for records in _run_stacked_shards(
-            policy, configs, horizon, master_entropy, shards, pool,
-            mode=mode, grid=grid, spec=spec, biasing=first.biasing,
-            kernel=kernel,
-        ):
-            record_parts.append(records)
-        if first.target_half_width is not None:
+        record_parts.extend(
+            part
+            for part in _run_plan(shards, mode, grid=grid, spec=spec)
+            if part is not None
+        )
+        if first.target_half_width is not None and not stats.interrupted:
             # CI-width-driven adaptive allocation: between rounds, merge
             # what every point has so far and dispatch the next round's
             # lifetimes to the points whose intervals are still too wide.
@@ -851,7 +1261,10 @@ def run_stacked_sharded(
             # transport) because the view/shm planes were laid out for the
             # initial uniform plan only; stream indices continue the global
             # shard sequence, so the whole run — rounds, allocations and
-            # draws — is a pure function of the master seed.
+            # draws — is a pure function of the master seed.  Resumed runs
+            # replay the identical allocation: journaled shards feed the
+            # same merged moments into the same planner, so each round's
+            # plan (and the journal keys) line up shard for shard.
             next_index = len(shards)
             while True:
                 moments, _ = _merge_point_records(record_parts, len(configs))
@@ -862,32 +1275,38 @@ def run_stacked_sharded(
                     round_counts, stacked_shard_size(first), next_index
                 )
                 next_index += len(round_shards)
-                for records in _run_stacked_shards(
-                    policy, configs, horizon, master_entropy, round_shards,
-                    pool, mode="pickle", biasing=first.biasing, kernel=kernel,
-                ):
-                    record_parts.append(records)
+                record_parts.extend(
+                    part
+                    for part in _run_plan(round_shards, "pickle")
+                    if part is not None
+                )
+                if stats.interrupted:
+                    break
     except BaseException:
         # Don't make a failed shard wait for the rest of the round: drop
         # queued work and leave in-flight shards to die with their workers
         # so the error surfaces immediately.  An externally owned pool is
         # left alone — its lifecycle belongs to the caller.
-        if own_pool is not None:
-            own_pool.shutdown(wait=False, cancel_futures=True)
-            own_pool = None
+        supervisor.abort()
         raise
     finally:
         # The planes outlive every shard but never the sweep: unlink on
         # all exit paths so no /dev/shm segment survives a failure.
         if planes is not None:
             planes.dispose()
-        if own_pool is not None:
-            own_pool.shutdown()
+        supervisor.close()
+        if journal is not None:
+            journal.close()
 
     moments, point_totals = _merge_point_records(record_parts, len(configs))
     return [
-        _point_result(config, point_moments, totals, horizon, master_entropy)
-        for config, point_moments, totals in zip(configs, moments, point_totals)
+        _point_result(
+            config, point_moments, totals, horizon, master_entropy, stats,
+            carry_counters=index == 0,
+        )
+        for index, (config, point_moments, totals) in enumerate(
+            zip(configs, moments, point_totals)
+        )
     ]
 
 
@@ -1009,7 +1428,8 @@ def replay_stacked_point(
     # the grid run's entry bit for bit, whatever transport that run used.
     record_parts = list(
         _run_stacked_shards(
-            policy, configs, horizon, master_entropy, shards, pool=None,
+            policy, configs, horizon, master_entropy, shards,
+            _PoolSupervisor(1, "serial", None), _ShardStats(),
             mode="pickle", biasing=first.biasing,
             kernel=resolve_kernel(first.kernel),
         )

@@ -85,6 +85,22 @@ class MonteCarloResult:
         parameter point, populated when an importance-sampled evaluation has
         a dual-face policy available — the free control variate of the
         rare-event engine.
+    retried_shards:
+        How many shard attempts failed (crash, timeout, lost worker) and
+        were resubmitted by the fault-tolerant executor.  Retried shards
+        recompute bit-identical records, so a non-zero count is provenance,
+        not a caveat.  On a stacked grid the counter describes the whole
+        run and is carried by the first point's result (the other points
+        report 0), so sums over a sweep total the run once.
+    resumed_shards:
+        How many shards were skipped because a checkpoint journal already
+        held their (bit-identical) records.  Carried like
+        ``retried_shards`` on stacked grids.
+    interrupted:
+        ``True`` when the run was cut short (``KeyboardInterrupt``/SIGTERM)
+        and this is a *partial* result covering only the shards collected
+        before the interrupt.  Interrupted runs with a checkpoint journal
+        can be resumed to completion.
     """
 
     availability: float
@@ -96,6 +112,9 @@ class MonteCarloResult:
     seed_entropy: Optional[int] = None
     ess: Optional[float] = None
     analytical_reference: Optional[float] = None
+    retried_shards: int = 0
+    resumed_shards: int = 0
+    interrupted: bool = False
 
     @property
     def unavailability(self) -> float:
@@ -149,6 +168,9 @@ class MonteCarloResult:
             "seed_entropy": self.seed_entropy,
             "ess": self.ess,
             "analytical_reference": self.analytical_reference,
+            "retried_shards": self.retried_shards,
+            "resumed_shards": self.resumed_shards,
+            "interrupted": self.interrupted,
         }
 
 

@@ -95,6 +95,12 @@ def run_monte_carlo(config: MonteCarloConfig, pool=None) -> MonteCarloResult:
     """
     if config.uses_sharded_path:
         return run_sharded(config, pool=pool)
+    if config.journal_path is not None:
+        raise ConfigurationError(
+            "checkpoint/resume journals record *shard* summaries and need "
+            "the sharded executor; set workers, shard_size or "
+            "target_half_width"
+        )
     if _use_batch_path(config):
         return run_batch(config)
     if config.biasing is not None:

@@ -30,6 +30,7 @@ value-identical parameter rows, so results are byte-identical.
 
 from __future__ import annotations
 
+import atexit
 import os
 import secrets
 from dataclasses import dataclass
@@ -56,6 +57,7 @@ __all__ = [
     "attach_grid_slice",
     "attach_segment",
     "attach_segment_cached",
+    "reap_stale_segments",
     "resolve_stacked_transport",
     "shared_memory_available",
 ]
@@ -72,8 +74,81 @@ _SHM_USABLE: Optional[bool] = None
 
 
 def _segment_name() -> str:
-    """Return a fresh collision-free segment name."""
+    """Return a fresh collision-free segment name.
+
+    The creator's pid is embedded (in hex) so a later process can tell a
+    *stale* segment — creator no longer alive — from a live one without any
+    registry file; see :func:`reap_stale_segments`.
+    """
     return f"{SHM_SEGMENT_PREFIX}{os.getpid():x}-{secrets.token_hex(4)}"
+
+
+#: Per-process registry of live :class:`SharedGridPlanes`.  The atexit
+#: sweep below disposes whatever is still registered when the interpreter
+#: exits — the window this closes is the parent dying (unhandled exception,
+#: ``sys.exit``) *between* segment creation and the executor's ``finally``
+#: taking ownership.  SIGKILL skips atexit by definition; those segments
+#: are recovered by :func:`reap_stale_segments` on the next run instead.
+_LIVE_PLANES: "set" = set()
+_ATEXIT_REGISTERED = False
+
+
+def _register_live(planes: "SharedGridPlanes") -> None:
+    global _ATEXIT_REGISTERED
+    _LIVE_PLANES.add(planes)
+    if not _ATEXIT_REGISTERED:
+        atexit.register(_dispose_live_planes)
+        _ATEXIT_REGISTERED = True
+
+
+def _dispose_live_planes() -> None:
+    """Atexit hook: unlink every segment this process still owns."""
+    for planes in list(_LIVE_PLANES):
+        planes.dispose()
+
+
+def _segment_owner_pid(name: str) -> Optional[int]:
+    """Parse the creator pid out of a segment name (``None`` if malformed)."""
+    stem = name[len(SHM_SEGMENT_PREFIX):]
+    head, _, _ = stem.partition("-")
+    try:
+        return int(head, 16)
+    except ValueError:
+        return None
+
+
+def reap_stale_segments() -> List[str]:
+    """Unlink repro segments whose creator process is gone; return names.
+
+    A segment is stale when the pid embedded in its name no longer exists
+    (``os.kill(pid, 0)`` raises ``ProcessLookupError``) — the SIGKILL'd
+    parent that atexit could not cover.  Segments of live pids (including
+    this process's own) are left alone: they may still be mid-sweep.  Runs
+    automatically at the start of every shm-transport sweep and on demand
+    via ``repro mc --reap-shm``.
+    """
+    reaped: List[str] = []
+    for name in active_segments():
+        pid = _segment_owner_pid(name)
+        if pid is None or pid == os.getpid():
+            continue
+        try:
+            os.kill(pid, 0)
+            continue  # creator still alive — not ours to reap
+        except ProcessLookupError:
+            pass
+        except PermissionError:
+            continue  # alive, owned by another user
+        try:
+            segment = attach_segment(name)
+            segment.close()
+            segment.unlink()
+            reaped.append(name)
+        except FileNotFoundError:  # pragma: no cover - raced another reaper
+            continue
+        except Exception:  # pragma: no cover - leave undeletable entries
+            continue
+    return reaped
 
 
 def shared_memory_available() -> bool:
@@ -275,12 +350,20 @@ class SharedGridPlanes:
             has_schemes=has_schemes,
         )
         self._disposed = False
+        # Registered the moment the segment exists: should this process die
+        # before the executor's finally-block takes over, the atexit sweep
+        # still unlinks it.
+        _register_live(self)
 
     def dispose(self) -> None:
         """Close and unlink the segment (idempotent, never raises)."""
         if getattr(self, "_disposed", False):
             return
         self._disposed = True
+        try:
+            _LIVE_PLANES.discard(self)
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
         try:
             self._shm.close()
         except Exception:

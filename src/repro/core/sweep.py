@@ -121,6 +121,10 @@ class SweepPoint:
 
     Monte Carlo backed points additionally carry their confidence interval;
     analytical points leave ``ci_lower``/``ci_upper`` as ``None``.
+    ``retried_shards``/``resumed_shards`` count fault-tolerance events of
+    the sharded executor (see :mod:`repro.core.montecarlo.parallel`);
+    ``interrupted`` marks a partial point from a gracefully interrupted
+    sweep — its moments cover only the shards that completed.
     """
 
     x: float
@@ -129,6 +133,9 @@ class SweepPoint:
     nines: float
     ci_lower: Optional[float] = None
     ci_upper: Optional[float] = None
+    retried_shards: int = 0
+    resumed_shards: int = 0
+    interrupted: bool = False
 
     @property
     def has_interval(self) -> bool:
@@ -146,6 +153,12 @@ class SweepPoint:
         if self.has_interval:
             payload["ci_lower"] = self.ci_lower
             payload["ci_upper"] = self.ci_upper
+        if self.retried_shards:
+            payload["retried_shards"] = self.retried_shards
+        if self.resumed_shards:
+            payload["resumed_shards"] = self.resumed_shards
+        if self.interrupted:
+            payload["interrupted"] = True
         return payload
 
 
@@ -265,6 +278,9 @@ def _point_from_estimate(estimate, x: float) -> SweepPoint:
         nines=estimate.nines,
         ci_lower=estimate.ci_lower,
         ci_upper=estimate.ci_upper,
+        retried_shards=estimate.retried_shards,
+        resumed_shards=estimate.resumed_shards,
+        interrupted=estimate.interrupted,
     )
 
 
@@ -290,6 +306,11 @@ def _monte_carlo_points(
     kernel: str,
     pool_kind: str,
     pool,
+    shard_timeout: Optional[float] = None,
+    max_shard_retries: int = 0,
+    retry_backoff: float = 0.1,
+    checkpoint: Optional[str] = None,
+    resume: Optional[str] = None,
 ) -> List[SweepPoint]:
     """Evaluate arbitrary parameter points on the Monte Carlo backend."""
     if mc_engine not in MC_ENGINES:
@@ -323,6 +344,16 @@ def _monte_carlo_points(
             else f"policy {policy.name!r} has no stacked-capable kernel"
         )
         _warn_adaptive_fallback(reason)
+    if not use_stacked and (checkpoint is not None or resume is not None):
+        # A shard journal describes one stacked grid; the per-point loop
+        # runs many independent studies whose digests would collide in a
+        # single journal file.  Refuse rather than silently not checkpoint.
+        raise ConfigurationError(
+            "checkpoint/resume journals cover stacked sweeps only, but this "
+            "configuration resolved to the per-point path (scalar executor, "
+            "mc_engine='per_point', or a policy without a stacked-capable "
+            "kernel)"
+        )
     if use_stacked:
         estimates = evaluate_stacked(
             point_params,
@@ -342,6 +373,11 @@ def _monte_carlo_points(
             kernel=kernel,
             pool_kind=pool_kind,
             pool=pool,
+            shard_timeout=shard_timeout,
+            max_shard_retries=max_shard_retries,
+            retry_backoff=retry_backoff,
+            checkpoint=checkpoint,
+            resume=resume,
         )
         return [
             _point_from_estimate(estimate, x) for estimate, x in zip(estimates, xs)
@@ -370,8 +406,16 @@ def _monte_carlo_points(
                 kernel=kernel,
                 pool_kind=pool_kind,
                 pool=sweep_pool,
+                shard_timeout=shard_timeout,
+                max_shard_retries=max_shard_retries,
+                retry_backoff=retry_backoff,
             )
             points.append(_point_from_estimate(estimate, x))
+            if estimate.interrupted:
+                # The sharded executor absorbed a KeyboardInterrupt/SIGTERM
+                # into a partial estimate; honour it — don't start the
+                # remaining points after the user asked to stop.
+                break
     return points
 
 
@@ -400,6 +444,11 @@ def sweep(
     kernel: str = "auto",
     pool_kind: str = "process",
     pool=None,
+    shard_timeout: Optional[float] = None,
+    max_shard_retries: int = 0,
+    retry_backoff: float = 0.1,
+    checkpoint: Optional[str] = None,
+    resume: Optional[str] = None,
 ) -> List[SweepPoint]:
     """Sweep one parameter axis for one policy on one backend.
 
@@ -459,6 +508,17 @@ def sweep(
     pool:
         Optional externally owned worker pool; ``None`` with ``workers > 1``
         starts one pool for the whole sweep (not one per point).
+    shard_timeout, max_shard_retries, retry_backoff:
+        Fault tolerance of the sharded executor — per-shard deadline and
+        bounded retry with exponential backoff; retried shards recompute
+        bit-identical summaries.  See
+        :class:`~repro.core.montecarlo.config.MonteCarloConfig`.
+    checkpoint, resume:
+        Durable shard journal of stacked sweeps: ``checkpoint`` appends
+        every completed shard summary to the given path, ``resume`` splices
+        a previous journal back in (and keeps appending), skipping already
+        completed shards; a resumed sweep is bit-identical to an
+        uninterrupted one.
     """
     if not values:
         raise ConfigurationError(f"sweep over {axis!r} requires at least one value")
@@ -497,6 +557,11 @@ def sweep(
         kernel=kernel,
         pool_kind=pool_kind,
         pool=pool,
+        shard_timeout=shard_timeout,
+        max_shard_retries=max_shard_retries,
+        retry_backoff=retry_backoff,
+        checkpoint=checkpoint,
+        resume=resume,
     )
 
 
@@ -617,6 +682,11 @@ def sweep_grid(
     kernel: str = "auto",
     pool_kind: str = "process",
     pool=None,
+    shard_timeout: Optional[float] = None,
+    max_shard_retries: int = 0,
+    retry_backoff: float = 0.1,
+    checkpoint: Optional[str] = None,
+    resume: Optional[str] = None,
 ) -> SweepGrid:
     """Sweep two parameter axes at once (a fig5-style surface) in one call.
 
@@ -678,6 +748,11 @@ def sweep_grid(
             kernel=kernel,
             pool_kind=pool_kind,
             pool=pool,
+            shard_timeout=shard_timeout,
+            max_shard_retries=max_shard_retries,
+            retry_backoff=retry_backoff,
+            checkpoint=checkpoint,
+            resume=resume,
         )
     n2 = len(values2)
     rows = [flat[i * n2 : (i + 1) * n2] for i in range(len(values1))]
